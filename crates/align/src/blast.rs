@@ -1,0 +1,599 @@
+//! Seeded protein database search — the Blast (`blastp`) model.
+//!
+//! Gapped BLAST (Altschul et al. 1997, the paper's reference \[7\]) searches
+//! in stages:
+//!
+//! 1. **Word seeding** — query 3-mers and their *neighborhood* (all words
+//!    scoring ≥ `word_threshold` under the substitution matrix) are indexed;
+//!    database words that hit the index produce diagonal hits.
+//! 2. **Two-hit trigger** — two non-overlapping hits on the same diagonal
+//!    within `two_hit_window` trigger an ungapped extension.
+//! 3. **Ungapped X-drop extension** — the hit is extended in both directions
+//!    until the running score drops `x_drop_ungapped` below its maximum.
+//! 4. **Gapped extension** (`SEMI_G_ALIGN_EX` in the paper's Figure 1) —
+//!    HSPs scoring ≥ `gap_trigger` get a banded affine DP extension around
+//!    the seed in both directions.
+//!
+//! The gapped extension is the dynamic-programming kernel whose branches
+//! the paper measures; [`gapped_extend_score`] is implemented with the same
+//! integer recurrence as the simulated kernel.
+
+use crate::pairwise::NEG_INF;
+use bioseq::{GapPenalties, Sequence, SubstitutionMatrix};
+use std::collections::HashMap;
+
+/// Tuning parameters for the staged search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlastParams {
+    /// Word length (protein BLAST default: 3).
+    pub word_len: usize,
+    /// Minimum self-score for a word neighborhood member (default 11, as in
+    /// NCBI blastp).
+    pub word_threshold: i32,
+    /// Maximum distance between two diagonal hits that still triggers an
+    /// extension (default 40).
+    pub two_hit_window: usize,
+    /// X-drop for the ungapped extension (default 7).
+    pub x_drop_ungapped: i32,
+    /// Ungapped score required to trigger a gapped extension (default 22).
+    pub gap_trigger: i32,
+    /// Band half-width for the gapped extension (default 24).
+    pub band: usize,
+    /// Gap penalties for the gapped extension.
+    pub gaps: GapPenalties,
+    /// Minimum gapped score to report.
+    pub min_report_score: i32,
+}
+
+impl Default for BlastParams {
+    fn default() -> Self {
+        BlastParams {
+            word_len: 3,
+            word_threshold: 11,
+            two_hit_window: 40,
+            x_drop_ungapped: 7,
+            gap_trigger: 22,
+            band: 24,
+            gaps: GapPenalties::new(10, 2),
+            min_report_score: 35,
+        }
+    }
+}
+
+/// A reported database hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlastHit {
+    /// Index of the subject in the database slice.
+    pub db_index: usize,
+    /// Gapped alignment score.
+    pub score: i32,
+    /// Seed position in the query where the extension was anchored.
+    pub query_pos: usize,
+    /// Seed position in the subject.
+    pub subject_pos: usize,
+}
+
+/// Work counters for the staged search — used by the workload drivers to
+/// attribute simulated time per phase (paper Figure 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlastStats {
+    /// Raw word hits found in stage 1.
+    pub word_hits: u64,
+    /// Two-hit pairs that triggered ungapped extensions.
+    pub ungapped_extensions: u64,
+    /// Ungapped HSPs that reached the gap trigger.
+    pub gapped_extensions: u64,
+    /// DP cells evaluated during gapped extensions.
+    pub gapped_cells: u64,
+}
+
+/// Inverted index from word id to query positions, including neighborhood
+/// words (stage 1 preprocessing).
+#[derive(Debug)]
+pub struct WordIndex {
+    word_len: usize,
+    alpha: usize,
+    map: HashMap<u32, Vec<u32>>,
+}
+
+fn word_id(codes: &[u8], alpha: usize) -> u32 {
+    codes.iter().fold(0u32, |acc, &c| acc * alpha as u32 + c as u32)
+}
+
+impl WordIndex {
+    /// Build the neighborhood word index of `query`.
+    ///
+    /// For each query position `i`, every word `w` with
+    /// `score(query[i..i+k], w) >= threshold` is indexed. The neighborhood
+    /// is enumerated recursively with pruning against the per-position
+    /// maximum achievable remainder, so construction is fast for real
+    /// thresholds.
+    pub fn build(query: &Sequence, matrix: &SubstitutionMatrix, params: &BlastParams) -> Self {
+        let k = params.word_len;
+        let core = query.alphabet().core_size();
+        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+        if query.len() < k {
+            return WordIndex { word_len: k, alpha: core, map };
+        }
+        // Per-residue best substitution score (for pruning).
+        let best: Vec<i32> = (0..core)
+            .map(|r| (0..core).map(|s| matrix.score(r as u8, s as u8)).max().unwrap_or(0))
+            .collect();
+        let q = query.codes();
+        let mut word = vec![0u8; k];
+        for i in 0..=(q.len() - k) {
+            let target = &q[i..i + k];
+            // Max achievable suffix score from each depth.
+            let mut suffix_best = vec![0i32; k + 1];
+            for d in (0..k).rev() {
+                suffix_best[d] = suffix_best[d + 1] + best[target[d] as usize];
+            }
+            enumerate_neighborhood(
+                target,
+                matrix,
+                core,
+                params.word_threshold,
+                0,
+                0,
+                &suffix_best,
+                &mut word,
+                &mut |w| {
+                    map.entry(word_id(w, core)).or_default().push(i as u32);
+                },
+            );
+        }
+        WordIndex { word_len: k, alpha: core, map }
+    }
+
+    /// Query positions whose neighborhood contains the word at
+    /// `subject[j..j+k]`, or an empty slice.
+    pub fn lookup(&self, subject_word: &[u8]) -> &[u32] {
+        debug_assert_eq!(subject_word.len(), self.word_len);
+        if subject_word.iter().any(|&c| c as usize >= self.alpha) {
+            return &[];
+        }
+        self.map
+            .get(&word_id(subject_word, self.alpha))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct words indexed.
+    pub fn num_words(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_neighborhood(
+    target: &[u8],
+    matrix: &SubstitutionMatrix,
+    core: usize,
+    threshold: i32,
+    depth: usize,
+    score: i32,
+    suffix_best: &[i32],
+    word: &mut [u8],
+    emit: &mut impl FnMut(&[u8]),
+) {
+    if depth == target.len() {
+        if score >= threshold {
+            emit(word);
+        }
+        return;
+    }
+    for c in 0..core as u8 {
+        let s = score + matrix.score(target[depth], c);
+        // Prune: even the best completions cannot reach the threshold.
+        if s + suffix_best[depth + 1] < threshold {
+            continue;
+        }
+        word[depth] = c;
+        enumerate_neighborhood(target, matrix, core, threshold, depth + 1, s, suffix_best, word, emit);
+    }
+}
+
+/// Stage 3: ungapped X-drop extension of a word hit at `(qi, sj)`.
+///
+/// Returns `(score, best_q, best_s)` — the HSP score and the anchor (the
+/// position pair where the running score peaked).
+pub fn ungapped_extend(
+    query: &[u8],
+    subject: &[u8],
+    qi: usize,
+    sj: usize,
+    word_len: usize,
+    matrix: &SubstitutionMatrix,
+    x_drop: i32,
+) -> (i32, usize, usize) {
+    // Score the seed word itself.
+    let mut score: i32 = (0..word_len)
+        .map(|d| matrix.score(query[qi + d], subject[sj + d]))
+        .sum();
+    let mut best = score;
+    let (mut anchor_q, mut anchor_s) = (qi + word_len - 1, sj + word_len - 1);
+    // Extend right.
+    {
+        let mut s = score;
+        let (mut i, mut j) = (qi + word_len, sj + word_len);
+        while i < query.len() && j < subject.len() {
+            s += matrix.score(query[i], subject[j]);
+            if s > best {
+                best = s;
+                anchor_q = i;
+                anchor_s = j;
+            }
+            if s <= best - x_drop {
+                break;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    score = best;
+    // Extend left.
+    {
+        let mut s = score;
+        let (mut i, mut j) = (qi, sj);
+        let mut running_best = score;
+        while i > 0 && j > 0 {
+            i -= 1;
+            j -= 1;
+            s += matrix.score(query[i], subject[j]);
+            if s > running_best {
+                running_best = s;
+            }
+            if s <= running_best - x_drop {
+                break;
+            }
+        }
+        best = running_best;
+    }
+    (best, anchor_q, anchor_s)
+}
+
+/// Stage 4 (`SEMI_G_ALIGN_EX`): banded affine gapped extension around an
+/// anchor, in both directions. Returns the gapped score and counts DP cells
+/// into `cells`.
+///
+/// The forward half aligns `query[anchor_q+1..]` vs `subject[anchor_s+1..]`
+/// allowing free termination anywhere (score-maximising semi-global DP);
+/// the backward half does the same on the reversed prefixes; the anchor
+/// pair itself is scored once.
+pub fn gapped_extend_score(
+    query: &[u8],
+    subject: &[u8],
+    anchor_q: usize,
+    anchor_s: usize,
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    band: usize,
+    cells: &mut u64,
+) -> i32 {
+    let anchor_score = matrix.score(query[anchor_q], subject[anchor_s]);
+    let fwd = banded_semiglobal(
+        &query[anchor_q + 1..],
+        &subject[anchor_s + 1..],
+        matrix,
+        gaps,
+        band,
+        cells,
+    );
+    let q_rev: Vec<u8> = query[..anchor_q].iter().rev().copied().collect();
+    let s_rev: Vec<u8> = subject[..anchor_s].iter().rev().copied().collect();
+    let bwd = banded_semiglobal(&q_rev, &s_rev, matrix, gaps, band, cells);
+    anchor_score + fwd + bwd
+}
+
+/// Best-prefix-pair score of a banded affine DP starting at the origin:
+/// `max(0, max_{i,j in band} V(i,j))`.
+fn banded_semiglobal(
+    a: &[u8],
+    b: &[u8],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    band: usize,
+    cells: &mut u64,
+) -> i32 {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let width = m + 1;
+    let mut v = vec![NEG_INF; width];
+    let mut f = vec![NEG_INF; width];
+    v[0] = 0;
+    for j in 1..=m.min(band) {
+        v[j] = -wg - j as i32 * ws;
+        f[j] = v[j];
+    }
+    let mut best = 0i32;
+    for i in 1..=n {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        if lo > m {
+            break;
+        }
+        let mut diag_prev = if lo == 1 {
+            v[0]
+        } else {
+            v[lo - 1]
+        };
+        let v_i0 = if i <= band { -wg - i as i32 * ws } else { NEG_INF };
+        if lo == 1 {
+            v[0] = v_i0;
+        }
+        let mut e = if lo == 1 { v_i0 } else { NEG_INF };
+        let mut v_left = if lo == 1 { v_i0 } else { NEG_INF };
+        // Cells outside the band on the right edge must not leak stale
+        // values from earlier rows into the diagonal term.
+        if hi < m {
+            v[hi + 1] = NEG_INF;
+            f[hi + 1] = NEG_INF;
+        }
+        for j in lo..=hi {
+            *cells += 1;
+            let g = diag_prev + matrix.score(a[i - 1], b[j - 1]);
+            let e_cur = e.max(v_left - wg) - ws;
+            let f_cur = f[j].max(v[j] - wg) - ws;
+            let val = g.max(e_cur).max(f_cur);
+            diag_prev = v[j];
+            v[j] = val;
+            f[j] = f_cur;
+            e = e_cur;
+            v_left = val;
+            if val > best {
+                best = val;
+            }
+        }
+    }
+    best
+}
+
+/// Full staged search of `query` against `database`.
+///
+/// Returns hits (best first) and work counters.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{generate::SeqGen, Alphabet, SubstitutionMatrix};
+/// use bioalign::blast::{blastp, BlastParams};
+///
+/// let mut g = SeqGen::new(Alphabet::Protein, 8);
+/// let query = g.uniform(150);
+/// let db = g.database(&query, 40, 4, 100..200);
+/// let (hits, stats) = blastp(&query, &db, &SubstitutionMatrix::blosum62(), &BlastParams::default());
+/// assert!(hits.len() >= 3);
+/// assert!(stats.gapped_extensions >= hits.len() as u64);
+/// ```
+pub fn blastp(
+    query: &Sequence,
+    database: &[Sequence],
+    matrix: &SubstitutionMatrix,
+    params: &BlastParams,
+) -> (Vec<BlastHit>, BlastStats) {
+    let mut stats = BlastStats::default();
+    let index = WordIndex::build(query, matrix, params);
+    let k = params.word_len;
+    let mut hits = Vec::new();
+    for (db_index, subject) in database.iter().enumerate() {
+        if subject.len() < k {
+            continue;
+        }
+        let s = subject.codes();
+        let q = query.codes();
+        // last_hit_end[diag] = subject offset just past the last word hit on
+        // that diagonal; diag = j - i + query.len().
+        let mut last_hit: HashMap<isize, usize> = HashMap::new();
+        let mut extended_to: HashMap<isize, usize> = HashMap::new();
+        let mut best_for_subject: Option<BlastHit> = None;
+        for j in 0..=(s.len() - k) {
+            for &qi in index.lookup(&s[j..j + k]) {
+                let qi = qi as usize;
+                stats.word_hits += 1;
+                let diag = j as isize - qi as isize;
+                // Skip regions already covered by an extension on this diagonal.
+                if extended_to.get(&diag).is_some_and(|&end| j < end) {
+                    continue;
+                }
+                let prev = last_hit.get(&diag).copied();
+                // Overlapping hits are ignored entirely (they neither
+                // trigger nor advance the recorded hit).
+                if prev.is_some_and(|prev_end| j < prev_end) {
+                    continue;
+                }
+                last_hit.insert(diag, j + k);
+                let two_hit =
+                    prev.is_some_and(|prev_end| j - prev_end <= params.two_hit_window);
+                if !two_hit {
+                    continue;
+                }
+                stats.ungapped_extensions += 1;
+                let (uscore, aq, asj) =
+                    ungapped_extend(q, s, qi, j, k, matrix, params.x_drop_ungapped);
+                if uscore < params.gap_trigger {
+                    continue;
+                }
+                stats.gapped_extensions += 1;
+                let gscore = gapped_extend_score(
+                    q,
+                    s,
+                    aq,
+                    asj,
+                    matrix,
+                    params.gaps,
+                    params.band,
+                    &mut stats.gapped_cells,
+                );
+                extended_to.insert(diag, asj + 1);
+                if gscore >= params.min_report_score
+                    && best_for_subject.as_ref().is_none_or(|h| gscore > h.score)
+                {
+                    best_for_subject = Some(BlastHit {
+                        db_index,
+                        score: gscore,
+                        query_pos: aq,
+                        subject_pos: asj,
+                    });
+                }
+            }
+        }
+        if let Some(h) = best_for_subject {
+            hits.push(h);
+        }
+    }
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    (hits, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::{generate::SeqGen, Alphabet};
+
+    fn blosum() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    #[test]
+    fn word_index_contains_exact_words() {
+        let mut g = SeqGen::new(Alphabet::Protein, 1);
+        let q = g.uniform(50);
+        let params = BlastParams::default();
+        let idx = WordIndex::build(&q, &blosum(), &params);
+        // Every exact query word that scores itself >= threshold must be present.
+        let m = blosum();
+        for i in 0..=(q.len() - 3) {
+            let w = &q.codes()[i..i + 3];
+            let self_score: i32 = w.iter().map(|&c| m.score(c, c)).sum();
+            if self_score >= params.word_threshold {
+                assert!(
+                    idx.lookup(w).contains(&(i as u32)),
+                    "exact word at {i} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_index_neighborhood_members_score_above_threshold() {
+        let q = Sequence::from_text("q", Alphabet::Protein, "WWW").unwrap();
+        let params = BlastParams::default();
+        let idx = WordIndex::build(&q, &blosum(), &params);
+        // W scores 11 against itself; WWW self-score 33 — many neighbors.
+        assert!(idx.num_words() > 1);
+        let m = blosum();
+        // Check a specific neighbor: WWF (W/W 11 + W/W 11 + W/F 1 = 23 >= 11).
+        let f = Alphabet::Protein.encode(b'F').unwrap();
+        let w = Alphabet::Protein.encode(b'W').unwrap();
+        assert!(idx.lookup(&[w, w, f]).contains(&0));
+        assert_eq!(
+            m.score(w, f),
+            1,
+            "sanity: W/F BLOSUM62 score changed?"
+        );
+    }
+
+    #[test]
+    fn ungapped_extend_covers_perfect_match() {
+        let mut g = SeqGen::new(Alphabet::Protein, 2);
+        let q = g.uniform(40);
+        let m = blosum();
+        let (score, aq, asj) = ungapped_extend(q.codes(), q.codes(), 10, 10, 3, &m, 7);
+        let self_score: i32 = q.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(score, self_score);
+        assert_eq!(aq, q.len() - 1);
+        assert_eq!(asj, q.len() - 1);
+    }
+
+    #[test]
+    fn ungapped_extend_stops_at_xdrop() {
+        // Identical prefix, then garbage: extension must stop near the
+        // boundary instead of dragging through the mismatches.
+        let m = SubstitutionMatrix::identity(Alphabet::Protein, 5, -5);
+        let a = Sequence::from_text("a", Alphabet::Protein, "MKVWHEAGPPPPPPPP").unwrap();
+        let b = Sequence::from_text("b", Alphabet::Protein, "MKVWHEAGWWWWWWWW").unwrap();
+        let (score, aq, _) = ungapped_extend(a.codes(), b.codes(), 0, 0, 3, &m, 7);
+        assert_eq!(score, 8 * 5);
+        assert_eq!(aq, 7);
+    }
+
+    #[test]
+    fn gapped_extension_recovers_full_identity_score() {
+        let mut g = SeqGen::new(Alphabet::Protein, 3);
+        let q = g.uniform(60);
+        let m = blosum();
+        let mut cells = 0;
+        let s = gapped_extend_score(q.codes(), q.codes(), 30, 30, &m, GapPenalties::new(10, 2), 16, &mut cells);
+        let self_score: i32 = q.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(s, self_score);
+        assert!(cells > 0);
+    }
+
+    #[test]
+    fn gapped_extension_bridges_a_gap() {
+        let m = SubstitutionMatrix::identity(Alphabet::Protein, 5, -4);
+        // Subject has 2 extra residues in the middle vs query.
+        let q = Sequence::from_text("q", Alphabet::Protein, "MKVWHEAGMKVWHEAG").unwrap();
+        let s = Sequence::from_text("s", Alphabet::Protein, "MKVWHEAGPPMKVWHEAG").unwrap();
+        let mut cells = 0;
+        let score = gapped_extend_score(
+            q.codes(),
+            s.codes(),
+            3,
+            3,
+            &m,
+            GapPenalties::new(3, 1),
+            10,
+            &mut cells,
+        );
+        // 16 matches * 5 - gap(2) = 80 - (3 + 2) = 75.
+        assert_eq!(score, 75);
+    }
+
+    #[test]
+    fn blastp_finds_planted_homologs() {
+        let mut g = SeqGen::new(Alphabet::Protein, 8);
+        let query = g.uniform(150);
+        let db = g.database(&query, 40, 4, 100..200);
+        let (hits, stats) = blastp(&query, &db, &blosum(), &BlastParams::default());
+        assert!(hits.len() >= 3, "found only {} hits", hits.len());
+        assert!(stats.word_hits > stats.ungapped_extensions);
+        assert!(stats.ungapped_extensions >= stats.gapped_extensions);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn blastp_self_search_scores_near_self_similarity() {
+        let mut g = SeqGen::new(Alphabet::Protein, 21);
+        let query = g.uniform(100);
+        let m = blosum();
+        let (hits, _) = blastp(&query, std::slice::from_ref(&query), &m, &BlastParams::default());
+        assert_eq!(hits.len(), 1);
+        let self_score: i32 = query.codes().iter().map(|&c| m.score(c, c)).sum();
+        // Banded extension may clip slightly, but must be close.
+        assert!(hits[0].score >= self_score * 9 / 10, "{} vs {self_score}", hits[0].score);
+    }
+
+    #[test]
+    fn blastp_mostly_ignores_random_database() {
+        let mut g = SeqGen::new(Alphabet::Protein, 5);
+        let query = g.uniform(120);
+        // Unrelated database (no planted homologs).
+        let other = g.uniform(120);
+        let db = g.database(&other, 30, 0, 80..160);
+        let (hits, _) = blastp(&query, &db, &blosum(), &BlastParams::default());
+        assert!(hits.len() <= 3, "too many random hits: {}", hits.len());
+    }
+
+    #[test]
+    fn blastp_short_subject_is_skipped() {
+        let query = Sequence::from_text("q", Alphabet::Protein, "MKVWHEAGMKVW").unwrap();
+        let tiny = Sequence::from_text("t", Alphabet::Protein, "MK").unwrap();
+        let (hits, stats) = blastp(&query, &[tiny], &blosum(), &BlastParams::default());
+        assert!(hits.is_empty());
+        assert_eq!(stats.word_hits, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Profile-HMM alignment — the Hmmer (`hmmpfam`) model.
+//!
+//! `hmmpfam` aligns one query sequence against a database of Plan7 profile
+//! HMMs; each alignment runs the integer Viterbi kernel `P7Viterbi`, which
+//! the paper's Figure 1 shows consuming the majority of Hmmer's runtime.
+//! [`viterbi_score`] reproduces HMMER2's fixed-point recurrence exactly —
+//! the simulated kernel must produce bit-identical scores.
+
+use bioseq::hmm::{ProfileHmm, Transition, NEG_INF_SCORE};
+use bioseq::Sequence;
+
+/// Clamp additions of near-minus-infinity scores so chains of impossible
+/// states cannot underflow `i32` over long sequences.
+#[inline]
+fn sat(a: i32, b: i32) -> i32 {
+    let s = a.saturating_add(b);
+    s.max(NEG_INF_SCORE * 10)
+}
+
+/// Integer Viterbi score of `seq` against `hmm` (HMMER2 `P7Viterbi`
+/// semantics, local with respect to both model and sequence).
+///
+/// The score is in HMMER's scaled integer log-odds units
+/// ([`bioseq::hmm::INTSCALE`] = 1000 per bit).
+///
+/// # Example
+///
+/// ```
+/// use bioseq::hmm::ProfileHmm;
+/// use bioalign::hmmsearch::viterbi_score;
+///
+/// let hmm = ProfileHmm::random(30, 7);
+/// let consensus = hmm.consensus();
+/// let score = viterbi_score(&hmm, &consensus);
+/// assert!(score > 0); // consensus matches its own model strongly
+/// ```
+pub fn viterbi_score(hmm: &ProfileHmm, seq: &Sequence) -> i32 {
+    let m = hmm.len();
+    let n = seq.len();
+    if n == 0 || m == 0 {
+        return NEG_INF_SCORE;
+    }
+    let x = seq.codes();
+    // DP rows for match/insert/delete, 1-based over nodes.
+    let mut mmx = vec![NEG_INF_SCORE; m + 1];
+    let mut imx = vec![NEG_INF_SCORE; m + 1];
+    let mut dmx = vec![NEG_INF_SCORE; m + 1];
+    let mut best = NEG_INF_SCORE;
+
+    for i in 0..n {
+        let xi = x[i];
+        let mut mmx_new = vec![NEG_INF_SCORE; m + 1];
+        let mut imx_new = vec![NEG_INF_SCORE; m + 1];
+        let mut dmx_new = vec![NEG_INF_SCORE; m + 1];
+        for k in 1..=m {
+            // Match state: enter from B (local begin), or continue from
+            // M/I/D at node k-1 of the previous row.
+            let mut sc = hmm.begin_score(k); // B -> M_k consumes x_i
+            if k > 1 {
+                sc = sc
+                    .max(sat(mmx[k - 1], hmm.transition(Transition::MM, k - 1)))
+                    .max(sat(imx[k - 1], hmm.transition(Transition::IM, k - 1)))
+                    .max(sat(dmx[k - 1], hmm.transition(Transition::DM, k - 1)));
+            }
+            mmx_new[k] = sat(sc, hmm.match_score(k, xi));
+
+            // Insert state (no insert at the last node in Plan7).
+            if k < m {
+                let ins = sat(mmx[k], hmm.transition(Transition::MI, k))
+                    .max(sat(imx[k], hmm.transition(Transition::II, k)));
+                imx_new[k] = sat(ins, hmm.insert_score(k, xi));
+            }
+
+            // Delete state: within the same row (no emission).
+            if k > 1 {
+                dmx_new[k] = sat(mmx_new[k - 1], hmm.transition(Transition::MD, k - 1))
+                    .max(sat(dmx_new[k - 1], hmm.transition(Transition::DD, k - 1)));
+            }
+
+            // Local exit: M_k -> E.
+            let exit = sat(mmx_new[k], hmm.end_score(k));
+            if exit > best {
+                best = exit;
+            }
+        }
+        mmx = mmx_new;
+        imx = imx_new;
+        dmx = dmx_new;
+    }
+    best
+}
+
+/// Forward log-probability (natural floating point, in bits) of `seq` under
+/// `hmm` — the reference for the paper's mention that `hmmpfam` may use the
+/// forward algorithm instead of Viterbi.
+///
+/// Computed over the same integer log-odds parameters, converted to bits,
+/// with log-sum-exp accumulation.
+pub fn forward_score_bits(hmm: &ProfileHmm, seq: &Sequence) -> f64 {
+    let m = hmm.len();
+    let n = seq.len();
+    if n == 0 || m == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let x = seq.codes();
+    let to_bits = |s: i32| {
+        if s <= NEG_INF_SCORE {
+            f64::NEG_INFINITY
+        } else {
+            s as f64 / bioseq::hmm::INTSCALE
+        }
+    };
+    // log2-sum-exp2
+    fn lse(a: f64, b: f64) -> f64 {
+        if a == f64::NEG_INFINITY {
+            return b;
+        }
+        if b == f64::NEG_INFINITY {
+            return a;
+        }
+        let hi = a.max(b);
+        let lo = a.min(b);
+        hi + (1.0 + (lo - hi).exp2()).log2()
+    }
+    let mut mmx = vec![f64::NEG_INFINITY; m + 1];
+    let mut imx = vec![f64::NEG_INFINITY; m + 1];
+    let mut dmx = vec![f64::NEG_INFINITY; m + 1];
+    let mut total = f64::NEG_INFINITY;
+    for i in 0..n {
+        let xi = x[i];
+        let mut mmx_new = vec![f64::NEG_INFINITY; m + 1];
+        let mut imx_new = vec![f64::NEG_INFINITY; m + 1];
+        let mut dmx_new = vec![f64::NEG_INFINITY; m + 1];
+        for k in 1..=m {
+            let mut sc = to_bits(hmm.begin_score(k));
+            if k > 1 {
+                sc = lse(sc, mmx[k - 1] + to_bits(hmm.transition(Transition::MM, k - 1)));
+                sc = lse(sc, imx[k - 1] + to_bits(hmm.transition(Transition::IM, k - 1)));
+                sc = lse(sc, dmx[k - 1] + to_bits(hmm.transition(Transition::DM, k - 1)));
+            }
+            mmx_new[k] = sc + to_bits(hmm.match_score(k, xi));
+            if k < m {
+                let ins = lse(
+                    mmx[k] + to_bits(hmm.transition(Transition::MI, k)),
+                    imx[k] + to_bits(hmm.transition(Transition::II, k)),
+                );
+                imx_new[k] = ins + to_bits(hmm.insert_score(k, xi));
+            }
+            if k > 1 {
+                dmx_new[k] = lse(
+                    mmx_new[k - 1] + to_bits(hmm.transition(Transition::MD, k - 1)),
+                    dmx_new[k - 1] + to_bits(hmm.transition(Transition::DD, k - 1)),
+                );
+            }
+            total = lse(total, mmx_new[k] + to_bits(hmm.end_score(k)));
+        }
+        mmx = mmx_new;
+        imx = imx_new;
+        dmx = dmx_new;
+    }
+    total
+}
+
+/// One scored model from a database scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HmmHit {
+    /// Index of the model in the database slice.
+    pub hmm_index: usize,
+    /// Integer Viterbi score.
+    pub score: i32,
+}
+
+/// Scan a database of models with one query sequence (the `hmmpfam` shape:
+/// one sequence, many models), reporting models scoring at least
+/// `min_score`, best first.
+pub fn hmmpfam(models: &[ProfileHmm], query: &Sequence, min_score: i32) -> Vec<HmmHit> {
+    let mut hits: Vec<HmmHit> = models
+        .iter()
+        .enumerate()
+        .map(|(hmm_index, hmm)| HmmHit {
+            hmm_index,
+            score: viterbi_score(hmm, query),
+        })
+        .filter(|h| h.score >= min_score)
+        .collect();
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.hmm_index.cmp(&b.hmm_index)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::{generate::SeqGen, hmm::ProfileHmm, Alphabet};
+
+    #[test]
+    fn consensus_scores_higher_than_random() {
+        let hmm = ProfileHmm::random(40, 1);
+        let consensus = hmm.consensus();
+        let mut g = SeqGen::new(Alphabet::Protein, 2);
+        let random = g.uniform(40);
+        assert!(viterbi_score(&hmm, &consensus) > viterbi_score(&hmm, &random));
+    }
+
+    #[test]
+    fn consensus_score_is_positive_random_is_negative() {
+        let hmm = ProfileHmm::random(60, 3);
+        assert!(viterbi_score(&hmm, &hmm.consensus()) > 0);
+        let mut g = SeqGen::new(Alphabet::Protein, 4);
+        // A random sequence should not look like the model.
+        let random = g.uniform(60);
+        assert!(viterbi_score(&hmm, &random) < viterbi_score(&hmm, &hmm.consensus()) / 2);
+    }
+
+    #[test]
+    fn empty_sequence_scores_neg_inf() {
+        let hmm = ProfileHmm::random(10, 5);
+        let empty = Sequence::from_codes("e", Alphabet::Protein, vec![]);
+        assert_eq!(viterbi_score(&hmm, &empty), bioseq::hmm::NEG_INF_SCORE);
+    }
+
+    #[test]
+    fn longer_consensus_match_scores_higher() {
+        // A model twice as long accumulates roughly twice the log-odds.
+        let short = ProfileHmm::random(20, 7);
+        let long = ProfileHmm::random(40, 7);
+        let s_short = viterbi_score(&short, &short.consensus());
+        let s_long = viterbi_score(&long, &long.consensus());
+        assert!(s_long > s_short);
+    }
+
+    #[test]
+    fn mutated_consensus_degrades_gracefully() {
+        let hmm = ProfileHmm::random(50, 9);
+        let consensus = hmm.consensus();
+        let mut g = SeqGen::new(Alphabet::Protein, 10);
+        let light = g.mutate(&consensus, 0.1);
+        let heavy = g.mutate(&consensus, 0.5);
+        let s0 = viterbi_score(&hmm, &consensus);
+        let s1 = viterbi_score(&hmm, &light);
+        let s2 = viterbi_score(&hmm, &heavy);
+        assert!(s0 > s1, "{s0} vs {s1}");
+        assert!(s1 > s2, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn insertion_tolerated_by_insert_states() {
+        let hmm = ProfileHmm::random(30, 11);
+        let consensus = hmm.consensus();
+        let mut g = SeqGen::new(Alphabet::Protein, 12);
+        let with_ins = g.indel(&consensus, 0.1);
+        // Score degrades but stays well above random.
+        let random = g.uniform(with_ins.len());
+        assert!(viterbi_score(&hmm, &with_ins) > viterbi_score(&hmm, &random));
+    }
+
+    #[test]
+    fn forward_upper_bounds_viterbi() {
+        // Forward sums over all paths, so (in the same units) it is at
+        // least the best single path.
+        let hmm = ProfileHmm::random(25, 13);
+        let consensus = hmm.consensus();
+        let v_bits = viterbi_score(&hmm, &consensus) as f64 / bioseq::hmm::INTSCALE;
+        let f_bits = forward_score_bits(&hmm, &consensus);
+        assert!(f_bits >= v_bits - 1e-6, "forward {f_bits} < viterbi {v_bits}");
+        assert!(f_bits < v_bits + 50.0, "forward implausibly larger");
+    }
+
+    #[test]
+    fn hmmpfam_ranks_matching_model_first() {
+        let models: Vec<ProfileHmm> = (0..8).map(|i| ProfileHmm::random(35, 100 + i)).collect();
+        let query = models[5].consensus();
+        let hits = hmmpfam(&models, &query, i32::MIN);
+        assert_eq!(hits[0].hmm_index, 5);
+        assert_eq!(hits.len(), 8);
+    }
+
+    #[test]
+    fn hmmpfam_threshold_filters() {
+        let models: Vec<ProfileHmm> = (0..5).map(|i| ProfileHmm::random(35, 200 + i)).collect();
+        let query = models[2].consensus();
+        let hits = hmmpfam(&models, &query, 0);
+        // Only the true model should score positively.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].hmm_index, 2);
+    }
+
+    #[test]
+    fn viterbi_deterministic() {
+        let hmm = ProfileHmm::random(20, 77);
+        let mut g = SeqGen::new(Alphabet::Protein, 78);
+        let s = g.uniform(30);
+        assert_eq!(viterbi_score(&hmm, &s), viterbi_score(&hmm, &s));
+    }
+}

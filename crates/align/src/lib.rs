@@ -1,0 +1,49 @@
+//! Reference implementations of the BioPerf sequence-analysis algorithms.
+//!
+//! The paper studies four applications; this crate implements the algorithm
+//! core of each in safe, well-tested Rust:
+//!
+//! | Application | Paper kernel | Module |
+//! |---|---|---|
+//! | Fasta (`ssearch34_t`) | `dropgsw` — Smith-Waterman local alignment | [`pairwise`], [`ssearch`] |
+//! | Clustalw | `forward_pass` — global DP + progressive alignment | [`pairwise`], [`msa`] |
+//! | Blast (`blastp`) | `SEMI_G_ALIGN_EX` — seeded gapped extension | [`blast`] |
+//! | Hmmer (`hmmpfam`) | `P7Viterbi` — integer profile-HMM Viterbi | [`hmmsearch`] |
+//!
+//! These are the *golden models*: the same computations are later compiled
+//! to the PowerPC-subset ISA and executed on the POWER5 timing model, and
+//! integration tests require bit-identical scores between the two. All
+//! arithmetic is therefore plain `i32`, matching what the simulated kernels
+//! do.
+//!
+//! # Example
+//!
+//! ```
+//! use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
+//! use bioalign::pairwise::smith_waterman_score;
+//!
+//! let a = Sequence::from_text("a", Alphabet::Protein, "HEAGAWGHEE")?;
+//! let b = Sequence::from_text("b", Alphabet::Protein, "PAWHEAE")?;
+//! let score = smith_waterman_score(
+//!     a.codes(), b.codes(),
+//!     &SubstitutionMatrix::blosum62(),
+//!     GapPenalties::new(10, 2),
+//! );
+//! assert!(score > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blast;
+pub mod hmmsearch;
+pub mod msa;
+pub mod nj;
+pub mod pairwise;
+pub mod parsimony;
+pub mod render;
+pub mod ssearch;
+pub mod stats;
+
+pub use pairwise::{needleman_wunsch_score, smith_waterman_score};

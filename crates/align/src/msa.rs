@@ -1,0 +1,577 @@
+//! Progressive multiple sequence alignment — the Clustalw model.
+//!
+//! Clustalw's three phases, as described in the paper's Section II:
+//!
+//! 1. **Pairwise**: all `n(n-1)/2` pairs are aligned with the DP kernel
+//!    (`forward_pass`) to obtain a distance matrix;
+//! 2. **Guide tree**: cluster analysis over the distances (we implement
+//!    UPGMA);
+//! 3. **Progressive**: sequences/profiles are merged following the tree,
+//!    one alignment at a time.
+//!
+//! Phase 1 dominates runtime, which is why the paper's counters are
+//! collected there.
+
+use crate::pairwise::{needleman_wunsch, AlignOp};
+use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
+
+/// Gap cell marker inside an alignment row.
+pub const GAP: u8 = u8::MAX;
+
+/// A multiple sequence alignment: rows of equal length where each cell is a
+/// residue code or [`GAP`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msa {
+    names: Vec<String>,
+    rows: Vec<Vec<u8>>,
+    alphabet: Alphabet,
+}
+
+impl Msa {
+    /// Number of sequences.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Alignment length in columns.
+    pub fn num_columns(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Row `i` as residue codes with [`GAP`] markers.
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.rows[i]
+    }
+
+    /// Name of row `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Render the alignment as FASTA-style text with `-` for gaps.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, row) in self.names.iter().zip(&self.rows) {
+            out.push('>');
+            out.push_str(name);
+            out.push('\n');
+            for &c in row {
+                out.push(if c == GAP {
+                    '-'
+                } else {
+                    self.alphabet.decode(c) as char
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Remove gap columns from row `i`, recovering the input sequence.
+    pub fn ungapped_row(&self, i: usize) -> Sequence {
+        let codes: Vec<u8> = self.rows[i].iter().copied().filter(|&c| c != GAP).collect();
+        Sequence::from_codes(self.names[i].clone(), self.alphabet, codes)
+    }
+
+    /// Average pairwise identity over all rows (gap columns excluded).
+    pub fn average_identity(&self) -> f64 {
+        let n = self.num_rows();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (mut same, mut cols) = (0usize, 0usize);
+                for (&a, &b) in self.rows[i].iter().zip(&self.rows[j]) {
+                    if a != GAP && b != GAP {
+                        cols += 1;
+                        if a == b {
+                            same += 1;
+                        }
+                    }
+                }
+                if cols > 0 {
+                    total += same as f64 / cols as f64;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        }
+    }
+}
+
+/// A node of the UPGMA guide tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuideTree {
+    /// A single input sequence, by index.
+    Leaf(usize),
+    /// A merge of two subtrees at the given distance.
+    Node {
+        /// Left subtree.
+        left: Box<GuideTree>,
+        /// Right subtree.
+        right: Box<GuideTree>,
+        /// UPGMA merge height (average pairwise distance).
+        height: f64,
+    },
+}
+
+impl GuideTree {
+    /// Indices of all leaves under this node, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            GuideTree::Leaf(i) => vec![*i],
+            GuideTree::Node { left, right, .. } => {
+                let mut l = left.leaves();
+                l.extend(right.leaves());
+                l
+            }
+        }
+    }
+}
+
+/// Pairwise distance matrix (symmetric, zero diagonal) from phase 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Build a matrix from a row-major flat vector (`n × n` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != n * n`.
+    pub fn from_flat(n: usize, flat: Vec<f64>) -> Self {
+        assert_eq!(flat.len(), n * n, "flat distance matrix has wrong arity");
+        DistanceMatrix { n, d: flat }
+    }
+
+    /// Distance between sequences `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Phase 1: compute all-pairs distances as `1 − identity` of the global
+/// alignment of each pair. Performs exactly `n(n-1)/2` DP alignments.
+pub fn pairwise_distances(
+    seqs: &[Sequence],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> DistanceMatrix {
+    let n = seqs.len();
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let aln = needleman_wunsch(seqs[i].codes(), seqs[j].codes(), matrix, gaps);
+            let dist = 1.0 - aln.identity(seqs[i].codes(), seqs[j].codes());
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    DistanceMatrix { n, d }
+}
+
+/// Phase 2: UPGMA clustering of the distance matrix into a guide tree.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
+    assert!(!dist.is_empty(), "cannot build a guide tree from zero sequences");
+    let n = dist.len();
+    // Active clusters: (tree, member leaf indices).
+    let mut clusters: Vec<Option<(GuideTree, Vec<usize>)>> =
+        (0..n).map(|i| Some((GuideTree::Leaf(i), vec![i]))).collect();
+    let mut remaining = n;
+    while remaining > 1 {
+        // Find the closest pair of active clusters by average linkage.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            let Some((_, mi)) = &clusters[i] else { continue };
+            for j in (i + 1)..clusters.len() {
+                let Some((_, mj)) = &clusters[j] else { continue };
+                let mut sum = 0.0;
+                for &a in mi {
+                    for &b in mj {
+                        sum += dist.get(a, b);
+                    }
+                }
+                let avg = sum / (mi.len() * mj.len()) as f64;
+                if best.map_or(true, |(_, _, d)| avg < d) {
+                    best = Some((i, j, avg));
+                }
+            }
+        }
+        let (i, j, height) = best.expect("at least two active clusters");
+        let (tl, ml) = clusters[i].take().expect("cluster i active");
+        let (tr, mr) = clusters[j].take().expect("cluster j active");
+        let mut members = ml;
+        members.extend(mr);
+        clusters[i] = Some((
+            GuideTree::Node {
+                left: Box::new(tl),
+                right: Box::new(tr),
+                height,
+            },
+            members,
+        ));
+        remaining -= 1;
+    }
+    clusters
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("one cluster remains")
+        .0
+}
+
+/// Column-frequency profile used during progressive alignment.
+struct Profile {
+    names: Vec<String>,
+    rows: Vec<Vec<u8>>,
+}
+
+impl Profile {
+    fn from_sequence(s: &Sequence) -> Self {
+        Profile {
+            names: vec![s.name().to_string()],
+            rows: vec![s.codes().to_vec()],
+        }
+    }
+
+    fn columns(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Average substitution score between column `ca` of `self` and column
+    /// `cb` of `other` (gap cells contribute nothing, as in Clustalw's
+    /// profile scoring).
+    fn column_score(&self, other: &Profile, ca: usize, cb: usize, m: &SubstitutionMatrix) -> i32 {
+        let mut sum = 0i64;
+        let mut pairs = 0i64;
+        for ra in &self.rows {
+            let a = ra[ca];
+            if a == GAP {
+                continue;
+            }
+            for rb in &other.rows {
+                let b = rb[cb];
+                if b == GAP {
+                    continue;
+                }
+                sum += m.score(a, b) as i64;
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            0
+        } else {
+            (sum / pairs) as i32
+        }
+    }
+
+    /// Merge two profiles with the op sequence of a global profile-profile
+    /// alignment.
+    fn merge(self, other: Profile, ops: &[AlignOp]) -> Profile {
+        let mut rows: Vec<Vec<u8>> = vec![Vec::new(); self.rows.len() + other.rows.len()];
+        let split = self.rows.len();
+        let (mut ca, mut cb) = (0usize, 0usize);
+        for op in ops {
+            match op {
+                AlignOp::Subst => {
+                    for (k, r) in self.rows.iter().enumerate() {
+                        rows[k].push(r[ca]);
+                    }
+                    for (k, r) in other.rows.iter().enumerate() {
+                        rows[split + k].push(r[cb]);
+                    }
+                    ca += 1;
+                    cb += 1;
+                }
+                AlignOp::InsertA => {
+                    for row in rows.iter_mut().take(split) {
+                        row.push(GAP);
+                    }
+                    for (k, r) in other.rows.iter().enumerate() {
+                        rows[split + k].push(r[cb]);
+                    }
+                    cb += 1;
+                }
+                AlignOp::InsertB => {
+                    for (k, r) in self.rows.iter().enumerate() {
+                        rows[k].push(r[ca]);
+                    }
+                    for row in rows.iter_mut().skip(split) {
+                        row.push(GAP);
+                    }
+                    ca += 1;
+                }
+            }
+        }
+        let mut names = self.names;
+        names.extend(other.names);
+        Profile { names, rows }
+    }
+}
+
+/// Global profile-profile alignment (NW over column scores).
+fn align_profiles(a: &Profile, b: &Profile, m: &SubstitutionMatrix, gaps: GapPenalties) -> Vec<AlignOp> {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let (n, cols_b) = (a.columns(), b.columns());
+    let width = cols_b + 1;
+    let neg = crate::pairwise::NEG_INF;
+    let mut v = vec![neg; (n + 1) * width];
+    let mut e = vec![neg; (n + 1) * width];
+    let mut f = vec![neg; (n + 1) * width];
+    v[0] = 0;
+    for j in 1..=cols_b {
+        v[j] = -wg - j as i32 * ws;
+        f[j] = v[j];
+    }
+    for i in 1..=n {
+        v[i * width] = -wg - i as i32 * ws;
+        e[i * width] = v[i * width];
+        for j in 1..=cols_b {
+            let idx = i * width + j;
+            let g = v[idx - width - 1] + a.column_score(b, i - 1, j - 1, m);
+            let e_cur = e[idx - 1].max(v[idx - 1] - wg) - ws;
+            let f_cur = f[idx - width].max(v[idx - width] - wg) - ws;
+            v[idx] = g.max(e_cur).max(f_cur);
+            e[idx] = e_cur;
+            f[idx] = f_cur;
+        }
+    }
+    let mut ops_rev = Vec::new();
+    let (mut i, mut j) = (n, cols_b);
+    while i > 0 || j > 0 {
+        let idx = i * width + j;
+        if i > 0
+            && j > 0
+            && v[idx] == v[idx - width - 1] + a.column_score(b, i - 1, j - 1, m)
+        {
+            ops_rev.push(AlignOp::Subst);
+            i -= 1;
+            j -= 1;
+        } else if j > 0 && (i == 0 || v[idx] == e[idx]) {
+            ops_rev.push(AlignOp::InsertA);
+            j -= 1;
+        } else {
+            ops_rev.push(AlignOp::InsertB);
+            i -= 1;
+        }
+    }
+    ops_rev.reverse();
+    ops_rev
+}
+
+fn build_profile(
+    tree: &GuideTree,
+    seqs: &[Sequence],
+    m: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> Profile {
+    match tree {
+        GuideTree::Leaf(i) => Profile::from_sequence(&seqs[*i]),
+        GuideTree::Node { left, right, .. } => {
+            let pl = build_profile(left, seqs, m, gaps);
+            let pr = build_profile(right, seqs, m, gaps);
+            let ops = align_profiles(&pl, &pr, m, gaps);
+            pl.merge(pr, &ops)
+        }
+    }
+}
+
+/// Run the full three-phase Clustalw pipeline and return the alignment.
+///
+/// # Panics
+///
+/// Panics if `seqs` is empty or alphabets are mixed.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{generate::SeqGen, Alphabet, GapPenalties, SubstitutionMatrix};
+/// use bioalign::msa::progressive_align;
+///
+/// let mut g = SeqGen::new(Alphabet::Protein, 3);
+/// let fam = g.family(4, 60, 0.15, 0.05);
+/// let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+/// assert_eq!(msa.num_rows(), 4);
+/// assert!(msa.average_identity() > 0.5);
+/// ```
+pub fn progressive_align(
+    seqs: &[Sequence],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> Msa {
+    assert!(!seqs.is_empty(), "cannot align zero sequences");
+    let alphabet = seqs[0].alphabet();
+    assert!(
+        seqs.iter().all(|s| s.alphabet() == alphabet),
+        "all sequences must share one alphabet"
+    );
+    if seqs.len() == 1 {
+        return Msa {
+            names: vec![seqs[0].name().to_string()],
+            rows: vec![seqs[0].codes().to_vec()],
+            alphabet,
+        };
+    }
+    let dist = pairwise_distances(seqs, matrix, gaps);
+    let tree = upgma(&dist);
+    let profile = build_profile(&tree, seqs, matrix, gaps);
+    Msa {
+        names: profile.names,
+        rows: profile.rows,
+        alphabet,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::generate::SeqGen;
+
+    fn family(n: usize, len: usize, seed: u64) -> Vec<Sequence> {
+        let mut g = SeqGen::new(Alphabet::Protein, seed);
+        g.family(n, len, 0.15, 0.05)
+    }
+
+    #[test]
+    fn distances_are_symmetric_with_zero_diagonal() {
+        let fam = family(5, 40, 1);
+        let d = pairwise_distances(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        for i in 0..5 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+                assert!((0.0..=1.0).contains(&d.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn related_pairs_are_closer_than_unrelated() {
+        let mut g = SeqGen::new(Alphabet::Protein, 9);
+        let anc = g.uniform(80);
+        let close = g.mutate(&anc, 0.05);
+        let far = g.uniform(80);
+        let seqs = vec![anc, close, far];
+        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        assert!(d.get(0, 1) < d.get(0, 2));
+        assert!(d.get(0, 1) < d.get(1, 2));
+    }
+
+    #[test]
+    fn upgma_merges_closest_first() {
+        let mut g = SeqGen::new(Alphabet::Protein, 11);
+        let anc = g.uniform(60);
+        let twin = g.mutate(&anc, 0.02);
+        let cousin = g.mutate(&anc, 0.40);
+        let seqs = vec![anc, twin, cousin];
+        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let tree = upgma(&d);
+        // The deepest merge should pair sequences 0 and 1.
+        match tree {
+            GuideTree::Node { left, right, .. } => {
+                let inner = if matches!(*left, GuideTree::Node { .. }) { left } else { right };
+                let mut leaves = inner.leaves();
+                leaves.sort_unstable();
+                assert_eq!(leaves, vec![0, 1]);
+            }
+            GuideTree::Leaf(_) => panic!("tree of 3 must be a node"),
+        }
+    }
+
+    #[test]
+    fn guide_tree_covers_all_leaves() {
+        let fam = family(7, 30, 13);
+        let d = pairwise_distances(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let mut leaves = upgma(&d).leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn msa_rows_recover_inputs() {
+        let fam = family(5, 50, 17);
+        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        assert_eq!(msa.num_rows(), 5);
+        // Every input sequence appears (possibly reordered by the tree).
+        for s in &fam {
+            let found = (0..msa.num_rows()).any(|i| msa.ungapped_row(i).codes() == s.codes());
+            assert!(found, "sequence {} missing from MSA", s.name());
+        }
+    }
+
+    #[test]
+    fn msa_rows_have_equal_length() {
+        let fam = family(6, 45, 19);
+        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let cols = msa.num_columns();
+        for i in 0..msa.num_rows() {
+            assert_eq!(msa.row(i).len(), cols);
+        }
+        assert!(cols >= 45);
+    }
+
+    #[test]
+    fn msa_of_identical_sequences_has_no_gaps() {
+        let s = Sequence::from_text("s", Alphabet::Protein, "MKVWHEAGMKVW").unwrap();
+        let seqs = vec![s.renamed("a"), s.renamed("b"), s.renamed("c")];
+        let msa = progressive_align(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        assert_eq!(msa.num_columns(), 12);
+        assert_eq!(msa.average_identity(), 1.0);
+    }
+
+    #[test]
+    fn single_sequence_alignment_is_trivial() {
+        let s = Sequence::from_text("solo", Alphabet::Protein, "MKV").unwrap();
+        let msa = progressive_align(
+            std::slice::from_ref(&s),
+            &SubstitutionMatrix::blosum62(),
+            GapPenalties::new(10, 2),
+        );
+        assert_eq!(msa.num_rows(), 1);
+        assert_eq!(msa.ungapped_row(0).codes(), s.codes());
+    }
+
+    #[test]
+    fn to_text_renders_gaps() {
+        let fam = family(3, 20, 23);
+        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let text = msa.to_text();
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.starts_with('>'));
+    }
+
+    #[test]
+    fn family_alignment_identity_is_high() {
+        let fam = family(5, 80, 29);
+        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        assert!(
+            msa.average_identity() > 0.6,
+            "identity {}",
+            msa.average_identity()
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Neighbor joining — the other classic guide-tree construction.
+//!
+//! Clustalw 1.8x builds its guide tree with neighbor joining (Saitou & Nei
+//! 1987) rather than UPGMA; this module provides it as an alternative to
+//! [`crate::msa::upgma`], with the standard Q-matrix selection and
+//! branch-length estimates.
+
+use crate::msa::DistanceMatrix;
+
+/// A node of an unrooted NJ tree, rooted arbitrarily at the final join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NjTree {
+    /// An input sequence, by index.
+    Leaf(usize),
+    /// An internal join.
+    Node {
+        /// Left child and its branch length.
+        left: (Box<NjTree>, f64),
+        /// Right child and its branch length.
+        right: (Box<NjTree>, f64),
+    },
+}
+
+impl NjTree {
+    /// Indices of all leaves under this node, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            NjTree::Leaf(i) => vec![*i],
+            NjTree::Node { left, right } => {
+                let mut l = left.0.leaves();
+                l.extend(right.0.leaves());
+                l
+            }
+        }
+    }
+
+    /// Total branch length of the tree.
+    pub fn total_length(&self) -> f64 {
+        match self {
+            NjTree::Leaf(_) => 0.0,
+            NjTree::Node { left, right } => {
+                left.1.max(0.0) + right.1.max(0.0) + left.0.total_length() + right.0.total_length()
+            }
+        }
+    }
+
+    /// Render in Newick format (`(a:0.1,b:0.2);` style, leaf indices as
+    /// names).
+    pub fn to_newick(&self) -> String {
+        fn go(t: &NjTree, out: &mut String) {
+            match t {
+                NjTree::Leaf(i) => out.push_str(&i.to_string()),
+                NjTree::Node { left, right } => {
+                    out.push('(');
+                    go(&left.0, out);
+                    out.push_str(&format!(":{:.4},", left.1.max(0.0)));
+                    go(&right.0, out);
+                    out.push_str(&format!(":{:.4})", right.1.max(0.0)));
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, &mut s);
+        s.push(';');
+        s
+    }
+}
+
+/// Build a neighbor-joining tree from a distance matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn neighbor_joining(dist: &DistanceMatrix) -> NjTree {
+    let n = dist.len();
+    assert!(n > 0, "cannot build a tree from zero sequences");
+    if n == 1 {
+        return NjTree::Leaf(0);
+    }
+    // Working copies: active node list with trees and a mutable distance
+    // table indexed by slot.
+    let mut nodes: Vec<Option<NjTree>> = (0..n).map(|i| Some(NjTree::Leaf(i))).collect();
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dist.get(i, j)).collect())
+        .collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    while active.len() > 2 {
+        let r = active.len() as f64;
+        // Row sums over active entries.
+        let sums: Vec<f64> = active
+            .iter()
+            .map(|&i| active.iter().map(|&j| d[i][j]).sum())
+            .collect();
+        // Q(i,j) = (r-2) d(i,j) − sum_i − sum_j; pick the minimum.
+        let (mut bi, mut bj, mut bq) = (0usize, 1usize, f64::INFINITY);
+        for (ai, &i) in active.iter().enumerate() {
+            for (aj, &j) in active.iter().enumerate().skip(ai + 1) {
+                let q = (r - 2.0) * d[i][j] - sums[ai] - sums[aj];
+                if q < bq {
+                    bq = q;
+                    bi = ai;
+                    bj = aj;
+                }
+            }
+        }
+        let (i, j) = (active[bi], active[bj]);
+        // Branch lengths to the new node.
+        let li = 0.5 * d[i][j] + (sums[bi] - sums[bj]) / (2.0 * (r - 2.0));
+        let lj = d[i][j] - li;
+        let left = nodes[i].take().expect("active node");
+        let right = nodes[j].take().expect("active node");
+        let joined = NjTree::Node {
+            left: (Box::new(left), li),
+            right: (Box::new(right), lj),
+        };
+        // Distances from the new node (reuse slot i).
+        let dij = d[i][j];
+        for &k in &active {
+            if k != i && k != j {
+                let dk = 0.5 * (d[i][k] + d[j][k] - dij);
+                d[i][k] = dk;
+                d[k][i] = dk;
+            }
+        }
+        nodes[i] = Some(joined);
+        active.remove(bj);
+    }
+    // Join the last two.
+    let (i, j) = (active[0], active[1]);
+    let dij = d[i][j];
+    let left = nodes[i].take().expect("active");
+    let right = nodes[j].take().expect("active");
+    NjTree::Node {
+        left: (Box::new(left), 0.5 * dij),
+        right: (Box::new(right), 0.5 * dij),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msa::pairwise_distances;
+    use bioseq::generate::SeqGen;
+    use bioseq::{Alphabet, GapPenalties, SubstitutionMatrix};
+
+    /// The classic 4-taxon additive example: NJ must recover exact branch
+    /// lengths for an additive matrix.
+    fn additive_matrix() -> DistanceMatrix {
+        // Tree: (A:2,B:3)-1-(C:4,D:5), i.e. dAB=5, dAC=7, dAD=8, dBC=8,
+        // dBD=9, dCD=9.
+        DistanceMatrix::from_flat(
+            4,
+            vec![
+                0.0, 5.0, 7.0, 8.0, //
+                5.0, 0.0, 8.0, 9.0, //
+                7.0, 8.0, 0.0, 9.0, //
+                8.0, 9.0, 9.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn recovers_additive_topology() {
+        let tree = neighbor_joining(&additive_matrix());
+        // A and B must be siblings somewhere in the tree.
+        fn siblings(t: &NjTree) -> Vec<(Vec<usize>, Vec<usize>)> {
+            match t {
+                NjTree::Leaf(_) => vec![],
+                NjTree::Node { left, right } => {
+                    let mut v = vec![(left.0.leaves(), right.0.leaves())];
+                    v.extend(siblings(&left.0));
+                    v.extend(siblings(&right.0));
+                    v
+                }
+            }
+        }
+        let pairs = siblings(&tree);
+        let ab_joined = pairs.iter().any(|(l, r)| {
+            (l == &vec![0] && r == &vec![1]) || (l == &vec![1] && r == &vec![0])
+        });
+        assert!(ab_joined, "A,B not siblings: {}", tree.to_newick());
+        // Additive matrix ⇒ total branch length = 2+3+1+4+5 = 15.
+        assert!(
+            (tree.total_length() - 15.0).abs() < 1e-9,
+            "total length {}",
+            tree.total_length()
+        );
+    }
+
+    #[test]
+    fn covers_all_leaves() {
+        let mut g = SeqGen::new(Alphabet::Protein, 3);
+        let fam = g.family(7, 50, 0.3, 0.0);
+        let d = pairwise_distances(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let tree = neighbor_joining(&d);
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_relatives_join_first() {
+        let mut g = SeqGen::new(Alphabet::Protein, 11);
+        let anc = g.uniform(80);
+        let twin = g.mutate(&anc, 0.02);
+        let far1 = g.uniform(80);
+        let far2 = g.uniform(80);
+        let seqs = vec![anc, twin, far1, far2];
+        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let tree = neighbor_joining(&d);
+        let newick = tree.to_newick();
+        // 0 and 1 must appear as a cherry.
+        assert!(
+            newick.contains("(0:") && newick.contains(",1:")
+                || newick.contains("(1:") && newick.contains(",0:"),
+            "{newick}"
+        );
+    }
+
+    #[test]
+    fn single_and_pair_edge_cases() {
+        let d1 = DistanceMatrix::from_flat(1, vec![0.0]);
+        assert_eq!(neighbor_joining(&d1), NjTree::Leaf(0));
+        let d2 = DistanceMatrix::from_flat(2, vec![0.0, 4.0, 4.0, 0.0]);
+        let t = neighbor_joining(&d2);
+        assert!((t.total_length() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newick_is_well_formed() {
+        let tree = neighbor_joining(&additive_matrix());
+        let s = tree.to_newick();
+        assert!(s.ends_with(';'));
+        assert_eq!(s.matches('(').count(), s.matches(')').count());
+        for i in 0..4 {
+            assert!(s.contains(&i.to_string()));
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Pairwise dynamic-programming alignment.
+//!
+//! This module contains the two kernels the paper's Figure 1 attributes most
+//! of the runtime to:
+//!
+//! * [`smith_waterman_score`] — affine-gap *local* alignment, the algorithm
+//!   of Fasta's `dropgsw` and the per-pair step of Clustalw;
+//! * [`needleman_wunsch_score`] — affine-gap *global* alignment,
+//!   corresponding to Clustalw's `forward_pass`.
+//!
+//! Both follow the exact recurrence of the paper's Algorithm III:
+//!
+//! ```text
+//! G(i,j) = V(i-1,j-1) + W_ij
+//! E(i,j) = max[E(i,j-1), V(i,j-1) - Wg] - Ws
+//! F(i,j) = max[F(i-1,j), V(i-1,j) - Wg] - Ws
+//! V(i,j) = max[E(i,j), F(i,j), G(i,j), 0]      (local; global omits the 0)
+//! ```
+//!
+//! The chains of `max` over *value-dependent* operands are what produce the
+//! unpredictable conditional branches the paper measures; the simulated
+//! kernels implement the same recurrence instruction-for-instruction.
+
+use bioseq::{GapPenalties, SubstitutionMatrix};
+
+/// A very negative score that acts as -∞ without risking `i32` underflow
+/// when gap penalties are subtracted from it repeatedly.
+pub const NEG_INF: i32 = i32::MIN / 4;
+
+/// One column of an alignment traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignOp {
+    /// Residue aligned to residue (match or mismatch).
+    Subst,
+    /// Gap in the first sequence (residue consumed from the second).
+    InsertA,
+    /// Gap in the second sequence (residue consumed from the first).
+    InsertB,
+}
+
+/// Result of a traceback-producing local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Optimal local score (`V` maximum).
+    pub score: i32,
+    /// Start of the aligned region in the first sequence (0-based, inclusive).
+    pub start_a: usize,
+    /// Start in the second sequence.
+    pub start_b: usize,
+    /// End in the first sequence (exclusive).
+    pub end_a: usize,
+    /// End in the second sequence (exclusive).
+    pub end_b: usize,
+    /// Alignment operations from start to end.
+    pub ops: Vec<AlignOp>,
+}
+
+/// Result of a traceback-producing global alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAlignment {
+    /// Optimal global score.
+    pub score: i32,
+    /// Alignment operations covering both sequences entirely.
+    pub ops: Vec<AlignOp>,
+}
+
+impl LocalAlignment {
+    /// Fraction of aligned (substitution) columns whose residues are equal.
+    pub fn identity(&self, a: &[u8], b: &[u8]) -> f64 {
+        identity_over_ops(&self.ops, &a[self.start_a..], &b[self.start_b..])
+    }
+}
+
+impl GlobalAlignment {
+    /// Fraction of aligned (substitution) columns whose residues are equal.
+    pub fn identity(&self, a: &[u8], b: &[u8]) -> f64 {
+        identity_over_ops(&self.ops, a, b)
+    }
+}
+
+fn identity_over_ops(ops: &[AlignOp], a: &[u8], b: &[u8]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut subst, mut same) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            AlignOp::Subst => {
+                subst += 1;
+                if a[i] == b[j] {
+                    same += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+            AlignOp::InsertA => j += 1,
+            AlignOp::InsertB => i += 1,
+        }
+    }
+    if subst == 0 {
+        0.0
+    } else {
+        same as f64 / subst as f64
+    }
+}
+
+/// Smith-Waterman local alignment *score* with affine gaps.
+///
+/// This is the score-only kernel (`dropgsw`'s fast path): O(n·m) time,
+/// O(m) space, integer arithmetic identical to the simulated kernel.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{GapPenalties, SubstitutionMatrix};
+/// use bioalign::pairwise::smith_waterman_score;
+///
+/// let m = SubstitutionMatrix::identity(bioseq::Alphabet::Dna, 2, -1);
+/// // ACGT inside a longer sequence aligns perfectly: 4 matches * 2.
+/// let s = smith_waterman_score(b"\x00\x01\x02\x03", b"\x03\x00\x01\x02\x03\x00", &m, GapPenalties::new(5, 1));
+/// assert_eq!(s, 8);
+/// ```
+pub fn smith_waterman_score(
+    a: &[u8],
+    b: &[u8],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let n = b.len();
+    // v[j] holds V(i-1, j); fv[j] holds F(i-1, j) — the vertical gap state
+    // flows down columns, the horizontal gap state (e) flows along the row.
+    let mut v = vec![0i32; n + 1];
+    let mut fv = vec![NEG_INF; n + 1];
+    let mut best = 0i32;
+    for &ra in a {
+        let mut diag = v[0]; // V(i-1, j-1)
+        let mut e = NEG_INF; // E(i, j-1); E(i,0) is -inf for local alignment
+        let mut v_left = 0i32; // V(i, j-1), column 0 of a local row is 0
+        for (j, &rb) in b.iter().enumerate() {
+            let jj = j + 1;
+            let g = diag + matrix.score(ra, rb);
+            e = e.max(v_left - wg) - ws;
+            let f = fv[jj].max(v[jj] - wg) - ws;
+            let mut val = g.max(e).max(f);
+            if val < 0 {
+                val = 0;
+            }
+            diag = v[jj];
+            v[jj] = val;
+            fv[jj] = f;
+            v_left = val;
+            if val > best {
+                best = val;
+            }
+        }
+    }
+    best
+}
+
+/// Needleman-Wunsch global alignment *score* with affine gaps, using the
+/// paper's boundary conditions `V(i,0) = E(i,0) = -Wg - i·Ws` and
+/// `V(0,j) = F(0,j) = -Wg - j·Ws`.
+pub fn needleman_wunsch_score(
+    a: &[u8],
+    b: &[u8],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let n = b.len();
+    let mut v = vec![0i32; n + 1];
+    let mut f = vec![NEG_INF; n + 1];
+    v[0] = 0;
+    for j in 1..=n {
+        v[j] = -wg - j as i32 * ws;
+        f[j] = v[j];
+    }
+    for (i, &ra) in a.iter().enumerate() {
+        let ii = i + 1;
+        let mut diag = v[0];
+        v[0] = -wg - ii as i32 * ws;
+        let mut e = v[0]; // E(i,0) = V(i,0)
+        let mut v_left = v[0];
+        for (j, &rb) in b.iter().enumerate() {
+            let jj = j + 1;
+            let g = diag + matrix.score(ra, rb);
+            let e_cur = e.max(v_left - wg) - ws;
+            let f_cur = f[jj].max(v[jj] - wg) - ws;
+            let val = g.max(e_cur).max(f_cur);
+            diag = v[jj];
+            v[jj] = val;
+            f[jj] = f_cur;
+            e = e_cur;
+            v_left = val;
+        }
+    }
+    v[n]
+}
+
+/// Smith-Waterman with full traceback (O(n·m) space).
+///
+/// Used by Clustalw's pairwise phase (identity computation) and by tests;
+/// the score always equals [`smith_waterman_score`].
+pub fn smith_waterman(
+    a: &[u8],
+    b: &[u8],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> LocalAlignment {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let (n, m) = (a.len(), b.len());
+    let width = m + 1;
+    let mut v = vec![0i32; (n + 1) * width];
+    let mut e = vec![NEG_INF; (n + 1) * width];
+    let mut f = vec![NEG_INF; (n + 1) * width];
+    let (mut best, mut bi, mut bj) = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let idx = i * width + j;
+            let g = v[idx - width - 1] + matrix.score(a[i - 1], b[j - 1]);
+            let e_cur = e[idx - 1].max(v[idx - 1] - wg) - ws;
+            let f_cur = f[idx - width].max(v[idx - width] - wg) - ws;
+            let val = g.max(e_cur).max(f_cur).max(0);
+            v[idx] = val;
+            e[idx] = e_cur;
+            f[idx] = f_cur;
+            if val > best {
+                best = val;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    // Traceback from (bi, bj) until a zero cell.
+    let mut ops_rev = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    while i > 0 && j > 0 {
+        let idx = i * width + j;
+        let val = v[idx];
+        if val == 0 {
+            break;
+        }
+        if val == v[idx - width - 1] + matrix.score(a[i - 1], b[j - 1]) {
+            ops_rev.push(AlignOp::Subst);
+            i -= 1;
+            j -= 1;
+        } else if val == e[idx] {
+            // Walk the horizontal gap back to its opening column.
+            while j > 0 && v[i * width + j] == e[i * width + j] {
+                let cur = i * width + j;
+                ops_rev.push(AlignOp::InsertA);
+                let from_open = v[cur - 1] - wg - ws;
+                j -= 1;
+                if e[cur] == from_open {
+                    break;
+                }
+            }
+        } else {
+            while i > 0 && v[i * width + j] == f[i * width + j] {
+                let cur = i * width + j;
+                ops_rev.push(AlignOp::InsertB);
+                let from_open = v[cur - width] - wg - ws;
+                i -= 1;
+                if f[cur] == from_open {
+                    break;
+                }
+            }
+        }
+    }
+    ops_rev.reverse();
+    LocalAlignment {
+        score: best,
+        start_a: i,
+        start_b: j,
+        end_a: bi,
+        end_b: bj,
+        ops: ops_rev,
+    }
+}
+
+/// Needleman-Wunsch with full traceback (O(n·m) space).
+pub fn needleman_wunsch(
+    a: &[u8],
+    b: &[u8],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> GlobalAlignment {
+    let (wg, ws) = (gaps.open, gaps.extend);
+    let (n, m) = (a.len(), b.len());
+    let width = m + 1;
+    let mut v = vec![NEG_INF; (n + 1) * width];
+    let mut e = vec![NEG_INF; (n + 1) * width];
+    let mut f = vec![NEG_INF; (n + 1) * width];
+    v[0] = 0;
+    for j in 1..=m {
+        v[j] = -wg - j as i32 * ws;
+        f[j] = v[j];
+    }
+    for i in 1..=n {
+        v[i * width] = -wg - i as i32 * ws;
+        e[i * width] = v[i * width];
+        for j in 1..=m {
+            let idx = i * width + j;
+            let g = v[idx - width - 1] + matrix.score(a[i - 1], b[j - 1]);
+            let e_cur = e[idx - 1].max(v[idx - 1] - wg) - ws;
+            let f_cur = f[idx - width].max(v[idx - width] - wg) - ws;
+            v[idx] = g.max(e_cur).max(f_cur);
+            e[idx] = e_cur;
+            f[idx] = f_cur;
+        }
+    }
+    // Traceback from (n, m) to (0, 0).
+    let mut ops_rev = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let idx = i * width + j;
+        if i > 0 && j > 0 && v[idx] == v[idx - width - 1] + matrix.score(a[i - 1], b[j - 1]) {
+            ops_rev.push(AlignOp::Subst);
+            i -= 1;
+            j -= 1;
+        } else if j > 0 && (i == 0 || v[idx] == e[idx]) {
+            ops_rev.push(AlignOp::InsertA);
+            j -= 1;
+        } else {
+            ops_rev.push(AlignOp::InsertB);
+            i -= 1;
+        }
+    }
+    ops_rev.reverse();
+    GlobalAlignment {
+        score: v[n * width + m],
+        ops: ops_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::{generate::SeqGen, Alphabet, Sequence};
+
+    fn blosum() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    fn prot(s: &str) -> Sequence {
+        Sequence::from_text("t", Alphabet::Protein, s).unwrap()
+    }
+
+    #[test]
+    fn sw_identical_sequences_score_self_similarity() {
+        let m = blosum();
+        let s = prot("MKVWLAHEAG");
+        let self_score: i32 = s.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(
+            smith_waterman_score(s.codes(), s.codes(), &m, GapPenalties::new(10, 2)),
+            self_score
+        );
+    }
+
+    #[test]
+    fn sw_empty_inputs_score_zero() {
+        let m = blosum();
+        let s = prot("MKV");
+        let gp = GapPenalties::default();
+        assert_eq!(smith_waterman_score(&[], s.codes(), &m, gp), 0);
+        assert_eq!(smith_waterman_score(s.codes(), &[], &m, gp), 0);
+        assert_eq!(smith_waterman_score(&[], &[], &m, gp), 0);
+    }
+
+    #[test]
+    fn sw_unrelated_never_negative() {
+        let m = blosum();
+        let gp = GapPenalties::default();
+        let a = prot("WWWW");
+        let b = prot("PPPP");
+        assert_eq!(smith_waterman_score(a.codes(), b.codes(), &m, gp), 0);
+    }
+
+    #[test]
+    fn sw_finds_embedded_motif() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let motif = prot("HEAGAWGHEE");
+        let a = prot("PPPPHEAGAWGHEEPPPP");
+        let motif_self: i32 = motif.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(
+            smith_waterman_score(a.codes(), motif.codes(), &m, gp),
+            motif_self
+        );
+    }
+
+    #[test]
+    fn sw_gap_is_taken_when_cheaper() {
+        // a = ACGTT ACGTT (codes), b = ACGTTACGTT minus middle: force a gap.
+        let m = SubstitutionMatrix::identity(Alphabet::Protein, 5, -4);
+        let gp = GapPenalties::new(2, 1);
+        let a = prot("MKVWHEAG");
+        let b = prot("MKVWXHEAG"); // one extra residue in the middle
+        let s = smith_waterman_score(a.codes(), b.codes(), &m, gp);
+        // 8 matches (40) minus one gap of length 1 (2+1) = 37.
+        assert_eq!(s, 37);
+    }
+
+    #[test]
+    fn sw_traceback_score_matches_score_only() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let mut g = SeqGen::new(Alphabet::Protein, 99);
+        for _ in 0..20 {
+            let a = g.uniform(60);
+            let b = g.homolog(&a, 0.3, 0.1);
+            let fast = smith_waterman_score(a.codes(), b.codes(), &m, gp);
+            let full = smith_waterman(a.codes(), b.codes(), &m, gp);
+            assert_eq!(fast, full.score);
+        }
+    }
+
+    #[test]
+    fn sw_traceback_ops_reconstruct_score() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let mut g = SeqGen::new(Alphabet::Protein, 7);
+        for _ in 0..10 {
+            let a = g.uniform(50);
+            let b = g.homolog(&a, 0.2, 0.05);
+            let aln = smith_waterman(a.codes(), b.codes(), &m, gp);
+            // Recompute the score by walking the ops.
+            let (mut i, mut j) = (aln.start_a, aln.start_b);
+            let mut score = 0i64;
+            let mut gap_open = false;
+            for op in &aln.ops {
+                match op {
+                    AlignOp::Subst => {
+                        score += m.score(a.codes()[i], b.codes()[j]) as i64;
+                        i += 1;
+                        j += 1;
+                        gap_open = false;
+                    }
+                    AlignOp::InsertA => {
+                        score -= if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
+                        j += 1;
+                        gap_open = true;
+                    }
+                    AlignOp::InsertB => {
+                        score -= if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
+                        i += 1;
+                        gap_open = true;
+                    }
+                }
+            }
+            assert_eq!(i, aln.end_a);
+            assert_eq!(j, aln.end_b);
+            // Walking ops may count a gap switch (A->B) as one open; only
+            // check it does not exceed the DP score and is close.
+            assert!(score <= aln.score as i64);
+            assert!(score >= aln.score as i64 - (gp.open as i64));
+        }
+    }
+
+    #[test]
+    fn nw_identical_sequences() {
+        let m = blosum();
+        let s = prot("MKVWLA");
+        let self_score: i32 = s.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(
+            needleman_wunsch_score(s.codes(), s.codes(), &m, GapPenalties::new(10, 2)),
+            self_score
+        );
+    }
+
+    #[test]
+    fn nw_pays_for_length_difference() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let a = prot("MKVW");
+        let b = prot("MKVWHE");
+        let self4: i32 = a.codes().iter().map(|&c| m.score(c, c)).sum();
+        assert_eq!(
+            needleman_wunsch_score(a.codes(), b.codes(), &m, gp),
+            self4 - gp.open - 2 * gp.extend
+        );
+    }
+
+    #[test]
+    fn nw_empty_vs_seq_is_one_gap() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let b = prot("MKVW");
+        assert_eq!(
+            needleman_wunsch_score(&[], b.codes(), &m, gp),
+            -gp.open - 4 * gp.extend
+        );
+        assert_eq!(needleman_wunsch_score(&[], &[], &m, gp), 0);
+    }
+
+    #[test]
+    fn nw_can_be_negative_sw_cannot() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let a = prot("WWWWWW");
+        let b = prot("PPPPPP");
+        assert!(needleman_wunsch_score(a.codes(), b.codes(), &m, gp) < 0);
+        assert_eq!(smith_waterman_score(a.codes(), b.codes(), &m, gp), 0);
+    }
+
+    #[test]
+    fn nw_traceback_matches_score_and_covers_both() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let mut g = SeqGen::new(Alphabet::Protein, 5);
+        for _ in 0..10 {
+            let a = g.uniform(40);
+            let b = g.homolog(&a, 0.25, 0.1);
+            let aln = needleman_wunsch(a.codes(), b.codes(), &m, gp);
+            assert_eq!(
+                aln.score,
+                needleman_wunsch_score(a.codes(), b.codes(), &m, gp)
+            );
+            let consumed_a = aln
+                .ops
+                .iter()
+                .filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertB))
+                .count();
+            let consumed_b = aln
+                .ops
+                .iter()
+                .filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertA))
+                .count();
+            assert_eq!(consumed_a, a.len());
+            assert_eq!(consumed_b, b.len());
+        }
+    }
+
+    #[test]
+    fn sw_is_at_least_nw() {
+        // Local alignment can only drop prefix/suffix costs, never lose.
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let mut g = SeqGen::new(Alphabet::Protein, 31);
+        for _ in 0..20 {
+            let a = g.uniform(30);
+            let b = g.uniform(30);
+            assert!(
+                smith_waterman_score(a.codes(), b.codes(), &m, gp)
+                    >= needleman_wunsch_score(a.codes(), b.codes(), &m, gp)
+            );
+        }
+    }
+
+    #[test]
+    fn identity_of_global_self_alignment_is_one() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let a = prot("MKVWHEAG");
+        let aln = needleman_wunsch(a.codes(), a.codes(), &m, gp);
+        assert_eq!(aln.identity(a.codes(), a.codes()), 1.0);
+    }
+
+    #[test]
+    fn sw_symmetric_in_arguments() {
+        let m = blosum();
+        let gp = GapPenalties::new(10, 2);
+        let mut g = SeqGen::new(Alphabet::Protein, 77);
+        for _ in 0..10 {
+            let a = g.uniform(35);
+            let b = g.uniform(45);
+            assert_eq!(
+                smith_waterman_score(a.codes(), b.codes(), &m, gp),
+                smith_waterman_score(b.codes(), a.codes(), &m, gp)
+            );
+        }
+    }
+}

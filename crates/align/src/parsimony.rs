@@ -1,0 +1,222 @@
+//! Sankoff small parsimony — the Phylip-style phylogenetics DP.
+//!
+//! The paper's conclusion names Phylip as a workload its results extend
+//! to: phylogeny reconstruction is dominated by the same kind of
+//! value-dependent dynamic programming, except with **min-plus**
+//! recurrences instead of max. Sankoff's algorithm computes, for one
+//! site, the minimal total substitution cost over all labelings of a
+//! fixed tree:
+//!
+//! ```text
+//! cost(leaf, s)  = 0 if the leaf shows state s, else ∞
+//! cost(node, s)  = Σ_child min_t ( cost(child, t) + w(s, t) )
+//! site score     = min_s cost(root, s)
+//! ```
+//!
+//! This module is the golden model for the simulated `sankoff` kernel in
+//! the `bioarch` extension workload; arithmetic is plain `i32` with the
+//! same BIG constant, so scores must match bit-for-bit.
+
+use crate::msa::GuideTree;
+use bioseq::{Alphabet, Sequence};
+
+/// The "infinite" cost marking impossible leaf states (small enough that
+/// summing over a tree of any realistic size cannot overflow `i32`).
+pub const BIG: i32 = 1_000_000;
+
+/// A substitution-cost matrix over the four nucleotides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostMatrix {
+    w: [i32; 16],
+}
+
+impl CostMatrix {
+    /// Unit costs (Fitch parsimony): 0 on the diagonal, 1 elsewhere.
+    pub fn unit() -> Self {
+        let mut w = [1; 16];
+        for i in 0..4 {
+            w[i * 4 + i] = 0;
+        }
+        CostMatrix { w }
+    }
+
+    /// Transition/transversion-weighted costs: transitions (A↔G, C↔T)
+    /// cost `ts`, transversions cost `tv`.
+    pub fn ts_tv(ts: i32, tv: i32) -> Self {
+        let mut w = [tv; 16];
+        for i in 0..4 {
+            w[i * 4 + i] = 0;
+        }
+        // DNA codes: A=0, C=1, G=2, T=3. Transitions: A<->G, C<->T.
+        w[2] = ts;
+        w[2 * 4] = ts;
+        w[4 * 1 + 3] = ts;
+        w[4 * 3 + 1] = ts;
+        CostMatrix { w }
+    }
+
+    /// Cost of substituting state `a` by state `b`.
+    pub fn cost(&self, a: usize, b: usize) -> i32 {
+        self.w[a * 4 + b]
+    }
+
+    /// Row-major table for serialization into simulated memory.
+    pub fn as_row_major(&self) -> &[i32; 16] {
+        &self.w
+    }
+}
+
+/// Per-site Sankoff cost vector of a subtree.
+fn site_costs(tree: &GuideTree, seqs: &[Sequence], site: usize, w: &CostMatrix) -> [i32; 4] {
+    match tree {
+        GuideTree::Leaf(i) => {
+            let r = seqs[*i].codes()[site] as usize;
+            let mut c = [BIG; 4];
+            if r < 4 {
+                c[r] = 0;
+            } else {
+                // Ambiguity (N): any state is free, as in Phylip.
+                c = [0; 4];
+            }
+            c
+        }
+        GuideTree::Node { left, right, .. } => {
+            let cl = site_costs(left, seqs, site, w);
+            let cr = site_costs(right, seqs, site, w);
+            let mut c = [0i32; 4];
+            for (s, out) in c.iter_mut().enumerate() {
+                let min_l = (0..4).map(|t| cl[t] + w.cost(s, t)).min().expect("4 states");
+                let min_r = (0..4).map(|t| cr[t] + w.cost(s, t)).min().expect("4 states");
+                *out = min_l + min_r;
+            }
+            c
+        }
+    }
+}
+
+/// Parsimony score of one site.
+///
+/// # Panics
+///
+/// Panics if sequences are not DNA, differ in length, or `site` is out of
+/// range.
+pub fn sankoff_site(tree: &GuideTree, seqs: &[Sequence], site: usize, w: &CostMatrix) -> i32 {
+    validate(seqs);
+    assert!(site < seqs[0].len(), "site out of range");
+    let c = site_costs(tree, seqs, site, w);
+    c.into_iter().min().expect("4 states")
+}
+
+/// Total parsimony score over all sites.
+///
+/// # Panics
+///
+/// Panics if sequences are not DNA or differ in length.
+pub fn sankoff_score(tree: &GuideTree, seqs: &[Sequence], w: &CostMatrix) -> i64 {
+    validate(seqs);
+    (0..seqs[0].len())
+        .map(|site| sankoff_site(tree, seqs, site, w) as i64)
+        .sum()
+}
+
+fn validate(seqs: &[Sequence]) {
+    assert!(!seqs.is_empty(), "parsimony needs sequences");
+    let len = seqs[0].len();
+    for s in seqs {
+        assert_eq!(s.alphabet(), Alphabet::Dna, "parsimony operates on DNA");
+        assert_eq!(s.len(), len, "sites must align (equal lengths)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::generate::SeqGen;
+
+    fn leaf(i: usize) -> GuideTree {
+        GuideTree::Leaf(i)
+    }
+
+    fn node(l: GuideTree, r: GuideTree) -> GuideTree {
+        GuideTree::Node { left: Box::new(l), right: Box::new(r), height: 0.0 }
+    }
+
+    fn dna(s: &str) -> Sequence {
+        Sequence::from_text("t", Alphabet::Dna, s).unwrap()
+    }
+
+    #[test]
+    fn identical_leaves_cost_zero() {
+        let tree = node(node(leaf(0), leaf(1)), leaf(2));
+        let seqs = vec![dna("ACGT"), dna("ACGT"), dna("ACGT")];
+        assert_eq!(sankoff_score(&tree, &seqs, &CostMatrix::unit()), 0);
+    }
+
+    #[test]
+    fn single_substitution_costs_one() {
+        let tree = node(leaf(0), leaf(1));
+        let seqs = vec![dna("AAAA"), dna("AAAC")];
+        assert_eq!(sankoff_score(&tree, &seqs, &CostMatrix::unit()), 1);
+    }
+
+    #[test]
+    fn fitch_classic_four_taxa() {
+        // Site with states A,A,C,C on ((0,1),(2,3)): one change suffices.
+        let tree = node(node(leaf(0), leaf(1)), node(leaf(2), leaf(3)));
+        let seqs = vec![dna("A"), dna("A"), dna("C"), dna("C")];
+        assert_eq!(sankoff_score(&tree, &seqs, &CostMatrix::unit()), 1);
+        // A,C,A,C needs two changes on this topology.
+        let seqs2 = vec![dna("A"), dna("C"), dna("A"), dna("C")];
+        assert_eq!(sankoff_score(&tree, &seqs2, &CostMatrix::unit()), 2);
+    }
+
+    #[test]
+    fn weighted_costs_prefer_transitions() {
+        let tree = node(leaf(0), leaf(1));
+        // A->G is a transition (cost 1), A->C a transversion (cost 4).
+        let w = CostMatrix::ts_tv(1, 4);
+        assert_eq!(sankoff_score(&tree, &[dna("A"), dna("G")], &w), 1);
+        assert_eq!(sankoff_score(&tree, &[dna("A"), dna("C")], &w), 4);
+        assert_eq!(w.cost(0, 2), 1);
+        assert_eq!(w.cost(1, 3), 1);
+        assert_eq!(w.cost(0, 1), 4);
+        assert_eq!(w.cost(0, 0), 0);
+    }
+
+    #[test]
+    fn ambiguous_leaf_is_free() {
+        let tree = node(leaf(0), leaf(1));
+        let seqs = vec![dna("N"), dna("C")];
+        assert_eq!(sankoff_score(&tree, &seqs, &CostMatrix::unit()), 0);
+    }
+
+    #[test]
+    fn score_is_monotone_in_divergence() {
+        let mut g = SeqGen::new(Alphabet::Dna, 5);
+        let anc = g.uniform(200);
+        let near = g.mutate(&anc, 0.05);
+        let far = g.mutate(&anc, 0.5);
+        let tree = node(leaf(0), leaf(1));
+        let w = CostMatrix::unit();
+        let near_score = sankoff_score(&tree, &[anc.clone(), near], &w);
+        let far_score = sankoff_score(&tree, &[anc, far], &w);
+        assert!(near_score < far_score, "{near_score} vs {far_score}");
+    }
+
+    #[test]
+    fn deeper_trees_accumulate() {
+        // Perfectly balanced 4-leaf tree where each cherry is identical:
+        // only the cross-cherry difference costs.
+        let tree = node(node(leaf(0), leaf(1)), node(leaf(2), leaf(3)));
+        let seqs = vec![dna("AT"), dna("AT"), dna("GT"), dna("GT")];
+        assert_eq!(sankoff_score(&tree, &seqs, &CostMatrix::unit()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DNA")]
+    fn protein_input_rejected() {
+        let tree = node(leaf(0), leaf(1));
+        let p = Sequence::from_text("p", Alphabet::Protein, "MK").unwrap();
+        let _ = sankoff_score(&tree, &[p.clone(), p], &CostMatrix::unit());
+    }
+}

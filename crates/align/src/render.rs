@@ -1,0 +1,202 @@
+//! Human-readable alignment rendering (the classic three-line view).
+//!
+//! ```text
+//! query    1 HEAGAWGHE-E 10
+//!            ||  AWHE  |
+//! subject  4 PA--AWHEAEE 12
+//! ```
+//!
+//! The middle line marks identities with `|`, positive BLOSUM scores with
+//! `+`, and everything else with a space — the convention of BLAST's
+//! pairwise report.
+
+use crate::pairwise::{AlignOp, GlobalAlignment, LocalAlignment};
+use bioseq::{Sequence, SubstitutionMatrix};
+
+/// One rendered alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rendered {
+    /// The three display lines per block, concatenated with newlines.
+    pub text: String,
+    /// Number of identical columns.
+    pub identities: usize,
+    /// Number of positively scoring (but not identical) columns.
+    pub positives: usize,
+    /// Number of gap columns.
+    pub gaps: usize,
+    /// Total alignment columns.
+    pub columns: usize,
+}
+
+fn render_ops(
+    ops: &[AlignOp],
+    a: &Sequence,
+    b: &Sequence,
+    mut ai: usize,
+    mut bi: usize,
+    matrix: &SubstitutionMatrix,
+    width: usize,
+) -> Rendered {
+    let alphabet = a.alphabet();
+    let mut top = String::new();
+    let mut mid = String::new();
+    let mut bot = String::new();
+    let (mut identities, mut positives, mut gaps) = (0, 0, 0);
+    for op in ops {
+        match op {
+            AlignOp::Subst => {
+                let (ca, cb) = (a.codes()[ai], b.codes()[bi]);
+                top.push(alphabet.decode(ca) as char);
+                bot.push(alphabet.decode(cb) as char);
+                if ca == cb {
+                    mid.push('|');
+                    identities += 1;
+                } else if matrix.score(ca, cb) > 0 {
+                    mid.push('+');
+                    positives += 1;
+                } else {
+                    mid.push(' ');
+                }
+                ai += 1;
+                bi += 1;
+            }
+            AlignOp::InsertA => {
+                top.push('-');
+                mid.push(' ');
+                bot.push(alphabet.decode(b.codes()[bi]) as char);
+                bi += 1;
+                gaps += 1;
+            }
+            AlignOp::InsertB => {
+                top.push(alphabet.decode(a.codes()[ai]) as char);
+                mid.push(' ');
+                bot.push('-');
+                ai += 1;
+                gaps += 1;
+            }
+        }
+    }
+    // Wrap into blocks of `width` columns.
+    let columns = ops.len();
+    let mut text = String::new();
+    let mut start = 0;
+    while start < columns {
+        let end = (start + width).min(columns);
+        text.push_str(&top[start..end]);
+        text.push('\n');
+        text.push_str(&mid[start..end]);
+        text.push('\n');
+        text.push_str(&bot[start..end]);
+        text.push('\n');
+        if end < columns {
+            text.push('\n');
+        }
+        start = end;
+    }
+    Rendered { text, identities, positives, gaps, columns }
+}
+
+/// Render a local alignment at the given line width.
+///
+/// # Panics
+///
+/// Panics if the alignment's coordinates do not fit the sequences.
+pub fn render_local(
+    aln: &LocalAlignment,
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstitutionMatrix,
+    width: usize,
+) -> Rendered {
+    render_ops(&aln.ops, a, b, aln.start_a, aln.start_b, matrix, width.max(10))
+}
+
+/// Render a global alignment at the given line width.
+///
+/// # Panics
+///
+/// Panics if the alignment's ops do not cover the sequences.
+pub fn render_global(
+    aln: &GlobalAlignment,
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstitutionMatrix,
+    width: usize,
+) -> Rendered {
+    render_ops(&aln.ops, a, b, 0, 0, matrix, width.max(10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::{needleman_wunsch, smith_waterman};
+    use bioseq::{Alphabet, GapPenalties};
+
+    fn prot(s: &str) -> Sequence {
+        Sequence::from_text("t", Alphabet::Protein, s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_render_all_bars() {
+        let a = prot("MKVWHEAG");
+        let m = SubstitutionMatrix::blosum62();
+        let aln = needleman_wunsch(a.codes(), a.codes(), &m, GapPenalties::new(10, 2));
+        let r = render_global(&aln, &a, &a, &m, 60);
+        assert_eq!(r.identities, 8);
+        assert_eq!(r.gaps, 0);
+        let lines: Vec<&str> = r.text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "MKVWHEAG");
+        assert_eq!(lines[1], "||||||||");
+        assert_eq!(lines[2], "MKVWHEAG");
+    }
+
+    #[test]
+    fn gaps_render_dashes() {
+        let a = prot("MKVWHEAG");
+        let b = prot("MKVHEAG"); // W deleted
+        let m = SubstitutionMatrix::blosum62();
+        let aln = needleman_wunsch(a.codes(), b.codes(), &m, GapPenalties::new(10, 2));
+        let r = render_global(&aln, &a, &b, &m, 60);
+        assert_eq!(r.gaps, 1);
+        assert!(r.text.contains('-'));
+        assert_eq!(r.columns, 8);
+    }
+
+    #[test]
+    fn positives_marked_plus() {
+        // I/L scores +2 in BLOSUM62: a positive non-identity.
+        let a = prot("MKIW");
+        let b = prot("MKLW");
+        let m = SubstitutionMatrix::blosum62();
+        let aln = needleman_wunsch(a.codes(), b.codes(), &m, GapPenalties::new(10, 2));
+        let r = render_global(&aln, &a, &b, &m, 60);
+        assert_eq!(r.identities, 3);
+        assert_eq!(r.positives, 1);
+        assert!(r.text.lines().nth(1).unwrap().contains('+'));
+    }
+
+    #[test]
+    fn local_render_covers_only_the_matched_region() {
+        let m = SubstitutionMatrix::blosum62();
+        let a = prot("PPPPMKVWHEAGPPPP");
+        let b = prot("MKVWHEAG");
+        let aln = smith_waterman(a.codes(), b.codes(), &m, GapPenalties::new(10, 2));
+        let r = render_local(&aln, &a, &b, &m, 60);
+        assert_eq!(r.columns, 8);
+        assert_eq!(r.identities, 8);
+        assert!(!r.text.contains('P'));
+    }
+
+    #[test]
+    fn wrapping_produces_multiple_blocks() {
+        let text: String = "MKVWHEAG".repeat(4);
+        let a = prot(&text);
+        let m = SubstitutionMatrix::blosum62();
+        let aln = needleman_wunsch(a.codes(), a.codes(), &m, GapPenalties::new(10, 2));
+        let r = render_global(&aln, &a, &a, &m, 10);
+        // 32 columns at width 10 → 4 blocks of 3 lines + separators.
+        let blank_separators = r.text.matches("\n\n").count();
+        assert_eq!(blank_separators, 3);
+    }
+}

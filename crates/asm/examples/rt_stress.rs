@@ -1,0 +1,21 @@
+fn main() {
+    // Exhaustive-ish check: every decodable word in a broad sample must
+    // round-trip through text.
+    let mut checked = 0u64;
+    for base in (0..0x4000_0000u32).step_by(65537) {
+        let w = base.wrapping_mul(2654435761);
+        if let Ok(insn) = ppc_isa::decode(w) {
+            let norm = ppc_isa::encode(&insn);
+            let text = format!("{}\n", insn);
+            match ppc_asm::assemble(&text, 0) {
+                Ok(p) => {
+                    let back = u32::from_le_bytes(p.bytes[0..4].try_into().unwrap());
+                    assert_eq!(norm, back, "encoding mismatch for {text:?}");
+                }
+                Err(e) => panic!("disassembly {text:?} failed to assemble: {e}"),
+            }
+            checked += 1;
+        }
+    }
+    println!("round-tripped {checked} decodable words");
+}

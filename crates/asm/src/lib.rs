@@ -1,0 +1,903 @@
+//! Two-pass assembler for the PowerPC-subset ISA.
+//!
+//! The assembler accepts the `objdump`-flavoured syntax produced by the
+//! [`kernelc`] compiler and by hand-written test kernels:
+//!
+//! ```text
+//! # Smith-Waterman inner-loop fragment
+//!         .global entry
+//! entry:
+//!         li      r3, 0
+//! loop:
+//!         lwz     r4, 0(r5)
+//!         maxw    r3, r3, r4
+//!         addi    r5, r5, 4
+//!         bdnz    loop
+//!         trap
+//! table:
+//!         .word   1, -2, 0x30
+//!         .space  64
+//! ```
+//!
+//! Supported features: labels, forward references, the simplified
+//! mnemonics `li`/`lis`/`mr`/`nop`/`blr`/`bctr`/`bdnz`/`slwi`/`srwi` and
+//! the conditional-branch aliases `beq`/`bne`/`blt`/`bge`/`bgt`/`ble`
+//! (all with an explicit CR field), plus the data directives `.word`,
+//! `.byte`, `.space`, `.align`, and `.global`.
+//!
+//! [`kernelc`]: https://docs.rs/kernelc
+//!
+//! # Example
+//!
+//! ```
+//! let asm = "entry:\n  li r3, 7\n  trap\n";
+//! let prog = ppc_asm::assemble(asm, 0x1000)?;
+//! assert_eq!(prog.symbols["entry"], 0x1000);
+//! assert_eq!(prog.bytes.len(), 8);
+//! # Ok::<(), ppc_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppc_isa::insn::{BranchCond, Instruction};
+use ppc_isa::reg::{CrBit, CrField, Gpr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Output of [`assemble`]: a loadable little-endian image plus symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembled {
+    /// Load address of the first byte.
+    pub base: u32,
+    /// The image (instructions and data, little-endian).
+    pub bytes: Vec<u8>,
+    /// Label → byte address.
+    pub symbols: HashMap<String, u32>,
+    /// Byte offsets (from `base`) that hold instructions, in order — the
+    /// simulator uses this to distinguish code from inline data.
+    pub insn_offsets: Vec<u32>,
+}
+
+impl Assembled {
+    /// The decoded instruction at byte address `addr`, if that address
+    /// holds one.
+    pub fn insn_at(&self, addr: u32) -> Option<Instruction> {
+        let off = addr.checked_sub(self.base)? as usize;
+        if off + 4 > self.bytes.len() {
+            return None;
+        }
+        let word = u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"));
+        ppc_isa::decode(word).ok()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Insn { line: usize, mnemonic: String, operands: Vec<String> },
+    Words(Vec<i64>),
+    Bytes(Vec<u8>),
+    Space(usize),
+}
+
+struct Pass1 {
+    items: Vec<(u32, Item)>, // (offset, item)
+    symbols: HashMap<String, u32>,
+    size: u32,
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // Split on commas that are not inside parentheses (there are none in
+    // this syntax, so a plain split suffices), trimming whitespace.
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn item_size(item: &Item) -> u32 {
+    match item {
+        Item::Insn { .. } => 4,
+        Item::Words(w) => 4 * w.len() as u32,
+        Item::Bytes(b) => b.len() as u32,
+        Item::Space(n) => *n as u32,
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError { line, message: format!("invalid integer {tok:?}") })?;
+    Ok(if neg { -v } else { v })
+}
+
+fn pass1(source: &str, base: u32) -> Result<Pass1, AsmError> {
+    let mut items = Vec::new();
+    let mut symbols = HashMap::new();
+    let mut offset = 0u32;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        // Strip comments (#, ;, and //).
+        let mut text = raw;
+        if let Some(p) = text.find(['#', ';']) {
+            text = &text[..p];
+        }
+        if let Some(p) = text.find("//") {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several per line).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+                return Err(AsmError { line, message: format!("invalid label {label:?}") });
+            }
+            if symbols.insert(label.to_string(), base + offset).is_some() {
+                return Err(AsmError { line, message: format!("duplicate label {label:?}") });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (head, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let item = if let Some(directive) = head.strip_prefix('.') {
+            match directive {
+                "word" => {
+                    let vals = split_operands(rest)
+                        .iter()
+                        .map(|t| parse_int(t, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Item::Words(vals)
+                }
+                "byte" => {
+                    let vals = split_operands(rest)
+                        .iter()
+                        .map(|t| parse_int(t, line).map(|v| v as u8))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Item::Bytes(vals)
+                }
+                "space" => Item::Space(parse_int(rest, line)? as usize),
+                "align" => {
+                    let a = parse_int(rest, line)? as u32;
+                    if a == 0 || !a.is_power_of_two() {
+                        return Err(AsmError { line, message: format!(".align must be a power of two, got {a}") });
+                    }
+                    let pad = (a - (base + offset) % a) % a;
+                    Item::Space(pad as usize)
+                }
+                "global" => continue, // informational only
+                other => {
+                    return Err(AsmError { line, message: format!("unknown directive .{other}") })
+                }
+            }
+        } else {
+            Item::Insn {
+                line,
+                mnemonic: head.to_lowercase(),
+                operands: split_operands(rest),
+            }
+        };
+        let at = offset;
+        offset += item_size(&item);
+        items.push((at, item));
+    }
+    Ok(Pass1 { items, symbols, size: offset })
+}
+
+struct OperandParser<'a> {
+    symbols: &'a HashMap<String, u32>,
+    line: usize,
+    /// Byte address of the instruction being assembled (for PC-relative
+    /// branch offsets).
+    pc: u32,
+}
+
+impl OperandParser<'_> {
+    fn err(&self, message: impl Into<String>) -> AsmError {
+        AsmError { line: self.line, message: message.into() }
+    }
+
+    fn gpr(&self, tok: &str) -> Result<Gpr, AsmError> {
+        let n = tok
+            .strip_prefix('r')
+            .and_then(|s| s.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| self.err(format!("expected a register, got {tok:?}")))?;
+        Ok(Gpr(n))
+    }
+
+    fn crf(&self, tok: &str) -> Result<CrField, AsmError> {
+        let n = tok
+            .strip_prefix("cr")
+            .and_then(|s| s.parse::<u8>().ok())
+            .filter(|&n| n < 8)
+            .ok_or_else(|| self.err(format!("expected a CR field, got {tok:?}")))?;
+        Ok(CrField(n))
+    }
+
+    fn crbit(&self, tok: &str) -> Result<CrBit, AsmError> {
+        // Accept "4*crN+lt|gt|eq|so" or a plain bit number.
+        if let Some(rest) = tok.strip_prefix("4*cr") {
+            let (field, bitname) = rest
+                .split_once('+')
+                .ok_or_else(|| self.err(format!("malformed CR bit {tok:?}")))?;
+            let f: u8 = field
+                .parse()
+                .ok()
+                .filter(|&n| n < 8)
+                .ok_or_else(|| self.err(format!("bad CR field in {tok:?}")))?;
+            let w = match bitname {
+                "lt" => 0,
+                "gt" => 1,
+                "eq" => 2,
+                "so" => 3,
+                _ => return Err(self.err(format!("bad CR bit name in {tok:?}"))),
+            };
+            Ok(CrBit(f * 4 + w))
+        } else {
+            let n = parse_int(tok, self.line)?;
+            if (0..32).contains(&n) {
+                Ok(CrBit(n as u8))
+            } else {
+                Err(self.err(format!("CR bit {n} out of range")))
+            }
+        }
+    }
+
+    fn imm(&self, tok: &str) -> Result<i64, AsmError> {
+        if let Some(&addr) = self.symbols.get(tok) {
+            return Ok(addr as i64);
+        }
+        parse_int(tok, self.line)
+    }
+
+    fn imm16(&self, tok: &str) -> Result<i16, AsmError> {
+        let v = self.imm(tok)?;
+        i16::try_from(v)
+            .or_else(|_| {
+                // Allow unsigned 16-bit values for convenience.
+                u16::try_from(v).map(|u| u as i16)
+            })
+            .map_err(|_| self.err(format!("immediate {v} does not fit in 16 bits")))
+    }
+
+    fn uimm16(&self, tok: &str) -> Result<u16, AsmError> {
+        let v = self.imm(tok)?;
+        u16::try_from(v).map_err(|_| self.err(format!("immediate {v} does not fit in u16")))
+    }
+
+    /// `disp(ra)` memory operand.
+    fn mem(&self, tok: &str) -> Result<(i16, Gpr), AsmError> {
+        let open = tok.find('(').ok_or_else(|| self.err(format!("expected disp(rN), got {tok:?}")))?;
+        let close = tok.rfind(')').ok_or_else(|| self.err(format!("missing ')' in {tok:?}")))?;
+        let disp = if open == 0 { 0 } else { self.imm16(&tok[..open])? };
+        let ra = self.gpr(tok[open + 1..close].trim())?;
+        Ok((disp, ra))
+    }
+
+    /// A branch target: a label or an explicit `.+N`/`.-N` relative form
+    /// (dot-prefixed *labels* like `.Lfoo` are looked up as labels).
+    fn branch_offset(&self, tok: &str) -> Result<i64, AsmError> {
+        if let Some(rel) = tok.strip_prefix('.') {
+            if rel.starts_with(['+', '-']) || rel.starts_with(|c: char| c.is_ascii_digit()) {
+                return parse_int(rel.trim_start_matches('+'), self.line);
+            }
+        }
+        if let Some(&addr) = self.symbols.get(tok) {
+            return Ok(addr as i64 - self.pc as i64);
+        }
+        Err(self.err(format!("unknown branch target {tok:?}")))
+    }
+}
+
+fn sh5(p: &OperandParser<'_>, tok: &str) -> Result<u8, AsmError> {
+    let v = p.imm(tok)?;
+    if (0..32).contains(&v) {
+        Ok(v as u8)
+    } else {
+        Err(p.err(format!("shift amount {v} out of range")))
+    }
+}
+
+fn assemble_insn(
+    mnemonic: &str,
+    ops: &[String],
+    p: &OperandParser<'_>,
+) -> Result<Instruction, AsmError> {
+    use Instruction::*;
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(p.err(format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+        }
+    };
+    let insn = match mnemonic {
+        "nop" => {
+            need(0)?;
+            Instruction::nop()
+        }
+        "li" => {
+            need(2)?;
+            Addi { rt: p.gpr(&ops[0])?, ra: Gpr(0), imm: p.imm16(&ops[1])? }
+        }
+        "lis" => {
+            need(2)?;
+            Addis { rt: p.gpr(&ops[0])?, ra: Gpr(0), imm: p.imm16(&ops[1])? }
+        }
+        "mr" => {
+            need(2)?;
+            let rs = p.gpr(&ops[1])?;
+            Or { ra: p.gpr(&ops[0])?, rs, rb: rs }
+        }
+        "addi" => {
+            need(3)?;
+            Addi { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, imm: p.imm16(&ops[2])? }
+        }
+        "addis" => {
+            need(3)?;
+            Addis { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, imm: p.imm16(&ops[2])? }
+        }
+        "add" => {
+            need(3)?;
+            Add { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "subf" => {
+            need(3)?;
+            Subf { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        // sub rt, ra, rb == subf rt, rb, ra
+        "sub" => {
+            need(3)?;
+            Subf { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[2])?, rb: p.gpr(&ops[1])? }
+        }
+        "neg" => {
+            need(2)?;
+            Neg { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])? }
+        }
+        "mullw" => {
+            need(3)?;
+            Mullw { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "divw" => {
+            need(3)?;
+            Divw { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "and" => {
+            need(3)?;
+            And { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "or" => {
+            need(3)?;
+            Or { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "xor" => {
+            need(3)?;
+            Xor { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "ori" => {
+            need(3)?;
+            Ori { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, uimm: p.uimm16(&ops[2])? }
+        }
+        "andi." => {
+            need(3)?;
+            AndiDot { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, uimm: p.uimm16(&ops[2])? }
+        }
+        "xori" => {
+            need(3)?;
+            Xori { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, uimm: p.uimm16(&ops[2])? }
+        }
+        "slw" => {
+            need(3)?;
+            Slw { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "srw" => {
+            need(3)?;
+            Srw { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "sraw" => {
+            need(3)?;
+            Sraw { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "srawi" => {
+            need(3)?;
+            Srawi { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, sh: sh5(p, &ops[2])? }
+        }
+        "slwi" => {
+            need(3)?;
+            let sh = sh5(p, &ops[2])?;
+            Rlwinm { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, sh, mb: 0, me: 31 - sh }
+        }
+        "srwi" => {
+            need(3)?;
+            let sh = sh5(p, &ops[2])?;
+            Rlwinm { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])?, sh: 32 - sh, mb: sh, me: 31 }
+        }
+        "rlwinm" => {
+            need(5)?;
+            Rlwinm {
+                ra: p.gpr(&ops[0])?,
+                rs: p.gpr(&ops[1])?,
+                sh: sh5(p, &ops[2])?,
+                mb: sh5(p, &ops[3])?,
+                me: sh5(p, &ops[4])?,
+            }
+        }
+        "extsb" => {
+            need(2)?;
+            Extsb { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])? }
+        }
+        "extsh" => {
+            need(2)?;
+            Extsh { ra: p.gpr(&ops[0])?, rs: p.gpr(&ops[1])? }
+        }
+        "cmpw" => {
+            need(3)?;
+            Cmpw { crf: p.crf(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "cmpwi" => {
+            need(3)?;
+            Cmpwi { crf: p.crf(&ops[0])?, ra: p.gpr(&ops[1])?, imm: p.imm16(&ops[2])? }
+        }
+        "cmplw" => {
+            need(3)?;
+            Cmplw { crf: p.crf(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "cmplwi" => {
+            need(3)?;
+            Cmplwi { crf: p.crf(&ops[0])?, ra: p.gpr(&ops[1])?, uimm: p.uimm16(&ops[2])? }
+        }
+        "isel" => {
+            need(4)?;
+            Isel {
+                rt: p.gpr(&ops[0])?,
+                ra: p.gpr(&ops[1])?,
+                rb: p.gpr(&ops[2])?,
+                bc: p.crbit(&ops[3])?,
+            }
+        }
+        "maxw" => {
+            need(3)?;
+            Maxw { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "b" | "bl" => {
+            need(1)?;
+            let off = p.branch_offset(&ops[0])?;
+            if off % 4 != 0 || off >= (1 << 25) || off < -(1 << 25) {
+                return Err(p.err(format!("branch offset {off} invalid")));
+            }
+            B { offset: off as i32, link: mnemonic == "bl" }
+        }
+        "blr" => {
+            need(0)?;
+            Bclr { cond: BranchCond::Always }
+        }
+        "bctr" => {
+            need(0)?;
+            Bcctr { cond: BranchCond::Always }
+        }
+        "bclrt" | "bclrf" => {
+            need(1)?;
+            let bit = p.crbit(&ops[0])?;
+            let cond = if mnemonic == "bclrt" {
+                BranchCond::IfTrue(bit)
+            } else {
+                BranchCond::IfFalse(bit)
+            };
+            Bclr { cond }
+        }
+        "bclrdnz" => {
+            need(0)?;
+            Bclr { cond: BranchCond::DecrementNotZero }
+        }
+        "bcctrt" | "bcctrf" => {
+            need(1)?;
+            let bit = p.crbit(&ops[0])?;
+            let cond = if mnemonic == "bcctrt" {
+                BranchCond::IfTrue(bit)
+            } else {
+                BranchCond::IfFalse(bit)
+            };
+            Bcctr { cond }
+        }
+        "bcctrdnz" => {
+            need(0)?;
+            Bcctr { cond: BranchCond::DecrementNotZero }
+        }
+        "bcalways" | "bcalwaysl" => {
+            need(1)?;
+            let off = bc_offset(p, &ops[0])?;
+            Bc { cond: BranchCond::Always, offset: off, link: mnemonic.ends_with('l') }
+        }
+        "bdnz" | "bdnzl" => {
+            need(1)?;
+            let off = bc_offset(p, &ops[0])?;
+            Bc {
+                cond: BranchCond::DecrementNotZero,
+                offset: off,
+                link: mnemonic.ends_with('l'),
+            }
+        }
+        "bct" | "bcf" | "bctl" | "bcfl" => {
+            need(2)?;
+            let bit = p.crbit(&ops[0])?;
+            let off = bc_offset(p, &ops[1])?;
+            let cond = if mnemonic.starts_with("bct") {
+                BranchCond::IfTrue(bit)
+            } else {
+                BranchCond::IfFalse(bit)
+            };
+            Bc { cond, offset: off, link: mnemonic.len() == 4 }
+        }
+        "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" => {
+            need(2)?;
+            let crf = p.crf(&ops[0])?;
+            let off = bc_offset(p, &ops[1])?;
+            let cond = match mnemonic {
+                "beq" => BranchCond::IfTrue(crf.eq_bit()),
+                "bne" => BranchCond::IfFalse(crf.eq_bit()),
+                "blt" => BranchCond::IfTrue(crf.lt_bit()),
+                "bge" => BranchCond::IfFalse(crf.lt_bit()),
+                "bgt" => BranchCond::IfTrue(crf.gt_bit()),
+                _ => BranchCond::IfFalse(crf.gt_bit()),
+            };
+            Bc { cond, offset: off, link: false }
+        }
+        "lwz" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Lwz { rt: p.gpr(&ops[0])?, ra, disp }
+        }
+        "lbz" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Lbz { rt: p.gpr(&ops[0])?, ra, disp }
+        }
+        "lhz" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Lhz { rt: p.gpr(&ops[0])?, ra, disp }
+        }
+        "lha" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Lha { rt: p.gpr(&ops[0])?, ra, disp }
+        }
+        "stw" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Stw { rs: p.gpr(&ops[0])?, ra, disp }
+        }
+        "stb" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Stb { rs: p.gpr(&ops[0])?, ra, disp }
+        }
+        "sth" => {
+            need(2)?;
+            let (disp, ra) = p.mem(&ops[1])?;
+            Sth { rs: p.gpr(&ops[0])?, ra, disp }
+        }
+        "lwzx" => {
+            need(3)?;
+            Lwzx { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "lbzx" => {
+            need(3)?;
+            Lbzx { rt: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "stwx" => {
+            need(3)?;
+            Stwx { rs: p.gpr(&ops[0])?, ra: p.gpr(&ops[1])?, rb: p.gpr(&ops[2])? }
+        }
+        "mflr" => {
+            need(1)?;
+            Mflr { rt: p.gpr(&ops[0])? }
+        }
+        "mtlr" => {
+            need(1)?;
+            Mtlr { rs: p.gpr(&ops[0])? }
+        }
+        "mfctr" => {
+            need(1)?;
+            Mfctr { rt: p.gpr(&ops[0])? }
+        }
+        "mtctr" => {
+            need(1)?;
+            Mtctr { rs: p.gpr(&ops[0])? }
+        }
+        "trap" => {
+            need(0)?;
+            Trap
+        }
+        other => return Err(p.err(format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(insn)
+}
+
+fn bc_offset(p: &OperandParser<'_>, tok: &str) -> Result<i16, AsmError> {
+    let off = p.branch_offset(tok)?;
+    if off % 4 != 0 || off >= (1 << 15) || off < -(1 << 15) {
+        return Err(p.err(format!("conditional branch offset {off} out of range")));
+    }
+    Ok(off as i16)
+}
+
+/// Assemble `source` for loading at `base`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors,
+/// undefined/duplicate labels, out-of-range immediates, or misaligned
+/// branch targets.
+pub fn assemble(source: &str, base: u32) -> Result<Assembled, AsmError> {
+    let pass1 = pass1(source, base)?;
+    let mut bytes = Vec::with_capacity(pass1.size as usize);
+    let mut insn_offsets = Vec::new();
+    for (offset, item) in &pass1.items {
+        debug_assert_eq!(bytes.len() as u32, *offset);
+        match item {
+            Item::Insn { line, mnemonic, operands } => {
+                let p = OperandParser {
+                    symbols: &pass1.symbols,
+                    line: *line,
+                    pc: base + offset,
+                };
+                let insn = assemble_insn(mnemonic, operands, &p)?;
+                insn_offsets.push(*offset);
+                bytes.extend_from_slice(&ppc_isa::encode(&insn).to_le_bytes());
+            }
+            Item::Words(ws) => {
+                for w in ws {
+                    bytes.extend_from_slice(&(*w as u32).to_le_bytes());
+                }
+            }
+            Item::Bytes(bs) => bytes.extend_from_slice(bs),
+            Item::Space(n) => bytes.extend(std::iter::repeat_n(0u8, *n)),
+        }
+    }
+    Ok(Assembled { base, bytes, symbols: pass1.symbols, insn_offsets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_isa::insn::Instruction as I;
+
+    #[test]
+    fn minimal_program() {
+        let prog = assemble("entry:\n li r3, 5\n trap\n", 0).unwrap();
+        assert_eq!(prog.bytes.len(), 8);
+        assert_eq!(prog.insn_at(0), Some(I::Addi { rt: Gpr(3), ra: Gpr(0), imm: 5 }));
+        assert_eq!(prog.insn_at(4), Some(I::Trap));
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let src = "\
+start:
+    b fwd
+back:
+    trap
+fwd:
+    b back
+";
+        let prog = assemble(src, 0x1000).unwrap();
+        assert_eq!(prog.insn_at(0x1000), Some(I::B { offset: 8, link: false }));
+        assert_eq!(prog.insn_at(0x1008), Some(I::B { offset: -4, link: false }));
+    }
+
+    #[test]
+    fn conditional_branch_aliases() {
+        let src = "\
+loop:
+    cmpwi cr0, r3, 10
+    blt cr0, loop
+    bgt cr1, loop
+    beq cr0, loop
+    bne cr0, loop
+    bge cr2, loop
+    ble cr0, loop
+    trap
+";
+        let prog = assemble(src, 0).unwrap();
+        match prog.insn_at(4) {
+            Some(I::Bc { cond: BranchCond::IfTrue(bit), offset, .. }) => {
+                assert_eq!(bit, CrBit(0));
+                assert_eq!(offset, -4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match prog.insn_at(8) {
+            Some(I::Bc { cond: BranchCond::IfTrue(bit), .. }) => assert_eq!(bit, CrBit(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match prog.insn_at(20) {
+            Some(I::Bc { cond: BranchCond::IfFalse(bit), .. }) => assert_eq!(bit, CrBit(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let prog = assemble("lwz r4, -8(r1)\nstw r4, 0x10(r9)\nlwz r5, (r2)\n", 0).unwrap();
+        assert_eq!(prog.insn_at(0), Some(I::Lwz { rt: Gpr(4), ra: Gpr(1), disp: -8 }));
+        assert_eq!(prog.insn_at(4), Some(I::Stw { rs: Gpr(4), ra: Gpr(9), disp: 16 }));
+        assert_eq!(prog.insn_at(8), Some(I::Lwz { rt: Gpr(5), ra: Gpr(2), disp: 0 }));
+    }
+
+    #[test]
+    fn data_directives_and_symbols() {
+        let src = "\
+    b code
+table:
+    .word 1, -2, 0x30
+buf:
+    .space 8
+    .align 8
+code:
+    trap
+";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.symbols["table"], 4);
+        assert_eq!(prog.symbols["buf"], 16);
+        assert_eq!(prog.symbols["code"] % 8, 0);
+        // The words landed little-endian.
+        assert_eq!(&prog.bytes[4..8], &1u32.to_le_bytes());
+        assert_eq!(&prog.bytes[8..12], &(-2i32 as u32).to_le_bytes());
+        // Branch over data reaches `code`.
+        let b = prog.insn_at(0).unwrap();
+        assert_eq!(b, I::B { offset: prog.symbols["code"] as i32, link: false });
+    }
+
+    #[test]
+    fn byte_directive() {
+        let prog = assemble("data:\n .byte 1, 2, 255\n", 0).unwrap();
+        assert_eq!(prog.bytes, vec![1, 2, 255]);
+        assert!(prog.insn_offsets.is_empty());
+    }
+
+    #[test]
+    fn predicated_instructions_parse() {
+        let src = "maxw r3, r4, r5\nisel r3, r4, r5, 4*cr0+gt\nisel r6, r0, r7, 2\n";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.insn_at(0), Some(I::Maxw { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5) }));
+        assert_eq!(
+            prog.insn_at(4),
+            Some(I::Isel { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5), bc: CrBit(1) })
+        );
+        assert_eq!(
+            prog.insn_at(8),
+            Some(I::Isel { rt: Gpr(6), ra: Gpr(0), rb: Gpr(7), bc: CrBit(2) })
+        );
+    }
+
+    #[test]
+    fn simplified_shift_mnemonics() {
+        let prog = assemble("slwi r3, r4, 2\nsrwi r5, r6, 4\n", 0).unwrap();
+        assert_eq!(
+            prog.insn_at(0),
+            Some(I::Rlwinm { ra: Gpr(3), rs: Gpr(4), sh: 2, mb: 0, me: 29 })
+        );
+        assert_eq!(
+            prog.insn_at(4),
+            Some(I::Rlwinm { ra: Gpr(5), rs: Gpr(6), sh: 28, mb: 4, me: 31 })
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# full comment\n\n  li r3, 1 ; trailing\n  trap\n";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.insn_offsets.len(), 2);
+    }
+
+    #[test]
+    fn double_slash_comments_ignored() {
+        let src = "// header: with a colon\n  li r3, 1 // trailing: colon\n  trap\n";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.insn_offsets.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("li r3\n", 0).unwrap_err();
+        assert!(e.message.contains("expects 2 operands"));
+
+        let e = assemble("b nowhere\n", 0).unwrap_err();
+        assert!(e.message.contains("unknown branch target"));
+
+        let e = assemble("x:\nx:\n", 0).unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+
+        let e = assemble("li r3, 0x12345\n", 0).unwrap_err();
+        assert!(e.message.contains("does not fit"));
+    }
+
+    #[test]
+    fn immediates_accept_unsigned_16bit() {
+        let prog = assemble("li r3, 0xFFFF\nori r4, r4, 0x8000\n", 0).unwrap();
+        assert_eq!(prog.insn_at(0), Some(I::Addi { rt: Gpr(3), ra: Gpr(0), imm: -1 }));
+        assert_eq!(prog.insn_at(4), Some(I::Ori { ra: Gpr(4), rs: Gpr(4), uimm: 0x8000 }));
+    }
+
+    #[test]
+    fn sub_alias_swaps_operands() {
+        let prog = assemble("sub r3, r4, r5\n", 0).unwrap();
+        assert_eq!(prog.insn_at(0), Some(I::Subf { rt: Gpr(3), ra: Gpr(5), rb: Gpr(4) }));
+    }
+
+    #[test]
+    fn label_address_as_immediate() {
+        let src = "
+    li r3, data
+    trap
+data:
+    .word 42
+";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.insn_at(0), Some(I::Addi { rt: Gpr(3), ra: Gpr(0), imm: 8 }));
+    }
+
+    #[test]
+    fn assembled_round_trips_through_executor() {
+        use ppc_isa::{step, CpuState, Memory};
+        let src = "
+entry:
+    li r3, 0
+    li r4, 10
+    mtctr r4
+loop:
+    addi r3, r3, 2
+    bdnz loop
+    trap
+";
+        let prog = assemble(src, 0).unwrap();
+        let mut mem = Memory::new(0x1000);
+        mem.write_bytes(prog.base, &prog.bytes).unwrap();
+        let mut cpu = CpuState::new(prog.symbols["entry"]);
+        for _ in 0..1000 {
+            let word = mem.load_u32(cpu.pc).unwrap();
+            let insn = ppc_isa::decode(word).unwrap();
+            let ev = step(&mut cpu, &mut mem, &insn).unwrap();
+            if ev.halted {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(Gpr(3)), 20);
+    }
+}

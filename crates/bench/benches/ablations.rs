@@ -1,0 +1,104 @@
+//! Ablations beyond the paper (DESIGN.md §8): BTAC geometry sweep,
+//! direction-predictor sweep, predicated-instruction latency sensitivity,
+//! and L1D size sensitivity — each on the Clustalw workload, the paper's
+//! own deep-dive application.
+
+use bioarch::apps::{App, Variant, Workload};
+use bioarch::report::{pct, Table};
+use power5_sim::config::{BtacConfig, CoreConfig};
+use power5_sim::predictor::PredictorKind;
+
+fn cycles(wl: &Workload, variant: Variant, cfg: &CoreConfig) -> u64 {
+    let run = wl.run(variant, cfg).expect("run succeeds");
+    assert!(run.validated, "ablation run failed validation");
+    run.counters.cycles
+}
+
+fn main() {
+    let scale = bioarch_bench::scale();
+    let seed = bioarch_bench::seed();
+    println!("=== Ablations (scale {scale:?}, seed {seed}) ===");
+    let wl = Workload::new(App::Clustalw, scale, seed);
+    let base = cycles(&wl, Variant::Baseline, &CoreConfig::power5());
+
+    // BTAC size / threshold sweep.
+    let mut t = Table::new(vec!["BTAC entries".into(), "threshold".into(), "gain".into()]);
+    for entries in [2usize, 4, 8, 16, 64] {
+        for threshold in [0i8, 1, 2] {
+            let cfg = CoreConfig::power5().with_btac(BtacConfig {
+                entries,
+                score_threshold: threshold,
+                ..BtacConfig::default()
+            });
+            let c = cycles(&wl, Variant::Baseline, &cfg);
+            t.row(vec![
+                entries.to_string(),
+                threshold.to_string(),
+                pct(base as f64 / c as f64 - 1.0),
+            ]);
+        }
+    }
+    println!("BTAC geometry sweep (Clustalw, baseline binaries)\n{}", t.render());
+
+    // Direction predictor sweep — the paper's claim: these branches defeat
+    // any predictor, so the choice barely matters.
+    let mut t = Table::new(vec!["predictor".into(), "mispredict rate".into(), "gain".into()]);
+    for (name, kind) in [
+        ("static-taken", PredictorKind::StaticTaken),
+        ("bimodal-4k", PredictorKind::Bimodal { bits: 12 }),
+        ("gshare-4k", PredictorKind::Gshare { bits: 12, history_bits: 11 }),
+        (
+            "tournament",
+            PredictorKind::Tournament {
+                bimodal_bits: 12,
+                gshare_bits: 12,
+                history_bits: 11,
+                selector_bits: 12,
+            },
+        ),
+    ] {
+        let cfg = CoreConfig::power5().with_predictor(kind);
+        let run = wl.run(Variant::Baseline, &cfg).expect("run succeeds");
+        t.row(vec![
+            name.into(),
+            format!("{:.1}%", 100.0 * run.counters.branches.misprediction_rate()),
+            pct(base as f64 / run.counters.cycles as f64 - 1.0),
+        ]);
+    }
+    println!("Direction-predictor sweep (Clustalw, baseline binaries)\n{}", t.render());
+
+    // Predicated-op latency sensitivity: how much of the max/isel win
+    // survives if the new instructions took 2 or 3 cycles?
+    let mut t = Table::new(vec!["extra latency".into(), "hand-max gain".into()]);
+    for extra in [0u64, 1, 2] {
+        let mut cfg = CoreConfig::power5();
+        cfg.lat_predicated_extra = extra;
+        let c = cycles(&wl, Variant::HandMax, &cfg);
+        t.row(vec![format!("+{extra}"), pct(base as f64 / c as f64 - 1.0)]);
+    }
+    println!("Predicated-instruction latency sensitivity (Clustalw)\n{}", t.render());
+
+    // SMT: the paper notes the taken-branch bubble grows from 2 to 3
+    // cycles with SMT enabled; measure that single effect.
+    let mut t = Table::new(vec!["SMT".into(), "gain vs baseline".into()]);
+    for smt in [false, true] {
+        let cfg = CoreConfig::power5().with_smt(smt);
+        let c = cycles(&wl, Variant::Baseline, &cfg);
+        t.row(vec![
+            if smt { "on (3-cycle bubble)" } else { "off (2-cycle bubble)" }.into(),
+            pct(base as f64 / c as f64 - 1.0),
+        ]);
+    }
+    println!("SMT taken-branch bubble (Clustalw, baseline binaries)\n{}", t.render());
+
+    // L1D size sensitivity — the paper's point that caches are NOT the
+    // bottleneck: shrinking the L1D fourfold should barely move Clustalw.
+    let mut t = Table::new(vec!["L1D size".into(), "gain vs 32K".into()]);
+    for kib in [8usize, 16, 32, 64] {
+        let mut cfg = CoreConfig::power5();
+        cfg.l1d.size = kib * 1024;
+        let c = cycles(&wl, Variant::Baseline, &cfg);
+        t.row(vec![format!("{kib} KiB"), pct(base as f64 / c as f64 - 1.0)]);
+    }
+    println!("L1D size sensitivity (Clustalw, baseline binaries)\n{}", t.render());
+}

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the golden-model algorithms — the
+//! host-side cost of the reference implementations used for validation.
+
+use bioalign::blast::{blastp, BlastParams};
+use bioalign::hmmsearch::viterbi_score;
+use bioalign::msa::progressive_align;
+use bioalign::pairwise::{needleman_wunsch_score, smith_waterman_score};
+use bioseq::generate::SeqGen;
+use bioseq::hmm::ProfileHmm;
+use bioseq::{Alphabet, GapPenalties, SubstitutionMatrix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut g = SeqGen::new(Alphabet::Protein, 1);
+    let a = g.uniform(200);
+    let b = g.homolog(&a, 0.3, 0.05);
+    let m = SubstitutionMatrix::blosum62();
+    let gp = GapPenalties::new(10, 2);
+    let mut group = c.benchmark_group("pairwise");
+    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    group.bench_function("smith_waterman", |bch| {
+        bch.iter(|| smith_waterman_score(black_box(a.codes()), black_box(b.codes()), &m, gp))
+    });
+    group.bench_function("needleman_wunsch", |bch| {
+        bch.iter(|| needleman_wunsch_score(black_box(a.codes()), black_box(b.codes()), &m, gp))
+    });
+    group.finish();
+}
+
+fn bench_blast(c: &mut Criterion) {
+    let mut g = SeqGen::new(Alphabet::Protein, 2);
+    let query = g.uniform(150);
+    let db = g.database(&query, 30, 4, 100..200);
+    let m = SubstitutionMatrix::blosum62();
+    let params = BlastParams::default();
+    c.bench_function("blastp_scan", |bch| {
+        bch.iter(|| blastp(black_box(&query), black_box(&db), &m, &params))
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let hmm = ProfileHmm::random(60, 3);
+    let mut g = SeqGen::new(Alphabet::Protein, 4);
+    let seq = g.uniform(150);
+    let mut group = c.benchmark_group("hmm");
+    group.throughput(Throughput::Elements((hmm.len() * seq.len()) as u64));
+    group.bench_function("p7viterbi", |bch| {
+        bch.iter(|| viterbi_score(black_box(&hmm), black_box(&seq)))
+    });
+    group.finish();
+}
+
+fn bench_msa(c: &mut Criterion) {
+    let mut g = SeqGen::new(Alphabet::Protein, 5);
+    let fam = g.family(6, 80, 0.2, 0.05);
+    let m = SubstitutionMatrix::blosum62();
+    let gp = GapPenalties::new(10, 2);
+    c.bench_function("progressive_align", |bch| {
+        bch.iter(|| progressive_align(black_box(&fam), &m, gp))
+    });
+}
+
+criterion_group!(benches, bench_pairwise, bench_blast, bench_viterbi, bench_msa);
+criterion_main!(benches);

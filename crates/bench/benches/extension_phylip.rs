@@ -1,0 +1,42 @@
+//! Extension beyond the paper: Sankoff parsimony (the Phylip workload the
+//! paper's conclusion predicts its results extend to). Regenerates a
+//! Figure-3-style variant comparison for the min-plus DP kernel.
+
+use bioarch::apps::Variant;
+use bioarch::extra::PhylipWorkload;
+use bioarch::report::{pct, Table};
+use power5_sim::CoreConfig;
+
+fn main() {
+    let scale = bioarch_bench::scale();
+    let seed = bioarch_bench::seed();
+    println!("=== Extension: Phylip-style Sankoff parsimony (scale {scale:?}, seed {seed}) ===");
+    let wl = PhylipWorkload::new(scale, seed);
+    let cfg = CoreConfig::power5();
+    let base = wl.run(Variant::Baseline, &cfg).expect("baseline runs");
+    assert!(base.validated);
+    let mut t = Table::new(vec![
+        "Variant".into(),
+        "IPC".into(),
+        "Improvement".into(),
+        "Branches/Instrs".into(),
+        "conv/rej".into(),
+    ]);
+    for v in Variant::all() {
+        let run = wl.run(v, &cfg).expect("variant runs");
+        assert!(run.validated, "{v:?} failed validation");
+        t.row(vec![
+            v.label().into(),
+            format!("{:.2}", run.counters.ipc()),
+            pct(base.counters.cycles as f64 / run.counters.cycles as f64 - 1.0),
+            format!("{:.1}%", 100.0 * run.counters.branch_fraction()),
+            format!("{}/{}", run.converted_hammocks, run.rejected_hammocks),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "baseline: {} instructions, mispredict rate {:.1}% — the min-plus mirror image of the alignment kernels.",
+        base.counters.instructions,
+        100.0 * base.counters.branches.misprediction_rate()
+    );
+}

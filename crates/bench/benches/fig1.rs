@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: function-wise breakdown per application.
+fn main() {
+    bioarch_bench::run_experiment("Figure 1", |s| s.fig1().expect("fig1 runs").render());
+}

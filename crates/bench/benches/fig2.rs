@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: Clustalw IPC / misprediction-rate time series.
+fn main() {
+    bioarch_bench::run_experiment("Figure 2", |s| s.fig2().expect("fig2 runs").render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: IPC with max and isel instructions.
+fn main() {
+    bioarch_bench::run_experiment("Figure 3", |s| s.fig3().expect("fig3 runs").render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: the effect of the eight-entry BTAC.
+fn main() {
+    bioarch_bench::run_experiment("Figure 4", |s| s.fig4().expect("fig4 runs").render());
+}

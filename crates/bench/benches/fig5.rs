@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: the effect of additional fixed-point units.
+fn main() {
+    bioarch_bench::run_experiment("Figure 5", |s| s.fig5().expect("fig5 runs").render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6: combined gains and the residual.
+fn main() {
+    bioarch_bench::run_experiment("Figure 6", |s| s.fig6().expect("fig6 runs").render());
+}

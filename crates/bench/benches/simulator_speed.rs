@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the POWER5 timing model itself:
+//! functional vs. timed simulation throughput, and the cost of the
+//! front-end structures (predictor, BTAC).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use power5_sim::config::BtacConfig;
+use power5_sim::{CoreConfig, Machine};
+
+const LOOP_PROGRAM: &str = "
+entry:
+    li r3, 0
+    lis r4, 1
+    mtctr r4
+loop:
+    addi r3, r3, 1
+    xor r5, r3, r4
+    add r6, r5, r3
+    lwz r7, 0(r1)
+    cmpwi cr0, r3, 0
+    bdnz loop
+    trap
+";
+
+fn machine(cfg: CoreConfig) -> Machine {
+    let prog = ppc_asm::assemble(LOOP_PROGRAM, 0x1000).expect("program assembles");
+    let mut m = Machine::new(cfg, &prog.bytes, 0x1000, 0x1000, 1 << 20);
+    m.cpu_mut().gpr[1] = 0x8_0000;
+    m
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    // ~65k iterations x 6 instructions + prologue.
+    let insns = 65536 * 6 + 4;
+    group.throughput(Throughput::Elements(insns));
+    group.bench_function("functional", |b| {
+        b.iter_batched(
+            || machine(CoreConfig::power5()),
+            |mut m| m.run_functional(u64::MAX).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("timed", |b| {
+        b.iter_batched(
+            || machine(CoreConfig::power5()),
+            |mut m| m.run_timed(u64::MAX).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("timed_with_btac", |b| {
+        b.iter_batched(
+            || machine(CoreConfig::power5().with_btac(BtacConfig::default())),
+            |mut m| m.run_timed(u64::MAX).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

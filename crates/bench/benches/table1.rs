@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I: baseline hardware-counter data.
+fn main() {
+    bioarch_bench::run_experiment("Table I", |s| s.table1().expect("table1 runs").render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II: branch statistics per application and variant.
+fn main() {
+    bioarch_bench::run_experiment("Table II", |s| s.table2().expect("table2 runs").render());
+}

@@ -1,0 +1,64 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Each `cargo bench -p bioarch-bench --bench <target>` regenerates one
+//! table or figure of the paper at benchmark (`ClassC`) scale and prints
+//! it; see `DESIGN.md` §4 for the experiment index. The harness honours
+//! two environment variables:
+//!
+//! * `BIOARCH_SCALE=test` — run at test scale (seconds instead of
+//!   minutes; used by CI smoke runs);
+//! * `BIOARCH_SEED=<n>` — change the workload seed (default 42).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bioarch::apps::Scale;
+use bioarch::experiments::Study;
+
+/// The scale selected by `BIOARCH_SCALE` (default: `ClassC`).
+pub fn scale() -> Scale {
+    match std::env::var("BIOARCH_SCALE").as_deref() {
+        Ok("test" | "Test" | "TEST") => Scale::Test,
+        _ => Scale::ClassC,
+    }
+}
+
+/// The seed selected by `BIOARCH_SEED` (default: 42).
+pub fn seed() -> u64 {
+    std::env::var("BIOARCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A study at the selected scale and seed.
+pub fn study() -> Study {
+    Study::new(scale(), seed())
+}
+
+/// Run one experiment-printing bench body: prints a header, runs `f`,
+/// prints its rendered result and the wall time.
+pub fn run_experiment(name: &str, f: impl FnOnce(&mut Study) -> String) {
+    let mut study = study();
+    println!("=== {name} (scale {:?}, seed {}) ===", study.scale(), study.seed());
+    let start = std::time::Instant::now();
+    let rendered = f(&mut study);
+    println!("{rendered}");
+    println!("[{name} regenerated in {:.1?}]", start.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_class_c() {
+        // The env vars are not set under `cargo test`.
+        if std::env::var("BIOARCH_SCALE").is_err() {
+            assert_eq!(scale(), Scale::ClassC);
+        }
+        if std::env::var("BIOARCH_SEED").is_err() {
+            assert_eq!(seed(), 42);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Residue alphabets and compact residue coding.
+//!
+//! Sequences are stored as small integer codes (`u8`) rather than ASCII so
+//! that substitution-matrix lookup in the dynamic-programming kernels is a
+//! direct array index — exactly how BLAST, FASTA, and HMMER lay out their
+//! inner loops.
+
+use std::fmt;
+
+/// The 24-letter protein residue ordering used by the NCBI BLOSUM matrices:
+/// the 20 standard amino acids followed by the ambiguity codes `B`, `Z`,
+/// `X`, and the stop/gap sentinel `*`.
+pub const PROTEIN_LETTERS: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// DNA nucleotide ordering: `A`, `C`, `G`, `T`, plus the ambiguity code `N`.
+pub const DNA_LETTERS: &[u8; 5] = b"ACGTN";
+
+/// A residue alphabet: either nucleotides or amino acids.
+///
+/// The alphabet determines how ASCII letters map to compact residue codes
+/// and how large substitution matrices must be.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::Alphabet;
+///
+/// assert_eq!(Alphabet::Protein.encode(b'W'), Some(17));
+/// assert_eq!(Alphabet::Protein.decode(17), b'W');
+/// assert_eq!(Alphabet::Dna.size(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Alphabet {
+    /// Nucleotide alphabet (`ACGT` + `N`).
+    Dna,
+    /// Amino-acid alphabet in BLOSUM ordering (20 + `B`/`Z`/`X`/`*`).
+    Protein,
+}
+
+impl Alphabet {
+    /// Number of distinct residue codes, including ambiguity codes.
+    pub fn size(self) -> usize {
+        match self {
+            Alphabet::Dna => DNA_LETTERS.len(),
+            Alphabet::Protein => PROTEIN_LETTERS.len(),
+        }
+    }
+
+    /// Number of *unambiguous* residues (4 for DNA, 20 for protein).
+    /// Random generation draws only from these.
+    pub fn core_size(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// The ASCII letters of this alphabet in code order.
+    pub fn letters(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => DNA_LETTERS,
+            Alphabet::Protein => PROTEIN_LETTERS,
+        }
+    }
+
+    /// Map an ASCII letter (case-insensitive) to its residue code.
+    ///
+    /// Returns `None` for characters outside the alphabet.
+    pub fn encode(self, letter: u8) -> Option<u8> {
+        let upper = letter.to_ascii_uppercase();
+        self.letters()
+            .iter()
+            .position(|&l| l == upper)
+            .map(|i| i as u8)
+    }
+
+    /// Map a residue code back to its ASCII letter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range for this alphabet.
+    pub fn decode(self, code: u8) -> u8 {
+        self.letters()[code as usize]
+    }
+
+    /// Whether `code` is a valid residue code for this alphabet.
+    pub fn is_valid_code(self, code: u8) -> bool {
+        (code as usize) < self.size()
+    }
+
+    /// The code used for "unknown residue" (`N` for DNA, `X` for protein).
+    pub fn unknown_code(self) -> u8 {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 22,
+        }
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alphabet::Dna => write!(f, "DNA"),
+            Alphabet::Protein => write!(f, "protein"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_round_trip_all_letters() {
+        for (i, &l) in PROTEIN_LETTERS.iter().enumerate() {
+            assert_eq!(Alphabet::Protein.encode(l), Some(i as u8));
+            assert_eq!(Alphabet::Protein.decode(i as u8), l);
+        }
+    }
+
+    #[test]
+    fn dna_round_trip_all_letters() {
+        for (i, &l) in DNA_LETTERS.iter().enumerate() {
+            assert_eq!(Alphabet::Dna.encode(l), Some(i as u8));
+            assert_eq!(Alphabet::Dna.decode(i as u8), l);
+        }
+    }
+
+    #[test]
+    fn encode_is_case_insensitive() {
+        assert_eq!(Alphabet::Protein.encode(b'w'), Alphabet::Protein.encode(b'W'));
+        assert_eq!(Alphabet::Dna.encode(b'a'), Some(0));
+    }
+
+    #[test]
+    fn encode_rejects_foreign_characters() {
+        assert_eq!(Alphabet::Dna.encode(b'E'), None);
+        assert_eq!(Alphabet::Protein.encode(b'J'), None);
+        assert_eq!(Alphabet::Protein.encode(b'1'), None);
+        assert_eq!(Alphabet::Protein.encode(b' '), None);
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        assert_eq!(Alphabet::Dna.size(), 5);
+        assert_eq!(Alphabet::Dna.core_size(), 4);
+        assert_eq!(Alphabet::Protein.size(), 24);
+        assert_eq!(Alphabet::Protein.core_size(), 20);
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_ambiguity_letters() {
+        assert_eq!(Alphabet::Dna.decode(Alphabet::Dna.unknown_code()), b'N');
+        assert_eq!(
+            Alphabet::Protein.decode(Alphabet::Protein.unknown_code()),
+            b'X'
+        );
+    }
+
+    #[test]
+    fn validity_matches_size() {
+        assert!(Alphabet::Dna.is_valid_code(4));
+        assert!(!Alphabet::Dna.is_valid_code(5));
+        assert!(Alphabet::Protein.is_valid_code(23));
+        assert!(!Alphabet::Protein.is_valid_code(24));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Alphabet::Dna.to_string(), "DNA");
+        assert_eq!(Alphabet::Protein.to_string(), "protein");
+    }
+}

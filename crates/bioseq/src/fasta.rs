@@ -1,0 +1,241 @@
+//! FASTA format reading and writing.
+//!
+//! BioPerf inputs ship as FASTA files; the reproduction keeps the format so
+//! examples can exchange data with real tools.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error while parsing FASTA text.
+#[derive(Debug)]
+pub enum ParseFastaError {
+    /// Residue text before any `>` header line.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A residue character outside the alphabet.
+    InvalidResidue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        byte: u8,
+        /// Alphabet being parsed against.
+        alphabet: Alphabet,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ParseFastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFastaError::MissingHeader { line } => {
+                write!(f, "line {line}: residue data before first '>' header")
+            }
+            ParseFastaError::InvalidResidue { line, byte, alphabet } => write!(
+                f,
+                "line {line}: invalid {alphabet} residue {:?}",
+                *byte as char
+            ),
+            ParseFastaError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseFastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseFastaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseFastaError {
+    fn from(e: io::Error) -> Self {
+        ParseFastaError::Io(e)
+    }
+}
+
+/// Parse all records from FASTA text held in a string.
+///
+/// Header lines start with `>`; the first whitespace-delimited token is the
+/// sequence name. Blank lines are ignored. Residues are case-insensitive.
+///
+/// # Errors
+///
+/// Returns [`ParseFastaError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{fasta, Alphabet};
+///
+/// let records = fasta::parse_str(">a desc\nMKV\nWL\n>b\nACDE\n", Alphabet::Protein)?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].name(), "a");
+/// assert_eq!(records[0].to_text(), "MKVWL");
+/// # Ok::<(), bioseq::fasta::ParseFastaError>(())
+/// ```
+pub fn parse_str(text: &str, alphabet: Alphabet) -> Result<Vec<Sequence>, ParseFastaError> {
+    read(text.as_bytes(), alphabet)
+}
+
+/// Parse all records from a buffered reader.
+///
+/// A mutable reference to a reader also works here (`&mut r`), so a reader
+/// can be reused after this call.
+///
+/// # Errors
+///
+/// Returns [`ParseFastaError`] on malformed input or I/O failure.
+pub fn read<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<Sequence>, ParseFastaError> {
+    let mut records = Vec::new();
+    let mut name: Option<String> = None;
+    let mut codes: Vec<u8> = Vec::new();
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(prev) = name.take() {
+                records.push(Sequence::from_codes(prev, alphabet, std::mem::take(&mut codes)));
+            }
+            let token = header.split_whitespace().next().unwrap_or("").to_string();
+            name = Some(token);
+        } else {
+            if name.is_none() {
+                return Err(ParseFastaError::MissingHeader { line: lineno });
+            }
+            for &byte in trimmed.as_bytes() {
+                match alphabet.encode(byte) {
+                    Some(code) => codes.push(code),
+                    None => {
+                        return Err(ParseFastaError::InvalidResidue {
+                            line: lineno,
+                            byte,
+                            alphabet,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some(prev) = name {
+        records.push(Sequence::from_codes(prev, alphabet, codes));
+    }
+    Ok(records)
+}
+
+/// Write records as FASTA with 60-column residue lines.
+///
+/// A mutable reference to a writer also works here (`&mut w`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(mut writer: W, records: &[Sequence]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, ">{}", rec.name())?;
+        let text = rec.to_text();
+        for chunk in text.as_bytes().chunks(60) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA string.
+pub fn to_string(records: &[Sequence]) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, records).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_two_records() {
+        let recs = parse_str(">a\nMKV\n>b x y\nWL\n", Alphabet::Protein).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name(), "a");
+        assert_eq!(recs[1].name(), "b");
+        assert_eq!(recs[1].to_text(), "WL");
+    }
+
+    #[test]
+    fn parse_joins_wrapped_lines_and_skips_blanks() {
+        let recs = parse_str(">a\nMK\n\nVW\n", Alphabet::Protein).unwrap();
+        assert_eq!(recs[0].to_text(), "MKVW");
+    }
+
+    #[test]
+    fn parse_rejects_leading_residues() {
+        let err = parse_str("MKV\n>a\nWL\n", Alphabet::Protein).unwrap_err();
+        assert!(matches!(err, ParseFastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_residue_with_line_number() {
+        let err = parse_str(">a\nMKV\nZ1\n", Alphabet::Protein).unwrap_err();
+        match err {
+            ParseFastaError::InvalidResidue { line, byte, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(byte, b'1');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(parse_str("", Alphabet::Dna).unwrap().is_empty());
+    }
+
+    #[test]
+    fn header_with_no_name_is_allowed() {
+        let recs = parse_str(">\nACGT\n", Alphabet::Dna).unwrap();
+        assert_eq!(recs[0].name(), "");
+        assert_eq!(recs[0].len(), 4);
+    }
+
+    #[test]
+    fn write_wraps_at_60_columns() {
+        let long = "A".repeat(125);
+        let rec = Sequence::from_text("long", Alphabet::Protein, &long).unwrap();
+        let out = to_string(&[rec]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], ">long");
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[2].len(), 60);
+        assert_eq!(lines[3].len(), 5);
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let input = vec![
+            Sequence::from_text("x", Alphabet::Dna, "ACGTACGT").unwrap(),
+            Sequence::from_text("y", Alphabet::Dna, "TTTT").unwrap(),
+        ];
+        let text = to_string(&input);
+        let output = parse_str(&text, Alphabet::Dna).unwrap();
+        assert_eq!(input, output);
+    }
+
+    #[test]
+    fn read_accepts_mut_reference() {
+        let mut cursor = std::io::Cursor::new(b">a\nACGT\n".to_vec());
+        let recs = read(&mut cursor, Alphabet::Dna).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+}

@@ -1,0 +1,600 @@
+//! Plan7 profile hidden Markov models in HMMER2's integer log-odds form.
+//!
+//! `hmmpfam` (the Hmmer workload in the paper) aligns a query sequence
+//! against a database of profile HMMs with the integer Viterbi kernel
+//! `P7Viterbi`. HMMER2 pre-scales all probabilities to integer log-odds
+//! scores (`INTSCALE = 1000`), which is why the kernel is pure fixed-point
+//! arithmetic — a property the paper's FXU experiments depend on. This
+//! module reproduces that representation.
+//!
+//! A Plan7 model of length `M` has per-node match/insert emission scores and
+//! seven per-node transition scores (`M→M`, `M→I`, `M→D`, `I→M`, `I→I`,
+//! `D→M`, `D→D`) plus begin→match entry and match→end exit scores.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// HMMER2's integer score scale: scores are `round(log2(p / null) * 1000)`.
+pub const INTSCALE: f64 = 1000.0;
+
+/// Score used for impossible transitions/emissions (a large negative value
+/// that cannot underflow when a handful of them are added together).
+pub const NEG_INF_SCORE: i32 = -100_000;
+
+/// Error parsing a [`ProfileHmm`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHmmError {
+    /// 1-based line (0 when the whole document is malformed).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseHmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseHmmError {}
+
+/// Per-node state transitions of a Plan7 model, as indices into
+/// [`ProfileHmm::transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// Match k → Match k+1
+    MM,
+    /// Match k → Insert k
+    MI,
+    /// Match k → Delete k+1
+    MD,
+    /// Insert k → Match k+1
+    IM,
+    /// Insert k → Insert k
+    II,
+    /// Delete k → Match k+1
+    DM,
+    /// Delete k → Delete k+1
+    DD,
+}
+
+/// A Plan7 profile HMM with integer log-odds scores.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::hmm::ProfileHmm;
+///
+/// let hmm = ProfileHmm::random(40, 0xBEEF);
+/// assert_eq!(hmm.len(), 40);
+/// // Match emissions are integer log-odds; a consensus residue scores high.
+/// let best = (0..20).map(|r| hmm.match_score(1, r)).max().unwrap();
+/// assert!(best > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileHmm {
+    name: String,
+    m: usize,
+    /// Match emission scores, row-major `[node][residue]`, nodes 1..=M at
+    /// rows 1..=M (row 0 unused, matching HMMER2's 1-based indexing).
+    msc: Vec<i32>,
+    /// Insert emission scores, same layout.
+    isc: Vec<i32>,
+    /// Transition scores `[kind][node]`, kinds in [`Transition`] order.
+    tsc: [Vec<i32>; 7],
+    /// Begin → Match_k entry scores, 1-based.
+    bsc: Vec<i32>,
+    /// Match_k → End exit scores, 1-based.
+    esc: Vec<i32>,
+    k: usize,
+}
+
+fn ilogodds(p: f64, null: f64) -> i32 {
+    if p <= 0.0 {
+        NEG_INF_SCORE
+    } else {
+        ((p / null).log2() * INTSCALE).round() as i32
+    }
+}
+
+impl ProfileHmm {
+    /// Number of match nodes (`M`).
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the model has zero nodes (never true for built models).
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Alphabet size used for emissions (20 protein residues plus ambiguity
+    /// codes mapped to slightly negative scores).
+    pub fn alphabet_size(&self) -> usize {
+        self.k
+    }
+
+    /// Match emission score at `node` (1-based) for residue code `res`.
+    #[inline]
+    pub fn match_score(&self, node: usize, res: u8) -> i32 {
+        self.msc[node * self.k + res as usize]
+    }
+
+    /// Insert emission score at `node` (1-based) for residue code `res`.
+    #[inline]
+    pub fn insert_score(&self, node: usize, res: u8) -> i32 {
+        self.isc[node * self.k + res as usize]
+    }
+
+    /// Transition score of `kind` out of `node` (1-based).
+    #[inline]
+    pub fn transition(&self, kind: Transition, node: usize) -> i32 {
+        self.tsc[kind as usize][node]
+    }
+
+    /// Begin → Match `node` entry score (1-based).
+    #[inline]
+    pub fn begin_score(&self, node: usize) -> i32 {
+        self.bsc[node]
+    }
+
+    /// Match `node` → End exit score (1-based).
+    #[inline]
+    pub fn end_score(&self, node: usize) -> i32 {
+        self.esc[node]
+    }
+
+    /// Raw match emission table (row-major `[node][residue]`, row 0 unused)
+    /// for serialization into simulated memory.
+    pub fn msc_raw(&self) -> &[i32] {
+        &self.msc
+    }
+
+    /// Raw insert emission table, same layout as [`Self::msc_raw`].
+    pub fn isc_raw(&self) -> &[i32] {
+        &self.isc
+    }
+
+    /// Raw transition table for `kind` (index 0 unused).
+    pub fn tsc_raw(&self, kind: Transition) -> &[i32] {
+        &self.tsc[kind as usize]
+    }
+
+    /// Raw begin scores (index 0 unused).
+    pub fn bsc_raw(&self) -> &[i32] {
+        &self.bsc
+    }
+
+    /// Raw end scores (index 0 unused).
+    pub fn esc_raw(&self) -> &[i32] {
+        &self.esc
+    }
+
+    /// Build a model from per-node match emission probability columns.
+    ///
+    /// `columns[k][r]` is the probability of residue `r` at node `k+1`; each
+    /// column must sum to ≈ 1 over the 20 core residues. Transition
+    /// probabilities are the classic Plan7 defaults (match-heavy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or any column has the wrong arity.
+    pub fn from_match_columns(name: impl Into<String>, columns: &[Vec<f64>]) -> Self {
+        assert!(!columns.is_empty(), "a profile HMM needs at least one node");
+        let k = Alphabet::Protein.size();
+        let core = Alphabet::Protein.core_size();
+        let m = columns.len();
+        let null = 1.0 / core as f64;
+
+        let mut msc = vec![NEG_INF_SCORE; (m + 1) * k];
+        let mut isc = vec![NEG_INF_SCORE; (m + 1) * k];
+        for (ki, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), core, "emission column must cover 20 residues");
+            let node = ki + 1;
+            for r in 0..core {
+                msc[node * k + r] = ilogodds(col[r], null);
+            }
+            // Ambiguity codes score like HMMER: X = 0 (null), B/Z slightly
+            // negative, * impossible.
+            msc[node * k + 20] = -500; // B
+            msc[node * k + 21] = -500; // Z
+            msc[node * k + 22] = 0; // X
+            msc[node * k + 23] = NEG_INF_SCORE; // *
+            for r in 0..core {
+                // Inserts emit from the background → score 0.
+                isc[node * k + r] = 0;
+            }
+            isc[node * k + 22] = 0;
+        }
+
+        // Plan7 default transitions (probabilities → integer log-odds with a
+        // null transition model of 1.0, i.e. plain log2 * INTSCALE).
+        let t = |p: f64| ilogodds(p, 1.0);
+        let mut tsc: [Vec<i32>; 7] = Default::default();
+        for v in tsc.iter_mut() {
+            *v = vec![NEG_INF_SCORE; m + 1];
+        }
+        for node in 1..=m {
+            tsc[Transition::MM as usize][node] = t(0.90);
+            tsc[Transition::MI as usize][node] = t(0.05);
+            tsc[Transition::MD as usize][node] = t(0.05);
+            tsc[Transition::IM as usize][node] = t(0.60);
+            tsc[Transition::II as usize][node] = t(0.40);
+            tsc[Transition::DM as usize][node] = t(0.70);
+            tsc[Transition::DD as usize][node] = t(0.30);
+        }
+        // Final node cannot transit to node M+1 states other than E.
+        tsc[Transition::MI as usize][m] = NEG_INF_SCORE;
+        tsc[Transition::MD as usize][m] = NEG_INF_SCORE;
+        tsc[Transition::DD as usize][m] = NEG_INF_SCORE;
+
+        // Uniform local entry/exit (hmmls-style): allow entering at node 1
+        // cheaply and anywhere else at a penalty; exits symmetric.
+        let mut bsc = vec![NEG_INF_SCORE; m + 1];
+        let mut esc = vec![NEG_INF_SCORE; m + 1];
+        for node in 1..=m {
+            bsc[node] = if node == 1 { t(0.5) } else { t(0.5 / m as f64) };
+            esc[node] = if node == m { t(0.5) } else { t(0.5 / m as f64) };
+        }
+
+        ProfileHmm {
+            name: name.into(),
+            m,
+            msc,
+            isc,
+            tsc,
+            bsc,
+            esc,
+            k,
+        }
+    }
+
+    /// Build a model from a gap-free family alignment (all sequences the
+    /// same length), with +1 pseudocounts — the `hmmbuild` stand-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is empty, members differ in length, or the
+    /// alphabet is not protein.
+    pub fn from_family(name: impl Into<String>, family: &[Sequence]) -> Self {
+        assert!(!family.is_empty(), "family must be non-empty");
+        let len = family[0].len();
+        assert!(len > 0, "family sequences must be non-empty");
+        let core = Alphabet::Protein.core_size();
+        for s in family {
+            assert_eq!(s.alphabet(), Alphabet::Protein, "profile HMMs are protein models");
+            assert_eq!(s.len(), len, "family members must be aligned (equal length)");
+        }
+        let mut columns = Vec::with_capacity(len);
+        for pos in 0..len {
+            let mut counts = vec![1.0f64; core]; // +1 pseudocount
+            for s in family {
+                let c = s.codes()[pos] as usize;
+                if c < core {
+                    counts[c] += 1.0;
+                }
+            }
+            let total: f64 = counts.iter().sum();
+            columns.push(counts.into_iter().map(|c| c / total).collect());
+        }
+        ProfileHmm::from_match_columns(name, &columns)
+    }
+
+    /// A random but well-formed model of length `m`, seeded — each node has
+    /// one strongly preferred consensus residue (70 %) with the remainder
+    /// spread uniformly, resembling a real Pfam profile's information
+    /// content.
+    pub fn random(m: usize, seed: u64) -> Self {
+        assert!(m > 0, "a profile HMM needs at least one node");
+        let core = Alphabet::Protein.core_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let columns: Vec<Vec<f64>> = (0..m)
+            .map(|_| {
+                let consensus = rng.gen_range(0..core);
+                (0..core)
+                    .map(|r| {
+                        if r == consensus {
+                            0.70 + 0.30 / core as f64
+                        } else {
+                            0.30 / core as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ProfileHmm::from_match_columns(format!("rand{seed:x}_m{m}"), &columns)
+    }
+
+    /// Serialize to a plain-text format in the spirit of HMMER2's `.hmm`
+    /// files: a header, then one whitespace-separated line per node with
+    /// the nine transition/entry/exit scores, then the match and insert
+    /// emission tables.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bioseq::hmm::ProfileHmm;
+    ///
+    /// let hmm = ProfileHmm::random(12, 3);
+    /// let text = hmm.to_text();
+    /// let back = ProfileHmm::from_text(&text)?;
+    /// assert_eq!(hmm, back);
+    /// # Ok::<(), bioseq::hmm::ParseHmmError>(())
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "HMMER2-like profile");
+        let _ = writeln!(out, "NAME  {}", self.name);
+        let _ = writeln!(out, "LENG  {}", self.m);
+        let _ = writeln!(out, "ALPH  {}", self.k);
+        out.push_str("TRANS tmm tim tdm tmi tii tmd tdd bsc esc\n");
+        for node in 0..=self.m {
+            let _ = writeln!(
+                out,
+                "T {} {} {} {} {} {} {} {} {} {}",
+                node,
+                self.tsc[0][node],
+                self.tsc[1][node],
+                self.tsc[2][node],
+                self.tsc[3][node],
+                self.tsc[4][node],
+                self.tsc[5][node],
+                self.tsc[6][node],
+                self.bsc[node],
+                self.esc[node],
+            );
+        }
+        for (label, table) in [("M", &self.msc), ("I", &self.isc)] {
+            for node in 0..=self.m {
+                let _ = write!(out, "{label} {node}");
+                for res in 0..self.k {
+                    let _ = write!(out, " {}", table[node * self.k + res]);
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("//\n");
+        out
+    }
+
+    /// Parse a model previously written by [`ProfileHmm::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseHmmError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, ParseHmmError> {
+        let err = |line: usize, msg: &str| ParseHmmError { line, message: msg.to_string() };
+        let mut name = String::new();
+        let mut m = 0usize;
+        let mut k = 0usize;
+        let mut tsc: Option<[Vec<i32>; 7]> = None;
+        let mut bsc = Vec::new();
+        let mut esc = Vec::new();
+        let mut msc = Vec::new();
+        let mut isc = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let mut parts = raw.split_whitespace();
+            match parts.next() {
+                Some("NAME") => name = parts.next().unwrap_or("").to_string(),
+                Some("LENG") => {
+                    m = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad LENG"))?;
+                }
+                Some("ALPH") => {
+                    k = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad ALPH"))?;
+                    let mut t: [Vec<i32>; 7] = Default::default();
+                    for v in t.iter_mut() {
+                        *v = vec![NEG_INF_SCORE; m + 1];
+                    }
+                    tsc = Some(t);
+                    bsc = vec![NEG_INF_SCORE; m + 1];
+                    esc = vec![NEG_INF_SCORE; m + 1];
+                    msc = vec![NEG_INF_SCORE; (m + 1) * k];
+                    isc = vec![NEG_INF_SCORE; (m + 1) * k];
+                }
+                Some("T") => {
+                    let t = tsc.as_mut().ok_or_else(|| err(line, "T before ALPH"))?;
+                    let node: usize = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n <= m)
+                        .ok_or_else(|| err(line, "bad node index"))?;
+                    let vals: Vec<i32> = parts
+                        .map(|v| v.parse::<i32>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| err(line, "bad transition score"))?;
+                    if vals.len() != 9 {
+                        return Err(err(line, "expected 9 transition scores"));
+                    }
+                    for (i, t_i) in t.iter_mut().enumerate() {
+                        t_i[node] = vals[i];
+                    }
+                    bsc[node] = vals[7];
+                    esc[node] = vals[8];
+                }
+                Some(label @ ("M" | "I")) => {
+                    if tsc.is_none() {
+                        return Err(err(line, "emissions before ALPH"));
+                    }
+                    let node: usize = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n <= m)
+                        .ok_or_else(|| err(line, "bad node index"))?;
+                    let vals: Vec<i32> = parts
+                        .map(|v| v.parse::<i32>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| err(line, "bad emission score"))?;
+                    if vals.len() != k {
+                        return Err(err(line, "wrong emission arity"));
+                    }
+                    let table = if label == "M" { &mut msc } else { &mut isc };
+                    table[node * k..(node + 1) * k].copy_from_slice(&vals);
+                }
+                _ => {}
+            }
+        }
+        let tsc = tsc.ok_or_else(|| err(0, "missing ALPH header"))?;
+        if m == 0 {
+            return Err(err(0, "missing or zero LENG"));
+        }
+        Ok(ProfileHmm { name, m, msc, isc, tsc, bsc, esc, k })
+    }
+
+    /// The consensus sequence: at each node, the residue with the highest
+    /// match emission score.
+    pub fn consensus(&self) -> Sequence {
+        let core = Alphabet::Protein.core_size() as u8;
+        let codes = (1..=self.m)
+            .map(|node| (0..core).max_by_key(|&r| self.match_score(node, r)).unwrap())
+            .collect();
+        Sequence::from_codes(format!("{}_consensus", self.name), Alphabet::Protein, codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::SeqGen;
+
+    #[test]
+    fn random_model_shape() {
+        let hmm = ProfileHmm::random(25, 1);
+        assert_eq!(hmm.len(), 25);
+        assert!(!hmm.is_empty());
+        assert_eq!(hmm.alphabet_size(), 24);
+        assert_eq!(hmm.msc_raw().len(), 26 * 24);
+    }
+
+    #[test]
+    fn random_model_is_deterministic() {
+        assert_eq!(ProfileHmm::random(10, 7), ProfileHmm::random(10, 7));
+        assert_ne!(ProfileHmm::random(10, 7), ProfileHmm::random(10, 8));
+    }
+
+    #[test]
+    fn consensus_scores_positive_everywhere() {
+        let hmm = ProfileHmm::random(30, 3);
+        let cons = hmm.consensus();
+        for (i, &r) in cons.codes().iter().enumerate() {
+            assert!(hmm.match_score(i + 1, r) > 0, "node {} consensus not positive", i + 1);
+        }
+    }
+
+    #[test]
+    fn non_consensus_scores_negative() {
+        let hmm = ProfileHmm::random(30, 3);
+        let cons = hmm.consensus();
+        for (i, &r) in cons.codes().iter().enumerate() {
+            let other = (r + 1) % 20;
+            assert!(hmm.match_score(i + 1, other) < 0);
+        }
+    }
+
+    #[test]
+    fn transitions_are_negative_log_odds() {
+        let hmm = ProfileHmm::random(12, 5);
+        for node in 1..12 {
+            assert!(hmm.transition(Transition::MM, node) < 0);
+            assert!(hmm.transition(Transition::MM, node) > hmm.transition(Transition::MI, node));
+        }
+        // Last node has no MI/MD continuation.
+        assert_eq!(hmm.transition(Transition::MI, 12), NEG_INF_SCORE);
+    }
+
+    #[test]
+    fn begin_end_scores_favor_full_length() {
+        let hmm = ProfileHmm::random(20, 9);
+        assert!(hmm.begin_score(1) > hmm.begin_score(5));
+        assert!(hmm.end_score(20) > hmm.end_score(5));
+    }
+
+    #[test]
+    fn from_family_prefers_family_consensus() {
+        let mut g = SeqGen::new(Alphabet::Protein, 42);
+        let fam = g.family(8, 50, 0.1, 0.0);
+        let hmm = ProfileHmm::from_family("fam", &fam);
+        assert_eq!(hmm.len(), 50);
+        // The ancestor's residues should score well in most columns.
+        let anc = &fam[0];
+        let positive = anc
+            .codes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| hmm.match_score(i + 1, r) > 0)
+            .count();
+        assert!(positive > 40, "only {positive}/50 ancestor residues score positive");
+    }
+
+    #[test]
+    fn insert_scores_are_null() {
+        let hmm = ProfileHmm::random(5, 11);
+        for node in 1..=5 {
+            for r in 0..20u8 {
+                assert_eq!(hmm.insert_score(node, r), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stop_residue_is_impossible_in_match() {
+        let hmm = ProfileHmm::random(5, 11);
+        assert_eq!(hmm.match_score(3, 23), NEG_INF_SCORE);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_model() {
+        let hmm = ProfileHmm::from_family("fam", &{
+            let mut g = SeqGen::new(Alphabet::Protein, 77);
+            g.family(5, 20, 0.2, 0.0)
+        });
+        let text = hmm.to_text();
+        let back = ProfileHmm::from_text(&text).unwrap();
+        assert_eq!(hmm, back);
+        assert!(text.starts_with("HMMER2-like"));
+        assert!(text.trim_end().ends_with("//"));
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(ProfileHmm::from_text("").is_err());
+        assert!(ProfileHmm::from_text("NAME x\nLENG 3\n").is_err()); // no ALPH
+        let e = ProfileHmm::from_text("NAME x\nLENG 2\nALPH 24\nT 9 0 0 0 0 0 0 0 0 0\n")
+            .unwrap_err();
+        assert!(e.message.contains("node index"), "{e}");
+        let e = ProfileHmm::from_text("NAME x\nLENG 2\nALPH 24\nT 1 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("9 transition"), "{e}");
+    }
+
+    #[test]
+    fn parsed_model_scores_like_the_original() {
+        let hmm = ProfileHmm::random(15, 5);
+        let back = ProfileHmm::from_text(&hmm.to_text()).unwrap();
+        let cons = hmm.consensus();
+        for (i, &r) in cons.codes().iter().enumerate() {
+            assert_eq!(hmm.match_score(i + 1, r), back.match_score(i + 1, r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_family_rejects_ragged() {
+        let a = Sequence::from_text("a", Alphabet::Protein, "MKV").unwrap();
+        let b = Sequence::from_text("b", Alphabet::Protein, "MK").unwrap();
+        let _ = ProfileHmm::from_family("bad", &[a, b]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Biological sequence substrate for the POWER5 BioPerf reproduction.
+//!
+//! This crate provides everything the workload side of the study needs:
+//!
+//! * [`Alphabet`]s (DNA and protein) with compact residue codes,
+//! * [`Sequence`] containers and FASTA I/O ([`fasta`]),
+//! * deterministic, seeded synthetic workload generation ([`generate`]):
+//!   random sequences, mutation models, sequence families, and databases
+//!   with planted homologs — the stand-in for the BioPerf class-C inputs,
+//! * substitution matrices ([`matrix`], including the real BLOSUM62) and
+//!   affine gap penalties,
+//! * Plan7 profile hidden Markov models ([`hmm`]) in the integer log-odds
+//!   form used by HMMER2's `P7Viterbi`.
+//!
+//! The paper's workloads operate on protein sequence data; the branch
+//! behaviour its dynamic-programming kernels exhibit depends only on the
+//! *distribution of substitution scores*, which the synthetic generators
+//! here reproduce (controlled-identity families scored under BLOSUM62).
+//!
+//! # Example
+//!
+//! ```
+//! use bioseq::{Alphabet, generate::SeqGen, matrix::SubstitutionMatrix};
+//!
+//! let mut gen = SeqGen::new(Alphabet::Protein, 42);
+//! let query = gen.uniform(120);
+//! let homolog = gen.mutate(&query, 0.25);
+//! let blosum = SubstitutionMatrix::blosum62();
+//! assert!(blosum.score_seq(&query, &query) > blosum.score_seq(&query, &homolog));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod fasta;
+pub mod generate;
+pub mod hmm;
+pub mod matrix;
+pub mod seq;
+
+pub use alphabet::Alphabet;
+pub use matrix::{GapPenalties, SubstitutionMatrix};
+pub use seq::Sequence;

@@ -1,0 +1,414 @@
+//! Substitution matrices and gap penalties.
+//!
+//! The dynamic-programming kernels the paper studies spend their cycles in
+//! `max()` chains over values drawn from these matrices; the *distribution*
+//! of scores (mostly small negatives with occasional positives) is what
+//! makes the resulting conditional branches value-dependent and therefore
+//! hard to predict. We ship the real NCBI BLOSUM62 so the reproduction sees
+//! the same score statistics as the original workloads.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+use std::fmt;
+
+/// NCBI BLOSUM62, 24×24, row/column order `ARNDCQEGHILKMFPSTWYVBZX*`.
+#[rustfmt::skip]
+const BLOSUM62: [[i8; 24]; 24] = [
+    [ 4,-1,-2,-2, 0,-1,-1, 0,-2,-1,-1,-1,-1,-2,-1, 1, 0,-3,-2, 0,-2,-1, 0,-4],
+    [-1, 5, 0,-2,-3, 1, 0,-2, 0,-3,-2, 2,-1,-3,-2,-1,-1,-3,-2,-3,-1, 0,-1,-4],
+    [-2, 0, 6, 1,-3, 0, 0, 0, 1,-3,-3, 0,-2,-3,-2, 1, 0,-4,-2,-3, 3, 0,-1,-4],
+    [-2,-2, 1, 6,-3, 0, 2,-1,-1,-3,-4,-1,-3,-3,-1, 0,-1,-4,-3,-3, 4, 1,-1,-4],
+    [ 0,-3,-3,-3, 9,-3,-4,-3,-3,-1,-1,-3,-1,-2,-3,-1,-1,-2,-2,-1,-3,-3,-2,-4],
+    [-1, 1, 0, 0,-3, 5, 2,-2, 0,-3,-2, 1, 0,-3,-1, 0,-1,-2,-1,-2, 0, 3,-1,-4],
+    [-1, 0, 0, 2,-4, 2, 5,-2, 0,-3,-3, 1,-2,-3,-1, 0,-1,-3,-2,-2, 1, 4,-1,-4],
+    [ 0,-2, 0,-1,-3,-2,-2, 6,-2,-4,-4,-2,-3,-3,-2, 0,-2,-2,-3,-3,-1,-2,-1,-4],
+    [-2, 0, 1,-1,-3, 0, 0,-2, 8,-3,-3,-1,-2,-1,-2,-1,-2,-2, 2,-3, 0, 0,-1,-4],
+    [-1,-3,-3,-3,-1,-3,-3,-4,-3, 4, 2,-3, 1, 0,-3,-2,-1,-3,-1, 3,-3,-3,-1,-4],
+    [-1,-2,-3,-4,-1,-2,-3,-4,-3, 2, 4,-2, 2, 0,-3,-2,-1,-2,-1, 1,-4,-3,-1,-4],
+    [-1, 2, 0,-1,-3, 1, 1,-2,-1,-3,-2, 5,-1,-3,-1, 0,-1,-3,-2,-2, 0, 1,-1,-4],
+    [-1,-1,-2,-3,-1, 0,-2,-3,-2, 1, 2,-1, 5, 0,-2,-1,-1,-1,-1, 1,-3,-1,-1,-4],
+    [-2,-3,-3,-3,-2,-3,-3,-3,-1, 0, 0,-3, 0, 6,-4,-2,-2, 1, 3,-1,-3,-3,-1,-4],
+    [-1,-2,-2,-1,-3,-1,-1,-2,-2,-3,-3,-1,-2,-4, 7,-1,-1,-4,-3,-2,-2,-1,-2,-4],
+    [ 1,-1, 1, 0,-1, 0, 0, 0,-1,-2,-2, 0,-1,-2,-1, 4, 1,-3,-2,-2, 0, 0, 0,-4],
+    [ 0,-1, 0,-1,-1,-1,-1,-2,-2,-1,-1,-1,-1,-2,-1, 1, 5,-2,-2, 0,-1,-1, 0,-4],
+    [-3,-3,-4,-4,-2,-2,-3,-2,-2,-3,-2,-3,-1, 1,-4,-3,-2,11, 2,-3,-4,-3,-2,-4],
+    [-2,-2,-2,-3,-2,-1,-2,-3, 2,-1,-1,-2,-1, 3,-3,-2,-2, 2, 7,-1,-3,-2,-1,-4],
+    [ 0,-3,-3,-3,-1,-2,-2,-3,-3, 3, 1,-2, 1,-1,-2,-2, 0,-3,-1, 4,-3,-2,-1,-4],
+    [-2,-1, 3, 4,-3, 0, 1,-1, 0,-3,-4, 0,-3,-3,-2, 0,-1,-4,-3,-3, 4, 1,-1,-4],
+    [-1, 0, 0, 1,-3, 3, 4,-2, 0,-3,-3, 1,-1,-3,-1, 0,-1,-3,-2,-2, 1, 4,-1,-4],
+    [ 0,-1,-1,-1,-2,-1,-1,-1,-1,-1,-1,-1,-1,-1,-2, 0, 0,-2,-1,-1,-1,-1,-1,-4],
+    [-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4,-4, 1],
+];
+
+/// A square substitution matrix over an [`Alphabet`].
+///
+/// Scores are `i32` internally so downstream DP code never overflows when
+/// accumulating.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{Alphabet, SubstitutionMatrix};
+///
+/// let m = SubstitutionMatrix::blosum62();
+/// let trp = Alphabet::Protein.encode(b'W').unwrap();
+/// assert_eq!(m.score(trp, trp), 11); // W/W is BLOSUM62's largest score
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstitutionMatrix {
+    name: String,
+    alphabet: Alphabet,
+    n: usize,
+    scores: Vec<i32>,
+}
+
+impl SubstitutionMatrix {
+    /// The real NCBI BLOSUM62 protein matrix.
+    pub fn blosum62() -> Self {
+        let n = 24;
+        let mut scores = Vec::with_capacity(n * n);
+        for row in BLOSUM62.iter() {
+            scores.extend(row.iter().map(|&v| v as i32));
+        }
+        SubstitutionMatrix {
+            name: "BLOSUM62".to_string(),
+            alphabet: Alphabet::Protein,
+            n,
+            scores,
+        }
+    }
+
+    /// A DNA match/mismatch matrix (`match_score` on the diagonal,
+    /// `mismatch` elsewhere; `N` scores `mismatch` against everything
+    /// including itself, as in NCBI megablast's ambiguity handling).
+    pub fn dna(match_score: i32, mismatch: i32) -> Self {
+        let n = Alphabet::Dna.size();
+        let unknown = Alphabet::Dna.unknown_code() as usize;
+        let mut scores = vec![mismatch; n * n];
+        for i in 0..n {
+            if i != unknown {
+                scores[i * n + i] = match_score;
+            }
+        }
+        SubstitutionMatrix {
+            name: format!("DNA(+{match_score}/{mismatch})"),
+            alphabet: Alphabet::Dna,
+            n,
+            scores,
+        }
+    }
+
+    /// A log-odds matrix derived from the synthetic mutation model of
+    /// [`crate::generate::SeqGen::mutate`]: residues survive with
+    /// probability `1 - rate` and otherwise mutate uniformly to one of the
+    /// 19 other residues, over a uniform background. Scores are
+    /// `round(scale · log2(p(a,b) / (q(a) q(b))))` — the Dayhoff/PAM
+    /// construction applied to this repository's own evolution model, so
+    /// alignments of generated families are scored under the matching
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate < 1`.
+    pub fn from_mutation_model(rate: f64, scale: f64) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "mutation rate must be in (0,1)");
+        let core = Alphabet::Protein.core_size();
+        let n = Alphabet::Protein.size();
+        let q = 1.0 / core as f64;
+        // Joint probability of observing (a, b) as an aligned pair when b
+        // evolved from a (symmetric by construction).
+        let p_same = q * (1.0 - rate);
+        let p_diff = q * rate / (core - 1) as f64;
+        let mut scores = vec![0i32; n * n];
+        let lo = |p: f64| ((p / (q * q)).log2() * scale).round() as i32;
+        for a in 0..core {
+            for b in 0..core {
+                scores[a * n + b] = if a == b { lo(p_same) } else { lo(p_diff) };
+            }
+        }
+        // Ambiguity codes: neutral-ish, matching BLOSUM conventions.
+        let min = *scores.iter().take(core * n).min().expect("non-empty");
+        for a in 0..n {
+            for b in 0..n {
+                if a >= core || b >= core {
+                    scores[a * n + b] = if a == 23 || b == 23 { min } else { 0 };
+                }
+            }
+        }
+        SubstitutionMatrix {
+            name: format!("mutmodel({rate:.2})"),
+            alphabet: Alphabet::Protein,
+            n,
+            scores,
+        }
+    }
+
+    /// An identity matrix over any alphabet, useful in tests.
+    pub fn identity(alphabet: Alphabet, match_score: i32, mismatch: i32) -> Self {
+        let n = alphabet.size();
+        let mut scores = vec![mismatch; n * n];
+        for i in 0..n {
+            scores[i * n + i] = match_score;
+        }
+        SubstitutionMatrix {
+            name: format!("identity({alphabet})"),
+            alphabet,
+            n,
+            scores,
+        }
+    }
+
+    /// Matrix name (e.g. `"BLOSUM62"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Alphabet this matrix scores.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Matrix dimension (number of residue codes).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Score for aligning residue codes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either code is out of range.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        self.scores[a as usize * self.n + b as usize]
+    }
+
+    /// The raw row-major score table (length `dim() * dim()`), in the layout
+    /// the simulated kernels consume directly from memory.
+    pub fn as_row_major(&self) -> &[i32] {
+        &self.scores
+    }
+
+    /// Sum of positional scores of two equal-length sequences (no gaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or alphabets mismatch.
+    pub fn score_seq(&self, a: &Sequence, b: &Sequence) -> i64 {
+        assert_eq!(a.len(), b.len(), "ungapped scoring needs equal lengths");
+        assert_eq!(a.alphabet(), self.alphabet);
+        assert_eq!(b.alphabet(), self.alphabet);
+        a.codes()
+            .iter()
+            .zip(b.codes())
+            .map(|(&x, &y)| self.score(x, y) as i64)
+            .sum()
+    }
+
+    /// Whether the matrix is symmetric (all real substitution matrices are).
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n).all(|i| (0..self.n).all(|j| self.scores[i * self.n + j] == self.scores[j * self.n + i]))
+    }
+
+    /// Largest score in the matrix.
+    pub fn max_score(&self) -> i32 {
+        *self.scores.iter().max().expect("matrix is non-empty")
+    }
+
+    /// Smallest score in the matrix.
+    pub fn min_score(&self) -> i32 {
+        *self.scores.iter().min().expect("matrix is non-empty")
+    }
+}
+
+impl fmt::Display for SubstitutionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}x{})", self.name, self.n, self.n)
+    }
+}
+
+/// Affine gap penalties: opening a gap costs `open + extend`, each further
+/// gapped column costs `extend`. Values are positive costs.
+///
+/// These correspond to the paper's `Wg` (gap initiation) and `Ws`
+/// (gap extension).
+///
+/// # Example
+///
+/// ```
+/// use bioseq::GapPenalties;
+///
+/// let gp = GapPenalties::new(10, 2);
+/// assert_eq!(gp.cost(3), 16); // 10 + 3*2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GapPenalties {
+    /// Gap-open cost (`Wg`), charged once per gap.
+    pub open: i32,
+    /// Gap-extension cost (`Ws`), charged per gapped column.
+    pub extend: i32,
+}
+
+impl GapPenalties {
+    /// Create affine penalties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either penalty is negative (penalties are costs).
+    pub fn new(open: i32, extend: i32) -> Self {
+        assert!(open >= 0 && extend >= 0, "gap penalties are non-negative costs");
+        GapPenalties { open, extend }
+    }
+
+    /// Total cost of a gap of `len` columns.
+    pub fn cost(&self, len: u32) -> i64 {
+        if len == 0 {
+            0
+        } else {
+            self.open as i64 + self.extend as i64 * len as i64
+        }
+    }
+}
+
+impl Default for GapPenalties {
+    /// BLAST's default protein gap costs (existence 10, extension 1... we use
+    /// the BioPerf ssearch defaults of 10/2).
+    fn default() -> Self {
+        GapPenalties::new(10, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        assert!(SubstitutionMatrix::blosum62().is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let m = SubstitutionMatrix::blosum62();
+        let code = |c: u8| Alphabet::Protein.encode(c).unwrap();
+        assert_eq!(m.score(code(b'A'), code(b'A')), 4);
+        assert_eq!(m.score(code(b'W'), code(b'W')), 11);
+        assert_eq!(m.score(code(b'C'), code(b'C')), 9);
+        assert_eq!(m.score(code(b'E'), code(b'Q')), 2);
+        assert_eq!(m.score(code(b'I'), code(b'L')), 2);
+        assert_eq!(m.score(code(b'G'), code(b'W')), -2);
+        assert_eq!(m.score(code(b'*'), code(b'*')), 1);
+        assert_eq!(m.score(code(b'A'), code(b'*')), -4);
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_rows() {
+        // Every standard residue scores itself at least as high as any
+        // substitution (true for BLOSUM62 over the 20 standard residues).
+        let m = SubstitutionMatrix::blosum62();
+        for i in 0..20u8 {
+            let diag = m.score(i, i);
+            for j in 0..20u8 {
+                assert!(diag >= m.score(i, j), "diag {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_extrema() {
+        let m = SubstitutionMatrix::blosum62();
+        assert_eq!(m.max_score(), 11);
+        assert_eq!(m.min_score(), -4);
+    }
+
+    #[test]
+    fn dna_matrix_scores() {
+        let m = SubstitutionMatrix::dna(5, -4);
+        assert_eq!(m.score(0, 0), 5);
+        assert_eq!(m.score(0, 1), -4);
+        // N vs N is a mismatch.
+        let n = Alphabet::Dna.unknown_code();
+        assert_eq!(m.score(n, n), -4);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn identity_matrix_scores() {
+        let m = SubstitutionMatrix::identity(Alphabet::Protein, 1, 0);
+        assert_eq!(m.score(3, 3), 1);
+        assert_eq!(m.score(3, 4), 0);
+    }
+
+    #[test]
+    fn score_seq_sums_positions() {
+        let m = SubstitutionMatrix::blosum62();
+        let a = Sequence::from_text("a", Alphabet::Protein, "AW").unwrap();
+        let b = Sequence::from_text("b", Alphabet::Protein, "AW").unwrap();
+        assert_eq!(m.score_seq(&a, &b), 4 + 11);
+    }
+
+    #[test]
+    fn row_major_layout_matches_score() {
+        let m = SubstitutionMatrix::blosum62();
+        let raw = m.as_row_major();
+        for a in 0..24u8 {
+            for b in 0..24u8 {
+                assert_eq!(raw[a as usize * 24 + b as usize], m.score(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_model_matrix_properties() {
+        let m = SubstitutionMatrix::from_mutation_model(0.2, 2.0);
+        assert!(m.is_symmetric());
+        // Diagonal positive, off-diagonal negative for a conservative rate.
+        assert!(m.score(0, 0) > 0);
+        assert!(m.score(0, 1) < 0);
+        // Higher mutation rate → milder mismatch penalty.
+        let loose = SubstitutionMatrix::from_mutation_model(0.6, 2.0);
+        assert!(loose.score(0, 1) > m.score(0, 1));
+        assert!(loose.score(0, 0) < m.score(0, 0));
+    }
+
+    #[test]
+    fn mutation_model_matrix_scores_its_own_homologs_positively() {
+        use crate::generate::SeqGen;
+        let rate = 0.25;
+        let m = SubstitutionMatrix::from_mutation_model(rate, 2.0);
+        let mut g = SeqGen::new(Alphabet::Protein, 8);
+        let a = g.uniform(400);
+        let b = g.mutate(&a, rate);
+        let c = g.uniform(400);
+        // True homologs score positive, random pairs negative (the
+        // defining property of a log-odds matrix).
+        assert!(m.score_seq(&a, &b) > 0, "homolog score {}", m.score_seq(&a, &b));
+        assert!(m.score_seq(&a, &c) < 0, "random score {}", m.score_seq(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation rate")]
+    fn mutation_model_rejects_bad_rate() {
+        let _ = SubstitutionMatrix::from_mutation_model(1.0, 2.0);
+    }
+
+    #[test]
+    fn gap_cost_is_affine() {
+        let gp = GapPenalties::new(11, 1);
+        assert_eq!(gp.cost(0), 0);
+        assert_eq!(gp.cost(1), 12);
+        assert_eq!(gp.cost(10), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gap_penalties_reject_negative() {
+        let _ = GapPenalties::new(-1, 2);
+    }
+
+    #[test]
+    fn default_gap_penalties() {
+        let gp = GapPenalties::default();
+        assert_eq!((gp.open, gp.extend), (10, 2));
+    }
+}

@@ -1,0 +1,219 @@
+//! Sequence containers.
+
+use crate::alphabet::Alphabet;
+use std::fmt;
+
+/// Error produced when textual residues cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSequenceError {
+    /// Offending ASCII byte.
+    pub byte: u8,
+    /// Position of the offending byte within the residue text.
+    pub position: usize,
+    /// Alphabet the text was parsed against.
+    pub alphabet: Alphabet,
+}
+
+impl fmt::Display for ParseSequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} residue {:?} at position {}",
+            self.alphabet, self.byte as char, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseSequenceError {}
+
+/// A named biological sequence stored as compact residue codes.
+///
+/// Residues are stored encoded (see [`Alphabet::encode`]) so inner loops can
+/// index substitution matrices directly, mirroring how the real BioPerf
+/// applications preprocess their inputs.
+///
+/// # Example
+///
+/// ```
+/// use bioseq::{Alphabet, Sequence};
+///
+/// let s = Sequence::from_text("query1", Alphabet::Protein, "MKVW")?;
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.to_text(), "MKVW");
+/// # Ok::<(), bioseq::seq::ParseSequenceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sequence {
+    name: String,
+    alphabet: Alphabet,
+    residues: Vec<u8>,
+}
+
+impl Sequence {
+    /// Create a sequence from already-encoded residue codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range for `alphabet`; codes are produced
+    /// internally so an out-of-range code is a logic error.
+    pub fn from_codes(name: impl Into<String>, alphabet: Alphabet, codes: Vec<u8>) -> Self {
+        assert!(
+            codes.iter().all(|&c| alphabet.is_valid_code(c)),
+            "residue code out of range for {alphabet}"
+        );
+        Sequence {
+            name: name.into(),
+            alphabet,
+            residues: codes,
+        }
+    }
+
+    /// Parse a sequence from ASCII residue text (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSequenceError`] on the first character outside the
+    /// alphabet. Whitespace is *not* skipped; use [`crate::fasta`] for file
+    /// formats.
+    pub fn from_text(
+        name: impl Into<String>,
+        alphabet: Alphabet,
+        text: impl AsRef<str>,
+    ) -> Result<Self, ParseSequenceError> {
+        let mut residues = Vec::with_capacity(text.as_ref().len());
+        for (position, &byte) in text.as_ref().as_bytes().iter().enumerate() {
+            match alphabet.encode(byte) {
+                Some(code) => residues.push(code),
+                None => {
+                    return Err(ParseSequenceError {
+                        byte,
+                        position,
+                        alphabet,
+                    })
+                }
+            }
+        }
+        Ok(Sequence {
+            name: name.into(),
+            alphabet,
+            residues,
+        })
+    }
+
+    /// The sequence's name (FASTA header without `>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sequence's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Encoded residues.
+    pub fn codes(&self) -> &[u8] {
+        &self.residues
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Whether the sequence contains no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Decode back to ASCII text.
+    pub fn to_text(&self) -> String {
+        self.residues
+            .iter()
+            .map(|&c| self.alphabet.decode(c) as char)
+            .collect()
+    }
+
+    /// A renamed copy of this sequence.
+    pub fn renamed(&self, name: impl Into<String>) -> Sequence {
+        Sequence {
+            name: name.into(),
+            alphabet: self.alphabet,
+            residues: self.residues.clone(),
+        }
+    }
+
+    /// A sub-sequence covering `range` (half-open, in residue indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Sequence {
+        Sequence {
+            name: format!("{}[{}..{}]", self.name, range.start, range.end),
+            alphabet: self.alphabet,
+            residues: self.residues[range].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ">{} ({} aa)", self.name, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_round_trips() {
+        let s = Sequence::from_text("s", Alphabet::Protein, "ARNDcqeghilkMFPSTWYV").unwrap();
+        assert_eq!(s.to_text(), "ARNDCQEGHILKMFPSTWYV");
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_text_reports_position_of_bad_residue() {
+        let err = Sequence::from_text("s", Alphabet::Dna, "ACGU").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'U');
+        assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn empty_sequence_is_fine() {
+        let s = Sequence::from_text("e", Alphabet::Dna, "").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.to_text(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_codes_rejects_bad_codes() {
+        let _ = Sequence::from_codes("bad", Alphabet::Dna, vec![0, 9]);
+    }
+
+    #[test]
+    fn slice_takes_subrange_and_renames() {
+        let s = Sequence::from_text("s", Alphabet::Protein, "MKVWLA").unwrap();
+        let sub = s.slice(1..4);
+        assert_eq!(sub.to_text(), "KVW");
+        assert_eq!(sub.name(), "s[1..4]");
+    }
+
+    #[test]
+    fn renamed_keeps_residues() {
+        let s = Sequence::from_text("a", Alphabet::Dna, "ACGT").unwrap();
+        let r = s.renamed("b");
+        assert_eq!(r.name(), "b");
+        assert_eq!(r.codes(), s.codes());
+    }
+
+    #[test]
+    fn display_mentions_name_and_length() {
+        let s = Sequence::from_text("prot7", Alphabet::Protein, "MKV").unwrap();
+        assert_eq!(s.to_string(), ">prot7 (3 aa)");
+    }
+}

@@ -1,0 +1,31 @@
+use bioarch::apps::{App, Scale, Variant, Workload};
+use power5_sim::CoreConfig;
+
+fn main() {
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::ClassC, 42);
+        print!("{:9}", app.name());
+        let base = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+        let bipc = base.counters.ipc();
+        print!(" base ipc {:.2} (insns {:>5.1}M, br {:.1}%, mispred {:.1}%, taken {:.0}%, l1d {:.2}%, fxu-stall {:.1}%, dirfrac {:.3}) val={}",
+            bipc, base.counters.instructions as f64/1e6,
+            100.0*base.counters.branch_fraction(),
+            100.0*base.counters.branches.misprediction_rate(),
+            100.0*base.counters.branches.taken_fraction(),
+            100.0*base.counters.l1d.miss_rate(),
+            100.0*base.counters.fxu_stall_fraction(),
+            base.counters.branches.direction_fraction(),
+            base.validated);
+        println!();
+        for v in [Variant::HandIsel, Variant::HandMax, Variant::CompilerIsel, Variant::CompilerMax, Variant::Combination] {
+            let r = wl.run(v, &CoreConfig::power5()).unwrap();
+            let speedup = base.counters.cycles as f64 / r.counters.cycles as f64;
+            println!("   {:12} ipc {:.2} (+{:>5.1}%) speedup {:>5.1}% conv {} rej {} val={} predfrac {:.1}% cmp {:.1}% br {:.1}%",
+                v.label(), r.counters.ipc(), 100.0*(r.counters.ipc()/bipc - 1.0), 100.0*(speedup-1.0),
+                r.converted_hammocks, r.rejected_hammocks, r.validated,
+                100.0*r.counters.predicated_fraction(),
+                100.0*r.counters.compare_fraction(),
+                100.0*r.counters.branch_fraction());
+        }
+    }
+}

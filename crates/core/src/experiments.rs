@@ -1,0 +1,904 @@
+//! The paper's experiments: one runner per table and figure.
+//!
+//! All experiments hang off a [`Study`], which caches application runs so
+//! that e.g. Figure 3 and Table II (which analyse the same binaries) pay
+//! for each simulation once.
+//!
+//! ## Metrics
+//!
+//! The paper reports IPC improvements; its binaries keep nearly identical
+//! instruction counts across variants, so IPC improvement and speedup
+//! coincide there. Our compiled variants shrink the instruction stream
+//! when branches are deleted, so raw IPC understates the benefit. Where an
+//! experiment compares *different binaries* we therefore report
+//! **work-normalized IPC**: `baseline_instructions / cycles`, which equals
+//! plain IPC for the baseline binary and speedup × baseline-IPC otherwise.
+//! Plain IPC is also retained in every result for reference.
+
+use crate::apps::{App, AppRun, RunError, Scale, Variant, Workload};
+use crate::report::{frac, pct, Table};
+use power5_sim::config::BtacConfig;
+use power5_sim::counters::IntervalSample;
+use power5_sim::CoreConfig;
+use std::collections::HashMap;
+
+/// Hardware configurations the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hw {
+    /// Stock POWER5 (2 FXUs, no BTAC).
+    Stock,
+    /// Stock plus the 8-entry BTAC.
+    Btac,
+    /// Stock with `n` FXUs.
+    Fxus(usize),
+    /// BTAC plus `n` FXUs (the paper's fully enhanced core).
+    BtacFxus(usize),
+}
+
+impl Hw {
+    /// Materialize the configuration.
+    pub fn config(self) -> CoreConfig {
+        match self {
+            Hw::Stock => CoreConfig::power5(),
+            Hw::Btac => CoreConfig::power5().with_btac(BtacConfig::default()),
+            Hw::Fxus(n) => CoreConfig::power5().with_fxus(n),
+            Hw::BtacFxus(n) => CoreConfig::power5()
+                .with_btac(BtacConfig::default())
+                .with_fxus(n),
+        }
+    }
+}
+
+/// A study: workload set plus a cache of completed runs.
+pub struct Study {
+    scale: Scale,
+    seed: u64,
+    workloads: Vec<Workload>,
+    cache: HashMap<(App, Variant, Hw), AppRun>,
+}
+
+impl Study {
+    /// Prepare workloads for all four applications.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let workloads = App::all()
+            .into_iter()
+            .map(|app| Workload::new(app, scale, seed))
+            .collect();
+        Study { scale, seed, workloads, cache: HashMap::new() }
+    }
+
+    /// The study's input scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The study's workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn workload(&self, app: App) -> &Workload {
+        self.workloads
+            .iter()
+            .find(|w| w.app() == app)
+            .expect("all apps present")
+    }
+
+    /// Run (or fetch from cache) one `(app, variant, hw)` combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`]; also fails if the simulated outputs did
+    /// not validate against the golden models (an experiment must never
+    /// report numbers from an incorrect simulation).
+    pub fn run(&mut self, app: App, variant: Variant, hw: Hw) -> Result<AppRun, RunError> {
+        if let Some(r) = self.cache.get(&(app, variant, hw)) {
+            return Ok(r.clone());
+        }
+        let run = self.workload(app).run(variant, &hw.config())?;
+        assert!(
+            run.validated,
+            "{app} {variant} on {hw:?} produced wrong results: {:?}",
+            run.mismatches
+        );
+        self.cache.insert((app, variant, hw), run.clone());
+        Ok(run)
+    }
+
+    fn baseline(&mut self, app: App) -> Result<AppRun, RunError> {
+        self.run(app, Variant::Baseline, Hw::Stock)
+    }
+
+    /// Work-normalized IPC of `run` relative to `base` (see module docs).
+    fn norm_ipc(base: &AppRun, run: &AppRun) -> f64 {
+        base.counters.instructions as f64 / run.counters.cycles as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Table I
+    // ------------------------------------------------------------------
+
+    /// Table I: baseline hardware-counter data per application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn table1(&mut self) -> Result<Table1, RunError> {
+        let mut rows = Vec::new();
+        for app in App::all() {
+            let run = self.baseline(app)?;
+            let c = &run.counters;
+            rows.push(Table1Row {
+                app,
+                ipc: c.ipc(),
+                l1d_miss_rate: c.l1d.miss_rate(),
+                direction_fraction: c.branches.direction_fraction(),
+                fxu_stall_fraction: c.fxu_stall_fraction(),
+                mispredict_rate: c.branches.misprediction_rate(),
+            });
+        }
+        Ok(Table1 { rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 1
+    // ------------------------------------------------------------------
+
+    /// Figure 1: function-wise cycle breakdown per application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig1(&mut self) -> Result<Fig1, RunError> {
+        let mut apps = Vec::new();
+        for app in App::all() {
+            let run = self.baseline(app)?;
+            let total: u64 = run.profile.iter().map(|(_, _, c)| *c).sum();
+            let mut functions: Vec<(String, f64)> = run
+                .profile
+                .iter()
+                .filter(|(_, i, _)| *i > 0)
+                .map(|(name, _, cycles)| (name.clone(), *cycles as f64 / total.max(1) as f64))
+                .collect();
+            functions.sort_by(|a, b| b.1.total_cmp(&a.1));
+            apps.push(Fig1App { app, functions });
+        }
+        Ok(Fig1 { apps })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 2
+    // ------------------------------------------------------------------
+
+    /// Figure 2: Clustalw IPC and branch-misprediction-rate time series
+    /// (interval samples over the baseline run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig2(&mut self) -> Result<Fig2, RunError> {
+        let interval = match self.scale {
+            Scale::Test => 20_000,
+            Scale::ClassC => 100_000,
+        };
+        let run = self.workload(App::Clustalw).run_with_interval(
+            Variant::Baseline,
+            &Hw::Stock.config(),
+            Some(interval),
+        )?;
+        assert!(run.validated, "Fig.2 run failed validation");
+        Ok(Fig2 { interval, samples: run.counters.intervals.clone() })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 3 / Table II
+    // ------------------------------------------------------------------
+
+    /// Figure 3: IPC with `max` and `isel`, hand- and compiler-inserted,
+    /// plus the Combination, on the stock core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig3(&mut self) -> Result<Fig3, RunError> {
+        let mut apps = Vec::new();
+        for app in App::all() {
+            let base = self.baseline(app)?;
+            let mut variants = Vec::new();
+            for v in Variant::all() {
+                let run = self.run(app, v, Hw::Stock)?;
+                variants.push(Fig3Bar {
+                    variant: v,
+                    ipc: run.counters.ipc(),
+                    norm_ipc: Self::norm_ipc(&base, &run),
+                    speedup: base.counters.cycles as f64 / run.counters.cycles as f64,
+                });
+            }
+            apps.push(Fig3App { app, baseline_ipc: base.counters.ipc(), variants });
+        }
+        Ok(Fig3 { apps })
+    }
+
+    /// Table II: branch statistics per application and variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn table2(&mut self) -> Result<Table2, RunError> {
+        let mut rows = Vec::new();
+        for app in App::all() {
+            // The paper's row order within each application.
+            for v in [
+                Variant::HandIsel,
+                Variant::CompilerIsel,
+                Variant::HandMax,
+                Variant::CompilerMax,
+                Variant::Baseline,
+            ] {
+                let run = self.run(app, v, Hw::Stock)?;
+                let c = &run.counters;
+                rows.push(Table2Row {
+                    app,
+                    variant: v,
+                    branch_fraction: c.branch_fraction(),
+                    mispredict_rate: c.branches.misprediction_rate(),
+                    taken_fraction: c.branches.taken_fraction(),
+                });
+            }
+        }
+        Ok(Table2 { rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 4
+    // ------------------------------------------------------------------
+
+    /// Figure 4: effect of the 8-entry BTAC on the baseline binaries and
+    /// on the Combination binaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig4(&mut self) -> Result<Fig4, RunError> {
+        let mut rows = Vec::new();
+        for app in App::all() {
+            for variant in [Variant::Baseline, Variant::Combination] {
+                let without = self.run(app, variant, Hw::Stock)?;
+                let with = self.run(app, variant, Hw::Btac)?;
+                rows.push(Fig4Row {
+                    app,
+                    variant,
+                    speedup: without.counters.cycles as f64 / with.counters.cycles as f64,
+                    btac_mispredict_rate: with.counters.btac.misprediction_rate(),
+                    btac_predictions: with.counters.btac.predictions,
+                });
+            }
+        }
+        Ok(Fig4 { rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 5
+    // ------------------------------------------------------------------
+
+    /// Figure 5: effect of additional fixed-point units — 4 FXUs on the
+    /// baseline binaries, then 3 and 4 FXUs on the Combination binaries,
+    /// each relative to the same binaries on 2 FXUs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig5(&mut self) -> Result<Fig5, RunError> {
+        let mut rows = Vec::new();
+        for app in App::all() {
+            let base2 = self.run(app, Variant::Baseline, Hw::Stock)?;
+            let base4 = self.run(app, Variant::Baseline, Hw::Fxus(4))?;
+            let comb2 = self.run(app, Variant::Combination, Hw::Stock)?;
+            let comb3 = self.run(app, Variant::Combination, Hw::Fxus(3))?;
+            let comb4 = self.run(app, Variant::Combination, Hw::Fxus(4))?;
+            rows.push(Fig5Row {
+                app,
+                baseline_4fxu: base2.counters.cycles as f64 / base4.counters.cycles as f64,
+                combination_3fxu: comb2.counters.cycles as f64 / comb3.counters.cycles as f64,
+                combination_4fxu: comb2.counters.cycles as f64 / comb4.counters.cycles as f64,
+            });
+        }
+        Ok(Fig5 { rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 6
+    // ------------------------------------------------------------------
+
+    /// Figure 6: the combined-gains waterfall. Each enhancement's IPC
+    /// delta is measured alone against the baseline; the residual is the
+    /// extra improvement the combination shows beyond the sum of parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`].
+    pub fn fig6(&mut self) -> Result<Fig6, RunError> {
+        let mut rows = Vec::new();
+        for app in App::all() {
+            let base = self.baseline(app)?;
+            let base_ipc = base.counters.ipc();
+            let pred = self.run(app, Variant::Combination, Hw::Stock)?;
+            let btac = self.run(app, Variant::Baseline, Hw::Btac)?;
+            let fxu = self.run(app, Variant::Baseline, Hw::Fxus(4))?;
+            let all = self.run(app, Variant::Combination, Hw::BtacFxus(4))?;
+            let d_pred = Self::norm_ipc(&base, &pred) - base_ipc;
+            let d_btac = Self::norm_ipc(&base, &btac) - base_ipc;
+            let d_fxu = Self::norm_ipc(&base, &fxu) - base_ipc;
+            let combined = Self::norm_ipc(&base, &all);
+            rows.push(Fig6Row {
+                app,
+                baseline_ipc: base_ipc,
+                predication_delta: d_pred,
+                btac_delta: d_btac,
+                fxu_delta: d_fxu,
+                combined_ipc: combined,
+                residual: combined - base_ipc - d_pred - d_btac - d_fxu,
+            });
+        }
+        Ok(Fig6 { rows })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Result types
+// ----------------------------------------------------------------------
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Application.
+    pub app: App,
+    /// Baseline IPC.
+    pub ipc: f64,
+    /// L1D miss rate.
+    pub l1d_miss_rate: f64,
+    /// Fraction of mispredictions due to incorrect direction.
+    pub direction_fraction: f64,
+    /// Completion-stall cycles due to FXU, as a fraction of all cycles.
+    pub fxu_stall_fraction: f64,
+    /// Conditional-branch misprediction rate (not printed in the paper's
+    /// Table I but discussed in its text).
+    pub mispredict_rate: f64,
+}
+
+/// Table I results.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per application.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "IPC".into(),
+            "L1D Miss Rate".into(),
+            "% Mispred Due To Direction".into(),
+            "Stalls due FXU".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.name().into(),
+                format!("{:.2}", r.ipc),
+                frac(r.l1d_miss_rate),
+                frac(r.direction_fraction),
+                frac(r.fxu_stall_fraction),
+            ]);
+        }
+        format!("Table I — Hardware counter data (baseline POWER5)\n{}", t.render())
+    }
+}
+
+/// One application's function breakdown for Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1App {
+    /// Application.
+    pub app: App,
+    /// `(function, fraction_of_cycles)`, largest first.
+    pub functions: Vec<(String, f64)>,
+}
+
+/// Figure 1 results.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// One entry per application.
+    pub apps: Vec<Fig1App>,
+}
+
+impl Fig1 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 1 — Function-wise cycle breakdown\n");
+        for a in &self.apps {
+            out.push_str(&format!("{}:\n", a.app));
+            for (name, share) in a.functions.iter().take(4) {
+                out.push_str(&format!("    {:16} {}\n", name, frac(*share)));
+            }
+        }
+        out
+    }
+}
+
+/// Figure 2 results: the Clustalw time series.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Instructions per sample point.
+    pub interval: u64,
+    /// The series.
+    pub samples: Vec<IntervalSample>,
+}
+
+impl Fig2 {
+    /// Render as text (one line per sample, with bar charts mirroring the
+    /// paper's dual-axis plot).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 2 — Clustalw IPC and branch misprediction rate over time ({}-instruction intervals)\n",
+            self.interval
+        );
+        let max_ipc = self.samples.iter().map(|s| s.ipc).fold(0.1, f64::max);
+        let max_mis = self.samples.iter().map(|s| s.mispredict_rate).fold(0.01, f64::max);
+        out.push_str("  instret      IPC                        mispredict\n");
+        for s in &self.samples {
+            let ipc_bar = "#".repeat((s.ipc / max_ipc * 20.0).round() as usize);
+            let mis_bar = "*".repeat((s.mispredict_rate / max_mis * 20.0).round() as usize);
+            out.push_str(&format!(
+                "{:9}    {:.2} {:20}   {:>6} {}\n",
+                s.instructions,
+                s.ipc,
+                ipc_bar,
+                frac(s.mispredict_rate),
+                mis_bar,
+            ));
+        }
+        out
+    }
+
+    /// Pearson correlation between IPC and misprediction rate across the
+    /// samples (the paper's "IPC tracks the branch prediction rate" —
+    /// strongly negative here).
+    pub fn correlation(&self) -> f64 {
+        let n = self.samples.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mx = self.samples.iter().map(|s| s.ipc).sum::<f64>() / n;
+        let my = self.samples.iter().map(|s| s.mispredict_rate).sum::<f64>() / n;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for s in &self.samples {
+            let dx = s.ipc - mx;
+            let dy = s.mispredict_rate - my;
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 || syy == 0.0 {
+            0.0
+        } else {
+            sxy / (sxx.sqrt() * syy.sqrt())
+        }
+    }
+}
+
+/// One variant bar of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Bar {
+    /// The code variant.
+    pub variant: Variant,
+    /// Plain IPC of the variant binary.
+    pub ipc: f64,
+    /// Work-normalized IPC (baseline instructions / cycles).
+    pub norm_ipc: f64,
+    /// Speedup over the baseline binary (cycles ratio).
+    pub speedup: f64,
+}
+
+/// One application's bars in Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3App {
+    /// Application.
+    pub app: App,
+    /// Baseline IPC.
+    pub baseline_ipc: f64,
+    /// One bar per [`Variant`], in [`Variant::all`] order.
+    pub variants: Vec<Fig3Bar>,
+}
+
+impl Fig3App {
+    /// The bar for `v`.
+    pub fn bar(&self, v: Variant) -> &Fig3Bar {
+        self.variants
+            .iter()
+            .find(|b| b.variant == v)
+            .expect("all variants present")
+    }
+}
+
+/// Figure 3 results.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// One entry per application.
+    pub apps: Vec<Fig3App>,
+}
+
+impl Fig3 {
+    /// Average speedup (over apps) for a variant — the paper quotes the
+    /// isel and max averages (29.8 % and 34.8 %).
+    pub fn average_improvement(&self, v: Variant) -> f64 {
+        let sum: f64 = self.apps.iter().map(|a| a.bar(v).speedup - 1.0).sum();
+        sum / self.apps.len() as f64
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "Variant".into(),
+            "IPC".into(),
+            "norm. IPC".into(),
+            "Improvement".into(),
+        ]);
+        for a in &self.apps {
+            for b in &a.variants {
+                t.row(vec![
+                    a.app.name().into(),
+                    b.variant.label().into(),
+                    format!("{:.2}", b.ipc),
+                    format!("{:.2}", b.norm_ipc),
+                    pct(b.speedup - 1.0),
+                ]);
+            }
+        }
+        format!(
+            "Figure 3 — IPC with max and isel instructions\n{}\nAverages: isel {} (hand), max {} (hand)\n",
+            t.render(),
+            pct(self.average_improvement(Variant::HandIsel)),
+            pct(self.average_improvement(Variant::HandMax)),
+        )
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application.
+    pub app: App,
+    /// Code variant.
+    pub variant: Variant,
+    /// Branches as a fraction of committed instructions.
+    pub branch_fraction: f64,
+    /// Conditional-branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// Taken branches as a fraction of all branches.
+    pub taken_fraction: f64,
+}
+
+/// Table II results.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Rows grouped by application in the paper's variant order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "Variant".into(),
+            "Branches/Instrs".into(),
+            "Mispredict Rate".into(),
+            "Taken/Branches".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.name().into(),
+                r.variant.label().into(),
+                frac(r.branch_fraction),
+                frac(r.mispredict_rate),
+                frac(r.taken_fraction),
+            ]);
+        }
+        format!("Table II — Branch performance with predicated instructions\n{}", t.render())
+    }
+}
+
+/// One row of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Application.
+    pub app: App,
+    /// Binaries the BTAC was added under.
+    pub variant: Variant,
+    /// Speedup from adding the BTAC.
+    pub speedup: f64,
+    /// The BTAC's own misprediction rate.
+    pub btac_mispredict_rate: f64,
+    /// Predictions the BTAC made.
+    pub btac_predictions: u64,
+}
+
+/// Figure 4 results.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Two rows (baseline / combination binaries) per application.
+    pub rows: Vec<Fig4Row>,
+}
+
+impl Fig4 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "Binaries".into(),
+            "BTAC gain".into(),
+            "BTAC mispredict rate".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.name().into(),
+                r.variant.label().into(),
+                pct(r.speedup - 1.0),
+                frac(r.btac_mispredict_rate),
+            ]);
+        }
+        format!("Figure 4 — Effect of an eight-entry BTAC\n{}", t.render())
+    }
+}
+
+/// One row of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Application.
+    pub app: App,
+    /// Speedup of baseline binaries from 2 → 4 FXUs.
+    pub baseline_4fxu: f64,
+    /// Speedup of Combination binaries from 2 → 3 FXUs.
+    pub combination_3fxu: f64,
+    /// Speedup of Combination binaries from 2 → 4 FXUs.
+    pub combination_4fxu: f64,
+}
+
+/// Figure 5 results.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// One row per application.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "base 4 FXU".into(),
+            "comb 3 FXU".into(),
+            "comb 4 FXU".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.name().into(),
+                pct(r.baseline_4fxu - 1.0),
+                pct(r.combination_3fxu - 1.0),
+                pct(r.combination_4fxu - 1.0),
+            ]);
+        }
+        format!("Figure 5 — Effect of additional fixed-point units\n{}", t.render())
+    }
+}
+
+/// One row of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Application.
+    pub app: App,
+    /// Baseline IPC.
+    pub baseline_ipc: f64,
+    /// IPC delta from predication alone (work-normalized).
+    pub predication_delta: f64,
+    /// IPC delta from the BTAC alone.
+    pub btac_delta: f64,
+    /// IPC delta from 4 FXUs alone.
+    pub fxu_delta: f64,
+    /// Work-normalized IPC with all three enhancements.
+    pub combined_ipc: f64,
+    /// Combined minus baseline minus the sum of individual deltas.
+    pub residual: f64,
+}
+
+impl Fig6Row {
+    /// Total improvement of the combined configuration.
+    pub fn total_improvement(&self) -> f64 {
+        self.combined_ipc / self.baseline_ipc - 1.0
+    }
+}
+
+/// Figure 6 results.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// One row per application.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6 {
+    /// Average total improvement across applications (the paper's
+    /// headline 64 %).
+    pub fn average_improvement(&self) -> f64 {
+        self.rows.iter().map(Fig6Row::total_improvement).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Application".into(),
+            "base IPC".into(),
+            "+pred".into(),
+            "+BTAC".into(),
+            "+2 FXU".into(),
+            "residual".into(),
+            "combined IPC".into(),
+            "total".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.name().into(),
+                format!("{:.2}", r.baseline_ipc),
+                format!("{:+.2}", r.predication_delta),
+                format!("{:+.2}", r.btac_delta),
+                format!("{:+.2}", r.fxu_delta),
+                format!("{:+.2}", r.residual),
+                format!("{:.2}", r.combined_ipc),
+                pct(r.total_improvement()),
+            ]);
+        }
+        format!(
+            "Figure 6 — Combined gains (work-normalized IPC)\n{}\nAverage improvement: {}\n",
+            t.render(),
+            pct(self.average_improvement())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Study {
+        Study::new(Scale::Test, 42)
+    }
+
+    #[test]
+    fn table1_has_paper_shape() {
+        let t1 = study().table1().unwrap();
+        assert_eq!(t1.rows.len(), 4);
+        for r in &t1.rows {
+            assert!(r.ipc > 0.3 && r.ipc < 2.5, "{} IPC {}", r.app, r.ipc);
+            assert!(r.l1d_miss_rate < 0.08, "{} misses {}", r.app, r.l1d_miss_rate);
+            assert!(
+                r.direction_fraction > 0.9,
+                "{} direction fraction {}",
+                r.app,
+                r.direction_fraction
+            );
+        }
+        let text = t1.render();
+        assert!(text.contains("Clustalw"));
+    }
+
+    #[test]
+    fn fig1_kernel_dominates() {
+        let f1 = study().fig1().unwrap();
+        for a in &f1.apps {
+            let (top, share) = &a.functions[0];
+            assert_eq!(top, a.app.kernel_name(), "{}: top fn {}", a.app, top);
+            assert!(*share > 0.4, "{}: kernel share {}", a.app, share);
+        }
+        assert!(f1.render().contains("dropgsw"));
+    }
+
+    #[test]
+    fn fig2_produces_anticorrelated_series() {
+        let f2 = study().fig2().unwrap();
+        assert!(f2.samples.len() >= 5, "only {} samples", f2.samples.len());
+        assert!(f2.samples.iter().all(|s| s.ipc > 0.0));
+        assert!(f2.render().lines().count() > 5);
+        // The paper's Figure 2 point: IPC tracks mispredictions inversely.
+        assert!(
+            f2.correlation() < -0.5,
+            "IPC/mispredict correlation {} not strongly negative",
+            f2.correlation()
+        );
+    }
+
+    #[test]
+    fn fig3_and_table2_shapes() {
+        let mut s = study();
+        let f3 = s.fig3().unwrap();
+        assert_eq!(f3.apps.len(), 4);
+        for a in &f3.apps {
+            // Predication never slows a workload down at Test scale by
+            // more than noise; max beats isel on every app (the paper's
+            // consistent finding).
+            let isel = a.bar(Variant::HandIsel).speedup;
+            let maxb = a.bar(Variant::HandMax).speedup;
+            assert!(maxb >= isel * 0.98, "{}: max {} vs isel {}", a.app, maxb, isel);
+        }
+        let t2 = s.table2().unwrap();
+        assert_eq!(t2.rows.len(), 20);
+        // Predication reduces the branch fraction vs. the original.
+        for app in App::all() {
+            let orig = t2
+                .rows
+                .iter()
+                .find(|r| r.app == app && r.variant == Variant::Baseline)
+                .unwrap();
+            let hand = t2
+                .rows
+                .iter()
+                .find(|r| r.app == app && r.variant == Variant::HandMax)
+                .unwrap();
+            assert!(
+                hand.branch_fraction < orig.branch_fraction,
+                "{app}: {} !< {}",
+                hand.branch_fraction,
+                orig.branch_fraction
+            );
+        }
+        assert!(t2.render().contains("Branches/Instrs"));
+    }
+
+    #[test]
+    fn fig4_btac_never_hurts_much_and_mispredicts_rarely() {
+        let f4 = study().fig4().unwrap();
+        assert_eq!(f4.rows.len(), 8);
+        for r in &f4.rows {
+            assert!(r.speedup > 0.97, "{} {:?}: BTAC slowdown {}", r.app, r.variant, r.speedup);
+            assert!(
+                r.btac_mispredict_rate < 0.2,
+                "{}: BTAC mispredict rate {}",
+                r.app,
+                r.btac_mispredict_rate
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_more_fxus_never_hurt() {
+        let f5 = study().fig5().unwrap();
+        for r in &f5.rows {
+            assert!(r.baseline_4fxu > 0.99, "{}: {}", r.app, r.baseline_4fxu);
+            assert!(r.combination_4fxu >= r.combination_3fxu * 0.99);
+        }
+    }
+
+    #[test]
+    fn fig6_combined_beats_parts() {
+        let f6 = study().fig6().unwrap();
+        for r in &f6.rows {
+            assert!(
+                r.combined_ipc > r.baseline_ipc,
+                "{}: combined {} vs base {}",
+                r.app,
+                r.combined_ipc,
+                r.baseline_ipc
+            );
+        }
+        assert!(f6.average_improvement() > 0.05);
+        assert!(f6.render().contains("combined IPC"));
+    }
+
+    #[test]
+    fn study_cache_reuses_runs() {
+        let mut s = study();
+        let a = s.run(App::Fasta, Variant::Baseline, Hw::Stock).unwrap();
+        let b = s.run(App::Fasta, Variant::Baseline, Hw::Stock).unwrap();
+        assert_eq!(a.counters.cycles, b.counters.cycles);
+    }
+}

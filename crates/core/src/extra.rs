@@ -1,0 +1,307 @@
+//! Extension workload beyond the paper's four applications: a
+//! Phylip-style **Sankoff parsimony** kernel.
+//!
+//! The paper's conclusion says its results "can be extended to … the
+//! phylogeny reconstruction application Phylip". This module tests that
+//! claim: Sankoff's small-parsimony DP is a *min-plus* recurrence — the
+//! mirror image of the alignment kernels' max chains — and its
+//! `if (m > t) m = t;` statements are equally value-dependent. If the
+//! paper is right, predication should buy a comparable improvement here
+//! without any alignment-specific tuning.
+
+use crate::apps::{gaps, RunError, Scale, Variant};
+use crate::kernels::{render, Consts, Flavor};
+use bioalign::msa::{pairwise_distances, upgma, GuideTree};
+use bioalign::parsimony::{sankoff_site, CostMatrix};
+use bioseq::generate::SeqGen;
+use bioseq::{Alphabet, Sequence, SubstitutionMatrix};
+use power5_sim::{CoreConfig, Counters, Machine};
+
+const SANKOFF_BRANCHY: &str = "
+fn sankoff_site(s: int, nnodes: int, kids: ptr, leaf: bptr, w: ptr, dp: ptr, nsites: int) -> int {
+    let n = 0;
+    while (n < nnodes) {
+        let c1 = kids[n * 2];
+        if (c1 < 0) {
+            let r = leaf[kids[n * 2 + 1] * nsites + s];
+            let k = 0;
+            while (k < 4) {
+                if (k == r) { dp[n * 4 + k] = 0; } else { dp[n * 4 + k] = 1000000; }
+                k = k + 1;
+            }
+        } else {
+            let c2 = kids[n * 2 + 1];
+            let k = 0;
+            while (k < 4) {
+                let m1 = dp[c1 * 4] + w[k * 4];
+                let t = dp[c1 * 4 + 1] + w[k * 4 + 1];
+                if (m1 > t) { m1 = t; }
+                t = dp[c1 * 4 + 2] + w[k * 4 + 2];
+                if (m1 > t) { m1 = t; }
+                t = dp[c1 * 4 + 3] + w[k * 4 + 3];
+                if (m1 > t) { m1 = t; }
+                let m2 = dp[c2 * 4] + w[k * 4];
+                t = dp[c2 * 4 + 1] + w[k * 4 + 1];
+                if (m2 > t) { m2 = t; }
+                t = dp[c2 * 4 + 2] + w[k * 4 + 2];
+                if (m2 > t) { m2 = t; }
+                t = dp[c2 * 4 + 3] + w[k * 4 + 3];
+                if (m2 > t) { m2 = t; }
+                dp[n * 4 + k] = m1 + m2;
+                k = k + 1;
+            }
+        }
+        n = n + 1;
+    }
+    let root = (nnodes - 1) * 4;
+    let best = dp[root];
+    if (best > dp[root + 1]) { best = dp[root + 1]; }
+    if (best > dp[root + 2]) { best = dp[root + 2]; }
+    if (best > dp[root + 3]) { best = dp[root + 3]; }
+    return best;
+}
+";
+
+const SANKOFF_HAND: &str = "
+fn sankoff_site(s: int, nnodes: int, kids: ptr, leaf: bptr, w: ptr, dp: ptr, nsites: int) -> int {
+    let n = 0;
+    while (n < nnodes) {
+        let c1 = kids[n * 2];
+        if (c1 < 0) {
+            let r = leaf[kids[n * 2 + 1] * nsites + s];
+            let k = 0;
+            while (k < 4) {
+                if (k == r) { dp[n * 4 + k] = 0; } else { dp[n * 4 + k] = 1000000; }
+                k = k + 1;
+            }
+        } else {
+            let c2 = kids[n * 2 + 1];
+            let k = 0;
+            while (k < 4) {
+                let m1 = dp[c1 * 4] + w[k * 4];
+                m1 = min(m1, dp[c1 * 4 + 1] + w[k * 4 + 1]);
+                m1 = min(m1, dp[c1 * 4 + 2] + w[k * 4 + 2]);
+                m1 = min(m1, dp[c1 * 4 + 3] + w[k * 4 + 3]);
+                let m2 = dp[c2 * 4] + w[k * 4];
+                m2 = min(m2, dp[c2 * 4 + 1] + w[k * 4 + 1]);
+                m2 = min(m2, dp[c2 * 4 + 2] + w[k * 4 + 2]);
+                m2 = min(m2, dp[c2 * 4 + 3] + w[k * 4 + 3]);
+                dp[n * 4 + k] = m1 + m2;
+                k = k + 1;
+            }
+        }
+        n = n + 1;
+    }
+    let root = (nnodes - 1) * 4;
+    let best = dp[root];
+    best = min(best, dp[root + 1]);
+    best = min(best, dp[root + 2]);
+    best = min(best, dp[root + 3]);
+    return best;
+}
+";
+
+const SANKOFF_MAIN: &str = "
+fn main(pb: ptr) -> int {
+    let nnodes = pb[0];
+    let nsites = pb[1];
+    let kids: ptr = pb[2];
+    let leaf: bptr = pb[3];
+    let w: ptr = pb[4];
+    let dp: ptr = pb[5];
+    let out: ptr = pb[6];
+    let total = 0;
+    let s = 0;
+    while (s < nsites) {
+        let sc = sankoff_site(s, nnodes, kids, leaf, w, dp, nsites);
+        out[s] = sc;
+        total = total + sc;
+        s = s + 1;
+    }
+    return total;
+}
+";
+
+/// Serialized tree: nodes in postorder (children before parents); for a
+/// leaf, `kids = [-1, sequence_index]`; for an internal node, the two
+/// child node ids.
+fn serialize_tree(tree: &GuideTree, kids: &mut Vec<i32>) -> i32 {
+    match tree {
+        GuideTree::Leaf(i) => {
+            kids.push(-1);
+            kids.push(*i as i32);
+            (kids.len() / 2 - 1) as i32
+        }
+        GuideTree::Node { left, right, .. } => {
+            let l = serialize_tree(left, kids);
+            let r = serialize_tree(right, kids);
+            kids.push(l);
+            kids.push(r);
+            (kids.len() / 2 - 1) as i32
+        }
+    }
+}
+
+/// Result of one parsimony run (a reduced [`crate::apps::AppRun`]).
+#[derive(Debug, Clone)]
+pub struct PhylipRun {
+    /// Performance counters.
+    pub counters: Counters,
+    /// Whether all per-site scores matched the golden model.
+    pub validated: bool,
+    /// Hammocks converted / rejected by the if-converter.
+    pub converted_hammocks: usize,
+    /// Rejected hammocks.
+    pub rejected_hammocks: usize,
+}
+
+/// The Phylip-style extension workload: DNA sequences evolved along a
+/// guide tree, scored with Sankoff parsimony.
+#[derive(Debug, Clone)]
+pub struct PhylipWorkload {
+    seqs: Vec<Sequence>,
+    tree: GuideTree,
+    cost: CostMatrix,
+    expected_sites: Vec<i32>,
+}
+
+impl PhylipWorkload {
+    /// Generate a workload: a DNA family, a UPGMA guide tree over it, and
+    /// golden per-site parsimony scores.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (ntaxa, nsites) = match scale {
+            Scale::Test => (6, 60),
+            Scale::ClassC => (12, 600),
+        };
+        let mut g = SeqGen::new(Alphabet::Dna, seed);
+        let seqs = g.family(ntaxa, nsites, 0.35, 0.0);
+        let dist = pairwise_distances(&seqs, &SubstitutionMatrix::dna(5, -4), gaps());
+        let tree = upgma(&dist);
+        let cost = CostMatrix::ts_tv(1, 2);
+        let expected_sites = (0..nsites)
+            .map(|site| sankoff_site(&tree, &seqs, site, &cost))
+            .collect();
+        PhylipWorkload { seqs, tree, cost, expected_sites }
+    }
+
+    /// The golden per-site scores.
+    pub fn expected_sites(&self) -> &[i32] {
+        &self.expected_sites
+    }
+
+    /// Compile with `variant`'s options and run on `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on compile, assembly, or simulation failures.
+    pub fn run(&self, variant: Variant, config: &CoreConfig) -> Result<PhylipRun, RunError> {
+        let kernel = match variant.flavor() {
+            Flavor::Branchy => SANKOFF_BRANCHY,
+            Flavor::Hand => SANKOFF_HAND,
+        };
+        let source = render(&format!("{kernel}\n{SANKOFF_MAIN}"), &Consts::default());
+        let compiled = kernelc::compile(&source, &variant.options())?;
+        let assembled = ppc_asm::assemble(&compiled.asm, 0x1000)?;
+        let mut machine = Machine::new(
+            config.clone(),
+            &assembled.bytes,
+            0x1000,
+            assembled.symbols["__start"],
+            4 << 20,
+        );
+        // Layout.
+        let nsites = self.seqs[0].len();
+        let mut kids = Vec::new();
+        serialize_tree(&self.tree, &mut kids);
+        let nnodes = kids.len() / 2;
+        let kids_addr = 0x8_0000u32;
+        let leaf_addr = kids_addr + 4 * kids.len() as u32 + 64;
+        let leaf_bytes: Vec<u8> = self.seqs.iter().flat_map(|s| s.codes().iter().copied()).collect();
+        let w_addr = leaf_addr + leaf_bytes.len() as u32 + 64;
+        let dp_addr = w_addr + 64 + 64;
+        let out_addr = dp_addr + 4 * (nnodes as u32) * 4 + 64;
+        let pb_addr = out_addr + 4 * nsites as u32 + 64;
+        let mem = machine.mem_mut();
+        mem.write_i32s(kids_addr, &kids).expect("fits");
+        mem.write_bytes(leaf_addr, &leaf_bytes).expect("fits");
+        mem.write_i32s(w_addr, self.cost.as_row_major()).expect("fits");
+        mem.write_i32s(
+            pb_addr,
+            &[
+                nnodes as i32,
+                nsites as i32,
+                kids_addr as i32,
+                leaf_addr as i32,
+                w_addr as i32,
+                dp_addr as i32,
+                out_addr as i32,
+            ],
+        )
+        .expect("fits");
+        machine.cpu_mut().gpr[1] = (4 << 20) - 128;
+        machine.cpu_mut().gpr[3] = pb_addr;
+        let result = machine.run_timed(500_000_000)?;
+        if !result.halted {
+            return Err(RunError::Budget);
+        }
+        let out = machine.mem().read_i32s(out_addr, nsites).expect("readable");
+        Ok(PhylipRun {
+            counters: machine.counters(),
+            validated: out == self.expected_sites,
+            converted_hammocks: compiled.converted_hammocks,
+            rejected_hammocks: compiled.rejected_hammocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_validate_and_min_predication_helps() {
+        let wl = PhylipWorkload::new(Scale::Test, 7);
+        let base = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+        assert!(base.validated);
+        assert!(base.counters.branches.misprediction_rate() > 0.02);
+        for v in Variant::all() {
+            let run = wl.run(v, &CoreConfig::power5()).unwrap();
+            assert!(run.validated, "{v:?} produced wrong parsimony scores");
+        }
+        let hand = wl.run(Variant::HandMax, &CoreConfig::power5()).unwrap();
+        assert!(
+            hand.counters.cycles < base.counters.cycles,
+            "min-predication should help: {} vs {}",
+            hand.counters.cycles,
+            base.counters.cycles
+        );
+        assert!(hand.counters.predicated_ops > 0);
+    }
+
+    #[test]
+    fn compiler_converts_the_min_patterns() {
+        let wl = PhylipWorkload::new(Scale::Test, 9);
+        let comp = wl.run(Variant::CompilerMax, &CoreConfig::power5()).unwrap();
+        assert!(comp.validated);
+        // The six inner min-patterns plus the root mins convert; the
+        // leaf-initialization store-hammock is rejected.
+        assert!(comp.converted_hammocks >= 6, "converted {}", comp.converted_hammocks);
+        assert!(comp.rejected_hammocks >= 1, "rejected {}", comp.rejected_hammocks);
+    }
+
+    #[test]
+    fn tree_serialization_is_postorder() {
+        let wl = PhylipWorkload::new(Scale::Test, 11);
+        let mut kids = Vec::new();
+        let root = serialize_tree(&wl.tree, &mut kids);
+        let nnodes = kids.len() / 2;
+        assert_eq!(root as usize, nnodes - 1);
+        for n in 0..nnodes {
+            let c1 = kids[n * 2];
+            if c1 >= 0 {
+                assert!((c1 as usize) < n, "child after parent");
+                assert!((kids[n * 2 + 1] as usize) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,934 @@
+//! Kernel-language sources for the four BioPerf applications.
+//!
+//! Each application has two source flavours:
+//!
+//! * [`Flavor::Branchy`] — the original code: every `max` in the DP
+//!   recurrences is a short conditional (`if (a < b) a = b;`), exactly the
+//!   statements the paper's Section III shows compiling to compare +
+//!   conditional-branch pairs;
+//! * [`Flavor::Hand`] — the paper's *hand-inserted* rewrite: the DP `max`
+//!   statements use the `max()` intrinsic (register-staged where the
+//!   original worked on memory operands), while less obvious conditionals
+//!   (best-score tracking, clamps, boundary logic) are left branchy for
+//!   the compiler to find.
+//!
+//! The styles are deliberately faithful to the real packages:
+//! Fasta's `dropgsw` and Blast's gapped extension carry DP state in
+//! registers, while Clustalw's `forward_pass` and HMMER2's `P7Viterbi`
+//! famously operate directly on memory arrays (`HH[j]`, `mmx[i][k]`) —
+//! which is why the paper's compiler loses to hand insertion on those two.
+//!
+//! Sources are templates with `@TOKEN@` placeholders for addresses and
+//! scoring constants, filled in by [`render`] once the workload's memory
+//! layout is known.
+
+/// Source flavour (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// Original branchy code.
+    Branchy,
+    /// Hand-predicated code (`max()` intrinsics at the obvious sites).
+    Hand,
+}
+
+/// Values substituted into the kernel templates.
+#[derive(Debug, Clone, Default)]
+pub struct Consts {
+    /// `(token, value)` pairs; token text without the `@` wrappers.
+    pub values: Vec<(&'static str, i64)>,
+}
+
+impl Consts {
+    /// Add a substitution.
+    pub fn set(mut self, token: &'static str, value: i64) -> Self {
+        self.values.push((token, value));
+        self
+    }
+}
+
+/// Fill a template's `@TOKEN@` placeholders.
+///
+/// # Panics
+///
+/// Panics if any placeholder remains unreplaced (catching layout bugs at
+/// build time rather than as baffling compile errors).
+pub fn render(template: &str, consts: &Consts) -> String {
+    let mut s = template.to_string();
+    for (token, value) in &consts.values {
+        s = s.replace(&format!("@{token}@"), &value.to_string());
+    }
+    if let Some(pos) = s.find('@') {
+        let tail: String = s[pos..].chars().take(24).collect();
+        panic!("unreplaced kernel template token near {tail:?}");
+    }
+    s
+}
+
+/// `i32::MIN / 4`, the -∞ used by the Needleman-Wunsch/Smith-Waterman
+/// reference implementations in [`bioalign`].
+pub const NEG_NW: i64 = (i32::MIN / 4) as i64;
+
+// ---------------------------------------------------------------------
+// Fasta (ssearch): dropgsw — affine-gap Smith-Waterman, register-carried.
+// ---------------------------------------------------------------------
+
+const FASTA_DROPGSW_BRANCHY: &str = "
+fn dropgsw(b: bptr, m: int, work: ptr) -> int {
+    let q: bptr = @QPTR@;
+    let mat: ptr = @MAT@;
+    let j = 0;
+    while (j <= m) {
+        work[j] = 0;
+        work[m + 1 + j] = @NEGNW@;
+        j = j + 1;
+    }
+    let best = 0;
+    let i = 0;
+    while (i < @QLEN@) {
+        let ca = q[i] * 24;
+        let diag = 0;
+        let e = @NEGNW@;
+        let vleft = 0;
+        let j2 = 1;
+        while (j2 <= m) {
+            let t = vleft - @WG@;
+            if (e < t) { e = t; }
+            e = e - @WS@;
+            let vup = work[j2];
+            let f = work[m + 1 + j2];
+            let t2 = vup - @WG@;
+            if (f < t2) { f = t2; }
+            f = f - @WS@;
+            let v = diag + mat[ca + b[j2 - 1]];
+            if (v < e) { v = e; }
+            if (v < f) { v = f; }
+            if (v < 0) { v = 0; }
+            diag = vup;
+            work[j2] = v;
+            work[m + 1 + j2] = f;
+            vleft = v;
+            if (best < v) { best = v; }
+            j2 = j2 + 1;
+        }
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const FASTA_DROPGSW_HAND: &str = "
+fn dropgsw(b: bptr, m: int, work: ptr) -> int {
+    let q: bptr = @QPTR@;
+    let mat: ptr = @MAT@;
+    let j = 0;
+    while (j <= m) {
+        work[j] = 0;
+        work[m + 1 + j] = @NEGNW@;
+        j = j + 1;
+    }
+    let best = 0;
+    let i = 0;
+    while (i < @QLEN@) {
+        let ca = q[i] * 24;
+        let diag = 0;
+        let e = @NEGNW@;
+        let vleft = 0;
+        let j2 = 1;
+        while (j2 <= m) {
+            e = max(e, vleft - @WG@) - @WS@;
+            let vup = work[j2];
+            let f = work[m + 1 + j2];
+            if (f < vup - @WG@) { f = vup - @WG@; }
+            f = f - @WS@;
+            let v = diag + mat[ca + b[j2 - 1]];
+            v = max(v, e);
+            v = max(v, f);
+            v = max(v, 0);
+            diag = vup;
+            work[j2] = v;
+            work[m + 1 + j2] = f;
+            vleft = v;
+            if (best < v) { best = v; }
+            j2 = j2 + 1;
+        }
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const FASTA_COMMON: &str = "
+fn histint(sc: int) -> int {
+    let hist: ptr = @HIST@;
+    let b = sc / 8;
+    if (b > 63) { b = 63; }
+    if (b < 0) { b = 0; }
+    hist[b] = hist[b] + 1;
+    return b;
+}
+
+fn main(pb: ptr) -> int {
+    let dbbase = pb[0];
+    let offs: ptr = pb[1];
+    let lens: ptr = pb[2];
+    let ndb = pb[3];
+    let work: ptr = pb[4];
+    let out: ptr = pb[5];
+    let k = 0;
+    let total = 0;
+    while (k < ndb) {
+        let sp: bptr = dbbase + offs[k];
+        let sc = dropgsw(sp, lens[k], work);
+        out[k] = sc;
+        histint(sc);
+        total = total + sc;
+        k = k + 1;
+    }
+    return total;
+}
+";
+
+/// The full Fasta (`ssearch`) program in the given flavour.
+pub fn fasta(flavor: Flavor) -> String {
+    let kernel = match flavor {
+        Flavor::Branchy => FASTA_DROPGSW_BRANCHY,
+        Flavor::Hand => FASTA_DROPGSW_HAND,
+    };
+    format!("{kernel}\n{FASTA_COMMON}")
+}
+
+// ---------------------------------------------------------------------
+// Clustalw: forward_pass — global alignment, memory-carried DD[] array.
+// ---------------------------------------------------------------------
+
+const CLUSTALW_FP_BRANCHY: &str = "
+fn forward_pass(a: bptr, n: int, b: bptr, m: int, hh: ptr, dd: ptr) -> int {
+    let mat: ptr = @MAT@;
+    hh[0] = 0;
+    let j = 1;
+    while (j <= m) {
+        hh[j] = -@WG@ - j * @WS@;
+        dd[j] = hh[j];
+        j = j + 1;
+    }
+    let i = 1;
+    let vleft = 0;
+    while (i <= n) {
+        let ca = a[i - 1] * 24;
+        let diag = hh[0];
+        hh[0] = -@WG@ - i * @WS@;
+        let e = hh[0];
+        vleft = hh[0];
+        let j2 = 1;
+        while (j2 <= m) {
+            let t = vleft - @WG@;
+            if (e < t) { e = t; }
+            e = e - @WS@;
+            let vup = hh[j2];
+            let t2 = vup - @WG@;
+            if (dd[j2] < t2) { dd[j2] = t2; }
+            dd[j2] = dd[j2] - @WS@;
+            let v = diag + mat[ca + b[j2 - 1]];
+            if (v < e) { v = e; }
+            if (v < dd[j2]) { v = dd[j2]; }
+            diag = vup;
+            hh[j2] = v;
+            vleft = v;
+            j2 = j2 + 1;
+        }
+        i = i + 1;
+    }
+    return vleft;
+}
+";
+
+const CLUSTALW_FP_HAND: &str = "
+fn forward_pass(a: bptr, n: int, b: bptr, m: int, hh: ptr, dd: ptr) -> int {
+    let mat: ptr = @MAT@;
+    hh[0] = 0;
+    let j = 1;
+    while (j <= m) {
+        hh[j] = -@WG@ - j * @WS@;
+        dd[j] = hh[j];
+        j = j + 1;
+    }
+    let i = 1;
+    let vleft = 0;
+    while (i <= n) {
+        let ca = a[i - 1] * 24;
+        let diag = hh[0];
+        hh[0] = -@WG@ - i * @WS@;
+        let e = hh[0];
+        vleft = hh[0];
+        let j2 = 1;
+        while (j2 <= m) {
+            e = max(e, vleft - @WG@) - @WS@;
+            let vup = hh[j2];
+            let f = max(dd[j2], vup - @WG@) - @WS@;
+            dd[j2] = f;
+            let v = diag + mat[ca + b[j2 - 1]];
+            v = max(v, e);
+            v = max(v, f);
+            diag = vup;
+            hh[j2] = v;
+            vleft = v;
+            j2 = j2 + 1;
+        }
+        i = i + 1;
+    }
+    return vleft;
+}
+";
+
+const CLUSTALW_COMMON: &str = "
+fn guide_tree(scores: ptr, nseq: int, active: ptr, joins: ptr) -> int {
+    let i = 0;
+    while (i < nseq) {
+        active[i] = 1;
+        active[nseq + i] = 1;
+        i = i + 1;
+    }
+    let step = 0;
+    let acc = 0;
+    while (step < nseq - 1) {
+        let bi = -1;
+        let bj = -1;
+        let best = -2000000000;
+        let ii = 0;
+        while (ii < nseq) {
+            if (active[ii] > 0) {
+                let jj = ii + 1;
+                while (jj < nseq) {
+                    if (active[jj] > 0) {
+                        let s = scores[ii * nseq + jj];
+                        if (best < s) {
+                            best = s;
+                            bi = ii;
+                            bj = jj;
+                        }
+                    }
+                    jj = jj + 1;
+                }
+            }
+            ii = ii + 1;
+        }
+        let wi = active[nseq + bi];
+        let wj = active[nseq + bj];
+        let k = 0;
+        while (k < nseq) {
+            if (active[k] > 0) {
+                if (k != bi) {
+                    if (k != bj) {
+                        let na = (scores[bi * nseq + k] * wi + scores[bj * nseq + k] * wj) / (wi + wj);
+                        scores[bi * nseq + k] = na;
+                        scores[k * nseq + bi] = na;
+                    }
+                }
+            }
+            k = k + 1;
+        }
+        active[bj] = 0;
+        active[nseq + bi] = wi + wj;
+        joins[step * 2] = bi;
+        joins[step * 2 + 1] = bj;
+        acc = acc + best;
+        step = step + 1;
+    }
+    return acc;
+}
+
+fn main(pb: ptr) -> int {
+    let seqs = pb[0];
+    let offs: ptr = pb[1];
+    let lens: ptr = pb[2];
+    let nseq = pb[3];
+    let hh: ptr = pb[4];
+    let dd: ptr = pb[5];
+    let scores: ptr = pb[6];
+    let active: ptr = pb[7];
+    let joins: ptr = pb[8];
+    let pairout: ptr = pb[9];
+    let i = 0;
+    while (i < nseq) {
+        let j = i + 1;
+        while (j < nseq) {
+            let sa: bptr = seqs + offs[i];
+            let sb: bptr = seqs + offs[j];
+            let sc = forward_pass(sa, lens[i], sb, lens[j], hh, dd);
+            scores[i * nseq + j] = sc;
+            scores[j * nseq + i] = sc;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    i = 0;
+    while (i < nseq * nseq) {
+        pairout[i] = scores[i];
+        i = i + 1;
+    }
+    let g = guide_tree(scores, nseq, active, joins);
+    return g;
+}
+";
+
+/// The full Clustalw program in the given flavour.
+pub fn clustalw(flavor: Flavor) -> String {
+    let kernel = match flavor {
+        Flavor::Branchy => CLUSTALW_FP_BRANCHY,
+        Flavor::Hand => CLUSTALW_FP_HAND,
+    };
+    format!("{kernel}\n{CLUSTALW_COMMON}")
+}
+
+// ---------------------------------------------------------------------
+// Hmmer (hmmpfam): P7Viterbi — integer Plan7 Viterbi, memory-carried
+// exactly like HMMER2's macro style.
+//
+// Model block layout (words): [0]=M, then per-node interleaved transition
+// records of 9 words for k in 0..=M — tmm,tim,tdm,tmi,tii,tmd,tdd,bsc,esc
+// at 1+9k — followed by match emissions transposed [res][node] at
+// 1+9*mp1 (24 residue rows of mp1) and insert emissions at 1+33*mp1.
+// (HMMER2 likewise interleaves tsc and transposes msc for exactly this
+// reason: one base register per row.)
+// Work layout: two banks of 3 rows (m/i/d), each mp1 words.
+// ---------------------------------------------------------------------
+
+const HMMER_VITERBI_BRANCHY: &str = "
+fn p7viterbi(x: bptr, n: int, model: ptr, work: ptr) -> int {
+    let m = model[0];
+    let mp1 = m + 1;
+    let k = 0;
+    while (k < mp1 * 6) {
+        work[k] = -100000;
+        k = k + 1;
+    }
+    let best = -100000;
+    let prev = 0;
+    let cur = mp1 * 3;
+    let i = 0;
+    while (i < n) {
+        let xi = x[i];
+        let mrow = 1 + 9 * mp1 + xi * mp1;
+        work[cur] = -100000;
+        work[cur + mp1] = -100000;
+        work[cur + 2 * mp1] = -100000;
+        work[cur + 2 * mp1 + 1] = -100000;
+        k = 1;
+        while (k <= m) {
+            let tp = 9 * k - 8;
+            work[cur + k] = work[prev + k - 1] + model[tp];
+            let sc = work[prev + mp1 + k - 1] + model[tp + 1];
+            if (work[cur + k] < sc) { work[cur + k] = sc; }
+            sc = work[prev + 2 * mp1 + k - 1] + model[tp + 2];
+            if (work[cur + k] < sc) { work[cur + k] = sc; }
+            sc = model[tp + 16];
+            if (work[cur + k] < sc) { work[cur + k] = sc; }
+            work[cur + k] = work[cur + k] + model[mrow + k];
+            if (work[cur + k] < -1000000) { work[cur + k] = -1000000; }
+            if (k < m) {
+                work[cur + mp1 + k] = work[prev + k] + model[tp + 12];
+                sc = work[prev + mp1 + k] + model[tp + 13];
+                if (work[cur + mp1 + k] < sc) { work[cur + mp1 + k] = sc; }
+                work[cur + mp1 + k] = work[cur + mp1 + k] + model[mrow + 24 * mp1 + k];
+                if (work[cur + mp1 + k] < -1000000) { work[cur + mp1 + k] = -1000000; }
+            }
+            if (k > 1) {
+                work[cur + 2 * mp1 + k] = work[cur + k - 1] + model[tp + 5];
+                sc = work[cur + 2 * mp1 + k - 1] + model[tp + 6];
+                if (work[cur + 2 * mp1 + k] < sc) { work[cur + 2 * mp1 + k] = sc; }
+                if (work[cur + 2 * mp1 + k] < -1000000) { work[cur + 2 * mp1 + k] = -1000000; }
+            }
+            let ex = work[cur + k] + model[tp + 17];
+            if (best < ex) { best = ex; }
+            k = k + 1;
+        }
+        prev = 3 * mp1 - prev;
+        cur = 3 * mp1 - cur;
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const HMMER_VITERBI_HAND: &str = "
+fn p7viterbi(x: bptr, n: int, model: ptr, work: ptr) -> int {
+    let m = model[0];
+    let mp1 = m + 1;
+    let k = 0;
+    while (k < mp1 * 6) {
+        work[k] = -100000;
+        k = k + 1;
+    }
+    let best = -100000;
+    let prev = 0;
+    let cur = mp1 * 3;
+    let i = 0;
+    while (i < n) {
+        let xi = x[i];
+        let mrow = 1 + 9 * mp1 + xi * mp1;
+        work[cur] = -100000;
+        work[cur + mp1] = -100000;
+        work[cur + 2 * mp1] = -100000;
+        work[cur + 2 * mp1 + 1] = -100000;
+        k = 1;
+        while (k <= m) {
+            let tp = 9 * k - 8;
+            let mm = work[prev + k - 1] + model[tp];
+            mm = max(mm, work[prev + mp1 + k - 1] + model[tp + 1]);
+            mm = max(mm, work[prev + 2 * mp1 + k - 1] + model[tp + 2]);
+            mm = max(mm, model[tp + 16]);
+            mm = mm + model[mrow + k];
+            mm = max(mm, -1000000);
+            work[cur + k] = mm;
+            if (k < m) {
+                let ins = work[prev + k] + model[tp + 12];
+                ins = max(ins, work[prev + mp1 + k] + model[tp + 13]);
+                ins = ins + model[mrow + 24 * mp1 + k];
+                ins = max(ins, -1000000);
+                work[cur + mp1 + k] = ins;
+            }
+            if (k > 1) {
+                let del = work[cur + k - 1] + model[tp + 5];
+                del = max(del, work[cur + 2 * mp1 + k - 1] + model[tp + 6]);
+                del = max(del, -1000000);
+                work[cur + 2 * mp1 + k] = del;
+            }
+            let ex = mm + model[tp + 17];
+            if (best < ex) { best = ex; }
+            k = k + 1;
+        }
+        prev = 3 * mp1 - prev;
+        cur = 3 * mp1 - cur;
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const HMMER_COMMON: &str = "
+fn rank_scores(out: ptr, nmod: int, ranked: ptr) -> int {
+    let i = 0;
+    while (i < nmod) {
+        ranked[i] = i;
+        i = i + 1;
+    }
+    i = 1;
+    while (i < nmod) {
+        let j = i;
+        while (j > 0 && out[ranked[j]] > out[ranked[j - 1]]) {
+            let t = ranked[j];
+            ranked[j] = ranked[j - 1];
+            ranked[j - 1] = t;
+            j = j - 1;
+        }
+        i = i + 1;
+    }
+    return ranked[0];
+}
+
+fn main(pb: ptr) -> int {
+    let x = pb[0];
+    let n = pb[1];
+    let mods: ptr = pb[2];
+    let nmod = pb[3];
+    let work: ptr = pb[4];
+    let out: ptr = pb[5];
+    let ranked: ptr = pb[6];
+    let xs: bptr = x;
+    let k = 0;
+    let tot = 0;
+    while (k < nmod) {
+        let mdl: ptr = mods[k];
+        let sc = p7viterbi(xs, n, mdl, work);
+        out[k] = sc;
+        tot = tot + sc;
+        k = k + 1;
+    }
+    rank_scores(out, nmod, ranked);
+    return tot;
+}
+";
+
+/// The full Hmmer (`hmmpfam`) program in the given flavour.
+pub fn hmmer(flavor: Flavor) -> String {
+    let kernel = match flavor {
+        Flavor::Branchy => HMMER_VITERBI_BRANCHY,
+        Flavor::Hand => HMMER_VITERBI_HAND,
+    };
+    format!("{kernel}\n{HMMER_COMMON}")
+}
+
+// ---------------------------------------------------------------------
+// Blast (blastp): word scan → two-hit trigger → ungapped X-drop extension
+// → banded gapped extension (the paper's SEMI_G_ALIGN_EX).
+// ---------------------------------------------------------------------
+
+const BLAST_BAND_BRANCHY: &str = "
+fn band_half(a: bptr, n: int, b: bptr, m: int) -> int {
+    if (n < 1) { return 0; }
+    if (m < 1) { return 0; }
+    let v: ptr = @BANDV@;
+    let f: ptr = @BANDF@;
+    let mat: ptr = @MAT@;
+    v[0] = 0;
+    f[0] = @NEGNW@;
+    let j = 1;
+    while (j <= m) {
+        if (j <= @BAND@) { v[j] = -@WG@ - j * @WS@; } else { v[j] = @NEGNW@; }
+        f[j] = v[j];
+        j = j + 1;
+    }
+    let best = 0;
+    let i = 1;
+    while (i <= n) {
+        let lo = i - @BAND@;
+        if (lo < 1) { lo = 1; }
+        let hi = i + @BAND@;
+        if (hi > m) { hi = m; }
+        if (lo > m) {
+            i = n;
+        } else {
+            let diagp = v[lo - 1];
+            let e = @NEGNW@;
+            let vleft = @NEGNW@;
+            if (lo == 1) {
+                if (i <= @BAND@) { v[0] = -@WG@ - i * @WS@; } else { v[0] = @NEGNW@; }
+                e = v[0];
+                vleft = v[0];
+            }
+            if (hi < m) {
+                v[hi + 1] = @NEGNW@;
+                f[hi + 1] = @NEGNW@;
+            }
+            let j2 = lo;
+            while (j2 <= hi) {
+                let val = diagp + mat[a[i - 1] * 24 + b[j2 - 1]];
+                if (e < vleft - @WG@) { e = vleft - @WG@; }
+                e = e - @WS@;
+                let fc = f[j2];
+                if (fc < v[j2] - @WG@) { fc = v[j2] - @WG@; }
+                fc = fc - @WS@;
+                if (val < e) { val = e; }
+                if (val < fc) { val = fc; }
+                diagp = v[j2];
+                v[j2] = val;
+                f[j2] = fc;
+                vleft = val;
+                if (best < val) { best = val; }
+                j2 = j2 + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const BLAST_BAND_HAND: &str = "
+fn band_half(a: bptr, n: int, b: bptr, m: int) -> int {
+    if (n < 1) { return 0; }
+    if (m < 1) { return 0; }
+    let v: ptr = @BANDV@;
+    let f: ptr = @BANDF@;
+    let mat: ptr = @MAT@;
+    v[0] = 0;
+    f[0] = @NEGNW@;
+    let j = 1;
+    while (j <= m) {
+        if (j <= @BAND@) { v[j] = -@WG@ - j * @WS@; } else { v[j] = @NEGNW@; }
+        f[j] = v[j];
+        j = j + 1;
+    }
+    let best = 0;
+    let i = 1;
+    while (i <= n) {
+        let lo = i - @BAND@;
+        if (lo < 1) { lo = 1; }
+        let hi = i + @BAND@;
+        if (hi > m) { hi = m; }
+        if (lo > m) {
+            i = n;
+        } else {
+            let diagp = v[lo - 1];
+            let e = @NEGNW@;
+            let vleft = @NEGNW@;
+            if (lo == 1) {
+                if (i <= @BAND@) { v[0] = -@WG@ - i * @WS@; } else { v[0] = @NEGNW@; }
+                e = v[0];
+                vleft = v[0];
+            }
+            if (hi < m) {
+                v[hi + 1] = @NEGNW@;
+                f[hi + 1] = @NEGNW@;
+            }
+            let j2 = lo;
+            while (j2 <= hi) {
+                let val = diagp + mat[a[i - 1] * 24 + b[j2 - 1]];
+                if (e < vleft - @WG@) { e = vleft - @WG@; }
+                e = e - @WS@;
+                let fc = f[j2];
+                if (fc < v[j2] - @WG@) { fc = v[j2] - @WG@; }
+                fc = fc - @WS@;
+                val = max(val, e);
+                val = max(val, fc);
+                diagp = v[j2];
+                v[j2] = val;
+                f[j2] = fc;
+                vleft = val;
+                if (best < val) { best = val; }
+                j2 = j2 + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return best;
+}
+";
+
+const BLAST_COMMON: &str = "
+fn ungapped(q: bptr, qlen: int, s: bptr, slen: int, qi: int, sj: int) -> int {
+    let mat: ptr = @MAT@;
+    let best = mat[q[qi] * 24 + s[sj]] + mat[q[qi + 1] * 24 + s[sj + 1]] + mat[q[qi + 2] * 24 + s[sj + 2]];
+    let aq = qi + 2;
+    let asj = sj + 2;
+    let run = best;
+    let i = qi + 3;
+    let j = sj + 3;
+    while (i < qlen && j < slen) {
+        run = run + mat[q[i] * 24 + s[j]];
+        if (best < run) {
+            best = run;
+            aq = i;
+            asj = j;
+        }
+        if (run <= best - @XDROP@) {
+            i = qlen;
+            j = slen;
+        }
+        i = i + 1;
+        j = j + 1;
+    }
+    let runl = best;
+    let running = best;
+    i = qi;
+    j = sj;
+    while (i > 0 && j > 0) {
+        i = i - 1;
+        j = j - 1;
+        runl = runl + mat[q[i] * 24 + s[j]];
+        if (running < runl) { running = runl; }
+        if (runl <= running - @XDROP@) {
+            i = 0;
+            j = 0;
+        }
+    }
+    let anch: ptr = @ANCH@;
+    anch[0] = aq;
+    anch[1] = asj;
+    return running;
+}
+
+fn semi_gapped(q: bptr, qlen: int, s: bptr, slen: int) -> int {
+    let anch: ptr = @ANCH@;
+    let aq = anch[0];
+    let asj = anch[1];
+    let mat: ptr = @MAT@;
+    let sc = mat[q[aq] * 24 + s[asj]];
+    let fwd = band_half(q + aq + 1, qlen - aq - 1, s + asj + 1, slen - asj - 1);
+    let qrev: bptr = @QREV@;
+    let srev: bptr = s + @SREVDELTA@;
+    let bwd = band_half(qrev + qlen - aq, aq, srev + slen - asj, asj);
+    return sc + fwd + bwd;
+}
+
+fn process_hit(q: bptr, qlen: int, s: bptr, slen: int, w: int, h: int, j: int) -> int {
+    let pos: ptr = @POS@;
+    let woff: ptr = @WOFF@;
+    let qi = pos[woff[w] + h];
+    let idx = j - qi + qlen;
+    let diag: ptr = @DIAG@;
+    if (j < diag[idx + @DIAGSTRIDE@]) { return 0; }
+    let prev = diag[idx];
+    if (j < prev) { return 0; }
+    diag[idx] = j + 3;
+    if (j - prev > @WINDOW@) { return 0; }
+    let usc = ungapped(q, qlen, s, slen, qi, j);
+    if (usc < @GAPTRIG@) { return 0; }
+    let g = semi_gapped(q, qlen, s, slen);
+    let anch: ptr = @ANCH@;
+    diag[idx + @DIAGSTRIDE@] = anch[1] + 1;
+    if (g < @MINREP@) { return 0; }
+    return g;
+}
+
+fn scan(s: bptr, slen: int, q: bptr, qlen: int, out: ptr, subj: int) -> int {
+    let diag: ptr = @DIAG@;
+    let n = qlen + slen + 2;
+    let d = 0;
+    while (d < n) {
+        diag[d] = -1000000;
+        diag[d + @DIAGSTRIDE@] = -1000000;
+        d = d + 1;
+    }
+    let best = 0;
+    let wcnt: ptr = @WCNT@;
+    let j = 0;
+    let jmax = slen - 3;
+    while (j <= jmax) {
+        let w = (s[j] * 24 + s[j + 1]) * 24 + s[j + 2];
+        let cnt = wcnt[w];
+        if (cnt > 0) {
+            let h = 0;
+            while (h < cnt) {
+                let g = process_hit(q, qlen, s, slen, w, h, j);
+                if (best < g) { best = g; }
+                h = h + 1;
+            }
+        }
+        j = j + 1;
+    }
+    out[subj] = best;
+    return best;
+}
+
+fn main(pb: ptr) -> int {
+    let dbbase = pb[0];
+    let offs: ptr = pb[1];
+    let lens: ptr = pb[2];
+    let ndb = pb[3];
+    let out: ptr = pb[4];
+    let q: bptr = @QPTR@;
+    let k = 0;
+    let tot = 0;
+    while (k < ndb) {
+        let sp: bptr = dbbase + offs[k];
+        let g = scan(sp, lens[k], q, @QLEN@, out, k);
+        tot = tot + g;
+        k = k + 1;
+    }
+    return tot;
+}
+";
+
+/// The full Blast (`blastp`) program in the given flavour.
+pub fn blast(flavor: Flavor) -> String {
+    let kernel = match flavor {
+        Flavor::Branchy => BLAST_BAND_BRANCHY,
+        Flavor::Hand => BLAST_BAND_HAND,
+    };
+    format!("{kernel}\n{BLAST_COMMON}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_consts() -> Consts {
+        Consts::default()
+            .set("QPTR", 0x1000)
+            .set("QLEN", 64)
+            .set("MAT", 0x2000)
+            .set("WG", 10)
+            .set("WS", 2)
+            .set("NEGNW", NEG_NW)
+            .set("HIST", 0x3000)
+            .set("BANDV", 0x4000)
+            .set("BANDF", 0x5000)
+            .set("BAND", 24)
+            .set("XDROP", 7)
+            .set("ANCH", 0x6000)
+            .set("QREV", 0x7000)
+            .set("SREVDELTA", 0x8000)
+            .set("POS", 0x9000)
+            .set("WOFF", 0xA000)
+            .set("WCNT", 0xB000)
+            .set("DIAG", 0xC000)
+            .set("DIAGSTRIDE", 512)
+            .set("WINDOW", 40)
+            .set("GAPTRIG", 22)
+            .set("MINREP", 35)
+    }
+
+    #[test]
+    fn all_templates_render_and_compile_in_all_modes() {
+        let consts = dummy_consts();
+        let sources = [
+            fasta(Flavor::Branchy),
+            fasta(Flavor::Hand),
+            clustalw(Flavor::Branchy),
+            clustalw(Flavor::Hand),
+            hmmer(Flavor::Branchy),
+            hmmer(Flavor::Hand),
+            blast(Flavor::Branchy),
+            blast(Flavor::Hand),
+        ];
+        let options = [
+            kernelc::Options::baseline(),
+            kernelc::Options::hand_isel(),
+            kernelc::Options::hand_max(),
+            kernelc::Options::compiler_isel(),
+            kernelc::Options::compiler_max(),
+            kernelc::Options::combination(),
+        ];
+        for (si, src) in sources.iter().enumerate() {
+            let rendered = render(src, &consts);
+            for o in &options {
+                let compiled = kernelc::compile(&rendered, o)
+                    .unwrap_or_else(|e| panic!("source {si} under {o:?}: {e}"));
+                // Everything must also assemble.
+                ppc_asm::assemble(&compiled.asm, 0x1000)
+                    .unwrap_or_else(|e| panic!("source {si} under {o:?}: asm error {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn render_panics_on_missing_token() {
+        let r = std::panic::catch_unwind(|| render("fn x@NOPE@() {}", &Consts::default()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn branchy_clustalw_has_store_hammocks_compiler_rejects() {
+        let consts = dummy_consts();
+        let src = render(&clustalw(Flavor::Branchy), &consts);
+        let comp = kernelc::compile(&src, &kernelc::Options::compiler_isel()).unwrap();
+        assert!(comp.rejected_hammocks > 0, "expected rejections, got none");
+        assert!(comp.converted_hammocks > 0, "expected some conversions");
+    }
+
+    #[test]
+    fn branchy_hmmer_mostly_rejected() {
+        let consts = dummy_consts();
+        let src = render(&hmmer(Flavor::Branchy), &consts);
+        let comp = kernelc::compile(&src, &kernelc::Options::compiler_isel()).unwrap();
+        assert!(
+            comp.rejected_hammocks > comp.converted_hammocks,
+            "hmmer should reject more than it converts: {} vs {}",
+            comp.rejected_hammocks,
+            comp.converted_hammocks
+        );
+    }
+
+    #[test]
+    fn branchy_fasta_converts_fully_under_compiler_max() {
+        let consts = dummy_consts();
+        let src = render(&fasta(Flavor::Branchy), &consts);
+        let comp = kernelc::compile(&src, &kernelc::Options::compiler_max()).unwrap();
+        // The five recurrence maxes plus best-tracking all convert.
+        assert!(comp.converted_hammocks >= 5, "converted {}", comp.converted_hammocks);
+        assert!(comp.asm.contains("maxw"));
+    }
+
+    #[test]
+    fn hand_sources_use_the_intrinsic() {
+        let consts = dummy_consts();
+        for src in [fasta(Flavor::Hand), clustalw(Flavor::Hand), hmmer(Flavor::Hand), blast(Flavor::Hand)] {
+            let rendered = render(&src, &consts);
+            let hand = kernelc::compile(&rendered, &kernelc::Options::hand_max()).unwrap();
+            assert!(hand.asm.contains("maxw"), "hand flavour lacks maxw");
+            let base = kernelc::compile(&rendered, &kernelc::Options::baseline()).unwrap();
+            assert!(!base.asm.contains("maxw"));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `bioarch` — the end-to-end reproduction of *Characterizing and
+//! Improving the Performance of Bioinformatics Workloads on the POWER5
+//! Architecture* (IISWC 2007).
+//!
+//! This crate ties the substrates together into the paper's study:
+//!
+//! * [`kernels`] — the four applications' dynamic-programming kernels and
+//!   drivers written in the [`kernelc`] kernel language, in two source
+//!   flavours: *branchy* (the original code) and *hand-predicated*
+//!   (the paper's hand-inserted `max()` sites);
+//! * [`apps`] — workload builders: synthetic class-C-scaled inputs
+//!   ([`bioseq`]), memory layout and serialization, compilation with any
+//!   [`Variant`], execution on a configured
+//!   [`power5_sim::Machine`], per-function profiling, and validation of
+//!   every simulated result against the [`bioalign`] golden models;
+//! * [`experiments`] — one runner per table/figure of the paper
+//!   (Table I, Table II, Figures 1–6), producing typed results and
+//!   rendered text tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bioarch::apps::{App, Scale, Variant, Workload};
+//! use power5_sim::CoreConfig;
+//!
+//! let wl = Workload::new(App::Fasta, Scale::Test, 42);
+//! let run = wl.run(Variant::Baseline, &CoreConfig::power5())?;
+//! assert!(run.validated);
+//! println!("Fasta baseline IPC = {:.2}", run.counters.ipc());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod experiments;
+pub mod extra;
+pub mod kernels;
+pub mod report;
+
+pub use apps::{App, Scale, Variant, Workload};

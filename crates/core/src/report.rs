@@ -1,0 +1,120 @@
+//! Plain-text table rendering for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+///
+/// # Example
+///
+/// ```
+/// use bioarch::report::Table;
+///
+/// let mut t = Table::new(vec!["App".into(), "IPC".into()]);
+/// t.row(vec!["Fasta".into(), "0.93".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Fasta"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a ratio as a signed percentage (`+12.3%`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", 100.0 * ratio)
+}
+
+/// Format a fraction (0–1) as a percentage (`12.3%`).
+pub fn frac(f: f64) -> String {
+    format!("{:.2}%", 100.0 * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn percent_helpers() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.05), "-5.0%");
+        assert_eq!(frac(0.998), "99.80%");
+    }
+}

@@ -1,0 +1,203 @@
+//! Textual disassembly (the `Display` impl for [`Instruction`]).
+//!
+//! Output follows GNU `objdump` conventions for the subset, including the
+//! usual simplified mnemonics (`li`, `mr`, `nop`, `blr`, `bctr`, `bdnz`).
+
+use crate::insn::{BranchCond, Instruction};
+use std::fmt;
+
+fn cond_suffix(cond: &BranchCond) -> String {
+    match cond {
+        BranchCond::IfFalse(bit) => format!("f {bit}"),
+        BranchCond::IfTrue(bit) => format!("t {bit}"),
+        BranchCond::DecrementNotZero => "dnz".to_string(),
+        BranchCond::Always => String::new(),
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Addi { rt, ra, imm } if ra.0 == 0 => write!(f, "li {rt}, {imm}"),
+            Addi { rt, ra, imm } => write!(f, "addi {rt}, {ra}, {imm}"),
+            Addis { rt, ra, imm } if ra.0 == 0 => write!(f, "lis {rt}, {imm}"),
+            Addis { rt, ra, imm } => write!(f, "addis {rt}, {ra}, {imm}"),
+            Add { rt, ra, rb } => write!(f, "add {rt}, {ra}, {rb}"),
+            Subf { rt, ra, rb } => write!(f, "subf {rt}, {ra}, {rb}"),
+            Neg { rt, ra } => write!(f, "neg {rt}, {ra}"),
+            Mullw { rt, ra, rb } => write!(f, "mullw {rt}, {ra}, {rb}"),
+            Divw { rt, ra, rb } => write!(f, "divw {rt}, {ra}, {rb}"),
+            And { ra, rs, rb } => write!(f, "and {ra}, {rs}, {rb}"),
+            Or { ra, rs, rb } if rs == rb => write!(f, "mr {ra}, {rs}"),
+            Or { ra, rs, rb } => write!(f, "or {ra}, {rs}, {rb}"),
+            Xor { ra, rs, rb } => write!(f, "xor {ra}, {rs}, {rb}"),
+            Ori { ra, rs, uimm } if ra.0 == 0 && rs.0 == 0 && uimm == 0 => write!(f, "nop"),
+            Ori { ra, rs, uimm } => write!(f, "ori {ra}, {rs}, {uimm}"),
+            AndiDot { ra, rs, uimm } => write!(f, "andi. {ra}, {rs}, {uimm}"),
+            Xori { ra, rs, uimm } => write!(f, "xori {ra}, {rs}, {uimm}"),
+            Slw { ra, rs, rb } => write!(f, "slw {ra}, {rs}, {rb}"),
+            Srw { ra, rs, rb } => write!(f, "srw {ra}, {rs}, {rb}"),
+            Sraw { ra, rs, rb } => write!(f, "sraw {ra}, {rs}, {rb}"),
+            Srawi { ra, rs, sh } => write!(f, "srawi {ra}, {rs}, {sh}"),
+            Rlwinm { ra, rs, sh, mb, me } => {
+                write!(f, "rlwinm {ra}, {rs}, {sh}, {mb}, {me}")
+            }
+            Extsb { ra, rs } => write!(f, "extsb {ra}, {rs}"),
+            Extsh { ra, rs } => write!(f, "extsh {ra}, {rs}"),
+            Cmpw { crf, ra, rb } => write!(f, "cmpw {crf}, {ra}, {rb}"),
+            Cmpwi { crf, ra, imm } => write!(f, "cmpwi {crf}, {ra}, {imm}"),
+            Cmplw { crf, ra, rb } => write!(f, "cmplw {crf}, {ra}, {rb}"),
+            Cmplwi { crf, ra, uimm } => write!(f, "cmplwi {crf}, {ra}, {uimm}"),
+            Isel { rt, ra, rb, bc } => write!(f, "isel {rt}, {ra}, {rb}, {bc}"),
+            Maxw { rt, ra, rb } => write!(f, "maxw {rt}, {ra}, {rb}"),
+            B { offset, link } => {
+                write!(f, "b{} .{:+}", if link { "l" } else { "" }, offset)
+            }
+            Bc { cond, offset, link } => {
+                let l = if link { "l" } else { "" };
+                match cond {
+                    // Distinct from the I-form `b`: the encoding differs,
+                    // so the mnemonic must too for assembler round-trips.
+                    BranchCond::Always => write!(f, "bcalways{l} .{offset:+}"),
+                    BranchCond::DecrementNotZero => {
+                        write!(f, "bdnz{l} .{offset:+}")
+                    }
+                    BranchCond::IfFalse(bit) => write!(f, "bcf{l} {bit}, .{offset:+}"),
+                    BranchCond::IfTrue(bit) => write!(f, "bct{l} {bit}, .{offset:+}"),
+                }
+            }
+            Bclr { cond } => match cond {
+                BranchCond::Always => write!(f, "blr"),
+                _ => write!(f, "bclr{}", cond_suffix(&cond)),
+            },
+            Bcctr { cond } => match cond {
+                BranchCond::Always => write!(f, "bctr"),
+                _ => write!(f, "bcctr{}", cond_suffix(&cond)),
+            },
+            Lwz { rt, ra, disp } => write!(f, "lwz {rt}, {disp}({ra})"),
+            Lwzx { rt, ra, rb } => write!(f, "lwzx {rt}, {ra}, {rb}"),
+            Lbz { rt, ra, disp } => write!(f, "lbz {rt}, {disp}({ra})"),
+            Lbzx { rt, ra, rb } => write!(f, "lbzx {rt}, {ra}, {rb}"),
+            Lhz { rt, ra, disp } => write!(f, "lhz {rt}, {disp}({ra})"),
+            Lha { rt, ra, disp } => write!(f, "lha {rt}, {disp}({ra})"),
+            Stw { rs, ra, disp } => write!(f, "stw {rs}, {disp}({ra})"),
+            Stwx { rs, ra, rb } => write!(f, "stwx {rs}, {ra}, {rb}"),
+            Stb { rs, ra, disp } => write!(f, "stb {rs}, {disp}({ra})"),
+            Sth { rs, ra, disp } => write!(f, "sth {rs}, {disp}({ra})"),
+            Mflr { rt } => write!(f, "mflr {rt}"),
+            Mtlr { rs } => write!(f, "mtlr {rs}"),
+            Mfctr { rt } => write!(f, "mfctr {rt}"),
+            Mtctr { rs } => write!(f, "mtctr {rs}"),
+            Trap => write!(f, "trap"),
+        }
+    }
+}
+
+/// Disassemble a slice of instruction words starting at `base`, one line
+/// per instruction, undecodable words shown as `.word`.
+pub fn disassemble(words: &[u32], base: u32) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + 4 * i as u32;
+        match crate::encode::decode(w) {
+            Ok(insn) => out.push_str(&format!("{addr:8x}:  {w:08x}  {insn}\n")),
+            Err(_) => out.push_str(&format!("{addr:8x}:  {w:08x}  .word 0x{w:08x}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::{CrBit, CrField, Gpr};
+
+    #[test]
+    fn simplified_mnemonics() {
+        assert_eq!(Instruction::nop().to_string(), "nop");
+        assert_eq!(
+            Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: -1 }.to_string(),
+            "li r3, -1"
+        );
+        assert_eq!(
+            Instruction::Or { ra: Gpr(3), rs: Gpr(4), rb: Gpr(4) }.to_string(),
+            "mr r3, r4"
+        );
+        assert_eq!(
+            Instruction::Bclr { cond: BranchCond::Always }.to_string(),
+            "blr"
+        );
+    }
+
+    #[test]
+    fn memory_operand_syntax() {
+        assert_eq!(
+            Instruction::Lwz { rt: Gpr(9), ra: Gpr(1), disp: -8 }.to_string(),
+            "lwz r9, -8(r1)"
+        );
+        assert_eq!(
+            Instruction::Stwx { rs: Gpr(3), ra: Gpr(4), rb: Gpr(5) }.to_string(),
+            "stwx r3, r4, r5"
+        );
+    }
+
+    #[test]
+    fn branch_syntax() {
+        assert_eq!(
+            Instruction::B { offset: -16, link: false }.to_string(),
+            "b .-16"
+        );
+        assert_eq!(
+            Instruction::Bc {
+                cond: BranchCond::IfTrue(CrBit(1)),
+                offset: 8,
+                link: false
+            }
+            .to_string(),
+            "bct 4*cr0+gt, .+8"
+        );
+        assert_eq!(
+            Instruction::Bc {
+                cond: BranchCond::DecrementNotZero,
+                offset: -8,
+                link: false
+            }
+            .to_string(),
+            "bdnz .-8"
+        );
+    }
+
+    #[test]
+    fn predicated_syntax() {
+        assert_eq!(
+            Instruction::Maxw { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5) }.to_string(),
+            "maxw r3, r4, r5"
+        );
+        assert_eq!(
+            Instruction::Isel { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5), bc: CrBit(1) }.to_string(),
+            "isel r3, r4, r5, 4*cr0+gt"
+        );
+        assert_eq!(
+            Instruction::Cmpw { crf: CrField(0), ra: Gpr(4), rb: Gpr(5) }.to_string(),
+            "cmpw cr0, r4, r5"
+        );
+    }
+
+    #[test]
+    fn disassemble_mixed_stream() {
+        let words = vec![
+            encode(&Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: 7 }),
+            0xFFFF_FFFF, // undecodable
+            encode(&Instruction::Trap),
+        ];
+        let text = disassemble(&words, 0x1000);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("li r3, 7"));
+        assert!(lines[1].contains(".word 0xffffffff"));
+        assert!(lines[2].contains("trap"));
+        assert!(lines[0].trim_start().starts_with("1000:"));
+    }
+}

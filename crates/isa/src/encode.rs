@@ -1,0 +1,459 @@
+//! Binary encoding and decoding in genuine PowerPC instruction formats.
+//!
+//! PowerPC numbers bits big-endian: bit 0 is the most significant bit of
+//! the 32-bit word. The primary opcode occupies bits 0–5; opcode-31
+//! instructions carry a 10-bit extended opcode in bits 21–30 (XO-form
+//! arithmetic uses bits 22–30 with an OE bit at 21 — with OE always 0 the
+//! 10-bit view is equivalent, which is how we dispatch).
+//!
+//! The paper's `maxw` extension is encoded as opcode 31 / extended opcode
+//! 333 — "an unused PowerPC primary and extended opcode combination", per
+//! its Section IV-A. `isel` uses its real embedded-PowerPC encoding
+//! (opcode 31, 5-bit extended opcode 15 in bits 26–30 with the `BC` field
+//! at bits 21–25).
+
+use crate::insn::{BranchCond, Instruction};
+use crate::reg::{CrBit, CrField, Gpr};
+use std::fmt;
+
+/// Error returned when a word does not decode to a subset instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The instruction word.
+    pub word: u32,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Place `value` into big-endian bits `start..=end`.
+#[inline]
+fn put(value: u32, start: u32, end: u32) -> u32 {
+    debug_assert!(start <= end && end <= 31);
+    let width = end - start + 1;
+    debug_assert!(width == 32 || value < (1 << width), "field overflow");
+    value << (31 - end)
+}
+
+// Extract big-endian bits `start..=end`.
+#[inline]
+fn get(word: u32, start: u32, end: u32) -> u32 {
+    let width = end - start + 1;
+    (word >> (31 - end)) & ((1u64 << width) as u32).wrapping_sub(1)
+}
+
+fn bo_of(cond: BranchCond) -> (u32, u32) {
+    match cond {
+        BranchCond::IfFalse(bit) => (0b00100, bit.0 as u32),
+        BranchCond::IfTrue(bit) => (0b01100, bit.0 as u32),
+        BranchCond::DecrementNotZero => (0b10000, 0),
+        BranchCond::Always => (0b10100, 0),
+    }
+}
+
+fn cond_of(bo: u32, bi: u32, word: u32) -> Result<BranchCond, DecodeError> {
+    match bo {
+        0b00100 => Ok(BranchCond::IfFalse(CrBit(bi as u8))),
+        0b01100 => Ok(BranchCond::IfTrue(CrBit(bi as u8))),
+        0b10000 => Ok(BranchCond::DecrementNotZero),
+        0b10100 => Ok(BranchCond::Always),
+        _ => Err(DecodeError { word, reason: "unsupported BO field" }),
+    }
+}
+
+/// Extended opcode chosen for the hypothetical `maxw` (unused in the real
+/// Power ISA's opcode-31 space).
+pub const MAXW_XO: u32 = 333;
+
+/// Encode an instruction to its 32-bit word.
+pub fn encode(insn: &Instruction) -> u32 {
+    use Instruction::*;
+    let d_form = |op: u32, rt: Gpr, ra: Gpr, imm: u16| {
+        put(op, 0, 5) | put(rt.0 as u32, 6, 10) | put(ra.0 as u32, 11, 15) | put(imm as u32, 16, 31)
+    };
+    let x_form = |rt: u32, ra: u32, rb: u32, xo: u32| {
+        put(31, 0, 5) | put(rt, 6, 10) | put(ra, 11, 15) | put(rb, 16, 20) | put(xo, 21, 30)
+    };
+    match *insn {
+        Addi { rt, ra, imm } => d_form(14, rt, ra, imm as u16),
+        Addis { rt, ra, imm } => d_form(15, rt, ra, imm as u16),
+        Add { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 266),
+        Subf { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 40),
+        Neg { rt, ra } => x_form(rt.0 as u32, ra.0 as u32, 0, 104),
+        Mullw { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 235),
+        Divw { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 491),
+        And { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 28),
+        Or { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 444),
+        Xor { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 316),
+        Ori { ra, rs, uimm } => d_form(24, rs, ra, uimm),
+        AndiDot { ra, rs, uimm } => d_form(28, rs, ra, uimm),
+        Xori { ra, rs, uimm } => d_form(26, rs, ra, uimm),
+        Slw { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 24),
+        Srw { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 536),
+        Sraw { ra, rs, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 792),
+        Srawi { ra, rs, sh } => x_form(rs.0 as u32, ra.0 as u32, sh as u32, 824),
+        Rlwinm { ra, rs, sh, mb, me } => {
+            put(21, 0, 5)
+                | put(rs.0 as u32, 6, 10)
+                | put(ra.0 as u32, 11, 15)
+                | put(sh as u32, 16, 20)
+                | put(mb as u32, 21, 25)
+                | put(me as u32, 26, 30)
+        }
+        Extsb { ra, rs } => x_form(rs.0 as u32, ra.0 as u32, 0, 954),
+        Extsh { ra, rs } => x_form(rs.0 as u32, ra.0 as u32, 0, 922),
+        Cmpw { crf, ra, rb } => x_form((crf.0 as u32) << 2, ra.0 as u32, rb.0 as u32, 0),
+        Cmplw { crf, ra, rb } => x_form((crf.0 as u32) << 2, ra.0 as u32, rb.0 as u32, 32),
+        Cmpwi { crf, ra, imm } => {
+            put(11, 0, 5)
+                | put((crf.0 as u32) << 2, 6, 10)
+                | put(ra.0 as u32, 11, 15)
+                | put(imm as u16 as u32, 16, 31)
+        }
+        Cmplwi { crf, ra, uimm } => {
+            put(10, 0, 5)
+                | put((crf.0 as u32) << 2, 6, 10)
+                | put(ra.0 as u32, 11, 15)
+                | put(uimm as u32, 16, 31)
+        }
+        Isel { rt, ra, rb, bc } => {
+            put(31, 0, 5)
+                | put(rt.0 as u32, 6, 10)
+                | put(ra.0 as u32, 11, 15)
+                | put(rb.0 as u32, 16, 20)
+                | put(bc.0 as u32, 21, 25)
+                | put(15, 26, 30)
+        }
+        Maxw { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, MAXW_XO),
+        B { offset, link } => {
+            debug_assert!(offset % 4 == 0, "branch offsets are word-aligned");
+            let li = ((offset >> 2) as u32) & 0x00FF_FFFF;
+            put(18, 0, 5) | put(li, 6, 29) | put(link as u32, 31, 31)
+        }
+        Bc { cond, offset, link } => {
+            debug_assert!(offset % 4 == 0);
+            let (bo, bi) = bo_of(cond);
+            let bd = (((offset as i32) >> 2) as u32) & 0x3FFF;
+            put(16, 0, 5)
+                | put(bo, 6, 10)
+                | put(bi, 11, 15)
+                | put(bd, 16, 29)
+                | put(link as u32, 31, 31)
+        }
+        Bclr { cond } => {
+            let (bo, bi) = bo_of(cond);
+            put(19, 0, 5) | put(bo, 6, 10) | put(bi, 11, 15) | put(16, 21, 30)
+        }
+        Bcctr { cond } => {
+            let (bo, bi) = bo_of(cond);
+            put(19, 0, 5) | put(bo, 6, 10) | put(bi, 11, 15) | put(528, 21, 30)
+        }
+        Lwz { rt, ra, disp } => d_form(32, rt, ra, disp as u16),
+        Lbz { rt, ra, disp } => d_form(34, rt, ra, disp as u16),
+        Lhz { rt, ra, disp } => d_form(40, rt, ra, disp as u16),
+        Lha { rt, ra, disp } => d_form(42, rt, ra, disp as u16),
+        Stw { rs, ra, disp } => d_form(36, rs, ra, disp as u16),
+        Stb { rs, ra, disp } => d_form(38, rs, ra, disp as u16),
+        Sth { rs, ra, disp } => d_form(44, rs, ra, disp as u16),
+        Lwzx { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 23),
+        Lbzx { rt, ra, rb } => x_form(rt.0 as u32, ra.0 as u32, rb.0 as u32, 87),
+        Stwx { rs, ra, rb } => x_form(rs.0 as u32, ra.0 as u32, rb.0 as u32, 151),
+        // SPR numbers encode with their 5-bit halves swapped; LR = 8 and
+        // CTR = 9 both fit in the low half, which lands in bits 11–15.
+        Mflr { rt } => x_form(rt.0 as u32, 8, 0, 339),
+        Mfctr { rt } => x_form(rt.0 as u32, 9, 0, 339),
+        Mtlr { rs } => x_form(rs.0 as u32, 8, 0, 467),
+        Mtctr { rs } => x_form(rs.0 as u32, 9, 0, 467),
+        Trap => x_form(31, 0, 0, 4),
+    }
+}
+
+/// Decode a 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words outside the subset (unknown primary or
+/// extended opcodes, unsupported `BO` fields, set `Rc`/`OE` bits).
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction::*;
+    let op = get(word, 0, 5);
+    let rt = Gpr(get(word, 6, 10) as u8);
+    let ra = Gpr(get(word, 11, 15) as u8);
+    let rb = Gpr(get(word, 16, 20) as u8);
+    let imm = get(word, 16, 31) as u16;
+    let err = |reason| Err(DecodeError { word, reason });
+    match op {
+        10 => Ok(Cmplwi { crf: CrField((rt.0 >> 2) & 7), ra, uimm: imm }),
+        11 => Ok(Cmpwi { crf: CrField((rt.0 >> 2) & 7), ra, imm: imm as i16 }),
+        14 => Ok(Addi { rt, ra, imm: imm as i16 }),
+        15 => Ok(Addis { rt, ra, imm: imm as i16 }),
+        16 => {
+            if get(word, 30, 30) != 0 {
+                return err("absolute bc not supported");
+            }
+            let cond = cond_of(get(word, 6, 10), get(word, 11, 15), word)?;
+            let bd = get(word, 16, 29);
+            // Sign-extend the 14-bit word offset and rescale to bytes.
+            let offset = ((bd << 18) as i32 >> 18) << 2;
+            Ok(Bc { cond, offset: offset as i16, link: get(word, 31, 31) != 0 })
+        }
+        18 => {
+            if get(word, 30, 30) != 0 {
+                return err("absolute b not supported");
+            }
+            let li = get(word, 6, 29);
+            let offset = ((li << 8) as i32 >> 8) << 2;
+            Ok(B { offset, link: get(word, 31, 31) != 0 })
+        }
+        19 => {
+            let cond = cond_of(get(word, 6, 10), get(word, 11, 15), word)?;
+            match get(word, 21, 30) {
+                16 => Ok(Bclr { cond }),
+                528 => Ok(Bcctr { cond }),
+                _ => err("unknown opcode-19 extended opcode"),
+            }
+        }
+        21 => Ok(Rlwinm {
+            ra,
+            rs: rt,
+            sh: get(word, 16, 20) as u8,
+            mb: get(word, 21, 25) as u8,
+            me: get(word, 26, 30) as u8,
+        }),
+        24 => Ok(Ori { ra, rs: rt, uimm: imm }),
+        26 => Ok(Xori { ra, rs: rt, uimm: imm }),
+        28 => Ok(AndiDot { ra, rs: rt, uimm: imm }),
+        32 => Ok(Lwz { rt, ra, disp: imm as i16 }),
+        34 => Ok(Lbz { rt, ra, disp: imm as i16 }),
+        36 => Ok(Stw { rs: rt, ra, disp: imm as i16 }),
+        38 => Ok(Stb { rs: rt, ra, disp: imm as i16 }),
+        40 => Ok(Lhz { rt, ra, disp: imm as i16 }),
+        42 => Ok(Lha { rt, ra, disp: imm as i16 }),
+        44 => Ok(Sth { rs: rt, ra, disp: imm as i16 }),
+        31 => {
+            // isel dispatches on the 5-bit extended opcode first.
+            if get(word, 26, 30) == 15 {
+                return Ok(Isel { rt, ra, rb, bc: CrBit(get(word, 21, 25) as u8) });
+            }
+            if get(word, 31, 31) != 0 {
+                return err("Rc forms not supported");
+            }
+            match get(word, 21, 30) {
+                0 => Ok(Cmpw { crf: CrField((rt.0 >> 2) & 7), ra, rb }),
+                4 => {
+                    if rt.0 == 31 {
+                        Ok(Trap)
+                    } else {
+                        err("only trap-always (tw 31,...) is supported")
+                    }
+                }
+                23 => Ok(Lwzx { rt, ra, rb }),
+                24 => Ok(Slw { ra, rs: rt, rb }),
+                28 => Ok(And { ra, rs: rt, rb }),
+                32 => Ok(Cmplw { crf: CrField((rt.0 >> 2) & 7), ra, rb }),
+                40 => Ok(Subf { rt, ra, rb }),
+                87 => Ok(Lbzx { rt, ra, rb }),
+                104 => Ok(Neg { rt, ra }),
+                151 => Ok(Stwx { rs: rt, ra, rb }),
+                235 => Ok(Mullw { rt, ra, rb }),
+                266 => Ok(Add { rt, ra, rb }),
+                316 => Ok(Xor { ra, rs: rt, rb }),
+                MAXW_XO => Ok(Maxw { rt, ra, rb }),
+                339 => match ra.0 {
+                    8 => Ok(Mflr { rt }),
+                    9 => Ok(Mfctr { rt }),
+                    _ => err("unsupported SPR in mfspr"),
+                },
+                444 => Ok(Or { ra, rs: rt, rb }),
+                467 => match ra.0 {
+                    8 => Ok(Mtlr { rs: rt }),
+                    9 => Ok(Mtctr { rs: rt }),
+                    _ => err("unsupported SPR in mtspr"),
+                },
+                491 => Ok(Divw { rt, ra, rb }),
+                536 => Ok(Srw { ra, rs: rt, rb }),
+                792 => Ok(Sraw { ra, rs: rt, rb }),
+                824 => Ok(Srawi { ra, rs: rt, sh: rb.0 }),
+                922 => Ok(Extsh { ra, rs: rt }),
+                954 => Ok(Extsb { ra, rs: rt }),
+                _ => err("unknown opcode-31 extended opcode"),
+            }
+        }
+        _ => err("unknown primary opcode"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gpr() -> impl Strategy<Value = Gpr> {
+        (0u8..32).prop_map(Gpr)
+    }
+
+    fn crf() -> impl Strategy<Value = CrField> {
+        (0u8..8).prop_map(CrField)
+    }
+
+    fn crbit() -> impl Strategy<Value = CrBit> {
+        (0u8..32).prop_map(CrBit)
+    }
+
+    fn cond() -> impl Strategy<Value = BranchCond> {
+        prop_oneof![
+            crbit().prop_map(BranchCond::IfFalse),
+            crbit().prop_map(BranchCond::IfTrue),
+            Just(BranchCond::DecrementNotZero),
+            Just(BranchCond::Always),
+        ]
+    }
+
+    prop_compose! {
+        fn word_offset26()(w in -(1i32 << 23)..(1i32 << 23)) -> i32 { w * 4 }
+    }
+
+    prop_compose! {
+        fn word_offset16()(w in -(1i16 << 13)..(1i16 << 13)) -> i16 { w * 4 }
+    }
+
+    fn any_insn() -> impl Strategy<Value = Instruction> {
+        use Instruction::*;
+        prop_oneof![
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, imm)| Addi { rt, ra, imm }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, imm)| Addis { rt, ra, imm }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Add { rt, ra, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Subf { rt, ra, rb }),
+            (gpr(), gpr()).prop_map(|(rt, ra)| Neg { rt, ra }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Mullw { rt, ra, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Divw { rt, ra, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| And { ra, rs, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Or { ra, rs, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Xor { ra, rs, rb }),
+            (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, uimm)| Ori { ra, rs, uimm }),
+            (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, uimm)| AndiDot { ra, rs, uimm }),
+            (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, uimm)| Xori { ra, rs, uimm }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Slw { ra, rs, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Srw { ra, rs, rb }),
+            (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Sraw { ra, rs, rb }),
+            (gpr(), gpr(), 0u8..32).prop_map(|(ra, rs, sh)| Srawi { ra, rs, sh }),
+            (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32)
+                .prop_map(|(ra, rs, sh, mb, me)| Rlwinm { ra, rs, sh, mb, me }),
+            (gpr(), gpr()).prop_map(|(ra, rs)| Extsb { ra, rs }),
+            (gpr(), gpr()).prop_map(|(ra, rs)| Extsh { ra, rs }),
+            (crf(), gpr(), gpr()).prop_map(|(crf, ra, rb)| Cmpw { crf, ra, rb }),
+            (crf(), gpr(), any::<i16>()).prop_map(|(crf, ra, imm)| Cmpwi { crf, ra, imm }),
+            (crf(), gpr(), gpr()).prop_map(|(crf, ra, rb)| Cmplw { crf, ra, rb }),
+            (crf(), gpr(), any::<u16>()).prop_map(|(crf, ra, uimm)| Cmplwi { crf, ra, uimm }),
+            (gpr(), gpr(), gpr(), crbit()).prop_map(|(rt, ra, rb, bc)| Isel { rt, ra, rb, bc }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Maxw { rt, ra, rb }),
+            (word_offset26(), any::<bool>()).prop_map(|(offset, link)| B { offset, link }),
+            (cond(), word_offset16(), any::<bool>())
+                .prop_map(|(cond, offset, link)| Bc { cond, offset, link }),
+            cond().prop_map(|cond| Bclr { cond }),
+            cond().prop_map(|cond| Bcctr { cond }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, disp)| Lwz { rt, ra, disp }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Lwzx { rt, ra, rb }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, disp)| Lbz { rt, ra, disp }),
+            (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Lbzx { rt, ra, rb }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, disp)| Lhz { rt, ra, disp }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, disp)| Lha { rt, ra, disp }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rs, ra, disp)| Stw { rs, ra, disp }),
+            (gpr(), gpr(), gpr()).prop_map(|(rs, ra, rb)| Stwx { rs, ra, rb }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rs, ra, disp)| Stb { rs, ra, disp }),
+            (gpr(), gpr(), any::<i16>()).prop_map(|(rs, ra, disp)| Sth { rs, ra, disp }),
+            gpr().prop_map(|rt| Mflr { rt }),
+            gpr().prop_map(|rs| Mtlr { rs }),
+            gpr().prop_map(|rt| Mfctr { rt }),
+            gpr().prop_map(|rs| Mtctr { rs }),
+            Just(Trap),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(insn in any_insn()) {
+            let word = encode(&insn);
+            let back = decode(word).expect("encoded word must decode");
+            prop_assert_eq!(back, insn);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decode_encode_fixpoint(word in any::<u32>()) {
+            // Any decodable word re-encodes to something that decodes to the
+            // same instruction (encode ∘ decode need not be identity on raw
+            // bits because reserved fields are normalized).
+            if let Ok(insn) = decode(word) {
+                let word2 = encode(&insn);
+                prop_assert_eq!(decode(word2).unwrap(), insn);
+            }
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        // li r3, 1  ==  addi r3, r0, 1  ==  0x38600001
+        let li = Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: 1 };
+        assert_eq!(encode(&li), 0x3860_0001);
+        // blr == 0x4e800020
+        let blr = Instruction::Bclr { cond: BranchCond::Always };
+        assert_eq!(encode(&blr), 0x4e80_0020);
+        // add r3, r4, r5 == 0x7c642a14
+        let add = Instruction::Add { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5) };
+        assert_eq!(encode(&add), 0x7c64_2a14);
+        // lwz r9, 8(r1) == 0x81210008
+        let lwz = Instruction::Lwz { rt: Gpr(9), ra: Gpr(1), disp: 8 };
+        assert_eq!(encode(&lwz), 0x8121_0008);
+        // mflr r0 == 0x7c0802a6
+        let mflr = Instruction::Mflr { rt: Gpr(0) };
+        assert_eq!(encode(&mflr), 0x7c08_02a6);
+        // trap (tw 31,0,0) == 0x7fe00008
+        assert_eq!(encode(&Instruction::Trap), 0x7fe0_0008);
+    }
+
+    #[test]
+    fn negative_branch_offsets_round_trip() {
+        let b = Instruction::B { offset: -4096, link: false };
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+        let bc = Instruction::Bc {
+            cond: BranchCond::IfTrue(CrBit(2)),
+            offset: -8,
+            link: false,
+        };
+        assert_eq!(decode(encode(&bc)).unwrap(), bc);
+    }
+
+    #[test]
+    fn unknown_opcode_reports_error() {
+        let e = decode(0x0000_0000).unwrap_err();
+        assert!(e.to_string().contains("unknown primary opcode"));
+        // opcode 31 with a bogus XO
+        let word = 0x7C00_0000 | (1023 << 1);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn rc_bit_rejected() {
+        // add. (Rc=1) is outside the subset.
+        let word = encode(&Instruction::Add { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }) | 1;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn nop_encodes_to_canonical_word() {
+        assert_eq!(encode(&Instruction::nop()), 0x6000_0000);
+        assert_eq!(decode(0x6000_0000).unwrap(), Instruction::nop());
+    }
+}

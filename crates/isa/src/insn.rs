@@ -1,0 +1,801 @@
+//! The decoded instruction set and its timing-relevant classification.
+
+use crate::reg::{CrBit, CrField, Gpr, ResList, Resource};
+
+/// Branch-option (`BO`) encodings supported by the subset, a restriction of
+/// the PowerPC `BO` field to the forms compilers actually emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if the CR bit is false (`BO = 0b00100`).
+    IfFalse(CrBit),
+    /// Branch if the CR bit is true (`BO = 0b01100`).
+    IfTrue(CrBit),
+    /// Decrement CTR, branch if CTR ≠ 0 (`bdnz`, `BO = 0b10000`).
+    DecrementNotZero,
+    /// Always branch (`BO = 0b10100`).
+    Always,
+}
+
+/// A decoded instruction of the PowerPC subset.
+///
+/// Field-name conventions follow the Power ISA books: `rt` is the target,
+/// `ra`/`rb` are sources, and the logical/shift group writes `ra` from
+/// source `rs`. Immediates keep their architectural signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    // ---- D-form arithmetic -------------------------------------------
+    /// `addi rt, ra, imm` — `ra = 0` reads as the value 0 (`li`).
+    Addi {
+        /// Target register.
+        rt: Gpr,
+        /// Source (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed immediate.
+        imm: i16,
+    },
+    /// `addis rt, ra, imm` — add `imm << 16`.
+    Addis {
+        /// Target register.
+        rt: Gpr,
+        /// Source (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed immediate (shifted left 16).
+        imm: i16,
+    },
+
+    // ---- XO-form arithmetic ------------------------------------------
+    /// `add rt, ra, rb`.
+    Add {
+        /// Target.
+        rt: Gpr,
+        /// First source.
+        ra: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `subf rt, ra, rb` — `rt = rb - ra`.
+    Subf {
+        /// Target.
+        rt: Gpr,
+        /// Subtrahend.
+        ra: Gpr,
+        /// Minuend.
+        rb: Gpr,
+    },
+    /// `neg rt, ra`.
+    Neg {
+        /// Target.
+        rt: Gpr,
+        /// Source.
+        ra: Gpr,
+    },
+    /// `mullw rt, ra, rb` — low 32 bits of the product.
+    Mullw {
+        /// Target.
+        rt: Gpr,
+        /// First source.
+        ra: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `divw rt, ra, rb` — signed division (result undefined on divide by
+    /// zero; the executor returns 0 and the timing model charges full
+    /// latency, matching how the kernels never divide by zero).
+    Divw {
+        /// Target.
+        rt: Gpr,
+        /// Dividend.
+        ra: Gpr,
+        /// Divisor.
+        rb: Gpr,
+    },
+
+    // ---- X-form logical / shifts (write RA from RS) ------------------
+    /// `and ra, rs, rb`.
+    And {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `or ra, rs, rb` (also `mr` when `rs == rb`).
+    Or {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `xor ra, rs, rb`.
+    Xor {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `ori ra, rs, uimm` (`ori 0,0,0` is the canonical `nop`).
+    Ori {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Unsigned immediate.
+        uimm: u16,
+    },
+    /// `andi. ra, rs, uimm` — the dot form: also sets `cr0`.
+    AndiDot {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Unsigned immediate.
+        uimm: u16,
+    },
+    /// `xori ra, rs, uimm`.
+    Xori {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Unsigned immediate.
+        uimm: u16,
+    },
+    /// `slw ra, rs, rb` — shift left (0 if shift ≥ 32).
+    Slw {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Shift amount register.
+        rb: Gpr,
+    },
+    /// `srw ra, rs, rb` — logical shift right.
+    Srw {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Shift amount register.
+        rb: Gpr,
+    },
+    /// `sraw ra, rs, rb` — arithmetic shift right.
+    Sraw {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Shift amount register.
+        rb: Gpr,
+    },
+    /// `srawi ra, rs, sh` — arithmetic shift right immediate.
+    Srawi {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Shift amount (0–31).
+        sh: u8,
+    },
+    /// `rlwinm ra, rs, sh, mb, me` — rotate left then AND with mask
+    /// (`slwi`/`srwi`/bitfield extraction are aliases of this).
+    Rlwinm {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+        /// Rotate amount (0–31).
+        sh: u8,
+        /// Mask begin bit (big-endian numbering, 0–31).
+        mb: u8,
+        /// Mask end bit.
+        me: u8,
+    },
+    /// `extsb ra, rs` — sign-extend byte.
+    Extsb {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+    },
+    /// `extsh ra, rs` — sign-extend halfword.
+    Extsh {
+        /// Target.
+        ra: Gpr,
+        /// Source.
+        rs: Gpr,
+    },
+
+    // ---- compares ------------------------------------------------------
+    /// `cmpw crf, ra, rb` — signed word compare.
+    Cmpw {
+        /// Destination CR field.
+        crf: CrField,
+        /// First source.
+        ra: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `cmpwi crf, ra, imm`.
+    Cmpwi {
+        /// Destination CR field.
+        crf: CrField,
+        /// Source.
+        ra: Gpr,
+        /// Signed immediate.
+        imm: i16,
+    },
+    /// `cmplw crf, ra, rb` — unsigned word compare.
+    Cmplw {
+        /// Destination CR field.
+        crf: CrField,
+        /// First source.
+        ra: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+    /// `cmplwi crf, ra, uimm`.
+    Cmplwi {
+        /// Destination CR field.
+        crf: CrField,
+        /// Source.
+        ra: Gpr,
+        /// Unsigned immediate.
+        uimm: u16,
+    },
+
+    // ---- predication (the paper's ISA extensions) -----------------------
+    /// `isel rt, ra, rb, bc` — `rt = CR[bc] ? (ra|0) : rb`; an `RA` field
+    /// of 0 selects the value zero (real `isel` semantics).
+    Isel {
+        /// Target.
+        rt: Gpr,
+        /// Taken-source (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Fallthrough-source.
+        rb: Gpr,
+        /// CR bit tested.
+        bc: CrBit,
+    },
+    /// `maxw rt, ra, rb` — the paper's hypothetical fused signed maximum:
+    /// compare and select in one single-cycle FXU operation.
+    Maxw {
+        /// Target.
+        rt: Gpr,
+        /// First source.
+        ra: Gpr,
+        /// Second source.
+        rb: Gpr,
+    },
+
+    // ---- branches --------------------------------------------------------
+    /// `b target` / `bl target` — I-form unconditional branch, PC-relative
+    /// byte offset.
+    B {
+        /// Signed byte offset from this instruction.
+        offset: i32,
+        /// Set LR to the return address (`bl`).
+        link: bool,
+    },
+    /// `bc` — B-form conditional branch, PC-relative.
+    Bc {
+        /// Condition.
+        cond: BranchCond,
+        /// Signed byte offset from this instruction.
+        offset: i16,
+        /// Set LR (`bcl`).
+        link: bool,
+    },
+    /// `bclr` — branch conditionally to LR (`blr` when always).
+    Bclr {
+        /// Condition.
+        cond: BranchCond,
+    },
+    /// `bcctr` — branch conditionally to CTR (`bctr` when always).
+    Bcctr {
+        /// Condition.
+        cond: BranchCond,
+    },
+
+    // ---- memory ----------------------------------------------------------
+    /// `lwz rt, disp(ra)` — load word (zero-extended; words are 32 bits).
+    Lwz {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `lwzx rt, ra, rb` — indexed load word.
+    Lwzx {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Index.
+        rb: Gpr,
+    },
+    /// `lbz rt, disp(ra)` — load byte, zero-extended.
+    Lbz {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `lbzx rt, ra, rb`.
+    Lbzx {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Index.
+        rb: Gpr,
+    },
+    /// `lhz rt, disp(ra)` — load halfword, zero-extended.
+    Lhz {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `lha rt, disp(ra)` — load halfword, sign-extended.
+    Lha {
+        /// Target.
+        rt: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `stw rs, disp(ra)`.
+    Stw {
+        /// Source.
+        rs: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `stwx rs, ra, rb`.
+    Stwx {
+        /// Source.
+        rs: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Index.
+        rb: Gpr,
+    },
+    /// `stb rs, disp(ra)`.
+    Stb {
+        /// Source.
+        rs: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+    /// `sth rs, disp(ra)`.
+    Sth {
+        /// Source.
+        rs: Gpr,
+        /// Base (0 ⇒ literal zero).
+        ra: Gpr,
+        /// Signed displacement.
+        disp: i16,
+    },
+
+    // ---- SPR moves ---------------------------------------------------------
+    /// `mflr rt`.
+    Mflr {
+        /// Target.
+        rt: Gpr,
+    },
+    /// `mtlr rs`.
+    Mtlr {
+        /// Source.
+        rs: Gpr,
+    },
+    /// `mfctr rt`.
+    Mfctr {
+        /// Target.
+        rt: Gpr,
+    },
+    /// `mtctr rs`.
+    Mtctr {
+        /// Source.
+        rs: Gpr,
+    },
+
+    // ---- system -------------------------------------------------------------
+    /// `tw 31,0,0` — unconditional trap; the simulator treats it as *halt*
+    /// (the kernel's clean exit). Only the trap-always form is encodable.
+    Trap,
+}
+
+/// The POWER5 execution unit class an instruction issues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// Fixed-point unit (the paper varies the count of these, 2–4).
+    Fxu,
+    /// Load/store unit (POWER5 has two).
+    Lsu,
+    /// Branch execution unit.
+    Bru,
+}
+
+/// Latency class, mapped to cycle counts by the timing model's
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyClass {
+    /// Single-cycle integer op (including `maxw` and `isel` — the paper's
+    /// hardware section shows `max` fits in one cycle via the carry chain).
+    Simple,
+    /// Pipelined multiply.
+    Mul,
+    /// Unpipelined divide.
+    Div,
+    /// Load (cache hit latency added by the memory model).
+    Load,
+    /// Store (address + data, retires via the store queue).
+    Store,
+    /// Branch resolution.
+    Branch,
+}
+
+impl Instruction {
+    /// The canonical no-op (`ori r0, r0, 0`).
+    pub fn nop() -> Self {
+        Instruction::Ori {
+            ra: Gpr(0),
+            rs: Gpr(0),
+            uimm: 0,
+        }
+    }
+
+    /// Which execution unit the instruction issues to.
+    pub fn unit(&self) -> ExecUnit {
+        use Instruction::*;
+        match self {
+            Lwz { .. } | Lwzx { .. } | Lbz { .. } | Lbzx { .. } | Lhz { .. } | Lha { .. }
+            | Stw { .. } | Stwx { .. } | Stb { .. } | Sth { .. } => ExecUnit::Lsu,
+            B { .. } | Bc { .. } | Bclr { .. } | Bcctr { .. } => ExecUnit::Bru,
+            // SPR moves execute in the branch unit on POWER5 (they talk to
+            // LR/CTR, which live there).
+            Mflr { .. } | Mtlr { .. } | Mfctr { .. } | Mtctr { .. } => ExecUnit::Bru,
+            Trap => ExecUnit::Bru,
+            _ => ExecUnit::Fxu,
+        }
+    }
+
+    /// Latency class for the timing model.
+    pub fn latency_class(&self) -> LatencyClass {
+        use Instruction::*;
+        match self {
+            Mullw { .. } => LatencyClass::Mul,
+            Divw { .. } => LatencyClass::Div,
+            Lwz { .. } | Lwzx { .. } | Lbz { .. } | Lbzx { .. } | Lhz { .. } | Lha { .. } => {
+                LatencyClass::Load
+            }
+            Stw { .. } | Stwx { .. } | Stb { .. } | Sth { .. } => LatencyClass::Store,
+            B { .. } | Bc { .. } | Bclr { .. } | Bcctr { .. } | Trap => LatencyClass::Branch,
+            _ => LatencyClass::Simple,
+        }
+    }
+
+    /// Whether this is any branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instruction::B { .. }
+                | Instruction::Bc { .. }
+                | Instruction::Bclr { .. }
+                | Instruction::Bcctr { .. }
+        )
+    }
+
+    /// Whether this is a *conditional* branch (the kind whose direction the
+    /// paper's predictor statistics count).
+    pub fn is_conditional_branch(&self) -> bool {
+        match self {
+            Instruction::Bc { cond, .. }
+            | Instruction::Bclr { cond }
+            | Instruction::Bcctr { cond } => !matches!(cond, BranchCond::Always),
+            _ => false,
+        }
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.latency_class(), LatencyClass::Load)
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.latency_class(), LatencyClass::Store)
+    }
+
+    /// Whether this is one of the paper's predicated instructions.
+    pub fn is_predicated(&self) -> bool {
+        matches!(self, Instruction::Isel { .. } | Instruction::Maxw { .. })
+    }
+
+    /// Resources read by this instruction. An `RA` field of 0 in the
+    /// base-register position (D-form addressing, `isel`) reads nothing.
+    pub fn reads(&self) -> ResList {
+        use Instruction::*;
+        let mut l = ResList::new();
+        let mut gpr = |g: Gpr| l.push(Resource::Gpr(g));
+        match *self {
+            Addi { ra, .. } | Addis { ra, .. } => {
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+            }
+            Add { ra, rb, .. } | Subf { ra, rb, .. } | Mullw { ra, rb, .. }
+            | Divw { ra, rb, .. } | Maxw { ra, rb, .. } => {
+                gpr(ra);
+                gpr(rb);
+            }
+            Neg { ra, .. } => gpr(ra),
+            And { rs, rb, .. } | Or { rs, rb, .. } | Xor { rs, rb, .. } | Slw { rs, rb, .. }
+            | Srw { rs, rb, .. } | Sraw { rs, rb, .. } => {
+                gpr(rs);
+                gpr(rb);
+            }
+            Ori { rs, .. } | AndiDot { rs, .. } | Xori { rs, .. } | Srawi { rs, .. }
+            | Rlwinm { rs, .. } | Extsb { rs, .. } | Extsh { rs, .. } => gpr(rs),
+            Cmpw { ra, rb, .. } | Cmplw { ra, rb, .. } => {
+                gpr(ra);
+                gpr(rb);
+            }
+            Cmpwi { ra, .. } | Cmplwi { ra, .. } => gpr(ra),
+            Isel { ra, rb, bc, .. } => {
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+                gpr(rb);
+                l.push(Resource::Cr(bc.field()));
+            }
+            B { .. } => {}
+            Bc { cond, .. } | Bclr { cond } | Bcctr { cond } => {
+                match cond {
+                    BranchCond::IfFalse(bit) | BranchCond::IfTrue(bit) => {
+                        l.push(Resource::Cr(bit.field()));
+                    }
+                    BranchCond::DecrementNotZero => l.push(Resource::Ctr),
+                    BranchCond::Always => {}
+                }
+                match self {
+                    Bclr { .. } => l.push(Resource::Lr),
+                    Bcctr { .. } => {
+                        if !l.contains(Resource::Ctr) {
+                            l.push(Resource::Ctr);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Lwz { ra, .. } | Lbz { ra, .. } | Lhz { ra, .. } | Lha { ra, .. } => {
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+            }
+            Lwzx { ra, rb, .. } | Lbzx { ra, rb, .. } => {
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+                gpr(rb);
+            }
+            Stw { rs, ra, .. } | Stb { rs, ra, .. } | Sth { rs, ra, .. } => {
+                gpr(rs);
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+            }
+            Stwx { rs, ra, rb } => {
+                gpr(rs);
+                if ra.0 != 0 {
+                    gpr(ra);
+                }
+                gpr(rb);
+            }
+            Mflr { .. } => l.push(Resource::Lr),
+            Mfctr { .. } => l.push(Resource::Ctr),
+            Mtlr { rs } | Mtctr { rs } => gpr(rs),
+            Trap => {}
+        }
+        l
+    }
+
+    /// Resources written by this instruction.
+    pub fn writes(&self) -> ResList {
+        use Instruction::*;
+        let mut l = ResList::new();
+        match *self {
+            Addi { rt, .. } | Addis { rt, .. } | Add { rt, .. } | Subf { rt, .. }
+            | Neg { rt, .. } | Mullw { rt, .. } | Divw { rt, .. } | Isel { rt, .. }
+            | Maxw { rt, .. } => l.push(Resource::Gpr(rt)),
+            And { ra, .. } | Or { ra, .. } | Xor { ra, .. } | Ori { ra, .. }
+            | Xori { ra, .. } | Slw { ra, .. } | Srw { ra, .. } | Sraw { ra, .. }
+            | Srawi { ra, .. } | Rlwinm { ra, .. } | Extsb { ra, .. } | Extsh { ra, .. } => {
+                l.push(Resource::Gpr(ra))
+            }
+            AndiDot { ra, .. } => {
+                l.push(Resource::Gpr(ra));
+                l.push(Resource::Cr(CrField(0)));
+            }
+            Cmpw { crf, .. } | Cmpwi { crf, .. } | Cmplw { crf, .. } | Cmplwi { crf, .. } => {
+                l.push(Resource::Cr(crf))
+            }
+            B { link, .. } => {
+                if link {
+                    l.push(Resource::Lr);
+                }
+            }
+            Bc { cond, link, .. } => {
+                if link {
+                    l.push(Resource::Lr);
+                }
+                if matches!(cond, BranchCond::DecrementNotZero) {
+                    l.push(Resource::Ctr);
+                }
+            }
+            Bclr { cond } | Bcctr { cond } => {
+                if matches!(cond, BranchCond::DecrementNotZero) {
+                    l.push(Resource::Ctr);
+                }
+            }
+            Lwz { rt, .. } | Lwzx { rt, .. } | Lbz { rt, .. } | Lbzx { rt, .. }
+            | Lhz { rt, .. } | Lha { rt, .. } => l.push(Resource::Gpr(rt)),
+            Stw { .. } | Stwx { .. } | Stb { .. } | Sth { .. } => {}
+            Mflr { rt } | Mfctr { rt } => l.push(Resource::Gpr(rt)),
+            Mtlr { .. } => l.push(Resource::Lr),
+            Mtctr { .. } => l.push(Resource::Ctr),
+            Trap => {}
+        }
+        l
+    }
+
+    /// Memory access width in bytes, if this is a load or store.
+    pub fn access_bytes(&self) -> Option<u32> {
+        use Instruction::*;
+        match self {
+            Lwz { .. } | Lwzx { .. } | Stw { .. } | Stwx { .. } => Some(4),
+            Lhz { .. } | Lha { .. } | Sth { .. } => Some(2),
+            Lbz { .. } | Lbzx { .. } | Stb { .. } => Some(1),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_ori_zero() {
+        assert_eq!(
+            Instruction::nop(),
+            Instruction::Ori { ra: Gpr(0), rs: Gpr(0), uimm: 0 }
+        );
+        assert_eq!(Instruction::nop().unit(), ExecUnit::Fxu);
+    }
+
+    #[test]
+    fn units_are_classified() {
+        assert_eq!(Instruction::Add { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.unit(), ExecUnit::Fxu);
+        assert_eq!(Instruction::Lwz { rt: Gpr(1), ra: Gpr(2), disp: 0 }.unit(), ExecUnit::Lsu);
+        assert_eq!(Instruction::B { offset: 8, link: false }.unit(), ExecUnit::Bru);
+        assert_eq!(Instruction::Maxw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.unit(), ExecUnit::Fxu);
+        assert_eq!(Instruction::Isel { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3), bc: CrBit(1) }.unit(), ExecUnit::Fxu);
+    }
+
+    #[test]
+    fn predicated_instructions_are_single_cycle_fxu() {
+        let max = Instruction::Maxw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) };
+        let isel = Instruction::Isel { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3), bc: CrBit(1) };
+        assert_eq!(max.latency_class(), LatencyClass::Simple);
+        assert_eq!(isel.latency_class(), LatencyClass::Simple);
+        assert!(max.is_predicated());
+        assert!(isel.is_predicated());
+        assert!(!Instruction::nop().is_predicated());
+    }
+
+    #[test]
+    fn branch_classification() {
+        let b = Instruction::B { offset: 4, link: false };
+        assert!(b.is_branch());
+        assert!(!b.is_conditional_branch());
+        let bc = Instruction::Bc { cond: BranchCond::IfTrue(CrBit(0)), offset: 8, link: false };
+        assert!(bc.is_branch());
+        assert!(bc.is_conditional_branch());
+        let bdnz = Instruction::Bc { cond: BranchCond::DecrementNotZero, offset: -8, link: false };
+        assert!(bdnz.is_conditional_branch());
+        let blr = Instruction::Bclr { cond: BranchCond::Always };
+        assert!(blr.is_branch());
+        assert!(!blr.is_conditional_branch());
+    }
+
+    #[test]
+    fn d_form_ra_zero_reads_nothing() {
+        let li = Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: 5 };
+        assert!(li.reads().is_empty());
+        let addi = Instruction::Addi { rt: Gpr(3), ra: Gpr(4), imm: 5 };
+        assert!(addi.reads().contains(Resource::Gpr(Gpr(4))));
+    }
+
+    #[test]
+    fn isel_reads_cr_field_and_sources() {
+        let isel = Instruction::Isel { rt: Gpr(3), ra: Gpr(4), rb: Gpr(5), bc: CrBit(9) };
+        let reads = isel.reads();
+        assert!(reads.contains(Resource::Gpr(Gpr(4))));
+        assert!(reads.contains(Resource::Gpr(Gpr(5))));
+        assert!(reads.contains(Resource::Cr(CrField(2))));
+        assert!(isel.writes().contains(Resource::Gpr(Gpr(3))));
+    }
+
+    #[test]
+    fn cmp_writes_cr_field() {
+        let cmp = Instruction::Cmpw { crf: CrField(3), ra: Gpr(1), rb: Gpr(2) };
+        assert!(cmp.writes().contains(Resource::Cr(CrField(3))));
+        assert_eq!(cmp.reads().len(), 2);
+    }
+
+    #[test]
+    fn stores_write_no_registers() {
+        let st = Instruction::Stw { rs: Gpr(3), ra: Gpr(4), disp: 8 };
+        assert!(st.writes().is_empty());
+        assert_eq!(st.reads().len(), 2);
+        assert!(st.is_store());
+        assert_eq!(st.access_bytes(), Some(4));
+    }
+
+    #[test]
+    fn bdnz_reads_and_writes_ctr() {
+        let bdnz = Instruction::Bc { cond: BranchCond::DecrementNotZero, offset: -4, link: false };
+        assert!(bdnz.reads().contains(Resource::Ctr));
+        assert!(bdnz.writes().contains(Resource::Ctr));
+    }
+
+    #[test]
+    fn blr_reads_lr() {
+        let blr = Instruction::Bclr { cond: BranchCond::Always };
+        assert!(blr.reads().contains(Resource::Lr));
+    }
+
+    #[test]
+    fn bl_writes_lr() {
+        let bl = Instruction::B { offset: 100, link: true };
+        assert!(bl.writes().contains(Resource::Lr));
+    }
+
+    #[test]
+    fn andi_dot_writes_cr0() {
+        let andi = Instruction::AndiDot { ra: Gpr(5), rs: Gpr(6), uimm: 0xFF };
+        assert!(andi.writes().contains(Resource::Cr(CrField(0))));
+        assert!(andi.writes().contains(Resource::Gpr(Gpr(5))));
+    }
+
+    #[test]
+    fn access_bytes_by_width() {
+        assert_eq!(Instruction::Lbz { rt: Gpr(1), ra: Gpr(2), disp: 0 }.access_bytes(), Some(1));
+        assert_eq!(Instruction::Lhz { rt: Gpr(1), ra: Gpr(2), disp: 0 }.access_bytes(), Some(2));
+        assert_eq!(Instruction::nop().access_bytes(), None);
+    }
+
+    #[test]
+    fn latency_classes() {
+        assert_eq!(Instruction::Mullw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(), LatencyClass::Mul);
+        assert_eq!(Instruction::Divw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(), LatencyClass::Div);
+        assert_eq!(Instruction::Trap.latency_class(), LatencyClass::Branch);
+    }
+}

@@ -1,0 +1,317 @@
+//! Registers and condition-register plumbing.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r31`.
+///
+/// Note the PowerPC quirk: in D-form address computation and in `isel`,
+/// an `RA` field of 0 means the *value zero*, not the contents of `r0`.
+/// That rule lives in the executor; `Gpr(0)` here always names the
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gpr(pub u8);
+
+impl Gpr {
+    /// Register index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One of the eight 4-bit condition-register fields, `cr0`–`cr7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CrField(pub u8);
+
+impl CrField {
+    /// Field index (0–7).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// CR bit number of this field's LT bit (bits are numbered 0..32,
+    /// big-endian as in the PowerPC books: bit 0 is cr0's LT).
+    pub fn lt_bit(self) -> CrBit {
+        CrBit(self.0 * 4)
+    }
+
+    /// CR bit number of this field's GT bit.
+    pub fn gt_bit(self) -> CrBit {
+        CrBit(self.0 * 4 + 1)
+    }
+
+    /// CR bit number of this field's EQ bit.
+    pub fn eq_bit(self) -> CrBit {
+        CrBit(self.0 * 4 + 2)
+    }
+
+    /// CR bit number of this field's SO bit.
+    pub fn so_bit(self) -> CrBit {
+        CrBit(self.0 * 4 + 3)
+    }
+}
+
+impl fmt::Display for CrField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cr{}", self.0)
+    }
+}
+
+/// A single condition-register bit (0–31), as used by `bc` (`BI` field) and
+/// `isel` (`BC` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CrBit(pub u8);
+
+impl CrBit {
+    /// The field containing this bit.
+    pub fn field(self) -> CrField {
+        CrField(self.0 / 4)
+    }
+
+    /// Bit position within the field: 0 = LT, 1 = GT, 2 = EQ, 3 = SO.
+    pub fn within_field(self) -> u8 {
+        self.0 % 4
+    }
+}
+
+impl fmt::Display for CrBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["lt", "gt", "eq", "so"];
+        write!(f, "4*cr{}+{}", self.0 / 4, names[(self.0 % 4) as usize])
+    }
+}
+
+/// The 32-bit condition register with PowerPC big-endian bit numbering
+/// (bit 0 is the most significant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CondReg(pub u32);
+
+impl CondReg {
+    /// Read bit `bit` (0 = MSB).
+    #[inline]
+    pub fn bit(self, bit: CrBit) -> bool {
+        (self.0 >> (31 - bit.0)) & 1 != 0
+    }
+
+    /// Set bit `bit` to `value`.
+    #[inline]
+    pub fn set_bit(&mut self, bit: CrBit, value: bool) {
+        let mask = 1u32 << (31 - bit.0);
+        if value {
+            self.0 |= mask;
+        } else {
+            self.0 &= !mask;
+        }
+    }
+
+    /// Read a whole 4-bit field as `(LT, GT, EQ, SO)`.
+    pub fn field(self, f: CrField) -> (bool, bool, bool, bool) {
+        (
+            self.bit(f.lt_bit()),
+            self.bit(f.gt_bit()),
+            self.bit(f.eq_bit()),
+            self.bit(f.so_bit()),
+        )
+    }
+
+    /// Write a field from a signed comparison of `a` and `b` (SO cleared —
+    /// the subset never sets the overflow summary).
+    pub fn set_signed_cmp(&mut self, f: CrField, a: i32, b: i32) {
+        self.set_bit(f.lt_bit(), a < b);
+        self.set_bit(f.gt_bit(), a > b);
+        self.set_bit(f.eq_bit(), a == b);
+        self.set_bit(f.so_bit(), false);
+    }
+
+    /// Write a field from an unsigned comparison.
+    pub fn set_unsigned_cmp(&mut self, f: CrField, a: u32, b: u32) {
+        self.set_bit(f.lt_bit(), a < b);
+        self.set_bit(f.gt_bit(), a > b);
+        self.set_bit(f.eq_bit(), a == b);
+        self.set_bit(f.so_bit(), false);
+    }
+}
+
+/// A renameable machine resource, used for dependence tracking by the
+/// out-of-order timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// General-purpose register.
+    Gpr(Gpr),
+    /// A condition-register field (CR renames at field granularity on
+    /// POWER5).
+    Cr(CrField),
+    /// The link register.
+    Lr,
+    /// The count register.
+    Ctr,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Gpr(g) => write!(f, "{g}"),
+            Resource::Cr(c) => write!(f, "{c}"),
+            Resource::Lr => write!(f, "lr"),
+            Resource::Ctr => write!(f, "ctr"),
+        }
+    }
+}
+
+/// A fixed-capacity list of up to four [`Resource`]s — the most any subset
+/// instruction reads or writes — avoiding heap allocation in the
+/// simulator's hot loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResList {
+    items: [Option<Resource>; 4],
+    len: u8,
+}
+
+impl ResList {
+    /// The empty list.
+    pub fn new() -> Self {
+        ResList::default()
+    }
+
+    /// Append a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds four resources.
+    pub fn push(&mut self, r: Resource) {
+        assert!((self.len as usize) < 4, "ResList overflow");
+        self.items[self.len as usize] = Some(r);
+        self.len += 1;
+    }
+
+    /// Number of resources held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the resources.
+    pub fn iter(&self) -> impl Iterator<Item = Resource> + '_ {
+        self.items.iter().take(self.len as usize).map(|r| r.expect("within len"))
+    }
+
+    /// Whether the list contains `r`.
+    pub fn contains(&self, r: Resource) -> bool {
+        self.iter().any(|x| x == r)
+    }
+}
+
+impl FromIterator<Resource> for ResList {
+    fn from_iter<T: IntoIterator<Item = Resource>>(iter: T) -> Self {
+        let mut l = ResList::new();
+        for r in iter {
+            l.push(r);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_bit_numbering_is_big_endian() {
+        let mut cr = CondReg::default();
+        cr.set_bit(CrBit(0), true); // cr0.lt is the MSB
+        assert_eq!(cr.0, 0x8000_0000);
+        cr.set_bit(CrBit(31), true); // cr7.so is the LSB
+        assert_eq!(cr.0, 0x8000_0001);
+    }
+
+    #[test]
+    fn cr_field_bits_map_correctly() {
+        let f = CrField(2);
+        assert_eq!(f.lt_bit(), CrBit(8));
+        assert_eq!(f.gt_bit(), CrBit(9));
+        assert_eq!(f.eq_bit(), CrBit(10));
+        assert_eq!(f.so_bit(), CrBit(11));
+        assert_eq!(CrBit(9).field(), f);
+        assert_eq!(CrBit(9).within_field(), 1);
+    }
+
+    #[test]
+    fn signed_cmp_sets_exactly_one_of_lt_gt_eq() {
+        let mut cr = CondReg::default();
+        cr.set_signed_cmp(CrField(0), -5, 3);
+        assert_eq!(cr.field(CrField(0)), (true, false, false, false));
+        cr.set_signed_cmp(CrField(0), 7, 3);
+        assert_eq!(cr.field(CrField(0)), (false, true, false, false));
+        cr.set_signed_cmp(CrField(0), 3, 3);
+        assert_eq!(cr.field(CrField(0)), (false, false, true, false));
+    }
+
+    #[test]
+    fn unsigned_cmp_differs_from_signed_on_negative() {
+        let mut cr = CondReg::default();
+        cr.set_unsigned_cmp(CrField(1), 0xFFFF_FFFF, 1);
+        assert_eq!(cr.field(CrField(1)), (false, true, false, false));
+        cr.set_signed_cmp(CrField(1), -1, 1);
+        assert_eq!(cr.field(CrField(1)), (true, false, false, false));
+    }
+
+    #[test]
+    fn set_bit_clears_too() {
+        let mut cr = CondReg(u32::MAX);
+        cr.set_bit(CrBit(5), false);
+        assert!(!cr.bit(CrBit(5)));
+        assert!(cr.bit(CrBit(4)));
+        assert!(cr.bit(CrBit(6)));
+    }
+
+    #[test]
+    fn fields_do_not_interfere() {
+        let mut cr = CondReg::default();
+        cr.set_signed_cmp(CrField(0), 1, 2);
+        cr.set_signed_cmp(CrField(7), 2, 1);
+        assert_eq!(cr.field(CrField(0)), (true, false, false, false));
+        assert_eq!(cr.field(CrField(7)), (false, true, false, false));
+        for f in 1..7 {
+            assert_eq!(cr.field(CrField(f)), (false, false, false, false));
+        }
+    }
+
+    #[test]
+    fn reslist_push_iter_contains() {
+        let mut l = ResList::new();
+        assert!(l.is_empty());
+        l.push(Resource::Gpr(Gpr(3)));
+        l.push(Resource::Lr);
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(Resource::Lr));
+        assert!(!l.contains(Resource::Ctr));
+        let v: Vec<Resource> = l.iter().collect();
+        assert_eq!(v, vec![Resource::Gpr(Gpr(3)), Resource::Lr]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn reslist_overflow_panics() {
+        let mut l = ResList::new();
+        for i in 0..5 {
+            l.push(Resource::Gpr(Gpr(i)));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gpr(31).to_string(), "r31");
+        assert_eq!(CrField(3).to_string(), "cr3");
+        assert_eq!(CrBit(13).to_string(), "4*cr3+gt");
+        assert_eq!(Resource::Ctr.to_string(), "ctr");
+    }
+}

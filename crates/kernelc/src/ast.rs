@@ -1,0 +1,354 @@
+//! Abstract syntax of the kernel language.
+
+/// Value types: scalars and the two array flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    Int,
+    /// Pointer to 32-bit words (`a[i]` is a word load, index scaled by 4).
+    WordPtr,
+    /// Pointer to bytes (`s[i]` is a zero-extended byte load) — encoded
+    /// biological sequences live in these.
+    BytePtr,
+}
+
+/// Arithmetic/logical binary operators over `int`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+}
+
+/// Comparison operators (condition contexts only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The negated comparison (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Integer-valued expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// Local variable or parameter.
+    Var(String),
+    /// `array[index]` load.
+    Index {
+        /// Array variable name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `max(a, b)` intrinsic — the hand-inserted predication site.
+    Max(Box<Expr>, Box<Expr>),
+    /// `min(a, b)` intrinsic.
+    Min(Box<Expr>, Box<Expr>),
+    /// Function call `f(args…)` (statement-position only; enforced by the
+    /// parser).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A predicated select produced by the if-conversion pass (never
+    /// written in source): `cond ? then_val : else_val`.
+    Select {
+        /// The comparison.
+        cond: Box<Cond>,
+        /// Value when true.
+        then_val: Box<Expr>,
+        /// Value when false.
+        else_val: Box<Expr>,
+    },
+}
+
+/// Boolean conditions (only in `if`/`while`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `a <op> b`.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// `c1 && c2` (short-circuit).
+    And(Box<Cond>, Box<Cond>),
+    /// `c1 || c2` (short-circuit).
+    Or(Box<Cond>, Box<Cond>),
+    /// `!c`.
+    Not(Box<Cond>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name [: ty] = expr;` — declares a register-allocated local.
+    /// The optional type annotation makes the local indexable
+    /// (`let row: ptr = base + off;`).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type (defaults to `int`).
+        ty: Ty,
+        /// Initializer.
+        value: Expr,
+        /// Source line (diagnostics).
+        line: usize,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `array[index] = expr;`
+    Store {
+        /// Array variable name.
+        array: String,
+        /// Index expression.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then-block.
+        then_block: Vec<Stmt>,
+        /// Else-block (possibly empty).
+        else_block: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (cond) { … }`.
+    While {
+        /// Condition.
+        cond: Cond,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return expr;`
+    Return {
+        /// Returned value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// A bare call statement `f(a, b);` (result discarded).
+    CallStmt {
+        /// The call expression (always [`Expr::Call`]).
+        call: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name (assembly label).
+    pub name: String,
+    /// Parameters (passed in `r3`–`r10`).
+    pub params: Vec<Param>,
+    /// Whether the function returns a value (in `r3`).
+    pub returns_value: bool,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Functions in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Expr {
+    /// Walk the expression tree, calling `f` on every node.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Index { index, .. } => index.visit(f),
+            Expr::Neg(e) => e.visit(f),
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Max(a, b) | Expr::Min(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Select { cond, then_val, else_val } => {
+                cond.visit_exprs(f);
+                then_val.visit(f);
+                else_val.visit(f);
+            }
+        }
+    }
+
+    /// Whether the expression contains any call.
+    pub fn has_call(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+impl Cond {
+    /// Walk all integer expressions inside the condition.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Cond::Cmp { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.visit_exprs(f);
+                b.visit_exprs(f);
+            }
+            Cond::Not(c) => c.visit_exprs(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_swaps_and_negates() {
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.swapped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Ne.negated(), CmpOp::Eq);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn visit_reaches_nested_nodes() {
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Index {
+                array: "a".into(),
+                index: Box::new(Expr::Var("i".into())),
+            }),
+            rhs: Box::new(Expr::Max(
+                Box::new(Expr::Lit(1)),
+                Box::new(Expr::Var("x".into())),
+            )),
+        };
+        let mut count = 0;
+        e.visit(&mut |_| count += 1);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn has_call_detects_calls() {
+        let call = Expr::Call { name: "f".into(), args: vec![Expr::Lit(1)] };
+        assert!(call.has_call());
+        let wrapped = Expr::Neg(Box::new(call));
+        assert!(wrapped.has_call());
+        assert!(!Expr::Lit(0).has_call());
+    }
+}

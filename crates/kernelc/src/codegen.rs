@@ -1,0 +1,984 @@
+//! Code generation: AST → PowerPC-subset assembly text.
+//!
+//! The generator is deliberately simple and predictable — every
+//! conditional branch in its output corresponds to a source-level
+//! `if`/`while` (or a baseline-lowered `max()`), so the branch statistics
+//! the simulator gathers map directly to source constructs.
+//!
+//! Register convention (a reduced PowerPC ELF ABI):
+//!
+//! * `r1` — stack pointer (grows down; the run-time harness initializes it);
+//! * `r3`–`r10` — argument registers, `r3` also the return value;
+//! * `r3`–`r12` — expression scratch;
+//! * `r14`–`r31` — locals (params are copied in on entry); functions save
+//!   and restore exactly the locals they use;
+//! * `r0` — prologue/epilogue temporary.
+
+use crate::ast::*;
+use crate::{CompileError, Target};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const FIRST_LOCAL: u8 = 14;
+const MAX_LOCALS: usize = 18; // r14..r31
+const SCRATCH: std::ops::Range<u8> = 3..13; // r3..r12
+
+/// Emit assembly for a whole program.
+///
+/// A `__start` stub is emitted that calls `main` (if present) and traps;
+/// kernels without `main` can still be entered at their own labels by the
+/// harness.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on semantic errors (unknown variables, too
+/// many locals/arguments, byte-array misuse, calls in nested expression
+/// position).
+pub fn emit(program: &Program, target: Target) -> Result<String, CompileError> {
+    let mut out = String::new();
+    let known: HashMap<&str, &Function> =
+        program.functions.iter().map(|f| (f.name.as_str(), f)).collect();
+    if known.contains_key("main") {
+        out.push_str("__start:\n    bl main\n    trap\n");
+    }
+    for f in &program.functions {
+        let mut cg = FnCodegen::new(f, target, &known)?;
+        cg.run()?;
+        out.push_str(&cg.text);
+    }
+    Ok(out)
+}
+
+struct FnCodegen<'a> {
+    f: &'a Function,
+    target: Target,
+    known: &'a HashMap<&'a str, &'a Function>,
+    text: String,
+    locals: HashMap<String, (u8, Ty)>,
+    free: Vec<u8>,
+    label_n: usize,
+    nonleaf: bool,
+    frame: i32,
+    lr_slot: i32,
+    arg_slot: i32,
+    n_saved: usize,
+}
+
+/// An expression result: the register holding it and whether the codegen
+/// owns (and must free) it.
+#[derive(Clone, Copy)]
+struct Val {
+    reg: u8,
+    owned: bool,
+}
+
+impl<'a> FnCodegen<'a> {
+    fn new(
+        f: &'a Function,
+        target: Target,
+        known: &'a HashMap<&'a str, &'a Function>,
+    ) -> Result<Self, CompileError> {
+        if f.params.len() > 8 {
+            return Err(CompileError {
+                line: f.line,
+                message: format!("function {} has more than 8 parameters", f.name),
+            });
+        }
+        // Collect locals: params first, then every distinct `let`.
+        let mut locals = HashMap::new();
+        for (i, p) in f.params.iter().enumerate() {
+            if locals
+                .insert(p.name.clone(), (FIRST_LOCAL + i as u8, p.ty))
+                .is_some()
+            {
+                return Err(CompileError {
+                    line: f.line,
+                    message: format!("duplicate parameter {:?}", p.name),
+                });
+            }
+        }
+        let mut next = FIRST_LOCAL + f.params.len() as u8;
+        collect_lets(&f.body, &mut |name, ty, line| {
+            if !locals.contains_key(name) {
+                if (next - FIRST_LOCAL) as usize >= MAX_LOCALS {
+                    return Err(CompileError {
+                        line,
+                        message: format!(
+                            "function {} uses more than {MAX_LOCALS} locals",
+                            f.name
+                        ),
+                    });
+                }
+                locals.insert(name.to_string(), (next, ty));
+                next += 1;
+            }
+            Ok(())
+        })?;
+        let nonleaf = body_has_call(&f.body);
+        let n_saved = (next - FIRST_LOCAL) as usize;
+        let save_bytes = 4 * n_saved as i32;
+        let lr_slot = save_bytes;
+        let arg_slot = save_bytes + if nonleaf { 4 } else { 0 };
+        let frame_raw = arg_slot + if nonleaf { 32 } else { 0 };
+        let frame = (frame_raw + 7) & !7;
+        Ok(FnCodegen {
+            f,
+            target,
+            known,
+            text: String::new(),
+            locals,
+            free: SCRATCH.rev().collect(),
+            label_n: 0,
+            nonleaf,
+            frame,
+            lr_slot,
+            arg_slot,
+            n_saved,
+        })
+    }
+
+    fn err(&self, line: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+
+    fn ins(&mut self, s: impl AsRef<str>) {
+        let _ = writeln!(self.text, "    {}", s.as_ref());
+    }
+
+    fn label(&mut self, l: &str) {
+        let _ = writeln!(self.text, "{l}:");
+    }
+
+    fn fresh_label(&mut self, hint: &str) -> String {
+        self.label_n += 1;
+        format!(".L{}_{}{}", self.f.name, hint, self.label_n)
+    }
+
+    fn alloc(&mut self, line: usize) -> Result<u8, CompileError> {
+        self.free
+            .pop()
+            .ok_or_else(|| self.err(line, "expression too complex (out of scratch registers)"))
+    }
+
+    fn release(&mut self, v: Val) {
+        if v.owned {
+            self.free.push(v.reg);
+        }
+    }
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        self.label(&self.f.name.clone());
+        if self.frame > 0 {
+            self.ins(format!("addi r1, r1, -{}", self.frame));
+        }
+        for i in 0..self.n_saved {
+            self.ins(format!("stw r{}, {}(r1)", FIRST_LOCAL as usize + i, 4 * i));
+        }
+        if self.nonleaf {
+            self.ins("mflr r0");
+            self.ins(format!("stw r0, {}(r1)", self.lr_slot));
+        }
+        for i in 0..self.f.params.len() {
+            self.ins(format!("mr r{}, r{}", FIRST_LOCAL as usize + i, 3 + i));
+        }
+        let body = self.f.body.clone();
+        self.block(&body)?;
+        let ret = format!(".L{}_ret", self.f.name);
+        self.label(&ret);
+        if self.nonleaf {
+            self.ins(format!("lwz r0, {}(r1)", self.lr_slot));
+            self.ins("mtlr r0");
+        }
+        for i in 0..self.n_saved {
+            self.ins(format!("lwz r{}, {}(r1)", FIRST_LOCAL as usize + i, 4 * i));
+        }
+        if self.frame > 0 {
+            self.ins(format!("addi r1, r1, {}", self.frame));
+        }
+        self.ins("blr");
+        Ok(())
+    }
+
+    fn local(&self, name: &str, line: usize) -> Result<(u8, Ty), CompileError> {
+        self.locals
+            .get(name)
+            .copied()
+            .ok_or_else(|| self.err(line, format!("unknown variable {name:?}")))
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { name, value, line, .. } | Stmt::Assign { name, value, line } => {
+                // Pointer-typed locals may be reassigned too (row swaps,
+                // pointer arithmetic).
+                let (reg, _ty) = self.local(name, *line)?;
+                if let Expr::Call { .. } = value {
+                    self.call(value, Some(reg), *line)?;
+                } else {
+                    let v = self.eval(value, *line)?;
+                    if v.reg != reg {
+                        self.ins(format!("mr r{}, r{}", reg, v.reg));
+                    }
+                    self.release(v);
+                }
+                Ok(())
+            }
+            Stmt::Store { array, index, value, line } => {
+                let (base, ty) = self.local(array, *line)?;
+                let v = self.eval(value, *line)?;
+                match ty {
+                    Ty::WordPtr => {
+                        if let Expr::Lit(n) = index {
+                            let disp = n * 4;
+                            if (-32768..=32767).contains(&disp) {
+                                self.ins(format!("stw r{}, {}(r{})", v.reg, disp, base));
+                                self.release(v);
+                                return Ok(());
+                            }
+                        }
+                        let i = self.eval(index, *line)?;
+                        let off = self.alloc(*line)?;
+                        self.ins(format!("slwi r{off}, r{}, 2", i.reg));
+                        self.ins(format!("stwx r{}, r{}, r{}", v.reg, base, off));
+                        self.free.push(off);
+                        self.release(i);
+                    }
+                    Ty::BytePtr => {
+                        let i = self.eval(index, *line)?;
+                        let addr = self.alloc(*line)?;
+                        self.ins(format!("add r{addr}, r{}, r{}", base, i.reg));
+                        self.ins(format!("stb r{}, 0(r{addr})", v.reg));
+                        self.free.push(addr);
+                        self.release(i);
+                    }
+                    Ty::Int => {
+                        return Err(self.err(*line, format!("{array:?} is not an array")))
+                    }
+                }
+                self.release(v);
+                Ok(())
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                let else_l = self.fresh_label("else");
+                let end_l = self.fresh_label("endif");
+                let target = if else_block.is_empty() { &end_l } else { &else_l };
+                self.branch_cond(cond, target, false)?;
+                self.block(then_block)?;
+                if !else_block.is_empty() {
+                    self.ins(format!("b {end_l}"));
+                    self.label(&else_l);
+                    self.block(else_block)?;
+                }
+                self.label(&end_l);
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                // Bottom-tested loop: one taken branch per iteration.
+                let test_l = self.fresh_label("test");
+                let body_l = self.fresh_label("body");
+                self.ins(format!("b {test_l}"));
+                self.label(&body_l);
+                self.block(body)?;
+                self.label(&test_l);
+                self.branch_cond(cond, &body_l, true)?;
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                if let Expr::Call { name, .. } = value {
+                    // Tail position call: the result is already in r3.
+                    let returns = self
+                        .known
+                        .get(name.as_str())
+                        .is_some_and(|f| f.returns_value);
+                    self.call(value, None, *line)?;
+                    if !returns {
+                        return Err(self.err(*line, format!("{name} returns no value")));
+                    }
+                } else {
+                    let v = self.eval(value, *line)?;
+                    if v.reg != 3 {
+                        self.ins(format!("mr r3, r{}", v.reg));
+                    }
+                    self.release(v);
+                }
+                self.ins(format!("b .L{}_ret", self.f.name));
+                Ok(())
+            }
+            Stmt::CallStmt { call, line } => {
+                self.call(call, None, *line)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Compile a call; the result (if wanted) lands in local register
+    /// `dest`. Calls are only legal in statement position, so no scratch
+    /// registers are live here.
+    fn call(&mut self, call: &Expr, dest: Option<u8>, line: usize) -> Result<(), CompileError> {
+        let Expr::Call { name, args } = call else {
+            return Err(self.err(line, "internal: call() on non-call"));
+        };
+        let callee = self
+            .known
+            .get(name.as_str())
+            .ok_or_else(|| self.err(line, format!("unknown function {name:?}")))?;
+        if callee.params.len() != args.len() {
+            return Err(self.err(
+                line,
+                format!(
+                    "{name} expects {} arguments, got {}",
+                    callee.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        if args.len() > 8 {
+            return Err(self.err(line, "more than 8 call arguments"));
+        }
+        // Stage arguments through the frame to avoid clobbering argument
+        // registers while later arguments are evaluated.
+        for (i, a) in args.iter().enumerate() {
+            if a.has_call() {
+                return Err(self.err(line, "nested calls are not supported"));
+            }
+            let v = self.eval(a, line)?;
+            self.ins(format!("stw r{}, {}(r1)", v.reg, self.arg_slot + 4 * i as i32));
+            self.release(v);
+        }
+        for i in 0..args.len() {
+            self.ins(format!("lwz r{}, {}(r1)", 3 + i, self.arg_slot + 4 * i as i32));
+        }
+        self.ins(format!("bl {name}"));
+        if let Some(d) = dest {
+            if !callee.returns_value {
+                return Err(self.err(line, format!("{name} returns no value")));
+            }
+            self.ins(format!("mr r{d}, r3"));
+        }
+        Ok(())
+    }
+
+    /// Evaluate an integer expression; the result register is returned.
+    fn eval(&mut self, e: &Expr, line: usize) -> Result<Val, CompileError> {
+        match e {
+            Expr::Lit(v) => {
+                let reg = self.alloc(line)?;
+                self.load_imm(reg, *v, line)?;
+                Ok(Val { reg, owned: true })
+            }
+            Expr::Var(name) => {
+                let (reg, _) = self.local(name, line)?;
+                Ok(Val { reg, owned: false })
+            }
+            Expr::Index { array, index } => {
+                let (base, ty) = self.local(array, line)?;
+                let dest = self.alloc(line)?;
+                match ty {
+                    Ty::WordPtr => {
+                        if let Expr::Lit(n) = index.as_ref() {
+                            let disp = n * 4;
+                            if (-32768..=32767).contains(&disp) {
+                                self.ins(format!("lwz r{dest}, {disp}(r{base})"));
+                                return Ok(Val { reg: dest, owned: true });
+                            }
+                        }
+                        let i = self.eval(index, line)?;
+                        self.ins(format!("slwi r{dest}, r{}, 2", i.reg));
+                        self.release(i);
+                        self.ins(format!("lwzx r{dest}, r{base}, r{dest}"));
+                    }
+                    Ty::BytePtr => {
+                        if let Expr::Lit(n) = index.as_ref() {
+                            if (-32768..=32767).contains(n) {
+                                self.ins(format!("lbz r{dest}, {n}(r{base})"));
+                                return Ok(Val { reg: dest, owned: true });
+                            }
+                        }
+                        let i = self.eval(index, line)?;
+                        self.ins(format!("lbzx r{dest}, r{base}, r{}", i.reg));
+                        self.release(i);
+                    }
+                    Ty::Int => {
+                        return Err(self.err(line, format!("{array:?} is not an array")))
+                    }
+                }
+                Ok(Val { reg: dest, owned: true })
+            }
+            Expr::Neg(inner) => {
+                let v = self.eval(inner, line)?;
+                let dest = if v.owned { v.reg } else { self.alloc(line)? };
+                self.ins(format!("neg r{dest}, r{}", v.reg));
+                Ok(Val { reg: dest, owned: true })
+            }
+            Expr::Bin { op, lhs, rhs } => self.bin(*op, lhs, rhs, line),
+            Expr::Max(a, b) => self.minmax(a, b, true, line),
+            Expr::Min(a, b) => self.minmax(a, b, false, line),
+            Expr::Select { cond, then_val, else_val } => {
+                self.select(cond, then_val, else_val, line)
+            }
+            Expr::Call { .. } => Err(self.err(
+                line,
+                "calls are only allowed as a whole statement (`x = f(...);`)",
+            )),
+        }
+    }
+
+    fn load_imm(&mut self, reg: u8, v: i64, line: usize) -> Result<(), CompileError> {
+        if !(-(1i64 << 31)..(1i64 << 31)).contains(&v) {
+            return Err(self.err(line, format!("literal {v} exceeds 32 bits")));
+        }
+        let v = v as i32;
+        if (-32768..=32767).contains(&v) {
+            self.ins(format!("li r{reg}, {v}"));
+        } else {
+            let hi = (v as u32 >> 16) as i32;
+            let lo = v as u32 & 0xFFFF;
+            // lis + ori builds any 32-bit constant.
+            let hi = if hi >= 0x8000 { hi - 0x10000 } else { hi };
+            self.ins(format!("lis r{reg}, {hi}"));
+            if lo != 0 {
+                self.ins(format!("ori r{reg}, r{reg}, {lo}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, line: usize) -> Result<Val, CompileError> {
+        // Immediate forms.
+        if let Expr::Lit(n) = rhs {
+            let n = *n;
+            match op {
+                BinOp::Add if (-32768..=32767).contains(&n) => {
+                    let a = self.eval(lhs, line)?;
+                    let dest = if a.owned { a.reg } else { self.alloc(line)? };
+                    self.ins(format!("addi r{dest}, r{}, {n}", a.reg));
+                    return Ok(Val { reg: dest, owned: true });
+                }
+                BinOp::Sub if (-32767..=32768).contains(&n) => {
+                    let a = self.eval(lhs, line)?;
+                    let dest = if a.owned { a.reg } else { self.alloc(line)? };
+                    self.ins(format!("addi r{dest}, r{}, {}", a.reg, -n));
+                    return Ok(Val { reg: dest, owned: true });
+                }
+                BinOp::Shl if (0..32).contains(&n) => {
+                    let a = self.eval(lhs, line)?;
+                    let dest = if a.owned { a.reg } else { self.alloc(line)? };
+                    self.ins(format!("slwi r{dest}, r{}, {n}", a.reg));
+                    return Ok(Val { reg: dest, owned: true });
+                }
+                BinOp::Shr if (0..32).contains(&n) => {
+                    let a = self.eval(lhs, line)?;
+                    let dest = if a.owned { a.reg } else { self.alloc(line)? };
+                    self.ins(format!("srawi r{dest}, r{}, {n}", a.reg));
+                    return Ok(Val { reg: dest, owned: true });
+                }
+                BinOp::Mul if n > 0 && (n as u64).is_power_of_two() && n < (1 << 31) => {
+                    let sh = (n as u64).trailing_zeros();
+                    let a = self.eval(lhs, line)?;
+                    let dest = if a.owned { a.reg } else { self.alloc(line)? };
+                    self.ins(format!("slwi r{dest}, r{}, {sh}", a.reg));
+                    return Ok(Val { reg: dest, owned: true });
+                }
+                _ => {}
+            }
+        }
+        let a = self.eval(lhs, line)?;
+        let b = self.eval(rhs, line)?;
+        let dest = if a.owned {
+            a.reg
+        } else if b.owned {
+            b.reg
+        } else {
+            self.alloc(line)?
+        };
+        let mn = match op {
+            BinOp::Add => "add",
+            BinOp::Sub => "subf",
+            BinOp::Mul => "mullw",
+            BinOp::Div => "divw",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "slw",
+            BinOp::Shr => "sraw",
+        };
+        match op {
+            // subf rt, ra, rb computes rb - ra.
+            BinOp::Sub => self.ins(format!("subf r{dest}, r{}, r{}", b.reg, a.reg)),
+            _ => self.ins(format!("{mn} r{dest}, r{}, r{}", a.reg, b.reg)),
+        }
+        // Free whichever owned register we did not reuse.
+        if a.owned && dest != a.reg {
+            self.free.push(a.reg);
+        }
+        if b.owned && dest != b.reg {
+            self.free.push(b.reg);
+        }
+        Ok(Val { reg: dest, owned: true })
+    }
+
+    fn minmax(&mut self, a: &Expr, b: &Expr, is_max: bool, line: usize) -> Result<Val, CompileError> {
+        let va = self.eval(a, line)?;
+        let vb = self.eval(b, line)?;
+        let dest = self.alloc(line)?;
+        match (self.target, is_max) {
+            (Target::Max, true) => {
+                self.ins(format!("maxw r{dest}, r{}, r{}", va.reg, vb.reg));
+            }
+            (Target::Max, false) | (Target::Isel, _) => {
+                // cmp + isel: max -> gt bit, min -> lt bit.
+                self.ins(format!("cmpw cr0, r{}, r{}", va.reg, vb.reg));
+                let bit = if is_max { "4*cr0+gt" } else { "4*cr0+lt" };
+                self.ins(format!("isel r{dest}, r{}, r{}, {bit}", va.reg, vb.reg));
+            }
+            (Target::Baseline, _) => {
+                // Branchy lowering: the value-dependent branch the paper
+                // measures.
+                let skip = self.fresh_label("mm");
+                self.ins(format!("mr r{dest}, r{}", va.reg));
+                self.ins(format!("cmpw cr0, r{}, r{dest}", vb.reg));
+                let cond = if is_max { "ble" } else { "bge" };
+                self.ins(format!("{cond} cr0, {skip}"));
+                self.ins(format!("mr r{dest}, r{}", vb.reg));
+                self.label(&skip);
+            }
+        }
+        self.release(va);
+        self.release(vb);
+        Ok(Val { reg: dest, owned: true })
+    }
+
+    fn select(
+        &mut self,
+        cond: &Cond,
+        then_val: &Expr,
+        else_val: &Expr,
+        line: usize,
+    ) -> Result<Val, CompileError> {
+        let Cond::Cmp { op, lhs, rhs } = cond else {
+            return Err(self.err(line, "internal: select on compound condition"));
+        };
+        if self.target == Target::Baseline {
+            return Err(self.err(line, "internal: select emitted for baseline target"));
+        }
+        let tv = self.eval(then_val, line)?;
+        let ev = self.eval(else_val, line)?;
+        let cl = self.eval(lhs, line)?;
+        let cr = self.eval(rhs, line)?;
+        self.ins(format!("cmpw cr0, r{}, r{}", cl.reg, cr.reg));
+        self.release(cl);
+        self.release(cr);
+        let dest = self.alloc(line)?;
+        // isel picks RA when the bit is true; express <=/>=/!= by swapping.
+        let (bit, t, e) = match op {
+            CmpOp::Lt => ("lt", tv.reg, ev.reg),
+            CmpOp::Gt => ("gt", tv.reg, ev.reg),
+            CmpOp::Eq => ("eq", tv.reg, ev.reg),
+            CmpOp::Ge => ("lt", ev.reg, tv.reg),
+            CmpOp::Le => ("gt", ev.reg, tv.reg),
+            CmpOp::Ne => ("eq", ev.reg, tv.reg),
+        };
+        self.ins(format!("isel r{dest}, r{t}, r{e}, 4*cr0+{bit}"));
+        self.release(tv);
+        self.release(ev);
+        Ok(Val { reg: dest, owned: true })
+    }
+
+    /// Emit branches so control transfers to `target` iff `cond` evaluates
+    /// to `when` (short-circuit for `&&`/`||`).
+    fn branch_cond(&mut self, cond: &Cond, target: &str, when: bool) -> Result<(), CompileError> {
+        match cond {
+            Cond::Not(inner) => self.branch_cond(inner, target, !when),
+            Cond::And(a, b) => {
+                if when {
+                    let skip = self.fresh_label("and");
+                    self.branch_cond(a, &skip, false)?;
+                    self.branch_cond(b, target, true)?;
+                    self.label(&skip);
+                } else {
+                    self.branch_cond(a, target, false)?;
+                    self.branch_cond(b, target, false)?;
+                }
+                Ok(())
+            }
+            Cond::Or(a, b) => {
+                if when {
+                    self.branch_cond(a, target, true)?;
+                    self.branch_cond(b, target, true)?;
+                } else {
+                    let skip = self.fresh_label("or");
+                    self.branch_cond(a, &skip, true)?;
+                    self.branch_cond(b, target, false)?;
+                    self.label(&skip);
+                }
+                Ok(())
+            }
+            Cond::Cmp { op, lhs, rhs } => {
+                let line = 0;
+                let a = self.eval(lhs, line)?;
+                // cmpwi when the rhs is a small literal.
+                let use_imm = matches!(rhs, Expr::Lit(n) if (-32768..=32767).contains(n));
+                if use_imm {
+                    let Expr::Lit(n) = rhs else { unreachable!() };
+                    self.ins(format!("cmpwi cr0, r{}, {n}", a.reg));
+                } else {
+                    let b = self.eval(rhs, line)?;
+                    self.ins(format!("cmpw cr0, r{}, r{}", a.reg, b.reg));
+                    self.release(b);
+                }
+                self.release(a);
+                let mnemonic = match (op, when) {
+                    (CmpOp::Eq, true) | (CmpOp::Ne, false) => "beq",
+                    (CmpOp::Ne, true) | (CmpOp::Eq, false) => "bne",
+                    (CmpOp::Lt, true) | (CmpOp::Ge, false) => "blt",
+                    (CmpOp::Ge, true) | (CmpOp::Lt, false) => "bge",
+                    (CmpOp::Gt, true) | (CmpOp::Le, false) => "bgt",
+                    (CmpOp::Le, true) | (CmpOp::Gt, false) => "ble",
+                };
+                self.ins(format!("{mnemonic} cr0, {target}"));
+                Ok(())
+            }
+        }
+    }
+}
+
+fn collect_lets(
+    stmts: &[Stmt],
+    f: &mut impl FnMut(&str, Ty, usize) -> Result<(), CompileError>,
+) -> Result<(), CompileError> {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, ty, line, .. } => f(name, *ty, *line)?,
+            Stmt::If { then_block, else_block, .. } => {
+                collect_lets(then_block, f)?;
+                collect_lets(else_block, f)?;
+            }
+            Stmt::While { body, .. } => collect_lets(body, f)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn body_has_call(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Let { value, .. } | Stmt::Assign { value, .. } => value.has_call(),
+        Stmt::Store { index, value, .. } => index.has_call() || value.has_call(),
+        Stmt::If { then_block, else_block, .. } => {
+            body_has_call(then_block) || body_has_call(else_block)
+        }
+        Stmt::While { body, .. } => body_has_call(body),
+        Stmt::Return { value, .. } => value.has_call(),
+        Stmt::CallStmt { .. } => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile, Options};
+    use power5_sim_test_support::run_main;
+
+    /// Minimal in-crate harness: assemble, load, run functionally, return
+    /// `main`'s result (r3 at trap).
+    mod power5_sim_test_support {
+        pub fn run_main(asm: &str, args: &[u32]) -> i32 {
+            let prog = ppc_asm::assemble(asm, 0x1000).expect("assembles");
+            let mut mem = ppc_isa::Memory::new(1 << 20);
+            mem.write_bytes(0x1000, &prog.bytes).unwrap();
+            let mut cpu = ppc_isa::CpuState::new(prog.symbols["__start"]);
+            cpu.gpr[1] = (1 << 20) - 64; // stack top
+            for (i, &a) in args.iter().enumerate() {
+                cpu.gpr[3 + i] = a;
+            }
+            for _ in 0..10_000_000u64 {
+                let word = mem.load_u32(cpu.pc).unwrap();
+                let insn = ppc_isa::decode(word)
+                    .unwrap_or_else(|e| panic!("bad insn at {:#x}: {e}", cpu.pc));
+                let ev = ppc_isa::step(&mut cpu, &mut mem, &insn).unwrap();
+                if ev.halted {
+                    return cpu.gpr[3] as i32;
+                }
+            }
+            panic!("did not halt");
+        }
+
+        /// Like `run_main` but with memory pre-populated.
+        pub fn run_main_mem(asm: &str, args: &[u32], data: &[(u32, Vec<i32>)]) -> i32 {
+            let prog = ppc_asm::assemble(asm, 0x1000).expect("assembles");
+            let mut mem = ppc_isa::Memory::new(1 << 20);
+            mem.write_bytes(0x1000, &prog.bytes).unwrap();
+            for (addr, words) in data {
+                mem.write_i32s(*addr, words).unwrap();
+            }
+            let mut cpu = ppc_isa::CpuState::new(prog.symbols["__start"]);
+            cpu.gpr[1] = (1 << 20) - 64;
+            for (i, &a) in args.iter().enumerate() {
+                cpu.gpr[3 + i] = a;
+            }
+            for _ in 0..10_000_000u64 {
+                let word = mem.load_u32(cpu.pc).unwrap();
+                let insn = ppc_isa::decode(word).unwrap();
+                let ev = ppc_isa::step(&mut cpu, &mut mem, &insn).unwrap();
+                if ev.halted {
+                    return cpu.gpr[3] as i32;
+                }
+            }
+            panic!("did not halt");
+        }
+    }
+
+    fn all_options() -> Vec<Options> {
+        vec![
+            Options::baseline(),
+            Options::hand_max(),
+            Options::hand_isel(),
+            Options::compiler_max(),
+            Options::compiler_isel(),
+            Options::combination(),
+        ]
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let src = "fn main(a: int, b: int) -> int { return (a + b) * 3 - a / b; }";
+        for o in all_options() {
+            let c = compile(src, &o).unwrap();
+            assert_eq!(run_main(&c.asm, &[10, 4]), (10 + 4) * 3 - 10 / 4, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_neg() {
+        let src = "fn main(a: int) -> int { return -a + 100; }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[(-5i32) as u32]), 105);
+        assert_eq!(run_main(&c.asm, &[7]), 93);
+    }
+
+    #[test]
+    fn big_literals() {
+        let src = "fn main() -> int { return 0x123456 + 1; }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[]), 0x123457);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let src = "
+            fn main(n: int) -> int {
+                let s = 0;
+                let i = 1;
+                while (i <= n) { s = s + i; i = i + 1; }
+                return s;
+            }";
+        for o in all_options() {
+            let c = compile(src, &o).unwrap();
+            assert_eq!(run_main(&c.asm, &[100]), 5050, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn if_else_works_in_all_modes() {
+        let src = "
+            fn main(a: int, b: int) -> int {
+                let r = 0;
+                if (a < b) { r = 1; } else { r = 2; }
+                return r;
+            }";
+        for o in all_options() {
+            let c = compile(src, &o).unwrap();
+            assert_eq!(run_main(&c.asm, &[1, 5]), 1, "{o:?}");
+            assert_eq!(run_main(&c.asm, &[5, 1]), 2, "{o:?}");
+            assert_eq!(run_main(&c.asm, &[5, 5]), 2, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn max_intrinsic_all_lowerings() {
+        let src = "fn main(a: int, b: int) -> int { return max(a, min(b, 50)); }";
+        for o in all_options() {
+            let c = compile(src, &o).unwrap();
+            assert_eq!(run_main(&c.asm, &[10, 30]), 30, "{o:?}");
+            assert_eq!(run_main(&c.asm, &[10, 99]), 50, "{o:?}");
+            assert_eq!(run_main(&c.asm, &[77, 30]), 77, "{o:?}");
+            assert_eq!(
+                run_main(&c.asm, &[(-3i32) as u32, (-9i32) as u32]),
+                -3,
+                "{o:?} signed"
+            );
+        }
+    }
+
+    #[test]
+    fn hand_max_emits_maxw_hand_isel_emits_isel() {
+        let src = "fn main(a: int, b: int) -> int { return max(a, b); }";
+        let m = compile(src, &Options::hand_max()).unwrap();
+        assert!(m.asm.contains("maxw"));
+        assert!(!m.asm.contains("isel"));
+        let i = compile(src, &Options::hand_isel()).unwrap();
+        assert!(i.asm.contains("isel"));
+        assert!(!i.asm.contains("maxw"));
+        let b = compile(src, &Options::baseline()).unwrap();
+        assert!(!b.asm.contains("maxw") && !b.asm.contains("isel"));
+    }
+
+    #[test]
+    fn compiler_converts_hammocks_semantics_preserved() {
+        let src = "
+            fn main(a: int, b: int, d: int) -> int {
+                let best = 0;
+                if (best < a) { best = a; }
+                if (best < b) { best = b; }
+                let adj = d;
+                if (adj < 0) { adj = 0; }
+                return best + adj;
+            }";
+        let branchy = compile(src, &Options::baseline()).unwrap();
+        let conv = compile(src, &Options::compiler_max()).unwrap();
+        assert_eq!(conv.converted_hammocks, 3);
+        for (a, b, d) in [(3, 9, 5), (9, 3, -5), (0, 0, 0), (-4, -2, -1)] {
+            let args = [a as u32, b as u32, d as u32];
+            assert_eq!(run_main(&branchy.asm, &args), run_main(&conv.asm, &args));
+        }
+    }
+
+    #[test]
+    fn word_and_byte_arrays() {
+        let src = "
+            fn main(v: ptr, s: bptr, n: int) -> int {
+                let i = 0;
+                let acc = 0;
+                while (i < n) {
+                    acc = acc + v[i] * s[i];
+                    i = i + 1;
+                }
+                v[0] = acc;
+                return acc;
+            }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        // words at 0x8000: [2, 3, 4]; bytes at 0x9000: we write as words
+        // 0x030201 little-endian gives bytes 1,2,3.
+        let r = power5_sim_test_support::run_main_mem(
+            &c.asm,
+            &[0x8000, 0x9000, 3],
+            &[(0x8000, vec![2, 3, 4]), (0x9000, vec![0x030201])],
+        );
+        assert_eq!(r, 2 * 1 + 3 * 2 + 4 * 3);
+    }
+
+    #[test]
+    fn function_calls_and_stack() {
+        let src = "
+            fn square(x: int) -> int { return x * x; }
+            fn sumsq(a: int, b: int) -> int {
+                let p = square(a);
+                let q = square(b);
+                return p + q;
+            }
+            fn main(a: int, b: int) -> int { return sumsq(a, b); }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[3, 4]), 25);
+    }
+
+    #[test]
+    fn callee_saved_locals_survive_calls() {
+        let src = "
+            fn clobber(x: int) -> int {
+                let a = x + 1;
+                let b = a + 1;
+                let d = b + 1;
+                return d;
+            }
+            fn main(n: int) -> int {
+                let keep = n * 7;
+                let r = clobber(n);
+                return keep + r;
+            }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[5]), 35 + 8);
+    }
+
+    #[test]
+    fn compound_conditions_short_circuit() {
+        let src = "
+            fn main(a: int, b: int) -> int {
+                let r = 0;
+                while (a > 0 && b > 0) { a = a - 1; b = b - 2; r = r + 1; }
+                if (a == 0 || b <= 0) { r = r + 100; }
+                return r;
+            }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[10, 6]), 3 + 100);
+    }
+
+    #[test]
+    fn shifts_and_bitwise() {
+        let src = "fn main(a: int) -> int { return ((a << 3) | 5) & 0xFF ^ (a >> 1); }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        let a = 37i32;
+        assert_eq!(run_main(&c.asm, &[a as u32]), ((a << 3) | 5) & 0xFF ^ (a >> 1));
+    }
+
+    #[test]
+    fn select_semantics_match_branches() {
+        let src = "
+            fn main(a: int, b: int) -> int {
+                let x = 0;
+                if (a <= b) { x = a - b; } else { x = b - a; }
+                return x;
+            }";
+        let branchy = compile(src, &Options::baseline()).unwrap();
+        let isel = compile(src, &Options::compiler_isel()).unwrap();
+        assert_eq!(isel.converted_hammocks, 1);
+        assert!(isel.asm.contains("isel"));
+        for (a, b) in [(3, 9), (9, 3), (4, 4), (-5, 5)] {
+            let args = [a as u32, b as u32];
+            assert_eq!(run_main(&branchy.asm, &args), run_main(&isel.asm, &args));
+        }
+    }
+
+    #[test]
+    fn errors_unknown_var_and_function() {
+        let e = compile("fn main() -> int { return zz; }", &Options::baseline()).unwrap_err();
+        assert!(e.message.contains("zz"));
+        let e = compile("fn main() -> int { return g(1); }", &Options::baseline()).unwrap_err();
+        assert!(e.message.contains("unknown function"));
+        let e = compile(
+            "fn g(x: int) -> int { return x; }
+             fn main() -> int { return g(1) + 1; }",
+            &Options::baseline(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("statement"));
+    }
+
+    #[test]
+    fn error_too_many_locals() {
+        let mut src = String::from("fn main() -> int {\n");
+        for i in 0..20 {
+            src.push_str(&format!("let x{i} = {i};\n"));
+        }
+        src.push_str("return x0; }\n");
+        let e = compile(&src, &Options::baseline()).unwrap_err();
+        assert!(e.message.contains("locals"));
+    }
+
+    #[test]
+    fn return_mid_function() {
+        let src = "
+            fn main(a: int) -> int {
+                if (a < 0) { return -1; }
+                return 1;
+            }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        assert_eq!(run_main(&c.asm, &[(-3i32) as u32]), -1);
+        assert_eq!(run_main(&c.asm, &[3]), 1);
+    }
+}

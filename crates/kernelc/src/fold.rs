@@ -1,0 +1,299 @@
+//! Constant folding and trivial dead-code elimination.
+//!
+//! Runs after if-conversion and before code generation. Arithmetic is
+//! folded with the target's 32-bit wrapping semantics so folding never
+//! changes results. Statement-level folding removes `if`/`while` whose
+//! conditions are compile-time constant (the address arithmetic the
+//! kernel templates bake in produces plenty of foldable subtrees).
+
+use crate::ast::*;
+
+/// Fold a whole program in place. Returns the number of expression nodes
+/// and statements eliminated (for tests and diagnostics).
+pub fn run(program: &mut Program) -> usize {
+    let mut removed = 0;
+    for f in &mut program.functions {
+        fold_block(&mut f.body, &mut removed);
+    }
+    removed
+}
+
+fn lit(e: &Expr) -> Option<i32> {
+    match e {
+        Expr::Lit(v) => Some(*v as i32),
+        _ => None,
+    }
+}
+
+fn fold_expr(e: &mut Expr, removed: &mut usize) {
+    // Fold children first.
+    match e {
+        Expr::Lit(_) | Expr::Var(_) => {}
+        Expr::Index { index, .. } => fold_expr(index, removed),
+        Expr::Neg(inner) => fold_expr(inner, removed),
+        Expr::Bin { lhs, rhs, .. } => {
+            fold_expr(lhs, removed);
+            fold_expr(rhs, removed);
+        }
+        Expr::Max(a, b) | Expr::Min(a, b) => {
+            fold_expr(a, removed);
+            fold_expr(b, removed);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                fold_expr(a, removed);
+            }
+        }
+        Expr::Select { cond, then_val, else_val } => {
+            fold_cond(cond, removed);
+            fold_expr(then_val, removed);
+            fold_expr(else_val, removed);
+        }
+    }
+    // Then fold this node.
+    let replacement = match e {
+        Expr::Neg(inner) => lit(inner).map(|v| Expr::Lit(v.wrapping_neg() as i64)),
+        Expr::Bin { op, lhs, rhs } => match (lit(lhs), lit(rhs)) {
+            (Some(a), Some(b)) => {
+                let v = match op {
+                    BinOp::Add => Some(a.wrapping_add(b)),
+                    BinOp::Sub => Some(a.wrapping_sub(b)),
+                    BinOp::Mul => Some(a.wrapping_mul(b)),
+                    // Fold division only when the target's semantics are
+                    // unambiguous (the executor returns 0 for the
+                    // undefined cases; keep those visible at runtime).
+                    BinOp::Div if b != 0 && !(a == i32::MIN && b == -1) => Some(a / b),
+                    BinOp::Div => None,
+                    BinOp::And => Some(a & b),
+                    BinOp::Or => Some(a | b),
+                    BinOp::Xor => Some(a ^ b),
+                    BinOp::Shl if (0..32).contains(&b) => Some(((a as u32) << b) as i32),
+                    BinOp::Shr if (0..32).contains(&b) => Some(a >> b),
+                    _ => None,
+                };
+                v.map(|v| Expr::Lit(v as i64))
+            }
+            // Algebraic identities that cannot change faults or values.
+            (_, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr | BinOp::Or | BinOp::Xor) => {
+                Some((**lhs).clone())
+            }
+            (Some(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => {
+                Some((**rhs).clone())
+            }
+            (_, Some(1)) if matches!(op, BinOp::Mul | BinOp::Div) => Some((**lhs).clone()),
+            (Some(1), _) if matches!(op, BinOp::Mul) => Some((**rhs).clone()),
+            _ => None,
+        },
+        Expr::Max(a, b) => match (lit(a), lit(b)) {
+            (Some(x), Some(y)) => Some(Expr::Lit(x.max(y) as i64)),
+            _ => None,
+        },
+        Expr::Min(a, b) => match (lit(a), lit(b)) {
+            (Some(x), Some(y)) => Some(Expr::Lit(x.min(y) as i64)),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(r) = replacement {
+        *e = r;
+        *removed += 1;
+    }
+}
+
+fn fold_cond(c: &mut Cond, removed: &mut usize) {
+    match c {
+        Cond::Cmp { lhs, rhs, .. } => {
+            fold_expr(lhs, removed);
+            fold_expr(rhs, removed);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            fold_cond(a, removed);
+            fold_cond(b, removed);
+        }
+        Cond::Not(inner) => fold_cond(inner, removed),
+    }
+}
+
+/// Evaluate a condition if it is compile-time constant.
+fn const_cond(c: &Cond) -> Option<bool> {
+    match c {
+        Cond::Cmp { op, lhs, rhs } => {
+            let (a, b) = (lit(lhs)?, lit(rhs)?);
+            Some(match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            })
+        }
+        Cond::And(a, b) => match (const_cond(a), const_cond(b)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Cond::Or(a, b) => match (const_cond(a), const_cond(b)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Cond::Not(inner) => const_cond(inner).map(|v| !v),
+    }
+}
+
+fn fold_block(block: &mut Vec<Stmt>, removed: &mut usize) {
+    let mut out = Vec::with_capacity(block.len());
+    for mut stmt in block.drain(..) {
+        match &mut stmt {
+            Stmt::Let { value, .. } | Stmt::Assign { value, .. } => fold_expr(value, removed),
+            Stmt::Store { index, value, .. } => {
+                fold_expr(index, removed);
+                fold_expr(value, removed);
+            }
+            Stmt::Return { value, .. } => fold_expr(value, removed),
+            Stmt::CallStmt { call, .. } => fold_expr(call, removed),
+            Stmt::If { cond, then_block, else_block, .. } => {
+                fold_cond(cond, removed);
+                fold_block(then_block, removed);
+                fold_block(else_block, removed);
+            }
+            Stmt::While { cond, body, .. } => {
+                fold_cond(cond, removed);
+                fold_block(body, removed);
+            }
+        }
+        // Statement-level elimination.
+        match stmt {
+            Stmt::If { ref cond, ref mut then_block, ref mut else_block, .. } => {
+                match const_cond(cond) {
+                    Some(true) => {
+                        *removed += 1;
+                        out.append(then_block);
+                    }
+                    Some(false) => {
+                        *removed += 1;
+                        out.append(else_block);
+                    }
+                    None => out.push(stmt),
+                }
+            }
+            Stmt::While { ref cond, .. } => {
+                if const_cond(cond) == Some(false) {
+                    // The body never runs (note: `let` declarations inside
+                    // still exist at function scope in this language, but
+                    // an unexecuted body cannot define values anyone can
+                    // legally read before another assignment).
+                    *removed += 1;
+                } else {
+                    out.push(stmt);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    *block = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn folded(src: &str) -> (Program, usize) {
+        let mut p = parse(&lex(src).unwrap()).unwrap();
+        let n = run(&mut p);
+        (p, n)
+    }
+
+    #[test]
+    fn arithmetic_folds_to_literals() {
+        let (p, n) = folded("fn f() -> int { return (2 + 3) * 4 - 10 / 2; }");
+        assert!(n >= 3);
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(value, &Expr::Lit(15));
+    }
+
+    #[test]
+    fn wrapping_matches_runtime_semantics() {
+        let (p, _) = folded("fn f() -> int { return 2147483647 + 1; }");
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(value, &Expr::Lit(i32::MIN as i64));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let (p, n) = folded("fn f() -> int { return 5 / 0; }");
+        assert_eq!(n, 0);
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(value, Expr::Bin { op: BinOp::Div, .. }));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let (p, n) = folded("fn f(x: int) -> int { return (x + 0) * 1 + (0 + x); }");
+        assert!(n >= 3);
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        // x + x after simplification.
+        assert_eq!(
+            value,
+            &Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Var("x".into())),
+                rhs: Box::new(Expr::Var("x".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn max_min_fold() {
+        let (p, _) = folded("fn f() -> int { return max(3, min(9, 7)); }");
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(value, &Expr::Lit(7));
+    }
+
+    #[test]
+    fn constant_if_splices_taken_branch() {
+        let (p, _) = folded(
+            "fn f(x: int) -> int {
+                if (1 < 2) { x = x + 1; } else { x = x - 1; }
+                return x;
+            }",
+        );
+        assert_eq!(p.functions[0].body.len(), 2);
+        assert!(matches!(&p.functions[0].body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn dead_while_removed() {
+        let (p, n) = folded("fn f(x: int) -> int { while (3 > 4) { x = 0 - 1; } return x; }");
+        assert!(n >= 1);
+        assert_eq!(p.functions[0].body.len(), 1);
+    }
+
+    #[test]
+    fn folding_reduces_emitted_instructions() {
+        use crate::{compile, Options};
+        let src = "fn main() -> int { return 12 * 4 + (100 - 36) / 2; }";
+        let c = compile(src, &Options::baseline()).unwrap();
+        // One li + return plumbing; certainly no mullw/divw.
+        assert!(!c.asm.contains("mullw"));
+        assert!(!c.asm.contains("divw"));
+        assert!(c.asm.contains("li r"));
+    }
+
+    #[test]
+    fn nested_conditions_fold() {
+        let (p, _) = folded(
+            "fn f(x: int) -> int {
+                if (1 == 1 && !(2 > 3)) { x = 7; }
+                return x;
+            }",
+        );
+        let Stmt::Assign { value, .. } = &p.functions[0].body[0] else {
+            panic!("{:?}", p.functions[0].body[0])
+        };
+        assert_eq!(value, &Expr::Lit(7));
+    }
+}

@@ -1,0 +1,592 @@
+//! The if-conversion pass — the reproduction of the paper's modified
+//! gcc 4.1.1 (Section IV-B).
+//!
+//! The pass rewrites *hammocks* (single-assignment `if`/`if-else` regions)
+//! into predicated code:
+//!
+//! * **max/min patterns** — `if (x < y) { x = y; }` and friends become the
+//!   `max()` intrinsic (lowered to `maxw` or `cmp`+`isel` by the code
+//!   generator, depending on the target);
+//! * **general hammocks** — `if (c) x = e;` / `if (c) x = e1; else x = e2;`
+//!   become a select (lowered to `isel`). These are converted only for the
+//!   `isel` target: a plain `maxw` cannot express an arbitrary select,
+//!   which is exactly the paper's observation that the compiler finds
+//!   "other predicated opportunities than max functionality" for Blast.
+//!
+//! Conversion executes the hammock's loads unconditionally, so — like the
+//! paper's compiler — the pass must prove each load safe:
+//!
+//! * a load `a[i]` is safe if the *identical* access already executed
+//!   unconditionally earlier in the same block (including in the hammock's
+//!   own condition), with
+//! * **no intervening store or call** (stores kill the whole known-safe
+//!   set: without alias information the compiler "must ensure that memory
+//!   operands … are not aliased — a task that is … often extremely
+//!   difficult for a compiler"), and
+//! * no intervening reassignment of any variable the access's index uses.
+//!
+//! Kernels that keep DP state in memory arrays with interleaved stores
+//! (Clustalw's `forward_pass`, Hmmer's `P7Viterbi`) therefore lose many
+//! hammocks to the safety analysis, while register-carried kernels
+//! (Blast's gapped extension, Fasta's `dropgsw` inner loop) convert fully
+//! — reproducing Figure 3's hand-vs-compiler split.
+
+use crate::ast::*;
+use crate::IfConversion;
+use std::collections::HashSet;
+
+/// Run the pass over `program` in the given mode. Returns
+/// `(converted, rejected)` hammock counts.
+pub fn run(program: &mut Program, mode: IfConversion) -> (usize, usize) {
+    let mut stats = (0, 0);
+    if mode == IfConversion::Off {
+        return stats;
+    }
+    let allow_select = mode == IfConversion::Full;
+    for f in &mut program.functions {
+        convert_block(&mut f.body, allow_select, &mut stats);
+    }
+    stats
+}
+
+/// Canonical key of a load expression, plus the variables its index uses.
+fn load_key(array: &str, index: &Expr) -> (String, HashSet<String>) {
+    let key = format!("{array}[{index:?}]");
+    let mut vars = HashSet::new();
+    vars.insert(array.to_string());
+    index.visit(&mut |e| {
+        if let Expr::Var(v) = e {
+            vars.insert(v.clone());
+        }
+    });
+    (key, vars)
+}
+
+/// Set of loads proven to have executed unconditionally.
+#[derive(Default)]
+struct SafeLoads {
+    entries: Vec<(String, HashSet<String>)>,
+}
+
+impl SafeLoads {
+    fn add_expr(&mut self, e: &Expr) {
+        e.visit(&mut |node| {
+            if let Expr::Index { array, index } = node {
+                let entry = load_key(array, index);
+                if !self.entries.iter().any(|(k, _)| *k == entry.0) {
+                    self.entries.push(entry);
+                }
+            }
+        });
+    }
+
+    fn add_cond(&mut self, c: &Cond) {
+        c.visit_exprs(&mut |node| {
+            if let Expr::Index { array, index } = node {
+                let entry = load_key(array, index);
+                if !self.entries.iter().any(|(k, _)| *k == entry.0) {
+                    self.entries.push(entry);
+                }
+            }
+        });
+    }
+
+    fn kill_var(&mut self, var: &str) {
+        self.entries.retain(|(_, vars)| !vars.contains(var));
+    }
+
+    fn kill_all(&mut self) {
+        self.entries.clear();
+    }
+
+    fn contains(&self, array: &str, index: &Expr) -> bool {
+        let key = format!("{array}[{index:?}]");
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+}
+
+/// Whether every load in `e` is already proven safe, and the expression is
+/// otherwise side-effect-free and cheap enough to speculate (no calls, no
+/// division — gcc's if-conversion refuses trapping operations).
+fn expr_safe(e: &Expr, safe: &SafeLoads) -> bool {
+    let mut ok = true;
+    e.visit(&mut |node| match node {
+        Expr::Call { .. } => ok = false,
+        Expr::Bin { op: BinOp::Div, .. } => ok = false,
+        Expr::Index { array, index } => {
+            if !safe.contains(array, index) {
+                ok = false;
+            }
+        }
+        _ => {}
+    });
+    ok
+}
+
+/// Match `if (…) { x = y; }` max/min shapes. Returns the replacement.
+///
+/// The matcher is deliberately *strict* — the compared value must be a
+/// plain variable or literal. Expression operands defeat it, just as the
+/// paper reports hoisted loads "obfuscating available max opportunities
+/// (i.e., confuses the pattern matcher)"; such hammocks are still
+/// convertible by the general `isel` path.
+fn match_minmax(cond: &Cond, then_block: &[Stmt], else_block: &[Stmt]) -> Option<Stmt> {
+    if !else_block.is_empty() || then_block.len() != 1 {
+        return None;
+    }
+    let Stmt::Assign { name, value, line } = &then_block[0] else {
+        return None;
+    };
+    let Cond::Cmp { op, lhs, rhs } = cond else {
+        return None;
+    };
+    let x = Expr::Var(name.clone());
+    // Normalize to `x <op> other`.
+    let (op, other) = if *lhs == x {
+        (*op, rhs)
+    } else if *rhs == x {
+        (op.swapped(), lhs)
+    } else {
+        return None;
+    };
+    if value != other {
+        return None;
+    }
+    if !matches!(other, Expr::Var(_) | Expr::Lit(_)) {
+        return None;
+    }
+    // `if (x < y) x = y`  →  x = max(x, y)
+    // `if (x > y) x = y`  →  x = min(x, y)
+    let repl = match op {
+        CmpOp::Lt | CmpOp::Le => Expr::Max(Box::new(x), Box::new(other.clone())),
+        CmpOp::Gt | CmpOp::Ge => Expr::Min(Box::new(x), Box::new(other.clone())),
+        _ => return None,
+    };
+    Some(Stmt::Assign { name: name.clone(), value: repl, line: *line })
+}
+
+/// If a converted hammock's values are exactly the comparison's operands,
+/// the select *is* a min/max: `select(l < r, r, l)` ≡ `max(l, r)`. Returns
+/// the equivalent intrinsic expression, or `None`.
+fn as_minmax(cond: &Cond, tval: &Expr, eval: &Expr) -> Option<Expr> {
+    let Cond::Cmp { op, lhs, rhs } = cond else {
+        return None;
+    };
+    let straight = tval == rhs && eval == lhs; // select(l op r, r, l)
+    let flipped = tval == lhs && eval == rhs; // select(l op r, l, r)
+    let l = Box::new(lhs.clone());
+    let r = Box::new(rhs.clone());
+    match (op, straight, flipped) {
+        (CmpOp::Lt | CmpOp::Le, true, _) => Some(Expr::Max(l, r)),
+        (CmpOp::Gt | CmpOp::Ge, true, _) => Some(Expr::Min(l, r)),
+        (CmpOp::Lt | CmpOp::Le, _, true) => Some(Expr::Min(l, r)),
+        (CmpOp::Gt | CmpOp::Ge, _, true) => Some(Expr::Max(l, r)),
+        _ => None,
+    }
+}
+
+/// A hammock whose body assigns a *memory* location (`if (c) a[i] = e;`).
+/// These can never be if-converted without masked stores — the shape
+/// behind the paper's "abundant array memory references" limitation — but
+/// they are counted as missed opportunities.
+fn is_store_hammock(then_block: &[Stmt], else_block: &[Stmt]) -> bool {
+    matches!(then_block, [Stmt::Store { .. }])
+        && matches!(else_block, [] | [Stmt::Store { .. }])
+}
+
+/// Match a general single-assignment hammock. Returns
+/// `(var, then_value, else_value, line)`.
+fn match_hammock<'a>(
+    then_block: &'a [Stmt],
+    else_block: &'a [Stmt],
+) -> Option<(&'a str, &'a Expr, Option<&'a Expr>, usize)> {
+    if then_block.len() != 1 {
+        return None;
+    }
+    let Stmt::Assign { name, value, line } = &then_block[0] else {
+        return None;
+    };
+    match else_block {
+        [] => Some((name, value, None, *line)),
+        [Stmt::Assign { name: ename, value: evalue, .. }] if ename == name => {
+            Some((name, value, Some(evalue), *line))
+        }
+        _ => None,
+    }
+}
+
+fn convert_block(block: &mut Vec<Stmt>, allow_select: bool, stats: &mut (usize, usize)) {
+    let mut safe = SafeLoads::default();
+    for stmt in block.iter_mut() {
+        // First, recurse into nested structures and attempt conversion of
+        // this statement itself.
+        let replacement: Option<Stmt> = match stmt {
+            Stmt::If { cond, then_block, else_block, .. } => {
+                convert_block(then_block, allow_select, stats);
+                convert_block(else_block, allow_select, stats);
+                // Try the max/min pattern (any predicated target).
+                if let Some(repl) = match_minmax(cond, then_block, else_block) {
+                    // Operand safety: the compared value must be safe to
+                    // evaluate unconditionally (it already is — it was in
+                    // the condition), and the assigned value equals it.
+                    let mut cond_safe = safe_with_cond(&safe, cond);
+                    let ok = match &repl {
+                        Stmt::Assign { value: Expr::Max(a, b) | Expr::Min(a, b), .. } => {
+                            expr_safe(a, &mut cond_safe) && expr_safe(b, &mut cond_safe)
+                        }
+                        _ => false,
+                    };
+                    if ok {
+                        stats.0 += 1;
+                        Some(repl)
+                    } else {
+                        stats.1 += 1;
+                        None
+                    }
+                } else if !matches!(cond, Cond::Cmp { .. }) {
+                    // Compound conditions keep their short-circuit
+                    // branches; a matching hammock shape is still a missed
+                    // opportunity worth counting.
+                    if match_hammock(then_block, else_block).is_some() {
+                        stats.1 += 1;
+                    }
+                    None
+                } else {
+                    // General hammock: needs isel.
+                    match match_hammock(then_block, else_block) {
+                        Some((name, tval, eval_opt, line)) if allow_select => {
+                            let mut cond_safe = safe_with_cond(&safe, cond);
+                            let else_val = eval_opt.cloned().unwrap_or(Expr::Var(name.to_string()));
+                            if expr_safe(tval, &mut cond_safe)
+                                && expr_safe(&else_val, &mut cond_safe)
+                            {
+                                stats.0 += 1;
+                                // Recognize min/max shapes among general
+                                // hammocks so the selected operands are
+                                // evaluated once (the compare reuses them)
+                                // instead of appearing in both the compare
+                                // and the select.
+                                let value = as_minmax(cond, tval, &else_val)
+                                    .unwrap_or(Expr::Select {
+                                        cond: Box::new(cond.clone()),
+                                        then_val: Box::new(tval.clone()),
+                                        else_val: Box::new(else_val),
+                                    });
+                                Some(Stmt::Assign { name: name.to_string(), value, line })
+                            } else {
+                                stats.1 += 1;
+                                None
+                            }
+                        }
+                        Some(_) => {
+                            stats.1 += 1;
+                            None
+                        }
+                        None => {
+                            if is_store_hammock(then_block, else_block) {
+                                stats.1 += 1;
+                            }
+                            None
+                        }
+                    }
+                }
+            }
+            Stmt::While { body, .. } => {
+                convert_block(body, allow_select, stats);
+                None
+            }
+            _ => None,
+        };
+        if let Some(repl) = replacement {
+            *stmt = repl;
+        }
+
+        // Then update the safety state as this statement executes.
+        match stmt {
+            Stmt::Let { name, value, .. } | Stmt::Assign { name, value, .. } => {
+                if value.has_call() {
+                    safe.kill_all();
+                } else {
+                    safe.add_expr(value);
+                }
+                let name = name.clone();
+                safe.kill_var(&name);
+            }
+            Stmt::Store { .. } | Stmt::CallStmt { .. } => {
+                // Conservative aliasing: any store (or callee) may alias
+                // any known-safe load.
+                safe.kill_all();
+            }
+            Stmt::If { .. } | Stmt::While { .. } => {
+                // Inner blocks may assign anything.
+                safe.kill_all();
+            }
+            Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// The safe set extended with the loads the condition itself performs
+/// (they execute unconditionally when the hammock is reached).
+fn safe_with_cond(base: &SafeLoads, cond: &Cond) -> SafeLoads {
+    let mut s = SafeLoads { entries: base.entries.clone() };
+    s.add_cond(cond);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::IfConversion::{Full, MaxPatterns};
+
+    fn convert(src: &str, mode: IfConversion) -> (Program, usize, usize) {
+        let mut p = parse(&lex(src).unwrap()).unwrap();
+        let (c, r) = run(&mut p, mode);
+        (p, c, r)
+    }
+
+    fn body(p: &Program) -> &[Stmt] {
+        &p.functions[0].body
+    }
+
+    #[test]
+    fn max_pattern_converts() {
+        let (p, c, r) = convert(
+            "fn f(a: int, b: int) -> int { if (a < b) { a = b; } return a; }",
+            MaxPatterns,
+        );
+        assert_eq!((c, r), (1, 0));
+        let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!("{:?}", body(&p)[0]) };
+        assert!(matches!(value, Expr::Max(_, _)));
+    }
+
+    #[test]
+    fn reversed_max_pattern_converts() {
+        let (p, c, _) = convert(
+            "fn f(a: int, b: int) -> int { if (b > a) { a = b; } return a; }",
+            MaxPatterns,
+        );
+        assert_eq!(c, 1);
+        let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!() };
+        assert!(matches!(value, Expr::Max(_, _)));
+    }
+
+    #[test]
+    fn min_pattern_converts() {
+        let (p, c, _) = convert(
+            "fn f(a: int, b: int) -> int { if (a > b) { a = b; } return a; }",
+            MaxPatterns,
+        );
+        assert_eq!(c, 1);
+        let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!() };
+        assert!(matches!(value, Expr::Min(_, _)));
+    }
+
+    #[test]
+    fn general_hammock_needs_isel_target() {
+        let src = "fn f(a: int, b: int) -> int { if (a < 0) { b = a + 1; } return b; }";
+        let (p, c, r) = convert(src, Full);
+        assert_eq!((c, r), (1, 0));
+        let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!() };
+        assert!(matches!(value, Expr::Select { .. }));
+
+        let (p2, c2, r2) = convert(src, MaxPatterns);
+        assert_eq!((c2, r2), (0, 1));
+        assert!(matches!(&body(&p2)[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn if_else_minmax_shape_becomes_min() {
+        // `x = a < b ? a : b` *is* min(a, b); the pass recognizes it so the
+        // operands are evaluated once.
+        let (p, c, _) = convert(
+            "fn f(a: int, b: int) -> int {
+                let x = 0;
+                if (a < b) { x = a; } else { x = b; }
+                return x;
+            }",
+            Full,
+        );
+        assert_eq!(c, 1);
+        let Stmt::Assign { value, .. } = &body(&p)[1] else { panic!() };
+        assert!(matches!(value, Expr::Min(_, _)), "{value:?}");
+    }
+
+    #[test]
+    fn if_else_general_hammock_converts_to_select() {
+        let (p, c, _) = convert(
+            "fn f(a: int, b: int) -> int {
+                let x = 0;
+                if (a < b) { x = a + 1; } else { x = b - 1; }
+                return x;
+            }",
+            Full,
+        );
+        assert_eq!(c, 1);
+        let Stmt::Assign { value, .. } = &body(&p)[1] else { panic!() };
+        let Expr::Select { else_val, .. } = value else { panic!("{value:?}") };
+        assert!(matches!(else_val.as_ref(), Expr::Bin { .. }));
+    }
+
+    #[test]
+    fn unproven_load_blocks_conversion() {
+        // x[i] was never loaded before the hammock: cannot speculate.
+        let (p, c, r) = convert(
+            "fn f(x: ptr, i: int, c: int) -> int {
+                let v = 0;
+                if (c > 0) { v = x[i]; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (0, 1));
+        assert!(matches!(&body(&p)[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn prior_identical_load_allows_conversion() {
+        // The paper's safe case: the same access already executed.
+        let (_, c, r) = convert(
+            "fn f(x: ptr, i: int, c: int) -> int {
+                let v = x[i];
+                if (c > 0) { v = x[i] + 1; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (1, 0));
+    }
+
+    #[test]
+    fn load_in_condition_is_safe() {
+        // `if (x[i-1] > C) c = x[i];` from the paper — but here the
+        // then-load matches a condition load, so it converts.
+        let (_, c, r) = convert(
+            "fn f(x: ptr, i: int) -> int {
+                let v = 0;
+                if (x[i] > 3) { v = x[i]; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (1, 0));
+    }
+
+    #[test]
+    fn papers_unprovable_example_is_rejected() {
+        // `if (x[i-1] > C) c = x[i];` — x[i] never executed; rejected.
+        let (_, c, r) = convert(
+            "fn f(x: ptr, i: int) -> int {
+                let v = 0;
+                if (x[i - 1] > 3) { v = x[i]; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (0, 1));
+    }
+
+    #[test]
+    fn intervening_store_kills_safety() {
+        // The aliasing rule: a store between the load and the hammock.
+        let (_, c, r) = convert(
+            "fn f(x: ptr, y: ptr, i: int, c: int) -> int {
+                let v = x[i];
+                y[i] = 7;
+                if (c > 0) { v = x[i] + 1; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (0, 1));
+    }
+
+    #[test]
+    fn index_reassignment_kills_safety() {
+        let (_, c, r) = convert(
+            "fn f(x: ptr, i: int, c: int) -> int {
+                let v = x[i];
+                i = i + 1;
+                if (c > 0) { v = x[i] + 1; }
+                return v;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (0, 1));
+    }
+
+    #[test]
+    fn register_only_hammocks_always_convert() {
+        let (_, c, r) = convert(
+            "fn f(a: int, b: int, d: int) -> int {
+                let x = a + b;
+                if (x < 0) { x = 0; }
+                if (d < x) { d = x; }
+                return d;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (2, 0));
+    }
+
+    #[test]
+    fn hammocks_inside_loops_convert() {
+        let (p, c, _) = convert(
+            "fn f(n: int) -> int {
+                let best = 0;
+                let i = 0;
+                while (i < n) {
+                    let v = i * 3;
+                    if (best < v) { best = v; }
+                    i = i + 1;
+                }
+                return best;
+            }",
+            MaxPatterns,
+        );
+        assert_eq!(c, 1);
+        let Stmt::While { body: wb, .. } = &body(&p)[2] else { panic!() };
+        assert!(matches!(&wb[1], Stmt::Assign { value: Expr::Max(_, _), .. }));
+    }
+
+    #[test]
+    fn compound_conditions_not_converted() {
+        let (_, c, r) = convert(
+            "fn f(a: int, b: int) -> int {
+                if (a < 0 && b < 0) { a = 0; }
+                return a;
+            }",
+            Full,
+        );
+        assert_eq!(c, 0);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn multi_statement_bodies_left_alone() {
+        let (p, c, _) = convert(
+            "fn f(a: int, b: int) -> int {
+                if (a < 0) { a = 0; b = 1; }
+                return a + b;
+            }",
+            Full,
+        );
+        assert_eq!(c, 0);
+        assert!(matches!(&body(&p)[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn division_is_never_speculated() {
+        let (_, c, r) = convert(
+            "fn f(a: int, b: int) -> int {
+                let x = 0;
+                if (b > 0) { x = a / b; }
+                return x;
+            }",
+            Full,
+        );
+        assert_eq!((c, r), (0, 1));
+    }
+}

@@ -1,0 +1,400 @@
+//! A direct AST interpreter for the kernel language.
+//!
+//! The interpreter defines the language's reference semantics (32-bit
+//! wrapping arithmetic, PowerPC-style shift/division behaviour) and exists
+//! for differential testing: any program must produce identical results
+//! when (a) interpreted, (b) compiled to the baseline ISA and simulated,
+//! and (c) compiled with any predication mode and simulated. The
+//! workspace's integration tests run exactly that comparison on random
+//! programs.
+
+use crate::ast::*;
+use crate::CompileError;
+use std::collections::HashMap;
+
+/// Interpreter memory: word- and byte-addressable, like the simulated
+/// machine (little-endian, flat).
+#[derive(Debug, Clone)]
+pub struct InterpMemory {
+    bytes: Vec<u8>,
+}
+
+impl InterpMemory {
+    /// Zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        InterpMemory { bytes: vec![0; size] }
+    }
+
+    /// Read the word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (interpreted programs are trusted
+    /// test inputs).
+    pub fn load_word(&self, addr: u32) -> i32 {
+        let a = addr as usize;
+        i32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("in bounds"))
+    }
+
+    /// Write the word at byte address `addr`.
+    pub fn store_word(&mut self, addr: u32, v: i32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read the byte at `addr`, zero-extended.
+    pub fn load_byte(&self, addr: u32) -> i32 {
+        self.bytes[addr as usize] as i32
+    }
+
+    /// Write the low byte of `v` at `addr`.
+    pub fn store_byte(&mut self, addr: u32, v: i32) {
+        self.bytes[addr as usize] = v as u8;
+    }
+
+    /// Bulk-write words (host-side setup).
+    pub fn write_words(&mut self, addr: u32, words: &[i32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.store_word(addr + 4 * i as u32, w);
+        }
+    }
+
+    /// Bulk-write bytes.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+}
+
+struct Frame {
+    vars: HashMap<String, i32>,
+    types: HashMap<String, Ty>,
+}
+
+enum Flow {
+    Normal,
+    Return(i32),
+}
+
+/// Interpret `program`, calling `main` with `args`, against `memory`.
+/// Returns `main`'s result (0 if it returns no value).
+///
+/// # Errors
+///
+/// Returns [`CompileError`]-style diagnostics for the same conditions the
+/// compiler rejects (unknown variables/functions, arity mismatches), plus
+/// a step-budget overrun for non-terminating programs.
+pub fn run(
+    program: &Program,
+    args: &[i32],
+    memory: &mut InterpMemory,
+    step_budget: u64,
+) -> Result<i32, CompileError> {
+    let mut interp = Interp { program, memory, steps: step_budget };
+    interp.call("main", args, 0)
+}
+
+struct Interp<'a> {
+    program: &'a Program,
+    memory: &'a mut InterpMemory,
+    steps: u64,
+}
+
+impl Interp<'_> {
+    fn err(&self, line: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+
+    fn tick(&mut self, line: usize) -> Result<(), CompileError> {
+        if self.steps == 0 {
+            return Err(self.err(line, "interpreter step budget exhausted"));
+        }
+        self.steps -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[i32], line: usize) -> Result<i32, CompileError> {
+        let f = self
+            .program
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| self.err(line, format!("unknown function {name:?}")))?;
+        if f.params.len() != args.len() {
+            return Err(self.err(
+                line,
+                format!("{name} expects {} arguments, got {}", f.params.len(), args.len()),
+            ));
+        }
+        let mut frame = Frame { vars: HashMap::new(), types: HashMap::new() };
+        for (p, &v) in f.params.iter().zip(args) {
+            frame.vars.insert(p.name.clone(), v);
+            frame.types.insert(p.name.clone(), p.ty);
+        }
+        match self.block(&f.body, &mut frame)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(0),
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, CompileError> {
+        for s in stmts {
+            match self.stmt(s, frame)? {
+                Flow::Normal => {}
+                ret => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<Flow, CompileError> {
+        match s {
+            Stmt::Let { name, ty, value, line } => {
+                self.tick(*line)?;
+                let v = self.expr(value, frame, *line)?;
+                frame.vars.insert(name.clone(), v);
+                frame.types.insert(name.clone(), *ty);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { name, value, line } => {
+                self.tick(*line)?;
+                let v = self.expr(value, frame, *line)?;
+                if !frame.vars.contains_key(name) {
+                    return Err(self.err(*line, format!("unknown variable {name:?}")));
+                }
+                frame.vars.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Store { array, index, value, line } => {
+                self.tick(*line)?;
+                let base = *frame
+                    .vars
+                    .get(array)
+                    .ok_or_else(|| self.err(*line, format!("unknown array {array:?}")))?;
+                let ty = frame.types.get(array).copied().unwrap_or(Ty::WordPtr);
+                let idx = self.expr(index, frame, *line)?;
+                let v = self.expr(value, frame, *line)?;
+                match ty {
+                    Ty::BytePtr => self.memory.store_byte((base).wrapping_add(idx) as u32, v),
+                    _ => self
+                        .memory
+                        .store_word((base).wrapping_add(idx.wrapping_mul(4)) as u32, v),
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_block, else_block, line } => {
+                self.tick(*line)?;
+                if self.cond(cond, frame, *line)? {
+                    self.block(then_block, frame)
+                } else {
+                    self.block(else_block, frame)
+                }
+            }
+            Stmt::While { cond, body, line } => {
+                while self.cond(cond, frame, *line)? {
+                    self.tick(*line)?;
+                    match self.block(body, frame)? {
+                        Flow::Normal => {}
+                        ret => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, line } => {
+                self.tick(*line)?;
+                let v = self.expr(value, frame, *line)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::CallStmt { call, line } => {
+                self.tick(*line)?;
+                let _ = self.expr(call, frame, *line)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn cond(&mut self, c: &Cond, frame: &mut Frame, line: usize) -> Result<bool, CompileError> {
+        Ok(match c {
+            Cond::Cmp { op, lhs, rhs } => {
+                let a = self.expr(lhs, frame, line)?;
+                let b = self.expr(rhs, frame, line)?;
+                match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                }
+            }
+            Cond::And(a, b) => self.cond(a, frame, line)? && self.cond(b, frame, line)?,
+            Cond::Or(a, b) => self.cond(a, frame, line)? || self.cond(b, frame, line)?,
+            Cond::Not(inner) => !self.cond(inner, frame, line)?,
+        })
+    }
+
+    fn expr(&mut self, e: &Expr, frame: &mut Frame, line: usize) -> Result<i32, CompileError> {
+        Ok(match e {
+            Expr::Lit(v) => *v as i32,
+            Expr::Var(name) => *frame
+                .vars
+                .get(name)
+                .ok_or_else(|| self.err(line, format!("unknown variable {name:?}")))?,
+            Expr::Index { array, index } => {
+                let base = *frame
+                    .vars
+                    .get(array)
+                    .ok_or_else(|| self.err(line, format!("unknown array {array:?}")))?;
+                let ty = frame.types.get(array).copied().unwrap_or(Ty::WordPtr);
+                let idx = self.expr(index, frame, line)?;
+                match ty {
+                    Ty::BytePtr => self.memory.load_byte(base.wrapping_add(idx) as u32),
+                    _ => self.memory.load_word(base.wrapping_add(idx.wrapping_mul(4)) as u32),
+                }
+            }
+            Expr::Neg(inner) => self.expr(inner, frame, line)?.wrapping_neg(),
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.expr(lhs, frame, line)?;
+                let b = self.expr(rhs, frame, line)?;
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    // divw semantics: undefined cases yield 0.
+                    BinOp::Div => {
+                        if b == 0 || (a == i32::MIN && b == -1) {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    // slw/sraw semantics: 6-bit amount, >31 saturates.
+                    BinOp::Shl => {
+                        let sh = (b as u32) & 0x3F;
+                        if sh > 31 {
+                            0
+                        } else {
+                            ((a as u32) << sh) as i32
+                        }
+                    }
+                    BinOp::Shr => {
+                        let sh = (b as u32) & 0x3F;
+                        if sh > 31 {
+                            a >> 31
+                        } else {
+                            a >> sh
+                        }
+                    }
+                }
+            }
+            Expr::Max(x, y) => {
+                let a = self.expr(x, frame, line)?;
+                let b = self.expr(y, frame, line)?;
+                a.max(b)
+            }
+            Expr::Min(x, y) => {
+                let a = self.expr(x, frame, line)?;
+                let b = self.expr(y, frame, line)?;
+                a.min(b)
+            }
+            Expr::Select { cond, then_val, else_val } => {
+                // Both sides evaluate (that is the point of predication);
+                // order matches codegen: then, else, condition.
+                let t = self.expr(then_val, frame, line)?;
+                let f = self.expr(else_val, frame, line)?;
+                if self.cond(cond, frame, line)? {
+                    t
+                } else {
+                    f
+                }
+            }
+            Expr::Call { name, args } => {
+                let vals: Vec<i32> = args
+                    .iter()
+                    .map(|a| self.expr(a, frame, line))
+                    .collect::<Result<_, _>>()?;
+                self.call(name, &vals, line)?
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn interp(src: &str, args: &[i32]) -> i32 {
+        let p = parse(&lex(src).unwrap()).unwrap();
+        let mut mem = InterpMemory::new(1 << 16);
+        run(&p, args, &mut mem, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = "
+            fn main(n: int) -> int {
+                let s = 0;
+                let i = 1;
+                while (i <= n) {
+                    if (i / 2 * 2 == i) { s = s + i; }
+                    i = i + 1;
+                }
+                return s;
+            }";
+        // Sum of evens 1..=10 = 30.
+        assert_eq!(interp(src, &[10]), 30);
+    }
+
+    #[test]
+    fn memory_and_types() {
+        let src = "
+            fn main(w: ptr, b: bptr) -> int {
+                w[0] = 300;
+                b[0] = 300;
+                return w[0] + b[0];
+            }";
+        let p = parse(&lex(src).unwrap()).unwrap();
+        let mut mem = InterpMemory::new(1 << 16);
+        // 300 truncates to 44 in a byte.
+        assert_eq!(run(&p, &[0x100, 0x200], &mut mem, 10_000).unwrap(), 300 + 44);
+    }
+
+    #[test]
+    fn calls_and_recursion_free_chains() {
+        let src = "
+            fn double(x: int) -> int { return x * 2; }
+            fn main(x: int) -> int { let y = double(x); return double(y); }";
+        assert_eq!(interp(src, &[5]), 20);
+    }
+
+    #[test]
+    fn wrapping_and_division_rules() {
+        assert_eq!(interp("fn main() -> int { return 2147483647 + 1; }", &[]), i32::MIN);
+        assert_eq!(interp("fn main(a: int) -> int { return a / 0; }", &[5]), 0);
+        assert_eq!(
+            interp("fn main(a: int, b: int) -> int { return a / b; }", &[i32::MIN, -1]),
+            0
+        );
+        assert_eq!(interp("fn main(a: int) -> int { return a >> 40; }", &[-8]), -1);
+        assert_eq!(interp("fn main(a: int) -> int { return a << 40; }", &[-8]), 0);
+    }
+
+    #[test]
+    fn step_budget_catches_infinite_loops() {
+        let src = "fn main() -> int { let x = 0; while (x < 1) { x = x * 1; } return x; }";
+        let p = parse(&lex(src).unwrap()).unwrap();
+        let mut mem = InterpMemory::new(1024);
+        let e = run(&p, &[], &mut mem, 1000).unwrap_err();
+        assert!(e.message.contains("budget"));
+    }
+
+    #[test]
+    fn max_min_intrinsics() {
+        assert_eq!(interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[3, 99]), 10);
+        assert_eq!(interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[-5, -9]), -5);
+    }
+}

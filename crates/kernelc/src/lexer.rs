@@ -1,0 +1,171 @@
+//! Tokenizer for the kernel language.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword text.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator, e.g. `"+"`, `"<="`, `"("`.
+    Punct(&'static str),
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS2: &[&str] = &["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "->"];
+const PUNCTS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
+    ",", ";", ":", "?",
+];
+
+/// Tokenize `source`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token { tok: Tok::Ident(text[start..i].to_string()), line });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                let hex = text[i..].starts_with("0x") || text[i..].starts_with("0X");
+                if hex {
+                    i += 2;
+                }
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let lit = &text[start..i];
+                let v = if hex {
+                    i64::from_str_radix(&lit[2..], 16)
+                } else {
+                    lit.parse::<i64>()
+                }
+                .map_err(|_| CompileError {
+                    line,
+                    message: format!("malformed integer literal {lit:?}"),
+                })?;
+                out.push(Token { tok: Tok::Int(v), line });
+                continue;
+            }
+            if i + 1 < bytes.len() {
+                let two = &text[i..i + 2];
+                if let Some(&p) = PUNCTS2.iter().find(|&&p| p == two) {
+                    out.push(Token { tok: Tok::Punct(p), line });
+                    i += 2;
+                    continue;
+                }
+            }
+            let one = &text[i..i + 1];
+            if let Some(&p) = PUNCTS1.iter().find(|&&p| p == one) {
+                out.push(Token { tok: Tok::Punct(p), line });
+                i += 1;
+                continue;
+            }
+            return Err(CompileError { line, message: format!("unexpected character {c:?}") });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_ints_puncts() {
+        assert_eq!(
+            toks("let x1 = 0x1F + 2;"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x1".into()),
+                Tok::Punct("="),
+                Tok::Int(31),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("a <= b >> 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(toks("x // comment\n// whole line\ny"), vec![
+            Tok::Ident("x".into()),
+            Tok::Ident("y".into()),
+        ]);
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        let e = lex("a @ b").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        let e = lex("0xZZ").unwrap_err();
+        assert!(e.message.contains("malformed"));
+    }
+}

@@ -1,0 +1,196 @@
+//! `kernelc` — an optimizing compiler for a small C-like kernel language,
+//! targeting the PowerPC-subset ISA.
+//!
+//! The paper modifies gcc 4.1.1's if-conversion pass to emit the proposed
+//! `max` and `isel` instructions, and compares *hand-inserted* predication
+//! against *compiler-generated* predication (Figure 3). This crate plays
+//! the role of that modified gcc:
+//!
+//! * the **language** ([`ast`], [`parser`]) is a small C subset with `int`
+//!   scalars, word/byte arrays, `if`/`while`/ternary-free control flow,
+//!   function calls, and an explicit `max(a, b)` intrinsic that models the
+//!   paper's hand-inserted predication;
+//! * the **if-conversion pass** ([`ifconv`]) rewrites control-flow
+//!   hammocks (`if (c) x = e;`, `if (c) x = e1; else x = e2;`, and the
+//!   `if (a < b) a = b;` max pattern) into predicated selects, with the
+//!   same conservative safety analysis the paper describes: a load may be
+//!   executed unconditionally only if the *same* access provably executed
+//!   earlier with no intervening (potentially aliased) store — otherwise
+//!   the hammock is left intact, which is exactly why the compiler loses
+//!   to hand insertion on Clustalw and Hmmer;
+//! * the **code generator** ([`codegen`]) emits textual PowerPC-subset
+//!   assembly (assembled by [`ppc_asm`]) and lowers `max`/select according
+//!   to [`Target`]: a fused `maxw`, a `cmp`+`isel` pair (one instruction
+//!   longer — the paper's explanation for isel's smaller win), or a
+//!   compare-and-branch sequence on the baseline ISA.
+//!
+//! # Example
+//!
+//! ```
+//! use kernelc::{compile, Options, Target};
+//!
+//! let src = "
+//! fn main(a: int, b: int) -> int {
+//!     let best = 0;
+//!     if (best < a) { best = a; }
+//!     if (best < b) { best = b; }
+//!     return best;
+//! }
+//! ";
+//! // Baseline: the hammocks stay as compare-and-branch.
+//! let base = compile(src, &Options::baseline())?;
+//! assert!(!base.asm.contains("maxw"));
+//! // Compiler if-conversion with the max instruction: branchless.
+//! let conv = compile(src, &Options::compiler_max())?;
+//! assert!(conv.asm.contains("maxw"));
+//! assert_eq!(conv.converted_hammocks, 2);
+//! # Ok::<(), kernelc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod fold;
+pub mod ifconv;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+use std::fmt;
+
+/// A compilation error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Which predicated instructions the target machine offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Stock POWER5: no predication; `max()` and converted hammocks lower
+    /// to compare-and-branch.
+    Baseline,
+    /// POWER5 + `isel` (and the `cmp` it requires).
+    Isel,
+    /// POWER5 + the hypothetical fused `maxw` *and* `isel` (the paper's
+    /// fully extended machine; `max()` lowers to one `maxw`, general
+    /// selects use `isel`).
+    Max,
+}
+
+/// How aggressively the if-conversion pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfConversion {
+    /// Pass disabled: only explicit `max()` intrinsics are predicated
+    /// (the paper's *hand-inserted* mode).
+    Off,
+    /// Convert only min/max patterns with plain-variable operands — the
+    /// paper's max-emitting pattern matcher, which expression operands and
+    /// hoisted loads easily "obfuscate".
+    MaxPatterns,
+    /// Additionally convert general single-assignment hammocks to `isel`
+    /// selects ("isel is a more general solution that may be applied in
+    /// more situations than max").
+    Full,
+}
+
+/// Compiler options: target ISA plus the if-conversion mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Target ISA variant.
+    pub target: Target,
+    /// If-conversion aggressiveness.
+    pub if_convert: IfConversion,
+}
+
+impl Options {
+    /// Stock compiler, stock POWER5 (the paper's baseline bars).
+    pub fn baseline() -> Self {
+        Options { target: Target::Baseline, if_convert: IfConversion::Off }
+    }
+
+    /// Hand-inserted `max` instructions (sources use the `max()`
+    /// intrinsic), no compiler conversion.
+    pub fn hand_max() -> Self {
+        Options { target: Target::Max, if_convert: IfConversion::Off }
+    }
+
+    /// Hand-inserted `isel` (the same `max()` intrinsic sites lowered to
+    /// `cmp` + `isel`).
+    pub fn hand_isel() -> Self {
+        Options { target: Target::Isel, if_convert: IfConversion::Off }
+    }
+
+    /// Compiler if-conversion emitting `maxw` for recognized max patterns.
+    pub fn compiler_max() -> Self {
+        Options { target: Target::Max, if_convert: IfConversion::MaxPatterns }
+    }
+
+    /// Compiler if-conversion emitting `isel` (max patterns and general
+    /// hammocks alike).
+    pub fn compiler_isel() -> Self {
+        Options { target: Target::Isel, if_convert: IfConversion::Full }
+    }
+
+    /// The paper's "Combination": hand-inserted `max()` sources *plus*
+    /// the compiler's general `isel` if-conversion for everything else.
+    pub fn combination() -> Self {
+        Options { target: Target::Max, if_convert: IfConversion::Full }
+    }
+}
+
+/// A successful compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Textual PowerPC-subset assembly (assemble with [`ppc_asm`]).
+    pub asm: String,
+    /// Function names in definition order.
+    pub functions: Vec<String>,
+    /// Number of hammocks the if-conversion pass converted.
+    pub converted_hammocks: usize,
+    /// Number of hammocks the pass examined but refused (safety).
+    pub rejected_hammocks: usize,
+}
+
+/// Compile a kernel-language program to assembly.
+///
+/// The emitted program contains a `__start` symbol that calls `main` and
+/// executes `trap` on return, so the image runs directly on a
+/// [`power5-sim` machine](https://docs.rs/power5-sim).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for syntax errors, unknown identifiers, type
+/// errors, or resource exhaustion (too many locals for the register file).
+pub fn compile(source: &str, options: &Options) -> Result<Compiled, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let mut program = parser::parse(&tokens)?;
+    let (converted, rejected) = if options.if_convert != IfConversion::Off
+        && options.target != Target::Baseline
+    {
+        ifconv::run(&mut program, options.if_convert)
+    } else {
+        (0, 0)
+    };
+    fold::run(&mut program);
+    let asm = codegen::emit(&program, options.target)?;
+    Ok(Compiled {
+        asm,
+        functions: program.functions.iter().map(|f| f.name.clone()).collect(),
+        converted_hammocks: converted,
+        rejected_hammocks: rejected,
+    })
+}

@@ -1,0 +1,568 @@
+//! Recursive-descent parser for the kernel language.
+//!
+//! Grammar (EBNF, whitespace-insensitive):
+//!
+//! ```text
+//! program   := function+
+//! function  := "fn" ident "(" [param {"," param}] ")" ["->" "int"] block
+//! param     := ident ":" ("int" | "ptr" | "bptr")
+//! block     := "{" stmt* "}"
+//! stmt      := "let" ident "=" expr ";"
+//!            | "if" "(" cond ")" block ["else" block]
+//!            | "while" "(" cond ")" block
+//!            | "return" expr ";"
+//!            | ident "=" expr ";"
+//!            | ident "[" expr "]" "=" expr ";"
+//!            | ident "(" args ")" ";"
+//! cond      := orcond
+//! orcond    := andcond {"||" andcond}
+//! andcond   := atomcond {"&&" atomcond}
+//! atomcond  := "!" atomcond | "(" cond ")" | expr cmpop expr
+//! expr      := shift {("&"|"|"|"^") shift}
+//! shift     := additive {("<<"|">>") additive}
+//! additive  := term {("+"|"-") term}
+//! term      := unary {("*"|"/") unary}
+//! unary     := "-" unary | primary
+//! primary   := literal | ident | ident "[" expr "]" | "(" expr ")"
+//!            | "max" "(" expr "," expr ")" | "min" "(" expr "," expr ")"
+//!            | ident "(" args ")"
+//! ```
+//!
+//! Comparisons appear only in condition position — arithmetic expressions
+//! never materialize booleans, so the baseline code generator never needs
+//! branchy boolean materialization and every conditional branch in the
+//! output corresponds to a source-level `if`/`while`.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parse a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any syntax violation.
+pub fn parse(toks: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        functions.push(p.function()?);
+    }
+    if functions.is_empty() {
+        return Err(CompileError { line: 1, message: "empty program".into() });
+    }
+    Ok(Program { functions })
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, CompileError> {
+        let line = self.line();
+        if !self.eat_keyword("fn") {
+            return Err(self.err("expected `fn`"));
+        }
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                self.expect_punct(":")?;
+                let tyname = self.ident()?;
+                let ty = match tyname.as_str() {
+                    "int" => Ty::Int,
+                    "ptr" => Ty::WordPtr,
+                    "bptr" => Ty::BytePtr,
+                    other => return Err(self.err(format!("unknown type {other:?}"))),
+                };
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let returns_value = if self.eat_punct("->") {
+            let t = self.ident()?;
+            if t != "int" {
+                return Err(self.err("only `int` can be returned"));
+            }
+            true
+        } else {
+            false
+        };
+        let body = self.block()?;
+        Ok(Function { name, params, returns_value, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_keyword("let") {
+            let name = self.ident()?;
+            let ty = if self.eat_punct(":") {
+                match self.ident()?.as_str() {
+                    "int" => Ty::Int,
+                    "ptr" => Ty::WordPtr,
+                    "bptr" => Ty::BytePtr,
+                    other => {
+                        return Err(self.err(format!("unknown type {other:?}")));
+                    }
+                }
+            } else {
+                Ty::Int
+            };
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let { name, ty, value, line });
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.cond()?;
+            self.expect_punct(")")?;
+            let then_block = self.block()?;
+            let else_block = if self.eat_keyword("else") {
+                if matches!(self.peek(), Some(Tok::Ident(s)) if s == "if") {
+                    // else-if chains nest.
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_block, else_block, line });
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.cond()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.eat_keyword("return") {
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value, line });
+        }
+        // Assignment, array store, or call statement.
+        let name = self.ident()?;
+        if self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Store { array: name, index, value, line });
+        }
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Assign { name, value, line });
+        }
+        if self.eat_punct("(") {
+            let args = self.args()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::CallStmt { call: Expr::Call { name, args }, line });
+        }
+        Err(self.err(format!("expected statement after {name:?}")))
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(")") {
+                return Ok(args);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, CompileError> {
+        let mut lhs = self.and_cond()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_cond()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, CompileError> {
+        let mut lhs = self.atom_cond()?;
+        while self.eat_punct("&&") {
+            let rhs = self.atom_cond()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom_cond(&mut self) -> Result<Cond, CompileError> {
+        if self.eat_punct("!") {
+            return Ok(Cond::Not(Box::new(self.atom_cond()?)));
+        }
+        // Parenthesized condition vs parenthesized expression: try a
+        // condition first by look-ahead (save/restore position).
+        if matches!(self.peek(), Some(Tok::Punct("("))) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(c) = self.cond() {
+                if self.eat_punct(")") {
+                    // Could still be `(expr) < (expr)` misparsed; a
+                    // condition followed by a comparison operator means we
+                    // actually consumed only the lhs expression — handled
+                    // by falling through when the next token is a cmp op.
+                    if !self.peek_is_cmp() {
+                        return Ok(c);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            Some(Tok::Punct("==")) => CmpOp::Eq,
+            Some(Tok::Punct("!=")) => CmpOp::Ne,
+            Some(Tok::Punct("<")) => CmpOp::Lt,
+            Some(Tok::Punct("<=")) => CmpOp::Le,
+            Some(Tok::Punct(">")) => CmpOp::Gt,
+            Some(Tok::Punct(">=")) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(Cond::Cmp { op, lhs, rhs })
+    }
+
+    fn peek_is_cmp(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Tok::Punct("==" | "!=" | "<" | "<=" | ">" | ">="))
+        )
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("&")) => BinOp::And,
+                Some(Tok::Punct("|")) => BinOp::Or,
+                Some(Tok::Punct("^")) => BinOp::Xor,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("<<")) => BinOp::Shl,
+                Some(Tok::Punct(">>")) => BinOp::Shr,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => BinOp::Add,
+                Some(Tok::Punct("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => BinOp::Mul,
+                Some(Tok::Punct("/")) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(v))
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if (name == "max" || name == "min")
+                    && matches!(self.peek(), Some(Tok::Punct("(")))
+                {
+                    self.pos += 1;
+                    let a = self.expr()?;
+                    self.expect_punct(",")?;
+                    let b = self.expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(if name == "max" {
+                        Expr::Max(Box::new(a), Box::new(b))
+                    } else {
+                        Expr::Min(Box::new(a), Box::new(b))
+                    });
+                }
+                if matches!(self.peek(), Some(Tok::Punct("("))) {
+                    self.pos += 1;
+                    let args = self.args()?;
+                    return Ok(Expr::Call { name, args });
+                }
+                if matches!(self.peek(), Some(Tok::Punct("[")))
+                    && !matches!(self.peek2(), None)
+                {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Index { array: name, index: Box::new(index) });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn minimal_function() {
+        let p = parse_src("fn main() -> int { return 0; }");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert!(p.functions[0].returns_value);
+        assert_eq!(p.functions[0].body.len(), 1);
+    }
+
+    #[test]
+    fn params_with_types() {
+        let p = parse_src("fn f(a: int, v: ptr, s: bptr) { return 0; }");
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].ty, Ty::Int);
+        assert_eq!(f.params[1].ty, Ty::WordPtr);
+        assert_eq!(f.params[2].ty, Ty::BytePtr);
+        assert!(!f.returns_value);
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_shift_over_bitand() {
+        let p = parse_src("fn f() { let x = 1 + 2 * 3 << 1 & 7; }");
+        let Stmt::Let { value, .. } = &p.functions[0].body[0] else { panic!() };
+        // ((1 + (2*3)) << 1) & 7
+        let Expr::Bin { op: BinOp::And, lhs, .. } = value else { panic!("{value:?}") };
+        let Expr::Bin { op: BinOp::Shl, lhs: add, .. } = lhs.as_ref() else { panic!() };
+        let Expr::Bin { op: BinOp::Add, rhs: mul, .. } = add.as_ref() else { panic!() };
+        assert!(matches!(mul.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn if_else_and_while() {
+        let p = parse_src(
+            "fn f(n: int) -> int {
+                let i = 0;
+                while (i < n) {
+                    if (i > 3) { i = i + 2; } else { i = i + 1; }
+                }
+                return i;
+            }",
+        );
+        let body = &p.functions[0].body;
+        assert!(matches!(&body[1], Stmt::While { .. }));
+        let Stmt::While { body: wb, .. } = &body[1] else { panic!() };
+        let Stmt::If { else_block, .. } = &wb[0] else { panic!() };
+        assert_eq!(else_block.len(), 1);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_src(
+            "fn f(x: int) -> int {
+                if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; }
+                return 3;
+            }",
+        );
+        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(&else_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn array_load_and_store() {
+        let p = parse_src("fn f(a: ptr, i: int) { a[i + 1] = a[i] + 2; }");
+        let Stmt::Store { array, value, .. } = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(array, "a");
+        assert!(matches!(value, Expr::Bin { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn max_min_intrinsics() {
+        let p = parse_src("fn f(a: int, b: int) -> int { return max(a, min(b, 0)); }");
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else { panic!() };
+        let Expr::Max(_, inner) = value else { panic!() };
+        assert!(matches!(inner.as_ref(), Expr::Min(_, _)));
+    }
+
+    #[test]
+    fn calls_statement_and_assignment() {
+        let p = parse_src(
+            "fn g(x: int) -> int { return x; }
+             fn main() -> int { g(1); let y = g(2); return y; }",
+        );
+        assert_eq!(p.functions.len(), 2);
+        assert!(matches!(&p.functions[1].body[0], Stmt::CallStmt { .. }));
+    }
+
+    #[test]
+    fn compound_conditions() {
+        let p = parse_src("fn f(a: int, b: int) { while (a < 10 && (b > 0 || !(a == b))) { a = a + 1; } }");
+        let Stmt::While { cond, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(cond, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn parenthesized_expr_as_cmp_operand() {
+        let p = parse_src("fn f(a: int, b: int) { if ((a + b) < 0) { a = 0; } }");
+        let Stmt::If { cond, .. } = &p.functions[0].body[0] else { panic!() };
+        let Cond::Cmp { op: CmpOp::Lt, lhs, .. } = cond else { panic!("{cond:?}") };
+        assert!(matches!(lhs, Expr::Bin { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn error_messages_have_lines() {
+        let toks = lex("fn f() {\n  let x = ;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let e = parse(&lex("").unwrap()).unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    fn comparison_outside_condition_rejected() {
+        let toks = lex("fn f(a: int) { let x = a < 3; }").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+}

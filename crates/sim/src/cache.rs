@@ -1,0 +1,296 @@
+//! Set-associative caches with LRU replacement, and the POWER5 hierarchy.
+
+use crate::config::CacheConfig;
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate (`0.0` when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative cache level with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    // tags[set * ways + way]; stamp holds last-use time (LRU = min).
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    stamp: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache from its geometry. Set counts need not be powers of
+    /// two (the POWER5 L2 has 1536 sets); indexing is modulo the set
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (line size not a power of
+    /// two, or size not divisible into `ways` × sets of `line` bytes).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0 && cfg.ways <= 255, "ways out of range");
+        assert_eq!(cfg.size % (cfg.line * cfg.ways), 0, "size not divisible by way size");
+        let sets = cfg.size / (cfg.line * cfg.ways);
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            cfg,
+            sets,
+            tags: vec![0; sets * cfg.ways],
+            valid: vec![false; sets * cfg.ways],
+            stamp: vec![0; sets * cfg.ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u64) {
+        let line = addr as u64 / self.cfg.line as u64;
+        ((line as usize) % self.sets, line)
+    }
+
+    /// Access the line containing `addr`; returns `true` on hit. A miss
+    /// fills the line (allocate-on-miss for loads and stores alike).
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.cfg.ways;
+        if let Some(hit_way) =
+            (0..self.cfg.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == tag)
+        {
+            self.touch(base, hit_way);
+            return true;
+        }
+        self.stats.misses += 1;
+        // Victim: invalid way if any, else true LRU (oldest stamp).
+        let victim = (0..self.cfg.ways)
+            .find(|&w| !self.valid[base + w])
+            .unwrap_or_else(|| {
+                (0..self.cfg.ways)
+                    .min_by_key(|&w| self.stamp[base + w])
+                    .expect("ways > 0")
+            });
+        self.tags[base + victim] = tag;
+        self.valid[base + victim] = true;
+        self.touch(base, victim);
+        false
+    }
+
+    /// Probe without updating state or statistics.
+    pub fn probe(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways).any(|w| self.valid[base + w] && self.tags[base + w] == tag)
+    }
+
+    fn touch(&mut self, base: usize, way: usize) {
+        self.tick += 1;
+        self.stamp[base + way] = self.tick;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (used when a SMARTS measurement window opens, so
+    /// warm-up accesses don't pollute the measured miss rates).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+/// The L1I/L1D/L2 hierarchy; returns access latencies in cycles.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    memory_latency: u64,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy from per-level geometry.
+    pub fn new(l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig, memory_latency: u64) -> Self {
+        Hierarchy {
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            memory_latency,
+        }
+    }
+
+    /// Instruction fetch of the line containing `addr`: returns the fetch
+    /// latency in cycles.
+    pub fn fetch(&mut self, addr: u32) -> u64 {
+        if self.l1i.access(addr) {
+            self.l1i.config().hit_latency
+        } else if self.l2.access(addr) {
+            self.l1i.config().hit_latency + self.l2.config().hit_latency
+        } else {
+            self.l1i.config().hit_latency + self.l2.config().hit_latency + self.memory_latency
+        }
+    }
+
+    /// Data access at `addr`: returns the load-to-use latency in cycles.
+    /// Stores take the same path (allocate on miss) but their latency is
+    /// absorbed by the store queue in the core model.
+    pub fn data(&mut self, addr: u32) -> u64 {
+        if self.l1d.access(addr) {
+            self.l1d.config().hit_latency
+        } else if self.l2.access(addr) {
+            self.l1d.config().hit_latency + self.l2.config().hit_latency
+        } else {
+            self.l1d.config().hit_latency + self.l2.config().hit_latency + self.memory_latency
+        }
+    }
+
+    /// Reset all statistics.
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig { size: 512, ways: 2, line: 64, hit_latency: 2 })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13F)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 sets * 64 = 256).
+        let (a, b, d) = (0x000, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn associativity_keeps_conflicting_lines() {
+        let mut c = small();
+        c.access(0x000);
+        c.access(0x100);
+        // Both stay resident in a 2-way set.
+        assert!(c.access(0x000));
+        assert!(c.access(0x100));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small();
+        // 16 distinct lines in a 8-line cache, round-robin: ~100% misses.
+        for round in 0..4 {
+            for i in 0..16u32 {
+                let hit = c.access(i * 64);
+                if round > 0 {
+                    assert!(!hit, "line {i} unexpectedly survived");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.stats().miss_rate(), 0.25);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = Hierarchy::new(
+            CacheConfig { size: 512, ways: 2, line: 64, hit_latency: 1 },
+            CacheConfig { size: 512, ways: 2, line: 64, hit_latency: 2 },
+            CacheConfig { size: 4096, ways: 4, line: 64, hit_latency: 10 },
+            100,
+        );
+        // Cold: L1D miss + L2 miss -> 2 + 10 + 100.
+        assert_eq!(h.data(0x40), 112);
+        // Warm L1D.
+        assert_eq!(h.data(0x40), 2);
+        // Evict nothing; a different line cold again, but now L2 also cold.
+        assert_eq!(h.data(0x2000), 112);
+        // Instruction side has its own L1 but shares the (now warm) L2.
+        assert_eq!(h.fetch(0x40), 11);
+        assert_eq!(h.fetch(0x40), 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_victims() {
+        let mut h = Hierarchy::new(
+            CacheConfig { size: 128, ways: 1, line: 64, hit_latency: 1 },
+            CacheConfig { size: 128, ways: 1, line: 64, hit_latency: 2 },
+            CacheConfig { size: 4096, ways: 4, line: 64, hit_latency: 10 },
+            100,
+        );
+        h.data(0x000);
+        h.data(0x080); // evicts 0x000 from the 2-line L1D (same set)
+        h.data(0x000); // L1 miss, L2 hit
+        assert_eq!(h.l1d.stats().misses, 3);
+        assert_eq!(h.l2.stats().misses, 2);
+        assert_eq!(h.data(0x000), 2); // now L1-resident again
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(CacheConfig { size: 384, ways: 2, line: 48, hit_latency: 1 });
+    }
+}

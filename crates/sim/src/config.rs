@@ -1,0 +1,259 @@
+//! Core configuration: the knobs the paper's experiments turn.
+
+use crate::predictor::PredictorKind;
+
+/// Configuration of the branch target address cache (paper Section IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtacConfig {
+    /// Number of entries (the paper uses 8).
+    pub entries: usize,
+    /// Minimum score at which the BTAC dares to predict; below it the
+    /// normal taken-branch bubble is paid instead ("hard-to-predict
+    /// branches will have low scores; the BTAC will forgo prediction").
+    pub score_threshold: i8,
+    /// Score given to a freshly allocated entry (paper default: 0).
+    pub initial_score: i8,
+    /// Saturation bound for the score counter.
+    pub max_score: i8,
+}
+
+impl Default for BtacConfig {
+    fn default() -> Self {
+        BtacConfig {
+            entries: 8,
+            score_threshold: 1,
+            initial_score: 0,
+            max_score: 3,
+        }
+    }
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in cycles (load-to-use).
+    pub hit_latency: u64,
+}
+
+/// Full core configuration.
+///
+/// [`CoreConfig::power5`] is the baseline machine of the paper's Table I;
+/// the experiment harness derives the other configurations from it with
+/// the builder-style `with_*` methods:
+///
+/// ```
+/// use power5_sim::config::{BtacConfig, CoreConfig};
+///
+/// let enhanced = CoreConfig::power5().with_fxus(4).with_btac(BtacConfig::default());
+/// assert_eq!(enhanced.fxu_count, 4);
+/// assert!(enhanced.btac.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (POWER5: eight-way fetch).
+    pub fetch_width: usize,
+    /// Maximum instructions per dispatch group (POWER5: five, which also
+    /// caps commit throughput).
+    pub group_size: usize,
+    /// Reorder window in dispatch groups (POWER5: 20 groups in flight).
+    pub rob_groups: usize,
+    /// Number of fixed-point units (POWER5 baseline: 2; paper sweeps 2–4).
+    pub fxu_count: usize,
+    /// Number of load/store units (POWER5: 2).
+    pub lsu_count: usize,
+    /// Number of branch execution units (POWER5: 1).
+    pub bru_count: usize,
+    /// Branch direction predictor.
+    pub predictor: PredictorKind,
+    /// Cycles lost after every *taken* branch while the next fetch address
+    /// is computed (POWER5: 2, or 3 with SMT enabled). A correct BTAC
+    /// prediction removes exactly this component.
+    pub taken_branch_penalty: u64,
+    /// Additional branch-target refetch overhead charged on every taken
+    /// branch, BTAC or not: the model does not track intra-line fetch
+    /// alignment, so the cost of restarting fetch mid-line (partial first
+    /// fetch group, group re-formation) is folded into this constant. It
+    /// is calibrated so the *visible* share of the taken-branch bubble —
+    /// most of it hides behind the 100-instruction window — matches the
+    /// paper's Figure 4 BTAC gains (1.8–7.9 %).
+    pub fetch_align_penalty: u64,
+    /// Full pipeline redirect penalty on a branch misprediction, in cycles
+    /// from branch resolution to first fetch of the correct path.
+    pub mispredict_penalty: u64,
+    /// Front-end depth in cycles from fetch to earliest issue.
+    pub frontend_depth: u64,
+    /// Optional BTAC (`None` reproduces the baseline POWER5, which has
+    /// none — hence the unconditional taken-branch bubble).
+    pub btac: Option<BtacConfig>,
+    /// Return-address stack entries (predicts `blr` targets).
+    pub ras_entries: usize,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Memory access latency (L2 miss), cycles.
+    pub memory_latency: u64,
+    /// Latency of simple integer ops.
+    pub lat_simple: u64,
+    /// Latency of `mullw`.
+    pub lat_mul: u64,
+    /// Latency of `divw` (unpipelined).
+    pub lat_div: u64,
+    /// Extra latency of predicated `isel`/`maxw` beyond a simple op
+    /// (0: the paper argues `max` fits the existing carry chain in one
+    /// cycle; raise it for ablations).
+    pub lat_predicated_extra: u64,
+    /// SMT enabled (only effect in this model: the taken-branch bubble is
+    /// one cycle longer, as the paper notes).
+    pub smt: bool,
+}
+
+impl CoreConfig {
+    /// The baseline 1.65 GHz POWER5 of the paper's in-lab machine:
+    /// 2 FXUs, 2 LSUs, eight-way fetch, five-wide groups, 20-group window,
+    /// tournament direction predictor, 2-cycle taken-branch bubble, no
+    /// BTAC, 64 KiB L1I / 32 KiB L1D / 1.875 MiB L2.
+    pub fn power5() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            group_size: 5,
+            rob_groups: 20,
+            fxu_count: 2,
+            lsu_count: 2,
+            bru_count: 1,
+            predictor: PredictorKind::Tournament {
+                bimodal_bits: 12,
+                gshare_bits: 12,
+                history_bits: 11,
+                selector_bits: 12,
+            },
+            taken_branch_penalty: 2,
+            fetch_align_penalty: 2,
+            mispredict_penalty: 8,
+            frontend_depth: 12,
+            btac: None,
+            ras_entries: 8,
+            l1i: CacheConfig { size: 64 * 1024, ways: 2, line: 128, hit_latency: 1 },
+            l1d: CacheConfig { size: 32 * 1024, ways: 4, line: 128, hit_latency: 2 },
+            l2: CacheConfig { size: 1920 * 1024, ways: 10, line: 128, hit_latency: 13 },
+            memory_latency: 230,
+            lat_simple: 1,
+            lat_mul: 5,
+            lat_div: 35,
+            lat_predicated_extra: 0,
+            smt: false,
+        }
+    }
+
+    /// Same core with `n` fixed-point units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn with_fxus(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one FXU is required");
+        self.fxu_count = n;
+        self
+    }
+
+    /// Same core with the given BTAC attached.
+    pub fn with_btac(mut self, btac: BtacConfig) -> Self {
+        self.btac = Some(btac);
+        self
+    }
+
+    /// Same core with no BTAC (the baseline).
+    pub fn without_btac(mut self) -> Self {
+        self.btac = None;
+        self
+    }
+
+    /// Same core with a different direction predictor.
+    pub fn with_predictor(mut self, p: PredictorKind) -> Self {
+        self.predictor = p;
+        self
+    }
+
+    /// Same core with SMT toggled (3-cycle taken bubble when on).
+    pub fn with_smt(mut self, smt: bool) -> Self {
+        self.smt = smt;
+        self
+    }
+
+    /// The taken-branch bubble in effect (accounts for SMT).
+    pub fn effective_taken_penalty(&self) -> u64 {
+        if self.smt {
+            self.taken_branch_penalty + 1
+        } else {
+            self.taken_branch_penalty
+        }
+    }
+
+    /// Reorder window in instructions.
+    pub fn rob_insns(&self) -> usize {
+        self.rob_groups * self.group_size
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::power5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power5_defaults_match_paper() {
+        let c = CoreConfig::power5();
+        assert_eq!(c.fxu_count, 2);
+        assert_eq!(c.lsu_count, 2);
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.group_size, 5);
+        assert_eq!(c.rob_insns(), 100);
+        assert_eq!(c.taken_branch_penalty, 2);
+        assert!(c.btac.is_none());
+        assert!(!c.smt);
+    }
+
+    #[test]
+    fn smt_adds_a_cycle_to_taken_penalty() {
+        let c = CoreConfig::power5();
+        assert_eq!(c.effective_taken_penalty(), 2);
+        assert_eq!(c.clone().with_smt(true).effective_taken_penalty(), 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CoreConfig::power5()
+            .with_fxus(4)
+            .with_btac(BtacConfig::default());
+        assert_eq!(c.fxu_count, 4);
+        assert_eq!(c.btac.unwrap().entries, 8);
+        let back = c.without_btac();
+        assert!(back.btac.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FXU")]
+    fn zero_fxus_rejected() {
+        let _ = CoreConfig::power5().with_fxus(0);
+    }
+
+    #[test]
+    fn default_btac_matches_paper() {
+        let b = BtacConfig::default();
+        assert_eq!(b.entries, 8);
+        assert_eq!(b.initial_score, 0);
+    }
+}

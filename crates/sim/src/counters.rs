@@ -1,0 +1,350 @@
+//! Hardware performance counters and interval time series.
+//!
+//! POWER5 exposes 140 counter groups; the paper reads out IPC, L1D miss
+//! rate, the direction/target split of branch mispredictions, and the
+//! completion-stall breakdown (Table I), plus an IPC/misprediction time
+//! series (Figure 2). This module is the model's equivalent counter
+//! architecture.
+
+use crate::btac::BtacStats;
+use crate::cache::CacheStats;
+
+/// Completion-stall attribution — the CPI stack the paper's Table I
+/// "Stalls due FXU instructions" column comes from. Each stalled completion
+/// cycle is charged to the reason the oldest in-flight instruction was not
+/// ready to complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Oldest instruction waited on an FXU result or an FXU issue slot.
+    pub fxu: u64,
+    /// Oldest instruction was a load waiting on the data cache.
+    pub load: u64,
+    /// Cycles lost to branch-misprediction redirects.
+    pub branch_mispredict: u64,
+    /// Cycles lost to taken-branch fetch bubbles.
+    pub taken_branch: u64,
+    /// Cycles lost to instruction-cache misses.
+    pub icache: u64,
+    /// Completion stalled because the reorder window was full at fetch.
+    pub window_full: u64,
+    /// Anything else (dispatch gaps, cold pipeline).
+    pub other: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.fxu
+            + self.load
+            + self.branch_mispredict
+            + self.taken_branch
+            + self.icache
+            + self.window_full
+            + self.other
+    }
+}
+
+/// Branch statistics, per Table II's columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchCounters {
+    /// All branches committed.
+    pub total: u64,
+    /// Conditional branches committed.
+    pub conditional: u64,
+    /// Branches that were taken.
+    pub taken: u64,
+    /// Conditional branches whose *direction* was mispredicted.
+    pub direction_mispredictions: u64,
+    /// Branches whose *target* was mispredicted (return-stack or BTAC
+    /// target errors).
+    pub target_mispredictions: u64,
+}
+
+impl BranchCounters {
+    /// Fraction of all mispredictions caused by direction (Table I's
+    /// "% Mispredicted Branches Due to Incorrect Direction").
+    pub fn direction_fraction(&self) -> f64 {
+        let total = self.direction_mispredictions + self.target_mispredictions;
+        if total == 0 {
+            0.0
+        } else {
+            self.direction_mispredictions as f64 / total as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate (Table II's "Branch
+    /// Mispredict Rate").
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.conditional == 0 {
+            0.0
+        } else {
+            self.direction_mispredictions as f64 / self.conditional as f64
+        }
+    }
+
+    /// Fraction of branches that are taken (Table II's "Percent Taken
+    /// Brs/Branches").
+    pub fn taken_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.total as f64
+        }
+    }
+}
+
+/// One point of the Figure 2 time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSample {
+    /// Committed instructions at the end of the interval.
+    pub instructions: u64,
+    /// Cycle count at the end of the interval.
+    pub cycles: u64,
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// Conditional-branch misprediction rate over the interval.
+    pub mispredict_rate: f64,
+}
+
+/// The full counter set of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Instructions executing in the FXUs.
+    pub fxu_ops: u64,
+    /// Loads and stores.
+    pub lsu_ops: u64,
+    /// Loads only.
+    pub loads: u64,
+    /// Stores only.
+    pub stores: u64,
+    /// `cmp`-family instructions (the paper tracks the cmp growth isel
+    /// causes).
+    pub compares: u64,
+    /// `isel`/`maxw` committed.
+    pub predicated_ops: u64,
+    /// Branch statistics.
+    pub branches: BranchCounters,
+    /// Completion-stall breakdown.
+    pub stalls: StallBreakdown,
+    /// L1I statistics.
+    pub l1i: CacheStats,
+    /// L1D statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// BTAC statistics (zeroed when no BTAC is configured).
+    pub btac: BtacStats,
+    /// Figure 2 time series (filled when interval sampling is enabled).
+    pub intervals: Vec<IntervalSample>,
+}
+
+impl Counters {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that are branches (Table II's
+    /// "Percent Branches/Instrs").
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches.total as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of committed instructions that are `isel`/`maxw` (the
+    /// paper reports 9.3 % for Clustalw).
+    pub fn predicated_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.predicated_ops as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of committed instructions that are compares.
+    pub fn compare_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.compares as f64 / self.instructions as f64
+        }
+    }
+
+    /// FXU completion stalls as a fraction of all cycles (Table I's
+    /// "Stalls due FXU instructions").
+    pub fn fxu_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stalls.fxu as f64 / self.cycles as f64
+        }
+    }
+
+    /// A rendered CPI stack: how each cycle was spent, as fractions of the
+    /// total — base commit throughput plus the stall breakdown. The rows
+    /// sum to 1.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use power5_sim::Counters;
+    ///
+    /// let mut c = Counters { cycles: 100, instructions: 80, ..Counters::default() };
+    /// c.stalls.fxu = 30;
+    /// let stack = c.cpi_stack();
+    /// assert!(stack.contains("fxu"));
+    /// assert!(stack.contains("30.0%"));
+    /// ```
+    pub fn cpi_stack(&self) -> String {
+        let total = self.cycles.max(1) as f64;
+        let s = &self.stalls;
+        let busy = self.cycles.saturating_sub(s.total());
+        let rows = [
+            ("committing", busy),
+            ("fxu-chain stall", s.fxu),
+            ("load stall", s.load),
+            ("branch mispredict", s.branch_mispredict),
+            ("taken-branch bubble", s.taken_branch),
+            ("icache", s.icache),
+            ("window full", s.window_full),
+            ("other", s.other),
+        ];
+        let mut out = format!("CPI stack over {} cycles (IPC {:.2}):\n", self.cycles, self.ipc());
+        for (name, cycles) in rows {
+            out.push_str(&format!(
+                "  {name:20} {:>10}  {:>5.1}%\n",
+                cycles,
+                100.0 * cycles as f64 / total
+            ));
+        }
+        out
+    }
+
+    /// Merge another run's counters into this one (used by the SMARTS
+    /// sampler to accumulate measurement windows).
+    pub fn merge(&mut self, other: &Counters) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.fxu_ops += other.fxu_ops;
+        self.lsu_ops += other.lsu_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.compares += other.compares;
+        self.predicated_ops += other.predicated_ops;
+        self.branches.total += other.branches.total;
+        self.branches.conditional += other.branches.conditional;
+        self.branches.taken += other.branches.taken;
+        self.branches.direction_mispredictions += other.branches.direction_mispredictions;
+        self.branches.target_mispredictions += other.branches.target_mispredictions;
+        self.stalls.fxu += other.stalls.fxu;
+        self.stalls.load += other.stalls.load;
+        self.stalls.branch_mispredict += other.stalls.branch_mispredict;
+        self.stalls.taken_branch += other.stalls.taken_branch;
+        self.stalls.icache += other.stalls.icache;
+        self.stalls.window_full += other.stalls.window_full;
+        self.stalls.other += other.stalls.other;
+        self.l1i.accesses += other.l1i.accesses;
+        self.l1i.misses += other.l1i.misses;
+        self.l1d.accesses += other.l1d.accesses;
+        self.l1d.misses += other.l1d.misses;
+        self.l2.accesses += other.l2.accesses;
+        self.l2.misses += other.l2.misses;
+        self.btac.lookups += other.btac.lookups;
+        self.btac.predictions += other.btac.predictions;
+        self.btac.correct += other.btac.correct;
+        self.btac.incorrect += other.btac.incorrect;
+        self.intervals.extend(other.intervals.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_fractions() {
+        let mut c = Counters {
+            cycles: 1000,
+            instructions: 900,
+            ..Counters::default()
+        };
+        c.branches.total = 180;
+        c.branches.conditional = 150;
+        c.branches.taken = 120;
+        c.branches.direction_mispredictions = 30;
+        c.branches.target_mispredictions = 1;
+        assert!((c.ipc() - 0.9).abs() < 1e-12);
+        assert!((c.branch_fraction() - 0.2).abs() < 1e-12);
+        assert!((c.branches.misprediction_rate() - 0.2).abs() < 1e-12);
+        assert!((c.branches.taken_fraction() - 120.0 / 180.0).abs() < 1e-12);
+        assert!((c.branches.direction_fraction() - 30.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let c = Counters::default();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.branch_fraction(), 0.0);
+        assert_eq!(c.branches.misprediction_rate(), 0.0);
+        assert_eq!(c.branches.direction_fraction(), 0.0);
+        assert_eq!(c.fxu_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_total_sums_components() {
+        let s = StallBreakdown {
+            fxu: 1,
+            load: 2,
+            branch_mispredict: 3,
+            taken_branch: 4,
+            icache: 5,
+            window_full: 6,
+            other: 7,
+        };
+        assert_eq!(s.total(), 28);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = Counters {
+            cycles: 10,
+            instructions: 8,
+            ..Counters::default()
+        };
+        a.branches.total = 2;
+        a.stalls.fxu = 1;
+        a.l1d.accesses = 4;
+        let mut b = Counters {
+            cycles: 30,
+            instructions: 22,
+            ..Counters::default()
+        };
+        b.branches.total = 5;
+        b.stalls.fxu = 3;
+        b.l1d.accesses = 6;
+        b.intervals.push(IntervalSample {
+            instructions: 22,
+            cycles: 30,
+            ipc: 0.7,
+            mispredict_rate: 0.1,
+        });
+        a.merge(&b);
+        assert_eq!(a.cycles, 40);
+        assert_eq!(a.instructions, 30);
+        assert_eq!(a.branches.total, 7);
+        assert_eq!(a.stalls.fxu, 4);
+        assert_eq!(a.l1d.accesses, 10);
+        assert_eq!(a.intervals.len(), 1);
+    }
+}

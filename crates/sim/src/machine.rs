@@ -1,0 +1,542 @@
+//! Program loading and simulation drivers.
+//!
+//! A [`Machine`] couples architectural state (CPU + memory) with the
+//! [`TimingCore`]. Three drivers are provided:
+//!
+//! * [`Machine::run_functional`] — fast architectural execution only
+//!   (SystemSim's "turbo mode");
+//! * [`Machine::run_timed`] — full timing simulation;
+//! * [`Machine::run_sampled`] — SMARTS-style uniform sampling: long
+//!   functional fast-forward, a timed warm-up whose counters are
+//!   discarded, and a short measured window, repeated across the program
+//!   (the paper's Section V methodology).
+
+use crate::config::CoreConfig;
+use crate::core::{Retired, TimingCore};
+use crate::counters::Counters;
+use ppc_isa::exec::MemFault;
+use ppc_isa::{decode, step, CpuState, Instruction, Memory};
+use std::fmt;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `trap`.
+    Halted,
+    /// The instruction budget was exhausted.
+    Budget,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions executed during this call.
+    pub executed: u64,
+    /// Whether the program hit `trap`.
+    pub halted: bool,
+}
+
+/// An error during simulation: a memory fault or an undecodable word at
+/// the PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// Data access fault.
+    Mem(MemFault),
+    /// The PC points at a word that does not decode.
+    BadInstruction {
+        /// The faulting PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(m) => write!(f, "{m}"),
+            SimError::BadInstruction { pc } => {
+                write!(f, "undecodable instruction at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemFault> for SimError {
+    fn from(m: MemFault) -> Self {
+        SimError::Mem(m)
+    }
+}
+
+/// SMARTS-style sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Distance between measurement windows, in instructions.
+    pub period: u64,
+    /// Timed warm-up instructions before each window (counters discarded).
+    pub warmup: u64,
+    /// Measured instructions per window.
+    pub detail: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { period: 100_000, warmup: 2_000, detail: 1_000 }
+    }
+}
+
+/// Estimates produced by a sampled run.
+#[derive(Debug, Clone)]
+pub struct SampledRun {
+    /// Counters accumulated over the measured windows only.
+    pub measured: Counters,
+    /// Total instructions executed (all modes).
+    pub total_instructions: u64,
+    /// Estimated total cycles (measured CPI × total instructions).
+    pub estimated_cycles: u64,
+    /// Whether the program halted.
+    pub halted: bool,
+}
+
+impl SampledRun {
+    /// The IPC estimate from the measured windows.
+    pub fn ipc(&self) -> f64 {
+        self.measured.ipc()
+    }
+}
+
+/// A region of PCs attributed to one function for profiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRegion {
+    /// Function name.
+    pub name: String,
+    /// First byte address (inclusive).
+    pub start: u32,
+    /// Last byte address (exclusive).
+    pub end: u32,
+}
+
+/// A loaded program plus simulation state.
+pub struct Machine {
+    cpu: CpuState,
+    mem: Memory,
+    core: TimingCore,
+    /// Pre-decoded image (indexed by `(pc - base) / 4`); words that are
+    /// data simply fail to decode and stay `None`.
+    decoded: Vec<Option<Instruction>>,
+    code_base: u32,
+    halted: bool,
+    /// Optional per-function cycle/instruction attribution.
+    profile: Option<(Vec<ProfileRegion>, Vec<(u64, u64)>)>,
+    last_commit_seen: u64,
+}
+
+impl Machine {
+    /// Create a machine with `image` loaded at `base`, starting execution
+    /// at `entry`, with `mem_size` bytes of simulated memory.
+    ///
+    /// The image is pre-decoded at load time; executing self-modifying
+    /// code is not supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit below `mem_size`.
+    pub fn new(cfg: CoreConfig, image: &[u8], base: u32, entry: u32, mem_size: usize) -> Self {
+        let mut mem = Memory::new(mem_size);
+        mem.write_bytes(base, image)
+            .expect("program image must fit in simulated memory");
+        let decoded = image
+            .chunks(4)
+            .map(|c| {
+                if c.len() == 4 {
+                    decode(u32::from_le_bytes(c.try_into().expect("4 bytes"))).ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Machine {
+            cpu: CpuState::new(entry),
+            mem,
+            core: TimingCore::new(cfg),
+            decoded,
+            code_base: base,
+            halted: false,
+            profile: None,
+            last_commit_seen: 0,
+        }
+    }
+
+    /// Enable per-function profiling over the given regions. Committed
+    /// instructions and commit-cycle deltas are attributed to the region
+    /// containing their PC.
+    pub fn set_profile_regions(&mut self, regions: Vec<ProfileRegion>) {
+        let n = regions.len();
+        self.profile = Some((regions, vec![(0, 0); n]));
+    }
+
+    /// Profiling results as `(name, instructions, cycles)`, in region
+    /// order. Empty when profiling was never enabled.
+    pub fn profile_results(&self) -> Vec<(String, u64, u64)> {
+        match &self.profile {
+            None => Vec::new(),
+            Some((regions, counts)) => regions
+                .iter()
+                .zip(counts)
+                .map(|(r, &(i, c))| (r.name.clone(), i, c))
+                .collect(),
+        }
+    }
+
+    /// Architectural CPU state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// Mutable CPU state (for setting up kernel arguments in registers).
+    pub fn cpu_mut(&mut self) -> &mut CpuState {
+        &mut self.cpu
+    }
+
+    /// Simulated memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable simulated memory (for serializing workload inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Timing counters accumulated so far.
+    pub fn counters(&self) -> Counters {
+        self.core.counters()
+    }
+
+    /// Whether the program has executed `trap`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Enable Figure-2-style interval sampling (committed instructions per
+    /// sample point).
+    pub fn set_interval_sampling(&mut self, insns: u64) {
+        self.core.set_interval_sampling(insns);
+    }
+
+    /// Enable per-PC conditional-branch statistics.
+    pub fn set_branch_site_profiling(&mut self, on: bool) {
+        self.core.set_branch_site_profiling(on);
+    }
+
+    /// Per-PC branch statistics, sorted by mispredictions (largest first).
+    /// Empty unless [`Machine::set_branch_site_profiling`] was enabled.
+    pub fn branch_sites(&self) -> Vec<(u32, crate::core::BranchSite)> {
+        self.core.branch_sites()
+    }
+
+    #[inline]
+    fn fetch_decode(&mut self, pc: u32) -> Result<Instruction, SimError> {
+        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+        if pc % 4 == 0 {
+            if let Some(Some(i)) = self.decoded.get(idx) {
+                return Ok(*i);
+            }
+        }
+        Err(SimError::BadInstruction { pc })
+    }
+
+    /// Run functionally (no timing) for at most `max_insns` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on memory faults or undecodable instructions.
+    pub fn run_functional(&mut self, max_insns: u64) -> Result<RunResult, SimError> {
+        let mut executed = 0;
+        while executed < max_insns && !self.halted {
+            let pc = self.cpu.pc;
+            let insn = self.fetch_decode(pc)?;
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)?;
+            executed += 1;
+            if ev.halted {
+                self.halted = true;
+            }
+        }
+        Ok(RunResult { executed, halted: self.halted })
+    }
+
+    /// Run with full timing for at most `max_insns` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on memory faults or undecodable instructions.
+    pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, SimError> {
+        let mut executed = 0;
+        while executed < max_insns && !self.halted {
+            let pc = self.cpu.pc;
+            let insn = self.fetch_decode(pc)?;
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)?;
+            let commit = self.core.retire(Retired { insn: &insn, pc, event: ev });
+            if let Some((regions, counts)) = &mut self.profile {
+                let delta = commit.saturating_sub(self.last_commit_seen);
+                self.last_commit_seen = self.last_commit_seen.max(commit);
+                if let Some(i) = regions.iter().position(|r| pc >= r.start && pc < r.end) {
+                    counts[i].0 += 1;
+                    counts[i].1 += delta;
+                }
+            }
+            executed += 1;
+            if ev.halted {
+                self.halted = true;
+            }
+        }
+        Ok(RunResult { executed, halted: self.halted })
+    }
+
+    /// Run to completion (or `budget` instructions) with SMARTS-style
+    /// uniform sampling and return the measured estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on memory faults or undecodable instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling.detail` is zero or the warm-up and detail
+    /// windows do not fit in the period.
+    pub fn run_sampled(
+        &mut self,
+        sampling: SamplingConfig,
+        budget: u64,
+    ) -> Result<SampledRun, SimError> {
+        assert!(sampling.detail > 0, "detail window must be non-empty");
+        assert!(
+            sampling.warmup + sampling.detail <= sampling.period,
+            "warm-up plus detail must fit in the sampling period"
+        );
+        let mut total = 0u64;
+        let mut measured = Counters::default();
+        while total < budget && !self.halted {
+            // Fast-forward.
+            let ff = sampling.period - sampling.warmup - sampling.detail;
+            total += self.run_functional(ff.min(budget - total))?.executed;
+            if self.halted || total >= budget {
+                break;
+            }
+            // Timed warm-up: run with timing but discard the counter delta.
+            let before_warm = self.core.counters();
+            total += self.run_timed(sampling.warmup.min(budget - total))?.executed;
+            let _ = before_warm; // warm-up deltas are deliberately dropped
+            if self.halted || total >= budget {
+                break;
+            }
+            // Measured window.
+            let before = self.core.counters();
+            total += self.run_timed(sampling.detail.min(budget - total))?.executed;
+            let after = self.core.counters();
+            measured.merge(&delta(&after, &before));
+        }
+        let cpi = if measured.instructions == 0 {
+            1.0
+        } else {
+            measured.cycles as f64 / measured.instructions as f64
+        };
+        Ok(SampledRun {
+            estimated_cycles: (cpi * total as f64) as u64,
+            measured,
+            total_instructions: total,
+            halted: self.halted,
+        })
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.cpu.pc)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Counter delta `after - before` (interval fields excluded).
+fn delta(after: &Counters, before: &Counters) -> Counters {
+    let mut d = Counters {
+        cycles: after.cycles - before.cycles,
+        instructions: after.instructions - before.instructions,
+        fxu_ops: after.fxu_ops - before.fxu_ops,
+        lsu_ops: after.lsu_ops - before.lsu_ops,
+        loads: after.loads - before.loads,
+        stores: after.stores - before.stores,
+        compares: after.compares - before.compares,
+        predicated_ops: after.predicated_ops - before.predicated_ops,
+        ..Counters::default()
+    };
+    d.branches.total = after.branches.total - before.branches.total;
+    d.branches.conditional = after.branches.conditional - before.branches.conditional;
+    d.branches.taken = after.branches.taken - before.branches.taken;
+    d.branches.direction_mispredictions =
+        after.branches.direction_mispredictions - before.branches.direction_mispredictions;
+    d.branches.target_mispredictions =
+        after.branches.target_mispredictions - before.branches.target_mispredictions;
+    d.stalls.fxu = after.stalls.fxu - before.stalls.fxu;
+    d.stalls.load = after.stalls.load - before.stalls.load;
+    d.stalls.branch_mispredict = after.stalls.branch_mispredict - before.stalls.branch_mispredict;
+    d.stalls.taken_branch = after.stalls.taken_branch - before.stalls.taken_branch;
+    d.stalls.icache = after.stalls.icache - before.stalls.icache;
+    d.stalls.window_full = after.stalls.window_full - before.stalls.window_full;
+    d.stalls.other = after.stalls.other - before.stalls.other;
+    d.l1i.accesses = after.l1i.accesses - before.l1i.accesses;
+    d.l1i.misses = after.l1i.misses - before.l1i.misses;
+    d.l1d.accesses = after.l1d.accesses - before.l1d.accesses;
+    d.l1d.misses = after.l1d.misses - before.l1d.misses;
+    d.l2.accesses = after.l2.accesses - before.l2.accesses;
+    d.l2.misses = after.l2.misses - before.l2.misses;
+    d.btac.lookups = after.btac.lookups - before.btac.lookups;
+    d.btac.predictions = after.btac.predictions - before.btac.predictions;
+    d.btac.correct = after.btac.correct - before.btac.correct;
+    d.btac.incorrect = after.btac.incorrect - before.btac.incorrect;
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_isa::Gpr;
+
+    fn machine(src: &str) -> Machine {
+        let prog = ppc_asm::assemble(src, 0x1000).expect("test program assembles");
+        Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20)
+    }
+
+    const COUNT_LOOP: &str = "
+entry:
+    li r3, 0
+    li r4, 1000
+    mtctr r4
+loop:
+    addi r3, r3, 1
+    bdnz loop
+    trap
+";
+
+    #[test]
+    fn functional_and_timed_agree_architecturally() {
+        let mut f = machine(COUNT_LOOP);
+        let mut t = machine(COUNT_LOOP);
+        let rf = f.run_functional(u64::MAX).unwrap();
+        let rt = t.run_timed(u64::MAX).unwrap();
+        assert!(rf.halted && rt.halted);
+        assert_eq!(rf.executed, rt.executed);
+        assert_eq!(f.cpu().reg(Gpr(3)), 1000);
+        assert_eq!(t.cpu().reg(Gpr(3)), 1000);
+        assert_eq!(f.cpu().pc, t.cpu().pc);
+    }
+
+    #[test]
+    fn timed_run_produces_plausible_cycle_counts() {
+        let mut m = machine(COUNT_LOOP);
+        m.run_timed(u64::MAX).unwrap();
+        let c = m.counters();
+        // ~2004 instructions; a tight dependent loop with a taken branch
+        // per iteration cannot exceed 1 IPC here and must not be absurdly
+        // slow either.
+        assert!(c.instructions > 2000);
+        assert!(c.cycles > c.instructions / 5, "cycles {}", c.cycles);
+        assert!(c.cycles < c.instructions * 20, "cycles {}", c.cycles);
+        // bdnz is almost always taken and perfectly predictable.
+        assert!(c.branches.misprediction_rate() < 0.01);
+        assert!(c.branches.taken_fraction() > 0.99);
+    }
+
+    #[test]
+    fn budget_stops_early() {
+        let mut m = machine(COUNT_LOOP);
+        let r = m.run_timed(100).unwrap();
+        assert_eq!(r.executed, 100);
+        assert!(!r.halted);
+        let r2 = m.run_timed(u64::MAX).unwrap();
+        assert!(r2.halted);
+        assert_eq!(m.cpu().reg(Gpr(3)), 1000);
+    }
+
+    #[test]
+    fn bad_instruction_reports_pc() {
+        let mut m = Machine::new(CoreConfig::power5(), &[0, 0, 0, 0], 0x1000, 0x1000, 1 << 16);
+        let err = m.run_timed(10).unwrap_err();
+        assert_eq!(err, SimError::BadInstruction { pc: 0x1000 });
+    }
+
+    #[test]
+    fn memory_fault_surfaces() {
+        let mut m = machine("entry:\n lwz r3, 0(r4)\n trap\n");
+        m.cpu_mut().gpr[4] = 0xFFFF_0000; // out of the 1 MiB memory
+        let err = m.run_timed(10).unwrap_err();
+        assert!(matches!(err, SimError::Mem(_)));
+    }
+
+    #[test]
+    fn sampled_run_estimates_full_run() {
+        // Build a long-enough loop that sampling kicks in.
+        let src = "
+entry:
+    li r3, 0
+    lis r4, 2
+    mtctr r4
+loop:
+    addi r3, r3, 1
+    addi r5, r5, 2
+    xor r6, r3, r5
+    bdnz loop
+    trap
+";
+        let mut full = machine(src);
+        full.run_timed(u64::MAX).unwrap();
+        let full_c = full.counters();
+        let full_ipc = full_c.ipc();
+
+        let mut sampled = machine(src);
+        let s = sampled
+            .run_sampled(
+                SamplingConfig { period: 10_000, warmup: 500, detail: 500 },
+                u64::MAX,
+            )
+            .unwrap();
+        assert!(s.halted);
+        assert_eq!(s.total_instructions, full_c.instructions);
+        let err = (s.ipc() - full_ipc).abs() / full_ipc;
+        assert!(err < 0.15, "sampled IPC {} vs full {full_ipc}", s.ipc());
+    }
+
+    #[test]
+    fn interval_series_reflects_phases() {
+        let mut m = machine(COUNT_LOOP);
+        m.set_interval_sampling(200);
+        m.run_timed(u64::MAX).unwrap();
+        let c = m.counters();
+        assert!(c.intervals.len() >= 9, "intervals {}", c.intervals.len());
+    }
+
+    #[test]
+    fn workload_inputs_via_memory_and_registers() {
+        // Kernel: sum 8 words at address in r3, count in r4, result in r3.
+        let src = "
+entry:
+    mtctr r4
+    li r5, 0
+loop:
+    lwz r6, 0(r3)
+    add r5, r5, r6
+    addi r3, r3, 4
+    bdnz loop
+    mr r3, r5
+    trap
+";
+        let mut m = machine(src);
+        m.mem_mut().write_i32s(0x8000, &[1, 2, 3, 4, 5, 6, 7, -8]).unwrap();
+        m.cpu_mut().gpr[3] = 0x8000;
+        m.cpu_mut().gpr[4] = 8;
+        m.run_timed(u64::MAX).unwrap();
+        assert_eq!(m.cpu().reg(Gpr(3)) as i32, 20);
+    }
+}

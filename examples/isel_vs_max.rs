@@ -1,0 +1,73 @@
+//! The paper's core ISA question, end to end: what do `isel` and `max`
+//! buy on a real dynamic-programming kernel?
+//!
+//! Compiles Clustalw's `forward_pass` workload in all six code variants,
+//! shows the assembly difference at the kernel's hot statement, and runs
+//! each variant on the simulated POWER5.
+//!
+//! Run with `cargo run --release --example isel_vs_max`.
+
+use bioarch::apps::{App, Scale, Variant, Workload};
+use kernelc::{compile, Options};
+use power5_sim::CoreConfig;
+
+fn main() {
+    // First, the instruction-level view on a miniature max statement.
+    let snippet = "
+fn main(a: int, b: int) -> int {
+    if (a < b) { a = b; }
+    return a;
+}
+";
+    println!("source:   if (a < b) {{ a = b; }}\n");
+    for (name, options) in [
+        ("baseline (compare-and-branch)", Options::baseline()),
+        ("isel (cmp + select)", Options::compiler_isel()),
+        ("max (single fused op)", Options::compiler_max()),
+    ] {
+        let compiled = compile(snippet, &options).expect("snippet compiles");
+        println!("--- {name} ---");
+        for line in compiled
+            .asm
+            .lines()
+            .skip_while(|l| !l.starts_with("main:"))
+            .filter(|l| !l.trim().is_empty())
+            .take(10)
+        {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    // Then the full Clustalw workload across every variant.
+    let workload = Workload::new(App::Clustalw, Scale::Test, 7);
+    let baseline = workload
+        .run(Variant::Baseline, &CoreConfig::power5())
+        .expect("baseline runs");
+    println!(
+        "Clustalw on the simulated POWER5 (baseline: {} cycles, IPC {:.2}):",
+        baseline.counters.cycles,
+        baseline.counters.ipc()
+    );
+    for variant in Variant::all() {
+        let run = workload
+            .run(variant, &CoreConfig::power5())
+            .expect("variant runs");
+        assert!(run.validated);
+        let speedup = baseline.counters.cycles as f64 / run.counters.cycles as f64;
+        println!(
+            "    {:12}  {:>9} cycles  speedup {:+5.1}%  branches {:4.1}%  (converted {:2}, rejected {:2} hammocks)",
+            variant.label(),
+            run.counters.cycles,
+            100.0 * (speedup - 1.0),
+            100.0 * run.counters.branch_fraction(),
+            run.converted_hammocks,
+            run.rejected_hammocks,
+        );
+    }
+    println!(
+        "\nThe hand variants beat the compiler here because forward_pass keeps its\n\
+         F-row in memory: the store inside `if (DD[j] < t) DD[j] = t;` defeats the\n\
+         if-converter's aliasing analysis, exactly as the paper reports."
+    );
+}

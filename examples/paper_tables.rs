@@ -1,0 +1,20 @@
+//! Regenerate the paper's headline tables in one go (test scale by
+//! default so it finishes in seconds; pass `--classc` for the full
+//! benchmark scale the EXPERIMENTS.md numbers use).
+//!
+//! Run with `cargo run --release --example paper_tables [-- --classc]`.
+
+use bioarch::apps::Scale;
+use bioarch::experiments::Study;
+
+fn main() {
+    let classc = std::env::args().any(|a| a == "--classc");
+    let scale = if classc { Scale::ClassC } else { Scale::Test };
+    println!("scale: {scale:?} (pass --classc for benchmark scale)\n");
+    let mut study = Study::new(scale, 42);
+
+    println!("{}", study.table1().expect("table1").render());
+    println!("{}", study.fig1().expect("fig1").render());
+    println!("{}", study.fig3().expect("fig3").render());
+    println!("{}", study.fig6().expect("fig6").render());
+}

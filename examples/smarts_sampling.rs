@@ -1,0 +1,85 @@
+//! The paper's measurement methodology (Section V): SystemSim-style
+//! uniform sampling à la SMARTS — fast functional forwarding, timed
+//! warm-up, short measured windows — compared against the ground truth of
+//! full timing simulation.
+//!
+//! Run with `cargo run --release --example smarts_sampling`.
+
+use power5_sim::machine::SamplingConfig;
+use power5_sim::{CoreConfig, Machine};
+
+const PROGRAM: &str = "
+// Two program phases with different IPC: a dependent-chain phase and an
+// unpredictable-branch phase, iterated alternately.
+entry:
+    li r14, 60
+    li r15, 12345
+outer:
+    li r4, 1200
+    mtctr r4
+chain:                      // phase 1: serial dependency chain
+    add r3, r3, r3
+    xor r3, r3, r4
+    addi r3, r3, 1
+    bdnz chain
+    li r4, 1200
+    mtctr r4
+noise:                      // phase 2: value-dependent branches
+    mullw r15, r15, r16
+    addi r15, r15, 12345
+    srawi r5, r15, 16
+    andi. r5, r5, 1
+    beq cr0, skip
+    addi r6, r6, 1
+skip:
+    bdnz noise
+    addi r14, r14, -1
+    cmpwi cr0, r14, 0
+    bgt cr0, outer
+    trap
+";
+
+fn machine() -> Machine {
+    let prog = ppc_asm::assemble(PROGRAM, 0x1000).expect("assembles");
+    let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+    m.cpu_mut().gpr[1] = 0xF0000;
+    m.cpu_mut().gpr[16] = 1103515245;
+    m
+}
+
+fn main() {
+    // Ground truth: full timing simulation.
+    let mut full = machine();
+    let t0 = std::time::Instant::now();
+    full.run_timed(u64::MAX).expect("runs");
+    let full_time = t0.elapsed();
+    let truth = full.counters();
+    println!(
+        "full timing     : {:>9} insns, IPC {:.3}, mispredict rate {:.2}%  ({full_time:.1?})",
+        truth.instructions,
+        truth.ipc(),
+        100.0 * truth.branches.misprediction_rate()
+    );
+
+    // SMARTS-style sampling at a few detail budgets.
+    for (period, warmup, detail) in [(20_000u64, 800, 400), (10_000, 800, 400), (5_000, 500, 500)] {
+        let mut m = machine();
+        let t0 = std::time::Instant::now();
+        let s = m
+            .run_sampled(SamplingConfig { period, warmup, detail }, u64::MAX)
+            .expect("sampled run");
+        let dt = t0.elapsed();
+        let measured_frac = s.measured.instructions as f64 / s.total_instructions as f64;
+        println!(
+            "sampled 1/{:<5} : {:>9} insns, IPC {:.3} ({:+.1}% error), mispredict {:.2}%, measured {:.1}% of stream  ({dt:.1?})",
+            period / detail,
+            s.total_instructions,
+            s.ipc(),
+            100.0 * (s.ipc() / truth.ipc() - 1.0),
+            100.0 * s.measured.branches.misprediction_rate(),
+            100.0 * measured_frac,
+        );
+    }
+    println!("\nUniform sampling recovers IPC within a few percent while timing only ~5-10% of instructions,");
+    println!("which is why the paper could afford cycle-accurate numbers from a full-system simulator.");
+}

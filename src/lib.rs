@@ -1,0 +1,22 @@
+//! Workspace facade for the POWER5 BioPerf reproduction.
+//!
+//! This crate re-exports the member crates so the examples and
+//! integration tests can reach the whole stack through one dependency.
+//! Library users should depend on the member crates directly:
+//!
+//! * [`bioseq`] — sequences, matrices, synthetic workload generation;
+//! * [`bioalign`] — the golden-model bioinformatics algorithms;
+//! * [`ppc_isa`] / [`ppc_asm`] — the PowerPC-subset ISA and assembler;
+//! * [`kernelc`] — the if-converting kernel compiler;
+//! * [`power5_sim`] — the cycle-level POWER5 core model;
+//! * [`bioarch`] — workloads, validation, and the paper's experiments.
+
+#![forbid(unsafe_code)]
+
+pub use bioalign;
+pub use bioarch;
+pub use bioseq;
+pub use kernelc;
+pub use power5_sim;
+pub use ppc_asm;
+pub use ppc_isa;

@@ -1,0 +1,103 @@
+//! Property-based invariants of the timing model's counter architecture,
+//! checked over randomly generated (but always-terminating) programs and
+//! over the application workloads.
+
+use bioarch::apps::{App, Scale, Variant, Workload};
+use power5_sim::{CoreConfig, Counters, Machine};
+use ppc_isa::Gpr;
+use proptest::prelude::*;
+
+fn counter_invariants(c: &Counters) {
+    assert!(c.cycles >= c.instructions / 5, "commit width is 5/cycle");
+    assert!(c.branches.taken <= c.branches.total);
+    assert!(c.branches.conditional <= c.branches.total);
+    assert!(c.branches.direction_mispredictions <= c.branches.conditional);
+    assert!(c.l1d.misses <= c.l1d.accesses);
+    assert!(c.l1i.misses <= c.l1i.accesses);
+    assert!(c.l2.misses <= c.l2.accesses);
+    // Every L2 access is caused by an L1 miss.
+    assert!(c.l2.accesses <= c.l1i.misses + c.l1d.misses);
+    assert!(c.loads + c.stores == c.lsu_ops);
+    assert!(c.predicated_ops <= c.instructions);
+    assert!(c.stalls.total() <= c.cycles, "stalls cannot exceed cycles");
+    assert!(c.btac.correct + c.btac.incorrect <= c.btac.predictions);
+    assert!(c.btac.predictions <= c.btac.lookups);
+}
+
+#[test]
+fn invariants_hold_for_all_apps_and_variants() {
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::Test, 7);
+        for variant in [Variant::Baseline, Variant::HandMax, Variant::CompilerIsel] {
+            let run = wl.run(variant, &CoreConfig::power5()).unwrap();
+            counter_invariants(&run.counters);
+        }
+    }
+}
+
+/// A random but guaranteed-terminating program: a counted loop (via CTR)
+/// whose body is a random mix of arithmetic, memory, and comparison
+/// instructions, followed by `trap`.
+fn random_program(body: &[u8], iters: u16) -> String {
+    let mut asm = String::from("entry:\n");
+    asm.push_str(&format!("    li r4, {}\n    mtctr r4\n", iters.max(1)));
+    asm.push_str("    lis r9, 8\n"); // data pointer, 0x80000
+    asm.push_str("loop:\n");
+    for (i, &b) in body.iter().enumerate() {
+        let line = match b % 11 {
+            0 => "    addi r3, r3, 7".to_string(),
+            1 => "    add r5, r3, r6".to_string(),
+            2 => "    xor r6, r5, r3".to_string(),
+            3 => "    mullw r7, r3, r5".to_string(),
+            4 => "    lwz r8, 16(r9)".to_string(),
+            5 => "    stw r3, 32(r9)".to_string(),
+            6 => format!("    cmpwi cr0, r3, {}", (b as i32) * 3),
+            7 => format!("    bct 4*cr0+gt, .Ls{i}\n.Ls{i}:"),
+            8 => "    srawi r5, r3, 2".to_string(),
+            9 => "    maxw r6, r3, r5".to_string(),
+            _ => "    lbz r7, 5(r9)".to_string(),
+        };
+        asm.push_str(&line);
+        asm.push('\n');
+    }
+    asm.push_str("    bdnz loop\n    trap\n");
+    asm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_uphold_counter_invariants(
+        body in proptest::collection::vec(any::<u8>(), 1..40),
+        iters in 1u16..200,
+    ) {
+        let asm = random_program(&body, iters);
+        let prog = ppc_asm::assemble(&asm, 0x1000).expect("random program assembles");
+        let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+        m.cpu_mut().gpr[1] = 0xF0000;
+        let result = m.run_timed(5_000_000).expect("runs");
+        prop_assert!(result.halted);
+        counter_invariants(&m.counters());
+    }
+
+    #[test]
+    fn functional_and_timed_states_agree(
+        body in proptest::collection::vec(any::<u8>(), 1..30),
+        iters in 1u16..100,
+    ) {
+        let asm = random_program(&body, iters);
+        let prog = ppc_asm::assemble(&asm, 0x1000).expect("assembles");
+        let mut f = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+        let mut t = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+        f.cpu_mut().gpr[1] = 0xF0000;
+        t.cpu_mut().gpr[1] = 0xF0000;
+        let rf = f.run_functional(5_000_000).expect("functional runs");
+        let rt = t.run_timed(5_000_000).expect("timed runs");
+        prop_assert_eq!(rf.executed, rt.executed);
+        for r in 0..32u8 {
+            prop_assert_eq!(f.cpu().reg(Gpr(r)), t.cpu().reg(Gpr(r)), "r{} differs", r);
+        }
+        prop_assert_eq!(f.cpu().pc, t.cpu().pc);
+    }
+}

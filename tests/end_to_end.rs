@@ -1,0 +1,106 @@
+//! Cross-crate integration: every application workload, compiled in every
+//! code variant, runs on the timing model and reproduces the golden-model
+//! results bit-for-bit; simulation is deterministic.
+
+use bioarch::apps::{App, Scale, Variant, Workload};
+use power5_sim::config::BtacConfig;
+use power5_sim::CoreConfig;
+
+#[test]
+fn every_app_and_variant_validates_on_stock_power5() {
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::Test, 1234);
+        for variant in Variant::all() {
+            let run = wl
+                .run(variant, &CoreConfig::power5())
+                .unwrap_or_else(|e| panic!("{app} {variant}: {e}"));
+            assert!(
+                run.validated,
+                "{app} {variant} mismatches: {:?}",
+                run.mismatches
+            );
+            assert!(run.counters.instructions > 0);
+        }
+    }
+}
+
+#[test]
+fn hardware_features_never_change_results() {
+    // BTAC, extra FXUs, and SMT are microarchitectural: outputs must be
+    // identical, only cycle counts may move.
+    let configs = [
+        CoreConfig::power5().with_btac(BtacConfig::default()),
+        CoreConfig::power5().with_fxus(4),
+        CoreConfig::power5().with_smt(true),
+        CoreConfig::power5()
+            .with_btac(BtacConfig::default())
+            .with_fxus(3),
+    ];
+    for app in [App::Fasta, App::Hmmer] {
+        let wl = Workload::new(app, Scale::Test, 77);
+        for (i, cfg) in configs.iter().enumerate() {
+            let run = wl.run(Variant::Combination, cfg).unwrap();
+            assert!(run.validated, "{app} config {i}: {:?}", run.mismatches);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let wl = Workload::new(App::Clustalw, Scale::Test, 5);
+    let a = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+    let b = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+    assert_eq!(a.counters.cycles, b.counters.cycles);
+    assert_eq!(a.counters.instructions, b.counters.instructions);
+    assert_eq!(
+        a.counters.branches.direction_mispredictions,
+        b.counters.branches.direction_mispredictions
+    );
+    // A fresh workload with the same seed is also identical.
+    let wl2 = Workload::new(App::Clustalw, Scale::Test, 5);
+    let c = wl2.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+    assert_eq!(a.counters.cycles, c.counters.cycles);
+}
+
+#[test]
+fn different_seeds_change_the_workload_but_still_validate() {
+    for seed in [11, 222, 3333] {
+        let wl = Workload::new(App::Blast, Scale::Test, seed);
+        let run = wl.run(Variant::CompilerIsel, &CoreConfig::power5()).unwrap();
+        assert!(run.validated, "seed {seed}: {:?}", run.mismatches);
+    }
+}
+
+#[test]
+fn predication_shrinks_branches_and_helps_every_app() {
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::Test, 99);
+        let base = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+        let comb = wl.run(Variant::Combination, &CoreConfig::power5()).unwrap();
+        assert!(
+            comb.counters.branch_fraction() < base.counters.branch_fraction(),
+            "{app}: branch fraction did not drop"
+        );
+        assert!(
+            comb.counters.cycles < base.counters.cycles,
+            "{app}: no cycle win from predication ({} vs {})",
+            comb.counters.cycles,
+            base.counters.cycles
+        );
+    }
+}
+
+#[test]
+fn smt_taken_bubble_costs_cycles() {
+    let wl = Workload::new(App::Fasta, Scale::Test, 31);
+    let st = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
+    let smt = wl
+        .run(Variant::Baseline, &CoreConfig::power5().with_smt(true))
+        .unwrap();
+    assert!(
+        smt.counters.cycles > st.counters.cycles,
+        "3-cycle bubble should cost more than 2-cycle ({} vs {})",
+        smt.counters.cycles,
+        st.counters.cycles
+    );
+}

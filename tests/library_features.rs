@@ -1,0 +1,105 @@
+//! End-to-end exercise of the library surface a downstream user would
+//! touch, spanning the extension features: statistics, trees, rendering,
+//! serialization, and CPI reporting.
+
+use bioalign::msa::pairwise_distances;
+use bioalign::nj::neighbor_joining;
+use bioalign::pairwise::{needleman_wunsch, smith_waterman};
+use bioalign::render::{render_global, render_local};
+use bioalign::ssearch::search;
+use bioalign::stats::{compute_params, robinson_background};
+use bioseq::generate::SeqGen;
+use bioseq::hmm::ProfileHmm;
+use bioseq::{fasta, Alphabet, GapPenalties, SubstitutionMatrix};
+use power5_sim::{CoreConfig, Machine};
+
+#[test]
+fn a_small_analysis_pipeline_works_end_to_end() {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gp = GapPenalties::new(10, 2);
+    let mut g = SeqGen::new(Alphabet::Protein, 314);
+
+    // 1. Generate a family, write and re-read it as FASTA.
+    let family = g.family(5, 70, 0.25, 0.0);
+    let text = fasta::to_string(&family);
+    let reread = fasta::parse_str(&text, Alphabet::Protein).expect("round trips");
+    assert_eq!(family, reread);
+
+    // 2. Search a database and attach E-values to the hits.
+    let query = family[0].clone();
+    let db = g.database(&query, 30, 3, 50..100);
+    let results = search(&query, &db, &matrix, gp, 50);
+    assert!(!results.hits.is_empty());
+    let params = compute_params(&matrix, &robinson_background()).expect("blosum62 admits stats");
+    let db_len: usize = db.iter().map(bioseq::Sequence::len).sum();
+    let best_e = params.evalue(results.hits[0].score, query.len(), db_len);
+    let worst_e = params.evalue(results.hits.last().unwrap().score, query.len(), db_len);
+    assert!(best_e <= worst_e);
+    assert!(best_e < 1e-3, "top hit should be significant, E={best_e}");
+
+    // 3. Align the query to its best hit and render the alignment.
+    let subject = &db[results.hits[0].db_index];
+    let local = smith_waterman(query.codes(), subject.codes(), &matrix, gp);
+    let rendered = render_local(&local, &query, subject, &matrix, 60);
+    assert!(rendered.identities > rendered.columns / 2);
+    assert!(rendered.text.contains('|'));
+    let global = needleman_wunsch(query.codes(), subject.codes(), &matrix, gp);
+    let grendered = render_global(&global, &query, subject, &matrix, 60);
+    assert!(grendered.columns >= query.len().max(subject.len()));
+
+    // 4. Build a guide tree two ways.
+    let dist = pairwise_distances(&family, &matrix, gp);
+    let nj = neighbor_joining(&dist);
+    let newick = nj.to_newick();
+    assert!(newick.ends_with(';'));
+    let mut leaves = nj.leaves();
+    leaves.sort_unstable();
+    assert_eq!(leaves, (0..5).collect::<Vec<_>>());
+
+    // 5. Train a profile HMM on the family, serialize it, score with the
+    //    reloaded copy.
+    let hmm = ProfileHmm::from_family("fam", &family);
+    let reloaded = ProfileHmm::from_text(&hmm.to_text()).expect("parses");
+    assert_eq!(
+        bioalign::hmmsearch::viterbi_score(&hmm, &query),
+        bioalign::hmmsearch::viterbi_score(&reloaded, &query)
+    );
+
+    // 6. Run a kernel on the simulator and get a CPI stack out.
+    let compiled = kernelc::compile(
+        "fn main(n: int) -> int {
+            let s = 0;
+            let i = 0;
+            while (i < n) { s = max(s, i * 7 - s); i = i + 1; }
+            return s;
+        }",
+        &kernelc::Options::hand_max(),
+    )
+    .expect("compiles");
+    let prog = ppc_asm::assemble(&compiled.asm, 0x1000).expect("assembles");
+    let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 20);
+    m.cpu_mut().gpr[1] = 0xF0000;
+    m.cpu_mut().gpr[3] = 500;
+    m.run_timed(u64::MAX).expect("runs");
+    let stack = m.counters().cpi_stack();
+    assert!(stack.contains("committing"));
+    assert!(stack.contains("%"));
+}
+
+#[test]
+fn mutation_model_matrix_aligns_its_own_families_better_than_random() {
+    use bioalign::pairwise::smith_waterman_score;
+    let rate = 0.3;
+    let m = SubstitutionMatrix::from_mutation_model(rate, 2.0);
+    let gp = GapPenalties::new(10, 2);
+    let mut g = SeqGen::new(Alphabet::Protein, 2718);
+    let a = g.uniform(150);
+    let hom = g.mutate(&a, rate);
+    let unrelated = g.uniform(150);
+    let s_hom = smith_waterman_score(a.codes(), hom.codes(), &m, gp);
+    let s_rand = smith_waterman_score(a.codes(), unrelated.codes(), &m, gp);
+    assert!(
+        s_hom > 2 * s_rand.max(1),
+        "homolog {s_hom} should dwarf random {s_rand}"
+    );
+}
