@@ -152,9 +152,7 @@ impl WordIndex {
         if subject_word.iter().any(|&c| c as usize >= self.alpha) {
             return &[];
         }
-        self.map
-            .get(&word_id(subject_word, self.alpha))
-            .map_or(&[], Vec::as_slice)
+        self.map.get(&word_id(subject_word, self.alpha)).map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct words indexed.
@@ -188,7 +186,17 @@ fn enumerate_neighborhood(
             continue;
         }
         word[depth] = c;
-        enumerate_neighborhood(target, matrix, core, threshold, depth + 1, s, suffix_best, word, emit);
+        enumerate_neighborhood(
+            target,
+            matrix,
+            core,
+            threshold,
+            depth + 1,
+            s,
+            suffix_best,
+            word,
+            emit,
+        );
     }
 }
 
@@ -206,9 +214,7 @@ pub fn ungapped_extend(
     x_drop: i32,
 ) -> (i32, usize, usize) {
     // Score the seed word itself.
-    let mut score: i32 = (0..word_len)
-        .map(|d| matrix.score(query[qi + d], subject[sj + d]))
-        .sum();
+    let mut score: i32 = (0..word_len).map(|d| matrix.score(query[qi + d], subject[sj + d])).sum();
     let mut best = score;
     let (mut anchor_q, mut anchor_s) = (qi + word_len - 1, sj + word_len - 1);
     // Extend right.
@@ -259,6 +265,7 @@ pub fn ungapped_extend(
 /// allowing free termination anywhere (score-maximising semi-global DP);
 /// the backward half does the same on the reversed prefixes; the anchor
 /// pair itself is scored once.
+#[allow(clippy::too_many_arguments)]
 pub fn gapped_extend_score(
     query: &[u8],
     subject: &[u8],
@@ -315,11 +322,7 @@ fn banded_semiglobal(
         if lo > m {
             break;
         }
-        let mut diag_prev = if lo == 1 {
-            v[0]
-        } else {
-            v[lo - 1]
-        };
+        let mut diag_prev = if lo == 1 { v[0] } else { v[lo - 1] };
         let v_i0 = if i <= band { -wg - i as i32 * ws } else { NEG_INF };
         if lo == 1 {
             v[0] = v_i0;
@@ -405,8 +408,7 @@ pub fn blastp(
                     continue;
                 }
                 last_hit.insert(diag, j + k);
-                let two_hit =
-                    prev.is_some_and(|prev_end| j - prev_end <= params.two_hit_window);
+                let two_hit = prev.is_some_and(|prev_end| j - prev_end <= params.two_hit_window);
                 if !two_hit {
                     continue;
                 }
@@ -431,12 +433,8 @@ pub fn blastp(
                 if gscore >= params.min_report_score
                     && best_for_subject.as_ref().is_none_or(|h| gscore > h.score)
                 {
-                    best_for_subject = Some(BlastHit {
-                        db_index,
-                        score: gscore,
-                        query_pos: aq,
-                        subject_pos: asj,
-                    });
+                    best_for_subject =
+                        Some(BlastHit { db_index, score: gscore, query_pos: aq, subject_pos: asj });
                 }
             }
         }
@@ -469,10 +467,7 @@ mod tests {
             let w = &q.codes()[i..i + 3];
             let self_score: i32 = w.iter().map(|&c| m.score(c, c)).sum();
             if self_score >= params.word_threshold {
-                assert!(
-                    idx.lookup(w).contains(&(i as u32)),
-                    "exact word at {i} missing"
-                );
+                assert!(idx.lookup(w).contains(&(i as u32)), "exact word at {i} missing");
             }
         }
     }
@@ -489,11 +484,7 @@ mod tests {
         let f = Alphabet::Protein.encode(b'F').unwrap();
         let w = Alphabet::Protein.encode(b'W').unwrap();
         assert!(idx.lookup(&[w, w, f]).contains(&0));
-        assert_eq!(
-            m.score(w, f),
-            1,
-            "sanity: W/F BLOSUM62 score changed?"
-        );
+        assert_eq!(m.score(w, f), 1, "sanity: W/F BLOSUM62 score changed?");
     }
 
     #[test]
@@ -526,7 +517,16 @@ mod tests {
         let q = g.uniform(60);
         let m = blosum();
         let mut cells = 0;
-        let s = gapped_extend_score(q.codes(), q.codes(), 30, 30, &m, GapPenalties::new(10, 2), 16, &mut cells);
+        let s = gapped_extend_score(
+            q.codes(),
+            q.codes(),
+            30,
+            30,
+            &m,
+            GapPenalties::new(10, 2),
+            16,
+            &mut cells,
+        );
         let self_score: i32 = q.codes().iter().map(|&c| m.score(c, c)).sum();
         assert_eq!(s, self_score);
         assert!(cells > 0);

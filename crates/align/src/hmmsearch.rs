@@ -47,8 +47,7 @@ pub fn viterbi_score(hmm: &ProfileHmm, seq: &Sequence) -> i32 {
     let mut dmx = vec![NEG_INF_SCORE; m + 1];
     let mut best = NEG_INF_SCORE;
 
-    for i in 0..n {
-        let xi = x[i];
+    for &xi in x {
         let mut mmx_new = vec![NEG_INF_SCORE; m + 1];
         let mut imx_new = vec![NEG_INF_SCORE; m + 1];
         let mut dmx_new = vec![NEG_INF_SCORE; m + 1];
@@ -126,8 +125,7 @@ pub fn forward_score_bits(hmm: &ProfileHmm, seq: &Sequence) -> f64 {
     let mut imx = vec![f64::NEG_INFINITY; m + 1];
     let mut dmx = vec![f64::NEG_INFINITY; m + 1];
     let mut total = f64::NEG_INFINITY;
-    for i in 0..n {
-        let xi = x[i];
+    for &xi in x {
         let mut mmx_new = vec![f64::NEG_INFINITY; m + 1];
         let mut imx_new = vec![f64::NEG_INFINITY; m + 1];
         let mut dmx_new = vec![f64::NEG_INFINITY; m + 1];
@@ -177,10 +175,7 @@ pub fn hmmpfam(models: &[ProfileHmm], query: &Sequence, min_score: i32) -> Vec<H
     let mut hits: Vec<HmmHit> = models
         .iter()
         .enumerate()
-        .map(|(hmm_index, hmm)| HmmHit {
-            hmm_index,
-            score: viterbi_score(hmm, query),
-        })
+        .map(|(hmm_index, hmm)| HmmHit { hmm_index, score: viterbi_score(hmm, query) })
         .filter(|h| h.score >= min_score)
         .collect();
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.hmm_index.cmp(&b.hmm_index)));

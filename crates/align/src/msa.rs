@@ -56,11 +56,7 @@ impl Msa {
             out.push_str(name);
             out.push('\n');
             for &c in row {
-                out.push(if c == GAP {
-                    '-'
-                } else {
-                    self.alphabet.decode(c) as char
-                });
+                out.push(if c == GAP { '-' } else { self.alphabet.decode(c) as char });
             }
             out.push('\n');
         }
@@ -207,8 +203,8 @@ pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..clusters.len() {
             let Some((_, mi)) = &clusters[i] else { continue };
-            for j in (i + 1)..clusters.len() {
-                let Some((_, mj)) = &clusters[j] else { continue };
+            for (j, cj) in clusters.iter().enumerate().skip(i + 1) {
+                let Some((_, mj)) = cj else { continue };
                 let mut sum = 0.0;
                 for &a in mi {
                     for &b in mj {
@@ -216,7 +212,7 @@ pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
                     }
                 }
                 let avg = sum / (mi.len() * mj.len()) as f64;
-                if best.map_or(true, |(_, _, d)| avg < d) {
+                if best.is_none_or(|(_, _, d)| avg < d) {
                     best = Some((i, j, avg));
                 }
             }
@@ -226,22 +222,11 @@ pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
         let (tr, mr) = clusters[j].take().expect("cluster j active");
         let mut members = ml;
         members.extend(mr);
-        clusters[i] = Some((
-            GuideTree::Node {
-                left: Box::new(tl),
-                right: Box::new(tr),
-                height,
-            },
-            members,
-        ));
+        clusters[i] =
+            Some((GuideTree::Node { left: Box::new(tl), right: Box::new(tr), height }, members));
         remaining -= 1;
     }
-    clusters
-        .into_iter()
-        .flatten()
-        .next()
-        .expect("one cluster remains")
-        .0
+    clusters.into_iter().flatten().next().expect("one cluster remains").0
 }
 
 /// Column-frequency profile used during progressive alignment.
@@ -252,10 +237,7 @@ struct Profile {
 
 impl Profile {
     fn from_sequence(s: &Sequence) -> Self {
-        Profile {
-            names: vec![s.name().to_string()],
-            rows: vec![s.codes().to_vec()],
-        }
+        Profile { names: vec![s.name().to_string()], rows: vec![s.codes().to_vec()] }
     }
 
     fn columns(&self) -> usize {
@@ -334,7 +316,12 @@ impl Profile {
 }
 
 /// Global profile-profile alignment (NW over column scores).
-fn align_profiles(a: &Profile, b: &Profile, m: &SubstitutionMatrix, gaps: GapPenalties) -> Vec<AlignOp> {
+fn align_profiles(
+    a: &Profile,
+    b: &Profile,
+    m: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> Vec<AlignOp> {
     let (wg, ws) = (gaps.open, gaps.extend);
     let (n, cols_b) = (a.columns(), b.columns());
     let width = cols_b + 1;
@@ -364,10 +351,7 @@ fn align_profiles(a: &Profile, b: &Profile, m: &SubstitutionMatrix, gaps: GapPen
     let (mut i, mut j) = (n, cols_b);
     while i > 0 || j > 0 {
         let idx = i * width + j;
-        if i > 0
-            && j > 0
-            && v[idx] == v[idx - width - 1] + a.column_score(b, i - 1, j - 1, m)
-        {
+        if i > 0 && j > 0 && v[idx] == v[idx - width - 1] + a.column_score(b, i - 1, j - 1, m) {
             ops_rev.push(AlignOp::Subst);
             i -= 1;
             j -= 1;
@@ -425,10 +409,7 @@ pub fn progressive_align(
 ) -> Msa {
     assert!(!seqs.is_empty(), "cannot align zero sequences");
     let alphabet = seqs[0].alphabet();
-    assert!(
-        seqs.iter().all(|s| s.alphabet() == alphabet),
-        "all sequences must share one alphabet"
-    );
+    assert!(seqs.iter().all(|s| s.alphabet() == alphabet), "all sequences must share one alphabet");
     if seqs.len() == 1 {
         return Msa {
             names: vec![seqs[0].name().to_string()],
@@ -439,11 +420,7 @@ pub fn progressive_align(
     let dist = pairwise_distances(seqs, matrix, gaps);
     let tree = upgma(&dist);
     let profile = build_profile(&tree, seqs, matrix, gaps);
-    Msa {
-        names: profile.names,
-        rows: profile.rows,
-        alphabet,
-    }
+    Msa { names: profile.names, rows: profile.rows, alphabet }
 }
 
 #[cfg(test)]
@@ -476,7 +453,8 @@ mod tests {
         let close = g.mutate(&anc, 0.05);
         let far = g.uniform(80);
         let seqs = vec![anc, close, far];
-        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let d =
+            pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         assert!(d.get(0, 1) < d.get(0, 2));
         assert!(d.get(0, 1) < d.get(1, 2));
     }
@@ -488,7 +466,8 @@ mod tests {
         let twin = g.mutate(&anc, 0.02);
         let cousin = g.mutate(&anc, 0.40);
         let seqs = vec![anc, twin, cousin];
-        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let d =
+            pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         let tree = upgma(&d);
         // The deepest merge should pair sequences 0 and 1.
         match tree {
@@ -514,7 +493,8 @@ mod tests {
     #[test]
     fn msa_rows_recover_inputs() {
         let fam = family(5, 50, 17);
-        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let msa =
+            progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         assert_eq!(msa.num_rows(), 5);
         // Every input sequence appears (possibly reordered by the tree).
         for s in &fam {
@@ -526,7 +506,8 @@ mod tests {
     #[test]
     fn msa_rows_have_equal_length() {
         let fam = family(6, 45, 19);
-        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let msa =
+            progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         let cols = msa.num_columns();
         for i in 0..msa.num_rows() {
             assert_eq!(msa.row(i).len(), cols);
@@ -538,7 +519,8 @@ mod tests {
     fn msa_of_identical_sequences_has_no_gaps() {
         let s = Sequence::from_text("s", Alphabet::Protein, "MKVWHEAGMKVW").unwrap();
         let seqs = vec![s.renamed("a"), s.renamed("b"), s.renamed("c")];
-        let msa = progressive_align(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let msa =
+            progressive_align(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         assert_eq!(msa.num_columns(), 12);
         assert_eq!(msa.average_identity(), 1.0);
     }
@@ -558,7 +540,8 @@ mod tests {
     #[test]
     fn to_text_renders_gaps() {
         let fam = family(3, 20, 23);
-        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let msa =
+            progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         let text = msa.to_text();
         assert_eq!(text.lines().count(), 6);
         assert!(text.starts_with('>'));
@@ -567,11 +550,8 @@ mod tests {
     #[test]
     fn family_alignment_identity_is_high() {
         let fam = family(5, 80, 29);
-        let msa = progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
-        assert!(
-            msa.average_identity() > 0.6,
-            "identity {}",
-            msa.average_identity()
-        );
+        let msa =
+            progressive_align(&fam, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        assert!(msa.average_identity() > 0.6, "identity {}", msa.average_identity());
     }
 }

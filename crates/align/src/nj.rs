@@ -80,18 +80,14 @@ pub fn neighbor_joining(dist: &DistanceMatrix) -> NjTree {
     // Working copies: active node list with trees and a mutable distance
     // table indexed by slot.
     let mut nodes: Vec<Option<NjTree>> = (0..n).map(|i| Some(NjTree::Leaf(i))).collect();
-    let mut d: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| dist.get(i, j)).collect())
-        .collect();
+    let mut d: Vec<Vec<f64>> = (0..n).map(|i| (0..n).map(|j| dist.get(i, j)).collect()).collect();
     let mut active: Vec<usize> = (0..n).collect();
 
     while active.len() > 2 {
         let r = active.len() as f64;
         // Row sums over active entries.
-        let sums: Vec<f64> = active
-            .iter()
-            .map(|&i| active.iter().map(|&j| d[i][j]).sum())
-            .collect();
+        let sums: Vec<f64> =
+            active.iter().map(|&i| active.iter().map(|&j| d[i][j]).sum()).collect();
         // Q(i,j) = (r-2) d(i,j) − sum_i − sum_j; pick the minimum.
         let (mut bi, mut bj, mut bq) = (0usize, 1usize, f64::INFINITY);
         for (ai, &i) in active.iter().enumerate() {
@@ -110,10 +106,7 @@ pub fn neighbor_joining(dist: &DistanceMatrix) -> NjTree {
         let lj = d[i][j] - li;
         let left = nodes[i].take().expect("active node");
         let right = nodes[j].take().expect("active node");
-        let joined = NjTree::Node {
-            left: (Box::new(left), li),
-            right: (Box::new(right), lj),
-        };
+        let joined = NjTree::Node { left: (Box::new(left), li), right: (Box::new(right), lj) };
         // Distances from the new node (reuse slot i).
         let dij = d[i][j];
         for &k in &active {
@@ -131,10 +124,7 @@ pub fn neighbor_joining(dist: &DistanceMatrix) -> NjTree {
     let dij = d[i][j];
     let left = nodes[i].take().expect("active");
     let right = nodes[j].take().expect("active");
-    NjTree::Node {
-        left: (Box::new(left), 0.5 * dij),
-        right: (Box::new(right), 0.5 * dij),
-    }
+    NjTree::Node { left: (Box::new(left), 0.5 * dij), right: (Box::new(right), 0.5 * dij) }
 }
 
 #[cfg(test)]
@@ -176,16 +166,12 @@ mod tests {
             }
         }
         let pairs = siblings(&tree);
-        let ab_joined = pairs.iter().any(|(l, r)| {
-            (l == &vec![0] && r == &vec![1]) || (l == &vec![1] && r == &vec![0])
-        });
+        let ab_joined = pairs
+            .iter()
+            .any(|(l, r)| (l == &vec![0] && r == &vec![1]) || (l == &vec![1] && r == &vec![0]));
         assert!(ab_joined, "A,B not siblings: {}", tree.to_newick());
         // Additive matrix ⇒ total branch length = 2+3+1+4+5 = 15.
-        assert!(
-            (tree.total_length() - 15.0).abs() < 1e-9,
-            "total length {}",
-            tree.total_length()
-        );
+        assert!((tree.total_length() - 15.0).abs() < 1e-9, "total length {}", tree.total_length());
     }
 
     #[test]
@@ -207,7 +193,8 @@ mod tests {
         let far1 = g.uniform(80);
         let far2 = g.uniform(80);
         let seqs = vec![anc, twin, far1, far2];
-        let d = pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
+        let d =
+            pairwise_distances(&seqs, &SubstitutionMatrix::blosum62(), GapPenalties::new(10, 2));
         let tree = neighbor_joining(&d);
         let newick = tree.to_newick();
         // 0 and 1 must appear as a cherry.

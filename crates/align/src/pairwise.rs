@@ -267,14 +267,7 @@ pub fn smith_waterman(
         }
     }
     ops_rev.reverse();
-    LocalAlignment {
-        score: best,
-        start_a: i,
-        start_b: j,
-        end_a: bi,
-        end_b: bj,
-        ops: ops_rev,
-    }
+    LocalAlignment { score: best, start_a: i, start_b: j, end_a: bi, end_b: bj, ops: ops_rev }
 }
 
 /// Needleman-Wunsch with full traceback (O(n·m) space).
@@ -326,10 +319,7 @@ pub fn needleman_wunsch(
         }
     }
     ops_rev.reverse();
-    GlobalAlignment {
-        score: v[n * width + m],
-        ops: ops_rev,
-    }
+    GlobalAlignment { score: v[n * width + m], ops: ops_rev }
 }
 
 #[cfg(test)]
@@ -382,10 +372,7 @@ mod tests {
         let motif = prot("HEAGAWGHEE");
         let a = prot("PPPPHEAGAWGHEEPPPP");
         let motif_self: i32 = motif.codes().iter().map(|&c| m.score(c, c)).sum();
-        assert_eq!(
-            smith_waterman_score(a.codes(), motif.codes(), &m, gp),
-            motif_self
-        );
+        assert_eq!(smith_waterman_score(a.codes(), motif.codes(), &m, gp), motif_self);
     }
 
     #[test]
@@ -436,12 +423,14 @@ mod tests {
                         gap_open = false;
                     }
                     AlignOp::InsertA => {
-                        score -= if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
+                        score -=
+                            if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
                         j += 1;
                         gap_open = true;
                     }
                     AlignOp::InsertB => {
-                        score -= if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
+                        score -=
+                            if gap_open { gp.extend as i64 } else { (gp.open + gp.extend) as i64 };
                         i += 1;
                         gap_open = true;
                     }
@@ -485,10 +474,7 @@ mod tests {
         let m = blosum();
         let gp = GapPenalties::new(10, 2);
         let b = prot("MKVW");
-        assert_eq!(
-            needleman_wunsch_score(&[], b.codes(), &m, gp),
-            -gp.open - 4 * gp.extend
-        );
+        assert_eq!(needleman_wunsch_score(&[], b.codes(), &m, gp), -gp.open - 4 * gp.extend);
         assert_eq!(needleman_wunsch_score(&[], &[], &m, gp), 0);
     }
 
@@ -511,20 +497,11 @@ mod tests {
             let a = g.uniform(40);
             let b = g.homolog(&a, 0.25, 0.1);
             let aln = needleman_wunsch(a.codes(), b.codes(), &m, gp);
-            assert_eq!(
-                aln.score,
-                needleman_wunsch_score(a.codes(), b.codes(), &m, gp)
-            );
-            let consumed_a = aln
-                .ops
-                .iter()
-                .filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertB))
-                .count();
-            let consumed_b = aln
-                .ops
-                .iter()
-                .filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertA))
-                .count();
+            assert_eq!(aln.score, needleman_wunsch_score(a.codes(), b.codes(), &m, gp));
+            let consumed_a =
+                aln.ops.iter().filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertB)).count();
+            let consumed_b =
+                aln.ops.iter().filter(|o| matches!(o, AlignOp::Subst | AlignOp::InsertA)).count();
             assert_eq!(consumed_a, a.len());
             assert_eq!(consumed_b, b.len());
         }

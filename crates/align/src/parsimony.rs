@@ -50,7 +50,7 @@ impl CostMatrix {
         // DNA codes: A=0, C=1, G=2, T=3. Transitions: A<->G, C<->T.
         w[2] = ts;
         w[2 * 4] = ts;
-        w[4 * 1 + 3] = ts;
+        w[4 + 3] = ts;
         w[4 * 3 + 1] = ts;
         CostMatrix { w }
     }
@@ -114,9 +114,7 @@ pub fn sankoff_site(tree: &GuideTree, seqs: &[Sequence], site: usize, w: &CostMa
 /// Panics if sequences are not DNA or differ in length.
 pub fn sankoff_score(tree: &GuideTree, seqs: &[Sequence], w: &CostMatrix) -> i64 {
     validate(seqs);
-    (0..seqs[0].len())
-        .map(|site| sankoff_site(tree, seqs, site, w) as i64)
-        .sum()
+    (0..seqs[0].len()).map(|site| sankoff_site(tree, seqs, site, w) as i64).sum()
 }
 
 fn validate(seqs: &[Sequence]) {

@@ -81,7 +81,7 @@ mod tests {
         let (q, db, m, gp) = setup();
         let res = search(&q, &db, &m, gp, 0);
         assert_eq!(res.hits.len(), db.len()); // threshold 0 keeps everything
-        // The top 4 hits should be substantially better than the median.
+                                              // The top 4 hits should be substantially better than the median.
         let median = res.hits[res.hits.len() / 2].score;
         for hit in &res.hits[..4] {
             assert!(hit.score > median * 2, "homolog score {} vs median {}", hit.score, median);

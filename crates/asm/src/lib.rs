@@ -87,6 +87,13 @@ impl Assembled {
         let word = u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"));
         ppc_isa::decode(word).ok()
     }
+
+    /// The symbol table as `(name, address)` pairs, for consumers that want
+    /// to symbolize addresses (e.g. the simulator's stall heatmaps).
+    /// Unsorted; names are borrowed from the assembly labels verbatim.
+    pub fn symbol_table(&self) -> Vec<(&str, u32)> {
+        self.symbols.iter().map(|(name, &addr)| (name.as_str(), addr)).collect()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -106,10 +113,7 @@ struct Pass1 {
 fn split_operands(rest: &str) -> Vec<String> {
     // Split on commas that are not inside parentheses (there are none in
     // this syntax, so a plain split suffices), trimming whitespace.
-    rest.split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect()
+    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
 }
 
 fn item_size(item: &Item) -> u32 {
@@ -155,7 +159,9 @@ fn pass1(source: &str, base: u32) -> Result<Pass1, AsmError> {
         while let Some(colon) = text.find(':') {
             let (label, rest) = text.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
                 return Err(AsmError { line, message: format!("invalid label {label:?}") });
             }
             if symbols.insert(label.to_string(), base + offset).is_some() {
@@ -190,7 +196,10 @@ fn pass1(source: &str, base: u32) -> Result<Pass1, AsmError> {
                 "align" => {
                     let a = parse_int(rest, line)? as u32;
                     if a == 0 || !a.is_power_of_two() {
-                        return Err(AsmError { line, message: format!(".align must be a power of two, got {a}") });
+                        return Err(AsmError {
+                            line,
+                            message: format!(".align must be a power of two, got {a}"),
+                        });
                     }
                     let pad = (a - (base + offset) % a) % a;
                     Item::Space(pad as usize)
@@ -201,11 +210,7 @@ fn pass1(source: &str, base: u32) -> Result<Pass1, AsmError> {
                 }
             }
         } else {
-            Item::Insn {
-                line,
-                mnemonic: head.to_lowercase(),
-                operands: split_operands(rest),
-            }
+            Item::Insn { line, mnemonic: head.to_lowercase(), operands: split_operands(rest) }
         };
         let at = offset;
         offset += item_size(&item);
@@ -298,7 +303,8 @@ impl OperandParser<'_> {
 
     /// `disp(ra)` memory operand.
     fn mem(&self, tok: &str) -> Result<(i16, Gpr), AsmError> {
-        let open = tok.find('(').ok_or_else(|| self.err(format!("expected disp(rN), got {tok:?}")))?;
+        let open =
+            tok.find('(').ok_or_else(|| self.err(format!("expected disp(rN), got {tok:?}")))?;
         let close = tok.rfind(')').ok_or_else(|| self.err(format!("missing ')' in {tok:?}")))?;
         let disp = if open == 0 { 0 } else { self.imm16(&tok[..open])? };
         let ra = self.gpr(tok[open + 1..close].trim())?;
@@ -493,7 +499,7 @@ fn assemble_insn(
         "b" | "bl" => {
             need(1)?;
             let off = p.branch_offset(&ops[0])?;
-            if off % 4 != 0 || off >= (1 << 25) || off < -(1 << 25) {
+            if off % 4 != 0 || !(-(1 << 25)..(1 << 25)).contains(&off) {
                 return Err(p.err(format!("branch offset {off} invalid")));
             }
             B { offset: off as i32, link: mnemonic == "bl" }
@@ -542,11 +548,7 @@ fn assemble_insn(
         "bdnz" | "bdnzl" => {
             need(1)?;
             let off = bc_offset(p, &ops[0])?;
-            Bc {
-                cond: BranchCond::DecrementNotZero,
-                offset: off,
-                link: mnemonic.ends_with('l'),
-            }
+            Bc { cond: BranchCond::DecrementNotZero, offset: off, link: mnemonic.ends_with('l') }
         }
         "bct" | "bcf" | "bctl" | "bcfl" => {
             need(2)?;
@@ -647,7 +649,7 @@ fn assemble_insn(
 
 fn bc_offset(p: &OperandParser<'_>, tok: &str) -> Result<i16, AsmError> {
     let off = p.branch_offset(tok)?;
-    if off % 4 != 0 || off >= (1 << 15) || off < -(1 << 15) {
+    if off % 4 != 0 || !(-(1 << 15)..(1 << 15)).contains(&off) {
         return Err(p.err(format!("conditional branch offset {off} out of range")));
     }
     Ok(off as i16)
@@ -668,11 +670,7 @@ pub fn assemble(source: &str, base: u32) -> Result<Assembled, AsmError> {
         debug_assert_eq!(bytes.len() as u32, *offset);
         match item {
             Item::Insn { line, mnemonic, operands } => {
-                let p = OperandParser {
-                    symbols: &pass1.symbols,
-                    line: *line,
-                    pc: base + offset,
-                };
+                let p = OperandParser { symbols: &pass1.symbols, line: *line, pc: base + offset };
                 let insn = assemble_insn(mnemonic, operands, &p)?;
                 insn_offsets.push(*offset);
                 bytes.extend_from_slice(&ppc_isa::encode(&insn).to_le_bytes());

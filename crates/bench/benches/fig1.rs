@@ -1,4 +1,7 @@
 //! Regenerates Figure 1: function-wise breakdown per application.
 fn main() {
-    bioarch_bench::run_experiment("Figure 1", |s| s.fig1().expect("fig1 runs").render());
+    bioarch_bench::run_reported("Figure 1", |s| {
+        let r = s.fig1().expect("fig1 runs");
+        (r.render(), r.report())
+    });
 }

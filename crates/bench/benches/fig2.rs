@@ -1,4 +1,7 @@
 //! Regenerates Figure 2: Clustalw IPC / misprediction-rate time series.
 fn main() {
-    bioarch_bench::run_experiment("Figure 2", |s| s.fig2().expect("fig2 runs").render());
+    bioarch_bench::run_reported("Figure 2", |s| {
+        let r = s.fig2().expect("fig2 runs");
+        (r.render(), r.report())
+    });
 }

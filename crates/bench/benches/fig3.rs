@@ -1,4 +1,7 @@
 //! Regenerates Figure 3: IPC with max and isel instructions.
 fn main() {
-    bioarch_bench::run_experiment("Figure 3", |s| s.fig3().expect("fig3 runs").render());
+    bioarch_bench::run_reported("Figure 3", |s| {
+        let r = s.fig3().expect("fig3 runs");
+        (r.render(), r.report())
+    });
 }

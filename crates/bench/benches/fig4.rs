@@ -1,4 +1,7 @@
 //! Regenerates Figure 4: the effect of the eight-entry BTAC.
 fn main() {
-    bioarch_bench::run_experiment("Figure 4", |s| s.fig4().expect("fig4 runs").render());
+    bioarch_bench::run_reported("Figure 4", |s| {
+        let r = s.fig4().expect("fig4 runs");
+        (r.render(), r.report())
+    });
 }

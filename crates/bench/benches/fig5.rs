@@ -1,4 +1,7 @@
 //! Regenerates Figure 5: the effect of additional fixed-point units.
 fn main() {
-    bioarch_bench::run_experiment("Figure 5", |s| s.fig5().expect("fig5 runs").render());
+    bioarch_bench::run_reported("Figure 5", |s| {
+        let r = s.fig5().expect("fig5 runs");
+        (r.render(), r.report())
+    });
 }

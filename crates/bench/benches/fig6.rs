@@ -1,4 +1,7 @@
 //! Regenerates Figure 6: combined gains and the residual.
 fn main() {
-    bioarch_bench::run_experiment("Figure 6", |s| s.fig6().expect("fig6 runs").render());
+    bioarch_bench::run_reported("Figure 6", |s| {
+        let r = s.fig6().expect("fig6 runs");
+        (r.render(), r.report())
+    });
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table I: baseline hardware-counter data.
 fn main() {
-    bioarch_bench::run_experiment("Table I", |s| s.table1().expect("table1 runs").render());
+    bioarch_bench::run_reported("Table I", |s| {
+        let r = s.table1().expect("table1 runs");
+        (r.render(), r.report())
+    });
 }

@@ -1,4 +1,7 @@
 //! Regenerates Table II: branch statistics per application and variant.
 fn main() {
-    bioarch_bench::run_experiment("Table II", |s| s.table2().expect("table2 runs").render());
+    bioarch_bench::run_reported("Table II", |s| {
+        let r = s.table2().expect("table2 runs");
+        (r.render(), r.report())
+    });
 }

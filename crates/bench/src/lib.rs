@@ -7,13 +7,17 @@
 //!
 //! * `BIOARCH_SCALE=test` — run at test scale (seconds instead of
 //!   minutes; used by CI smoke runs);
-//! * `BIOARCH_SEED=<n>` — change the workload seed (default 42).
+//! * `BIOARCH_SEED=<n>` — change the workload seed (default 42);
+//! * `BIOARCH_REPORT_DIR=<dir>` — where experiment JSON reports are
+//!   written (default `target/reports`); set empty to disable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bioarch::apps::Scale;
 use bioarch::experiments::Study;
+use bioarch::report::Report;
+use std::path::PathBuf;
 
 /// The scale selected by `BIOARCH_SCALE` (default: `ClassC`).
 pub fn scale() -> Scale {
@@ -25,10 +29,7 @@ pub fn scale() -> Scale {
 
 /// The seed selected by `BIOARCH_SEED` (default: 42).
 pub fn seed() -> u64 {
-    std::env::var("BIOARCH_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    std::env::var("BIOARCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
 /// A study at the selected scale and seed.
@@ -45,6 +46,41 @@ pub fn run_experiment(name: &str, f: impl FnOnce(&mut Study) -> String) {
     let rendered = f(&mut study);
     println!("{rendered}");
     println!("[{name} regenerated in {:.1?}]", start.elapsed());
+}
+
+/// The directory experiment reports are written to: `BIOARCH_REPORT_DIR`,
+/// defaulting to `target/reports`. `None` when set but empty (reports
+/// disabled).
+pub fn report_dir() -> Option<PathBuf> {
+    match std::env::var("BIOARCH_REPORT_DIR") {
+        Ok(dir) if dir.is_empty() => None,
+        Ok(dir) => Some(PathBuf::from(dir)),
+        Err(_) => Some(PathBuf::from("target/reports")),
+    }
+}
+
+/// Like [`run_experiment`], for experiments that also emit a
+/// machine-readable [`Report`]: the text table is printed and the JSON
+/// document is written to [`report_dir`]`/<experiment>.json` (stamped
+/// with the study's scale and seed), ready for `examples/compare_runs.rs`.
+pub fn run_reported(name: &str, f: impl FnOnce(&mut Study) -> (String, Report)) {
+    let mut study = study();
+    println!("=== {name} (scale {:?}, seed {}) ===", study.scale(), study.seed());
+    let start = std::time::Instant::now();
+    let (rendered, report) = f(&mut study);
+    println!("{rendered}");
+    println!("[{name} regenerated in {:.1?}]", start.elapsed());
+    let report =
+        report.context("scale", format!("{:?}", study.scale())).context("seed", study.seed());
+    if let Some(dir) = report_dir() {
+        let path = dir.join(format!("{}.json", report.experiment));
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, report.render_json()));
+        match write {
+            Ok(()) => println!("[report written to {}]", path.display()),
+            Err(e) => eprintln!("[report NOT written to {}: {e}]", path.display()),
+        }
+    }
 }
 
 #[cfg(test)]

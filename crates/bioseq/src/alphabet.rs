@@ -68,10 +68,7 @@ impl Alphabet {
     /// Returns `None` for characters outside the alphabet.
     pub fn encode(self, letter: u8) -> Option<u8> {
         let upper = letter.to_ascii_uppercase();
-        self.letters()
-            .iter()
-            .position(|&l| l == upper)
-            .map(|i| i as u8)
+        self.letters().iter().position(|&l| l == upper).map(|i| i as u8)
     }
 
     /// Map a residue code back to its ASCII letter.
@@ -151,10 +148,7 @@ mod tests {
     #[test]
     fn unknown_codes_decode_to_ambiguity_letters() {
         assert_eq!(Alphabet::Dna.decode(Alphabet::Dna.unknown_code()), b'N');
-        assert_eq!(
-            Alphabet::Protein.decode(Alphabet::Protein.unknown_code()),
-            b'X'
-        );
+        assert_eq!(Alphabet::Protein.decode(Alphabet::Protein.unknown_code()), b'X');
     }
 
     #[test]

@@ -35,11 +35,9 @@ impl fmt::Display for ParseFastaError {
             ParseFastaError::MissingHeader { line } => {
                 write!(f, "line {line}: residue data before first '>' header")
             }
-            ParseFastaError::InvalidResidue { line, byte, alphabet } => write!(
-                f,
-                "line {line}: invalid {alphabet} residue {:?}",
-                *byte as char
-            ),
+            ParseFastaError::InvalidResidue { line, byte, alphabet } => {
+                write!(f, "line {line}: invalid {alphabet} residue {:?}", *byte as char)
+            }
             ParseFastaError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -35,11 +35,7 @@ pub struct SeqGen {
 impl SeqGen {
     /// Create a generator for `alphabet` seeded with `seed`.
     pub fn new(alphabet: Alphabet, seed: u64) -> Self {
-        SeqGen {
-            alphabet,
-            rng: StdRng::seed_from_u64(seed),
-            counter: 0,
-        }
+        SeqGen { alphabet, rng: StdRng::seed_from_u64(seed), counter: 0 }
     }
 
     /// The generator's alphabet.
@@ -194,12 +190,7 @@ pub fn identity(a: &Sequence, b: &Sequence) -> f64 {
     if a.is_empty() {
         return 1.0;
     }
-    let same = a
-        .codes()
-        .iter()
-        .zip(b.codes())
-        .filter(|(x, y)| x == y)
-        .count();
+    let same = a.codes().iter().zip(b.codes()).filter(|(x, y)| x == y).count();
     same as f64 / a.len() as f64
 }
 

@@ -221,6 +221,7 @@ impl ProfileHmm {
         for v in tsc.iter_mut() {
             *v = vec![NEG_INF_SCORE; m + 1];
         }
+        #[allow(clippy::needless_range_loop)]
         for node in 1..=m {
             tsc[Transition::MM as usize][node] = t(0.90);
             tsc[Transition::MI as usize][node] = t(0.05);
@@ -244,16 +245,7 @@ impl ProfileHmm {
             esc[node] = if node == m { t(0.5) } else { t(0.5 / m as f64) };
         }
 
-        ProfileHmm {
-            name: name.into(),
-            m,
-            msc,
-            isc,
-            tsc,
-            bsc,
-            esc,
-            k,
-        }
+        ProfileHmm { name: name.into(), m, msc, isc, tsc, bsc, esc, k }
     }
 
     /// Build a model from a gap-free family alignment (all sequences the
@@ -531,12 +523,8 @@ mod tests {
         assert_eq!(hmm.len(), 50);
         // The ancestor's residues should score well in most columns.
         let anc = &fam[0];
-        let positive = anc
-            .codes()
-            .iter()
-            .enumerate()
-            .filter(|&(i, &r)| hmm.match_score(i + 1, r) > 0)
-            .count();
+        let positive =
+            anc.codes().iter().enumerate().filter(|&(i, &r)| hmm.match_score(i + 1, r) > 0).count();
         assert!(positive > 40, "only {positive}/50 ancestor residues score positive");
     }
 
@@ -573,8 +561,8 @@ mod tests {
     fn from_text_rejects_malformed_input() {
         assert!(ProfileHmm::from_text("").is_err());
         assert!(ProfileHmm::from_text("NAME x\nLENG 3\n").is_err()); // no ALPH
-        let e = ProfileHmm::from_text("NAME x\nLENG 2\nALPH 24\nT 9 0 0 0 0 0 0 0 0 0\n")
-            .unwrap_err();
+        let e =
+            ProfileHmm::from_text("NAME x\nLENG 2\nALPH 24\nT 9 0 0 0 0 0 0 0 0 0\n").unwrap_err();
         assert!(e.message.contains("node index"), "{e}");
         let e = ProfileHmm::from_text("NAME x\nLENG 2\nALPH 24\nT 1 1 2 3\n").unwrap_err();
         assert!(e.message.contains("9 transition"), "{e}");

@@ -70,12 +70,7 @@ impl SubstitutionMatrix {
         for row in BLOSUM62.iter() {
             scores.extend(row.iter().map(|&v| v as i32));
         }
-        SubstitutionMatrix {
-            name: "BLOSUM62".to_string(),
-            alphabet: Alphabet::Protein,
-            n,
-            scores,
-        }
+        SubstitutionMatrix { name: "BLOSUM62".to_string(), alphabet: Alphabet::Protein, n, scores }
     }
 
     /// A DNA match/mismatch matrix (`match_score` on the diagonal,
@@ -150,12 +145,7 @@ impl SubstitutionMatrix {
         for i in 0..n {
             scores[i * n + i] = match_score;
         }
-        SubstitutionMatrix {
-            name: format!("identity({alphabet})"),
-            alphabet,
-            n,
-            scores,
-        }
+        SubstitutionMatrix { name: format!("identity({alphabet})"), alphabet, n, scores }
     }
 
     /// Matrix name (e.g. `"BLOSUM62"`).
@@ -198,16 +188,14 @@ impl SubstitutionMatrix {
         assert_eq!(a.len(), b.len(), "ungapped scoring needs equal lengths");
         assert_eq!(a.alphabet(), self.alphabet);
         assert_eq!(b.alphabet(), self.alphabet);
-        a.codes()
-            .iter()
-            .zip(b.codes())
-            .map(|(&x, &y)| self.score(x, y) as i64)
-            .sum()
+        a.codes().iter().zip(b.codes()).map(|(&x, &y)| self.score(x, y) as i64).sum()
     }
 
     /// Whether the matrix is symmetric (all real substitution matrices are).
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n).all(|i| (0..self.n).all(|j| self.scores[i * self.n + j] == self.scores[j * self.n + i]))
+        (0..self.n).all(|i| {
+            (0..self.n).all(|j| self.scores[i * self.n + j] == self.scores[j * self.n + i])
+        })
     }
 
     /// Largest score in the matrix.

@@ -61,11 +61,7 @@ impl Sequence {
             codes.iter().all(|&c| alphabet.is_valid_code(c)),
             "residue code out of range for {alphabet}"
         );
-        Sequence {
-            name: name.into(),
-            alphabet,
-            residues: codes,
-        }
+        Sequence { name: name.into(), alphabet, residues: codes }
     }
 
     /// Parse a sequence from ASCII residue text (case-insensitive).
@@ -84,20 +80,10 @@ impl Sequence {
         for (position, &byte) in text.as_ref().as_bytes().iter().enumerate() {
             match alphabet.encode(byte) {
                 Some(code) => residues.push(code),
-                None => {
-                    return Err(ParseSequenceError {
-                        byte,
-                        position,
-                        alphabet,
-                    })
-                }
+                None => return Err(ParseSequenceError { byte, position, alphabet }),
             }
         }
-        Ok(Sequence {
-            name: name.into(),
-            alphabet,
-            residues,
-        })
+        Ok(Sequence { name: name.into(), alphabet, residues })
     }
 
     /// The sequence's name (FASTA header without `>`).
@@ -127,19 +113,12 @@ impl Sequence {
 
     /// Decode back to ASCII text.
     pub fn to_text(&self) -> String {
-        self.residues
-            .iter()
-            .map(|&c| self.alphabet.decode(c) as char)
-            .collect()
+        self.residues.iter().map(|&c| self.alphabet.decode(c) as char).collect()
     }
 
     /// A renamed copy of this sequence.
     pub fn renamed(&self, name: impl Into<String>) -> Sequence {
-        Sequence {
-            name: name.into(),
-            alphabet: self.alphabet,
-            residues: self.residues.clone(),
-        }
+        Sequence { name: name.into(), alphabet: self.alphabet, residues: self.residues.clone() }
     }
 
     /// A sub-sequence covering `range` (half-open, in residue indices).

@@ -17,7 +17,13 @@ fn main() {
             base.counters.branches.direction_fraction(),
             base.validated);
         println!();
-        for v in [Variant::HandIsel, Variant::HandMax, Variant::CompilerIsel, Variant::CompilerMax, Variant::Combination] {
+        for v in [
+            Variant::HandIsel,
+            Variant::HandMax,
+            Variant::CompilerIsel,
+            Variant::CompilerMax,
+            Variant::Combination,
+        ] {
             let r = wl.run(v, &CoreConfig::power5()).unwrap();
             let speedup = base.counters.cycles as f64 / r.counters.cycles as f64;
             println!("   {:12} ipc {:.2} (+{:>5.1}%) speedup {:>5.1}% conv {} rej {} val={} predfrac {:.1}% cmp {:.1}% br {:.1}%",

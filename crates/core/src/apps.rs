@@ -9,7 +9,7 @@ use bioseq::generate::SeqGen;
 use bioseq::hmm::ProfileHmm;
 use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
 use power5_sim::machine::{Machine, ProfileRegion, SimError};
-use power5_sim::{CoreConfig, Counters};
+use power5_sim::{CoreConfig, Counters, StallBreakdown, SymbolMap, Tracer};
 use std::fmt;
 
 /// The four applications of the study.
@@ -102,12 +102,22 @@ impl Variant {
         }
     }
 
+    /// Machine-readable identifier used in report metric names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::HandIsel => "hand_isel",
+            Variant::HandMax => "hand_max",
+            Variant::CompilerIsel => "compiler_isel",
+            Variant::CompilerMax => "compiler_max",
+            Variant::Combination => "combination",
+        }
+    }
+
     /// Which source flavour this variant compiles.
     pub fn flavor(self) -> Flavor {
         match self {
-            Variant::Baseline
-            | Variant::CompilerIsel
-            | Variant::CompilerMax => Flavor::Branchy,
+            Variant::Baseline | Variant::CompilerIsel | Variant::CompilerMax => Flavor::Branchy,
             Variant::HandIsel | Variant::HandMax | Variant::Combination => Flavor::Hand,
         }
     }
@@ -231,6 +241,17 @@ pub struct BranchSiteReport {
     pub stats: power5_sim::core::BranchSite,
 }
 
+/// One PC in an all-stall-class heatmap ([`AppRun::stall_sites`]).
+#[derive(Debug, Clone)]
+pub struct StallSiteReport {
+    /// Instruction PC the stall cycles were charged to.
+    pub pc: u32,
+    /// Enclosing function (via the symbol table), `?` if unknown.
+    pub function: String,
+    /// Completion-stall cycles at this PC, by class.
+    pub breakdown: StallBreakdown,
+}
+
 /// Result of one simulated application run.
 #[derive(Debug, Clone)]
 pub struct AppRun {
@@ -249,6 +270,22 @@ pub struct AppRun {
     /// Per-PC conditional-branch statistics, sorted by mispredictions
     /// (empty unless requested via [`Workload::run_with_branch_sites`]).
     pub branch_sites: Vec<BranchSiteReport>,
+    /// Per-PC completion-stall attribution across every stall class,
+    /// hottest site first (empty unless requested via
+    /// [`Workload::run_with_stall_sites`]).
+    pub stall_sites: Vec<StallSiteReport>,
+    /// Symbolized rendering of [`AppRun::stall_sites`] (empty unless
+    /// requested).
+    pub stall_heatmap: String,
+}
+
+/// Optional collection switches for one simulated run.
+#[derive(Default)]
+struct RunOpts {
+    interval: Option<u64>,
+    branch_sites: bool,
+    stall_sites: bool,
+    tracer: Option<Tracer>,
 }
 
 /// A fully prepared workload: inputs generated, golden results computed.
@@ -340,12 +377,8 @@ impl Workload {
                 let mut pair_scores = vec![0i32; nseq * nseq];
                 for i in 0..nseq {
                     for j in (i + 1)..nseq {
-                        let sc = needleman_wunsch_score(
-                            seqs[i].codes(),
-                            seqs[j].codes(),
-                            &matrix,
-                            gp,
-                        );
+                        let sc =
+                            needleman_wunsch_score(seqs[i].codes(), seqs[j].codes(), &matrix, gp);
                         pair_scores[i * nseq + j] = sc;
                         pair_scores[j * nseq + i] = sc;
                     }
@@ -372,8 +405,7 @@ impl Workload {
                     }
                     Sequence::from_codes("query", Alphabet::Protein, codes)
                 };
-                let scores: Vec<i32> =
-                    models.iter().map(|h| viterbi_score(h, &query)).collect();
+                let scores: Vec<i32> = models.iter().map(|h| viterbi_score(h, &query)).collect();
                 let ranked = host_rank(&scores);
                 (Inputs::Hmmer { query, models }, Expected::Hmmer { scores, ranked })
             }
@@ -605,8 +637,7 @@ impl Workload {
                             if hits.is_empty() {
                                 continue;
                             }
-                            let id =
-                                (c0 as usize * 24 + c1 as usize) * 24 + c2 as usize;
+                            let id = (c0 as usize * 24 + c1 as usize) * 24 + c2 as usize;
                             woff[id] = pos.len() as i32;
                             wcnt[id] = hits.len() as i32;
                             pos.extend(hits.iter().map(|&p| p as i32));
@@ -707,7 +738,8 @@ impl Workload {
         config: &CoreConfig,
         interval: Option<u64>,
     ) -> Result<AppRun, RunError> {
-        self.run_configured(variant, config, interval, false)
+        let opts = RunOpts { interval, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
     }
 
     /// Like [`Workload::run`], additionally collecting per-PC branch
@@ -722,16 +754,51 @@ impl Workload {
         variant: Variant,
         config: &CoreConfig,
     ) -> Result<AppRun, RunError> {
-        self.run_configured(variant, config, None, true)
+        let opts = RunOpts { branch_sites: true, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
+    }
+
+    /// Like [`Workload::run`], additionally attributing every completion
+    /// stall to the PC it completed at — the "guilty branch" analysis
+    /// extended to all stall classes. Fills [`AppRun::stall_sites`] and the
+    /// symbolized [`AppRun::stall_heatmap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run`].
+    pub fn run_with_stall_sites(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+    ) -> Result<AppRun, RunError> {
+        let opts = RunOpts { stall_sites: true, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
+    }
+
+    /// Like [`Workload::run`], with a pipeline event [`Tracer`] installed
+    /// for the whole run. The tracer is returned alongside the result so
+    /// the caller can inspect a ring buffer or flush a sink (call
+    /// [`Tracer::finish`] to surface deferred I/O errors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run`].
+    pub fn run_traced(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        tracer: Tracer,
+    ) -> Result<(AppRun, Tracer), RunError> {
+        let opts = RunOpts { tracer: Some(tracer), ..RunOpts::default() };
+        self.run_configured(variant, config, opts)
     }
 
     fn run_configured(
         &self,
         variant: Variant,
         config: &CoreConfig,
-        interval: Option<u64>,
-        branch_sites: bool,
-    ) -> Result<AppRun, RunError> {
+        opts: RunOpts,
+    ) -> Result<(AppRun, Tracer), RunError> {
         let plan = self.plan();
         let source = kernels::render(&self.source(variant.flavor()), &plan.consts);
         let compiled = kernelc::compile(&source, &variant.options())?;
@@ -741,20 +808,12 @@ impl Workload {
             "program image overlaps the data region"
         );
         let entry = assembled.symbols["__start"];
-        let mut machine = Machine::new(
-            config.clone(),
-            &assembled.bytes,
-            CODE_BASE,
-            entry,
-            MEM_SIZE,
-        );
+        let mut machine =
+            Machine::new(config.clone(), &assembled.bytes, CODE_BASE, entry, MEM_SIZE);
         // Function profile regions from the symbol table.
         let code_end = CODE_BASE + assembled.bytes.len() as u32;
-        let mut syms: Vec<(&String, &u32)> = assembled
-            .symbols
-            .iter()
-            .filter(|(name, _)| !name.starts_with('.'))
-            .collect();
+        let mut syms: Vec<(&String, &u32)> =
+            assembled.symbols.iter().filter(|(name, _)| !name.starts_with('.')).collect();
         syms.sort_by_key(|(_, &addr)| addr);
         let regions: Vec<ProfileRegion> = syms
             .iter()
@@ -766,10 +825,15 @@ impl Workload {
             })
             .collect();
         machine.set_profile_regions(regions.clone());
-        if let Some(n) = interval {
+        machine.set_symbols(SymbolMap::new(assembled.symbol_table()));
+        if let Some(n) = opts.interval {
             machine.set_interval_sampling(n);
         }
-        machine.set_branch_site_profiling(branch_sites);
+        machine.set_branch_site_profiling(opts.branch_sites);
+        machine.set_stall_site_profiling(opts.stall_sites);
+        if let Some(t) = opts.tracer {
+            machine.set_tracer(t);
+        }
         // Serialize the workload.
         for (addr, words) in &plan.word_inits {
             machine.mem_mut().write_i32s(*addr, words).expect("data fits");
@@ -784,41 +848,47 @@ impl Workload {
             return Err(RunError::Budget);
         }
         // Read back and validate.
-        let out = machine
-            .mem()
-            .read_i32s(plan.out_addr, plan.out_len)
-            .expect("output readable");
+        let out = machine.mem().read_i32s(plan.out_addr, plan.out_len).expect("output readable");
         let aux = if plan.aux_len > 0 {
-            machine
-                .mem()
-                .read_i32s(plan.aux_addr, plan.aux_len)
-                .expect("aux readable")
+            machine.mem().read_i32s(plan.aux_addr, plan.aux_len).expect("aux readable")
         } else {
             Vec::new()
         };
         let mut mismatches = Vec::new();
         self.validate(&out, &aux, &mut mismatches);
+        let function_of = |pc: u32| {
+            regions
+                .iter()
+                .find(|r| pc >= r.start && pc < r.end)
+                .map_or_else(|| "?".to_string(), |r| r.name.clone())
+        };
         let site_reports = machine
             .branch_sites()
             .into_iter()
-            .map(|(pc, stats)| BranchSiteReport {
-                pc,
-                function: regions
-                    .iter()
-                    .find(|r| pc >= r.start && pc < r.end)
-                    .map_or_else(|| "?".to_string(), |r| r.name.clone()),
-                stats,
-            })
+            .map(|(pc, stats)| BranchSiteReport { pc, function: function_of(pc), stats })
             .collect();
-        Ok(AppRun {
-            counters: machine.counters(),
-            profile: machine.profile_results(),
-            validated: mismatches.is_empty(),
-            mismatches,
-            converted_hammocks: compiled.converted_hammocks,
-            rejected_hammocks: compiled.rejected_hammocks,
-            branch_sites: site_reports,
-        })
+        let stall_reports: Vec<StallSiteReport> = machine
+            .stall_sites()
+            .into_iter()
+            .map(|(pc, breakdown)| StallSiteReport { pc, function: function_of(pc), breakdown })
+            .collect();
+        let stall_heatmap =
+            if stall_reports.is_empty() { String::new() } else { machine.stall_heatmap(16) };
+        let tracer = machine.take_tracer();
+        Ok((
+            AppRun {
+                counters: machine.counters(),
+                profile: machine.profile_results(),
+                validated: mismatches.is_empty(),
+                mismatches,
+                converted_hammocks: compiled.converted_hammocks,
+                rejected_hammocks: compiled.rejected_hammocks,
+                branch_sites: site_reports,
+                stall_sites: stall_reports,
+                stall_heatmap,
+            },
+            tracer,
+        ))
     }
 
     fn validate(&self, out: &[i32], aux: &[i32], mismatches: &mut Vec<String>) {
@@ -837,7 +907,6 @@ impl Workload {
         }
     }
 }
-
 
 fn compare(what: &str, expected: &[i32], actual: &[i32], mismatches: &mut Vec<String>) {
     if expected.len() != actual.len() {
@@ -936,11 +1005,11 @@ mod tests {
         // 3 sequences: 0 and 2 most similar.
         let nseq = 3;
         let mut s = vec![0i32; 9];
-        s[0 * 3 + 1] = 10;
-        s[1 * 3 + 0] = 10;
-        s[0 * 3 + 2] = 90;
-        s[2 * 3 + 0] = 90;
-        s[1 * 3 + 2] = 20;
+        s[1] = 10;
+        s[3] = 10;
+        s[2] = 90;
+        s[2 * 3] = 90;
+        s[3 + 2] = 20;
         s[2 * 3 + 1] = 20;
         let joins = host_guide_tree(&s, nseq);
         assert_eq!(&joins[..2], &[0, 2]);

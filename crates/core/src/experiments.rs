@@ -16,7 +16,7 @@
 //! Plain IPC is also retained in every result for reference.
 
 use crate::apps::{App, AppRun, RunError, Scale, Variant, Workload};
-use crate::report::{frac, pct, Table};
+use crate::report::{frac, pct, Direction, Report, Table};
 use power5_sim::config::BtacConfig;
 use power5_sim::counters::IntervalSample;
 use power5_sim::CoreConfig;
@@ -42,9 +42,7 @@ impl Hw {
             Hw::Stock => CoreConfig::power5(),
             Hw::Btac => CoreConfig::power5().with_btac(BtacConfig::default()),
             Hw::Fxus(n) => CoreConfig::power5().with_fxus(n),
-            Hw::BtacFxus(n) => CoreConfig::power5()
-                .with_btac(BtacConfig::default())
-                .with_fxus(n),
+            Hw::BtacFxus(n) => CoreConfig::power5().with_btac(BtacConfig::default()).with_fxus(n),
         }
     }
 }
@@ -60,10 +58,7 @@ pub struct Study {
 impl Study {
     /// Prepare workloads for all four applications.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        let workloads = App::all()
-            .into_iter()
-            .map(|app| Workload::new(app, scale, seed))
-            .collect();
+        let workloads = App::all().into_iter().map(|app| Workload::new(app, scale, seed)).collect();
         Study { scale, seed, workloads, cache: HashMap::new() }
     }
 
@@ -78,10 +73,7 @@ impl Study {
     }
 
     fn workload(&self, app: App) -> &Workload {
-        self.workloads
-            .iter()
-            .find(|w| w.app() == app)
-            .expect("all apps present")
+        self.workloads.iter().find(|w| w.app() == app).expect("all apps present")
     }
 
     /// Run (or fetch from cache) one `(app, variant, hw)` combination.
@@ -348,6 +340,11 @@ impl Study {
 // Result types
 // ----------------------------------------------------------------------
 
+/// Lower-case metric prefix for an application.
+fn slug(app: App) -> String {
+    app.name().to_lowercase()
+}
+
 /// One row of Table I.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
@@ -394,6 +391,20 @@ impl Table1 {
         }
         format!("Table I — Hardware counter data (baseline POWER5)\n{}", t.render())
     }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("table1");
+        for row in &self.rows {
+            let p = slug(row.app);
+            r.push(format!("{p}.ipc"), row.ipc, Direction::Higher);
+            r.push(format!("{p}.l1d_miss_rate"), row.l1d_miss_rate, Direction::Lower);
+            r.push(format!("{p}.direction_fraction"), row.direction_fraction, Direction::Neutral);
+            r.push(format!("{p}.fxu_stall_fraction"), row.fxu_stall_fraction, Direction::Lower);
+            r.push(format!("{p}.mispredict_rate"), row.mispredict_rate, Direction::Lower);
+        }
+        r
+    }
 }
 
 /// One application's function breakdown for Figure 1.
@@ -423,6 +434,17 @@ impl Fig1 {
             }
         }
         out
+    }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig1");
+        for a in &self.apps {
+            if let Some((name, share)) = a.functions.first() {
+                r.push(format!("{}.kernel_share.{name}", slug(a.app)), *share, Direction::Neutral);
+            }
+        }
+        r
     }
 }
 
@@ -485,6 +507,25 @@ impl Fig2 {
             sxy / (sxx.sqrt() * syy.sqrt())
         }
     }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig2");
+        let n = self.samples.len().max(1) as f64;
+        r.push("clustalw.samples", self.samples.len() as f64, Direction::Neutral);
+        r.push(
+            "clustalw.mean_ipc",
+            self.samples.iter().map(|s| s.ipc).sum::<f64>() / n,
+            Direction::Higher,
+        );
+        r.push(
+            "clustalw.mean_mispredict_rate",
+            self.samples.iter().map(|s| s.mispredict_rate).sum::<f64>() / n,
+            Direction::Lower,
+        );
+        r.push("clustalw.ipc_mispredict_correlation", self.correlation(), Direction::Neutral);
+        r
+    }
 }
 
 /// One variant bar of Figure 3.
@@ -514,10 +555,7 @@ pub struct Fig3App {
 impl Fig3App {
     /// The bar for `v`.
     pub fn bar(&self, v: Variant) -> &Fig3Bar {
-        self.variants
-            .iter()
-            .find(|b| b.variant == v)
-            .expect("all variants present")
+        self.variants.iter().find(|b| b.variant == v).expect("all variants present")
     }
 }
 
@@ -562,6 +600,28 @@ impl Fig3 {
             pct(self.average_improvement(Variant::HandIsel)),
             pct(self.average_improvement(Variant::HandMax)),
         )
+    }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig3");
+        for a in &self.apps {
+            let p = slug(a.app);
+            for b in &a.variants {
+                let v = b.variant.slug();
+                r.push(format!("{p}.{v}.ipc"), b.ipc, Direction::Higher);
+                r.push(format!("{p}.{v}.norm_ipc"), b.norm_ipc, Direction::Higher);
+                r.push(format!("{p}.{v}.speedup"), b.speedup, Direction::Higher);
+            }
+        }
+        for v in [Variant::HandIsel, Variant::HandMax] {
+            r.push(
+                format!("avg.{}_improvement", v.slug()),
+                self.average_improvement(v),
+                Direction::Higher,
+            );
+        }
+        r
     }
 }
 
@@ -608,6 +668,18 @@ impl Table2 {
         }
         format!("Table II — Branch performance with predicated instructions\n{}", t.render())
     }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("table2");
+        for row in &self.rows {
+            let p = format!("{}.{}", slug(row.app), row.variant.slug());
+            r.push(format!("{p}.branch_fraction"), row.branch_fraction, Direction::Lower);
+            r.push(format!("{p}.mispredict_rate"), row.mispredict_rate, Direction::Lower);
+            r.push(format!("{p}.taken_fraction"), row.taken_fraction, Direction::Neutral);
+        }
+        r
+    }
 }
 
 /// One row of Figure 4.
@@ -651,6 +723,17 @@ impl Fig4 {
         }
         format!("Figure 4 — Effect of an eight-entry BTAC\n{}", t.render())
     }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig4");
+        for row in &self.rows {
+            let p = format!("{}.{}", slug(row.app), row.variant.slug());
+            r.push(format!("{p}.btac_speedup"), row.speedup, Direction::Higher);
+            r.push(format!("{p}.btac_mispredict_rate"), row.btac_mispredict_rate, Direction::Lower);
+        }
+        r
+    }
 }
 
 /// One row of Figure 5.
@@ -691,6 +774,26 @@ impl Fig5 {
             ]);
         }
         format!("Figure 5 — Effect of additional fixed-point units\n{}", t.render())
+    }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig5");
+        for row in &self.rows {
+            let p = slug(row.app);
+            r.push(format!("{p}.baseline_4fxu_speedup"), row.baseline_4fxu, Direction::Higher);
+            r.push(
+                format!("{p}.combination_3fxu_speedup"),
+                row.combination_3fxu,
+                Direction::Higher,
+            );
+            r.push(
+                format!("{p}.combination_4fxu_speedup"),
+                row.combination_4fxu,
+                Direction::Higher,
+            );
+        }
+        r
     }
 }
 
@@ -764,6 +867,23 @@ impl Fig6 {
             pct(self.average_improvement())
         )
     }
+
+    /// Machine-readable report (schema `bioarch-report/v1`).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("fig6");
+        for row in &self.rows {
+            let p = slug(row.app);
+            r.push(format!("{p}.baseline_ipc"), row.baseline_ipc, Direction::Higher);
+            r.push(format!("{p}.predication_delta"), row.predication_delta, Direction::Higher);
+            r.push(format!("{p}.btac_delta"), row.btac_delta, Direction::Higher);
+            r.push(format!("{p}.fxu_delta"), row.fxu_delta, Direction::Higher);
+            r.push(format!("{p}.combined_ipc"), row.combined_ipc, Direction::Higher);
+            r.push(format!("{p}.residual"), row.residual, Direction::Neutral);
+            r.push(format!("{p}.total_improvement"), row.total_improvement(), Direction::Higher);
+        }
+        r.push("avg.total_improvement", self.average_improvement(), Direction::Higher);
+        r
+    }
 }
 
 #[cfg(test)]
@@ -834,16 +954,10 @@ mod tests {
         assert_eq!(t2.rows.len(), 20);
         // Predication reduces the branch fraction vs. the original.
         for app in App::all() {
-            let orig = t2
-                .rows
-                .iter()
-                .find(|r| r.app == app && r.variant == Variant::Baseline)
-                .unwrap();
-            let hand = t2
-                .rows
-                .iter()
-                .find(|r| r.app == app && r.variant == Variant::HandMax)
-                .unwrap();
+            let orig =
+                t2.rows.iter().find(|r| r.app == app && r.variant == Variant::Baseline).unwrap();
+            let hand =
+                t2.rows.iter().find(|r| r.app == app && r.variant == Variant::HandMax).unwrap();
             assert!(
                 hand.branch_fraction < orig.branch_fraction,
                 "{app}: {} !< {}",
@@ -892,6 +1006,38 @@ mod tests {
         }
         assert!(f6.average_improvement() > 0.05);
         assert!(f6.render().contains("combined IPC"));
+    }
+
+    #[test]
+    fn experiment_reports_roundtrip_through_json() {
+        let t1 = Table1 {
+            rows: vec![Table1Row {
+                app: App::Blast,
+                ipc: 0.9,
+                l1d_miss_rate: 0.012,
+                direction_fraction: 0.95,
+                fxu_stall_fraction: 0.2,
+                mispredict_rate: 0.08,
+            }],
+        };
+        let rep = t1.report();
+        assert_eq!(rep.experiment, "table1");
+        assert_eq!(rep.metrics.len(), 5);
+        let back = Report::parse(&rep.render_json()).unwrap();
+        assert_eq!(back.get("blast.ipc").unwrap().value, 0.9);
+        assert_eq!(back.get("blast.ipc").unwrap().direction, Direction::Higher);
+        assert_eq!(back.get("blast.l1d_miss_rate").unwrap().direction, Direction::Lower);
+
+        let f5 = Fig5 {
+            rows: vec![Fig5Row {
+                app: App::Fasta,
+                baseline_4fxu: 1.02,
+                combination_3fxu: 1.10,
+                combination_4fxu: 1.12,
+            }],
+        };
+        let back = Report::parse(&f5.report().render_json()).unwrap();
+        assert_eq!(back.get("fasta.combination_4fxu_speedup").unwrap().value, 1.12);
     }
 
     #[test]

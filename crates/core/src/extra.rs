@@ -178,9 +178,8 @@ impl PhylipWorkload {
         let dist = pairwise_distances(&seqs, &SubstitutionMatrix::dna(5, -4), gaps());
         let tree = upgma(&dist);
         let cost = CostMatrix::ts_tv(1, 2);
-        let expected_sites = (0..nsites)
-            .map(|site| sankoff_site(&tree, &seqs, site, &cost))
-            .collect();
+        let expected_sites =
+            (0..nsites).map(|site| sankoff_site(&tree, &seqs, site, &cost)).collect();
         PhylipWorkload { seqs, tree, cost, expected_sites }
     }
 
@@ -216,7 +215,8 @@ impl PhylipWorkload {
         let nnodes = kids.len() / 2;
         let kids_addr = 0x8_0000u32;
         let leaf_addr = kids_addr + 4 * kids.len() as u32 + 64;
-        let leaf_bytes: Vec<u8> = self.seqs.iter().flat_map(|s| s.codes().iter().copied()).collect();
+        let leaf_bytes: Vec<u8> =
+            self.seqs.iter().flat_map(|s| s.codes().iter().copied()).collect();
         let w_addr = leaf_addr + leaf_bytes.len() as u32 + 64;
         let dp_addr = w_addr + 64 + 64;
         let out_addr = dp_addr + 4 * (nnodes as u32) * 4 + 64;

@@ -923,7 +923,9 @@ mod tests {
     #[test]
     fn hand_sources_use_the_intrinsic() {
         let consts = dummy_consts();
-        for src in [fasta(Flavor::Hand), clustalw(Flavor::Hand), hmmer(Flavor::Hand), blast(Flavor::Hand)] {
+        for src in
+            [fasta(Flavor::Hand), clustalw(Flavor::Hand), hmmer(Flavor::Hand), blast(Flavor::Hand)]
+        {
             let rendered = render(&src, &consts);
             let hand = kernelc::compile(&rendered, &kernelc::Options::hand_max()).unwrap();
             assert!(hand.asm.contains("maxw"), "hand flavour lacks maxw");

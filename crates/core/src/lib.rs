@@ -36,6 +36,7 @@
 pub mod apps;
 pub mod experiments;
 pub mod extra;
+pub mod json;
 pub mod kernels;
 pub mod report;
 

@@ -1,8 +1,15 @@
-//! Plain-text table rendering for experiment results.
+//! Plain-text table rendering and machine-readable experiment reports.
+//!
+//! [`Table`] renders aligned text tables; [`Report`] serializes an
+//! experiment's metrics to a stable JSON schema (`bioarch-report/v1`) so
+//! runs can be archived and diffed — see [`compare_reports`] and
+//! `examples/compare_runs.rs`.
 
+use crate::json::Json;
 use std::fmt::Write as _;
 
-/// A simple left-padded text table.
+/// A simple aligned text table: numeric columns right-aligned, text
+/// columns left-aligned.
 ///
 /// # Example
 ///
@@ -48,6 +55,9 @@ impl Table {
     }
 
     /// Render with aligned columns and a separator under the header.
+    /// A column whose data cells are all numeric (including `%` and
+    /// `+`/`-` decorations) is right-aligned; any other column is
+    /// left-aligned. Every line has the same length.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
@@ -56,13 +66,20 @@ impl Table {
                 widths[i] = widths[i].max(cell.len());
             }
         }
+        let numeric: Vec<bool> = (0..ncols)
+            .map(|i| !self.rows.is_empty() && self.rows.iter().all(|row| cell_is_numeric(&row[i])))
+            .collect();
         let mut out = String::new();
         let emit = |out: &mut String, cells: &[String]| {
             for (i, cell) in cells.iter().enumerate() {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                if numeric[i] {
+                    let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                } else {
+                    let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                }
             }
             out.push('\n');
         };
@@ -75,6 +92,272 @@ impl Table {
         }
         out
     }
+}
+
+/// Whether a rendered cell is numeric for alignment purposes: an
+/// optionally signed number, optionally suffixed with `%`.
+fn cell_is_numeric(cell: &str) -> bool {
+    let body = cell.strip_suffix('%').unwrap_or(cell);
+    let body = body.strip_prefix(['+', '-']).unwrap_or(body);
+    !body.is_empty() && body.parse::<f64>().is_ok()
+}
+
+/// Which way a metric is "good" — used when comparing two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (IPC, speedup).
+    Higher,
+    /// Smaller values are better (miss rates, stall fractions).
+    Lower,
+    /// Informational; a change is reported but never a regression.
+    Neutral,
+}
+
+impl Direction {
+    /// Stable schema string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+            Direction::Neutral => "neutral",
+        }
+    }
+
+    /// Parse the schema string.
+    pub fn from_name(s: &str) -> Option<Direction> {
+        match s {
+            "higher" => Some(Direction::Higher),
+            "lower" => Some(Direction::Lower),
+            "neutral" => Some(Direction::Neutral),
+            _ => None,
+        }
+    }
+}
+
+/// One named metric in a [`Report`].
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Dotted path, e.g. `clustalw.baseline.ipc`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Which way is better.
+    pub direction: Direction,
+}
+
+/// A machine-readable experiment report (schema `bioarch-report/v1`).
+///
+/// Every table/figure experiment can serialize its results through this
+/// type; two serialized reports from different builds or configurations
+/// can then be diffed with [`compare_reports`] (see
+/// `examples/compare_runs.rs`).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment slug, e.g. `table1`.
+    pub experiment: String,
+    /// Free-form context (`scale`, `seed`, …), serialized verbatim.
+    pub context: Vec<(String, String)>,
+    /// The metrics, in emission order.
+    pub metrics: Vec<Metric>,
+}
+
+/// Schema identifier embedded in every report document.
+pub const REPORT_SCHEMA: &str = "bioarch-report/v1";
+
+impl Report {
+    /// An empty report for `experiment`.
+    pub fn new(experiment: &str) -> Self {
+        Report { experiment: experiment.to_string(), context: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Append a context key/value (builder style).
+    pub fn context(mut self, key: &str, value: impl ToString) -> Self {
+        self.context.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Append a metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64, direction: Direction) {
+        self.metrics.push(Metric { name: name.into(), value, direction });
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serialize to the JSON document model.
+    pub fn to_json(&self) -> Json {
+        let context = Json::Obj(
+            self.context.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
+        );
+        let metrics = Json::Arr(
+            self.metrics
+                .iter()
+                .map(|m| {
+                    Json::obj()
+                        .set("name", Json::Str(m.name.clone()))
+                        .set("value", Json::Num(m.value))
+                        .set("direction", Json::Str(m.direction.as_str().into()))
+                })
+                .collect(),
+        );
+        Json::obj()
+            .set("schema", Json::Str(REPORT_SCHEMA.into()))
+            .set("experiment", Json::Str(self.experiment.clone()))
+            .set("context", context)
+            .set("metrics", metrics)
+    }
+
+    /// Serialize to pretty-printed JSON text.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong/missing schema
+    /// marker, or structurally invalid metrics.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != REPORT_SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {REPORT_SCHEMA:?})"));
+        }
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("missing experiment name")?
+            .to_string();
+        let context = match doc.get("context") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let mut metrics = Vec::new();
+        for m in doc.get("metrics").and_then(Json::as_array).ok_or("missing metrics")? {
+            let name =
+                m.get("name").and_then(Json::as_str).ok_or("metric missing name")?.to_string();
+            let value = m
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {name} missing value"))?;
+            let direction = m
+                .get("direction")
+                .and_then(Json::as_str)
+                .and_then(Direction::from_name)
+                .ok_or_else(|| format!("metric {name} has a bad direction"))?;
+            metrics.push(Metric { name, value, direction });
+        }
+        Ok(Report { experiment, context, metrics })
+    }
+}
+
+/// One metric's before/after delta in a [`Comparison`].
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the `before` report.
+    pub before: f64,
+    /// Value in the `after` report.
+    pub after: f64,
+    /// Relative change, `(after - before) / |before|` (0 when both zero).
+    pub change: f64,
+    /// Whether this change is a regression beyond the tolerance, given
+    /// the metric's [`Direction`].
+    pub regression: bool,
+}
+
+/// Result of [`compare_reports`].
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-metric deltas, in the `before` report's order.
+    pub deltas: Vec<MetricDelta>,
+    /// Metric names present in `before` but absent from `after`.
+    pub missing: Vec<String>,
+    /// Metric names present in `after` but absent from `before`.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// The deltas flagged as regressions.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regression).collect()
+    }
+
+    /// Render a human-readable diff table (one row per metric, `!` marks
+    /// regressions), followed by missing/added notes.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "".into(),
+            "metric".into(),
+            "before".into(),
+            "after".into(),
+            "change".into(),
+        ]);
+        for d in &self.deltas {
+            t.row(vec![
+                if d.regression { "!".into() } else { "".into() },
+                d.name.clone(),
+                format!("{:.4}", d.before),
+                format!("{:.4}", d.after),
+                pct(d.change),
+            ]);
+        }
+        let mut out = t.render();
+        for name in &self.missing {
+            let _ = writeln!(out, "missing in after: {name}");
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "only in after:    {name}");
+        }
+        out
+    }
+}
+
+/// Diff two reports metric-by-metric. A metric regresses when it moves
+/// against its [`Direction`] by more than `tolerance` (relative, e.g.
+/// `0.02` = 2 %). Directions are taken from the `before` report.
+pub fn compare_reports(before: &Report, after: &Report, tolerance: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for m in &before.metrics {
+        let Some(other) = after.get(&m.name) else {
+            missing.push(m.name.clone());
+            continue;
+        };
+        let change = if m.value == 0.0 && other.value == 0.0 {
+            0.0
+        } else if m.value == 0.0 {
+            f64::INFINITY * other.value.signum()
+        } else {
+            (other.value - m.value) / m.value.abs()
+        };
+        let regression = match m.direction {
+            Direction::Higher => change < -tolerance,
+            Direction::Lower => change > tolerance,
+            Direction::Neutral => false,
+        };
+        deltas.push(MetricDelta {
+            name: m.name.clone(),
+            before: m.value,
+            after: other.value,
+            change,
+            regression,
+        });
+    }
+    let added = after
+        .metrics
+        .iter()
+        .filter(|m| before.get(&m.name).is_none())
+        .map(|m| m.name.clone())
+        .collect();
+    Comparison { deltas, missing, added }
 }
 
 /// Format a ratio as a signed percentage (`+12.3%`).
@@ -116,5 +399,77 @@ mod tests {
         assert_eq!(pct(0.123), "+12.3%");
         assert_eq!(pct(-0.05), "-5.0%");
         assert_eq!(frac(0.998), "99.80%");
+    }
+
+    #[test]
+    fn numeric_columns_right_align_text_left_aligns() {
+        let mut t = Table::new(vec!["App".into(), "IPC".into(), "gain".into()]);
+        t.row(vec!["Fasta".into(), "0.93".into(), "+12.3%".into()]);
+        t.row(vec!["Hmmer long".into(), "12.50".into(), "-5.0%".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Text column: names flush left.
+        assert!(lines[2].starts_with("Fasta "));
+        // Numeric columns: decorated values flush right, so the shorter
+        // value is padded on the left.
+        assert!(lines[2].contains("  0.93"));
+        assert!(lines[3].contains("12.50"));
+        // Every line renders at the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("table1").context("scale", "test").context("seed", 42);
+        r.push("blast.ipc", 0.93, Direction::Higher);
+        r.push("blast.l1d_miss_rate", 0.012, Direction::Lower);
+        r.push("blast.direction_fraction", 0.97, Direction::Neutral);
+        r
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = sample_report();
+        let text = r.render_json();
+        assert!(text.contains("bioarch-report/v1"));
+        let back = Report::parse(&text).unwrap();
+        assert_eq!(back.experiment, "table1");
+        assert_eq!(back.context, r.context);
+        assert_eq!(back.metrics.len(), 3);
+        let m = back.get("blast.ipc").unwrap();
+        assert_eq!(m.value, 0.93);
+        assert_eq!(m.direction, Direction::Higher);
+        // Wrong schema marker rejected.
+        assert!(Report::parse(&text.replace("/v1", "/v9")).is_err());
+    }
+
+    #[test]
+    fn comparison_flags_directional_regressions_only() {
+        let before = sample_report();
+        let mut after = sample_report();
+        after.metrics[0].value = 0.80; // ipc down 14 % — regression
+        after.metrics[1].value = 0.02; // miss rate up 67 % — regression
+        after.metrics[2].value = 0.50; // neutral — reported, not flagged
+        let cmp = compare_reports(&before, &after, 0.02);
+        let regs: Vec<&str> = cmp.regressions().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(regs, vec!["blast.ipc", "blast.l1d_miss_rate"]);
+        assert!(cmp.render().contains("blast.ipc"));
+
+        // Within tolerance: no regression either way.
+        let mut close = sample_report();
+        close.metrics[0].value = 0.925;
+        let cmp = compare_reports(&before, &close, 0.02);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn comparison_reports_missing_and_added_metrics() {
+        let before = sample_report();
+        let mut after = Report::new("table1");
+        after.push("blast.ipc", 0.93, Direction::Higher);
+        after.push("novel.metric", 1.0, Direction::Neutral);
+        let cmp = compare_reports(&before, &after, 0.02);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.missing, vec!["blast.l1d_miss_rate", "blast.direction_fraction"]);
+        assert_eq!(cmp.added, vec!["novel.metric"]);
     }
 }

@@ -117,18 +117,9 @@ mod tests {
     #[test]
     fn simplified_mnemonics() {
         assert_eq!(Instruction::nop().to_string(), "nop");
-        assert_eq!(
-            Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: -1 }.to_string(),
-            "li r3, -1"
-        );
-        assert_eq!(
-            Instruction::Or { ra: Gpr(3), rs: Gpr(4), rb: Gpr(4) }.to_string(),
-            "mr r3, r4"
-        );
-        assert_eq!(
-            Instruction::Bclr { cond: BranchCond::Always }.to_string(),
-            "blr"
-        );
+        assert_eq!(Instruction::Addi { rt: Gpr(3), ra: Gpr(0), imm: -1 }.to_string(), "li r3, -1");
+        assert_eq!(Instruction::Or { ra: Gpr(3), rs: Gpr(4), rb: Gpr(4) }.to_string(), "mr r3, r4");
+        assert_eq!(Instruction::Bclr { cond: BranchCond::Always }.to_string(), "blr");
     }
 
     #[test]
@@ -145,26 +136,15 @@ mod tests {
 
     #[test]
     fn branch_syntax() {
+        assert_eq!(Instruction::B { offset: -16, link: false }.to_string(), "b .-16");
         assert_eq!(
-            Instruction::B { offset: -16, link: false }.to_string(),
-            "b .-16"
-        );
-        assert_eq!(
-            Instruction::Bc {
-                cond: BranchCond::IfTrue(CrBit(1)),
-                offset: 8,
-                link: false
-            }
-            .to_string(),
+            Instruction::Bc { cond: BranchCond::IfTrue(CrBit(1)), offset: 8, link: false }
+                .to_string(),
             "bct 4*cr0+gt, .+8"
         );
         assert_eq!(
-            Instruction::Bc {
-                cond: BranchCond::DecrementNotZero,
-                offset: -8,
-                link: false
-            }
-            .to_string(),
+            Instruction::Bc { cond: BranchCond::DecrementNotZero, offset: -8, link: false }
+                .to_string(),
             "bdnz .-8"
         );
     }

@@ -344,8 +344,13 @@ mod tests {
             (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Srw { ra, rs, rb }),
             (gpr(), gpr(), gpr()).prop_map(|(ra, rs, rb)| Sraw { ra, rs, rb }),
             (gpr(), gpr(), 0u8..32).prop_map(|(ra, rs, sh)| Srawi { ra, rs, sh }),
-            (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32)
-                .prop_map(|(ra, rs, sh, mb, me)| Rlwinm { ra, rs, sh, mb, me }),
+            (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32).prop_map(|(ra, rs, sh, mb, me)| Rlwinm {
+                ra,
+                rs,
+                sh,
+                mb,
+                me
+            }),
             (gpr(), gpr()).prop_map(|(ra, rs)| Extsb { ra, rs }),
             (gpr(), gpr()).prop_map(|(ra, rs)| Extsh { ra, rs }),
             (crf(), gpr(), gpr()).prop_map(|(crf, ra, rb)| Cmpw { crf, ra, rb }),
@@ -355,8 +360,11 @@ mod tests {
             (gpr(), gpr(), gpr(), crbit()).prop_map(|(rt, ra, rb, bc)| Isel { rt, ra, rb, bc }),
             (gpr(), gpr(), gpr()).prop_map(|(rt, ra, rb)| Maxw { rt, ra, rb }),
             (word_offset26(), any::<bool>()).prop_map(|(offset, link)| B { offset, link }),
-            (cond(), word_offset16(), any::<bool>())
-                .prop_map(|(cond, offset, link)| Bc { cond, offset, link }),
+            (cond(), word_offset16(), any::<bool>()).prop_map(|(cond, offset, link)| Bc {
+                cond,
+                offset,
+                link
+            }),
             cond().prop_map(|cond| Bclr { cond }),
             cond().prop_map(|cond| Bcctr { cond }),
             (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, disp)| Lwz { rt, ra, disp }),
@@ -427,11 +435,7 @@ mod tests {
     fn negative_branch_offsets_round_trip() {
         let b = Instruction::B { offset: -4096, link: false };
         assert_eq!(decode(encode(&b)).unwrap(), b);
-        let bc = Instruction::Bc {
-            cond: BranchCond::IfTrue(CrBit(2)),
-            offset: -8,
-            link: false,
-        };
+        let bc = Instruction::Bc { cond: BranchCond::IfTrue(CrBit(2)), offset: -8, link: false };
         assert_eq!(decode(encode(&bc)).unwrap(), bc);
     }
 

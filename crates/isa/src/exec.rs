@@ -71,12 +71,7 @@ impl Memory {
     /// Load a little-endian word.
     pub fn load_u32(&self, addr: u32) -> Result<u32, MemFault> {
         let a = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes([
-            self.data[a],
-            self.data[a + 1],
-            self.data[a + 2],
-            self.data[a + 3],
-        ]))
+        Ok(u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]]))
     }
 
     /// Store a byte.
@@ -118,9 +113,7 @@ impl Memory {
 
     /// Read `len` little-endian `i32`s starting at `addr`.
     pub fn read_i32s(&self, addr: u32, len: usize) -> Result<Vec<i32>, MemFault> {
-        (0..len)
-            .map(|i| self.load_u32(addr + 4 * i as u32).map(|v| v as i32))
-            .collect()
+        (0..len).map(|i| self.load_u32(addr + 4 * i as u32).map(|v| v as i32)).collect()
     }
 }
 
@@ -142,13 +135,7 @@ pub struct CpuState {
 impl CpuState {
     /// Zeroed state with the PC at `entry`.
     pub fn new(entry: u32) -> Self {
-        CpuState {
-            gpr: [0; 32],
-            cr: CondReg::default(),
-            lr: 0,
-            ctr: 0,
-            pc: entry,
-        }
+        CpuState { gpr: [0; 32], cr: CondReg::default(), lr: 0, ctr: 0, pc: entry }
     }
 
     /// Read a GPR.
@@ -224,7 +211,11 @@ fn eval_cond(state: &mut CpuState, cond: BranchCond) -> bool {
 ///
 /// Returns [`MemFault`] on an out-of-bounds access; `state.pc` is left at
 /// the faulting instruction.
-pub fn step(state: &mut CpuState, mem: &mut Memory, insn: &Instruction) -> Result<StepEvent, MemFault> {
+pub fn step(
+    state: &mut CpuState,
+    mem: &mut Memory,
+    insn: &Instruction,
+) -> Result<StepEvent, MemFault> {
     use Instruction::*;
     let mut ev = StepEvent::default();
     let pc = state.pc;
@@ -255,11 +246,7 @@ pub fn step(state: &mut CpuState, mem: &mut Memory, insn: &Instruction) -> Resul
             let a = state.reg(ra) as i32;
             let b = state.reg(rb) as i32;
             // Architecturally undefined cases yield 0 here.
-            let v = if b == 0 || (a == i32::MIN && b == -1) {
-                0
-            } else {
-                a.wrapping_div(b)
-            };
+            let v = if b == 0 || (a == i32::MIN && b == -1) { 0 } else { a.wrapping_div(b) };
             state.set_reg(rt, v as u32);
         }
         And { ra, rs, rb } => state.set_reg(ra, state.reg(rs) & state.reg(rb)),
@@ -310,11 +297,7 @@ pub fn step(state: &mut CpuState, mem: &mut Memory, insn: &Instruction) -> Resul
             state.cr.set_unsigned_cmp(crf, state.reg(ra), uimm as u32);
         }
         Isel { rt, ra, rb, bc } => {
-            let v = if state.cr.bit(bc) {
-                state.reg_or_zero(ra)
-            } else {
-                state.reg(rb)
-            };
+            let v = if state.cr.bit(bc) { state.reg_or_zero(ra) } else { state.reg(rb) };
             state.set_reg(rt, v);
         }
         Maxw { rt, ra, rb } => {
@@ -493,19 +476,17 @@ mod tests {
         let (mut s, mut m) = fresh();
         s.gpr[4] = 5;
         s.gpr[5] = 9;
-        step(&mut s, &mut m, &Instruction::Cmpw { crf: CrField(0), ra: Gpr(4), rb: Gpr(5) }).unwrap();
+        step(&mut s, &mut m, &Instruction::Cmpw { crf: CrField(0), ra: Gpr(4), rb: Gpr(5) })
+            .unwrap();
         // 5 < 9: LT set. Branch if LT.
-        let bc = Instruction::Bc {
-            cond: BranchCond::IfTrue(CrBit(0)),
-            offset: 16,
-            link: false,
-        };
+        let bc = Instruction::Bc { cond: BranchCond::IfTrue(CrBit(0)), offset: 16, link: false };
         let pc_before = s.pc;
         let ev = step(&mut s, &mut m, &bc).unwrap();
         assert_eq!(ev.branch, Some((true, pc_before + 16)));
         assert_eq!(s.pc, pc_before + 16);
         // Now GT: branch falls through, event still carries the target.
-        step(&mut s, &mut m, &Instruction::Cmpw { crf: CrField(0), ra: Gpr(5), rb: Gpr(4) }).unwrap();
+        step(&mut s, &mut m, &Instruction::Cmpw { crf: CrField(0), ra: Gpr(5), rb: Gpr(4) })
+            .unwrap();
         let pc_before = s.pc;
         let ev = step(&mut s, &mut m, &bc).unwrap();
         assert_eq!(ev.branch, Some((false, pc_before + 16)));
@@ -523,7 +504,7 @@ mod tests {
         assert_eq!(ev.branch, Some((true, pc0 - 8)));
         let ev = step(&mut s, &mut m, &bdnz).unwrap();
         assert_eq!(s.ctr, 0);
-        assert_eq!(ev.branch.unwrap().0, false);
+        assert!(!ev.branch.unwrap().0);
     }
 
     #[test]
@@ -543,7 +524,8 @@ mod tests {
         let (mut s, mut m) = fresh();
         s.gpr[3] = 0x2000;
         s.gpr[4] = 0xDEAD_BEEF;
-        let ev = step(&mut s, &mut m, &Instruction::Stw { rs: Gpr(4), ra: Gpr(3), disp: 8 }).unwrap();
+        let ev =
+            step(&mut s, &mut m, &Instruction::Stw { rs: Gpr(4), ra: Gpr(3), disp: 8 }).unwrap();
         assert_eq!(ev.mem, Some((0x2008, 4, true)));
         step(&mut s, &mut m, &Instruction::Lwz { rt: Gpr(5), ra: Gpr(3), disp: 8 }).unwrap();
         assert_eq!(s.reg(Gpr(5)), 0xDEAD_BEEF);
@@ -572,7 +554,8 @@ mod tests {
     fn out_of_bounds_access_faults() {
         let (mut s, mut m) = fresh();
         s.gpr[3] = 0xFFFF_FFF0;
-        let err = step(&mut s, &mut m, &Instruction::Lwz { rt: Gpr(4), ra: Gpr(3), disp: 0 }).unwrap_err();
+        let err = step(&mut s, &mut m, &Instruction::Lwz { rt: Gpr(4), ra: Gpr(3), disp: 0 })
+            .unwrap_err();
         assert_eq!(err.bytes, 4);
         // PC unchanged on fault.
         assert_eq!(s.pc, 0x1000);
@@ -596,10 +579,16 @@ mod tests {
         let (mut s, mut m) = fresh();
         s.gpr[4] = 0x0000_00FF;
         // slwi r3, r4, 2 == rlwinm r3, r4, 2, 0, 29
-        step(&mut s, &mut m, &Instruction::Rlwinm { ra: Gpr(3), rs: Gpr(4), sh: 2, mb: 0, me: 29 }).unwrap();
+        step(&mut s, &mut m, &Instruction::Rlwinm { ra: Gpr(3), rs: Gpr(4), sh: 2, mb: 0, me: 29 })
+            .unwrap();
         assert_eq!(s.reg(Gpr(3)), 0x3FC);
         // srwi r3, r4, 4 == rlwinm r3, r4, 28, 4, 31
-        step(&mut s, &mut m, &Instruction::Rlwinm { ra: Gpr(3), rs: Gpr(4), sh: 28, mb: 4, me: 31 }).unwrap();
+        step(
+            &mut s,
+            &mut m,
+            &Instruction::Rlwinm { ra: Gpr(3), rs: Gpr(4), sh: 28, mb: 4, me: 31 },
+        )
+        .unwrap();
         assert_eq!(s.reg(Gpr(3)), 0x0000_000F);
     }
 

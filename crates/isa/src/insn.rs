@@ -454,19 +454,23 @@ pub enum LatencyClass {
 impl Instruction {
     /// The canonical no-op (`ori r0, r0, 0`).
     pub fn nop() -> Self {
-        Instruction::Ori {
-            ra: Gpr(0),
-            rs: Gpr(0),
-            uimm: 0,
-        }
+        Instruction::Ori { ra: Gpr(0), rs: Gpr(0), uimm: 0 }
     }
 
     /// Which execution unit the instruction issues to.
     pub fn unit(&self) -> ExecUnit {
         use Instruction::*;
         match self {
-            Lwz { .. } | Lwzx { .. } | Lbz { .. } | Lbzx { .. } | Lhz { .. } | Lha { .. }
-            | Stw { .. } | Stwx { .. } | Stb { .. } | Sth { .. } => ExecUnit::Lsu,
+            Lwz { .. }
+            | Lwzx { .. }
+            | Lbz { .. }
+            | Lbzx { .. }
+            | Lhz { .. }
+            | Lha { .. }
+            | Stw { .. }
+            | Stwx { .. }
+            | Stb { .. }
+            | Sth { .. } => ExecUnit::Lsu,
             B { .. } | Bc { .. } | Bclr { .. } | Bcctr { .. } => ExecUnit::Bru,
             // SPR moves execute in the branch unit on POWER5 (they talk to
             // LR/CTR, which live there).
@@ -540,19 +544,31 @@ impl Instruction {
                     gpr(ra);
                 }
             }
-            Add { ra, rb, .. } | Subf { ra, rb, .. } | Mullw { ra, rb, .. }
-            | Divw { ra, rb, .. } | Maxw { ra, rb, .. } => {
+            Add { ra, rb, .. }
+            | Subf { ra, rb, .. }
+            | Mullw { ra, rb, .. }
+            | Divw { ra, rb, .. }
+            | Maxw { ra, rb, .. } => {
                 gpr(ra);
                 gpr(rb);
             }
             Neg { ra, .. } => gpr(ra),
-            And { rs, rb, .. } | Or { rs, rb, .. } | Xor { rs, rb, .. } | Slw { rs, rb, .. }
-            | Srw { rs, rb, .. } | Sraw { rs, rb, .. } => {
+            And { rs, rb, .. }
+            | Or { rs, rb, .. }
+            | Xor { rs, rb, .. }
+            | Slw { rs, rb, .. }
+            | Srw { rs, rb, .. }
+            | Sraw { rs, rb, .. } => {
                 gpr(rs);
                 gpr(rb);
             }
-            Ori { rs, .. } | AndiDot { rs, .. } | Xori { rs, .. } | Srawi { rs, .. }
-            | Rlwinm { rs, .. } | Extsb { rs, .. } | Extsh { rs, .. } => gpr(rs),
+            Ori { rs, .. }
+            | AndiDot { rs, .. }
+            | Xori { rs, .. }
+            | Srawi { rs, .. }
+            | Rlwinm { rs, .. }
+            | Extsb { rs, .. }
+            | Extsh { rs, .. } => gpr(rs),
             Cmpw { ra, rb, .. } | Cmplw { ra, rb, .. } => {
                 gpr(ra);
                 gpr(rb);
@@ -576,10 +592,8 @@ impl Instruction {
                 }
                 match self {
                     Bclr { .. } => l.push(Resource::Lr),
-                    Bcctr { .. } => {
-                        if !l.contains(Resource::Ctr) {
-                            l.push(Resource::Ctr);
-                        }
+                    Bcctr { .. } if !l.contains(Resource::Ctr) => {
+                        l.push(Resource::Ctr);
                     }
                     _ => {}
                 }
@@ -621,14 +635,27 @@ impl Instruction {
         use Instruction::*;
         let mut l = ResList::new();
         match *self {
-            Addi { rt, .. } | Addis { rt, .. } | Add { rt, .. } | Subf { rt, .. }
-            | Neg { rt, .. } | Mullw { rt, .. } | Divw { rt, .. } | Isel { rt, .. }
+            Addi { rt, .. }
+            | Addis { rt, .. }
+            | Add { rt, .. }
+            | Subf { rt, .. }
+            | Neg { rt, .. }
+            | Mullw { rt, .. }
+            | Divw { rt, .. }
+            | Isel { rt, .. }
             | Maxw { rt, .. } => l.push(Resource::Gpr(rt)),
-            And { ra, .. } | Or { ra, .. } | Xor { ra, .. } | Ori { ra, .. }
-            | Xori { ra, .. } | Slw { ra, .. } | Srw { ra, .. } | Sraw { ra, .. }
-            | Srawi { ra, .. } | Rlwinm { ra, .. } | Extsb { ra, .. } | Extsh { ra, .. } => {
-                l.push(Resource::Gpr(ra))
-            }
+            And { ra, .. }
+            | Or { ra, .. }
+            | Xor { ra, .. }
+            | Ori { ra, .. }
+            | Xori { ra, .. }
+            | Slw { ra, .. }
+            | Srw { ra, .. }
+            | Sraw { ra, .. }
+            | Srawi { ra, .. }
+            | Rlwinm { ra, .. }
+            | Extsb { ra, .. }
+            | Extsh { ra, .. } => l.push(Resource::Gpr(ra)),
             AndiDot { ra, .. } => {
                 l.push(Resource::Gpr(ra));
                 l.push(Resource::Cr(CrField(0)));
@@ -654,8 +681,12 @@ impl Instruction {
                     l.push(Resource::Ctr);
                 }
             }
-            Lwz { rt, .. } | Lwzx { rt, .. } | Lbz { rt, .. } | Lbzx { rt, .. }
-            | Lhz { rt, .. } | Lha { rt, .. } => l.push(Resource::Gpr(rt)),
+            Lwz { rt, .. }
+            | Lwzx { rt, .. }
+            | Lbz { rt, .. }
+            | Lbzx { rt, .. }
+            | Lhz { rt, .. }
+            | Lha { rt, .. } => l.push(Resource::Gpr(rt)),
             Stw { .. } | Stwx { .. } | Stb { .. } | Sth { .. } => {}
             Mflr { rt } | Mfctr { rt } => l.push(Resource::Gpr(rt)),
             Mtlr { .. } => l.push(Resource::Lr),
@@ -683,10 +714,7 @@ mod tests {
 
     #[test]
     fn nop_is_ori_zero() {
-        assert_eq!(
-            Instruction::nop(),
-            Instruction::Ori { ra: Gpr(0), rs: Gpr(0), uimm: 0 }
-        );
+        assert_eq!(Instruction::nop(), Instruction::Ori { ra: Gpr(0), rs: Gpr(0), uimm: 0 });
         assert_eq!(Instruction::nop().unit(), ExecUnit::Fxu);
     }
 
@@ -696,7 +724,10 @@ mod tests {
         assert_eq!(Instruction::Lwz { rt: Gpr(1), ra: Gpr(2), disp: 0 }.unit(), ExecUnit::Lsu);
         assert_eq!(Instruction::B { offset: 8, link: false }.unit(), ExecUnit::Bru);
         assert_eq!(Instruction::Maxw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.unit(), ExecUnit::Fxu);
-        assert_eq!(Instruction::Isel { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3), bc: CrBit(1) }.unit(), ExecUnit::Fxu);
+        assert_eq!(
+            Instruction::Isel { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3), bc: CrBit(1) }.unit(),
+            ExecUnit::Fxu
+        );
     }
 
     #[test]
@@ -794,8 +825,14 @@ mod tests {
 
     #[test]
     fn latency_classes() {
-        assert_eq!(Instruction::Mullw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(), LatencyClass::Mul);
-        assert_eq!(Instruction::Divw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(), LatencyClass::Div);
+        assert_eq!(
+            Instruction::Mullw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(),
+            LatencyClass::Mul
+        );
+        assert_eq!(
+            Instruction::Divw { rt: Gpr(1), ra: Gpr(2), rb: Gpr(3) }.latency_class(),
+            LatencyClass::Div
+        );
         assert_eq!(Instruction::Trap.latency_class(), LatencyClass::Branch);
     }
 }

@@ -111,12 +111,7 @@ impl CondReg {
 
     /// Read a whole 4-bit field as `(LT, GT, EQ, SO)`.
     pub fn field(self, f: CrField) -> (bool, bool, bool, bool) {
-        (
-            self.bit(f.lt_bit()),
-            self.bit(f.gt_bit()),
-            self.bit(f.eq_bit()),
-            self.bit(f.so_bit()),
-        )
+        (self.bit(f.lt_bit()), self.bit(f.gt_bit()), self.bit(f.eq_bit()), self.bit(f.so_bit()))
     }
 
     /// Write a field from a signed comparison of `a` and `b` (SO cleared —

@@ -333,10 +333,7 @@ mod tests {
                 array: "a".into(),
                 index: Box::new(Expr::Var("i".into())),
             }),
-            rhs: Box::new(Expr::Max(
-                Box::new(Expr::Lit(1)),
-                Box::new(Expr::Var("x".into())),
-            )),
+            rhs: Box::new(Expr::Max(Box::new(Expr::Lit(1)), Box::new(Expr::Var("x".into())))),
         };
         let mut count = 0;
         e.visit(&mut |_| count += 1);

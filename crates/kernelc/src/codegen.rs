@@ -87,10 +87,7 @@ impl<'a> FnCodegen<'a> {
         // Collect locals: params first, then every distinct `let`.
         let mut locals = HashMap::new();
         for (i, p) in f.params.iter().enumerate() {
-            if locals
-                .insert(p.name.clone(), (FIRST_LOCAL + i as u8, p.ty))
-                .is_some()
-            {
+            if locals.insert(p.name.clone(), (FIRST_LOCAL + i as u8, p.ty)).is_some() {
                 return Err(CompileError {
                     line: f.line,
                     message: format!("duplicate parameter {:?}", p.name),
@@ -103,10 +100,7 @@ impl<'a> FnCodegen<'a> {
                 if (next - FIRST_LOCAL) as usize >= MAX_LOCALS {
                     return Err(CompileError {
                         line,
-                        message: format!(
-                            "function {} uses more than {MAX_LOCALS} locals",
-                            f.name
-                        ),
+                        message: format!("function {} uses more than {MAX_LOCALS} locals", f.name),
                     });
                 }
                 locals.insert(name.to_string(), (next, ty));
@@ -258,9 +252,7 @@ impl<'a> FnCodegen<'a> {
                         self.free.push(addr);
                         self.release(i);
                     }
-                    Ty::Int => {
-                        return Err(self.err(*line, format!("{array:?} is not an array")))
-                    }
+                    Ty::Int => return Err(self.err(*line, format!("{array:?} is not an array"))),
                 }
                 self.release(v);
                 Ok(())
@@ -293,10 +285,7 @@ impl<'a> FnCodegen<'a> {
             Stmt::Return { value, line } => {
                 if let Expr::Call { name, .. } = value {
                     // Tail position call: the result is already in r3.
-                    let returns = self
-                        .known
-                        .get(name.as_str())
-                        .is_some_and(|f| f.returns_value);
+                    let returns = self.known.get(name.as_str()).is_some_and(|f| f.returns_value);
                     self.call(value, None, *line)?;
                     if !returns {
                         return Err(self.err(*line, format!("{name} returns no value")));
@@ -332,11 +321,7 @@ impl<'a> FnCodegen<'a> {
         if callee.params.len() != args.len() {
             return Err(self.err(
                 line,
-                format!(
-                    "{name} expects {} arguments, got {}",
-                    callee.params.len(),
-                    args.len()
-                ),
+                format!("{name} expects {} arguments, got {}", callee.params.len(), args.len()),
             ));
         }
         if args.len() > 8 {
@@ -405,9 +390,7 @@ impl<'a> FnCodegen<'a> {
                         self.ins(format!("lbzx r{dest}, r{base}, r{}", i.reg));
                         self.release(i);
                     }
-                    Ty::Int => {
-                        return Err(self.err(line, format!("{array:?} is not an array")))
-                    }
+                    Ty::Int => return Err(self.err(line, format!("{array:?} is not an array"))),
                 }
                 Ok(Val { reg: dest, owned: true })
             }
@@ -423,10 +406,9 @@ impl<'a> FnCodegen<'a> {
             Expr::Select { cond, then_val, else_val } => {
                 self.select(cond, then_val, else_val, line)
             }
-            Expr::Call { .. } => Err(self.err(
-                line,
-                "calls are only allowed as a whole statement (`x = f(...);`)",
-            )),
+            Expr::Call { .. } => {
+                Err(self.err(line, "calls are only allowed as a whole statement (`x = f(...);`)"))
+            }
         }
     }
 
@@ -524,7 +506,13 @@ impl<'a> FnCodegen<'a> {
         Ok(Val { reg: dest, owned: true })
     }
 
-    fn minmax(&mut self, a: &Expr, b: &Expr, is_max: bool, line: usize) -> Result<Val, CompileError> {
+    fn minmax(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        is_max: bool,
+        line: usize,
+    ) -> Result<Val, CompileError> {
         let va = self.eval(a, line)?;
         let vb = self.eval(b, line)?;
         let dest = self.alloc(line)?;
@@ -808,11 +796,7 @@ mod tests {
             assert_eq!(run_main(&c.asm, &[10, 30]), 30, "{o:?}");
             assert_eq!(run_main(&c.asm, &[10, 99]), 50, "{o:?}");
             assert_eq!(run_main(&c.asm, &[77, 30]), 77, "{o:?}");
-            assert_eq!(
-                run_main(&c.asm, &[(-3i32) as u32, (-9i32) as u32]),
-                -3,
-                "{o:?} signed"
-            );
+            assert_eq!(run_main(&c.asm, &[(-3i32) as u32, (-9i32) as u32]), -3, "{o:?} signed");
         }
     }
 
@@ -870,7 +854,7 @@ mod tests {
             &[0x8000, 0x9000, 3],
             &[(0x8000, vec![2, 3, 4]), (0x9000, vec![0x030201])],
         );
-        assert_eq!(r, 2 * 1 + 3 * 2 + 4 * 3);
+        assert_eq!(r, 2 + 3 * 2 + 4 * 3);
     }
 
     #[test]

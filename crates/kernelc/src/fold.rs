@@ -74,7 +74,12 @@ fn fold_expr(e: &mut Expr, removed: &mut usize) {
                 v.map(|v| Expr::Lit(v as i64))
             }
             // Algebraic identities that cannot change faults or values.
-            (_, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr | BinOp::Or | BinOp::Xor) => {
+            (_, Some(0))
+                if matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr | BinOp::Or | BinOp::Xor
+                ) =>
+            {
                 Some((**lhs).clone())
             }
             (Some(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => {

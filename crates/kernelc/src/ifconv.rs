@@ -113,10 +113,8 @@ fn expr_safe(e: &Expr, safe: &SafeLoads) -> bool {
     e.visit(&mut |node| match node {
         Expr::Call { .. } => ok = false,
         Expr::Bin { op: BinOp::Div, .. } => ok = false,
-        Expr::Index { array, index } => {
-            if !safe.contains(array, index) {
-                ok = false;
-            }
+        Expr::Index { array, index } if !safe.contains(array, index) => {
+            ok = false;
         }
         _ => {}
     });
@@ -190,8 +188,7 @@ fn as_minmax(cond: &Cond, tval: &Expr, eval: &Expr) -> Option<Expr> {
 /// behind the paper's "abundant array memory references" limitation — but
 /// they are counted as missed opportunities.
 fn is_store_hammock(then_block: &[Stmt], else_block: &[Stmt]) -> bool {
-    matches!(then_block, [Stmt::Store { .. }])
-        && matches!(else_block, [] | [Stmt::Store { .. }])
+    matches!(then_block, [Stmt::Store { .. }]) && matches!(else_block, [] | [Stmt::Store { .. }])
 }
 
 /// Match a general single-assignment hammock. Returns
@@ -215,7 +212,7 @@ fn match_hammock<'a>(
     }
 }
 
-fn convert_block(block: &mut Vec<Stmt>, allow_select: bool, stats: &mut (usize, usize)) {
+fn convert_block(block: &mut [Stmt], allow_select: bool, stats: &mut (usize, usize)) {
     let mut safe = SafeLoads::default();
     for stmt in block.iter_mut() {
         // First, recurse into nested structures and attempt conversion of
@@ -229,10 +226,10 @@ fn convert_block(block: &mut Vec<Stmt>, allow_select: bool, stats: &mut (usize, 
                     // Operand safety: the compared value must be safe to
                     // evaluate unconditionally (it already is — it was in
                     // the condition), and the assigned value equals it.
-                    let mut cond_safe = safe_with_cond(&safe, cond);
+                    let cond_safe = safe_with_cond(&safe, cond);
                     let ok = match &repl {
                         Stmt::Assign { value: Expr::Max(a, b) | Expr::Min(a, b), .. } => {
-                            expr_safe(a, &mut cond_safe) && expr_safe(b, &mut cond_safe)
+                            expr_safe(a, &cond_safe) && expr_safe(b, &cond_safe)
                         }
                         _ => false,
                     };
@@ -255,19 +252,17 @@ fn convert_block(block: &mut Vec<Stmt>, allow_select: bool, stats: &mut (usize, 
                     // General hammock: needs isel.
                     match match_hammock(then_block, else_block) {
                         Some((name, tval, eval_opt, line)) if allow_select => {
-                            let mut cond_safe = safe_with_cond(&safe, cond);
+                            let cond_safe = safe_with_cond(&safe, cond);
                             let else_val = eval_opt.cloned().unwrap_or(Expr::Var(name.to_string()));
-                            if expr_safe(tval, &mut cond_safe)
-                                && expr_safe(&else_val, &mut cond_safe)
-                            {
+                            if expr_safe(tval, &cond_safe) && expr_safe(&else_val, &cond_safe) {
                                 stats.0 += 1;
                                 // Recognize min/max shapes among general
                                 // hammocks so the selected operands are
                                 // evaluated once (the compare reuses them)
                                 // instead of appearing in both the compare
                                 // and the select.
-                                let value = as_minmax(cond, tval, &else_val)
-                                    .unwrap_or(Expr::Select {
+                                let value =
+                                    as_minmax(cond, tval, &else_val).unwrap_or(Expr::Select {
                                         cond: Box::new(cond.clone()),
                                         then_val: Box::new(tval.clone()),
                                         else_val: Box::new(else_val),
@@ -353,10 +348,8 @@ mod tests {
 
     #[test]
     fn max_pattern_converts() {
-        let (p, c, r) = convert(
-            "fn f(a: int, b: int) -> int { if (a < b) { a = b; } return a; }",
-            MaxPatterns,
-        );
+        let (p, c, r) =
+            convert("fn f(a: int, b: int) -> int { if (a < b) { a = b; } return a; }", MaxPatterns);
         assert_eq!((c, r), (1, 0));
         let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!("{:?}", body(&p)[0]) };
         assert!(matches!(value, Expr::Max(_, _)));
@@ -364,10 +357,8 @@ mod tests {
 
     #[test]
     fn reversed_max_pattern_converts() {
-        let (p, c, _) = convert(
-            "fn f(a: int, b: int) -> int { if (b > a) { a = b; } return a; }",
-            MaxPatterns,
-        );
+        let (p, c, _) =
+            convert("fn f(a: int, b: int) -> int { if (b > a) { a = b; } return a; }", MaxPatterns);
         assert_eq!(c, 1);
         let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!() };
         assert!(matches!(value, Expr::Max(_, _)));
@@ -375,10 +366,8 @@ mod tests {
 
     #[test]
     fn min_pattern_converts() {
-        let (p, c, _) = convert(
-            "fn f(a: int, b: int) -> int { if (a > b) { a = b; } return a; }",
-            MaxPatterns,
-        );
+        let (p, c, _) =
+            convert("fn f(a: int, b: int) -> int { if (a > b) { a = b; } return a; }", MaxPatterns);
         assert_eq!(c, 1);
         let Stmt::Assign { value, .. } = &body(&p)[0] else { panic!() };
         assert!(matches!(value, Expr::Min(_, _)));

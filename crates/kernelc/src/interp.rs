@@ -175,9 +175,7 @@ impl Interp<'_> {
                 let v = self.expr(value, frame, *line)?;
                 match ty {
                     Ty::BytePtr => self.memory.store_byte((base).wrapping_add(idx) as u32, v),
-                    _ => self
-                        .memory
-                        .store_word((base).wrapping_add(idx.wrapping_mul(4)) as u32, v),
+                    _ => self.memory.store_word((base).wrapping_add(idx.wrapping_mul(4)) as u32, v),
                 }
                 Ok(Flow::Normal)
             }
@@ -311,10 +309,8 @@ impl Interp<'_> {
                 }
             }
             Expr::Call { name, args } => {
-                let vals: Vec<i32> = args
-                    .iter()
-                    .map(|a| self.expr(a, frame, line))
-                    .collect::<Result<_, _>>()?;
+                let vals: Vec<i32> =
+                    args.iter().map(|a| self.expr(a, frame, line)).collect::<Result<_, _>>()?;
                 self.call(name, &vals, line)?
             }
         })
@@ -375,10 +371,7 @@ mod tests {
     fn wrapping_and_division_rules() {
         assert_eq!(interp("fn main() -> int { return 2147483647 + 1; }", &[]), i32::MIN);
         assert_eq!(interp("fn main(a: int) -> int { return a / 0; }", &[5]), 0);
-        assert_eq!(
-            interp("fn main(a: int, b: int) -> int { return a / b; }", &[i32::MIN, -1]),
-            0
-        );
+        assert_eq!(interp("fn main(a: int, b: int) -> int { return a / b; }", &[i32::MIN, -1]), 0);
         assert_eq!(interp("fn main(a: int) -> int { return a >> 40; }", &[-8]), -1);
         assert_eq!(interp("fn main(a: int) -> int { return a << 40; }", &[-8]), 0);
     }
@@ -394,7 +387,13 @@ mod tests {
 
     #[test]
     fn max_min_intrinsics() {
-        assert_eq!(interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[3, 99]), 10);
-        assert_eq!(interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[-5, -9]), -5);
+        assert_eq!(
+            interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[3, 99]),
+            10
+        );
+        assert_eq!(
+            interp("fn main(a: int, b: int) -> int { return max(a, min(b, 10)); }", &[-5, -9]),
+            -5
+        );
     }
 }

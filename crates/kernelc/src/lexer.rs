@@ -24,8 +24,8 @@ pub struct Token {
 
 const PUNCTS2: &[&str] = &["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "->"];
 const PUNCTS1: &[&str] = &[
-    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
-    ",", ";", ":", "?",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]", ",",
+    ";", ":", "?",
 ];
 
 /// Tokenize `source`.
@@ -65,18 +65,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 if hex {
                     i += 2;
                 }
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric())
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric()) {
                     i += 1;
                 }
                 let lit = &text[start..i];
-                let v = if hex {
-                    i64::from_str_radix(&lit[2..], 16)
-                } else {
-                    lit.parse::<i64>()
-                }
-                .map_err(|_| CompileError {
+                let v = if hex { i64::from_str_radix(&lit[2..], 16) } else { lit.parse::<i64>() }
+                    .map_err(|_| CompileError {
                     line,
                     message: format!("malformed integer literal {lit:?}"),
                 })?;
@@ -143,10 +137,10 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        assert_eq!(toks("x // comment\n// whole line\ny"), vec![
-            Tok::Ident("x".into()),
-            Tok::Ident("y".into()),
-        ]);
+        assert_eq!(
+            toks("x // comment\n// whole line\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()),]
+        );
     }
 
     #[test]

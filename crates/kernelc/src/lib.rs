@@ -178,13 +178,12 @@ pub struct Compiled {
 pub fn compile(source: &str, options: &Options) -> Result<Compiled, CompileError> {
     let tokens = lexer::lex(source)?;
     let mut program = parser::parse(&tokens)?;
-    let (converted, rejected) = if options.if_convert != IfConversion::Off
-        && options.target != Target::Baseline
-    {
-        ifconv::run(&mut program, options.if_convert)
-    } else {
-        (0, 0)
-    };
+    let (converted, rejected) =
+        if options.if_convert != IfConversion::Off && options.target != Target::Baseline {
+            ifconv::run(&mut program, options.if_convert)
+        } else {
+            (0, 0)
+        };
     fold::run(&mut program);
     let asm = codegen::emit(&program, options.target)?;
     Ok(Compiled {

@@ -65,9 +65,7 @@ impl Parser<'_> {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |t| t.line)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.line)
     }
 
     fn err(&self, message: impl Into<String>) -> CompileError {
@@ -314,10 +312,7 @@ impl Parser<'_> {
     }
 
     fn peek_is_cmp(&self) -> bool {
-        matches!(
-            self.peek(),
-            Some(Tok::Punct("==" | "!=" | "<" | "<=" | ">" | ">="))
-        )
+        matches!(self.peek(), Some(Tok::Punct("==" | "!=" | "<" | "<=" | ">" | ">=")))
     }
 
     fn expr(&mut self) -> Result<Expr, CompileError> {
@@ -402,8 +397,7 @@ impl Parser<'_> {
             }
             Some(Tok::Ident(name)) => {
                 self.pos += 1;
-                if (name == "max" || name == "min")
-                    && matches!(self.peek(), Some(Tok::Punct("(")))
+                if (name == "max" || name == "min") && matches!(self.peek(), Some(Tok::Punct("(")))
                 {
                     self.pos += 1;
                     let a = self.expr()?;
@@ -421,9 +415,7 @@ impl Parser<'_> {
                     let args = self.args()?;
                     return Ok(Expr::Call { name, args });
                 }
-                if matches!(self.peek(), Some(Tok::Punct("[")))
-                    && !matches!(self.peek2(), None)
-                {
+                if matches!(self.peek(), Some(Tok::Punct("["))) && self.peek2().is_some() {
                     self.pos += 1;
                     let index = self.expr()?;
                     self.expect_punct("]")?;
@@ -534,7 +526,9 @@ mod tests {
 
     #[test]
     fn compound_conditions() {
-        let p = parse_src("fn f(a: int, b: int) { while (a < 10 && (b > 0 || !(a == b))) { a = a + 1; } }");
+        let p = parse_src(
+            "fn f(a: int, b: int) { while (a < 10 && (b > 0 || !(a == b))) { a = a + 1; } }",
+        );
         let Stmt::While { cond, .. } = &p.functions[0].body[0] else { panic!() };
         assert!(matches!(cond, Cond::And(_, _)));
     }

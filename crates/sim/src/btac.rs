@@ -62,10 +62,7 @@ impl Btac {
         assert!(cfg.entries > 0, "BTAC needs at least one entry");
         Btac {
             cfg,
-            entries: vec![
-                Entry { tag: 0, nia: 0, score: 0, valid: false };
-                cfg.entries
-            ],
+            entries: vec![Entry { tag: 0, nia: 0, score: 0, valid: false }; cfg.entries],
             victim_rr: 0,
             stats: BtacStats::default(),
         }
@@ -129,12 +126,8 @@ impl Btac {
             self.victim_rr = (i + 1) % n;
             i
         };
-        self.entries[victim] = Entry {
-            tag: fetch_addr,
-            nia: actual_nia,
-            score: self.cfg.initial_score,
-            valid: true,
-        };
+        self.entries[victim] =
+            Entry { tag: fetch_addr, nia: actual_nia, score: self.cfg.initial_score, valid: true };
     }
 
     /// Accumulated statistics.

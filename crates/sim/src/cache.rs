@@ -90,13 +90,9 @@ impl Cache {
         }
         self.stats.misses += 1;
         // Victim: invalid way if any, else true LRU (oldest stamp).
-        let victim = (0..self.cfg.ways)
-            .find(|&w| !self.valid[base + w])
-            .unwrap_or_else(|| {
-                (0..self.cfg.ways)
-                    .min_by_key(|&w| self.stamp[base + w])
-                    .expect("ways > 0")
-            });
+        let victim = (0..self.cfg.ways).find(|&w| !self.valid[base + w]).unwrap_or_else(|| {
+            (0..self.cfg.ways).min_by_key(|&w| self.stamp[base + w]).expect("ways > 0")
+        });
         self.tags[base + victim] = tag;
         self.valid[base + victim] = true;
         self.touch(base, victim);
@@ -142,12 +138,7 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Build the hierarchy from per-level geometry.
     pub fn new(l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig, memory_latency: u64) -> Self {
-        Hierarchy {
-            l1i: Cache::new(l1i),
-            l1d: Cache::new(l1d),
-            l2: Cache::new(l2),
-            memory_latency,
-        }
+        Hierarchy { l1i: Cache::new(l1i), l1d: Cache::new(l1d), l2: Cache::new(l2), memory_latency }
     }
 
     /// Instruction fetch of the line containing `addr`: returns the fetch

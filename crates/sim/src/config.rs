@@ -19,12 +19,7 @@ pub struct BtacConfig {
 
 impl Default for BtacConfig {
     fn default() -> Self {
-        BtacConfig {
-            entries: 8,
-            score_threshold: 1,
-            initial_score: 0,
-            max_score: 3,
-        }
+        BtacConfig { entries: 8, score_threshold: 1, initial_score: 0, max_score: 3 }
     }
 }
 
@@ -235,9 +230,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = CoreConfig::power5()
-            .with_fxus(4)
-            .with_btac(BtacConfig::default());
+        let c = CoreConfig::power5().with_fxus(4).with_btac(BtacConfig::default());
         assert_eq!(c.fxu_count, 4);
         assert_eq!(c.btac.unwrap().entries, 8);
         let back = c.without_btac();

@@ -26,25 +26,13 @@
 use crate::btac::Btac;
 use crate::cache::Hierarchy;
 use crate::config::CoreConfig;
-use crate::counters::{Counters, IntervalSample};
+use crate::counters::{Counters, IntervalSample, StallBreakdown, StallClass};
 use crate::predictor::{build, DirectionPredictor, ReturnStack};
+use crate::trace::{InsnTrace, TraceRedirect, Tracer};
 use ppc_isa::insn::{ExecUnit, Instruction, LatencyClass};
 use ppc_isa::reg::Resource;
 use ppc_isa::StepEvent;
 use std::collections::VecDeque;
-
-/// Why an instruction's progress was delayed (for stall attribution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DelayReason {
-    None,
-    Mispredict,
-    TakenBubble,
-    ICache,
-    WindowFull,
-    LoadMiss,
-    FxuChain,
-    Other,
-}
 
 /// Per-resource scoreboard entry: when the value is ready and which unit
 /// class produced it.
@@ -108,7 +96,7 @@ pub struct TimingCore {
     /// Instructions already fetched in `fetch_cycle`.
     fetched_this_cycle: usize,
     /// Pending front-end redirect (cycle fetch may resume) and its cause.
-    pending_redirect: Option<(u64, DelayReason)>,
+    pending_redirect: Option<(u64, StallClass)>,
     /// Last instruction cache line touched by fetch.
     last_fetch_line: u64,
     /// Dispatch-group state.
@@ -123,6 +111,10 @@ pub struct TimingCore {
     counters: Counters,
     /// Optional per-PC conditional-branch statistics.
     branch_sites: Option<std::collections::HashMap<u32, BranchSite>>,
+    /// Optional per-PC attribution of *all* stall classes.
+    stall_sites: Option<std::collections::HashMap<u32, StallBreakdown>>,
+    /// Pipeline event tracing (enum-dispatched; `Tracer::Off` by default).
+    tracer: Tracer,
     /// Direction mispredictions seen (drives link-stack corruption).
     dir_mispredicts_seen: u64,
     /// Interval sampling period in instructions (0 = off).
@@ -181,6 +173,8 @@ impl TimingCore {
             rob: VecDeque::with_capacity(cfg.rob_insns()),
             counters: Counters::default(),
             branch_sites: None,
+            stall_sites: None,
+            tracer: Tracer::Off,
             dir_mispredicts_seen: 0,
             interval_insns: 0,
             interval_start: (0, 0, 0),
@@ -197,21 +191,54 @@ impl TimingCore {
     /// Enable per-PC conditional-branch statistics (the data behind the
     /// paper's "which branches are unpredictable" analysis).
     pub fn set_branch_site_profiling(&mut self, on: bool) {
-        self.branch_sites = if on {
-            Some(std::collections::HashMap::new())
-        } else {
-            None
-        };
+        self.branch_sites = if on { Some(std::collections::HashMap::new()) } else { None };
+    }
+
+    /// Enable per-PC attribution of every stall class in
+    /// [`StallBreakdown`] (the "guilty branch" analysis generalized to all
+    /// stall categories). With attribution on, the sum of all per-PC
+    /// breakdowns equals the aggregate [`Counters::stalls`] accumulated
+    /// while it was enabled.
+    pub fn set_stall_site_profiling(&mut self, on: bool) {
+        self.stall_sites = if on { Some(std::collections::HashMap::new()) } else { None };
+    }
+
+    /// Per-PC stall breakdowns, sorted by total stall cycles (largest
+    /// first). Empty unless [`TimingCore::set_stall_site_profiling`] was
+    /// enabled.
+    pub fn stall_sites(&self) -> Vec<(u32, StallBreakdown)> {
+        let mut v: Vec<(u32, StallBreakdown)> =
+            self.stall_sites.iter().flat_map(|m| m.iter().map(|(&pc, &s)| (pc, s))).collect();
+        v.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Install a pipeline event tracer (replacing any previous one). Pass
+    /// [`Tracer::Off`] to disable tracing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The active tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the active tracer (e.g. to flush it).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Remove and return the active tracer, disabling tracing.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     /// Per-PC branch statistics, sorted by misprediction count (largest
     /// first). Empty unless profiling was enabled.
     pub fn branch_sites(&self) -> Vec<(u32, BranchSite)> {
-        let mut v: Vec<(u32, BranchSite)> = self
-            .branch_sites
-            .iter()
-            .flat_map(|m| m.iter().map(|(&pc, &s)| (pc, s)))
-            .collect();
+        let mut v: Vec<(u32, BranchSite)> =
+            self.branch_sites.iter().flat_map(|m| m.iter().map(|(&pc, &s)| (pc, s))).collect();
         v.sort_by(|a, b| b.1.mispredicted.cmp(&a.1.mispredicted).then(a.0.cmp(&b.0)));
         v
     }
@@ -261,7 +288,7 @@ impl TimingCore {
     /// Account one committed instruction; returns the cycle it commits.
     pub fn retire(&mut self, r: Retired<'_>) -> u64 {
         let cfg_group = self.cfg.group_size;
-        let mut delay = DelayReason::None;
+        let mut delay = StallClass::None;
 
         // ---------------- FETCH ----------------
         if let Some((resume, reason)) = self.pending_redirect.take() {
@@ -278,8 +305,8 @@ impl TimingCore {
             if freed > self.fetch_cycle {
                 self.fetch_cycle = freed;
                 self.fetched_this_cycle = 0;
-                if delay == DelayReason::None {
-                    delay = DelayReason::WindowFull;
+                if delay == StallClass::None {
+                    delay = StallClass::WindowFull;
                 }
             }
         }
@@ -292,8 +319,8 @@ impl TimingCore {
             if extra > 0 {
                 self.fetch_cycle += extra;
                 self.fetched_this_cycle = 0;
-                if delay == DelayReason::None {
-                    delay = DelayReason::ICache;
+                if delay == StallClass::None {
+                    delay = StallClass::ICache;
                 }
             }
         }
@@ -305,8 +332,8 @@ impl TimingCore {
         self.fetched_this_cycle += 1;
 
         // ---------------- DISPATCH (group formation) ----------------
-        let close_group = self.group_len >= cfg_group
-            || (r.insn.is_branch() && self.group_has_branch);
+        let close_group =
+            self.group_len >= cfg_group || (r.insn.is_branch() && self.group_has_branch);
         if close_group {
             self.group_dispatch += 1;
             self.group_len = 0;
@@ -345,19 +372,13 @@ impl TimingCore {
         let div_latency = self.cfg.lat_div;
         let pool = self.unit_pool(unit);
         // Earliest-available instance.
-        let (slot, &slot_free) = pool
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &f)| f)
-            .expect("unit pool nonempty");
+        let (slot, &slot_free) =
+            pool.iter().enumerate().min_by_key(|&(_, &f)| f).expect("unit pool nonempty");
         let issue = ready.max(slot_free);
         let unit_wait = slot_free > ready;
         // Occupancy: divides hog the unit; everything else pipelines.
-        let occupy = if matches!(r.insn.latency_class(), LatencyClass::Div) {
-            div_latency
-        } else {
-            1
-        };
+        let occupy =
+            if matches!(r.insn.latency_class(), LatencyClass::Div) { div_latency } else { 1 };
         pool[slot] = issue + occupy;
 
         // ---------------- EXECUTE ----------------
@@ -390,40 +411,32 @@ impl TimingCore {
         }
 
         // ---------------- COMMIT ----------------
-        let min_commit = if self.commit_new_group {
-            self.last_commit + 1
-        } else {
-            self.last_commit
-        };
+        let min_commit =
+            if self.commit_new_group { self.last_commit + 1 } else { self.last_commit };
         let commit = complete.max(min_commit);
         // Attribute completion-stall cycles beyond the structural 1/group.
         let gap = commit.saturating_sub(min_commit);
+        let reason = if gap == 0 {
+            StallClass::None
+        } else if delay != StallClass::None {
+            delay
+        } else if r.event.mem.is_some_and(|(_, _, st)| !st)
+            && mem_latency > self.cfg.l1d.hit_latency
+        {
+            StallClass::LoadMiss
+        } else if (data_wait && blocking_unit == ExecUnit::Fxu)
+            || (unit_wait && unit == ExecUnit::Fxu)
+        {
+            StallClass::FxuChain
+        } else if data_wait && blocking_unit == ExecUnit::Lsu {
+            StallClass::LoadMiss
+        } else {
+            StallClass::Other
+        };
         if gap > 0 {
-            let reason = if delay == DelayReason::Mispredict {
-                DelayReason::Mispredict
-            } else if delay != DelayReason::None {
-                delay
-            } else if r.event.mem.is_some_and(|(_, _, st)| !st)
-                && mem_latency > self.cfg.l1d.hit_latency
-            {
-                DelayReason::LoadMiss
-            } else if data_wait && blocking_unit == ExecUnit::Fxu {
-                DelayReason::FxuChain
-            } else if unit_wait && unit == ExecUnit::Fxu {
-                DelayReason::FxuChain
-            } else if data_wait && blocking_unit == ExecUnit::Lsu {
-                DelayReason::LoadMiss
-            } else {
-                DelayReason::Other
-            };
-            match reason {
-                DelayReason::Mispredict => self.counters.stalls.branch_mispredict += gap,
-                DelayReason::TakenBubble => self.counters.stalls.taken_branch += gap,
-                DelayReason::ICache => self.counters.stalls.icache += gap,
-                DelayReason::WindowFull => self.counters.stalls.window_full += gap,
-                DelayReason::LoadMiss => self.counters.stalls.load += gap,
-                DelayReason::FxuChain => self.counters.stalls.fxu += gap,
-                DelayReason::Other | DelayReason::None => self.counters.stalls.other += gap,
+            self.counters.stalls.add(reason, gap);
+            if let Some(sites) = &mut self.stall_sites {
+                sites.entry(r.pc).or_default().add(reason, gap);
             }
         }
         self.commit_new_group = false;
@@ -458,14 +471,13 @@ impl TimingCore {
         if r.insn.is_store() {
             c.stores += 1;
         }
-        if self.interval_insns > 0 && c.instructions % self.interval_insns == 0 {
+        if self.interval_insns > 0 && c.instructions.is_multiple_of(self.interval_insns) {
             let (i0, cy0, m0) = self.interval_start;
             let di = c.instructions - i0;
             let dc = c.cycles.saturating_sub(cy0).max(1);
             let dm = c.branches.direction_mispredictions - m0;
-            let cond = (di as f64 * c.branches.conditional as f64
-                / c.instructions.max(1) as f64)
-                .max(1.0);
+            let cond =
+                (di as f64 * c.branches.conditional as f64 / c.instructions.max(1) as f64).max(1.0);
             c.intervals.push(IntervalSample {
                 instructions: c.instructions,
                 cycles: c.cycles,
@@ -474,7 +486,52 @@ impl TimingCore {
             });
             self.interval_start = (c.instructions, c.cycles, c.branches.direction_mispredictions);
         }
+
+        // ---------------- TRACE ----------------
+        // One discriminant test when tracing is off; the record is built
+        // only on the cold path.
+        if !self.tracer.is_off() {
+            self.emit_trace(&r, fetch_time, dispatch, issue, complete, commit, reason, gap);
+        }
         commit
+    }
+
+    /// Build and deliver one pipeline event record (kept out of the retire
+    /// fast path; only runs when a tracer is installed).
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn emit_trace(
+        &mut self,
+        r: &Retired<'_>,
+        fetch: u64,
+        dispatch: u64,
+        issue: u64,
+        complete: u64,
+        commit: u64,
+        stall: StallClass,
+        stall_cycles: u64,
+    ) {
+        // Any redirect pending here was installed by THIS instruction's
+        // branch resolution: older redirects were consumed at fetch.
+        let redirect = r
+            .event
+            .branch
+            .and(self.pending_redirect)
+            .map(|(resume, cause)| TraceRedirect { resume, cause });
+        let record = InsnTrace {
+            seq: self.counters.instructions,
+            pc: r.pc,
+            disasm: r.insn.to_string(),
+            fetch,
+            dispatch,
+            issue,
+            complete,
+            commit,
+            stall,
+            stall_cycles,
+            redirect,
+        };
+        self.tracer.record(&record);
     }
 
     fn account_branch(
@@ -518,7 +575,7 @@ impl TimingCore {
                 // is what produces the paper's small residue of *target*
                 // mispredictions next to the dominant direction ones.
                 self.dir_mispredicts_seen += 1;
-                if self.dir_mispredicts_seen % 20 == 0 {
+                if self.dir_mispredicts_seen.is_multiple_of(20) {
                     let _ = self.ras.pop();
                 }
             }
@@ -570,7 +627,7 @@ impl TimingCore {
         // Front-end consequences, in priority order.
         if direction_mispredict || target_mispredict {
             let resume = resolve + self.cfg.mispredict_penalty;
-            self.pending_redirect = Some((resume, DelayReason::Mispredict));
+            self.pending_redirect = Some((resume, StallClass::Mispredict));
         } else if taken {
             // A correct BTAC prediction removes the NIA-computation bubble;
             // the target-refetch overhead remains either way.
@@ -583,7 +640,7 @@ impl TimingCore {
             // completion stall only if the window cannot hide it (the gap
             // is attributed at the next commit).
             let resume = fetch_time + 1 + bubble;
-            self.pending_redirect = Some((resume, DelayReason::TakenBubble));
+            self.pending_redirect = Some((resume, StallClass::TakenBubble));
         }
     }
 }
@@ -686,21 +743,14 @@ mod tests {
         };
         let with_bubble = run(2);
         let without = run(0);
-        assert!(
-            with_bubble > without + 300,
-            "bubble {with_bubble} vs none {without}"
-        );
+        assert!(with_bubble > without + 300, "bubble {with_bubble} vs none {without}");
     }
 
     #[test]
     fn mispredicted_branches_cost_redirects() {
         // A conditional branch with a pseudorandom direction stream.
         let mut c = core();
-        let bc = Instruction::Bc {
-            cond: BranchCond::IfTrue(CrBit(1)),
-            offset: 8,
-            link: false,
-        };
+        let bc = Instruction::Bc { cond: BranchCond::IfTrue(CrBit(1)), offset: 8, link: false };
         let mut x = 99u64;
         for i in 0..500u32 {
             let pc = 0x1000 + 8 * (i % 4);
@@ -744,12 +794,7 @@ mod tests {
         };
         let base = run(false);
         let btac = run(true);
-        assert!(
-            btac.cycles + 200 < base.cycles,
-            "btac {} vs base {}",
-            btac.cycles,
-            base.cycles
-        );
+        assert!(btac.cycles + 200 < base.cycles, "btac {} vs base {}", btac.cycles, base.cycles);
         assert!(btac.btac.predictions > 200);
         assert!(btac.btac.misprediction_rate() < 0.05);
         assert_eq!(base.btac.lookups, 0);
@@ -787,7 +832,10 @@ mod tests {
             c.retire(Retired {
                 insn: &ld,
                 pc: 0x1000,
-                event: StepEvent { mem: Some((0x10_0000 + 128 * i, 4, false)), ..Default::default() },
+                event: StepEvent {
+                    mem: Some((0x10_0000 + 128 * i, 4, false)),
+                    ..Default::default()
+                },
             });
             retire_plain(&mut c, &simple(5, 3, 3), 0x1004);
         }

@@ -9,6 +9,69 @@
 use crate::btac::BtacStats;
 use crate::cache::CacheStats;
 
+/// The reason a committed instruction's completion was delayed — the public
+/// classification behind both the [`StallBreakdown`] CPI stack and the
+/// per-event stall stamps in [`crate::trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// No stall: the instruction committed at full group throughput.
+    #[default]
+    None,
+    /// Branch-misprediction redirect.
+    Mispredict,
+    /// Taken-branch fetch bubble (the POWER5 2-cycle NIA penalty).
+    TakenBubble,
+    /// Instruction-cache miss.
+    ICache,
+    /// Reorder window was full at fetch.
+    WindowFull,
+    /// Data-cache miss on a load (or waiting on an LSU producer).
+    LoadMiss,
+    /// Waiting on an FXU result or an FXU issue slot.
+    FxuChain,
+    /// Anything else (dispatch gaps, cold pipeline).
+    Other,
+}
+
+impl StallClass {
+    /// All classes, in CPI-stack display order.
+    pub const ALL: [StallClass; 8] = [
+        StallClass::None,
+        StallClass::FxuChain,
+        StallClass::LoadMiss,
+        StallClass::Mispredict,
+        StallClass::TakenBubble,
+        StallClass::ICache,
+        StallClass::WindowFull,
+        StallClass::Other,
+    ];
+
+    /// Stable machine-readable name (used by the JSONL trace schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallClass::None => "none",
+            StallClass::Mispredict => "branch_mispredict",
+            StallClass::TakenBubble => "taken_branch",
+            StallClass::ICache => "icache",
+            StallClass::WindowFull => "window_full",
+            StallClass::LoadMiss => "load",
+            StallClass::FxuChain => "fxu",
+            StallClass::Other => "other",
+        }
+    }
+
+    /// Inverse of [`StallClass::name`] (used by the JSONL trace parser).
+    pub fn from_name(name: &str) -> Option<StallClass> {
+        StallClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+impl std::fmt::Display for StallClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Completion-stall attribution — the CPI stack the paper's Table I
 /// "Stalls due FXU instructions" column comes from. Each stalled completion
 /// cycle is charged to the reason the oldest in-flight instruction was not
@@ -41,6 +104,45 @@ impl StallBreakdown {
             + self.icache
             + self.window_full
             + self.other
+    }
+
+    /// Charge `cycles` to `class`. [`StallClass::None`] cycles are charged
+    /// to `other`, matching the timing core's historical attribution of
+    /// unexplained completion gaps.
+    pub fn add(&mut self, class: StallClass, cycles: u64) {
+        match class {
+            StallClass::Mispredict => self.branch_mispredict += cycles,
+            StallClass::TakenBubble => self.taken_branch += cycles,
+            StallClass::ICache => self.icache += cycles,
+            StallClass::WindowFull => self.window_full += cycles,
+            StallClass::LoadMiss => self.load += cycles,
+            StallClass::FxuChain => self.fxu += cycles,
+            StallClass::Other | StallClass::None => self.other += cycles,
+        }
+    }
+
+    /// Cycles charged to `class` ([`StallClass::None`] reads `other`).
+    pub fn get(&self, class: StallClass) -> u64 {
+        match class {
+            StallClass::Mispredict => self.branch_mispredict,
+            StallClass::TakenBubble => self.taken_branch,
+            StallClass::ICache => self.icache,
+            StallClass::WindowFull => self.window_full,
+            StallClass::LoadMiss => self.load,
+            StallClass::FxuChain => self.fxu,
+            StallClass::Other | StallClass::None => self.other,
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.fxu += other.fxu;
+        self.load += other.load;
+        self.branch_mispredict += other.branch_mispredict;
+        self.taken_branch += other.taken_branch;
+        self.icache += other.icache;
+        self.window_full += other.window_full;
+        self.other += other.other;
     }
 }
 
@@ -274,11 +376,7 @@ mod tests {
 
     #[test]
     fn ipc_and_fractions() {
-        let mut c = Counters {
-            cycles: 1000,
-            instructions: 900,
-            ..Counters::default()
-        };
+        let mut c = Counters { cycles: 1000, instructions: 900, ..Counters::default() };
         c.branches.total = 180;
         c.branches.conditional = 150;
         c.branches.taken = 120;
@@ -317,19 +415,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates_everything() {
-        let mut a = Counters {
-            cycles: 10,
-            instructions: 8,
-            ..Counters::default()
-        };
+        let mut a = Counters { cycles: 10, instructions: 8, ..Counters::default() };
         a.branches.total = 2;
         a.stalls.fxu = 1;
         a.l1d.accesses = 4;
-        let mut b = Counters {
-            cycles: 30,
-            instructions: 22,
-            ..Counters::default()
-        };
+        let mut b = Counters { cycles: 30, instructions: 22, ..Counters::default() };
         b.branches.total = 5;
         b.stalls.fxu = 3;
         b.l1d.accesses = 6;

@@ -59,7 +59,9 @@ pub mod core;
 pub mod counters;
 pub mod machine;
 pub mod predictor;
+pub mod trace;
 
 pub use config::CoreConfig;
-pub use counters::Counters;
+pub use counters::{Counters, StallBreakdown, StallClass};
 pub use machine::Machine;
+pub use trace::{SymbolMap, Tracer};

@@ -13,7 +13,8 @@
 
 use crate::config::CoreConfig;
 use crate::core::{Retired, TimingCore};
-use crate::counters::Counters;
+use crate::counters::{Counters, StallBreakdown};
+use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
 use ppc_isa::exec::MemFault;
 use ppc_isa::{decode, step, CpuState, Instruction, Memory};
 use std::fmt;
@@ -116,6 +117,10 @@ pub struct ProfileRegion {
     pub end: u32,
 }
 
+/// Per-function attribution state: the regions and, for each, the
+/// `(cycles, instructions)` charged so far.
+type ProfileState = (Vec<ProfileRegion>, Vec<(u64, u64)>);
+
 /// A loaded program plus simulation state.
 pub struct Machine {
     cpu: CpuState,
@@ -127,8 +132,10 @@ pub struct Machine {
     code_base: u32,
     halted: bool,
     /// Optional per-function cycle/instruction attribution.
-    profile: Option<(Vec<ProfileRegion>, Vec<(u64, u64)>)>,
+    profile: Option<ProfileState>,
     last_commit_seen: u64,
+    /// Optional symbol table for symbolized heatmaps and trace dumps.
+    symbols: Option<SymbolMap>,
 }
 
 impl Machine {
@@ -143,8 +150,7 @@ impl Machine {
     /// Panics if the image does not fit below `mem_size`.
     pub fn new(cfg: CoreConfig, image: &[u8], base: u32, entry: u32, mem_size: usize) -> Self {
         let mut mem = Memory::new(mem_size);
-        mem.write_bytes(base, image)
-            .expect("program image must fit in simulated memory");
+        mem.write_bytes(base, image).expect("program image must fit in simulated memory");
         let decoded = image
             .chunks(4)
             .map(|c| {
@@ -164,6 +170,7 @@ impl Machine {
             halted: false,
             profile: None,
             last_commit_seen: 0,
+            symbols: None,
         }
     }
 
@@ -180,11 +187,9 @@ impl Machine {
     pub fn profile_results(&self) -> Vec<(String, u64, u64)> {
         match &self.profile {
             None => Vec::new(),
-            Some((regions, counts)) => regions
-                .iter()
-                .zip(counts)
-                .map(|(r, &(i, c))| (r.name.clone(), i, c))
-                .collect(),
+            Some((regions, counts)) => {
+                regions.iter().zip(counts).map(|(r, &(i, c))| (r.name.clone(), i, c)).collect()
+            }
         }
     }
 
@@ -235,10 +240,79 @@ impl Machine {
         self.core.branch_sites()
     }
 
+    /// Enable per-PC attribution of every stall class (see
+    /// [`crate::core::TimingCore::set_stall_site_profiling`]).
+    pub fn set_stall_site_profiling(&mut self, on: bool) {
+        self.core.set_stall_site_profiling(on);
+    }
+
+    /// Per-PC stall breakdowns, hottest site first. Empty unless
+    /// [`Machine::set_stall_site_profiling`] was enabled.
+    pub fn stall_sites(&self) -> Vec<(u32, StallBreakdown)> {
+        self.core.stall_sites()
+    }
+
+    /// Install a symbol table (from `ppc-asm`'s `Assembled::symbol_table`)
+    /// so heatmaps and trace dumps print `function+offset`.
+    pub fn set_symbols(&mut self, symbols: SymbolMap) {
+        self.symbols = Some(symbols);
+    }
+
+    /// The installed symbol table, if any.
+    pub fn symbols(&self) -> Option<&SymbolMap> {
+        self.symbols.as_ref()
+    }
+
+    /// Render the per-PC stall heatmap (top `top` sites), symbolized when a
+    /// symbol table was installed. Empty output unless
+    /// [`Machine::set_stall_site_profiling`] was enabled.
+    pub fn stall_heatmap(&self, top: usize) -> String {
+        trace::render_stall_heatmap(&self.stall_sites(), self.symbols.as_ref(), top)
+    }
+
+    /// Install a pipeline event tracer ([`Tracer::Off`] disables tracing).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.set_tracer(tracer);
+    }
+
+    /// Trace the last `n` committed instructions into a ring buffer
+    /// (post-mortem dumps; replaces any previous tracer).
+    pub fn trace_last(&mut self, n: usize) {
+        self.core.set_tracer(Tracer::Ring(RingSink::new(n)));
+    }
+
+    /// Stream gem5-O3-pipeview-style text to `out` (replaces any previous
+    /// tracer).
+    pub fn trace_pipeview(&mut self, out: impl std::io::Write + 'static) {
+        self.core.set_tracer(Tracer::PipeView(PipeViewSink::new(Box::new(out))));
+    }
+
+    /// Stream JSONL records to `out` (replaces any previous tracer).
+    pub fn trace_jsonl(&mut self, out: impl std::io::Write + 'static) {
+        self.core.set_tracer(Tracer::Jsonl(JsonlSink::new(Box::new(out))));
+    }
+
+    /// The active tracer.
+    pub fn tracer(&self) -> &Tracer {
+        self.core.tracer()
+    }
+
+    /// Mutable access to the active tracer (e.g. to flush it).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        self.core.tracer_mut()
+    }
+
+    /// Remove and return the active tracer, disabling tracing. Flush the
+    /// returned tracer with [`Tracer::finish`] to surface deferred I/O
+    /// errors.
+    pub fn take_tracer(&mut self) -> Tracer {
+        self.core.take_tracer()
+    }
+
     #[inline]
     fn fetch_decode(&mut self, pc: u32) -> Result<Instruction, SimError> {
         let idx = pc.wrapping_sub(self.code_base) as usize / 4;
-        if pc % 4 == 0 {
+        if pc.is_multiple_of(4) {
             if let Some(Some(i)) = self.decoded.get(idx) {
                 return Ok(*i);
             }
@@ -497,10 +571,7 @@ loop:
 
         let mut sampled = machine(src);
         let s = sampled
-            .run_sampled(
-                SamplingConfig { period: 10_000, warmup: 500, detail: 500 },
-                u64::MAX,
-            )
+            .run_sampled(SamplingConfig { period: 10_000, warmup: 500, detail: 500 }, u64::MAX)
             .unwrap();
         assert!(s.halted);
         assert_eq!(s.total_instructions, full_c.instructions);

@@ -197,12 +197,9 @@ pub fn build(kind: PredictorKind) -> Box<dyn DirectionPredictor> {
         PredictorKind::StaticTaken => Box::new(StaticTaken),
         PredictorKind::Bimodal { bits } => Box::new(Bimodal::new(bits)),
         PredictorKind::Gshare { bits, history_bits } => Box::new(Gshare::new(bits, history_bits)),
-        PredictorKind::Tournament {
-            bimodal_bits,
-            gshare_bits,
-            history_bits,
-            selector_bits,
-        } => Box::new(Tournament::new(bimodal_bits, gshare_bits, history_bits, selector_bits)),
+        PredictorKind::Tournament { bimodal_bits, gshare_bits, history_bits, selector_bits } => {
+            Box::new(Tournament::new(bimodal_bits, gshare_bits, history_bits, selector_bits))
+        }
     }
 }
 
@@ -219,12 +216,7 @@ pub struct ReturnStack {
 impl ReturnStack {
     /// A stack with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        ReturnStack {
-            stack: vec![0; capacity.max(1)],
-            top: 0,
-            depth: 0,
-            capacity: capacity.max(1),
-        }
+        ReturnStack { stack: vec![0; capacity.max(1)], top: 0, depth: 0, capacity: capacity.max(1) }
     }
 
     /// Record a call's return address.
@@ -318,7 +310,12 @@ mod tests {
         for kind in [
             PredictorKind::Bimodal { bits: 12 },
             PredictorKind::Gshare { bits: 12, history_bits: 10 },
-            PredictorKind::Tournament { bimodal_bits: 12, gshare_bits: 12, history_bits: 10, selector_bits: 12 },
+            PredictorKind::Tournament {
+                bimodal_bits: 12,
+                gshare_bits: 12,
+                history_bits: 10,
+                selector_bits: 12,
+            },
         ] {
             let mut p = build(kind);
             let acc = accuracy(p.as_mut(), &stream);

@@ -1,0 +1,941 @@
+//! Per-instruction pipeline event tracing and symbolized attribution.
+//!
+//! Every committed instruction's trip through the pipe — fetch, dispatch,
+//! issue, execute-complete, commit, plus any front-end redirect it caused —
+//! is captured as one [`InsnTrace`] record and delivered to a
+//! [`TraceSink`]. The timing core dispatches through the [`Tracer`] enum,
+//! so the default [`Tracer::Off`] configuration costs a single enum
+//! discriminant test per retired instruction and **no** virtual call.
+//!
+//! Three concrete sinks are provided:
+//!
+//! * [`RingSink`] — a bounded ring buffer keeping the last *N*
+//!   instructions, for post-mortem "what led up to the anomaly" dumps;
+//! * [`PipeViewSink`] — a gem5-O3-pipeview-style text renderer
+//!   (`O3PipeView:<stage>:<cycle>` lines, consumable by pipeline viewers);
+//! * [`JsonlSink`] — one JSON object per instruction, parseable by
+//!   [`parse_jsonl_line`] and replayable by [`replay_jsonl`] to validate a
+//!   trace against the run that produced it.
+//!
+//! [`SymbolMap`] carries the `ppc-asm` symbol table into the simulator so
+//! per-PC stall heatmaps ([`render_stall_heatmap`]) print `function+offset`
+//! instead of raw addresses.
+
+use crate::counters::{StallBreakdown, StallClass};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// A front-end redirect caused by a committed branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRedirect {
+    /// Cycle at which fetch may resume.
+    pub resume: u64,
+    /// Why the redirect happened ([`StallClass::Mispredict`] or
+    /// [`StallClass::TakenBubble`]).
+    pub cause: StallClass,
+}
+
+/// One committed instruction's pipeline event record.
+///
+/// Stage stamps are monotonically non-decreasing:
+/// `fetch <= dispatch <= issue <= complete <= commit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsnTrace {
+    /// 1-based committed-instruction sequence number.
+    pub seq: u64,
+    /// Fetch address.
+    pub pc: u32,
+    /// Disassembly of the instruction.
+    pub disasm: String,
+    /// Cycle the instruction was fetched.
+    pub fetch: u64,
+    /// Cycle its dispatch group dispatched.
+    pub dispatch: u64,
+    /// Cycle it issued to its execution unit.
+    pub issue: u64,
+    /// Cycle its result completed (end of execute).
+    pub complete: u64,
+    /// Cycle it committed.
+    pub commit: u64,
+    /// The stall class charged for its completion gap
+    /// ([`StallClass::None`] when it committed at full throughput).
+    pub stall: StallClass,
+    /// Completion-gap cycles charged to [`InsnTrace::stall`].
+    pub stall_cycles: u64,
+    /// The redirect this instruction caused, if any.
+    pub redirect: Option<TraceRedirect>,
+}
+
+impl InsnTrace {
+    /// Check the per-instruction stamp ordering invariant.
+    pub fn stamps_monotonic(&self) -> bool {
+        self.fetch <= self.dispatch
+            && self.dispatch <= self.issue
+            && self.issue <= self.complete
+            && self.complete <= self.commit
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"pc\":{},\"disasm\":\"{}\",\"fetch\":{},\"dispatch\":{},\
+             \"issue\":{},\"complete\":{},\"commit\":{},\"stall\":\"{}\",\"stall_cycles\":{}",
+            self.seq,
+            self.pc,
+            escape_json(&self.disasm),
+            self.fetch,
+            self.dispatch,
+            self.issue,
+            self.complete,
+            self.commit,
+            self.stall.name(),
+            self.stall_cycles,
+        );
+        match self.redirect {
+            Some(r) => {
+                let _ = write!(
+                    s,
+                    ",\"redirect\":{{\"resume\":{},\"cause\":\"{}\"}}}}",
+                    r.resume,
+                    r.cause.name()
+                );
+            }
+            None => s.push_str(",\"redirect\":null}"),
+        }
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Receives the pipeline event stream. Implementations must be cheap per
+/// record; expensive post-processing belongs in [`TraceSink::finish`].
+pub trait TraceSink {
+    /// Deliver one committed instruction's record.
+    fn record(&mut self, insn: &InsnTrace);
+
+    /// Flush any buffered output. Called when tracing is torn down.
+    ///
+    /// # Errors
+    ///
+    /// Returns any deferred I/O error from the underlying writer.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every record (the explicit do-nothing sink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _insn: &InsnTrace) {}
+}
+
+/// Keeps the most recent `capacity` records for post-mortem inspection.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<InsnTrace>,
+    /// Total records seen (including evicted ones).
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (capacity 0 is clamped
+    /// to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink { capacity, buf: VecDeque::with_capacity(capacity), seen: 0 }
+    }
+
+    /// The buffered records, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &InsnTrace> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered records (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records delivered, including ones the ring has evicted.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Render the buffered tail as a human-readable dump ("the last N
+    /// instructions before the anomaly").
+    pub fn dump(&self, symbols: Option<&SymbolMap>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "last {} of {} committed instructions:", self.buf.len(), self.seen);
+        for t in &self.buf {
+            let loc = match symbols {
+                Some(map) => map.label(t.pc),
+                None => format!("{:#010x}", t.pc),
+            };
+            let _ = write!(
+                out,
+                "  #{:<8} {:<24} F{} D{} I{} X{} C{} {:<28}",
+                t.seq, loc, t.fetch, t.dispatch, t.issue, t.complete, t.commit, t.disasm
+            );
+            if t.stall_cycles > 0 {
+                let _ = write!(out, "  [+{} {}]", t.stall_cycles, t.stall.name());
+            }
+            if let Some(r) = t.redirect {
+                let _ = write!(out, "  [redirect {} -> {}]", r.cause.name(), r.resume);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, insn: &InsnTrace) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(insn.clone());
+        self.seen += 1;
+    }
+}
+
+/// Writes gem5-O3-pipeview-style stage lines:
+///
+/// ```text
+/// O3PipeView:fetch:<cycle>:0x<pc>:0:<seq>:<disasm>
+/// O3PipeView:dispatch:<cycle>
+/// O3PipeView:issue:<cycle>
+/// O3PipeView:complete:<cycle>
+/// O3PipeView:retire:<cycle>
+/// ```
+///
+/// plus a non-standard `O3PipeView:redirect:<cycle>:<cause>` line when the
+/// instruction redirected the front end. I/O errors are deferred and
+/// surfaced by [`TraceSink::finish`].
+#[derive(Debug)]
+pub struct PipeViewSink<W: Write> {
+    out: W,
+    deferred_err: Option<io::Error>,
+}
+
+impl<W: Write> PipeViewSink<W> {
+    /// A sink writing pipeview lines to `out`.
+    pub fn new(out: W) -> Self {
+        PipeViewSink { out, deferred_err: None }
+    }
+
+    fn write_record(&mut self, t: &InsnTrace) -> io::Result<()> {
+        writeln!(self.out, "O3PipeView:fetch:{}:{:#010x}:0:{}:{}", t.fetch, t.pc, t.seq, t.disasm)?;
+        writeln!(self.out, "O3PipeView:dispatch:{}", t.dispatch)?;
+        writeln!(self.out, "O3PipeView:issue:{}", t.issue)?;
+        writeln!(self.out, "O3PipeView:complete:{}", t.complete)?;
+        writeln!(self.out, "O3PipeView:retire:{}", t.commit)?;
+        if let Some(r) = t.redirect {
+            writeln!(self.out, "O3PipeView:redirect:{}:{}", r.resume, r.cause.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> TraceSink for PipeViewSink<W> {
+    fn record(&mut self, insn: &InsnTrace) {
+        if self.deferred_err.is_none() {
+            if let Err(e) = self.write_record(insn) {
+                self.deferred_err = Some(e);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        match self.deferred_err.take() {
+            Some(e) => Err(e),
+            None => self.out.flush(),
+        }
+    }
+}
+
+/// Writes one JSON object per committed instruction (see
+/// [`InsnTrace::to_jsonl`] for the schema). I/O errors are deferred and
+/// surfaced by [`TraceSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    deferred_err: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing JSONL records to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, deferred_err: None }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, insn: &InsnTrace) {
+        if self.deferred_err.is_none() {
+            if let Err(e) = writeln!(self.out, "{}", insn.to_jsonl()) {
+                self.deferred_err = Some(e);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        match self.deferred_err.take() {
+            Some(e) => Err(e),
+            None => self.out.flush(),
+        }
+    }
+}
+
+/// Enum-dispatched tracer held by the timing core. The hot path tests one
+/// discriminant ([`Tracer::is_off`]); only non-`Off` configurations pay for
+/// record construction and sink dispatch.
+#[derive(Default)]
+pub enum Tracer {
+    /// Tracing disabled (the default; zero per-instruction overhead).
+    #[default]
+    Off,
+    /// Bounded ring buffer of the most recent instructions.
+    Ring(RingSink),
+    /// gem5-O3-pipeview-style text stream.
+    PipeView(PipeViewSink<Box<dyn Write>>),
+    /// JSONL stream.
+    Jsonl(JsonlSink<Box<dyn Write>>),
+    /// Any other [`TraceSink`] implementation (dynamic dispatch).
+    Custom(Box<dyn TraceSink>),
+}
+
+impl Tracer {
+    /// Whether tracing is disabled (the retire fast path's only check).
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        matches!(self, Tracer::Off)
+    }
+
+    /// Deliver one record to the active sink.
+    pub fn record(&mut self, insn: &InsnTrace) {
+        match self {
+            Tracer::Off => {}
+            Tracer::Ring(s) => s.record(insn),
+            Tracer::PipeView(s) => s.record(insn),
+            Tracer::Jsonl(s) => s.record(insn),
+            Tracer::Custom(s) => s.record(insn),
+        }
+    }
+
+    /// Flush the active sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns any deferred I/O error from the sink's writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        match self {
+            Tracer::Off => Ok(()),
+            Tracer::Ring(s) => s.finish(),
+            Tracer::PipeView(s) => s.finish(),
+            Tracer::Jsonl(s) => s.finish(),
+            Tracer::Custom(s) => s.finish(),
+        }
+    }
+
+    /// The ring buffer, when a [`Tracer::Ring`] is active.
+    pub fn ring(&self) -> Option<&RingSink> {
+        match self {
+            Tracer::Ring(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Tracer::Off => "Off",
+            Tracer::Ring(_) => "Ring",
+            Tracer::PipeView(_) => "PipeView",
+            Tracer::Jsonl(_) => "Jsonl",
+            Tracer::Custom(_) => "Custom",
+        };
+        f.debug_tuple("Tracer").field(&name).finish()
+    }
+}
+
+/// An error reading back a JSONL trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not parse as a trace record.
+    Parse {
+        /// 1-based line number.
+        line: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// The stream parsed but violated a trace invariant.
+    Invariant {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// Which invariant broke.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::Invariant { seq, message } => {
+                write!(f, "trace invariant violated at seq {seq}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing (hand-rolled: the schema is flat and fully known).
+// ---------------------------------------------------------------------------
+
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(s: &'a str) -> Self {
+        LineParser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 character starting here.
+                    self.pos -= 1;
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parse one JSONL trace line produced by [`InsnTrace::to_jsonl`].
+///
+/// # Errors
+///
+/// Returns a human-readable message if the line is not a valid record.
+pub fn parse_jsonl_line(line: &str) -> Result<InsnTrace, String> {
+    let mut p = LineParser::new(line);
+    p.expect(b'{')?;
+    let mut seq = None;
+    let mut pc = None;
+    let mut disasm = None;
+    let mut fetch = None;
+    let mut dispatch = None;
+    let mut issue = None;
+    let mut complete = None;
+    let mut commit = None;
+    let mut stall = None;
+    let mut stall_cycles = None;
+    let mut redirect: Option<Option<TraceRedirect>> = None;
+    loop {
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "seq" => seq = Some(p.parse_u64()?),
+            "pc" => pc = Some(p.parse_u64()?),
+            "disasm" => disasm = Some(p.parse_string()?),
+            "fetch" => fetch = Some(p.parse_u64()?),
+            "dispatch" => dispatch = Some(p.parse_u64()?),
+            "issue" => issue = Some(p.parse_u64()?),
+            "complete" => complete = Some(p.parse_u64()?),
+            "commit" => commit = Some(p.parse_u64()?),
+            "stall" => {
+                let name = p.parse_string()?;
+                stall = Some(
+                    StallClass::from_name(&name)
+                        .ok_or_else(|| format!("unknown stall class '{name}'"))?,
+                );
+            }
+            "stall_cycles" => stall_cycles = Some(p.parse_u64()?),
+            "redirect" => {
+                if p.peek() == Some(b'n') {
+                    // Literal null.
+                    for expected in [b'n', b'u', b'l', b'l'] {
+                        p.expect(expected)?;
+                    }
+                    redirect = Some(None);
+                } else {
+                    p.expect(b'{')?;
+                    let mut resume = None;
+                    let mut cause = None;
+                    loop {
+                        let rk = p.parse_string()?;
+                        p.expect(b':')?;
+                        match rk.as_str() {
+                            "resume" => resume = Some(p.parse_u64()?),
+                            "cause" => {
+                                let name = p.parse_string()?;
+                                cause =
+                                    Some(StallClass::from_name(&name).ok_or_else(|| {
+                                        format!("unknown redirect cause '{name}'")
+                                    })?);
+                            }
+                            other => return Err(format!("unknown redirect key '{other}'")),
+                        }
+                        if p.peek() == Some(b',') {
+                            p.expect(b',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                    p.expect(b'}')?;
+                    redirect = Some(Some(TraceRedirect {
+                        resume: resume.ok_or("redirect missing 'resume'")?,
+                        cause: cause.ok_or("redirect missing 'cause'")?,
+                    }));
+                }
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+        if p.peek() == Some(b',') {
+            p.expect(b',')?;
+        } else {
+            break;
+        }
+    }
+    p.expect(b'}')?;
+    let pc64 = pc.ok_or("missing 'pc'")?;
+    Ok(InsnTrace {
+        seq: seq.ok_or("missing 'seq'")?,
+        pc: u32::try_from(pc64).map_err(|_| "pc out of range".to_string())?,
+        disasm: disasm.ok_or("missing 'disasm'")?,
+        fetch: fetch.ok_or("missing 'fetch'")?,
+        dispatch: dispatch.ok_or("missing 'dispatch'")?,
+        issue: issue.ok_or("missing 'issue'")?,
+        complete: complete.ok_or("missing 'complete'")?,
+        commit: commit.ok_or("missing 'commit'")?,
+        stall: stall.ok_or("missing 'stall'")?,
+        stall_cycles: stall_cycles.ok_or("missing 'stall_cycles'")?,
+        redirect: redirect.ok_or("missing 'redirect'")?,
+    })
+}
+
+/// Summary of a replayed JSONL trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Committed instructions in the trace.
+    pub instructions: u64,
+    /// Commit cycle of the final instruction.
+    pub final_commit: u64,
+    /// Total stall cycles recorded across the trace.
+    pub stall_cycles: u64,
+}
+
+/// Replay a JSONL trace, validating per-record stamp monotonicity and
+/// sequence-number continuity, and return its summary. Replaying the trace
+/// of a run must yield the run's committed-instruction count.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failures, unparseable lines, or invariant
+/// violations (non-contiguous `seq`, non-monotonic stage stamps, or a
+/// commit cycle that moves backwards).
+pub fn replay_jsonl(reader: impl BufRead) -> Result<ReplaySummary, TraceError> {
+    let mut instructions = 0u64;
+    let mut final_commit = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut prev_seq: Option<u64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t = parse_jsonl_line(&line)
+            .map_err(|message| TraceError::Parse { line: idx as u64 + 1, message })?;
+        if let Some(prev) = prev_seq {
+            if t.seq != prev + 1 {
+                return Err(TraceError::Invariant {
+                    seq: t.seq,
+                    message: format!("sequence number jumped from {prev}"),
+                });
+            }
+        }
+        if !t.stamps_monotonic() {
+            return Err(TraceError::Invariant {
+                seq: t.seq,
+                message: format!(
+                    "stage stamps not monotonic: F{} D{} I{} X{} C{}",
+                    t.fetch, t.dispatch, t.issue, t.complete, t.commit
+                ),
+            });
+        }
+        if t.commit < final_commit {
+            return Err(TraceError::Invariant {
+                seq: t.seq,
+                message: format!("commit cycle moved backwards: {} < {final_commit}", t.commit),
+            });
+        }
+        prev_seq = Some(t.seq);
+        final_commit = t.commit;
+        stall_cycles += t.stall_cycles;
+        instructions += 1;
+    }
+    Ok(ReplaySummary { instructions, final_commit, stall_cycles })
+}
+
+// ---------------------------------------------------------------------------
+// Symbolization.
+// ---------------------------------------------------------------------------
+
+/// A sorted symbol table mapping PCs to `function+offset` labels.
+///
+/// Built from `ppc-asm`'s `Assembled::symbol_table()` (or any
+/// `(name, address)` list); a PC resolves to the nearest symbol at or
+/// below it.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMap {
+    /// `(address, name)` sorted by address.
+    entries: Vec<(u32, String)>,
+}
+
+impl SymbolMap {
+    /// Build a map from `(name, address)` pairs (e.g. `ppc-asm`'s
+    /// `Assembled::symbol_table`). Local labels (names starting with `.`)
+    /// are skipped; duplicate addresses keep the first name after sorting
+    /// by `(address, name)`.
+    pub fn new<S: Into<String>>(symbols: impl IntoIterator<Item = (S, u32)>) -> Self {
+        let mut entries: Vec<(u32, String)> = symbols
+            .into_iter()
+            .map(|(name, addr)| (name.into(), addr))
+            .filter(|(name, _)| !name.starts_with('.'))
+            .map(|(name, addr)| (addr, name))
+            .collect();
+        entries.sort();
+        entries.dedup_by_key(|e| e.0);
+        SymbolMap { entries }
+    }
+
+    /// Whether the map holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The symbol containing `pc`, as `(name, offset)`; `None` when `pc`
+    /// is below the first symbol.
+    pub fn resolve(&self, pc: u32) -> Option<(&str, u32)> {
+        let idx = self.entries.partition_point(|&(addr, _)| addr <= pc);
+        let (addr, name) = self.entries.get(idx.checked_sub(1)?)?;
+        Some((name.as_str(), pc - addr))
+    }
+
+    /// A display label for `pc`: `name` or `name+0xOFF`, falling back to
+    /// the raw hex address when unresolvable.
+    pub fn label(&self, pc: u32) -> String {
+        match self.resolve(pc) {
+            Some((name, 0)) => name.to_string(),
+            Some((name, off)) => format!("{name}+{off:#x}"),
+            None => format!("{pc:#010x}"),
+        }
+    }
+}
+
+/// Render a per-PC stall heatmap (the "guilty branch" analysis extended to
+/// every stall class). `sites` is `(pc, breakdown)`; rows print hottest
+/// first, capped at `top`, symbolized through `symbols` when provided.
+pub fn render_stall_heatmap(
+    sites: &[(u32, StallBreakdown)],
+    symbols: Option<&SymbolMap>,
+    top: usize,
+) -> String {
+    let mut rows: Vec<&(u32, StallBreakdown)> = sites.iter().collect();
+    rows.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
+    let total_all: u64 = rows.iter().map(|(_, s)| s.total()).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>6}  {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "site",
+        "stall-cyc",
+        "share",
+        "fxu",
+        "load",
+        "mispredict",
+        "taken",
+        "icache",
+        "window",
+        "other"
+    );
+    for (pc, s) in rows.into_iter().take(top) {
+        let label = match symbols {
+            Some(map) => map.label(*pc),
+            None => format!("{pc:#010x}"),
+        };
+        let share = 100.0 * s.total() as f64 / total_all.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{label:<34} {:>10} {share:>5.1}%  {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            s.total(),
+            s.fxu,
+            s.load,
+            s.branch_mispredict,
+            s.taken_branch,
+            s.icache,
+            s.window_full,
+            s.other
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> InsnTrace {
+        InsnTrace {
+            seq,
+            pc: 0x1000 + 4 * seq as u32,
+            disasm: format!("addi r3, r3, {seq}"),
+            fetch: seq,
+            dispatch: seq + 2,
+            issue: seq + 2,
+            complete: seq + 3,
+            commit: seq + 3,
+            stall: StallClass::None,
+            stall_cycles: 0,
+            redirect: None,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_plain() {
+        let t = sample(7);
+        let back = parse_jsonl_line(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_with_redirect_and_escapes() {
+        let mut t = sample(3);
+        t.disasm = "bct 4*cr0+gt, \".L\\x\"".to_string();
+        t.stall = StallClass::Mispredict;
+        t.stall_cycles = 12;
+        t.redirect = Some(TraceRedirect { resume: 99, cause: StallClass::Mispredict });
+        let back = parse_jsonl_line(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn replay_counts_and_validates() {
+        let mut text = String::new();
+        for seq in 1..=10 {
+            text.push_str(&sample(seq).to_jsonl());
+            text.push('\n');
+        }
+        let summary = replay_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(summary.instructions, 10);
+        assert_eq!(summary.final_commit, 13);
+    }
+
+    #[test]
+    fn replay_rejects_seq_gap() {
+        let mut text = String::new();
+        text.push_str(&sample(1).to_jsonl());
+        text.push('\n');
+        text.push_str(&sample(3).to_jsonl());
+        text.push('\n');
+        let err = replay_jsonl(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Invariant { seq: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_non_monotonic_stamps() {
+        let mut t = sample(1);
+        t.issue = t.dispatch - 1;
+        let err = replay_jsonl(format!("{}\n", t.to_jsonl()).as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Invariant { .. }), "{err}");
+    }
+
+    #[test]
+    fn ring_keeps_last_n() {
+        let mut ring = RingSink::new(3);
+        for seq in 1..=10 {
+            ring.record(&sample(seq));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_seen(), 10);
+        let seqs: Vec<u64> = ring.entries().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+        assert!(ring.dump(None).contains("last 3 of 10"));
+    }
+
+    #[test]
+    fn pipeview_emits_stage_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = PipeViewSink::new(&mut buf);
+            let mut t = sample(1);
+            t.redirect = Some(TraceRedirect { resume: 9, cause: StallClass::TakenBubble });
+            sink.record(&t);
+            sink.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        for stage in ["fetch", "dispatch", "issue", "complete", "retire", "redirect"] {
+            assert!(text.contains(&format!("O3PipeView:{stage}:")), "missing {stage}");
+        }
+    }
+
+    #[test]
+    fn symbol_map_resolves_offsets() {
+        let map = SymbolMap::new(vec![
+            ("main".to_string(), 0x1000),
+            ("helper".to_string(), 0x1040),
+            (".Llocal".to_string(), 0x1044),
+        ]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.resolve(0x1000), Some(("main", 0)));
+        assert_eq!(map.resolve(0x103C), Some(("main", 0x3C)));
+        assert_eq!(map.resolve(0x1048), Some(("helper", 8)));
+        assert_eq!(map.resolve(0xFFF), None);
+        assert_eq!(map.label(0x1044), "helper+0x4");
+        assert_eq!(map.label(0x200), "0x00000200");
+    }
+
+    #[test]
+    fn heatmap_sorts_and_symbolizes() {
+        let map = SymbolMap::new(vec![("kernel".to_string(), 0x1000)]);
+        let hot = StallBreakdown { branch_mispredict: 100, ..Default::default() };
+        let cool = StallBreakdown { load: 5, ..Default::default() };
+        let text = render_stall_heatmap(&[(0x1010, cool), (0x1020, hot)], Some(&map), 10);
+        let hot_pos = text.find("kernel+0x20").unwrap();
+        let cool_pos = text.find("kernel+0x10").unwrap();
+        assert!(hot_pos < cool_pos, "hottest row first:\n{text}");
+    }
+
+    #[test]
+    fn tracer_off_is_cheap_and_silent() {
+        let mut tracer = Tracer::Off;
+        assert!(tracer.is_off());
+        tracer.record(&sample(1));
+        tracer.finish().unwrap();
+        assert!(tracer.ring().is_none());
+    }
+}

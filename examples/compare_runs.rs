@@ -1,0 +1,104 @@
+//! Diff two machine-readable experiment reports and flag regressions.
+//!
+//! Every table/figure bench target writes a `bioarch-report/v1` JSON
+//! document next to its text output (default `target/reports/<slug>.json`,
+//! see `BIOARCH_REPORT_DIR`). This tool compares two such files metric by
+//! metric: a metric regresses when it moves *against* its recorded
+//! direction (`higher`/`lower`; `neutral` metrics are reported but never
+//! flagged) by more than the tolerance.
+//!
+//! ```text
+//! cargo run --release --example compare_runs -- before.json after.json [tolerance]
+//! cargo run --release --example compare_runs -- --demo
+//! ```
+//!
+//! The default tolerance is 0.02 (2 %). Exits with status 1 when any
+//! regression is found, so the comparison can gate CI. `--demo` generates
+//! a Table-I-style report pair in memory, injects an IPC regression, and
+//! shows the resulting diff.
+
+use bioarch::report::{compare_reports, Comparison, Direction, Report};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Report {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Report::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("compare_runs: {msg}");
+    std::process::exit(2);
+}
+
+fn summarize(cmp: &Comparison, tolerance: f64) -> ExitCode {
+    print!("{}", cmp.render());
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!("\nNo regressions beyond {:.1}% tolerance.", 100.0 * tolerance);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{} regression(s) beyond {:.1}% tolerance:",
+            regressions.len(),
+            100.0 * tolerance
+        );
+        for d in &regressions {
+            println!("  {}: {:.4} -> {:.4}", d.name, d.before, d.after);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn demo() -> ExitCode {
+    let tolerance = 0.02;
+    let mut before = Report::new("table1");
+    before.push("clustalw.ipc", 0.92, Direction::Higher);
+    before.push("clustalw.l1d_miss_rate", 0.011, Direction::Lower);
+    before.push("clustalw.direction_fraction", 0.97, Direction::Neutral);
+
+    // Round-trip both reports through the JSON schema, as the real flow
+    // does via report files on disk.
+    let mut after = Report::parse(&before.render_json()).expect("roundtrip");
+    assert_eq!(after.metrics.len(), before.metrics.len());
+    // Inject an IPC regression well beyond the tolerance.
+    after.metrics[0].value = 0.80;
+
+    println!("demo: injected clustalw.ipc regression 0.92 -> 0.80\n");
+    let cmp = compare_reports(&before, &after, tolerance);
+    let code = summarize(&cmp, tolerance);
+    assert_eq!(cmp.regressions().len(), 1, "demo must flag exactly the injected regression");
+    code
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--demo") {
+        return demo();
+    }
+    let (before_path, after_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(a)) => (b.as_str(), a.as_str()),
+        _ => die("usage: compare_runs <before.json> <after.json> [tolerance] | --demo"),
+    };
+    let tolerance: f64 = match args.get(2) {
+        Some(t) => t.parse().unwrap_or_else(|_| die(&format!("bad tolerance {t:?}"))),
+        None => 0.02,
+    };
+    let before = load(before_path);
+    let after = load(after_path);
+    if before.experiment != after.experiment {
+        eprintln!(
+            "warning: comparing different experiments ({} vs {})",
+            before.experiment, after.experiment
+        );
+    }
+    println!(
+        "comparing {} ({}) -> {} ({}), tolerance {:.1}%\n",
+        before_path,
+        before.experiment,
+        after_path,
+        after.experiment,
+        100.0 * tolerance
+    );
+    summarize(&compare_reports(&before, &after, tolerance), tolerance)
+}

@@ -3,7 +3,9 @@
 //!
 //! Runs the Clustalw baseline with per-PC branch profiling and prints the
 //! top misprediction sites, mapped back to their functions — then shows
-//! that after hand predication those sites are simply gone.
+//! that after hand predication those sites are simply gone. Finally, the
+//! same analysis is generalized from branches to *every* stall class: a
+//! symbolized per-PC heatmap of the completion-stall breakdown.
 //!
 //! Run with `cargo run --release --example guilty_branches`.
 
@@ -14,9 +16,7 @@ fn main() {
     let workload = Workload::new(App::Clustalw, Scale::Test, 42);
     let cfg = CoreConfig::power5();
 
-    let base = workload
-        .run_with_branch_sites(Variant::Baseline, &cfg)
-        .expect("baseline runs");
+    let base = workload.run_with_branch_sites(Variant::Baseline, &cfg).expect("baseline runs");
     assert!(base.validated);
 
     let total_mispredicts: u64 = base.branch_sites.iter().map(|s| s.stats.mispredicted).sum();
@@ -26,7 +26,10 @@ fn main() {
         total_mispredicts
     );
     println!("top offenders:");
-    println!("{:>10}  {:14} {:>10} {:>8} {:>9}  share", "pc", "function", "executed", "taken%", "mispred%");
+    println!(
+        "{:>10}  {:14} {:>10} {:>8} {:>9}  share",
+        "pc", "function", "executed", "taken%", "mispred%"
+    );
     for site in base.branch_sites.iter().take(8) {
         let s = &site.stats;
         println!(
@@ -51,9 +54,7 @@ fn main() {
     );
 
     // After hand predication, the same analysis shows the sites removed.
-    let hand = workload
-        .run_with_branch_sites(Variant::HandMax, &cfg)
-        .expect("hand-max runs");
+    let hand = workload.run_with_branch_sites(Variant::HandMax, &cfg).expect("hand-max runs");
     let hand_mispredicts: u64 = hand.branch_sites.iter().map(|s| s.stats.mispredicted).sum();
     println!(
         "\nwith hand-inserted max: {} sites, {} mispredictions ({:.0}% eliminated), {} maxw/isel ops executed",
@@ -62,4 +63,17 @@ fn main() {
         100.0 * (1.0 - hand_mispredicts as f64 / total_mispredicts.max(1) as f64),
         hand.counters.predicated_ops,
     );
+
+    // Branches are only one stall class. The same per-PC attribution
+    // extended to the full CPI stack shows where *all* the lost cycles
+    // live, symbolized as function+offset.
+    let sites = workload.run_with_stall_sites(Variant::Baseline, &cfg).expect("stall-site run");
+    assert!(sites.validated);
+    let attributed: u64 = sites.stall_sites.iter().map(|s| s.breakdown.total()).sum();
+    println!(
+        "\nall-stall-class heatmap ({} completion-stall cycles attributed to {} PCs):\n",
+        attributed,
+        sites.stall_sites.len()
+    );
+    print!("{}", sites.stall_heatmap);
 }

@@ -41,18 +41,14 @@ fn main(a: int, b: int) -> int {
 
     // Then the full Clustalw workload across every variant.
     let workload = Workload::new(App::Clustalw, Scale::Test, 7);
-    let baseline = workload
-        .run(Variant::Baseline, &CoreConfig::power5())
-        .expect("baseline runs");
+    let baseline = workload.run(Variant::Baseline, &CoreConfig::power5()).expect("baseline runs");
     println!(
         "Clustalw on the simulated POWER5 (baseline: {} cycles, IPC {:.2}):",
         baseline.counters.cycles,
         baseline.counters.ipc()
     );
     for variant in Variant::all() {
-        let run = workload
-            .run(variant, &CoreConfig::power5())
-            .expect("variant runs");
+        let run = workload.run(variant, &CoreConfig::power5()).expect("variant runs");
         assert!(run.validated);
         let speedup = baseline.counters.cycles as f64 / run.counters.cycles as f64;
         println!(

@@ -53,18 +53,12 @@ fn main() {
     let probe = models[2].consensus();
     let ranked = hmmpfam(&models, &probe, i32::MIN);
     println!("\nhmmpfam: best model for the probe sequence is #{}", ranked[0].hmm_index);
-    println!(
-        "    viterbi score {} (runner-up {})",
-        ranked[0].score,
-        ranked[1].score
-    );
+    println!("    viterbi score {} (runner-up {})", ranked[0].score, ranked[1].score);
     assert_eq!(ranked[0].score, viterbi_score(&models[2], &probe));
 
     // 4. The same ssearch workload inside the simulated POWER5.
     let workload = Workload::new(App::Fasta, Scale::Test, 2024);
-    let run = workload
-        .run(Variant::Baseline, &CoreConfig::power5())
-        .expect("simulation runs");
+    let run = workload.run(Variant::Baseline, &CoreConfig::power5()).expect("simulation runs");
     assert!(run.validated, "simulated scores must equal the host scores");
     println!(
         "\nsimulated POWER5 ssearch: {} instructions, {} cycles, IPC {:.2} — all scores validated",

@@ -81,5 +81,7 @@ fn main() {
         );
     }
     println!("\nUniform sampling recovers IPC within a few percent while timing only ~5-10% of instructions,");
-    println!("which is why the paper could afford cycle-accurate numbers from a full-system simulator.");
+    println!(
+        "which is why the paper could afford cycle-accurate numbers from a full-system simulator."
+    );
 }

@@ -8,10 +8,8 @@ use proptest::prelude::*;
 
 fn roundtrip_words(words: &[u32]) {
     // Disassemble to bare mnemonics (no address column).
-    let text: String = words
-        .iter()
-        .map(|&w| format!("{}\n", ppc_isa::decode(w).expect("word decodes")))
-        .collect();
+    let text: String =
+        words.iter().map(|&w| format!("{}\n", ppc_isa::decode(w).expect("word decodes"))).collect();
     let reassembled = ppc_asm::assemble(&text, 0).expect("disassembly re-assembles");
     let back: Vec<u32> = reassembled
         .bytes
@@ -39,12 +37,9 @@ fn main(v: ptr, n: int) -> int {
     return best * 2 - 7;
 }
 ";
-    for options in [
-        Options::baseline(),
-        Options::hand_max(),
-        Options::compiler_isel(),
-        Options::combination(),
-    ] {
+    for options in
+        [Options::baseline(), Options::hand_max(), Options::compiler_isel(), Options::combination()]
+    {
         let compiled = kernelc::compile(src, &options).expect("compiles");
         let prog = ppc_asm::assemble(&compiled.asm, 0).expect("assembles");
         let words: Vec<u32> = prog

@@ -40,7 +40,7 @@ fn random_kernel(ops: &[(u8, u8, i16)], iters: u8) -> String {
             7 => format!("wbuf[i & 63] = {v};"),
             8 => format!("x = wbuf[({v} + {k}) & 63];"),
             9 => format!("y = y + sbuf[({v} + {k}) & 63];"),
-            10 => format!("if (y < 0) {{ y = 0 - y; }}"),
+            10 => "if (y < 0) { y = 0 - y; }".to_string(),
             11 => format!("z = ({v} >> ({imm} & 7)) ^ {w};"),
             12 => format!("if ({v} < {imm} && {w} > 0) {{ x = x + 1; }}"),
             _ => format!("sbuf[({k}) & 63] = {v};"),
@@ -88,12 +88,8 @@ fn run_interpreted(src: &str, args: [i32; 3]) -> (i32, Vec<i32>, Vec<u8>) {
         20_000_000,
     )
     .expect("interprets");
-    let words = (0..N_WORDS)
-        .map(|i| mem.load_word(WORDS_ADDR + 4 * i as u32))
-        .collect();
-    let bytes = (0..N_BYTES)
-        .map(|i| mem.load_byte(BYTES_ADDR + i as u32) as u8)
-        .collect();
+    let words = (0..N_WORDS).map(|i| mem.load_word(WORDS_ADDR + 4 * i as u32)).collect();
+    let bytes = (0..N_BYTES).map(|i| mem.load_byte(BYTES_ADDR + i as u32) as u8).collect();
     (r, words, bytes)
 }
 
@@ -114,13 +110,8 @@ fn seed_memory_interp(mem: &mut InterpMemory) {
 fn run_simulated(src: &str, options: &Options, args: [i32; 3]) -> (i32, Vec<i32>, Vec<u8>) {
     let compiled = kernelc::compile(src, options).expect("compiles");
     let prog = ppc_asm::assemble(&compiled.asm, 0x1000).expect("assembles");
-    let mut m = Machine::new(
-        CoreConfig::power5(),
-        &prog.bytes,
-        0x1000,
-        prog.symbols["__start"],
-        1 << 20,
-    );
+    let mut m =
+        Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 20);
     m.cpu_mut().gpr[1] = 0xF_0000;
     m.cpu_mut().gpr[3] = args[0] as u32;
     m.cpu_mut().gpr[4] = args[1] as u32;
@@ -133,9 +124,8 @@ fn run_simulated(src: &str, options: &Options, args: [i32; 3]) -> (i32, Vec<i32>
     let result = m.run_timed(50_000_000).expect("simulates");
     assert!(result.halted, "did not halt under {options:?}");
     let words = m.mem().read_i32s(WORDS_ADDR, N_WORDS).unwrap();
-    let out_bytes: Vec<u8> = (0..N_BYTES as u32)
-        .map(|i| m.mem().load_u8(BYTES_ADDR + i).unwrap())
-        .collect();
+    let out_bytes: Vec<u8> =
+        (0..N_BYTES as u32).map(|i| m.mem().load_u8(BYTES_ADDR + i).unwrap()).collect();
     (m.cpu().gpr[3] as i32, words, out_bytes)
 }
 

@@ -14,7 +14,8 @@ use proptest::prelude::*;
 fn run_kernel(source: &str, options: &Options, setup: impl FnOnce(&mut Machine)) -> i32 {
     let compiled = kernelc::compile(source, options).expect("compiles");
     let prog = ppc_asm::assemble(&compiled.asm, 0x1000).expect("assembles");
-    let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 21);
+    let mut m =
+        Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 21);
     m.cpu_mut().gpr[1] = 0x1F_0000;
     setup(&mut m);
     let r = m.run_timed(200_000_000).expect("runs");
@@ -164,6 +165,7 @@ fn hand_and_compiler_binaries_differ_but_agree_semantically() {
     let a = g.uniform(30);
     let b = g.uniform(30);
     let r1 = run_kernel(&src, &Options::baseline(), |m| setup_sw(m, a.codes(), b.codes(), 10, 2));
-    let r2 = run_kernel(&src, &Options::compiler_isel(), |m| setup_sw(m, a.codes(), b.codes(), 10, 2));
+    let r2 =
+        run_kernel(&src, &Options::compiler_isel(), |m| setup_sw(m, a.codes(), b.codes(), 10, 2));
     assert_eq!(r1, r2);
 }

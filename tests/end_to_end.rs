@@ -14,11 +14,7 @@ fn every_app_and_variant_validates_on_stock_power5() {
             let run = wl
                 .run(variant, &CoreConfig::power5())
                 .unwrap_or_else(|e| panic!("{app} {variant}: {e}"));
-            assert!(
-                run.validated,
-                "{app} {variant} mismatches: {:?}",
-                run.mismatches
-            );
+            assert!(run.validated, "{app} {variant} mismatches: {:?}", run.mismatches);
             assert!(run.counters.instructions > 0);
         }
     }
@@ -32,9 +28,7 @@ fn hardware_features_never_change_results() {
         CoreConfig::power5().with_btac(BtacConfig::default()),
         CoreConfig::power5().with_fxus(4),
         CoreConfig::power5().with_smt(true),
-        CoreConfig::power5()
-            .with_btac(BtacConfig::default())
-            .with_fxus(3),
+        CoreConfig::power5().with_btac(BtacConfig::default()).with_fxus(3),
     ];
     for app in [App::Fasta, App::Hmmer] {
         let wl = Workload::new(app, Scale::Test, 77);
@@ -94,9 +88,7 @@ fn predication_shrinks_branches_and_helps_every_app() {
 fn smt_taken_bubble_costs_cycles() {
     let wl = Workload::new(App::Fasta, Scale::Test, 31);
     let st = wl.run(Variant::Baseline, &CoreConfig::power5()).unwrap();
-    let smt = wl
-        .run(Variant::Baseline, &CoreConfig::power5().with_smt(true))
-        .unwrap();
+    let smt = wl.run(Variant::Baseline, &CoreConfig::power5().with_smt(true)).unwrap();
     assert!(
         smt.counters.cycles > st.counters.cycles,
         "3-cycle bubble should cost more than 2-cycle ({} vs {})",

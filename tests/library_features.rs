@@ -77,7 +77,8 @@ fn a_small_analysis_pipeline_works_end_to_end() {
     )
     .expect("compiles");
     let prog = ppc_asm::assemble(&compiled.asm, 0x1000).expect("assembles");
-    let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 20);
+    let mut m =
+        Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, prog.symbols["__start"], 1 << 20);
     m.cpu_mut().gpr[1] = 0xF0000;
     m.cpu_mut().gpr[3] = 500;
     m.run_timed(u64::MAX).expect("runs");
@@ -98,8 +99,5 @@ fn mutation_model_matrix_aligns_its_own_families_better_than_random() {
     let unrelated = g.uniform(150);
     let s_hom = smith_waterman_score(a.codes(), hom.codes(), &m, gp);
     let s_rand = smith_waterman_score(a.codes(), unrelated.codes(), &m, gp);
-    assert!(
-        s_hom > 2 * s_rand.max(1),
-        "homolog {s_hom} should dwarf random {s_rand}"
-    );
+    assert!(s_hom > 2 * s_rand.max(1), "homolog {s_hom} should dwarf random {s_rand}");
 }

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io. This vendored crate keeps the same
+//! API shape the workspace's benches use (`Criterion`, `benchmark_group`,
+//! `Throughput`, `BatchSize`, `Bencher::{iter, iter_batched}`, and the
+//! `criterion_group!`/`criterion_main!` macros) but implements a simple,
+//! dependency-free harness: warm up briefly, run timed batches until a
+//! wall-clock budget is spent, and report the median per-iteration time
+//! (plus throughput when configured).
+//!
+//! Output format (one line per benchmark, stable for scripting):
+//!
+//! ```text
+//! bench: simulator/timed-clustalw ... 1.234 ms/iter (median of 31, min 1.201 ms) 12.3 Melem/s
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How a batched benchmark's setup output is sized (accepted, not used —
+/// this harness always materializes one setup product per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration used to derive a throughput figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (e.g. instructions).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Measurement budget shared by all benchmarks in this harness.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+    min_samples: usize,
+}
+
+impl Budget {
+    fn from_env() -> Self {
+        // CRITERION_QUICK=1 shrinks budgets for smoke runs.
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        Budget {
+            warmup: Duration::from_millis(if quick { 20 } else { 150 }),
+            measure: Duration::from_millis(if quick { 80 } else { 600 }),
+            min_samples: if quick { 5 } else { 15 },
+        }
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    budget: Budget,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Budget) -> Self {
+        Bencher { budget, samples: Vec::new() }
+    }
+
+    /// Time `routine` repeatedly; each call is one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.budget.warmup {
+            black_box(routine());
+        }
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget.measure
+            || self.samples.len() < self.budget.min_samples
+        {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed, never the setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.budget.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget.measure
+            || self.samples.len() < self.budget.min_samples
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("bench: {id} ... no samples");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let rate = throughput.map(|t| {
+            let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!(" {}elem/s", si(per_sec(n))),
+                Throughput::Bytes(n) => format!(" {}B/s", si(per_sec(n))),
+            }
+        });
+        println!(
+            "bench: {id} ... {}/iter (median of {}, min {}){}",
+            fmt_dur(median),
+            self.samples.len(),
+            fmt_dur(min),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.2} ")
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Budget,
+    // Ties the group's lifetime to the Criterion it came from, matching the
+    // real API (which flushes group reports on drop/finish).
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed by one iteration of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name), self.throughput);
+        self
+    }
+
+    /// Finish the group (reports are already flushed per-bench).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Budget::from_env() }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            budget: self.budget,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        bencher.report(id, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; this harness has no CLI options.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_dur(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}
