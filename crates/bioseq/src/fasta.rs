@@ -25,6 +25,23 @@ pub enum ParseFastaError {
         /// Alphabet being parsed against.
         alphabet: Alphabet,
     },
+    /// A byte outside the ASCII range (FASTA is an ASCII format; this
+    /// also covers invalid UTF-8, which would otherwise surface as an
+    /// opaque I/O error with no line number).
+    NotAscii {
+        /// 1-based line number.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A header with no residue lines before the next header or EOF
+    /// (a truncated or empty record).
+    EmptyRecord {
+        /// The record's name (may be empty).
+        name: String,
+        /// 1-based line number of the record's header.
+        line: usize,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -37,6 +54,12 @@ impl fmt::Display for ParseFastaError {
             }
             ParseFastaError::InvalidResidue { line, byte, alphabet } => {
                 write!(f, "line {line}: invalid {alphabet} residue {:?}", *byte as char)
+            }
+            ParseFastaError::NotAscii { line, byte } => {
+                write!(f, "line {line}: non-ASCII byte {byte:#04x} in FASTA input")
+            }
+            ParseFastaError::EmptyRecord { name, line } => {
+                write!(f, "line {line}: record {name:?} has no residues (truncated input?)")
             }
             ParseFastaError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -90,29 +113,60 @@ pub fn parse_str(text: &str, alphabet: Alphabet) -> Result<Vec<Sequence>, ParseF
 /// # Errors
 ///
 /// Returns [`ParseFastaError`] on malformed input or I/O failure.
-pub fn read<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<Sequence>, ParseFastaError> {
+pub fn read<R: BufRead>(
+    mut reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<Sequence>, ParseFastaError> {
     let mut records = Vec::new();
-    let mut name: Option<String> = None;
+    // (name, 1-based header line) of the record being accumulated.
+    let mut open: Option<(String, usize)> = None;
     let mut codes: Vec<u8> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
 
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
+    let mut flush =
+        |open: &mut Option<(String, usize)>, codes: &mut Vec<u8>| -> Result<(), ParseFastaError> {
+            if let Some((name, header_line)) = open.take() {
+                if codes.is_empty() {
+                    return Err(ParseFastaError::EmptyRecord { name, line: header_line });
+                }
+                records.push(Sequence::from_codes(name, alphabet, std::mem::take(codes)));
+            }
+            Ok(())
+        };
+
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        // Strip the terminator (and a CR before it, for CRLF files), then
+        // ASCII-trim the rest; FASTA is byte-oriented, so we never go
+        // through String and invalid UTF-8 cannot abort the parse.
+        while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            buf.pop();
+        }
+        let trimmed = buf.as_slice().trim_ascii();
         if trimmed.is_empty() {
             continue;
         }
-        if let Some(header) = trimmed.strip_prefix('>') {
-            if let Some(prev) = name.take() {
-                records.push(Sequence::from_codes(prev, alphabet, std::mem::take(&mut codes)));
-            }
-            let token = header.split_whitespace().next().unwrap_or("").to_string();
-            name = Some(token);
+        if let Some(&byte) = trimmed.iter().find(|b| !b.is_ascii()) {
+            return Err(ParseFastaError::NotAscii { line: lineno, byte });
+        }
+        if let Some(header) = trimmed.strip_prefix(b">") {
+            flush(&mut open, &mut codes)?;
+            let token = header
+                .split(|b: &u8| b.is_ascii_whitespace())
+                .find(|t| !t.is_empty())
+                .unwrap_or(b"");
+            let token = String::from_utf8(token.to_vec()).expect("header token is ASCII");
+            open = Some((token, lineno));
         } else {
-            if name.is_none() {
+            if open.is_none() {
                 return Err(ParseFastaError::MissingHeader { line: lineno });
             }
-            for &byte in trimmed.as_bytes() {
+            for &byte in trimmed {
                 match alphabet.encode(byte) {
                     Some(code) => codes.push(code),
                     None => {
@@ -126,9 +180,7 @@ pub fn read<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<Sequence>, 
             }
         }
     }
-    if let Some(prev) = name {
-        records.push(Sequence::from_codes(prev, alphabet, codes));
-    }
+    flush(&mut open, &mut codes)?;
     Ok(records)
 }
 
@@ -228,6 +280,66 @@ mod tests {
         let text = to_string(&input);
         let output = parse_str(&text, Alphabet::Dna).unwrap();
         assert_eq!(input, output);
+    }
+
+    #[test]
+    fn truncated_record_at_eof_is_an_error() {
+        let err = parse_str(">a\nMKV\n>b\n", Alphabet::Protein).unwrap_err();
+        match err {
+            ParseFastaError::EmptyRecord { name, line } => {
+                assert_eq!(name, "b");
+                assert_eq!(line, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_record_mid_file_is_an_error() {
+        let err = parse_str(">a\n\n>b\nACGT\n", Alphabet::Dna).unwrap_err();
+        match err {
+            ParseFastaError::EmptyRecord { name, line } => {
+                assert_eq!(name, "a");
+                assert_eq!(line, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ascii_residue_byte_is_reported_with_line() {
+        let err = parse_str(">a\nAC\u{e9}GT\n", Alphabet::Dna).unwrap_err();
+        match err {
+            ParseFastaError::NotAscii { line, byte } => {
+                assert_eq!(line, 2);
+                assert!(byte >= 0x80);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_bytes_get_a_typed_error_not_an_io_error() {
+        // 0xFF is never valid UTF-8; `lines()`-based parsing used to
+        // surface this as an opaque io::Error with no line number.
+        let bytes: &[u8] = b">a\nAC\xffGT\n";
+        let err = read(bytes, Alphabet::Dna).unwrap_err();
+        match err {
+            ParseFastaError::NotAscii { line, byte } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 0xFF);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let recs = parse_str(">a desc\r\nMKV\r\nWL\r\n>b\r\nACDE\r\n", Alphabet::Protein).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name(), "a");
+        assert_eq!(recs[0].to_text(), "MKVWL");
+        assert_eq!(recs[1].to_text(), "ACDE");
     }
 
     #[test]

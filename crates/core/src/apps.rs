@@ -8,8 +8,9 @@ use bioalign::pairwise::{needleman_wunsch_score, smith_waterman_score};
 use bioseq::generate::SeqGen;
 use bioseq::hmm::ProfileHmm;
 use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
-use power5_sim::machine::{Machine, ProfileRegion, SimError};
+use power5_sim::machine::{Machine, ProfileRegion, StopReason, Trap, Watchdog, WatchdogKind};
 use power5_sim::{CoreConfig, Counters, StallBreakdown, SymbolMap, Tracer};
+use ppc_isa::exec::MemFault;
 use std::fmt;
 
 /// The four applications of the study.
@@ -193,10 +194,32 @@ pub enum RunError {
     Compile(kernelc::CompileError),
     /// Assembly failed.
     Asm(ppc_asm::AsmError),
-    /// Simulation fault.
-    Sim(SimError),
+    /// The assembled image is unusable (missing entry point, overlaps
+    /// the data region).
+    Image(String),
+    /// Host-side load failure: the image or workload data did not fit in
+    /// simulated memory.
+    Layout(MemFault),
+    /// The guest trapped (bad instruction or memory fault), with PC and
+    /// cycle.
+    Trap(Trap),
     /// The program did not halt within the instruction budget.
     Budget,
+    /// A watchdog budget expired. The partial run — counters, profile,
+    /// and stall heatmap collected up to the cut-off — rides along so
+    /// callers can still report what the runaway kernel was doing.
+    Timeout {
+        /// Which budget expired.
+        kind: WatchdogKind,
+        /// Counters and heatmaps up to the cut-off (never validated).
+        partial: Box<AppRun>,
+    },
+    /// The run completed but its outputs did not match the golden
+    /// models, so its counters must not be reported as results.
+    Validation {
+        /// Which app/variant/config failed, plus the first mismatches.
+        what: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -204,8 +227,21 @@ impl fmt::Display for RunError {
         match self {
             RunError::Compile(e) => write!(f, "compile error: {e}"),
             RunError::Asm(e) => write!(f, "assembly error: {e}"),
-            RunError::Sim(e) => write!(f, "simulation error: {e}"),
+            RunError::Image(what) => write!(f, "unusable program image: {what}"),
+            RunError::Layout(e) => write!(f, "workload layout error: {e}"),
+            RunError::Trap(t) => write!(f, "simulation {t}"),
             RunError::Budget => write!(f, "instruction budget exhausted"),
+            RunError::Timeout { kind, partial } => write!(
+                f,
+                "watchdog {} budget expired after {} instructions / {} cycles",
+                match kind {
+                    WatchdogKind::Cycles => "cycle",
+                    WatchdogKind::Instructions => "instruction",
+                },
+                partial.counters.instructions,
+                partial.counters.cycles
+            ),
+            RunError::Validation { what } => write!(f, "validation failed: {what}"),
         }
     }
 }
@@ -224,9 +260,9 @@ impl From<ppc_asm::AsmError> for RunError {
     }
 }
 
-impl From<SimError> for RunError {
-    fn from(e: SimError) -> Self {
-        RunError::Sim(e)
+impl From<Trap> for RunError {
+    fn from(t: Trap) -> Self {
+        RunError::Trap(t)
     }
 }
 
@@ -286,6 +322,7 @@ struct RunOpts {
     branch_sites: bool,
     stall_sites: bool,
     tracer: Option<Tracer>,
+    watchdog: Option<Watchdog>,
 }
 
 /// A fully prepared workload: inputs generated, golden results computed.
@@ -332,6 +369,39 @@ struct BuildPlan {
     out_len: usize,
     aux_addr: u32,
     aux_len: usize,
+    /// One past the last allocated data byte (fault-injection window).
+    data_end: u32,
+}
+
+/// A compiled, loaded, not-yet-run workload.
+struct Built {
+    machine: Machine,
+    plan: BuildPlan,
+    regions: Vec<ProfileRegion>,
+    converted_hammocks: usize,
+    rejected_hammocks: usize,
+    code_len: u32,
+}
+
+/// A loaded machine plus everything a fault-injection campaign needs to
+/// perturb it and classify the outcome (see [`Workload::prepare`]).
+pub struct PreparedRun {
+    /// The ready-to-run machine (inputs serialized, registers set).
+    pub machine: Machine,
+    /// First byte of the code region.
+    pub code_base: u32,
+    /// Code length in bytes.
+    pub code_len: u32,
+    /// First byte of the workload data region.
+    pub data_base: u32,
+    /// Workload data length in bytes.
+    pub data_len: u32,
+    /// Address of the primary output vector.
+    pub out_addr: u32,
+    /// Primary output length in words.
+    pub out_len: usize,
+    /// What a fault-free run writes at `out_addr`.
+    pub golden: Vec<i32>,
 }
 
 fn pack_sequences(seqs: &[Sequence], layout: &mut Layout) -> (u32, Vec<i32>, Vec<i32>, Vec<u8>) {
@@ -445,6 +515,8 @@ impl Workload {
 
     fn plan(&self) -> BuildPlan {
         let mut layout = Layout::new();
+        // (data_end is stamped after the match, once every arm has
+        // finished allocating.)
         let matrix = SubstitutionMatrix::blosum62();
         let gp = gaps();
         let mat_addr = layout.words(24 * 24);
@@ -455,7 +527,7 @@ impl Workload {
             .set("WG", gp.open as i64)
             .set("WS", gp.extend as i64)
             .set("NEGNW", NEG_NW);
-        match (&self.inputs, &self.expected) {
+        let mut plan = match (&self.inputs, &self.expected) {
             (Inputs::Fasta { query, db }, _) => {
                 let qaddr = layout.alloc(query.len() as u32 + 4);
                 byte_inits.push((qaddr, query.codes().to_vec()));
@@ -494,6 +566,7 @@ impl Workload {
                     out_len: db.len(),
                     aux_addr: 0,
                     aux_len: 0,
+                    data_end: 0,
                 }
             }
             (Inputs::Clustalw { seqs }, _) => {
@@ -537,6 +610,7 @@ impl Workload {
                     out_len: nseq * nseq,
                     aux_addr: joins,
                     aux_len: 2 * (nseq - 1),
+                    data_end: 0,
                 }
             }
             (Inputs::Hmmer { query, models }, _) => {
@@ -604,6 +678,7 @@ impl Workload {
                     out_len: models.len(),
                     aux_addr: ranked,
                     aux_len: models.len(),
+                    data_end: 0,
                 }
             }
             (Inputs::Blast { query, db }, _) => {
@@ -701,9 +776,12 @@ impl Workload {
                     out_len: db.len(),
                     aux_addr: 0,
                     aux_len: 0,
+                    data_end: 0,
                 }
             }
-        }
+        };
+        plan.data_end = layout.next;
+        plan
     }
 
     fn source(&self, flavor: Flavor) -> String {
@@ -723,22 +801,25 @@ impl Workload {
     /// Returns [`RunError`] on compile, assembly, or simulation failures,
     /// or if the program fails to halt.
     pub fn run(&self, variant: Variant, config: &CoreConfig) -> Result<AppRun, RunError> {
-        self.run_with_interval(variant, config, None)
+        self.run_with_interval(variant, config, None, None)
     }
 
     /// Like [`Workload::run`], optionally collecting the Figure-2 interval
-    /// time series every `interval` committed instructions.
+    /// time series every `interval` committed instructions, under optional
+    /// [`Watchdog`] budgets.
     ///
     /// # Errors
     ///
-    /// Returns [`RunError`] as for [`Workload::run`].
+    /// Returns [`RunError`] as for [`Workload::run`], plus
+    /// [`RunError::Timeout`] when a watchdog budget expires.
     pub fn run_with_interval(
         &self,
         variant: Variant,
         config: &CoreConfig,
         interval: Option<u64>,
+        watchdog: Option<Watchdog>,
     ) -> Result<AppRun, RunError> {
-        let opts = RunOpts { interval, ..RunOpts::default() };
+        let opts = RunOpts { interval, watchdog, ..RunOpts::default() };
         Ok(self.run_configured(variant, config, opts)?.0)
     }
 
@@ -775,6 +856,25 @@ impl Workload {
         Ok(self.run_configured(variant, config, opts)?.0)
     }
 
+    /// Like [`Workload::run`], with [`Watchdog`] budgets installed. A
+    /// runaway kernel returns [`RunError::Timeout`] carrying the partial
+    /// counters and stall heatmap instead of spinning until the hard
+    /// instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run`], plus
+    /// [`RunError::Timeout`] when a budget expires.
+    pub fn run_with_watchdog(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        watchdog: Watchdog,
+    ) -> Result<AppRun, RunError> {
+        let opts = RunOpts { watchdog: Some(watchdog), stall_sites: true, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
+    }
+
     /// Like [`Workload::run`], with a pipeline event [`Tracer`] installed
     /// for the whole run. The tracer is returned alongside the result so
     /// the caller can inspect a ring buffer or flush a sink (call
@@ -793,23 +893,29 @@ impl Workload {
         self.run_configured(variant, config, opts)
     }
 
-    fn run_configured(
-        &self,
-        variant: Variant,
-        config: &CoreConfig,
-        opts: RunOpts,
-    ) -> Result<(AppRun, Tracer), RunError> {
+    /// Compile, assemble, and load this workload onto a fresh machine
+    /// without running it. Every failure is a typed [`RunError`] — no
+    /// panics — so the fault-injection campaign can drive thousands of
+    /// builds unattended.
+    fn build(&self, variant: Variant, config: &CoreConfig) -> Result<Built, RunError> {
         let plan = self.plan();
         let source = kernels::render(&self.source(variant.flavor()), &plan.consts);
         let compiled = kernelc::compile(&source, &variant.options())?;
         let assembled = ppc_asm::assemble(&compiled.asm, CODE_BASE)?;
-        assert!(
-            (CODE_BASE as usize + assembled.bytes.len()) < DATA_BASE as usize,
-            "program image overlaps the data region"
-        );
-        let entry = assembled.symbols["__start"];
+        if CODE_BASE as usize + assembled.bytes.len() >= DATA_BASE as usize {
+            return Err(RunError::Image(format!(
+                "program image ({} bytes at {CODE_BASE:#x}) overlaps the data region at \
+                 {DATA_BASE:#x}",
+                assembled.bytes.len()
+            )));
+        }
+        let entry = *assembled
+            .symbols
+            .get("__start")
+            .ok_or_else(|| RunError::Image("no __start symbol".into()))?;
         let mut machine =
-            Machine::new(config.clone(), &assembled.bytes, CODE_BASE, entry, MEM_SIZE);
+            Machine::try_new(config.clone(), &assembled.bytes, CODE_BASE, entry, MEM_SIZE)
+                .map_err(RunError::Layout)?;
         // Function profile regions from the symbol table.
         let code_end = CODE_BASE + assembled.bytes.len() as u32;
         let mut syms: Vec<(&String, &u32)> =
@@ -826,6 +932,65 @@ impl Workload {
             .collect();
         machine.set_profile_regions(regions.clone());
         machine.set_symbols(SymbolMap::new(assembled.symbol_table()));
+        // Serialize the workload.
+        for (addr, words) in &plan.word_inits {
+            machine.mem_mut().write_i32s(*addr, words).map_err(RunError::Layout)?;
+        }
+        for (addr, bytes) in &plan.byte_inits {
+            machine.mem_mut().write_bytes(*addr, bytes).map_err(RunError::Layout)?;
+        }
+        machine.cpu_mut().gpr[1] = STACK_TOP;
+        machine.cpu_mut().gpr[3] = plan.pb_addr;
+        Ok(Built {
+            machine,
+            code_len: assembled.bytes.len() as u32,
+            plan,
+            regions,
+            converted_hammocks: compiled.converted_hammocks,
+            rejected_hammocks: compiled.rejected_hammocks,
+        })
+    }
+
+    /// Build this workload into a ready-to-run [`PreparedRun`] for fault
+    /// injection: the caller gets the loaded machine plus the injection
+    /// windows and the golden output needed to classify a faulty run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on compile, assembly, or load failures.
+    pub fn prepare(&self, variant: Variant, config: &CoreConfig) -> Result<PreparedRun, RunError> {
+        let built = self.build(variant, config)?;
+        Ok(PreparedRun {
+            machine: built.machine,
+            code_base: CODE_BASE,
+            code_len: built.code_len,
+            data_base: DATA_BASE,
+            data_len: built.plan.data_end.saturating_sub(DATA_BASE),
+            out_addr: built.plan.out_addr,
+            out_len: built.plan.out_len,
+            golden: self.golden_output(),
+        })
+    }
+
+    /// The golden primary output vector (what a fault-free run writes at
+    /// [`PreparedRun::out_addr`]).
+    pub fn golden_output(&self) -> Vec<i32> {
+        match &self.expected {
+            Expected::Fasta { scores }
+            | Expected::Blast { scores }
+            | Expected::Hmmer { scores, .. } => scores.clone(),
+            Expected::Clustalw { pair_scores, .. } => pair_scores.clone(),
+        }
+    }
+
+    fn run_configured(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        opts: RunOpts,
+    ) -> Result<(AppRun, Tracer), RunError> {
+        let built = self.build(variant, config)?;
+        let Built { mut machine, plan, regions, converted_hammocks, rejected_hammocks, .. } = built;
         if let Some(n) = opts.interval {
             machine.set_interval_sampling(n);
         }
@@ -834,61 +999,77 @@ impl Workload {
         if let Some(t) = opts.tracer {
             machine.set_tracer(t);
         }
-        // Serialize the workload.
-        for (addr, words) in &plan.word_inits {
-            machine.mem_mut().write_i32s(*addr, words).expect("data fits");
+        if let Some(w) = opts.watchdog {
+            machine.set_watchdog(w);
         }
-        for (addr, bytes) in &plan.byte_inits {
-            machine.mem_mut().write_bytes(*addr, bytes).expect("data fits");
-        }
-        machine.cpu_mut().gpr[1] = STACK_TOP;
-        machine.cpu_mut().gpr[3] = plan.pb_addr;
-        let result = machine.run_timed(BUDGET)?;
-        if !result.halted {
-            return Err(RunError::Budget);
-        }
-        // Read back and validate.
-        let out = machine.mem().read_i32s(plan.out_addr, plan.out_len).expect("output readable");
-        let aux = if plan.aux_len > 0 {
-            machine.mem().read_i32s(plan.aux_addr, plan.aux_len).expect("aux readable")
-        } else {
-            Vec::new()
-        };
-        let mut mismatches = Vec::new();
-        self.validate(&out, &aux, &mut mismatches);
-        let function_of = |pc: u32| {
+        let function_of = |regions: &[ProfileRegion], pc: u32| {
             regions
                 .iter()
                 .find(|r| pc >= r.start && pc < r.end)
                 .map_or_else(|| "?".to_string(), |r| r.name.clone())
         };
-        let site_reports = machine
-            .branch_sites()
-            .into_iter()
-            .map(|(pc, stats)| BranchSiteReport { pc, function: function_of(pc), stats })
-            .collect();
-        let stall_reports: Vec<StallSiteReport> = machine
-            .stall_sites()
-            .into_iter()
-            .map(|(pc, breakdown)| StallSiteReport { pc, function: function_of(pc), breakdown })
-            .collect();
-        let stall_heatmap =
-            if stall_reports.is_empty() { String::new() } else { machine.stall_heatmap(16) };
-        let tracer = machine.take_tracer();
-        Ok((
-            AppRun {
-                counters: machine.counters(),
-                profile: machine.profile_results(),
-                validated: mismatches.is_empty(),
-                mismatches,
-                converted_hammocks: compiled.converted_hammocks,
-                rejected_hammocks: compiled.rejected_hammocks,
-                branch_sites: site_reports,
-                stall_sites: stall_reports,
-                stall_heatmap,
-            },
-            tracer,
-        ))
+        let collect = |machine: &mut Machine,
+                       validated: bool,
+                       mismatches: Vec<String>|
+         -> (AppRun, Tracer) {
+            let site_reports = machine
+                .branch_sites()
+                .into_iter()
+                .map(|(pc, stats)| BranchSiteReport {
+                    pc,
+                    function: function_of(&regions, pc),
+                    stats,
+                })
+                .collect();
+            let stall_reports: Vec<StallSiteReport> = machine
+                .stall_sites()
+                .into_iter()
+                .map(|(pc, breakdown)| StallSiteReport {
+                    pc,
+                    function: function_of(&regions, pc),
+                    breakdown,
+                })
+                .collect();
+            let stall_heatmap =
+                if stall_reports.is_empty() { String::new() } else { machine.stall_heatmap(16) };
+            let tracer = machine.take_tracer();
+            (
+                AppRun {
+                    counters: machine.counters(),
+                    profile: machine.profile_results(),
+                    validated,
+                    mismatches,
+                    converted_hammocks,
+                    rejected_hammocks,
+                    branch_sites: site_reports,
+                    stall_sites: stall_reports,
+                    stall_heatmap,
+                },
+                tracer,
+            )
+        };
+        let result = machine.run_timed(BUDGET)?;
+        if let StopReason::Watchdog(kind) = result.stop {
+            // Graceful timeout: hand back the partial report instead of
+            // aborting with nothing.
+            let note = format!("watchdog expired at pc {:#010x}", machine.cpu().pc);
+            let (partial, _) = collect(&mut machine, false, vec![note]);
+            return Err(RunError::Timeout { kind, partial: Box::new(partial) });
+        }
+        if !result.halted {
+            return Err(RunError::Budget);
+        }
+        // Read back and validate.
+        let out = machine.mem().read_i32s(plan.out_addr, plan.out_len).map_err(RunError::Layout)?;
+        let aux = if plan.aux_len > 0 {
+            machine.mem().read_i32s(plan.aux_addr, plan.aux_len).map_err(RunError::Layout)?
+        } else {
+            Vec::new()
+        };
+        let mut mismatches = Vec::new();
+        self.validate(&out, &aux, &mut mismatches);
+        let validated = mismatches.is_empty();
+        Ok(collect(&mut machine, validated, mismatches))
     }
 
     fn validate(&self, out: &[i32], aux: &[i32], mismatches: &mut Vec<String>) {

@@ -1,0 +1,776 @@
+//! JSON serialization for simulator checkpoints.
+//!
+//! A [`power5_sim::machine::Checkpoint`] is plain data; this module maps
+//! it onto the workspace's hand-rolled [`Json`] document model (schema
+//! `bioarch-checkpoint/v1`) so a run can be frozen to disk and resumed
+//! bit-exactly in another process.
+//!
+//! Exactness rules: `u64` values that exceed 2^53 (e.g. the
+//! "no line fetched yet" sentinel `u64::MAX`) are serialized as decimal
+//! strings, everything else as JSON numbers — both forms parse back to
+//! the exact value. Floats use Rust's shortest round-trippable rendering.
+//! Memory pages are hex strings, one per nonzero 4 KiB page.
+
+use crate::json::Json;
+use power5_sim::btac::{BtacState, BtacStats};
+use power5_sim::cache::{CacheState, CacheStats};
+use power5_sim::core::{BranchSite, CoreState};
+use power5_sim::counters::{BranchCounters, Counters, IntervalSample, StallBreakdown, StallClass};
+use power5_sim::machine::{Checkpoint, ProfileRegion, Watchdog};
+use power5_sim::predictor::{PredictorState, RasState};
+use ppc_isa::insn::ExecUnit;
+
+/// Schema identifier embedded in every checkpoint document.
+pub const CHECKPOINT_SCHEMA: &str = "bioarch-checkpoint/v1";
+
+// ----------------------------------------------------------------------
+// Scalar helpers
+// ----------------------------------------------------------------------
+
+/// Largest integer `f64` represents exactly.
+const EXACT: u64 = 1 << 53;
+
+fn ju64(v: u64) -> Json {
+    if v < EXACT {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+fn pu64(j: &Json) -> Result<u64, String> {
+    match j {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < EXACT as f64 => Ok(*n as u64),
+        Json::Str(s) => s.parse().map_err(|_| format!("bad u64 string {s:?}")),
+        other => Err(format!("expected u64, got {other:?}")),
+    }
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    pu64(field(doc, key)?).map_err(|e| format!("{key}: {e}"))
+}
+
+fn get_u32(doc: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(get_u64(doc, key)?).map_err(|_| format!("{key}: out of u32 range"))
+}
+
+fn get_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(doc, key)?).map_err(|_| format!("{key}: out of usize range"))
+}
+
+fn get_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    match field(doc, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("{key}: expected bool, got {other:?}")),
+    }
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    field(doc, key)?.as_f64().ok_or_else(|| format!("{key}: expected number"))
+}
+
+fn get_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(doc, key)?.as_array().ok_or_else(|| format!("{key}: expected array"))
+}
+
+fn u64_list(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| ju64(v)).collect())
+}
+
+fn parse_u64_list(doc: &Json, key: &str) -> Result<Vec<u64>, String> {
+    get_arr(doc, key)?.iter().map(pu64).collect::<Result<_, _>>().map_err(|e| format!("{key}: {e}"))
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).unwrap_or('0'));
+        s.push(char::from_digit(u32::from(b & 0xf), 16).unwrap_or('0'));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex page".into());
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).ok_or("bad hex digit")?;
+            let lo = (pair[1] as char).to_digit(16).ok_or("bad hex digit")?;
+            Ok((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+fn unit_name(u: ExecUnit) -> &'static str {
+    match u {
+        ExecUnit::Fxu => "fxu",
+        ExecUnit::Lsu => "lsu",
+        ExecUnit::Bru => "bru",
+    }
+}
+
+fn unit_from_name(s: &str) -> Result<ExecUnit, String> {
+    match s {
+        "fxu" => Ok(ExecUnit::Fxu),
+        "lsu" => Ok(ExecUnit::Lsu),
+        "bru" => Ok(ExecUnit::Bru),
+        other => Err(format!("unknown exec unit {other:?}")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Component serializers
+// ----------------------------------------------------------------------
+
+fn stalls_to_json(s: &StallBreakdown) -> Json {
+    Json::obj()
+        .set("fxu", ju64(s.fxu))
+        .set("load", ju64(s.load))
+        .set("branch_mispredict", ju64(s.branch_mispredict))
+        .set("taken_branch", ju64(s.taken_branch))
+        .set("icache", ju64(s.icache))
+        .set("window_full", ju64(s.window_full))
+        .set("other", ju64(s.other))
+}
+
+fn stalls_from_json(doc: &Json) -> Result<StallBreakdown, String> {
+    Ok(StallBreakdown {
+        fxu: get_u64(doc, "fxu")?,
+        load: get_u64(doc, "load")?,
+        branch_mispredict: get_u64(doc, "branch_mispredict")?,
+        taken_branch: get_u64(doc, "taken_branch")?,
+        icache: get_u64(doc, "icache")?,
+        window_full: get_u64(doc, "window_full")?,
+        other: get_u64(doc, "other")?,
+    })
+}
+
+fn cache_stats_to_json(s: &CacheStats) -> Json {
+    Json::obj().set("accesses", ju64(s.accesses)).set("misses", ju64(s.misses))
+}
+
+fn cache_stats_from_json(doc: &Json) -> Result<CacheStats, String> {
+    Ok(CacheStats { accesses: get_u64(doc, "accesses")?, misses: get_u64(doc, "misses")? })
+}
+
+fn btac_stats_to_json(s: &BtacStats) -> Json {
+    Json::obj()
+        .set("lookups", ju64(s.lookups))
+        .set("predictions", ju64(s.predictions))
+        .set("correct", ju64(s.correct))
+        .set("incorrect", ju64(s.incorrect))
+}
+
+fn btac_stats_from_json(doc: &Json) -> Result<BtacStats, String> {
+    Ok(BtacStats {
+        lookups: get_u64(doc, "lookups")?,
+        predictions: get_u64(doc, "predictions")?,
+        correct: get_u64(doc, "correct")?,
+        incorrect: get_u64(doc, "incorrect")?,
+    })
+}
+
+fn counters_to_json(c: &Counters) -> Json {
+    let b = &c.branches;
+    Json::obj()
+        .set("cycles", ju64(c.cycles))
+        .set("instructions", ju64(c.instructions))
+        .set("fxu_ops", ju64(c.fxu_ops))
+        .set("lsu_ops", ju64(c.lsu_ops))
+        .set("loads", ju64(c.loads))
+        .set("stores", ju64(c.stores))
+        .set("compares", ju64(c.compares))
+        .set("predicated_ops", ju64(c.predicated_ops))
+        .set(
+            "branches",
+            Json::obj()
+                .set("total", ju64(b.total))
+                .set("conditional", ju64(b.conditional))
+                .set("taken", ju64(b.taken))
+                .set("direction_mispredictions", ju64(b.direction_mispredictions))
+                .set("target_mispredictions", ju64(b.target_mispredictions)),
+        )
+        .set("stalls", stalls_to_json(&c.stalls))
+        .set("l1i", cache_stats_to_json(&c.l1i))
+        .set("l1d", cache_stats_to_json(&c.l1d))
+        .set("l2", cache_stats_to_json(&c.l2))
+        .set("btac", btac_stats_to_json(&c.btac))
+        .set(
+            "intervals",
+            Json::Arr(
+                c.intervals
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .set("instructions", ju64(s.instructions))
+                            .set("cycles", ju64(s.cycles))
+                            .set("ipc", Json::Num(s.ipc))
+                            .set("mispredict_rate", Json::Num(s.mispredict_rate))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn counters_from_json(doc: &Json) -> Result<Counters, String> {
+    let b = field(doc, "branches")?;
+    let mut intervals = Vec::new();
+    for s in get_arr(doc, "intervals")? {
+        intervals.push(IntervalSample {
+            instructions: get_u64(s, "instructions")?,
+            cycles: get_u64(s, "cycles")?,
+            ipc: get_f64(s, "ipc")?,
+            mispredict_rate: get_f64(s, "mispredict_rate")?,
+        });
+    }
+    Ok(Counters {
+        cycles: get_u64(doc, "cycles")?,
+        instructions: get_u64(doc, "instructions")?,
+        fxu_ops: get_u64(doc, "fxu_ops")?,
+        lsu_ops: get_u64(doc, "lsu_ops")?,
+        loads: get_u64(doc, "loads")?,
+        stores: get_u64(doc, "stores")?,
+        compares: get_u64(doc, "compares")?,
+        predicated_ops: get_u64(doc, "predicated_ops")?,
+        branches: BranchCounters {
+            total: get_u64(b, "total")?,
+            conditional: get_u64(b, "conditional")?,
+            taken: get_u64(b, "taken")?,
+            direction_mispredictions: get_u64(b, "direction_mispredictions")?,
+            target_mispredictions: get_u64(b, "target_mispredictions")?,
+        },
+        stalls: stalls_from_json(field(doc, "stalls")?)?,
+        l1i: cache_stats_from_json(field(doc, "l1i")?)?,
+        l1d: cache_stats_from_json(field(doc, "l1d")?)?,
+        l2: cache_stats_from_json(field(doc, "l2")?)?,
+        btac: btac_stats_from_json(field(doc, "btac")?)?,
+        intervals,
+    })
+}
+
+fn cache_state_to_json(s: &CacheState) -> Json {
+    Json::obj()
+        .set("tags", u64_list(&s.tags))
+        .set("valid", Json::Arr(s.valid.iter().map(|&v| Json::Bool(v)).collect()))
+        .set("stamp", u64_list(&s.stamp))
+        .set("tick", ju64(s.tick))
+        .set("stats", cache_stats_to_json(&s.stats))
+}
+
+fn cache_state_from_json(doc: &Json) -> Result<CacheState, String> {
+    let valid = get_arr(doc, "valid")?
+        .iter()
+        .map(|v| match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("valid: expected bool, got {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(CacheState {
+        tags: parse_u64_list(doc, "tags")?,
+        valid,
+        stamp: parse_u64_list(doc, "stamp")?,
+        tick: get_u64(doc, "tick")?,
+        stats: cache_stats_from_json(field(doc, "stats")?)?,
+    })
+}
+
+fn core_to_json(core: &CoreState) -> Json {
+    let predictor = Json::obj()
+        .set(
+            "tables",
+            Json::Arr(
+                core.predictor
+                    .tables
+                    .iter()
+                    .map(|t| Json::Arr(t.iter().map(|&c| Json::Num(f64::from(c))).collect()))
+                    .collect(),
+            ),
+        )
+        .set("history", ju64(u64::from(core.predictor.history)));
+    let ras = Json::obj()
+        .set("stack", Json::Arr(core.ras.stack.iter().map(|&a| ju64(u64::from(a))).collect()))
+        .set("top", ju64(core.ras.top as u64))
+        .set("depth", ju64(core.ras.depth as u64));
+    let btac = match &core.btac {
+        None => Json::Null,
+        Some(b) => Json::obj()
+            .set(
+                "entries",
+                Json::Arr(
+                    b.entries
+                        .iter()
+                        .map(|&(tag, nia, score, valid)| {
+                            Json::Arr(vec![
+                                ju64(u64::from(tag)),
+                                ju64(u64::from(nia)),
+                                Json::Num(f64::from(score)),
+                                Json::Bool(valid),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .set("victim_rr", ju64(b.victim_rr as u64))
+            .set("stats", btac_stats_to_json(&b.stats)),
+    };
+    let scoreboard = Json::Arr(
+        core.scoreboard
+            .iter()
+            .map(|&(ready, unit)| Json::Arr(vec![ju64(ready), Json::Str(unit_name(unit).into())]))
+            .collect(),
+    );
+    let pending_redirect = match core.pending_redirect {
+        None => Json::Null,
+        Some((cycle, class)) => Json::Arr(vec![ju64(cycle), Json::Str(class.name().into())]),
+    };
+    let site_list = |sites: &Option<Vec<(u32, BranchSite)>>| match sites {
+        None => Json::Null,
+        Some(list) => Json::Arr(
+            list.iter()
+                .map(|(pc, s)| {
+                    Json::obj()
+                        .set("pc", ju64(u64::from(*pc)))
+                        .set("executed", ju64(s.executed))
+                        .set("taken", ju64(s.taken))
+                        .set("mispredicted", ju64(s.mispredicted))
+                })
+                .collect(),
+        ),
+    };
+    let stall_site_list = |sites: &Option<Vec<(u32, StallBreakdown)>>| match sites {
+        None => Json::Null,
+        Some(list) => Json::Arr(
+            list.iter()
+                .map(|(pc, b)| {
+                    Json::obj().set("pc", ju64(u64::from(*pc))).set("stalls", stalls_to_json(b))
+                })
+                .collect(),
+        ),
+    };
+    Json::obj()
+        .set("predictor", predictor)
+        .set("ras", ras)
+        .set("btac", btac)
+        .set("l1i", cache_state_to_json(&core.l1i))
+        .set("l1d", cache_state_to_json(&core.l1d))
+        .set("l2", cache_state_to_json(&core.l2))
+        .set("scoreboard", scoreboard)
+        .set("fxu_free", u64_list(&core.fxu_free))
+        .set("lsu_free", u64_list(&core.lsu_free))
+        .set("bru_free", u64_list(&core.bru_free))
+        .set("fetch_cycle", ju64(core.fetch_cycle))
+        .set("fetched_this_cycle", ju64(core.fetched_this_cycle as u64))
+        .set("pending_redirect", pending_redirect)
+        .set("last_fetch_line", ju64(core.last_fetch_line))
+        .set("group_dispatch", ju64(core.group_dispatch))
+        .set("group_len", ju64(core.group_len as u64))
+        .set("group_has_branch", Json::Bool(core.group_has_branch))
+        .set("last_commit", ju64(core.last_commit))
+        .set("commit_new_group", Json::Bool(core.commit_new_group))
+        .set("rob", u64_list(&core.rob))
+        .set("counters", counters_to_json(&core.counters))
+        .set("branch_sites", site_list(&core.branch_sites))
+        .set("stall_sites", stall_site_list(&core.stall_sites))
+        .set("dir_mispredicts_seen", ju64(core.dir_mispredicts_seen))
+        .set("interval_insns", ju64(core.interval_insns))
+        .set(
+            "interval_start",
+            Json::Arr(vec![
+                ju64(core.interval_start.0),
+                ju64(core.interval_start.1),
+                ju64(core.interval_start.2),
+            ]),
+        )
+}
+
+fn core_from_json(doc: &Json) -> Result<CoreState, String> {
+    let p = field(doc, "predictor")?;
+    let mut tables = Vec::new();
+    for t in get_arr(p, "tables")? {
+        let row = t.as_array().ok_or("predictor table: expected array")?;
+        let mut counters = Vec::new();
+        for c in row {
+            let v = pu64(c)?;
+            counters.push(u8::try_from(v).map_err(|_| "predictor counter out of range")?);
+        }
+        tables.push(counters);
+    }
+    let predictor = PredictorState {
+        tables,
+        history: u32::try_from(get_u64(p, "history")?).map_err(|_| "history out of range")?,
+    };
+    let r = field(doc, "ras")?;
+    let ras = RasState {
+        stack: parse_u64_list(r, "stack")?
+            .into_iter()
+            .map(|v| u32::try_from(v).map_err(|_| "ras entry out of range".to_string()))
+            .collect::<Result<_, _>>()?,
+        top: get_usize(r, "top")?,
+        depth: get_usize(r, "depth")?,
+    };
+    let btac = match field(doc, "btac")? {
+        Json::Null => None,
+        b => {
+            let mut entries = Vec::new();
+            for e in get_arr(b, "entries")? {
+                let parts = e.as_array().ok_or("btac entry: expected array")?;
+                if parts.len() != 4 {
+                    return Err("btac entry: expected 4 elements".into());
+                }
+                let tag = u32::try_from(pu64(&parts[0])?).map_err(|_| "btac tag")?;
+                let nia = u32::try_from(pu64(&parts[1])?).map_err(|_| "btac nia")?;
+                let score = parts[2].as_f64().ok_or("btac score")? as i8;
+                let valid = matches!(parts[3], Json::Bool(true));
+                entries.push((tag, nia, score, valid));
+            }
+            Some(BtacState {
+                entries,
+                victim_rr: get_usize(b, "victim_rr")?,
+                stats: btac_stats_from_json(field(b, "stats")?)?,
+            })
+        }
+    };
+    let mut scoreboard = Vec::new();
+    for s in get_arr(doc, "scoreboard")? {
+        let parts = s.as_array().ok_or("scoreboard entry: expected array")?;
+        if parts.len() != 2 {
+            return Err("scoreboard entry: expected 2 elements".into());
+        }
+        let ready = pu64(&parts[0])?;
+        let unit = unit_from_name(parts[1].as_str().ok_or("scoreboard unit")?)?;
+        scoreboard.push((ready, unit));
+    }
+    let pending_redirect = match field(doc, "pending_redirect")? {
+        Json::Null => None,
+        Json::Arr(parts) if parts.len() == 2 => {
+            let cycle = pu64(&parts[0])?;
+            let name = parts[1].as_str().ok_or("redirect class")?;
+            let class =
+                StallClass::from_name(name).ok_or_else(|| format!("bad stall class {name:?}"))?;
+            Some((cycle, class))
+        }
+        other => return Err(format!("pending_redirect: unexpected {other:?}")),
+    };
+    let branch_sites = match field(doc, "branch_sites")? {
+        Json::Null => None,
+        Json::Arr(items) => {
+            let mut sites = Vec::new();
+            for s in items {
+                sites.push((
+                    get_u32(s, "pc")?,
+                    BranchSite {
+                        executed: get_u64(s, "executed")?,
+                        taken: get_u64(s, "taken")?,
+                        mispredicted: get_u64(s, "mispredicted")?,
+                    },
+                ));
+            }
+            Some(sites)
+        }
+        other => return Err(format!("branch_sites: unexpected {other:?}")),
+    };
+    let stall_sites = match field(doc, "stall_sites")? {
+        Json::Null => None,
+        Json::Arr(items) => {
+            let mut sites = Vec::new();
+            for s in items {
+                sites.push((get_u32(s, "pc")?, stalls_from_json(field(s, "stalls")?)?));
+            }
+            Some(sites)
+        }
+        other => return Err(format!("stall_sites: unexpected {other:?}")),
+    };
+    let interval_start = {
+        let parts = get_arr(doc, "interval_start")?;
+        if parts.len() != 3 {
+            return Err("interval_start: expected 3 elements".into());
+        }
+        (pu64(&parts[0])?, pu64(&parts[1])?, pu64(&parts[2])?)
+    };
+    Ok(CoreState {
+        predictor,
+        ras,
+        btac,
+        l1i: cache_state_from_json(field(doc, "l1i")?)?,
+        l1d: cache_state_from_json(field(doc, "l1d")?)?,
+        l2: cache_state_from_json(field(doc, "l2")?)?,
+        scoreboard,
+        fxu_free: parse_u64_list(doc, "fxu_free")?,
+        lsu_free: parse_u64_list(doc, "lsu_free")?,
+        bru_free: parse_u64_list(doc, "bru_free")?,
+        fetch_cycle: get_u64(doc, "fetch_cycle")?,
+        fetched_this_cycle: get_usize(doc, "fetched_this_cycle")?,
+        pending_redirect,
+        last_fetch_line: get_u64(doc, "last_fetch_line")?,
+        group_dispatch: get_u64(doc, "group_dispatch")?,
+        group_len: get_usize(doc, "group_len")?,
+        group_has_branch: get_bool(doc, "group_has_branch")?,
+        last_commit: get_u64(doc, "last_commit")?,
+        commit_new_group: get_bool(doc, "commit_new_group")?,
+        rob: parse_u64_list(doc, "rob")?,
+        counters: counters_from_json(field(doc, "counters")?)?,
+        branch_sites,
+        stall_sites,
+        dir_mispredicts_seen: get_u64(doc, "dir_mispredicts_seen")?,
+        interval_insns: get_u64(doc, "interval_insns")?,
+        interval_start,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint document
+// ----------------------------------------------------------------------
+
+/// Serialize a checkpoint to the JSON document model.
+pub fn to_json(cp: &Checkpoint) -> Json {
+    let watchdog = Json::obj()
+        .set("max_cycles", cp.watchdog.max_cycles.map_or(Json::Null, ju64))
+        .set("max_instructions", cp.watchdog.max_instructions.map_or(Json::Null, ju64));
+    let profile = match &cp.profile {
+        None => Json::Null,
+        Some((regions, charged)) => Json::obj()
+            .set(
+                "regions",
+                Json::Arr(
+                    regions
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .set("name", Json::Str(r.name.clone()))
+                                .set("start", ju64(u64::from(r.start)))
+                                .set("end", ju64(u64::from(r.end)))
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "charged",
+                Json::Arr(
+                    charged
+                        .iter()
+                        .map(|&(cycles, insns)| Json::Arr(vec![ju64(cycles), ju64(insns)]))
+                        .collect(),
+                ),
+            ),
+    };
+    Json::obj()
+        .set("schema", Json::Str(CHECKPOINT_SCHEMA.into()))
+        .set("config_digest", Json::Str(format!("{:016x}", cp.config_digest)))
+        .set("gpr", Json::Arr(cp.gpr.iter().map(|&g| ju64(u64::from(g))).collect()))
+        .set("cr", ju64(u64::from(cp.cr)))
+        .set("lr", ju64(u64::from(cp.lr)))
+        .set("ctr", ju64(u64::from(cp.ctr)))
+        .set("pc", ju64(u64::from(cp.pc)))
+        .set("mem_size", ju64(cp.mem_size as u64))
+        .set(
+            "pages",
+            Json::Arr(
+                cp.pages
+                    .iter()
+                    .map(|(base, bytes)| {
+                        Json::obj()
+                            .set("base", ju64(u64::from(*base)))
+                            .set("hex", Json::Str(hex_encode(bytes)))
+                    })
+                    .collect(),
+            ),
+        )
+        .set("code_base", ju64(u64::from(cp.code_base)))
+        .set("code_len", ju64(cp.code_len as u64))
+        .set("halted", Json::Bool(cp.halted))
+        .set("insns_total", ju64(cp.insns_total))
+        .set("watchdog", watchdog)
+        .set("profile", profile)
+        .set("last_commit_seen", ju64(cp.last_commit_seen))
+        .set("core", core_to_json(&cp.core))
+}
+
+/// Serialize a checkpoint to pretty-printed JSON text.
+pub fn render(cp: &Checkpoint) -> String {
+    to_json(cp).render()
+}
+
+/// Reconstruct a checkpoint from its JSON document.
+///
+/// # Errors
+///
+/// Returns a message on a wrong schema marker, missing fields, or values
+/// out of range for their targets.
+pub fn from_json(doc: &Json) -> Result<Checkpoint, String> {
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {CHECKPOINT_SCHEMA:?})"));
+    }
+    let digest_hex = field(doc, "config_digest")?.as_str().ok_or("config_digest: expected hex")?;
+    let config_digest =
+        u64::from_str_radix(digest_hex, 16).map_err(|_| "config_digest: bad hex".to_string())?;
+    let gpr_list = get_arr(doc, "gpr")?;
+    if gpr_list.len() != 32 {
+        return Err(format!("gpr: expected 32 registers, got {}", gpr_list.len()));
+    }
+    let mut gpr = [0u32; 32];
+    for (slot, j) in gpr.iter_mut().zip(gpr_list) {
+        *slot = u32::try_from(pu64(j)?).map_err(|_| "gpr out of range")?;
+    }
+    let mut pages = Vec::new();
+    for p in get_arr(doc, "pages")? {
+        let base = get_u32(p, "base")?;
+        let bytes = hex_decode(field(p, "hex")?.as_str().ok_or("page hex: expected string")?)?;
+        pages.push((base, bytes));
+    }
+    let w = field(doc, "watchdog")?;
+    let opt_u64 = |j: &Json| -> Result<Option<u64>, String> {
+        match j {
+            Json::Null => Ok(None),
+            other => pu64(other).map(Some),
+        }
+    };
+    let watchdog = Watchdog {
+        max_cycles: opt_u64(field(w, "max_cycles")?)?,
+        max_instructions: opt_u64(field(w, "max_instructions")?)?,
+    };
+    let profile = match field(doc, "profile")? {
+        Json::Null => None,
+        p => {
+            let mut regions = Vec::new();
+            for r in get_arr(p, "regions")? {
+                regions.push(ProfileRegion {
+                    name: field(r, "name")?.as_str().ok_or("region name")?.to_string(),
+                    start: get_u32(r, "start")?,
+                    end: get_u32(r, "end")?,
+                });
+            }
+            let mut charged = Vec::new();
+            for c in get_arr(p, "charged")? {
+                let parts = c.as_array().ok_or("charged entry: expected array")?;
+                if parts.len() != 2 {
+                    return Err("charged entry: expected 2 elements".into());
+                }
+                charged.push((pu64(&parts[0])?, pu64(&parts[1])?));
+            }
+            Some((regions, charged))
+        }
+    };
+    Ok(Checkpoint {
+        config_digest,
+        gpr,
+        cr: get_u32(doc, "cr")?,
+        lr: get_u32(doc, "lr")?,
+        ctr: get_u32(doc, "ctr")?,
+        pc: get_u32(doc, "pc")?,
+        mem_size: get_usize(doc, "mem_size")?,
+        pages,
+        code_base: get_u32(doc, "code_base")?,
+        code_len: get_usize(doc, "code_len")?,
+        halted: get_bool(doc, "halted")?,
+        insns_total: get_u64(doc, "insns_total")?,
+        watchdog,
+        profile,
+        last_commit_seen: get_u64(doc, "last_commit_seen")?,
+        core: core_from_json(field(doc, "core")?)?,
+    })
+}
+
+/// Parse a checkpoint from JSON text.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or any structural problem (see
+/// [`from_json`]).
+pub fn parse(text: &str) -> Result<Checkpoint, String> {
+    from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power5_sim::config::CoreConfig;
+    use power5_sim::machine::Machine;
+
+    fn machine_mid_run() -> Machine {
+        let prog = ppc_asm::assemble(
+            "
+entry:
+    li r3, 0
+    li r4, 500
+    mtctr r4
+loop:
+    addi r3, r3, 1
+    cmpwi cr0, r3, 250
+    blt cr0, skip
+    addi r5, r5, 2
+skip:
+    bdnz loop
+    trap
+",
+            0x1000,
+        )
+        .expect("assembles");
+        let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 0x40000);
+        m.set_watchdog(power5_sim::Watchdog {
+            max_cycles: Some(1_000_000),
+            max_instructions: None,
+        });
+        let r = m.run_timed(700).expect("no trap");
+        assert!(!r.halted);
+        m
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_json_text() {
+        let m = machine_mid_run();
+        let cp = m.checkpoint();
+        let text = render(&cp);
+        assert!(text.contains(CHECKPOINT_SCHEMA));
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, cp);
+        // Deterministic rendering.
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn resume_from_parsed_checkpoint_is_bit_exact() {
+        // Gold: run to completion in one machine.
+        let mut gold = machine_mid_run();
+        gold.run_timed(u64::MAX).expect("gold completes");
+
+        // Split: checkpoint mid-run, serialize, restore elsewhere, finish.
+        let m = machine_mid_run();
+        let text = render(&m.checkpoint());
+        let cp = parse(&text).expect("parses");
+        let prog = ppc_asm::assemble("entry:\n    trap\n", 0x1000).expect("assembles");
+        let mut resumed = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 0x40000);
+        resumed.restore(&cp).expect("restores");
+        resumed.run_timed(u64::MAX).expect("resumed completes");
+
+        assert!(gold.halted() && resumed.halted());
+        assert_eq!(gold.counters(), resumed.counters());
+        assert_eq!(gold.cpu().pc, resumed.cpu().pc);
+        assert_eq!(gold.checkpoint(), resumed.checkpoint());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_truncated_documents() {
+        let cp = machine_mid_run().checkpoint();
+        let text = render(&cp);
+        assert!(parse(&text.replace("/v1", "/v9")).is_err());
+        assert!(parse("{}").is_err());
+        assert!(parse("not json").is_err());
+    }
+
+    #[test]
+    fn hex_page_codec_roundtrips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex_decode(&hex).expect("decodes"), bytes);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

@@ -20,6 +20,7 @@ use crate::report::{frac, pct, Direction, Report, Table};
 use power5_sim::config::BtacConfig;
 use power5_sim::counters::IntervalSample;
 use power5_sim::CoreConfig;
+use power5_sim::Watchdog;
 use std::collections::HashMap;
 
 /// Hardware configurations the experiments compare.
@@ -53,13 +54,24 @@ pub struct Study {
     seed: u64,
     workloads: Vec<Workload>,
     cache: HashMap<(App, Variant, Hw), AppRun>,
+    watchdog: Option<Watchdog>,
 }
 
 impl Study {
     /// Prepare workloads for all four applications.
     pub fn new(scale: Scale, seed: u64) -> Self {
         let workloads = App::all().into_iter().map(|app| Workload::new(app, scale, seed)).collect();
-        Study { scale, seed, workloads, cache: HashMap::new() }
+        Study { scale, seed, workloads, cache: HashMap::new(), watchdog: None }
+    }
+
+    /// Install cycle/instruction budgets for every run in the study.
+    ///
+    /// A kernel that exceeds a budget returns [`RunError::Timeout`] with
+    /// its partial counters instead of running forever; under
+    /// [`Study::run_suite`] that experiment's report comes back marked
+    /// `degraded` while the rest of the suite completes.
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = Some(watchdog);
     }
 
     /// The study's input scale.
@@ -87,12 +99,18 @@ impl Study {
         if let Some(r) = self.cache.get(&(app, variant, hw)) {
             return Ok(r.clone());
         }
-        let run = self.workload(app).run(variant, &hw.config())?;
-        assert!(
-            run.validated,
-            "{app} {variant} on {hw:?} produced wrong results: {:?}",
-            run.mismatches
-        );
+        let run = match self.watchdog {
+            Some(w) => self.workload(app).run_with_watchdog(variant, &hw.config(), w)?,
+            None => self.workload(app).run(variant, &hw.config())?,
+        };
+        if !run.validated {
+            return Err(RunError::Validation {
+                what: format!(
+                    "{app} {variant} on {hw:?} produced wrong results: {:?}",
+                    run.mismatches
+                ),
+            });
+        }
         self.cache.insert((app, variant, hw), run.clone());
         Ok(run)
     }
@@ -177,8 +195,13 @@ impl Study {
             Variant::Baseline,
             &Hw::Stock.config(),
             Some(interval),
+            self.watchdog,
         )?;
-        assert!(run.validated, "Fig.2 run failed validation");
+        if !run.validated {
+            return Err(RunError::Validation {
+                what: format!("Fig.2 Clustalw run mismatched: {:?}", run.mismatches),
+            });
+        }
         Ok(Fig2 { interval, samples: run.counters.intervals.clone() })
     }
 
@@ -333,6 +356,65 @@ impl Study {
             });
         }
         Ok(Fig6 { rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Full suite
+    // ------------------------------------------------------------------
+
+    /// Run every table and figure of the paper, catching per-experiment
+    /// failures instead of aborting the suite.
+    ///
+    /// A failing experiment (trap, watchdog timeout, validation mismatch,
+    /// …) contributes a schema-valid `bioarch-report/v1` document marked
+    /// `"degraded": true` with the failure description, so one broken
+    /// workload still leaves the other experiments' reports usable.
+    pub fn run_suite(&mut self) -> Suite {
+        fn outcome(slug: &str, result: Result<Report, RunError>) -> Report {
+            match result {
+                Ok(report) => report,
+                Err(e) => {
+                    let mut report = Report::new(slug);
+                    report.degrade(format!("{slug}: {e}"));
+                    report
+                }
+            }
+        }
+        let mut reports = vec![
+            outcome("table1", self.table1().map(|x| x.report())),
+            outcome("fig1", self.fig1().map(|x| x.report())),
+            outcome("fig2", self.fig2().map(|x| x.report())),
+            outcome("fig3", self.fig3().map(|x| x.report())),
+            outcome("table2", self.table2().map(|x| x.report())),
+            outcome("fig4", self.fig4().map(|x| x.report())),
+            outcome("fig5", self.fig5().map(|x| x.report())),
+            outcome("fig6", self.fig6().map(|x| x.report())),
+        ];
+        for r in &mut reports {
+            r.context.push(("scale".into(), format!("{:?}", self.scale)));
+            r.context.push(("seed".into(), self.seed.to_string()));
+        }
+        Suite { reports }
+    }
+}
+
+/// The full study's documents: one report per table/figure, degraded
+/// entries standing in for failed experiments (see [`Study::run_suite`]).
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// One report per experiment, in paper order.
+    pub reports: Vec<Report>,
+}
+
+impl Suite {
+    /// Whether any experiment failed.
+    pub fn is_degraded(&self) -> bool {
+        self.reports.iter().any(Report::is_degraded)
+    }
+
+    /// Every failure description across the suite.
+    pub fn failures(&self) -> Vec<&str> {
+        self.reports.iter().flat_map(|r| r.failures.iter().map(String::as_str)).collect()
     }
 }
 

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod checkpoint;
 pub mod experiments;
 pub mod extra;
 pub mod json;

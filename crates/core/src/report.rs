@@ -159,6 +159,10 @@ pub struct Report {
     pub context: Vec<(String, String)>,
     /// The metrics, in emission order.
     pub metrics: Vec<Metric>,
+    /// Failure descriptions. Non-empty means the run was *degraded*:
+    /// some workload or experiment failed and its metrics are missing
+    /// or partial. Serialized as a `"degraded": true` section.
+    pub failures: Vec<String>,
 }
 
 /// Schema identifier embedded in every report document.
@@ -167,7 +171,22 @@ pub const REPORT_SCHEMA: &str = "bioarch-report/v1";
 impl Report {
     /// An empty report for `experiment`.
     pub fn new(experiment: &str) -> Self {
-        Report { experiment: experiment.to_string(), context: Vec::new(), metrics: Vec::new() }
+        Report {
+            experiment: experiment.to_string(),
+            context: Vec::new(),
+            metrics: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Record a failure, marking the report degraded.
+    pub fn degrade(&mut self, failure: impl Into<String>) {
+        self.failures.push(failure.into());
+    }
+
+    /// Whether any failure was recorded.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
     }
 
     /// Append a context key/value (builder style).
@@ -202,11 +221,18 @@ impl Report {
                 })
                 .collect(),
         );
-        Json::obj()
+        let mut doc = Json::obj()
             .set("schema", Json::Str(REPORT_SCHEMA.into()))
             .set("experiment", Json::Str(self.experiment.clone()))
             .set("context", context)
-            .set("metrics", metrics)
+            .set("metrics", metrics);
+        if self.is_degraded() {
+            doc = doc.set("degraded", Json::Bool(true)).set(
+                "failures",
+                Json::Arr(self.failures.iter().map(|f| Json::Str(f.clone())).collect()),
+            );
+        }
+        doc
     }
 
     /// Serialize to pretty-printed JSON text.
@@ -253,7 +279,19 @@ impl Report {
                 .ok_or_else(|| format!("metric {name} has a bad direction"))?;
             metrics.push(Metric { name, value, direction });
         }
-        Ok(Report { experiment, context, metrics })
+        let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
+        let mut failures: Vec<String> = match doc.get("failures") {
+            Some(Json::Arr(items)) => {
+                items.iter().map(|f| f.as_str().unwrap_or_default().to_string()).collect()
+            }
+            _ => Vec::new(),
+        };
+        if degraded && failures.is_empty() {
+            // A degraded marker without descriptions still round-trips as
+            // degraded rather than silently healing.
+            failures.push("degraded (no failure details recorded)".to_string());
+        }
+        Ok(Report { experiment, context, metrics, failures })
     }
 }
 
@@ -440,6 +478,25 @@ mod tests {
         assert_eq!(m.direction, Direction::Higher);
         // Wrong schema marker rejected.
         assert!(Report::parse(&text.replace("/v1", "/v9")).is_err());
+    }
+
+    #[test]
+    fn degraded_section_roundtrips_and_healthy_reports_omit_it() {
+        let healthy = sample_report();
+        let text = healthy.render_json();
+        assert!(!text.contains("degraded"));
+        assert!(!Report::parse(&text).unwrap().is_degraded());
+
+        let mut bad = sample_report();
+        bad.degrade("fasta: trap at pc 0x00001040, cycle 812: unmapped load");
+        bad.degrade("hmmer: watchdog instruction budget expired");
+        let text = bad.render_json();
+        assert!(text.contains("\"degraded\": true"));
+        let back = Report::parse(&text).unwrap();
+        assert!(back.is_degraded());
+        assert_eq!(back.failures, bad.failures);
+        // Metrics survive alongside the failure records.
+        assert_eq!(back.metrics.len(), 3);
     }
 
     #[test]

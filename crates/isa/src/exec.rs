@@ -4,23 +4,46 @@
 //! (used for SMARTS-style fast-forwarding) steps as quickly as possible,
 //! while the timing model steps functionally *and* feeds the returned
 //! [`StepEvent`] (branch outcome, memory access) into the pipeline model.
+//!
+//! Every fault path here is a typed [`MemFault`]; the executor itself
+//! never panics on guest behaviour, which is what lets the fault-injection
+//! harness promise "detected or contained, never a crash".
+
+#![deny(clippy::unwrap_used)]
 
 use crate::insn::{BranchCond, Instruction};
 use crate::reg::{CondReg, Gpr};
 use std::fmt;
 
-/// A memory access fault (out-of-bounds address).
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// The access runs past the end of simulated memory.
+    OutOfBounds,
+    /// A halfword/word access whose address is not width-aligned
+    /// (program-check on our machine model; real POWER5 would take the
+    /// alignment-interrupt slow path).
+    Misaligned,
+}
+
+/// A memory access fault (out-of-bounds or misaligned address).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemFault {
     /// Faulting byte address.
     pub addr: u32,
     /// Access width in bytes.
     pub bytes: u32,
+    /// What was wrong with the access.
+    pub kind: MemFaultKind,
 }
 
 impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "memory fault: {}-byte access at {:#010x}", self.bytes, self.addr)
+        let what = match self.kind {
+            MemFaultKind::OutOfBounds => "out-of-bounds",
+            MemFaultKind::Misaligned => "misaligned",
+        };
+        write!(f, "memory fault: {what} {}-byte access at {:#010x}", self.bytes, self.addr)
     }
 }
 
@@ -47,13 +70,33 @@ impl Memory {
         self.data.len()
     }
 
+    /// The raw byte contents (checkpoint serialization).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw byte contents (host-side checkpoint restore).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     fn check(&self, addr: u32, bytes: u32) -> Result<usize, MemFault> {
         let a = addr as usize;
         if a.checked_add(bytes as usize).is_none_or(|end| end > self.data.len()) {
-            Err(MemFault { addr, bytes })
+            Err(MemFault { addr, bytes, kind: MemFaultKind::OutOfBounds })
         } else {
             Ok(a)
         }
+    }
+
+    /// Bounds *and* natural-alignment check, for guest halfword/word
+    /// accesses (the host-side loaders deliberately skip the alignment
+    /// rule: they copy byte images, not architectural accesses).
+    fn check_aligned(&self, addr: u32, bytes: u32) -> Result<usize, MemFault> {
+        if !addr.is_multiple_of(bytes) {
+            return Err(MemFault { addr, bytes, kind: MemFaultKind::Misaligned });
+        }
+        self.check(addr, bytes)
     }
 
     /// Load a byte.
@@ -64,13 +107,13 @@ impl Memory {
 
     /// Load a little-endian halfword.
     pub fn load_u16(&self, addr: u32) -> Result<u16, MemFault> {
-        let a = self.check(addr, 2)?;
+        let a = self.check_aligned(addr, 2)?;
         Ok(u16::from_le_bytes([self.data[a], self.data[a + 1]]))
     }
 
     /// Load a little-endian word.
     pub fn load_u32(&self, addr: u32) -> Result<u32, MemFault> {
-        let a = self.check(addr, 4)?;
+        let a = self.check_aligned(addr, 4)?;
         Ok(u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]]))
     }
 
@@ -83,16 +126,25 @@ impl Memory {
 
     /// Store a little-endian halfword.
     pub fn store_u16(&mut self, addr: u32, value: u16) -> Result<(), MemFault> {
-        let a = self.check(addr, 2)?;
+        let a = self.check_aligned(addr, 2)?;
         self.data[a..a + 2].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
     /// Store a little-endian word.
     pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
-        let a = self.check(addr, 4)?;
+        let a = self.check_aligned(addr, 4)?;
         self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
+    }
+
+    /// Flip one bit of one byte (fault injection; out-of-range addresses
+    /// are ignored rather than faulting — the injector targets simulated
+    /// memory, it does not execute on it).
+    pub fn flip_bit(&mut self, addr: u32, bit: u32) {
+        if let Some(b) = self.data.get_mut(addr as usize) {
+            *b ^= 1 << (bit & 7);
+        }
     }
 
     /// Copy a byte slice into memory at `addr` (host-side loader).
@@ -404,6 +456,7 @@ pub fn step(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::reg::{CrBit, CrField};
@@ -557,8 +610,34 @@ mod tests {
         let err = step(&mut s, &mut m, &Instruction::Lwz { rt: Gpr(4), ra: Gpr(3), disp: 0 })
             .unwrap_err();
         assert_eq!(err.bytes, 4);
+        assert_eq!(err.kind, MemFaultKind::OutOfBounds);
         // PC unchanged on fault.
         assert_eq!(s.pc, 0x1000);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let (mut s, mut m) = fresh();
+        s.gpr[3] = 0x2002; // word access off by 2
+        let err = step(&mut s, &mut m, &Instruction::Lwz { rt: Gpr(4), ra: Gpr(3), disp: 0 })
+            .unwrap_err();
+        assert_eq!(err, MemFault { addr: 0x2002, bytes: 4, kind: MemFaultKind::Misaligned });
+        assert_eq!(s.pc, 0x1000);
+        // Halfword store off by 1 faults too; byte accesses never do.
+        assert!(m.store_u16(0x2001, 7).is_err());
+        assert!(m.store_u8(0x2001, 7).is_ok());
+        // Host-side image loading is exempt from the alignment rule.
+        assert!(m.write_bytes(0x2001, b"abc").is_ok());
+    }
+
+    #[test]
+    fn flip_bit_targets_one_bit_and_ignores_oob() {
+        let mut m = Memory::new(64);
+        m.flip_bit(10, 3);
+        assert_eq!(m.load_u8(10).unwrap(), 1 << 3);
+        m.flip_bit(10, 3);
+        assert_eq!(m.load_u8(10).unwrap(), 0);
+        m.flip_bit(1 << 30, 0); // silently out of range
     }
 
     #[test]

@@ -139,6 +139,47 @@ impl Btac {
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
     }
+
+    /// Export entries for checkpointing, as `(tag, nia, score, valid)`.
+    pub fn snapshot(&self) -> BtacState {
+        BtacState {
+            entries: self.entries.iter().map(|e| (e.tag, e.nia, e.score, e.valid)).collect(),
+            victim_rr: self.victim_rr,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstall a snapshot taken from a BTAC of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the entry count does not match.
+    pub fn restore(&mut self, state: &BtacState) -> Result<(), String> {
+        if state.entries.len() != self.entries.len() {
+            return Err(format!(
+                "BTAC snapshot has {} entries, BTAC has {}",
+                state.entries.len(),
+                self.entries.len()
+            ));
+        }
+        for (e, &(tag, nia, score, valid)) in self.entries.iter_mut().zip(&state.entries) {
+            *e = Entry { tag, nia, score, valid };
+        }
+        self.victim_rr = state.victim_rr % self.entries.len();
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
+/// Serializable [`Btac`] state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BtacState {
+    /// `(tag, nia, score, valid)` per entry.
+    pub entries: Vec<(u32, u32, i8, bool)>,
+    /// Round-robin victim cursor.
+    pub victim_rr: usize,
+    /// Accumulated statistics.
+    pub stats: BtacStats,
 }
 
 #[cfg(test)]
@@ -255,6 +296,25 @@ mod tests {
             predicted > 3000,
             "hot branch predicted only {predicted}/4000 times — BTAC starved"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let mut b = btac();
+        for i in 0..30u32 {
+            let pc = 0x100 + 16 * (i % 5);
+            let p = b.lookup(pc);
+            b.update(pc, p, pc + 0x40);
+        }
+        let snap = b.snapshot();
+        let mut c = btac();
+        c.restore(&snap).unwrap();
+        for i in 0..5u32 {
+            let pc = 0x100 + 16 * i;
+            assert_eq!(c.lookup(pc), b.lookup(pc), "lookup {pc:#x} diverged");
+        }
+        let mut tiny = Btac::new(BtacConfig { entries: 2, ..BtacConfig::default() });
+        assert!(tiny.restore(&snap).is_err());
     }
 
     #[test]

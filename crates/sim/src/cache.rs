@@ -121,6 +121,70 @@ impl Cache {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Total way slots (`sets × ways`) — the selector domain for
+    /// [`Cache::drop_slot`].
+    pub fn num_slots(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Invalidate one way slot (fault injection: a dropped line). Returns
+    /// whether the slot held a valid line. Timing-only state, so the fault
+    /// can cost extra misses but never corrupt architectural results.
+    pub fn drop_slot(&mut self, slot: usize) -> bool {
+        let slot = slot % self.valid.len();
+        let was = self.valid[slot];
+        self.valid[slot] = false;
+        was
+    }
+
+    /// Export tags/valid/LRU state for checkpointing.
+    pub fn snapshot(&self) -> CacheState {
+        CacheState {
+            tags: self.tags.clone(),
+            valid: self.valid.clone(),
+            stamp: self.stamp.clone(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstall a snapshot taken from a cache of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's slot count does not match.
+    pub fn restore(&mut self, state: &CacheState) -> Result<(), String> {
+        let n = self.tags.len();
+        if state.tags.len() != n || state.valid.len() != n || state.stamp.len() != n {
+            return Err(format!(
+                "cache snapshot has {} slots, cache has {n}",
+                state.tags.len().max(state.valid.len()).max(state.stamp.len())
+            ));
+        }
+        self.tags.copy_from_slice(&state.tags);
+        self.valid.copy_from_slice(&state.valid);
+        self.stamp.copy_from_slice(&state.stamp);
+        self.tick = state.tick;
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
+/// Serializable [`Cache`] state (geometry is carried by the config, not
+/// the snapshot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// Line tags per way slot.
+    pub tags: Vec<u64>,
+    /// Valid bits per way slot.
+    pub valid: Vec<bool>,
+    /// LRU stamps per way slot.
+    pub stamp: Vec<u64>,
+    /// LRU clock.
+    pub tick: u64,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
 }
 
 /// The L1I/L1D/L2 hierarchy; returns access latencies in cycles.
@@ -242,6 +306,34 @@ mod tests {
         assert_eq!(c.stats().miss_rate(), 0.25);
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_contents_and_lru() {
+        let mut c = small();
+        for a in [0x000u32, 0x100, 0x040, 0x000, 0x200] {
+            c.access(a);
+        }
+        let snap = c.snapshot();
+        let mut d = small();
+        d.restore(&snap).unwrap();
+        for a in [0x000u32, 0x040, 0x100, 0x200, 0x300] {
+            assert_eq!(c.probe(a), d.probe(a), "probe {a:#x} diverged");
+        }
+        assert_eq!(d.stats(), c.stats());
+        // Geometry mismatch is rejected.
+        let mut big = Cache::new(CacheConfig { size: 1024, ways: 2, line: 64, hit_latency: 2 });
+        assert!(big.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn drop_slot_invalidates_a_line() {
+        let mut c = small();
+        c.access(0x000);
+        let slot = (0..c.num_slots()).find(|&s| c.drop_slot(s)).expect("one valid line");
+        assert!(!c.probe(0x000), "line survived drop of slot {slot}");
+        // Dropping an empty slot reports false and stays harmless.
+        assert!(!c.drop_slot(slot));
     }
 
     #[test]

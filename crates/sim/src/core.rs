@@ -23,11 +23,11 @@
 //!   Cycles in which completion stalls are attributed to the oldest
 //!   instruction's delay reason (the CPI-stack of Table I).
 
-use crate::btac::Btac;
-use crate::cache::Hierarchy;
+use crate::btac::{Btac, BtacState};
+use crate::cache::{CacheState, Hierarchy};
 use crate::config::CoreConfig;
 use crate::counters::{Counters, IntervalSample, StallBreakdown, StallClass};
-use crate::predictor::{build, DirectionPredictor, ReturnStack};
+use crate::predictor::{build, DirectionPredictor, PredictorState, RasState, ReturnStack};
 use crate::trace::{InsnTrace, TraceRedirect, Tracer};
 use ppc_isa::insn::{ExecUnit, Instruction, LatencyClass};
 use ppc_isa::reg::Resource;
@@ -258,6 +258,145 @@ impl TimingCore {
     /// The configuration in force.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Export the complete timing state for checkpointing. The tracer is
+    /// deliberately excluded (it wraps live I/O handles); a restored core
+    /// starts with tracing off.
+    pub fn snapshot(&self) -> CoreState {
+        let sorted = |m: &std::collections::HashMap<u32, BranchSite>| {
+            let mut v: Vec<(u32, BranchSite)> = m.iter().map(|(&pc, &s)| (pc, s)).collect();
+            v.sort_by_key(|&(pc, _)| pc);
+            v
+        };
+        let sorted_stalls = |m: &std::collections::HashMap<u32, StallBreakdown>| {
+            let mut v: Vec<(u32, StallBreakdown)> = m.iter().map(|(&pc, &s)| (pc, s)).collect();
+            v.sort_by_key(|&(pc, _)| pc);
+            v
+        };
+        let mut scoreboard = Vec::with_capacity(GPRS + CRS + 2);
+        for p in self.board.gpr.iter().chain(self.board.cr.iter()) {
+            scoreboard.push((p.ready, p.unit));
+        }
+        scoreboard.push((self.board.lr.ready, self.board.lr.unit));
+        scoreboard.push((self.board.ctr.ready, self.board.ctr.unit));
+        CoreState {
+            predictor: self.predictor.snapshot(),
+            ras: self.ras.snapshot(),
+            btac: self.btac.as_ref().map(Btac::snapshot),
+            l1i: self.hier.l1i.snapshot(),
+            l1d: self.hier.l1d.snapshot(),
+            l2: self.hier.l2.snapshot(),
+            scoreboard,
+            fxu_free: self.fxu_free.clone(),
+            lsu_free: self.lsu_free.clone(),
+            bru_free: self.bru_free.clone(),
+            fetch_cycle: self.fetch_cycle,
+            fetched_this_cycle: self.fetched_this_cycle,
+            pending_redirect: self.pending_redirect,
+            last_fetch_line: self.last_fetch_line,
+            group_dispatch: self.group_dispatch,
+            group_len: self.group_len,
+            group_has_branch: self.group_has_branch,
+            last_commit: self.last_commit,
+            commit_new_group: self.commit_new_group,
+            rob: self.rob.iter().copied().collect(),
+            counters: self.counters.clone(),
+            branch_sites: self.branch_sites.as_ref().map(sorted),
+            stall_sites: self.stall_sites.as_ref().map(sorted_stalls),
+            dir_mispredicts_seen: self.dir_mispredicts_seen,
+            interval_insns: self.interval_insns,
+            interval_start: self.interval_start,
+        }
+    }
+
+    /// Reinstall a snapshot taken from a core with the *same*
+    /// configuration. The active tracer is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any component's geometry (predictor tables,
+    /// caches, unit pools, BTAC presence) does not match this core.
+    pub fn restore(&mut self, state: &CoreState) -> Result<(), String> {
+        self.predictor.restore(&state.predictor)?;
+        self.ras.restore(&state.ras)?;
+        match (&mut self.btac, &state.btac) {
+            (None, None) => {}
+            (Some(b), Some(s)) => b.restore(s)?,
+            (Some(_), None) => return Err("snapshot has no BTAC state, core has a BTAC".into()),
+            (None, Some(_)) => return Err("snapshot has BTAC state, core has none".into()),
+        }
+        self.hier.l1i.restore(&state.l1i).map_err(|e| format!("l1i: {e}"))?;
+        self.hier.l1d.restore(&state.l1d).map_err(|e| format!("l1d: {e}"))?;
+        self.hier.l2.restore(&state.l2).map_err(|e| format!("l2: {e}"))?;
+        if state.scoreboard.len() != GPRS + CRS + 2 {
+            return Err(format!(
+                "scoreboard snapshot has {} entries, want {}",
+                state.scoreboard.len(),
+                GPRS + CRS + 2
+            ));
+        }
+        for (i, &(ready, unit)) in state.scoreboard.iter().enumerate() {
+            let p = Producer { ready, unit };
+            if i < GPRS {
+                self.board.gpr[i] = p;
+            } else if i < GPRS + CRS {
+                self.board.cr[i - GPRS] = p;
+            } else if i == GPRS + CRS {
+                self.board.lr = p;
+            } else {
+                self.board.ctr = p;
+            }
+        }
+        for (pool, src, name) in [
+            (&mut self.fxu_free, &state.fxu_free, "fxu"),
+            (&mut self.lsu_free, &state.lsu_free, "lsu"),
+            (&mut self.bru_free, &state.bru_free, "bru"),
+        ] {
+            if pool.len() != src.len() {
+                return Err(format!(
+                    "{name} pool has {} units, snapshot {}",
+                    pool.len(),
+                    src.len()
+                ));
+            }
+            pool.copy_from_slice(src);
+        }
+        self.fetch_cycle = state.fetch_cycle;
+        self.fetched_this_cycle = state.fetched_this_cycle;
+        self.pending_redirect = state.pending_redirect;
+        self.last_fetch_line = state.last_fetch_line;
+        self.group_dispatch = state.group_dispatch;
+        self.group_len = state.group_len;
+        self.group_has_branch = state.group_has_branch;
+        self.last_commit = state.last_commit;
+        self.commit_new_group = state.commit_new_group;
+        self.rob = state.rob.iter().copied().collect();
+        self.counters = state.counters.clone();
+        self.branch_sites = state.branch_sites.as_ref().map(|v| v.iter().copied().collect());
+        self.stall_sites = state.stall_sites.as_ref().map(|v| v.iter().copied().collect());
+        self.dir_mispredicts_seen = state.dir_mispredicts_seen;
+        self.interval_insns = state.interval_insns;
+        self.interval_start = state.interval_start;
+        Ok(())
+    }
+
+    /// Flip one low-order bit of a direction-predictor counter (fault
+    /// injection). Timing-only state: accuracy can suffer, results cannot.
+    pub fn corrupt_predictor(&mut self, selector: u64) {
+        self.predictor.corrupt(selector);
+    }
+
+    /// Invalidate one cache way slot chosen by `selector`, spread across
+    /// L1I/L1D/L2 (fault injection: a dropped line). Returns whether a
+    /// valid line was actually lost.
+    pub fn drop_cache_line(&mut self, selector: u64) -> bool {
+        let cache = match selector % 3 {
+            0 => &mut self.hier.l1i,
+            1 => &mut self.hier.l1d,
+            _ => &mut self.hier.l2,
+        };
+        cache.drop_slot((selector / 3) as usize)
     }
 
     fn unit_pool(&mut self, unit: ExecUnit) -> &mut Vec<u64> {
@@ -645,6 +784,66 @@ impl TimingCore {
     }
 }
 
+/// Serializable [`TimingCore`] state — every field the retire loop reads,
+/// minus the tracer (live I/O) and the configuration (supplied by the
+/// caller at restore time, which is what makes geometry mismatches
+/// detectable instead of silent).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreState {
+    /// Direction-predictor tables.
+    pub predictor: PredictorState,
+    /// Link stack.
+    pub ras: RasState,
+    /// BTAC entries (`None` when the core has no BTAC).
+    pub btac: Option<BtacState>,
+    /// L1 instruction cache.
+    pub l1i: CacheState,
+    /// L1 data cache.
+    pub l1d: CacheState,
+    /// Unified L2.
+    pub l2: CacheState,
+    /// `(ready_cycle, producing_unit)` for r0..r31, cr0..cr7, LR, CTR.
+    pub scoreboard: Vec<(u64, ExecUnit)>,
+    /// Next free cycle per FXU instance.
+    pub fxu_free: Vec<u64>,
+    /// Next free cycle per LSU instance.
+    pub lsu_free: Vec<u64>,
+    /// Next free cycle per BRU instance.
+    pub bru_free: Vec<u64>,
+    /// Cycle the next instruction may be fetched.
+    pub fetch_cycle: u64,
+    /// Instructions already fetched in `fetch_cycle`.
+    pub fetched_this_cycle: usize,
+    /// Pending front-end redirect and its cause.
+    pub pending_redirect: Option<(u64, StallClass)>,
+    /// Last I-cache line touched by fetch (`u64::MAX` = none yet).
+    pub last_fetch_line: u64,
+    /// Dispatch cycle of the open group.
+    pub group_dispatch: u64,
+    /// Instructions in the open group.
+    pub group_len: usize,
+    /// Whether the open group holds a branch.
+    pub group_has_branch: bool,
+    /// Cycle of the most recent commit.
+    pub last_commit: u64,
+    /// Whether the next commit opens a new group.
+    pub commit_new_group: bool,
+    /// Commit cycles of in-flight instructions, oldest first.
+    pub rob: Vec<u64>,
+    /// Raw accumulated counters (cache/BTAC stats live in their snapshots).
+    pub counters: Counters,
+    /// Per-PC branch statistics, sorted by PC (`None` = profiling off).
+    pub branch_sites: Option<Vec<(u32, BranchSite)>>,
+    /// Per-PC stall attribution, sorted by PC (`None` = profiling off).
+    pub stall_sites: Option<Vec<(u32, StallBreakdown)>>,
+    /// Direction mispredictions seen (link-stack corruption pacing).
+    pub dir_mispredicts_seen: u64,
+    /// Interval sampling period (0 = off).
+    pub interval_insns: u64,
+    /// `(instructions, cycles, dir_mispredicts)` at the interval start.
+    pub interval_start: (u64, u64, u64),
+}
+
 impl std::fmt::Debug for TimingCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TimingCore")
@@ -855,6 +1054,122 @@ mod tests {
         assert_eq!(counters.intervals.len(), 3);
         assert!(counters.intervals.iter().all(|s| s.ipc > 0.0));
         assert_eq!(counters.intervals[0].instructions, 50);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly() {
+        let mixed = |c: &mut TimingCore, i: u32, x: &mut u64| {
+            *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x1000 + 8 * (i % 16);
+            match i % 4 {
+                0 => {
+                    retire_plain(c, &simple(3 + (i % 4) as u8, 1, 2), pc);
+                }
+                1 => {
+                    let ld = Instruction::Lwz { rt: Gpr(4), ra: Gpr(5), disp: 0 };
+                    c.retire(Retired {
+                        insn: &ld,
+                        pc,
+                        event: StepEvent {
+                            mem: Some((0x8000 + 64 * (i % 40), 4, false)),
+                            ..Default::default()
+                        },
+                    });
+                }
+                2 => {
+                    let bc = Instruction::Bc {
+                        cond: BranchCond::IfTrue(CrBit(0)),
+                        offset: 8,
+                        link: false,
+                    };
+                    let taken = (*x >> 40) & 1 == 1;
+                    c.retire(Retired {
+                        insn: &bc,
+                        pc,
+                        event: StepEvent { branch: Some((taken, pc + 8)), ..Default::default() },
+                    });
+                }
+                _ => {
+                    let bl = Instruction::B { offset: 0x40, link: true };
+                    c.retire(Retired {
+                        insn: &bl,
+                        pc,
+                        event: StepEvent { branch: Some((true, pc + 0x40)), ..Default::default() },
+                    });
+                }
+            }
+        };
+        let cfg = CoreConfig::power5().with_btac(crate::config::BtacConfig::default());
+        let mut gold = TimingCore::new(cfg.clone());
+        gold.set_branch_site_profiling(true);
+        gold.set_stall_site_profiling(true);
+        gold.set_interval_sampling(37);
+        let (mut xa, mut xb) = (99u64, 99u64);
+        for i in 0..500 {
+            mixed(&mut gold, i, &mut xa);
+        }
+        // Re-run the first 200, checkpoint, restore into a fresh core, and
+        // replay the remaining 300: every counter must match `gold`.
+        let mut first = TimingCore::new(cfg.clone());
+        first.set_branch_site_profiling(true);
+        first.set_stall_site_profiling(true);
+        first.set_interval_sampling(37);
+        for i in 0..200 {
+            mixed(&mut first, i, &mut xb);
+        }
+        let snap = first.snapshot();
+        let mut resumed = TimingCore::new(cfg);
+        resumed.restore(&snap).unwrap();
+        for i in 200..500 {
+            mixed(&mut resumed, i, &mut xb);
+        }
+        assert_eq!(resumed.counters(), gold.counters());
+        assert_eq!(resumed.branch_sites(), gold.branch_sites());
+        assert_eq!(resumed.stall_sites(), gold.stall_sites());
+        assert_eq!(resumed.snapshot(), gold.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let snap = TimingCore::new(CoreConfig::power5()).snapshot();
+        let mut other = TimingCore::new(CoreConfig::power5().with_fxus(4));
+        assert!(other.restore(&snap).is_err());
+        let mut btac =
+            TimingCore::new(CoreConfig::power5().with_btac(crate::config::BtacConfig::default()));
+        assert!(btac.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn timing_faults_never_break_the_stall_partition() {
+        let mut c = core();
+        c.set_stall_site_profiling(true);
+        let bc = Instruction::Bc { cond: BranchCond::IfTrue(CrBit(0)), offset: 8, link: false };
+        let mut x = 5u64;
+        for i in 0..400u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if i % 7 == 0 {
+                c.corrupt_predictor(x);
+            }
+            if i % 11 == 0 {
+                c.drop_cache_line(x >> 8);
+            }
+            let pc = 0x1000 + 8 * (i % 8);
+            retire_plain(&mut c, &simple(3, 1, 2), pc);
+            c.retire(Retired {
+                insn: &bc,
+                pc: pc + 4,
+                event: StepEvent {
+                    branch: Some(((x >> 33) & 1 == 1, pc + 12)),
+                    ..Default::default()
+                },
+            });
+        }
+        let counters = c.counters();
+        let mut summed = StallBreakdown::default();
+        for (_, s) in c.stall_sites() {
+            summed.merge(&s);
+        }
+        assert_eq!(summed, counters.stalls, "per-PC stalls no longer partition the aggregate");
     }
 
     #[test]

@@ -209,7 +209,7 @@ pub struct IntervalSample {
 }
 
 /// The full counter set of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Counters {
     /// Cycles elapsed.
     pub cycles: u64,

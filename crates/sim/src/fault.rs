@@ -1,0 +1,336 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is generated from a seed by a self-contained
+//! xorshift64 PRNG (no external dependencies), so a campaign is exactly
+//! reproducible from its seed. Each [`FaultSpec`] flips one bit of an
+//! instruction word, a data byte, or an architectural register, drops a
+//! cache line, or corrupts branch-predictor state, at a chosen point in
+//! the committed-instruction stream.
+//!
+//! The contract the harness checks (see [`check_invariants`] and the
+//! campaign driver in the `bioarch` crate): every injected fault must be
+//! *detected* — the run traps with a PC and cycle — or *contained* — the
+//! run completes (or times out on a watchdog budget) with counters that
+//! still satisfy the partition/CPI-stack invariants. A panic, hang, or
+//! invariant violation is a harness failure.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::counters::{Counters, StallBreakdown};
+use crate::machine::Machine;
+
+/// Minimal xorshift64 PRNG (Marsaglia), good enough for fault-site
+/// selection and fully deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed (the one fixed point of xorshift)
+    /// is remapped to a nonzero constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..bound` (`bound` of 0 returns 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// What a fault corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of an instruction word (memory and decode table).
+    InsnBitFlip,
+    /// Flip one bit of a data byte.
+    DataBitFlip,
+    /// Flip one bit of an architectural register (GPR/CR/LR/CTR).
+    RegBitFlip,
+    /// Invalidate one cache line in L1I, L1D, or L2.
+    CacheLineDrop,
+    /// Flip one branch-predictor counter bit.
+    PredictorCorrupt,
+}
+
+impl FaultKind {
+    /// All kinds, in campaign display order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::InsnBitFlip,
+        FaultKind::DataBitFlip,
+        FaultKind::RegBitFlip,
+        FaultKind::CacheLineDrop,
+        FaultKind::PredictorCorrupt,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::InsnBitFlip => "insn-bit-flip",
+            FaultKind::DataBitFlip => "data-bit-flip",
+            FaultKind::RegBitFlip => "reg-bit-flip",
+            FaultKind::CacheLineDrop => "cache-line-drop",
+            FaultKind::PredictorCorrupt => "predictor-corrupt",
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What is corrupted.
+    pub kind: FaultKind,
+    /// Inject once the machine's lifetime instruction count reaches this.
+    pub at_instruction: u64,
+    /// Kind-dependent site: a PC for [`FaultKind::InsnBitFlip`], a data
+    /// address for [`FaultKind::DataBitFlip`], a register selector for
+    /// [`FaultKind::RegBitFlip`], an opaque selector otherwise.
+    pub target: u64,
+    /// Which bit to flip (masked per site width).
+    pub bit: u32,
+}
+
+impl FaultSpec {
+    /// Apply the fault to `m` now. Returns whether state actually changed
+    /// (an out-of-range instruction flip or an already-invalid cache line
+    /// reports `false`).
+    pub fn apply(&self, m: &mut Machine) -> bool {
+        match self.kind {
+            FaultKind::InsnBitFlip => m.flip_code_bit(self.target as u32, self.bit),
+            FaultKind::DataBitFlip => {
+                m.flip_data_bit(self.target as u32, self.bit);
+                true
+            }
+            FaultKind::RegBitFlip => {
+                m.flip_reg_bit(self.target, self.bit);
+                true
+            }
+            FaultKind::CacheLineDrop => m.drop_cache_line(self.target),
+            FaultKind::PredictorCorrupt => {
+                m.corrupt_predictor(self.target);
+                true
+            }
+        }
+    }
+}
+
+/// The address/instruction windows faults are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionWindow {
+    /// First byte of the code region.
+    pub code_base: u32,
+    /// Code region length in bytes.
+    pub code_len: u32,
+    /// First byte of the data region.
+    pub data_base: u32,
+    /// Data region length in bytes.
+    pub data_len: u32,
+    /// Faults are injected in `0..max_instruction` of the committed
+    /// stream.
+    pub max_instruction: u64,
+}
+
+/// A seeded, reproducible list of faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// The faults, sorted by injection point.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Generate `n` faults from `seed`, uniformly across [`FaultKind`]s
+    /// and the given window, sorted by `at_instruction`.
+    pub fn generate(seed: u64, n: usize, window: &InjectionWindow) -> FaultPlan {
+        let mut rng = XorShift64::new(seed);
+        let mut faults: Vec<FaultSpec> = (0..n)
+            .map(|_| {
+                let kind = FaultKind::ALL[rng.below(FaultKind::ALL.len() as u64) as usize];
+                let (target, bit) = match kind {
+                    FaultKind::InsnBitFlip => {
+                        let word = rng.below(u64::from(window.code_len / 4).max(1));
+                        (u64::from(window.code_base) + 4 * word, rng.below(32) as u32)
+                    }
+                    FaultKind::DataBitFlip => (
+                        u64::from(window.data_base) + rng.below(u64::from(window.data_len).max(1)),
+                        rng.below(8) as u32,
+                    ),
+                    FaultKind::RegBitFlip => (rng.below(35), rng.below(32) as u32),
+                    FaultKind::CacheLineDrop | FaultKind::PredictorCorrupt => (rng.next_u64(), 0),
+                };
+                FaultSpec {
+                    kind,
+                    at_instruction: rng.below(window.max_instruction.max(1)),
+                    target,
+                    bit,
+                }
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_instruction);
+        FaultPlan { seed, faults }
+    }
+}
+
+/// The counter partition invariants a *contained* faulty run must still
+/// satisfy — the same properties `tests/counter_invariants.rs` asserts
+/// for healthy runs, reported as a typed error instead of a panic so the
+/// campaign can tabulate violations.
+///
+/// # Errors
+///
+/// Returns the first violated invariant, named.
+pub fn check_invariants(c: &Counters) -> Result<(), String> {
+    fn ensure(ok: bool, what: &str) -> Result<(), String> {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("counter invariant violated: {what}"))
+        }
+    }
+    ensure(c.cycles >= c.instructions / 5, "commit width is 5/cycle")?;
+    ensure(c.branches.taken <= c.branches.total, "taken <= total branches")?;
+    ensure(c.branches.conditional <= c.branches.total, "conditional <= total branches")?;
+    ensure(
+        c.branches.direction_mispredictions <= c.branches.conditional,
+        "direction mispredictions <= conditional branches",
+    )?;
+    ensure(c.l1d.misses <= c.l1d.accesses, "l1d misses <= accesses")?;
+    ensure(c.l1i.misses <= c.l1i.accesses, "l1i misses <= accesses")?;
+    ensure(c.l2.misses <= c.l2.accesses, "l2 misses <= accesses")?;
+    ensure(c.l2.accesses <= c.l1i.misses + c.l1d.misses, "l2 accesses <= l1 misses")?;
+    ensure(c.loads + c.stores == c.lsu_ops, "loads + stores == lsu ops")?;
+    ensure(c.predicated_ops <= c.instructions, "predicated ops <= instructions")?;
+    ensure(c.stalls.total() <= c.cycles, "stalls <= cycles")?;
+    ensure(
+        c.btac.correct + c.btac.incorrect <= c.btac.predictions,
+        "btac outcomes <= predictions",
+    )?;
+    ensure(c.btac.predictions <= c.btac.lookups, "btac predictions <= lookups")?;
+    Ok(())
+}
+
+/// The stall-partition invariant: when per-PC stall attribution is
+/// enabled, the per-site breakdowns must sum exactly to the aggregate
+/// stall counters.
+///
+/// # Errors
+///
+/// Returns a message naming the aggregate and summed totals on mismatch.
+pub fn check_stall_partition(
+    aggregate: &StallBreakdown,
+    sites: &[(u32, StallBreakdown)],
+) -> Result<(), String> {
+    let mut sum = StallBreakdown::default();
+    for (_, b) in sites {
+        sum.merge(b);
+    }
+    if sum == *aggregate {
+        Ok(())
+    } else {
+        Err(format!(
+            "stall partition broken: per-PC sum {} != aggregate {}",
+            sum.total(),
+            aggregate.total()
+        ))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn window() -> InjectionWindow {
+        InjectionWindow {
+            code_base: 0x1000,
+            code_len: 0x400,
+            data_base: 0x4_0000,
+            data_len: 0x1000,
+            max_instruction: 10_000,
+        }
+    }
+
+    #[test]
+    fn plans_are_reproducible_from_the_seed() {
+        let a = FaultPlan::generate(42, 100, &window());
+        let b = FaultPlan::generate(42, 100, &window());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, 100, &window());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plans_cover_every_fault_kind_and_stay_in_window() {
+        let w = window();
+        let plan = FaultPlan::generate(7, 500, &w);
+        assert_eq!(plan.faults.len(), 500);
+        for kind in FaultKind::ALL {
+            assert!(
+                plan.faults.iter().any(|f| f.kind == kind),
+                "500-fault plan never drew {}",
+                kind.name()
+            );
+        }
+        for f in &plan.faults {
+            assert!(f.at_instruction < w.max_instruction);
+            match f.kind {
+                FaultKind::InsnBitFlip => {
+                    let pc = f.target as u32;
+                    assert!(pc >= w.code_base && pc < w.code_base + w.code_len);
+                    assert!(pc.is_multiple_of(4));
+                }
+                FaultKind::DataBitFlip => {
+                    let a = f.target as u32;
+                    assert!(a >= w.data_base && a < w.data_base + w.data_len);
+                }
+                FaultKind::RegBitFlip => assert!(f.target < 35),
+                _ => {}
+            }
+        }
+        assert!(plan.faults.windows(2).all(|p| p[0].at_instruction <= p[1].at_instruction));
+    }
+
+    #[test]
+    fn invariant_checker_accepts_healthy_and_names_violations() {
+        let mut c = Counters { cycles: 100, instructions: 80, ..Counters::default() };
+        c.stalls.fxu = 40;
+        assert!(check_invariants(&c).is_ok());
+        c.stalls.fxu = 200; // stalls > cycles
+        let err = check_invariants(&c).unwrap_err();
+        assert!(err.contains("stalls <= cycles"), "{err}");
+    }
+
+    #[test]
+    fn stall_partition_checker_detects_drift() {
+        let agg = StallBreakdown { fxu: 5, load: 3, ..StallBreakdown::default() };
+        let sites = vec![
+            (0x1000, StallBreakdown { fxu: 2, load: 3, ..StallBreakdown::default() }),
+            (0x1004, StallBreakdown { fxu: 3, ..StallBreakdown::default() }),
+        ];
+        assert!(check_stall_partition(&agg, &sites).is_ok());
+        let short = &sites[..1];
+        assert!(check_stall_partition(&agg, short).is_err());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -26,6 +26,13 @@
 //! * a SMARTS-style uniform sampling driver ([`machine::Machine::run_sampled`],
 //!   paper's reference \[22\]).
 //!
+//! The simulator core is panic-free on guest misbehaviour: undecodable
+//! words and bad memory accesses surface as a typed [`machine::Trap`],
+//! runaway programs are cut off by [`machine::Watchdog`] budgets, the
+//! complete machine state round-trips through [`machine::Checkpoint`]
+//! for bit-exact resume, and [`fault`] provides a seeded fault-injection
+//! plan with containment checking.
+//!
 //! # Example
 //!
 //! ```
@@ -57,11 +64,15 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod counters;
+pub mod fault;
 pub mod machine;
 pub mod predictor;
 pub mod trace;
 
 pub use config::CoreConfig;
 pub use counters::{Counters, StallBreakdown, StallClass};
-pub use machine::Machine;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectionWindow, XorShift64};
+pub use machine::{
+    Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,
+};
 pub use trace::{SymbolMap, Tracer};

@@ -10,22 +10,46 @@
 //!   functional fast-forward, a timed warm-up whose counters are
 //!   discarded, and a short measured window, repeated across the program
 //!   (the paper's Section V methodology).
+//!
+//! Guest misbehaviour — an undecodable word, an out-of-bounds or
+//! misaligned access — surfaces as a typed [`Trap`] carrying the faulting
+//! PC and cycle; a runaway kernel is cut off by the configurable
+//! [`Watchdog`] and reported as a graceful [`StopReason::Watchdog`]
+//! outcome. Neither path panics, which is what the fault-injection
+//! harness ([`crate::fault`]) relies on. [`Machine::checkpoint`] /
+//! [`Machine::restore`] serialize the complete simulation state for
+//! bit-exact resume.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::config::CoreConfig;
-use crate::core::{Retired, TimingCore};
+use crate::core::{CoreState, Retired, TimingCore};
 use crate::counters::{Counters, StallBreakdown};
 use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
 use ppc_isa::exec::MemFault;
+use ppc_isa::reg::CondReg;
 use ppc_isa::{decode, step, CpuState, Instruction, Memory};
 use std::fmt;
+
+/// Which watchdog budget expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// The cycle budget (timed runs only).
+    Cycles,
+    /// The committed-instruction budget.
+    Instructions,
+}
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// The program executed `trap`.
     Halted,
-    /// The instruction budget was exhausted.
+    /// The instruction budget passed to the run call was exhausted.
     Budget,
+    /// A [`Watchdog`] budget expired — the graceful "Timeout" outcome for
+    /// runaway kernels; counters and heatmaps remain readable.
+    Watchdog(WatchdogKind),
 }
 
 /// Result of a run.
@@ -35,38 +59,62 @@ pub struct RunResult {
     pub executed: u64,
     /// Whether the program hit `trap`.
     pub halted: bool,
+    /// Why the run returned.
+    pub stop: StopReason,
 }
 
-/// An error during simulation: a memory fault or an undecodable word at
-/// the PC.
+/// What raised a [`Trap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SimError {
-    /// Data access fault.
+pub enum TrapCause {
+    /// Data access fault (out-of-bounds or misaligned).
     Mem(MemFault),
-    /// The PC points at a word that does not decode.
-    BadInstruction {
-        /// The faulting PC.
-        pc: u32,
-    },
+    /// The PC points at a word that does not decode (or is itself
+    /// misaligned).
+    BadInstruction,
 }
 
-impl fmt::Display for SimError {
+/// A program-check trap: the typed, recoverable outcome of guest
+/// misbehaviour, reported with the faulting PC and the cycle it was
+/// detected at (0 in functional mode, where no clock advances).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trap {
+    /// What went wrong.
+    pub cause: TrapCause,
+    /// The PC of the faulting instruction.
+    pub pc: u32,
+    /// Cycle count when the trap was detected.
+    pub cycle: u64,
+}
+
+impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Mem(m) => write!(f, "{m}"),
-            SimError::BadInstruction { pc } => {
-                write!(f, "undecodable instruction at {pc:#010x}")
+        match self.cause {
+            TrapCause::Mem(m) => {
+                write!(f, "trap at pc {:#010x}, cycle {}: {m}", self.pc, self.cycle)
+            }
+            TrapCause::BadInstruction => {
+                write!(
+                    f,
+                    "trap at pc {:#010x}, cycle {}: undecodable instruction",
+                    self.pc, self.cycle
+                )
             }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for Trap {}
 
-impl From<MemFault> for SimError {
-    fn from(m: MemFault) -> Self {
-        SimError::Mem(m)
-    }
+/// Cycle/instruction watchdog budgets. `None` disables a budget. The
+/// cycle budget is only checked in timed runs (functional mode has no
+/// clock); the instruction budget counts instructions executed across
+/// *all* run calls on the machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Stop once the cycle counter passes this value.
+    pub max_cycles: Option<u64>,
+    /// Stop once the lifetime instruction count passes this value.
+    pub max_instructions: Option<u64>,
 }
 
 /// SMARTS-style sampling parameters.
@@ -97,6 +145,8 @@ pub struct SampledRun {
     pub estimated_cycles: u64,
     /// Whether the program halted.
     pub halted: bool,
+    /// Why the run returned.
+    pub stop: StopReason,
 }
 
 impl SampledRun {
@@ -121,6 +171,66 @@ pub struct ProfileRegion {
 /// `(cycles, instructions)` charged so far.
 type ProfileState = (Vec<ProfileRegion>, Vec<(u64, u64)>);
 
+/// Checkpoint memory-page granularity: all-zero pages are elided.
+const PAGE: usize = 4096;
+
+/// Complete serializable simulation state, produced by
+/// [`Machine::checkpoint`] and reinstalled by [`Machine::restore`].
+/// Resuming from a checkpoint is bit-exact: a run of `N` instructions
+/// equals a run of `k`, a checkpoint/restore, and a run of `N - k`.
+///
+/// The tracer and symbol table are deliberately excluded (live I/O and
+/// presentation-only data); the restoring machine keeps its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// FNV-1a digest of the [`CoreConfig`], guarding against restoring
+    /// into a differently-configured machine.
+    pub config_digest: u64,
+    /// General-purpose registers.
+    pub gpr: [u32; 32],
+    /// Condition register.
+    pub cr: u32,
+    /// Link register.
+    pub lr: u32,
+    /// Count register.
+    pub ctr: u32,
+    /// Program counter.
+    pub pc: u32,
+    /// Simulated memory size in bytes.
+    pub mem_size: usize,
+    /// Sparse memory image: `(base_address, bytes)` per nonzero 4 KiB page.
+    pub pages: Vec<(u32, Vec<u8>)>,
+    /// Base address of the pre-decoded code region.
+    pub code_base: u32,
+    /// Length of the decode table in words (rebuilt on restore by
+    /// re-decoding memory, so injected code faults survive the round
+    /// trip).
+    pub code_len: usize,
+    /// Whether the program had halted.
+    pub halted: bool,
+    /// Lifetime committed-instruction count.
+    pub insns_total: u64,
+    /// Watchdog budgets in effect.
+    pub watchdog: Watchdog,
+    /// Per-function attribution state, if profiling was enabled.
+    pub profile: Option<ProfileState>,
+    /// Last commit cycle charged to a profile region.
+    pub last_commit_seen: u64,
+    /// The timing core's complete microarchitectural state.
+    pub core: CoreState,
+}
+
+/// FNV-1a digest of a core configuration's debug rendering; guards
+/// [`Machine::restore`] against configuration mismatches.
+pub fn config_digest(cfg: &CoreConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A loaded program plus simulation state.
 pub struct Machine {
     cpu: CpuState,
@@ -136,6 +246,9 @@ pub struct Machine {
     last_commit_seen: u64,
     /// Optional symbol table for symbolized heatmaps and trace dumps.
     symbols: Option<SymbolMap>,
+    /// Instructions executed across all run calls (watchdog bookkeeping).
+    insns_total: u64,
+    watchdog: Watchdog,
 }
 
 impl Machine {
@@ -147,10 +260,30 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the image does not fit below `mem_size`.
+    /// Panics if the image does not fit below `mem_size`. Production
+    /// callers that load untrusted layouts should use
+    /// [`Machine::try_new`].
     pub fn new(cfg: CoreConfig, image: &[u8], base: u32, entry: u32, mem_size: usize) -> Self {
+        Self::try_new(cfg, image, base, entry, mem_size)
+            .expect("program image must fit in simulated memory")
+    }
+
+    /// Like [`Machine::new`], but an image that does not fit in memory is
+    /// reported as a typed [`MemFault`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the out-of-bounds [`MemFault`] when the image does not fit
+    /// below `mem_size`.
+    pub fn try_new(
+        cfg: CoreConfig,
+        image: &[u8],
+        base: u32,
+        entry: u32,
+        mem_size: usize,
+    ) -> Result<Self, MemFault> {
         let mut mem = Memory::new(mem_size);
-        mem.write_bytes(base, image).expect("program image must fit in simulated memory");
+        mem.write_bytes(base, image)?;
         let decoded = image
             .chunks(4)
             .map(|c| {
@@ -161,7 +294,7 @@ impl Machine {
                 }
             })
             .collect();
-        Machine {
+        Ok(Machine {
             cpu: CpuState::new(entry),
             mem,
             core: TimingCore::new(cfg),
@@ -171,7 +304,26 @@ impl Machine {
             profile: None,
             last_commit_seen: 0,
             symbols: None,
-        }
+            insns_total: 0,
+            watchdog: Watchdog::default(),
+        })
+    }
+
+    /// Install watchdog budgets (see [`Watchdog`]). A budget that is
+    /// already exceeded makes the next run call return immediately with
+    /// [`StopReason::Watchdog`].
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = watchdog;
+    }
+
+    /// The active watchdog budgets.
+    pub fn watchdog(&self) -> Watchdog {
+        self.watchdog
+    }
+
+    /// Instructions executed across all run calls on this machine.
+    pub fn insns_total(&self) -> u64 {
+        self.insns_total
     }
 
     /// Enable per-function profiling over the given regions. Committed
@@ -309,47 +461,74 @@ impl Machine {
         self.core.take_tracer()
     }
 
+    /// Construct a [`Trap`] at `pc`, stamped with the core's current
+    /// commit cycle (0 when no timed run has advanced the clock).
+    fn trap(&self, cause: TrapCause, pc: u32) -> Trap {
+        Trap { cause, pc, cycle: self.core.counters().cycles }
+    }
+
+    /// Whether the lifetime instruction budget has expired.
+    fn insn_budget_expired(&self) -> bool {
+        self.watchdog.max_instructions.is_some_and(|limit| self.insns_total >= limit)
+    }
+
     #[inline]
-    fn fetch_decode(&mut self, pc: u32) -> Result<Instruction, SimError> {
+    fn fetch_decode(&self, pc: u32) -> Result<Instruction, Trap> {
         let idx = pc.wrapping_sub(self.code_base) as usize / 4;
         if pc.is_multiple_of(4) {
             if let Some(Some(i)) = self.decoded.get(idx) {
                 return Ok(*i);
             }
         }
-        Err(SimError::BadInstruction { pc })
+        Err(self.trap(TrapCause::BadInstruction, pc))
     }
 
     /// Run functionally (no timing) for at most `max_insns` instructions.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on memory faults or undecodable instructions.
-    pub fn run_functional(&mut self, max_insns: u64) -> Result<RunResult, SimError> {
+    /// Returns a [`Trap`] on memory faults or undecodable instructions.
+    pub fn run_functional(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
         let mut executed = 0;
+        let mut stop = StopReason::Budget;
         while executed < max_insns && !self.halted {
+            if self.insn_budget_expired() {
+                stop = StopReason::Watchdog(WatchdogKind::Instructions);
+                break;
+            }
             let pc = self.cpu.pc;
             let insn = self.fetch_decode(pc)?;
-            let ev = step(&mut self.cpu, &mut self.mem, &insn)?;
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
             executed += 1;
+            self.insns_total += 1;
             if ev.halted {
                 self.halted = true;
             }
         }
-        Ok(RunResult { executed, halted: self.halted })
+        if self.halted {
+            stop = StopReason::Halted;
+        }
+        Ok(RunResult { executed, halted: self.halted, stop })
     }
 
     /// Run with full timing for at most `max_insns` instructions.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on memory faults or undecodable instructions.
-    pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, SimError> {
+    /// Returns a [`Trap`] on memory faults or undecodable instructions.
+    pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
         let mut executed = 0;
+        let mut stop = StopReason::Budget;
         while executed < max_insns && !self.halted {
+            if self.insn_budget_expired() {
+                stop = StopReason::Watchdog(WatchdogKind::Instructions);
+                break;
+            }
             let pc = self.cpu.pc;
             let insn = self.fetch_decode(pc)?;
-            let ev = step(&mut self.cpu, &mut self.mem, &insn)?;
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
             let commit = self.core.retire(Retired { insn: &insn, pc, event: ev });
             if let Some((regions, counts)) = &mut self.profile {
                 let delta = commit.saturating_sub(self.last_commit_seen);
@@ -360,11 +539,18 @@ impl Machine {
                 }
             }
             executed += 1;
+            self.insns_total += 1;
             if ev.halted {
                 self.halted = true;
+            } else if self.watchdog.max_cycles.is_some_and(|limit| commit >= limit) {
+                stop = StopReason::Watchdog(WatchdogKind::Cycles);
+                break;
             }
         }
-        Ok(RunResult { executed, halted: self.halted })
+        if self.halted {
+            stop = StopReason::Halted;
+        }
+        Ok(RunResult { executed, halted: self.halted, stop })
     }
 
     /// Run to completion (or `budget` instructions) with SMARTS-style
@@ -372,7 +558,7 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on memory faults or undecodable instructions.
+    /// Returns a [`Trap`] on memory faults or undecodable instructions.
     ///
     /// # Panics
     ///
@@ -382,33 +568,52 @@ impl Machine {
         &mut self,
         sampling: SamplingConfig,
         budget: u64,
-    ) -> Result<SampledRun, SimError> {
+    ) -> Result<SampledRun, Trap> {
         assert!(sampling.detail > 0, "detail window must be non-empty");
         assert!(
             sampling.warmup + sampling.detail <= sampling.period,
             "warm-up plus detail must fit in the sampling period"
         );
         let mut total = 0u64;
+        let mut stop = StopReason::Budget;
         let mut measured = Counters::default();
-        while total < budget && !self.halted {
+        'outer: while total < budget && !self.halted {
             // Fast-forward.
             let ff = sampling.period - sampling.warmup - sampling.detail;
-            total += self.run_functional(ff.min(budget - total))?.executed;
+            let r = self.run_functional(ff.min(budget - total))?;
+            total += r.executed;
+            if let StopReason::Watchdog(_) = r.stop {
+                stop = r.stop;
+                break;
+            }
             if self.halted || total >= budget {
                 break;
             }
             // Timed warm-up: run with timing but discard the counter delta.
             let before_warm = self.core.counters();
-            total += self.run_timed(sampling.warmup.min(budget - total))?.executed;
+            let r = self.run_timed(sampling.warmup.min(budget - total))?;
+            total += r.executed;
             let _ = before_warm; // warm-up deltas are deliberately dropped
+            if let StopReason::Watchdog(_) = r.stop {
+                stop = r.stop;
+                break;
+            }
             if self.halted || total >= budget {
                 break;
             }
             // Measured window.
             let before = self.core.counters();
-            total += self.run_timed(sampling.detail.min(budget - total))?.executed;
+            let r = self.run_timed(sampling.detail.min(budget - total))?;
+            total += r.executed;
             let after = self.core.counters();
             measured.merge(&delta(&after, &before));
+            if let StopReason::Watchdog(_) = r.stop {
+                stop = r.stop;
+                break 'outer;
+            }
+        }
+        if self.halted {
+            stop = StopReason::Halted;
         }
         let cpi = if measured.instructions == 0 {
             1.0
@@ -420,7 +625,149 @@ impl Machine {
             measured,
             total_instructions: total,
             halted: self.halted,
+            stop,
         })
+    }
+
+    // ---- Fault-injection hooks (see `crate::fault`) -------------------
+
+    /// Flip one bit of the instruction word at `pc`, updating the backing
+    /// memory *and* the pre-decoded table together (the decode table is
+    /// the authority at fetch time, so both must agree). Returns `false`
+    /// when `pc` is outside the code region.
+    pub fn flip_code_bit(&mut self, pc: u32, bit: u32) -> bool {
+        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+        if !pc.is_multiple_of(4) || idx >= self.decoded.len() {
+            return false;
+        }
+        let addr = self.code_base.wrapping_add((idx as u32) * 4);
+        let Ok(word) = self.mem.load_u32(addr) else {
+            return false;
+        };
+        let word = word ^ (1 << (bit & 31));
+        if self.mem.store_u32(addr, word).is_err() {
+            return false;
+        }
+        self.decoded[idx] = decode(word).ok();
+        true
+    }
+
+    /// Flip one bit of a data byte (out-of-range addresses are ignored).
+    /// Flipping bytes inside the code region only affects data reads —
+    /// fetch goes through the decode table; use
+    /// [`Machine::flip_code_bit`] for instruction faults.
+    pub fn flip_data_bit(&mut self, addr: u32, bit: u32) {
+        self.mem.flip_bit(addr, bit);
+    }
+
+    /// Flip one bit of an architectural register. `reg % 35` selects
+    /// GPR0–31, then CR, LR, CTR.
+    pub fn flip_reg_bit(&mut self, reg: u64, bit: u32) {
+        let mask = 1u32 << (bit & 31);
+        match reg % 35 {
+            r @ 0..=31 => self.cpu.gpr[r as usize] ^= mask,
+            32 => self.cpu.cr = CondReg(self.cpu.cr.0 ^ mask),
+            33 => self.cpu.lr ^= mask,
+            _ => self.cpu.ctr ^= mask,
+        }
+    }
+
+    /// Corrupt one branch-predictor counter bit (see
+    /// [`TimingCore::corrupt_predictor`]).
+    pub fn corrupt_predictor(&mut self, selector: u64) {
+        self.core.corrupt_predictor(selector);
+    }
+
+    /// Invalidate one cache line across the hierarchy (see
+    /// [`TimingCore::drop_cache_line`]). Returns whether a valid line was
+    /// dropped.
+    pub fn drop_cache_line(&mut self, selector: u64) -> bool {
+        self.core.drop_cache_line(selector)
+    }
+
+    // ---- Checkpoint / resume ------------------------------------------
+
+    /// Capture the complete simulation state. See [`Checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        let bytes = self.mem.bytes();
+        let mut pages = Vec::new();
+        for (i, page) in bytes.chunks(PAGE).enumerate() {
+            if page.iter().any(|&b| b != 0) {
+                pages.push(((i * PAGE) as u32, page.to_vec()));
+            }
+        }
+        Checkpoint {
+            config_digest: config_digest(self.core.config()),
+            gpr: self.cpu.gpr,
+            cr: self.cpu.cr.0,
+            lr: self.cpu.lr,
+            ctr: self.cpu.ctr,
+            pc: self.cpu.pc,
+            mem_size: bytes.len(),
+            pages,
+            code_base: self.code_base,
+            code_len: self.decoded.len(),
+            halted: self.halted,
+            insns_total: self.insns_total,
+            watchdog: self.watchdog,
+            profile: self.profile.clone(),
+            last_commit_seen: self.last_commit_seen,
+            core: self.core.snapshot(),
+        }
+    }
+
+    /// Reinstall a checkpoint taken from an identically-configured
+    /// machine. The decode table is rebuilt by re-decoding the restored
+    /// memory image. The tracer and symbol table are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration digest, memory size, or
+    /// any microarchitectural table shape does not match; the machine is
+    /// left in an unspecified (but non-panicking) state on error.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), String> {
+        let digest = config_digest(self.core.config());
+        if ck.config_digest != digest {
+            return Err(format!(
+                "checkpoint config digest {:#018x} does not match machine {digest:#018x}",
+                ck.config_digest
+            ));
+        }
+        if ck.mem_size != self.mem.size() {
+            return Err(format!(
+                "checkpoint memory size {} does not match machine {}",
+                ck.mem_size,
+                self.mem.size()
+            ));
+        }
+        let mem = self.mem.bytes_mut();
+        mem.fill(0);
+        for (addr, data) in &ck.pages {
+            let start = *addr as usize;
+            let end = start.checked_add(data.len()).ok_or("checkpoint page overflows")?;
+            if end > mem.len() {
+                return Err(format!("checkpoint page at {addr:#x} exceeds memory"));
+            }
+            mem[start..end].copy_from_slice(data);
+        }
+        self.cpu.gpr = ck.gpr;
+        self.cpu.cr = CondReg(ck.cr);
+        self.cpu.lr = ck.lr;
+        self.cpu.ctr = ck.ctr;
+        self.cpu.pc = ck.pc;
+        self.code_base = ck.code_base;
+        self.decoded = (0..ck.code_len)
+            .map(|i| {
+                let addr = ck.code_base.wrapping_add((i as u32) * 4);
+                self.mem.load_u32(addr).ok().and_then(|w| decode(w).ok())
+            })
+            .collect();
+        self.halted = ck.halted;
+        self.insns_total = ck.insns_total;
+        self.watchdog = ck.watchdog;
+        self.profile = ck.profile.clone();
+        self.last_commit_seen = ck.last_commit_seen;
+        self.core.restore(&ck.core)
     }
 }
 
@@ -474,6 +821,7 @@ fn delta(after: &Counters, before: &Counters) -> Counters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ppc_isa::Gpr;
@@ -538,15 +886,149 @@ loop:
     fn bad_instruction_reports_pc() {
         let mut m = Machine::new(CoreConfig::power5(), &[0, 0, 0, 0], 0x1000, 0x1000, 1 << 16);
         let err = m.run_timed(10).unwrap_err();
-        assert_eq!(err, SimError::BadInstruction { pc: 0x1000 });
+        assert_eq!(err.cause, TrapCause::BadInstruction);
+        assert_eq!(err.pc, 0x1000);
+        assert!(format!("{err}").contains("0x00001000"));
     }
 
     #[test]
-    fn memory_fault_surfaces() {
-        let mut m = machine("entry:\n lwz r3, 0(r4)\n trap\n");
+    fn memory_fault_surfaces_with_pc_and_cycle() {
+        let mut m = machine("entry:\n li r3, 1\n lwz r3, 0(r4)\n trap\n");
         m.cpu_mut().gpr[4] = 0xFFFF_0000; // out of the 1 MiB memory
         let err = m.run_timed(10).unwrap_err();
-        assert!(matches!(err, SimError::Mem(_)));
+        assert!(matches!(err.cause, TrapCause::Mem(_)));
+        assert_eq!(err.pc, 0x1004);
+        // One instruction committed before the fault; the clock advanced.
+        assert!(err.cycle > 0, "trap cycle not stamped");
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_image_without_panicking() {
+        let image = vec![0u8; 64];
+        let err = Machine::try_new(CoreConfig::power5(), &image, 0xFFF0, 0xFFF0, 1 << 12);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn instruction_watchdog_times_out_gracefully() {
+        let mut m = machine(COUNT_LOOP);
+        m.set_watchdog(Watchdog { max_instructions: Some(500), ..Watchdog::default() });
+        let r = m.run_timed(u64::MAX).unwrap();
+        assert_eq!(r.stop, StopReason::Watchdog(WatchdogKind::Instructions));
+        assert!(!r.halted);
+        assert_eq!(r.executed, 500);
+        assert_eq!(m.insns_total(), 500);
+        // Counters remain readable — this is the partial-report path.
+        assert!(m.counters().instructions >= 500);
+        // Watchdog also guards functional runs.
+        let r2 = m.run_functional(u64::MAX).unwrap();
+        assert_eq!(r2.stop, StopReason::Watchdog(WatchdogKind::Instructions));
+        assert_eq!(r2.executed, 0);
+    }
+
+    #[test]
+    fn cycle_watchdog_times_out_gracefully() {
+        let mut m = machine(COUNT_LOOP);
+        m.set_watchdog(Watchdog { max_cycles: Some(300), ..Watchdog::default() });
+        let r = m.run_timed(u64::MAX).unwrap();
+        assert_eq!(r.stop, StopReason::Watchdog(WatchdogKind::Cycles));
+        assert!(!r.halted);
+        assert!(m.counters().cycles >= 300);
+        // Clearing the budget lets the program finish.
+        m.set_watchdog(Watchdog::default());
+        let r2 = m.run_timed(u64::MAX).unwrap();
+        assert_eq!(r2.stop, StopReason::Halted);
+        assert_eq!(m.cpu().reg(Gpr(3)), 1000);
+    }
+
+    #[test]
+    fn sampled_run_reports_watchdog_stop() {
+        let mut m = machine(COUNT_LOOP);
+        m.set_watchdog(Watchdog { max_instructions: Some(100), ..Watchdog::default() });
+        let s =
+            m.run_sampled(SamplingConfig { period: 50, warmup: 10, detail: 10 }, u64::MAX).unwrap();
+        assert!(!s.halted);
+        assert_eq!(s.stop, StopReason::Watchdog(WatchdogKind::Instructions));
+        assert!(s.total_instructions <= 100);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_exact() {
+        // Gold: run to completion in one go.
+        let mut gold = machine(COUNT_LOOP);
+        gold.set_stall_site_profiling(true);
+        let rg = gold.run_timed(u64::MAX).unwrap();
+
+        // Split: run 700 instructions, checkpoint, restore into a fresh
+        // machine, finish there.
+        let mut first = machine(COUNT_LOOP);
+        first.set_stall_site_profiling(true);
+        first.run_timed(700).unwrap();
+        let ck = first.checkpoint();
+
+        let mut resumed = machine(COUNT_LOOP);
+        resumed.set_stall_site_profiling(true);
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.insns_total(), 700);
+        let rr = resumed.run_timed(u64::MAX).unwrap();
+
+        assert_eq!(rg.executed, 700 + rr.executed);
+        assert_eq!(gold.counters(), resumed.counters());
+        assert_eq!(gold.cpu().pc, resumed.cpu().pc);
+        assert_eq!(gold.cpu().gpr, resumed.cpu().gpr);
+        assert_eq!(gold.stall_sites(), resumed.stall_sites());
+        assert_eq!(gold.checkpoint(), resumed.checkpoint());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_machines() {
+        let m = machine(COUNT_LOOP);
+        let ck = m.checkpoint();
+
+        // Different core configuration.
+        let prog = ppc_asm::assemble(COUNT_LOOP, 0x1000).unwrap();
+        let mut other =
+            Machine::new(CoreConfig::power5().with_fxus(4), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+        assert!(other.restore(&ck).is_err());
+
+        // Different memory size.
+        let mut small = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 16);
+        assert!(small.restore(&ck).is_err());
+    }
+
+    #[test]
+    fn checkpoint_preserves_injected_code_faults() {
+        // Clobber an instruction, checkpoint, restore elsewhere: the
+        // restored machine must trap at the same PC (decode table is
+        // rebuilt from the mutated memory image).
+        let mut m = machine(COUNT_LOOP);
+        assert!(m.flip_code_bit(0x1000, 31)); // li -> something else (or invalid)
+        let ck = m.checkpoint();
+        let mut n = machine(COUNT_LOOP);
+        n.restore(&ck).unwrap();
+        let a = m.run_timed(10);
+        let b = n.run_timed(10);
+        assert_eq!(a, b, "original and restored machines diverged on a code fault");
+    }
+
+    #[test]
+    fn flip_code_bit_outside_code_region_is_refused() {
+        let mut m = machine(COUNT_LOOP);
+        assert!(!m.flip_code_bit(0x9_0000, 0));
+        assert!(!m.flip_code_bit(0x1002, 0)); // misaligned PC
+    }
+
+    #[test]
+    fn flip_reg_bit_touches_named_registers() {
+        let mut m = machine(COUNT_LOOP);
+        m.flip_reg_bit(3, 0);
+        assert_eq!(m.cpu().gpr[3], 1);
+        m.flip_reg_bit(33, 4); // LR
+        assert_eq!(m.cpu().lr, 16);
+        m.flip_reg_bit(34, 1); // CTR
+        assert_eq!(m.cpu().ctr, 2);
+        m.flip_reg_bit(32, 0); // CR
+        assert_eq!(m.cpu().cr.0, 1);
     }
 
     #[test]

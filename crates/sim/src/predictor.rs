@@ -37,12 +37,69 @@ pub enum PredictorKind {
     },
 }
 
+/// Serializable predictor state: the component counter tables (in a
+/// per-kind canonical order) plus the global history register. Obtained
+/// from [`DirectionPredictor::snapshot`] and reinstalled with
+/// [`DirectionPredictor::restore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictorState {
+    /// Counter tables: `[bimodal]`, `[gshare]`, or
+    /// `[bimodal, gshare, selector]` depending on the kind. Entries are
+    /// 2-bit saturating counters (0..=3).
+    pub tables: Vec<Vec<u8>>,
+    /// Global branch history (0 for history-free predictors).
+    pub history: u32,
+}
+
 /// A direction predictor: predict at fetch, update at resolve.
 pub trait DirectionPredictor {
     /// Predict whether the conditional branch at `pc` will be taken.
     fn predict(&self, pc: u32) -> bool;
     /// Tell the predictor the actual outcome.
     fn update(&mut self, pc: u32, taken: bool);
+    /// Export the internal tables for checkpointing.
+    fn snapshot(&self) -> PredictorState {
+        PredictorState::default()
+    }
+    /// Reinstall a state produced by [`DirectionPredictor::snapshot`] on a
+    /// predictor of the same kind and geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the table count, any table length, or any
+    /// counter value does not fit this predictor.
+    fn restore(&mut self, state: &PredictorState) -> Result<(), String> {
+        if state.tables.is_empty() {
+            Ok(())
+        } else {
+            Err("this predictor kind holds no tables".into())
+        }
+    }
+    /// Flip one low-order counter bit, selected by `selector` (fault
+    /// injection). Counters stay in 0..=3, so a corrupted predictor can
+    /// mispredict but never crash the model. No-op for stateless kinds.
+    fn corrupt(&mut self, _selector: u64) {}
+}
+
+/// Validate and copy one snapshot table into a live table.
+fn restore_table(dst: &mut [u8], src: &[u8], what: &str) -> Result<(), String> {
+    if dst.len() != src.len() {
+        return Err(format!("{what} table length {} != expected {}", src.len(), dst.len()));
+    }
+    if let Some(bad) = src.iter().find(|&&c| c > 3) {
+        return Err(format!("{what} table holds counter {bad} outside 0..=3"));
+    }
+    dst.copy_from_slice(src);
+    Ok(())
+}
+
+/// Flip bit 0 or 1 of one table entry, keeping the counter in 0..=3.
+fn corrupt_table(table: &mut [u8], selector: u64) {
+    if table.is_empty() {
+        return;
+    }
+    let i = (selector as usize / 2) % table.len();
+    table[i] ^= 1 << (selector & 1);
 }
 
 #[inline]
@@ -88,6 +145,21 @@ impl DirectionPredictor for Bimodal {
         let i = self.index(pc);
         ctr_update(&mut self.table[i], taken);
     }
+
+    fn snapshot(&self) -> PredictorState {
+        PredictorState { tables: vec![self.table.clone()], history: 0 }
+    }
+
+    fn restore(&mut self, state: &PredictorState) -> Result<(), String> {
+        let [t] = state.tables.as_slice() else {
+            return Err(format!("bimodal expects 1 table, got {}", state.tables.len()));
+        };
+        restore_table(&mut self.table, t, "bimodal")
+    }
+
+    fn corrupt(&mut self, selector: u64) {
+        corrupt_table(&mut self.table, selector);
+    }
 }
 
 /// Gshare: global history XORed into the PC index.
@@ -126,6 +198,23 @@ impl DirectionPredictor for Gshare {
         let i = self.index(pc);
         ctr_update(&mut self.table[i], taken);
         self.history = ((self.history << 1) | taken as u32) & self.history_mask;
+    }
+
+    fn snapshot(&self) -> PredictorState {
+        PredictorState { tables: vec![self.table.clone()], history: self.history }
+    }
+
+    fn restore(&mut self, state: &PredictorState) -> Result<(), String> {
+        let [t] = state.tables.as_slice() else {
+            return Err(format!("gshare expects 1 table, got {}", state.tables.len()));
+        };
+        restore_table(&mut self.table, t, "gshare")?;
+        self.history = state.history & self.history_mask;
+        Ok(())
+    }
+
+    fn corrupt(&mut self, selector: u64) {
+        corrupt_table(&mut self.table, selector);
     }
 }
 
@@ -177,6 +266,37 @@ impl DirectionPredictor for Tournament {
         }
         self.bimodal.update(pc, taken);
         self.gshare.update(pc, taken);
+    }
+
+    fn snapshot(&self) -> PredictorState {
+        PredictorState {
+            tables: vec![
+                self.bimodal.table.clone(),
+                self.gshare.table.clone(),
+                self.selector.clone(),
+            ],
+            history: self.gshare.history,
+        }
+    }
+
+    fn restore(&mut self, state: &PredictorState) -> Result<(), String> {
+        let [b, g, s] = state.tables.as_slice() else {
+            return Err(format!("tournament expects 3 tables, got {}", state.tables.len()));
+        };
+        restore_table(&mut self.bimodal.table, b, "tournament/bimodal")?;
+        restore_table(&mut self.gshare.table, g, "tournament/gshare")?;
+        restore_table(&mut self.selector, s, "tournament/selector")?;
+        self.gshare.history = state.history & self.gshare.history_mask;
+        Ok(())
+    }
+
+    fn corrupt(&mut self, selector: u64) {
+        // Spread corruption across the three tables.
+        match selector % 3 {
+            0 => corrupt_table(&mut self.bimodal.table, selector / 3),
+            1 => corrupt_table(&mut self.gshare.table, selector / 3),
+            _ => corrupt_table(&mut self.selector, selector / 3),
+        }
     }
 }
 
@@ -236,6 +356,44 @@ impl ReturnStack {
         self.depth -= 1;
         Some(v)
     }
+
+    /// Export the stack for checkpointing.
+    pub fn snapshot(&self) -> RasState {
+        RasState { stack: self.stack.clone(), top: self.top, depth: self.depth }
+    }
+
+    /// Reinstall a snapshot taken from a stack of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's geometry does not fit.
+    pub fn restore(&mut self, state: &RasState) -> Result<(), String> {
+        if state.stack.len() != self.capacity {
+            return Err(format!(
+                "link-stack snapshot has {} entries, machine has {}",
+                state.stack.len(),
+                self.capacity
+            ));
+        }
+        if state.top >= self.capacity || state.depth > self.capacity {
+            return Err("link-stack snapshot top/depth out of range".into());
+        }
+        self.stack.copy_from_slice(&state.stack);
+        self.top = state.top;
+        self.depth = state.depth;
+        Ok(())
+    }
+}
+
+/// Serializable [`ReturnStack`] state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RasState {
+    /// The circular buffer of return addresses.
+    pub stack: Vec<u32>,
+    /// Index of the most recent push.
+    pub top: usize,
+    /// Number of live entries.
+    pub depth: usize,
 }
 
 #[cfg(test)]
@@ -329,6 +487,71 @@ mod tests {
         assert!(p.predict(0));
         p.update(0, false);
         assert!(p.predict(0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_every_kind() {
+        let kinds = [
+            PredictorKind::StaticTaken,
+            PredictorKind::Bimodal { bits: 6 },
+            PredictorKind::Gshare { bits: 6, history_bits: 5 },
+            PredictorKind::Tournament {
+                bimodal_bits: 6,
+                gshare_bits: 6,
+                history_bits: 5,
+                selector_bits: 6,
+            },
+        ];
+        let mut x = 7u64;
+        for kind in kinds {
+            let mut trained = build(kind);
+            for _ in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let pc = 0x100 + 4 * ((x >> 20) as u32 % 32);
+                trained.update(pc, (x >> 40) & 1 == 1);
+            }
+            let mut copy = build(kind);
+            copy.restore(&trained.snapshot()).unwrap();
+            for pc in (0x100..0x180).step_by(4) {
+                assert_eq!(copy.predict(pc), trained.predict(pc), "{kind:?} diverged at {pc:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let trained = build(PredictorKind::Tournament {
+            bimodal_bits: 6,
+            gshare_bits: 6,
+            history_bits: 5,
+            selector_bits: 6,
+        });
+        let mut b = build(PredictorKind::Bimodal { bits: 6 });
+        assert!(b.restore(&trained.snapshot()).is_err());
+        let mut small = build(PredictorKind::Bimodal { bits: 4 });
+        assert!(small.restore(&b.snapshot()).is_err());
+        let mut bad = b.snapshot();
+        bad.tables[0][0] = 9; // counter out of range
+        assert!(b.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn corruption_keeps_counters_architectural() {
+        let mut p = build(PredictorKind::Tournament {
+            bimodal_bits: 5,
+            gshare_bits: 5,
+            history_bits: 4,
+            selector_bits: 5,
+        });
+        for sel in 0..1000u64 {
+            p.corrupt(sel.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        // Still usable, and every counter still saturates correctly.
+        for i in 0..200u32 {
+            p.update(0x100 + 4 * (i % 16), i % 3 == 0);
+        }
+        let s = p.snapshot();
+        assert!(s.tables.iter().flatten().all(|&c| c <= 3));
     }
 
     #[test]

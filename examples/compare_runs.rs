@@ -8,14 +8,17 @@
 //! flagged) by more than the tolerance.
 //!
 //! ```text
-//! cargo run --release --example compare_runs -- before.json after.json [tolerance]
+//! cargo run --release --example compare_runs -- before.json after.json [tolerance] [--allow-degraded]
 //! cargo run --release --example compare_runs -- --demo
 //! ```
 //!
 //! The default tolerance is 0.02 (2 %). Exits with status 1 when any
-//! regression is found, so the comparison can gate CI. `--demo` generates
-//! a Table-I-style report pair in memory, injects an IPC regression, and
-//! shows the resulting diff.
+//! regression is found, so the comparison can gate CI. A report marked
+//! `"degraded": true` (some workload failed while the suite completed) is
+//! also a hard failure unless `--allow-degraded` is passed — degraded
+//! metrics are partial and must not silently pass a gate. `--demo`
+//! generates a Table-I-style report pair in memory, injects an IPC
+//! regression, and shows the resulting diff.
 
 use bioarch::report::{compare_reports, Comparison, Direction, Report};
 use std::process::ExitCode;
@@ -72,13 +75,16 @@ fn demo() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--demo") {
         return demo();
     }
+    let allow_degraded = args.iter().any(|a| a == "--allow-degraded");
+    args.retain(|a| a != "--allow-degraded");
     let (before_path, after_path) = match (args.first(), args.get(1)) {
         (Some(b), Some(a)) => (b.as_str(), a.as_str()),
-        _ => die("usage: compare_runs <before.json> <after.json> [tolerance] | --demo"),
+        _ => die("usage: compare_runs <before.json> <after.json> [tolerance] [--allow-degraded] \
+             | --demo"),
     };
     let tolerance: f64 = match args.get(2) {
         Some(t) => t.parse().unwrap_or_else(|_| die(&format!("bad tolerance {t:?}"))),
@@ -86,6 +92,18 @@ fn main() -> ExitCode {
     };
     let before = load(before_path);
     let after = load(after_path);
+    for (path, report) in [(before_path, &before), (after_path, &after)] {
+        if report.is_degraded() {
+            eprintln!("{path} is degraded:");
+            for failure in &report.failures {
+                eprintln!("  {failure}");
+            }
+            if !allow_degraded {
+                eprintln!("refusing to compare (pass --allow-degraded to override)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if before.experiment != after.experiment {
         eprintln!(
             "warning: comparing different experiments ({} vs {})",

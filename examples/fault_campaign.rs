@@ -1,0 +1,264 @@
+//! Seeded fault-injection campaign over the four DP kernels.
+//!
+//! For each application the campaign builds the baseline workload once,
+//! checkpoints the pristine machine, then for every fault in a seeded
+//! [`FaultPlan`] restores the checkpoint, runs to the fault's injection
+//! point, applies the corruption, and runs to completion under watchdog
+//! budgets. Every fault must be classified:
+//!
+//! * **detected** — the run trapped (typed trap with PC and cycle), or a
+//!   watchdog budget cut off a runaway (counted separately as *timeout*
+//!   but treated as detected);
+//! * **masked** — the run completed and the output matches the golden
+//!   model;
+//! * **contained** — the run completed with wrong output, but the
+//!   counter/stall-partition invariants still hold;
+//! * **uncontained** — anything else: an invariant violation (a panic or
+//!   hang would abort the process and also fail the campaign).
+//!
+//! ```text
+//! cargo run --release --example fault_campaign -- [--faults N] [--seed S]
+//! ```
+//!
+//! Defaults: 1000 faults total (split across the four apps), seed 7.
+//! Exits with status 1 when any fault is uncontained, so CI can gate on
+//! the containment contract.
+
+use bioarch::apps::{App, Scale, Variant, Workload};
+use bioarch::report::Table;
+use power5_sim::fault::{check_invariants, check_stall_partition, FaultKind, FaultPlan};
+use power5_sim::machine::{Checkpoint, Machine};
+use power5_sim::{CoreConfig, FaultSpec, InjectionWindow, StopReason, Watchdog};
+use std::process::ExitCode;
+
+/// What happened to one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Detected,
+    Timeout,
+    Masked,
+    Contained,
+    Uncontained,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    injected: u64,
+    detected: u64,
+    timeout: u64,
+    masked: u64,
+    contained: u64,
+    uncontained: u64,
+}
+
+impl Tally {
+    fn record(&mut self, outcome: Outcome) {
+        self.injected += 1;
+        match outcome {
+            Outcome::Detected => self.detected += 1,
+            Outcome::Timeout => self.timeout += 1,
+            Outcome::Masked => self.masked += 1,
+            Outcome::Contained => self.contained += 1,
+            Outcome::Uncontained => self.uncontained += 1,
+        }
+    }
+
+    fn add(&mut self, other: &Tally) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.timeout += other.timeout;
+        self.masked += other.masked;
+        self.contained += other.contained;
+        self.uncontained += other.uncontained;
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fault_campaign: {msg}");
+    std::process::exit(2);
+}
+
+/// Run one fault against a restored pristine machine; see the module docs
+/// for the classification contract.
+fn run_one(
+    m: &mut Machine,
+    pristine: &Checkpoint,
+    fault: &FaultSpec,
+    watchdog: Watchdog,
+    out_addr: u32,
+    out_len: usize,
+    golden: &[i32],
+) -> Result<Outcome, String> {
+    m.restore(pristine).map_err(|e| format!("restore failed: {e}"))?;
+    m.set_watchdog(watchdog);
+
+    // Phase 1: run cleanly to the injection point.
+    let to_fault =
+        m.run_timed(fault.at_instruction).map_err(|t| format!("clean prefix trapped: {t}"))?;
+    if let StopReason::Watchdog(_) = to_fault.stop {
+        return Err("clean prefix hit the watchdog".into());
+    }
+
+    fault.apply(m);
+
+    // Phase 2: run the corrupted machine to completion (or cut-off).
+    let outcome = match m.run_timed(u64::MAX) {
+        Err(_trap) => Outcome::Detected,
+        Ok(r) => match r.stop {
+            StopReason::Watchdog(_) => Outcome::Timeout,
+            StopReason::Budget | StopReason::Halted => {
+                // The run finished: it must still satisfy the counter and
+                // stall-partition invariants to count as contained.
+                let counters = m.counters();
+                let sites = m.stall_sites();
+                if let Err(why) = check_invariants(&counters)
+                    .and_then(|()| check_stall_partition(&counters.stalls, &sites))
+                {
+                    eprintln!("  uncontained {fault:?}: {why}");
+                    Outcome::Uncontained
+                } else {
+                    match m.mem().read_i32s(out_addr, out_len) {
+                        Ok(out) if out == golden => Outcome::Masked,
+                        Ok(_) => Outcome::Contained,
+                        // Output vector unreadable counts as detected-at-
+                        // readout: the harness saw the corruption.
+                        Err(_) => Outcome::Detected,
+                    }
+                }
+            }
+        },
+    };
+    Ok(outcome)
+}
+
+fn campaign(app: App, seed: u64, faults: usize) -> Result<Tally, String> {
+    let config = CoreConfig::power5();
+    let wl = Workload::new(app, Scale::Test, seed);
+    let mut prepared =
+        wl.prepare(Variant::Baseline, &config).map_err(|e| format!("{app}: build failed: {e}"))?;
+    prepared.machine.set_stall_site_profiling(true);
+    let pristine = prepared.machine.checkpoint();
+
+    // Clean reference run: establishes the injection window and the
+    // watchdog budgets (generous multiples of the healthy run).
+    let result = prepared
+        .machine
+        .run_timed(u64::MAX)
+        .map_err(|t| format!("{app}: clean run trapped: {t}"))?;
+    if !result.halted {
+        return Err(format!("{app}: clean run did not halt"));
+    }
+    let clean_out = prepared
+        .machine
+        .mem()
+        .read_i32s(prepared.out_addr, prepared.out_len)
+        .map_err(|e| format!("{app}: cannot read clean output: {e}"))?;
+    if clean_out != prepared.golden {
+        return Err(format!("{app}: clean run does not match the golden model"));
+    }
+    let clean = prepared.machine.counters();
+    let watchdog = Watchdog {
+        max_cycles: Some(clean.cycles * 4 + 200_000),
+        max_instructions: Some(clean.instructions * 3 + 50_000),
+    };
+    let window = InjectionWindow {
+        code_base: prepared.code_base,
+        code_len: prepared.code_len,
+        data_base: prepared.data_base,
+        data_len: prepared.data_len,
+        max_instruction: clean.instructions,
+    };
+
+    let plan = FaultPlan::generate(seed ^ (app as u64).wrapping_mul(0x9E37_79B9), faults, &window);
+    let mut tally = Tally::default();
+    for fault in &plan.faults {
+        let outcome = run_one(
+            &mut prepared.machine,
+            &pristine,
+            fault,
+            watchdog,
+            prepared.out_addr,
+            prepared.out_len,
+            &prepared.golden,
+        )
+        .map_err(|e| format!("{app}: {e}"))?;
+        tally.record(outcome);
+    }
+    Ok(tally)
+}
+
+fn main() -> ExitCode {
+    let mut faults_total = 1000usize;
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--faults" => {
+                let v = args.next().unwrap_or_else(|| die("--faults needs a value"));
+                faults_total = v.parse().unwrap_or_else(|_| die(&format!("bad fault count {v:?}")));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| die("--seed needs a value"));
+                seed = v.parse().unwrap_or_else(|_| die(&format!("bad seed {v:?}")));
+            }
+            other => die(&format!("unknown argument {other:?} (try --faults N / --seed S)")),
+        }
+    }
+    let apps = App::all();
+    let per_app = faults_total.div_ceil(apps.len());
+    println!(
+        "fault campaign: {} faults per app x {} apps, seed {seed}, kinds: {}",
+        per_app,
+        apps.len(),
+        FaultKind::ALL.map(FaultKind::name).join(", ")
+    );
+
+    let mut table = Table::new(vec![
+        "App".into(),
+        "Injected".into(),
+        "Detected".into(),
+        "Timeout".into(),
+        "Masked".into(),
+        "Contained".into(),
+        "Uncontained".into(),
+    ]);
+    let mut total = Tally::default();
+    for app in apps {
+        let tally = match campaign(app, seed, per_app) {
+            Ok(t) => t,
+            Err(e) => die(&e),
+        };
+        table.row(vec![
+            app.name().into(),
+            tally.injected.to_string(),
+            tally.detected.to_string(),
+            tally.timeout.to_string(),
+            tally.masked.to_string(),
+            tally.contained.to_string(),
+            tally.uncontained.to_string(),
+        ]);
+        total.add(&tally);
+    }
+    table.row(vec![
+        "TOTAL".into(),
+        total.injected.to_string(),
+        total.detected.to_string(),
+        total.timeout.to_string(),
+        total.masked.to_string(),
+        total.contained.to_string(),
+        total.uncontained.to_string(),
+    ]);
+    println!("\n{}", table.render());
+
+    if total.uncontained > 0 {
+        println!("{} uncontained fault(s): containment contract violated.", total.uncontained);
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "All {} faults detected, masked, or contained; no panics, hangs, or invariant \
+             violations.",
+            total.injected
+        );
+        ExitCode::SUCCESS
+    }
+}

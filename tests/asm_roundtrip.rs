@@ -52,6 +52,31 @@ fn main(v: ptr, n: int) -> int {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_of_arbitrary_words_never_panics(word in any::<u32>()) {
+        // Every u32 is either a valid instruction or a typed DecodeError;
+        // the simulator relies on this to turn garbage fetches (e.g. after
+        // an injected bit-flip) into recoverable traps instead of panics.
+        let _ = ppc_isa::decode(word);
+    }
+
+    #[test]
+    fn decode_is_the_inverse_of_encode(word in any::<u32>()) {
+        // For any word that decodes, re-encoding the instruction and
+        // decoding again must reproduce the same instruction exactly.
+        if let Ok(insn) = ppc_isa::decode(word) {
+            let reencoded = ppc_isa::encode(&insn);
+            let back = ppc_isa::decode(reencoded).expect("re-encoded instruction decodes");
+            prop_assert_eq!(&insn, &back, "decode(encode(insn)) != insn");
+            // Encoding is a fixed point after one normalization pass.
+            prop_assert_eq!(ppc_isa::encode(&back), reencoded);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]

@@ -1,0 +1,140 @@
+//! Robustness contract: faults, watchdogs, and per-app failures must
+//! degrade gracefully — typed errors, schema-valid `degraded` reports,
+//! and a suite that always completes — never a panic, hang, or abort.
+
+use bioarch::apps::{App, RunError, Scale, Variant, Workload};
+use bioarch::checkpoint;
+use bioarch::experiments::Study;
+use bioarch::report::{Report, REPORT_SCHEMA};
+use power5_sim::fault::{check_invariants, check_stall_partition, FaultPlan, InjectionWindow};
+use power5_sim::{CoreConfig, StopReason, Watchdog};
+
+/// A watchdog-expired run returns a graceful `Timeout` carrying partial
+/// counters and a stall profile, and that failure renders as a
+/// schema-valid `degraded: true` report.
+#[test]
+fn watchdog_timeout_degrades_instead_of_hanging() {
+    let wl = Workload::new(App::Fasta, Scale::Test, 42);
+    let tight = Watchdog { max_cycles: Some(2_000), max_instructions: None };
+    let err = wl
+        .run_with_watchdog(Variant::Baseline, &CoreConfig::power5(), tight)
+        .expect_err("a 2k-cycle budget must expire mid-kernel");
+    let RunError::Timeout { kind, partial } = &err else {
+        panic!("expected Timeout, got {err:?}");
+    };
+    // The partial run is a usable heatmap, not a husk: counters advanced
+    // and the budget that fired is identified.
+    assert!(partial.counters.cycles > 0 && partial.counters.cycles <= 2_000 + 64);
+    assert!(partial.counters.instructions > 0);
+    let _ = kind;
+
+    // The failure round-trips through the report schema as degraded.
+    let mut report = Report::new("fig1");
+    report.degrade(format!("fasta baseline: {err}"));
+    let text = report.render_json();
+    assert!(text.contains(REPORT_SCHEMA));
+    let parsed = Report::parse(&text).expect("degraded report parses");
+    assert!(parsed.is_degraded());
+    assert!(parsed.failures[0].contains("watchdog"));
+}
+
+/// With an impossible budget every experiment fails, yet `run_suite`
+/// still completes and yields one well-formed degraded document per
+/// table/figure.
+#[test]
+fn suite_completes_with_degraded_reports_under_per_app_failures() {
+    let mut study = Study::new(Scale::Test, 42);
+    study.set_watchdog(Watchdog { max_cycles: Some(500), max_instructions: None });
+    let suite = study.run_suite();
+    assert_eq!(suite.reports.len(), 8, "every experiment must produce a document");
+    assert!(suite.is_degraded());
+    assert!(!suite.failures().is_empty());
+    for report in &suite.reports {
+        assert!(report.is_degraded(), "{}: budget made success impossible", report.experiment);
+        let parsed = Report::parse(&report.render_json())
+            .unwrap_or_else(|e| panic!("{}: degraded report must parse: {e}", report.experiment));
+        assert_eq!(parsed.failures, report.failures);
+        // Suite context survives degradation.
+        assert!(parsed.context.iter().any(|(k, _)| k == "seed"));
+    }
+}
+
+/// Checkpoint a workload mid-run, serialize it to JSON text, restore it
+/// into a fresh machine, and finish: the result is bit-exact with an
+/// uninterrupted run.
+#[test]
+fn workload_checkpoint_resume_is_bit_exact() {
+    let config = CoreConfig::power5();
+    let wl = Workload::new(App::Clustalw, Scale::Test, 7);
+
+    // Uninterrupted reference run.
+    let mut gold = wl.prepare(Variant::Baseline, &config).expect("prepare");
+    let done = gold.machine.run_timed(u64::MAX).expect("clean run");
+    assert!(done.halted);
+    let gold_counters = gold.machine.counters();
+    let gold_out = gold.machine.mem().read_i32s(gold.out_addr, gold.out_len).expect("output");
+    assert_eq!(gold_out, gold.golden);
+
+    // Same workload, stopped partway, frozen to text, thawed elsewhere.
+    let mut first = wl.prepare(Variant::Baseline, &config).expect("prepare");
+    let part = first.machine.run_timed(gold_counters.instructions / 2).expect("first half");
+    assert!(matches!(part.stop, StopReason::Budget));
+    let frozen = checkpoint::render(&first.machine.checkpoint());
+
+    let mut second = wl.prepare(Variant::Baseline, &config).expect("prepare");
+    let thawed = checkpoint::parse(&frozen).expect("checkpoint text parses");
+    second.machine.restore(&thawed).expect("restore");
+    let fin = second.machine.run_timed(u64::MAX).expect("second half");
+    assert!(fin.halted);
+    assert_eq!(second.machine.counters(), gold_counters, "counters must match bit-exactly");
+    let out = second.machine.mem().read_i32s(second.out_addr, second.out_len).expect("output");
+    assert_eq!(out, gold_out);
+}
+
+/// A small seeded fault burst: every injected fault is classified and the
+/// counter/stall-partition invariants hold whenever a run completes.
+#[test]
+fn seeded_fault_burst_never_breaks_invariants() {
+    let config = CoreConfig::power5();
+    let wl = Workload::new(App::Blast, Scale::Test, 11);
+    let mut prepared = wl.prepare(Variant::Baseline, &config).expect("prepare");
+    prepared.machine.set_stall_site_profiling(true);
+    let pristine = prepared.machine.checkpoint();
+
+    let clean = prepared.machine.run_timed(u64::MAX).expect("clean run");
+    assert!(clean.halted);
+    let counters = prepared.machine.counters();
+    let watchdog = Watchdog {
+        max_cycles: Some(counters.cycles * 4 + 100_000),
+        max_instructions: Some(counters.instructions * 3 + 20_000),
+    };
+    let window = InjectionWindow {
+        code_base: prepared.code_base,
+        code_len: prepared.code_len,
+        data_base: prepared.data_base,
+        data_len: prepared.data_len,
+        max_instruction: counters.instructions,
+    };
+    let plan = FaultPlan::generate(11, 25, &window);
+    assert_eq!(plan.faults.len(), 25);
+
+    for fault in &plan.faults {
+        prepared.machine.restore(&pristine).expect("restore");
+        prepared.machine.set_watchdog(watchdog);
+        let pre = prepared.machine.run_timed(fault.at_instruction).expect("clean prefix");
+        assert!(!matches!(pre.stop, StopReason::Watchdog(_)));
+        fault.apply(&mut prepared.machine);
+        match prepared.machine.run_timed(u64::MAX) {
+            Err(trap) => {
+                // Detected: the trap names where and when.
+                assert!(trap.cycle > 0 || trap.pc > 0);
+            }
+            Ok(_) => {
+                let c = prepared.machine.counters();
+                check_invariants(&c).expect("counter invariants");
+                check_stall_partition(&c.stalls, &prepared.machine.stall_sites())
+                    .expect("stall partition");
+            }
+        }
+    }
+}
