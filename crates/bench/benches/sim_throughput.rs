@@ -1,0 +1,105 @@
+//! Host-throughput trajectory benchmark: how fast the *simulator itself*
+//! runs, as opposed to what it models.
+//!
+//! Two layers are measured:
+//!
+//! * **interpreter MIPS** — millions of target instructions retired per
+//!   host second, for functional and cycle-timed execution of a tight
+//!   arithmetic/load loop (the same program `simulator_speed.rs` uses);
+//! * **suite wall-clock** — `Study::run_suite` end to end, once serial
+//!   (`threads = 1`) and once at the configured worker count, plus the
+//!   resulting speedup. The serial and parallel suites are also checked
+//!   for byte-identical reports; a divergence degrades this report.
+//!
+//! The output is a normal `bioarch-report/v1` document
+//! (`BENCH_sim_throughput.json`), so `examples/compare_runs.rs` can diff
+//! it against the committed baseline in `baselines/` — the repo's
+//! performance trajectory over time.
+
+use bioarch::experiments::Study;
+use bioarch::report::{Direction, Report};
+use power5_sim::{CoreConfig, Machine};
+use std::time::Instant;
+
+const LOOP_PROGRAM: &str = "
+entry:
+    li r3, 0
+    lis r4, 1
+    mtctr r4
+loop:
+    addi r3, r3, 1
+    xor r5, r3, r4
+    add r6, r5, r3
+    lwz r7, 0(r1)
+    cmpwi cr0, r3, 0
+    bdnz loop
+    trap
+";
+
+fn machine() -> Machine {
+    let prog = ppc_asm::assemble(LOOP_PROGRAM, 0x1000).expect("program assembles");
+    let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+    m.cpu_mut().gpr[1] = 0x8_0000;
+    m
+}
+
+/// Best-of-N million-instructions-per-second for one run mode.
+fn mips(reps: usize, run: impl Fn(&mut Machine) -> u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let mut m = machine();
+        let start = Instant::now();
+        let executed = run(&mut m);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(executed as f64 / secs / 1e6);
+    }
+    best
+}
+
+fn suite_json(suite: &bioarch::experiments::Suite) -> String {
+    suite.reports.iter().map(Report::render_json).collect::<Vec<_>>().join("\n")
+}
+
+fn main() {
+    bioarch_bench::run_reported("sim-throughput", |study| {
+        let reps = 3;
+        let functional = mips(reps, |m| m.run_functional(u64::MAX).expect("runs").executed);
+        let timed = mips(reps, |m| m.run_timed(u64::MAX).expect("runs").executed);
+
+        let mut serial_study = Study::new(study.scale(), study.seed());
+        serial_study.set_threads(1);
+        let start = Instant::now();
+        let serial_suite = serial_study.run_suite();
+        let serial_s = start.elapsed().as_secs_f64();
+
+        let threads = study.threads();
+        let start = Instant::now();
+        let parallel_suite = study.run_suite();
+        let parallel_s = start.elapsed().as_secs_f64();
+
+        let speedup = serial_s / parallel_s.max(1e-9);
+
+        let mut report = Report::new("BENCH_sim_throughput");
+        report.push("host.functional_mips", functional, Direction::Higher);
+        report.push("host.timed_mips", timed, Direction::Higher);
+        report.push("suite.serial_seconds", serial_s, Direction::Lower);
+        report.push("suite.parallel_seconds", parallel_s, Direction::Lower);
+        report.push("suite.speedup", speedup, Direction::Higher);
+        report.push("suite.threads", threads as f64, Direction::Neutral);
+        if suite_json(&serial_suite) != suite_json(&parallel_suite) {
+            report.degrade("parallel suite output diverged from serial");
+        }
+        if serial_suite.is_degraded() {
+            for failure in serial_suite.failures() {
+                report.degrade(failure);
+            }
+        }
+
+        let rendered = format!(
+            "interpreter: functional {functional:.2} MIPS, timed {timed:.2} MIPS\n\
+             suite: serial {serial_s:.2}s, parallel {parallel_s:.2}s \
+             ({speedup:.2}x on {threads} thread(s))",
+        );
+        (rendered, report)
+    });
+}

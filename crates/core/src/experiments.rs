@@ -48,20 +48,61 @@ impl Hw {
     }
 }
 
+/// One unit of simulation work the parallel runner can fan out: a plain
+/// cached run, or the Figure-2 interval-sampling run (cached separately
+/// because its counters carry the interval series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Job {
+    Plain(App, Variant, Hw),
+    Interval(App, Variant, Hw, u64),
+}
+
 /// A study: workload set plus a cache of completed runs.
 pub struct Study {
     scale: Scale,
     seed: u64,
     workloads: Vec<Workload>,
     cache: HashMap<(App, Variant, Hw), AppRun>,
+    interval_cache: HashMap<(App, Variant, Hw, u64), AppRun>,
     watchdog: Option<Watchdog>,
+    threads_override: Option<usize>,
 }
 
 impl Study {
     /// Prepare workloads for all four applications.
     pub fn new(scale: Scale, seed: u64) -> Self {
         let workloads = App::all().into_iter().map(|app| Workload::new(app, scale, seed)).collect();
-        Study { scale, seed, workloads, cache: HashMap::new(), watchdog: None }
+        Study {
+            scale,
+            seed,
+            workloads,
+            cache: HashMap::new(),
+            interval_cache: HashMap::new(),
+            watchdog: None,
+            threads_override: None,
+        }
+    }
+
+    /// Pin the worker-thread count for this study, overriding the
+    /// `BIOARCH_THREADS` environment variable. `1` forces the serial
+    /// path; results are byte-identical either way.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads_override = Some(threads.max(1));
+    }
+
+    /// Worker threads the experiment runners fan simulations across: the
+    /// [`Study::set_threads`] override, else `BIOARCH_THREADS`, else the
+    /// host's available parallelism.
+    pub fn threads(&self) -> usize {
+        if let Some(n) = self.threads_override {
+            return n;
+        }
+        if let Some(n) =
+            std::env::var("BIOARCH_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
 
     /// Install cycle/instruction budgets for every run in the study.
@@ -82,6 +123,16 @@ impl Study {
     /// The study's workload seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Total target instructions retired across every cached run so far —
+    /// divide by wall-clock for an honest host-MIPS figure.
+    pub fn simulated_instructions(&self) -> u64 {
+        self.cache
+            .values()
+            .chain(self.interval_cache.values())
+            .map(|r| r.counters.instructions)
+            .sum()
     }
 
     fn workload(&self, app: App) -> &Workload {
@@ -115,6 +166,190 @@ impl Study {
         Ok(run)
     }
 
+    /// Run (or fetch from the interval cache) the Figure-2 style run of
+    /// one combination with interval sampling enabled.
+    fn run_interval(
+        &mut self,
+        app: App,
+        variant: Variant,
+        hw: Hw,
+        interval: u64,
+    ) -> Result<AppRun, RunError> {
+        if let Some(r) = self.interval_cache.get(&(app, variant, hw, interval)) {
+            return Ok(r.clone());
+        }
+        let run = self.workload(app).run_with_interval(
+            variant,
+            &hw.config(),
+            Some(interval),
+            self.watchdog,
+        )?;
+        if !run.validated {
+            return Err(RunError::Validation {
+                what: format!("Fig.2 Clustalw run mismatched: {:?}", run.mismatches),
+            });
+        }
+        self.interval_cache.insert((app, variant, hw, interval), run.clone());
+        Ok(run)
+    }
+
+    /// Simulate the not-yet-cached jobs of `jobs` across the study's
+    /// worker threads and merge the results into the run caches.
+    ///
+    /// Determinism: every job is an independent, deterministic
+    /// simulation, and the merge order is the (fixed) job order, so the
+    /// caches end up exactly as serial execution would leave them —
+    /// reports built from them are byte-identical regardless of thread
+    /// count. Only validated successes are cached; a failing job is left
+    /// uncached so the experiment that needs it reproduces the identical
+    /// error (message and all) on its own serial path.
+    fn prefetch(&mut self, jobs: &[Job]) {
+        let mut todo: Vec<Job> = Vec::new();
+        for &job in jobs {
+            let missing = match job {
+                Job::Plain(a, v, h) => !self.cache.contains_key(&(a, v, h)),
+                Job::Interval(a, v, h, i) => !self.interval_cache.contains_key(&(a, v, h, i)),
+            };
+            if missing && !todo.contains(&job) {
+                todo.push(job);
+            }
+        }
+        let threads = self.threads().min(todo.len());
+        if threads <= 1 {
+            return; // serial path: experiments run on demand, as always
+        }
+        let watchdog = self.watchdog;
+        let workloads = &self.workloads;
+        let worker_of =
+            |app: App| workloads.iter().find(|w| w.app() == app).expect("all apps present");
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<Option<AppRun>>> =
+            std::sync::Mutex::new(vec![None; todo.len()]);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&job) = todo.get(i) else { break };
+                    // Mirrors the serial paths of `run`/`run_interval`
+                    // exactly; errors are dropped here (see above).
+                    let run =
+                        match job {
+                            Job::Plain(app, v, hw) => match watchdog {
+                                Some(w) => worker_of(app).run_with_watchdog(v, &hw.config(), w),
+                                None => worker_of(app).run(v, &hw.config()),
+                            },
+                            Job::Interval(app, v, hw, interval) => worker_of(app)
+                                .run_with_interval(v, &hw.config(), Some(interval), watchdog),
+                        };
+                    if let Ok(run) = run {
+                        if run.validated {
+                            if let Ok(mut slots) = results.lock() {
+                                slots[i] = Some(run);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let slots = match results.into_inner() {
+            Ok(slots) => slots,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (job, slot) in todo.into_iter().zip(slots) {
+            if let Some(run) = slot {
+                match job {
+                    Job::Plain(a, v, h) => {
+                        self.cache.insert((a, v, h), run);
+                    }
+                    Job::Interval(a, v, h, i) => {
+                        self.interval_cache.insert((a, v, h, i), run);
+                    }
+                }
+            }
+        }
+    }
+
+    // The unique (app, variant, hw) combinations each experiment needs,
+    // fed to `prefetch` so a multi-threaded study simulates them in
+    // parallel before the (serial, cache-hitting) report construction.
+
+    fn plan_baselines() -> Vec<Job> {
+        App::all().into_iter().map(|a| Job::Plain(a, Variant::Baseline, Hw::Stock)).collect()
+    }
+
+    fn plan_fig2(scale: Scale) -> Vec<Job> {
+        let interval = match scale {
+            Scale::Test => 20_000,
+            Scale::ClassC => 100_000,
+        };
+        vec![Job::Interval(App::Clustalw, Variant::Baseline, Hw::Stock, interval)]
+    }
+
+    fn plan_fig3() -> Vec<Job> {
+        App::all()
+            .into_iter()
+            .flat_map(|a| Variant::all().into_iter().map(move |v| Job::Plain(a, v, Hw::Stock)))
+            .collect()
+    }
+
+    fn plan_table2() -> Vec<Job> {
+        App::all()
+            .into_iter()
+            .flat_map(|a| {
+                [
+                    Variant::HandIsel,
+                    Variant::CompilerIsel,
+                    Variant::HandMax,
+                    Variant::CompilerMax,
+                    Variant::Baseline,
+                ]
+                .into_iter()
+                .map(move |v| Job::Plain(a, v, Hw::Stock))
+            })
+            .collect()
+    }
+
+    fn plan_fig4() -> Vec<Job> {
+        App::all()
+            .into_iter()
+            .flat_map(|a| {
+                [Variant::Baseline, Variant::Combination].into_iter().flat_map(move |v| {
+                    [Hw::Stock, Hw::Btac].into_iter().map(move |h| Job::Plain(a, v, h))
+                })
+            })
+            .collect()
+    }
+
+    fn plan_fig5() -> Vec<Job> {
+        App::all()
+            .into_iter()
+            .flat_map(|a| {
+                [
+                    Job::Plain(a, Variant::Baseline, Hw::Stock),
+                    Job::Plain(a, Variant::Baseline, Hw::Fxus(4)),
+                    Job::Plain(a, Variant::Combination, Hw::Stock),
+                    Job::Plain(a, Variant::Combination, Hw::Fxus(3)),
+                    Job::Plain(a, Variant::Combination, Hw::Fxus(4)),
+                ]
+            })
+            .collect()
+    }
+
+    fn plan_fig6() -> Vec<Job> {
+        App::all()
+            .into_iter()
+            .flat_map(|a| {
+                [
+                    Job::Plain(a, Variant::Baseline, Hw::Stock),
+                    Job::Plain(a, Variant::Combination, Hw::Stock),
+                    Job::Plain(a, Variant::Baseline, Hw::Btac),
+                    Job::Plain(a, Variant::Baseline, Hw::Fxus(4)),
+                    Job::Plain(a, Variant::Combination, Hw::BtacFxus(4)),
+                ]
+            })
+            .collect()
+    }
+
     fn baseline(&mut self, app: App) -> Result<AppRun, RunError> {
         self.run(app, Variant::Baseline, Hw::Stock)
     }
@@ -134,6 +369,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn table1(&mut self) -> Result<Table1, RunError> {
+        self.prefetch(&Self::plan_baselines());
         let mut rows = Vec::new();
         for app in App::all() {
             let run = self.baseline(app)?;
@@ -160,6 +396,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn fig1(&mut self) -> Result<Fig1, RunError> {
+        self.prefetch(&Self::plan_baselines());
         let mut apps = Vec::new();
         for app in App::all() {
             let run = self.baseline(app)?;
@@ -191,17 +428,7 @@ impl Study {
             Scale::Test => 20_000,
             Scale::ClassC => 100_000,
         };
-        let run = self.workload(App::Clustalw).run_with_interval(
-            Variant::Baseline,
-            &Hw::Stock.config(),
-            Some(interval),
-            self.watchdog,
-        )?;
-        if !run.validated {
-            return Err(RunError::Validation {
-                what: format!("Fig.2 Clustalw run mismatched: {:?}", run.mismatches),
-            });
-        }
+        let run = self.run_interval(App::Clustalw, Variant::Baseline, Hw::Stock, interval)?;
         Ok(Fig2 { interval, samples: run.counters.intervals.clone() })
     }
 
@@ -216,6 +443,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn fig3(&mut self) -> Result<Fig3, RunError> {
+        self.prefetch(&Self::plan_fig3());
         let mut apps = Vec::new();
         for app in App::all() {
             let base = self.baseline(app)?;
@@ -240,6 +468,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn table2(&mut self) -> Result<Table2, RunError> {
+        self.prefetch(&Self::plan_table2());
         let mut rows = Vec::new();
         for app in App::all() {
             // The paper's row order within each application.
@@ -275,6 +504,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn fig4(&mut self) -> Result<Fig4, RunError> {
+        self.prefetch(&Self::plan_fig4());
         let mut rows = Vec::new();
         for app in App::all() {
             for variant in [Variant::Baseline, Variant::Combination] {
@@ -304,6 +534,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn fig5(&mut self) -> Result<Fig5, RunError> {
+        self.prefetch(&Self::plan_fig5());
         let mut rows = Vec::new();
         for app in App::all() {
             let base2 = self.run(app, Variant::Baseline, Hw::Stock)?;
@@ -333,6 +564,7 @@ impl Study {
     ///
     /// Propagates [`RunError`].
     pub fn fig6(&mut self) -> Result<Fig6, RunError> {
+        self.prefetch(&Self::plan_fig6());
         let mut rows = Vec::new();
         for app in App::all() {
             let base = self.baseline(app)?;
@@ -370,6 +602,17 @@ impl Study {
     /// `"degraded": true` with the failure description, so one broken
     /// workload still leaves the other experiments' reports usable.
     pub fn run_suite(&mut self) -> Suite {
+        // Fan the union of every experiment's simulations across the
+        // worker threads up front; the per-experiment runners below then
+        // hit the cache (their own prefetch calls become no-ops).
+        let mut jobs = Self::plan_baselines();
+        jobs.extend(Self::plan_fig2(self.scale));
+        jobs.extend(Self::plan_fig3());
+        jobs.extend(Self::plan_table2());
+        jobs.extend(Self::plan_fig4());
+        jobs.extend(Self::plan_fig5());
+        jobs.extend(Self::plan_fig6());
+        self.prefetch(&jobs);
         fn outcome(slug: &str, result: Result<Report, RunError>) -> Report {
             match result {
                 Ok(report) => report,

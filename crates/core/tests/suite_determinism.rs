@@ -1,0 +1,33 @@
+//! The parallel suite runner must be invisible in the output: running
+//! `Study::run_suite` across N worker threads has to produce the exact
+//! same `bioarch-report/v1` documents, byte for byte, as the serial
+//! path. The merge back into the run cache is ordered by the job plan
+//! (not by thread completion), and the reports are built solely from
+//! cache lookups, so this holds for any thread count.
+
+use bioarch::apps::Scale;
+use bioarch::experiments::Study;
+
+/// Every suite report rendered to JSON, concatenated in paper order.
+fn suite_json(threads: usize) -> String {
+    let mut study = Study::new(Scale::Test, 42);
+    study.set_threads(threads);
+    let suite = study.run_suite();
+    assert!(!suite.is_degraded(), "suite failed: {:?}", suite.failures());
+    suite.reports.iter().map(|r| r.render_json()).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let serial = suite_json(1);
+    let four_way = suite_json(4);
+    assert_eq!(serial, four_way, "4-thread suite diverged from serial");
+}
+
+#[test]
+fn thread_count_does_not_leak_into_reports() {
+    // The report context records scale and seed only; a report produced
+    // on an 8-core box must match one from a laptop.
+    let json = suite_json(2);
+    assert!(!json.contains("thread"), "reports must not mention threads");
+}

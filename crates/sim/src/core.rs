@@ -78,6 +78,65 @@ impl Scoreboard {
     }
 }
 
+/// Flat per-PC profile table over the registered code image. PCs inside
+/// the region index a dense vector directly — no hashing on the retire
+/// fast path — while any PC outside (or seen before a region was
+/// registered) spills to a `HashMap`, so correctness never depends on
+/// [`TimingCore::set_code_region`] having been called. A slot counts as
+/// *occupied* exactly when the profiling code has written to it, which
+/// the accessors detect through a per-type `used` predicate (sites are
+/// only ever created together with a non-zero increment).
+#[derive(Debug, Clone)]
+struct PcTable<T> {
+    base: u32,
+    dense: Vec<T>,
+    spill: std::collections::HashMap<u32, T>,
+}
+
+impl<T: Copy + Default> PcTable<T> {
+    fn new(base: u32, words: usize) -> Self {
+        PcTable { base, dense: vec![T::default(); words], spill: std::collections::HashMap::new() }
+    }
+
+    /// The profile slot for `pc` (dense when inside the code region).
+    #[inline]
+    fn slot(&mut self, pc: u32) -> &mut T {
+        let off = pc.wrapping_sub(self.base);
+        let idx = (off / 4) as usize;
+        if off.is_multiple_of(4) && idx < self.dense.len() {
+            &mut self.dense[idx]
+        } else {
+            self.spill.entry(pc).or_default()
+        }
+    }
+
+    /// All occupied entries (per `used`), in unspecified order.
+    fn entries(&self, used: impl Fn(&T) -> bool) -> Vec<(u32, T)> {
+        let mut v: Vec<(u32, T)> = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| used(t))
+            .map(|(i, &t)| (self.base.wrapping_add((i as u32) * 4), t))
+            .collect();
+        v.extend(self.spill.iter().filter(|(_, t)| used(t)).map(|(&pc, &t)| (pc, t)));
+        v
+    }
+
+    /// The same entries re-bucketed over a new code region.
+    fn rebased(&self, base: u32, words: usize, used: impl Fn(&T) -> bool) -> Self {
+        Self::from_entries(base, words, &self.entries(used))
+    }
+
+    fn from_entries(base: u32, words: usize, entries: &[(u32, T)]) -> Self {
+        let mut t = Self::new(base, words);
+        for &(pc, v) in entries {
+            *t.slot(pc) = v;
+        }
+        t
+    }
+}
+
 /// The timing core. Feed it one committed instruction at a time via
 /// [`TimingCore::retire`].
 pub struct TimingCore {
@@ -109,10 +168,14 @@ pub struct TimingCore {
     /// Commit times of in-flight instructions (reorder window).
     rob: VecDeque<u64>,
     counters: Counters,
+    /// Code region registered by the machine (base, words); sizes the
+    /// dense site-profiling tables. Zero words = everything spills.
+    code_base: u32,
+    code_words: usize,
     /// Optional per-PC conditional-branch statistics.
-    branch_sites: Option<std::collections::HashMap<u32, BranchSite>>,
+    branch_sites: Option<PcTable<BranchSite>>,
     /// Optional per-PC attribution of *all* stall classes.
-    stall_sites: Option<std::collections::HashMap<u32, StallBreakdown>>,
+    stall_sites: Option<PcTable<StallBreakdown>>,
     /// Pipeline event tracing (enum-dispatched; `Tracer::Off` by default).
     tracer: Tracer,
     /// Direction mispredictions seen (drives link-stack corruption).
@@ -172,6 +235,8 @@ impl TimingCore {
             commit_new_group: true,
             rob: VecDeque::with_capacity(cfg.rob_insns()),
             counters: Counters::default(),
+            code_base: 0,
+            code_words: 0,
             branch_sites: None,
             stall_sites: None,
             tracer: Tracer::Off,
@@ -188,10 +253,26 @@ impl TimingCore {
         self.interval_insns = insns;
     }
 
+    /// Register the code image `(base, words)` so the per-PC profiling
+    /// tables can be laid out flat over it. Called by the machine at load
+    /// and restore time; existing profile entries are re-bucketed. Cores
+    /// driven without a region fall back to hashed storage throughout.
+    pub fn set_code_region(&mut self, base: u32, words: usize) {
+        self.code_base = base;
+        self.code_words = words;
+        if let Some(t) = &mut self.branch_sites {
+            *t = t.rebased(base, words, |s| s.executed > 0);
+        }
+        if let Some(t) = &mut self.stall_sites {
+            *t = t.rebased(base, words, |s| s.total() > 0);
+        }
+    }
+
     /// Enable per-PC conditional-branch statistics (the data behind the
     /// paper's "which branches are unpredictable" analysis).
     pub fn set_branch_site_profiling(&mut self, on: bool) {
-        self.branch_sites = if on { Some(std::collections::HashMap::new()) } else { None };
+        self.branch_sites =
+            if on { Some(PcTable::new(self.code_base, self.code_words)) } else { None };
     }
 
     /// Enable per-PC attribution of every stall class in
@@ -200,15 +281,18 @@ impl TimingCore {
     /// breakdowns equals the aggregate [`Counters::stalls`] accumulated
     /// while it was enabled.
     pub fn set_stall_site_profiling(&mut self, on: bool) {
-        self.stall_sites = if on { Some(std::collections::HashMap::new()) } else { None };
+        self.stall_sites =
+            if on { Some(PcTable::new(self.code_base, self.code_words)) } else { None };
     }
 
     /// Per-PC stall breakdowns, sorted by total stall cycles (largest
     /// first). Empty unless [`TimingCore::set_stall_site_profiling`] was
     /// enabled.
     pub fn stall_sites(&self) -> Vec<(u32, StallBreakdown)> {
-        let mut v: Vec<(u32, StallBreakdown)> =
-            self.stall_sites.iter().flat_map(|m| m.iter().map(|(&pc, &s)| (pc, s))).collect();
+        let mut v = match &self.stall_sites {
+            None => Vec::new(),
+            Some(t) => t.entries(|s| s.total() > 0),
+        };
         v.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
         v
     }
@@ -237,8 +321,10 @@ impl TimingCore {
     /// Per-PC branch statistics, sorted by misprediction count (largest
     /// first). Empty unless profiling was enabled.
     pub fn branch_sites(&self) -> Vec<(u32, BranchSite)> {
-        let mut v: Vec<(u32, BranchSite)> =
-            self.branch_sites.iter().flat_map(|m| m.iter().map(|(&pc, &s)| (pc, s))).collect();
+        let mut v = match &self.branch_sites {
+            None => Vec::new(),
+            Some(t) => t.entries(|s| s.executed > 0),
+        };
         v.sort_by(|a, b| b.1.mispredicted.cmp(&a.1.mispredicted).then(a.0.cmp(&b.0)));
         v
     }
@@ -264,13 +350,13 @@ impl TimingCore {
     /// deliberately excluded (it wraps live I/O handles); a restored core
     /// starts with tracing off.
     pub fn snapshot(&self) -> CoreState {
-        let sorted = |m: &std::collections::HashMap<u32, BranchSite>| {
-            let mut v: Vec<(u32, BranchSite)> = m.iter().map(|(&pc, &s)| (pc, s)).collect();
+        let sorted = |m: &PcTable<BranchSite>| {
+            let mut v = m.entries(|s| s.executed > 0);
             v.sort_by_key(|&(pc, _)| pc);
             v
         };
-        let sorted_stalls = |m: &std::collections::HashMap<u32, StallBreakdown>| {
-            let mut v: Vec<(u32, StallBreakdown)> = m.iter().map(|(&pc, &s)| (pc, s)).collect();
+        let sorted_stalls = |m: &PcTable<StallBreakdown>| {
+            let mut v = m.entries(|s| s.total() > 0);
             v.sort_by_key(|&(pc, _)| pc);
             v
         };
@@ -373,8 +459,14 @@ impl TimingCore {
         self.commit_new_group = state.commit_new_group;
         self.rob = state.rob.iter().copied().collect();
         self.counters = state.counters.clone();
-        self.branch_sites = state.branch_sites.as_ref().map(|v| v.iter().copied().collect());
-        self.stall_sites = state.stall_sites.as_ref().map(|v| v.iter().copied().collect());
+        self.branch_sites = state
+            .branch_sites
+            .as_ref()
+            .map(|v| PcTable::from_entries(self.code_base, self.code_words, v));
+        self.stall_sites = state
+            .stall_sites
+            .as_ref()
+            .map(|v| PcTable::from_entries(self.code_base, self.code_words, v));
         self.dir_mispredicts_seen = state.dir_mispredicts_seen;
         self.interval_insns = state.interval_insns;
         self.interval_start = state.interval_start;
@@ -575,7 +667,7 @@ impl TimingCore {
         if gap > 0 {
             self.counters.stalls.add(reason, gap);
             if let Some(sites) = &mut self.stall_sites {
-                sites.entry(r.pc).or_default().add(reason, gap);
+                sites.slot(r.pc).add(reason, gap);
             }
         }
         self.commit_new_group = false;
@@ -700,7 +792,7 @@ impl TimingCore {
             let predicted = self.predictor.predict(r.pc);
             self.predictor.update(r.pc, taken);
             if let Some(sites) = &mut self.branch_sites {
-                let site = sites.entry(r.pc).or_default();
+                let site = sites.slot(r.pc);
                 site.executed += 1;
                 site.taken += taken as u64;
                 site.mispredicted += (predicted != taken) as u64;

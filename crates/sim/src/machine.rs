@@ -68,9 +68,11 @@ pub struct RunResult {
 pub enum TrapCause {
     /// Data access fault (out-of-bounds or misaligned).
     Mem(MemFault),
-    /// The PC points at a word that does not decode (or is itself
-    /// misaligned).
+    /// The PC points at a word that does not decode.
     BadInstruction,
+    /// The PC itself is not 4-byte aligned, so there is no instruction
+    /// word to decode in the first place.
+    MisalignedFetch,
 }
 
 /// A program-check trap: the typed, recoverable outcome of guest
@@ -96,6 +98,13 @@ impl fmt::Display for Trap {
                 write!(
                     f,
                     "trap at pc {:#010x}, cycle {}: undecodable instruction",
+                    self.pc, self.cycle
+                )
+            }
+            TrapCause::MisalignedFetch => {
+                write!(
+                    f,
+                    "trap at pc {:#010x}, cycle {}: misaligned fetch address",
                     self.pc, self.cycle
                 )
             }
@@ -231,18 +240,62 @@ pub fn config_digest(cfg: &CoreConfig) -> u64 {
     h
 }
 
+/// Sentinel stored in invalid decode slots. Never executed: the run
+/// loops consult `run_len` first, and a zero run length routes to the
+/// [`TrapCause::BadInstruction`] path without touching `decoded`.
+const INVALID_SLOT: Instruction = Instruction::Trap;
+
+/// Region-index sentinel: this code word belongs to no profile region.
+const NO_REGION: u32 = u32::MAX;
+
+/// Whether `insn` ends a straight-line run (control may leave the
+/// fall-through path after it).
+fn is_block_terminator(insn: &Instruction) -> bool {
+    insn.is_branch() || matches!(insn, Instruction::Trap)
+}
+
+/// Build the dense decode table and the basic-block run-length table
+/// from per-word decode results.
+///
+/// `run_len[i]` is the number of instructions that can be executed
+/// starting at slot `i` before control can leave the fall-through path:
+/// `0` marks an undecodable word, a branch or `trap` counts as `1`, and
+/// a straight-line instruction extends the run that follows it. The run
+/// loops use it to dispatch whole blocks without per-instruction fetch
+/// checks; a zero is the illegal-instruction sentinel that keeps the
+/// hit path free of `Option` tests.
+fn code_tables(slots: &[Option<Instruction>]) -> (Vec<Instruction>, Vec<u32>) {
+    let decoded: Vec<Instruction> = slots.iter().map(|s| s.unwrap_or(INVALID_SLOT)).collect();
+    let mut run_len = vec![0u32; slots.len()];
+    for i in (0..slots.len()).rev() {
+        run_len[i] = match &slots[i] {
+            None => 0,
+            Some(insn) if is_block_terminator(insn) => 1,
+            Some(_) => 1 + run_len.get(i + 1).copied().unwrap_or(0),
+        };
+    }
+    (decoded, run_len)
+}
+
 /// A loaded program plus simulation state.
 pub struct Machine {
     cpu: CpuState,
     mem: Memory,
     core: TimingCore,
-    /// Pre-decoded image (indexed by `(pc - base) / 4`); words that are
-    /// data simply fail to decode and stay `None`.
-    decoded: Vec<Option<Instruction>>,
+    /// Pre-decoded image (indexed by `(pc - base) / 4`). Invalid words
+    /// hold [`INVALID_SLOT`] and are guarded by a zero in `run_len`, so
+    /// the fetch hit path reads the instruction with no `Option` test.
+    decoded: Vec<Instruction>,
+    /// Straight-line run length per slot (see [`code_tables`]); `0`
+    /// marks an undecodable word.
+    run_len: Vec<u32>,
     code_base: u32,
     halted: bool,
     /// Optional per-function cycle/instruction attribution.
     profile: Option<ProfileState>,
+    /// Dense per-code-word region index ([`NO_REGION`] = unattributed);
+    /// rebuilt whenever the regions or the code image change.
+    region_index: Vec<u32>,
     last_commit_seen: u64,
     /// Optional symbol table for symbolized heatmaps and trace dumps.
     symbols: Option<SymbolMap>,
@@ -284,7 +337,7 @@ impl Machine {
     ) -> Result<Self, MemFault> {
         let mut mem = Memory::new(mem_size);
         mem.write_bytes(base, image)?;
-        let decoded = image
+        let slots: Vec<Option<Instruction>> = image
             .chunks(4)
             .map(|c| {
                 if c.len() == 4 {
@@ -294,14 +347,19 @@ impl Machine {
                 }
             })
             .collect();
+        let (decoded, run_len) = code_tables(&slots);
+        let mut core = TimingCore::new(cfg);
+        core.set_code_region(base, decoded.len());
         Ok(Machine {
             cpu: CpuState::new(entry),
             mem,
-            core: TimingCore::new(cfg),
+            core,
             decoded,
+            run_len,
             code_base: base,
             halted: false,
             profile: None,
+            region_index: Vec::new(),
             last_commit_seen: 0,
             symbols: None,
             insns_total: 0,
@@ -332,6 +390,26 @@ impl Machine {
     pub fn set_profile_regions(&mut self, regions: Vec<ProfileRegion>) {
         let n = regions.len();
         self.profile = Some((regions, vec![(0, 0); n]));
+        self.rebuild_region_index();
+    }
+
+    /// Recompute the dense PC→region table from the active profile
+    /// regions: one entry per code word, holding the index of the first
+    /// region containing it (matching the linear first-match scan this
+    /// table replaces on the retire path).
+    fn rebuild_region_index(&mut self) {
+        self.region_index = match &self.profile {
+            None => Vec::new(),
+            Some((regions, _)) => (0..self.decoded.len())
+                .map(|i| {
+                    let pc = self.code_base.wrapping_add((i as u32) * 4);
+                    regions
+                        .iter()
+                        .position(|r| pc >= r.start && pc < r.end)
+                        .map_or(NO_REGION, |p| p as u32)
+                })
+                .collect(),
+        };
     }
 
     /// Profiling results as `(name, instructions, cycles)`, in region
@@ -472,15 +550,35 @@ impl Machine {
         self.watchdog.max_instructions.is_some_and(|limit| self.insns_total >= limit)
     }
 
+    /// Resolve `pc` against the dense pre-decoded table: the slot index
+    /// and the straight-line run length starting there. Misalignment is
+    /// checked *before* any index arithmetic and reported as its own
+    /// [`TrapCause::MisalignedFetch`]; an in-range but undecodable word
+    /// (run length `0`) and an out-of-image PC both stay
+    /// [`TrapCause::BadInstruction`].
     #[inline]
-    fn fetch_decode(&self, pc: u32) -> Result<Instruction, Trap> {
-        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
-        if pc.is_multiple_of(4) {
-            if let Some(Some(i)) = self.decoded.get(idx) {
-                return Ok(*i);
-            }
+    fn fetch_decode(&self, pc: u32) -> Result<(usize, u32), Trap> {
+        if !pc.is_multiple_of(4) {
+            return Err(self.trap(TrapCause::MisalignedFetch, pc));
         }
-        Err(self.trap(TrapCause::BadInstruction, pc))
+        let idx = (pc.wrapping_sub(self.code_base) / 4) as usize;
+        match self.run_len.get(idx) {
+            Some(&run) if run > 0 => Ok((idx, run)),
+            _ => Err(self.trap(TrapCause::BadInstruction, pc)),
+        }
+    }
+
+    /// How many instructions of a run of length `run` may execute before
+    /// the caller's budget or the instruction watchdog must be rechecked.
+    /// The watchdog was checked non-expired just before, so the remaining
+    /// allowance is at least one instruction.
+    #[inline]
+    fn block_quota(&self, run: u32, remaining_budget: u64) -> u64 {
+        let mut n = u64::from(run).min(remaining_budget);
+        if let Some(limit) = self.watchdog.max_instructions {
+            n = n.min(limit - self.insns_total);
+        }
+        n
     }
 
     /// Run functionally (no timing) for at most `max_insns` instructions.
@@ -496,14 +594,23 @@ impl Machine {
                 stop = StopReason::Watchdog(WatchdogKind::Instructions);
                 break;
             }
-            let pc = self.cpu.pc;
-            let insn = self.fetch_decode(pc)?;
-            let ev = step(&mut self.cpu, &mut self.mem, &insn)
-                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
-            executed += 1;
-            self.insns_total += 1;
-            if ev.halted {
-                self.halted = true;
+            // Dispatch one straight-line block: within it the PC only
+            // ever advances by 4 (the terminator, if any, is the last
+            // instruction of the run), so fetch, alignment, and budget
+            // checks are hoisted to the block boundary.
+            let (idx, run) = self.fetch_decode(self.cpu.pc)?;
+            let quota = self.block_quota(run, max_insns - executed);
+            for k in 0..quota as usize {
+                let pc = self.cpu.pc;
+                let insn = self.decoded[idx + k];
+                let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                    .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
+                executed += 1;
+                self.insns_total += 1;
+                if ev.halted {
+                    self.halted = true;
+                    break;
+                }
             }
         }
         if self.halted {
@@ -520,37 +627,56 @@ impl Machine {
     pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
         let mut executed = 0;
         let mut stop = StopReason::Budget;
-        while executed < max_insns && !self.halted {
+        let max_cycles = self.watchdog.max_cycles;
+        let profiling = self.profile.is_some();
+        'blocks: while executed < max_insns && !self.halted {
             if self.insn_budget_expired() {
                 stop = StopReason::Watchdog(WatchdogKind::Instructions);
                 break;
             }
-            let pc = self.cpu.pc;
-            let insn = self.fetch_decode(pc)?;
-            let ev = step(&mut self.cpu, &mut self.mem, &insn)
-                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
-            let commit = self.core.retire(Retired { insn: &insn, pc, event: ev });
-            if let Some((regions, counts)) = &mut self.profile {
-                let delta = commit.saturating_sub(self.last_commit_seen);
-                self.last_commit_seen = self.last_commit_seen.max(commit);
-                if let Some(i) = regions.iter().position(|r| pc >= r.start && pc < r.end) {
-                    counts[i].0 += 1;
-                    counts[i].1 += delta;
+            // Block dispatch, as in `run_functional`; see there.
+            let (idx, run) = self.fetch_decode(self.cpu.pc)?;
+            let quota = self.block_quota(run, max_insns - executed);
+            for k in 0..quota as usize {
+                let pc = self.cpu.pc;
+                let insn = self.decoded[idx + k];
+                let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                    .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
+                let commit = self.core.retire(Retired { insn: &insn, pc, event: ev });
+                if profiling {
+                    self.attribute_profile(idx + k, commit);
                 }
-            }
-            executed += 1;
-            self.insns_total += 1;
-            if ev.halted {
-                self.halted = true;
-            } else if self.watchdog.max_cycles.is_some_and(|limit| commit >= limit) {
-                stop = StopReason::Watchdog(WatchdogKind::Cycles);
-                break;
+                executed += 1;
+                self.insns_total += 1;
+                if ev.halted {
+                    self.halted = true;
+                    break;
+                }
+                if max_cycles.is_some_and(|limit| commit >= limit) {
+                    stop = StopReason::Watchdog(WatchdogKind::Cycles);
+                    break 'blocks;
+                }
             }
         }
         if self.halted {
             stop = StopReason::Halted;
         }
         Ok(RunResult { executed, halted: self.halted, stop })
+    }
+
+    /// Charge one committed instruction (at code slot `slot`, committing
+    /// at cycle `commit`) to its profile region via the dense index.
+    /// Only called when profiling is enabled.
+    fn attribute_profile(&mut self, slot: usize, commit: u64) {
+        let delta = commit.saturating_sub(self.last_commit_seen);
+        self.last_commit_seen = self.last_commit_seen.max(commit);
+        let region = self.region_index.get(slot).copied().unwrap_or(NO_REGION);
+        if region != NO_REGION {
+            if let Some((_, counts)) = &mut self.profile {
+                counts[region as usize].0 += 1;
+                counts[region as usize].1 += delta;
+            }
+        }
     }
 
     /// Run to completion (or `budget` instructions) with SMARTS-style
@@ -648,8 +774,29 @@ impl Machine {
         if self.mem.store_u32(addr, word).is_err() {
             return false;
         }
-        self.decoded[idx] = decode(word).ok();
+        self.patch_code_slot(idx, decode(word).ok());
         true
+    }
+
+    /// Install a new decode result at `slot` and repair the run-length
+    /// table: the slot's own entry, then every straight-line predecessor
+    /// whose run flows into it (stopping at the previous terminator or
+    /// invalid word — runs upstream of those are unaffected).
+    fn patch_code_slot(&mut self, slot: usize, insn: Option<Instruction>) {
+        self.run_len[slot] = match &insn {
+            None => 0,
+            Some(i) if is_block_terminator(i) => 1,
+            Some(_) => 1 + self.run_len.get(slot + 1).copied().unwrap_or(0),
+        };
+        self.decoded[slot] = insn.unwrap_or(INVALID_SLOT);
+        let mut i = slot;
+        while i > 0 {
+            i -= 1;
+            if self.run_len[i] == 0 || is_block_terminator(&self.decoded[i]) {
+                break;
+            }
+            self.run_len[i] = 1 + self.run_len[i + 1];
+        }
     }
 
     /// Flip one bit of a data byte (out-of-range addresses are ignored).
@@ -756,17 +903,22 @@ impl Machine {
         self.cpu.ctr = ck.ctr;
         self.cpu.pc = ck.pc;
         self.code_base = ck.code_base;
-        self.decoded = (0..ck.code_len)
+        let slots: Vec<Option<Instruction>> = (0..ck.code_len)
             .map(|i| {
                 let addr = ck.code_base.wrapping_add((i as u32) * 4);
                 self.mem.load_u32(addr).ok().and_then(|w| decode(w).ok())
             })
             .collect();
+        let (decoded, run_len) = code_tables(&slots);
+        self.decoded = decoded;
+        self.run_len = run_len;
         self.halted = ck.halted;
         self.insns_total = ck.insns_total;
         self.watchdog = ck.watchdog;
         self.profile = ck.profile.clone();
+        self.rebuild_region_index();
         self.last_commit_seen = ck.last_commit_seen;
+        self.core.set_code_region(ck.code_base, ck.code_len);
         self.core.restore(&ck.core)
     }
 }
@@ -889,6 +1041,45 @@ loop:
         assert_eq!(err.cause, TrapCause::BadInstruction);
         assert_eq!(err.pc, 0x1000);
         assert!(format!("{err}").contains("0x00001000"));
+    }
+
+    #[test]
+    fn misaligned_pc_reports_distinct_trap() {
+        let mut m = machine(COUNT_LOOP);
+        m.cpu_mut().pc = 0x1002;
+        let err = m.run_timed(10).unwrap_err();
+        assert_eq!(err.cause, TrapCause::MisalignedFetch);
+        assert_eq!(err.pc, 0x1002);
+        assert!(format!("{err}").contains("misaligned fetch"));
+        // Functional mode reports the same distinct cause — including for
+        // a misaligned PC pointing outside the code image, which must not
+        // fold back into BadInstruction.
+        let mut f = machine(COUNT_LOOP);
+        f.cpu_mut().pc = 0x9_0001;
+        assert_eq!(f.run_functional(10).unwrap_err().cause, TrapCause::MisalignedFetch);
+        // An aligned PC outside the image is still a BadInstruction.
+        let mut b = machine(COUNT_LOOP);
+        b.cpu_mut().pc = 0x9_0000;
+        assert_eq!(b.run_timed(10).unwrap_err().cause, TrapCause::BadInstruction);
+    }
+
+    #[test]
+    fn run_length_table_matches_block_structure() {
+        // COUNT_LOOP decodes to li, li, mtctr, addi, bdnz, trap: one
+        // five-instruction run ending at the branch, then the trap block.
+        let m = machine(COUNT_LOOP);
+        assert_eq!(m.run_len, vec![5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn patching_code_repairs_run_lengths() {
+        let mut m = machine(COUNT_LOOP);
+        // Invalidate the mtctr slot: upstream runs must now stop there.
+        m.patch_code_slot(2, None);
+        assert_eq!(m.run_len, vec![2, 1, 0, 2, 1, 1]);
+        // Patch a straight-line instruction back in: full runs return.
+        m.patch_code_slot(2, Some(Instruction::Add { rt: Gpr(5), ra: Gpr(5), rb: Gpr(5) }));
+        assert_eq!(m.run_len, vec![5, 4, 3, 2, 1, 1]);
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! default so it finishes in seconds; pass `--classc` for the full
 //! benchmark scale the EXPERIMENTS.md numbers use).
 //!
+//! Besides the tables, the run reports its own wall-clock, host MIPS
+//! (target instructions retired per host second), and worker-thread
+//! count, so every regeneration doubles as a throughput sanity check
+//! against the committed `baselines/BENCH_sim_throughput.json`.
+//!
 //! Run with `cargo run --release --example paper_tables [-- --classc]`.
 
 use bioarch::apps::Scale;
@@ -13,8 +18,17 @@ fn main() {
     println!("scale: {scale:?} (pass --classc for benchmark scale)\n");
     let mut study = Study::new(scale, 42);
 
+    let start = std::time::Instant::now();
     println!("{}", study.table1().expect("table1").render());
     println!("{}", study.fig1().expect("fig1").render());
     println!("{}", study.fig3().expect("fig3").render());
     println!("{}", study.fig6().expect("fig6").render());
+    let wall = start.elapsed();
+
+    let insns = study.simulated_instructions();
+    let mips = insns as f64 / wall.as_secs_f64().max(1e-9) / 1e6;
+    println!(
+        "[{insns} target instructions in {wall:.2?} — {mips:.1} MIPS on {} thread(s)]",
+        study.threads()
+    );
 }

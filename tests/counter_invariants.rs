@@ -3,6 +3,7 @@
 //! over the application workloads.
 
 use bioarch::apps::{App, Scale, Variant, Workload};
+use power5_sim::fault::check_stall_partition;
 use power5_sim::{CoreConfig, Counters, Machine};
 use ppc_isa::Gpr;
 use proptest::prelude::*;
@@ -99,5 +100,67 @@ proptest! {
             prop_assert_eq!(f.cpu().reg(Gpr(r)), t.cpu().reg(Gpr(r)), "r{} differs", r);
         }
         prop_assert_eq!(f.cpu().pc, t.cpu().pc);
+    }
+
+    /// The flat PC-indexed site tables must be invisible relative to the
+    /// old hash-map profiling: per-PC sums still partition the aggregate
+    /// counters, and the heatmap sort order is unchanged.
+    #[test]
+    fn site_profiles_partition_the_aggregates(
+        body in proptest::collection::vec(any::<u8>(), 1..40),
+        iters in 1u16..150,
+    ) {
+        let asm = random_program(&body, iters);
+        let prog = ppc_asm::assemble(&asm, 0x1000).expect("assembles");
+        let mut m = Machine::new(CoreConfig::power5(), &prog.bytes, 0x1000, 0x1000, 1 << 20);
+        m.cpu_mut().gpr[1] = 0xF0000;
+        m.set_branch_site_profiling(true);
+        m.set_stall_site_profiling(true);
+        let result = m.run_timed(5_000_000).expect("runs");
+        prop_assert!(result.halted);
+        let c = m.counters();
+
+        // Per-PC stall breakdowns partition the aggregate CPI stack.
+        if let Err(e) = check_stall_partition(&c.stalls, &m.stall_sites()) {
+            return Err(TestCaseError::fail(e));
+        }
+
+        // Per-PC branch stats partition the aggregate branch counters
+        // (sites record conditional branches only, so `taken` is a
+        // lower bound on the aggregate, which includes unconditionals).
+        let sites = m.branch_sites();
+        let executed: u64 = sites.iter().map(|(_, s)| s.executed).sum();
+        let taken: u64 = sites.iter().map(|(_, s)| s.taken).sum();
+        let mispredicted: u64 = sites.iter().map(|(_, s)| s.mispredicted).sum();
+        prop_assert_eq!(executed, c.branches.conditional);
+        prop_assert!(taken <= c.branches.taken);
+        prop_assert_eq!(mispredicted, c.branches.direction_mispredictions);
+
+        // Heatmap ordering: stall sites by total (desc) then PC (asc);
+        // branch sites by mispredictions (desc) then PC (asc). Strict —
+        // equal keys must still yield unique, ascending PCs.
+        for w in m.stall_sites().windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                a.1.total() > b.1.total() || (a.1.total() == b.1.total() && a.0 < b.0),
+                "stall heatmap out of order at {:#x}/{:#x}", a.0, b.0
+            );
+        }
+        for w in sites.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                a.1.mispredicted > b.1.mispredicted
+                    || (a.1.mispredicted == b.1.mispredicted && a.0 < b.0),
+                "branch heatmap out of order at {:#x}/{:#x}", a.0, b.0
+            );
+        }
+
+        // Every profiled PC is a real instruction slot in the image.
+        let code_end = 0x1000 + prog.bytes.len() as u32;
+        let stall_sites = m.stall_sites();
+        let pcs = stall_sites.iter().map(|e| e.0).chain(sites.iter().map(|e| e.0));
+        for pc in pcs {
+            prop_assert!(pc >= 0x1000 && pc < code_end && pc.is_multiple_of(4));
+        }
     }
 }
