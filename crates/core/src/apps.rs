@@ -9,7 +9,9 @@ use bioseq::generate::SeqGen;
 use bioseq::hmm::ProfileHmm;
 use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
 use power5_sim::machine::{Machine, ProfileRegion, StopReason, Trap, Watchdog, WatchdogKind};
-use power5_sim::{CoreConfig, Counters, StallBreakdown, SymbolMap, Tracer};
+use power5_sim::{
+    Checkpoint, CoreConfig, Counters, Divergence, LockstepMode, StallBreakdown, SymbolMap, Tracer,
+};
 use ppc_isa::exec::MemFault;
 use std::fmt;
 
@@ -213,6 +215,16 @@ pub enum RunError {
         kind: WatchdogKind,
         /// Counters and heatmaps up to the cut-off (never validated).
         partial: Box<AppRun>,
+        /// Machine state at the cut-off, so a supervisor can resume the
+        /// run under a wider budget instead of restarting from zero.
+        checkpoint: Box<Checkpoint>,
+    },
+    /// The lockstep oracle caught the fast interpreter disagreeing with
+    /// the golden model (only possible when the run was started with a
+    /// [`LockstepMode`] other than `Off`).
+    Divergence {
+        /// The first mismatching architectural field and both values.
+        divergence: Box<Divergence>,
     },
     /// The run completed but its outputs did not match the golden
     /// models, so its counters must not be reported as results.
@@ -220,6 +232,24 @@ pub enum RunError {
         /// Which app/variant/config failed, plus the first mismatches.
         what: String,
     },
+}
+
+impl RunError {
+    /// A short machine-readable classification of this failure, used as
+    /// the `failure_class` in degraded suite reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            RunError::Compile(_) => "compile",
+            RunError::Asm(_) => "asm",
+            RunError::Image(_) => "image",
+            RunError::Layout(_) => "layout",
+            RunError::Trap(_) => "trap",
+            RunError::Budget => "budget",
+            RunError::Timeout { .. } => "timeout",
+            RunError::Divergence { .. } => "divergence",
+            RunError::Validation { .. } => "validation",
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -231,7 +261,7 @@ impl fmt::Display for RunError {
             RunError::Layout(e) => write!(f, "workload layout error: {e}"),
             RunError::Trap(t) => write!(f, "simulation {t}"),
             RunError::Budget => write!(f, "instruction budget exhausted"),
-            RunError::Timeout { kind, partial } => write!(
+            RunError::Timeout { kind, partial, .. } => write!(
                 f,
                 "watchdog {} budget expired after {} instructions / {} cycles",
                 match kind {
@@ -241,6 +271,9 @@ impl fmt::Display for RunError {
                 partial.counters.instructions,
                 partial.counters.cycles
             ),
+            RunError::Divergence { divergence } => {
+                write!(f, "lockstep divergence: {divergence}")
+            }
             RunError::Validation { what } => write!(f, "validation failed: {what}"),
         }
     }
@@ -323,6 +356,7 @@ struct RunOpts {
     stall_sites: bool,
     tracer: Option<Tracer>,
     watchdog: Option<Watchdog>,
+    lockstep: LockstepMode,
 }
 
 /// A fully prepared workload: inputs generated, golden results computed.
@@ -875,6 +909,73 @@ impl Workload {
         Ok(self.run_configured(variant, config, opts)?.0)
     }
 
+    /// Like [`Workload::run`], with the golden-model lockstep oracle
+    /// enabled for the whole run: every checked commit of the fast
+    /// interpreter is compared against a simple reference interpreter
+    /// (see `power5_sim::oracle`). A mismatch aborts the run with
+    /// [`RunError::Divergence`]. With [`LockstepMode::Off`] this is
+    /// exactly [`Workload::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run`], plus
+    /// [`RunError::Divergence`] when the oracle disagrees.
+    pub fn run_with_lockstep(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        mode: LockstepMode,
+    ) -> Result<AppRun, RunError> {
+        let opts = RunOpts { lockstep: mode, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
+    }
+
+    /// Resume a run that previously timed out: rebuild the same image,
+    /// restore `checkpoint` (taken from [`RunError::Timeout`]), install a
+    /// fresh `watchdog` budget, and run to completion. Collection
+    /// switches mirror [`Workload::run_with_watchdog`] so the final
+    /// report is comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run_with_watchdog`];
+    /// [`RunError::Image`] if the checkpoint does not match the image.
+    pub fn resume_with_watchdog(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        checkpoint: &Checkpoint,
+        watchdog: Watchdog,
+    ) -> Result<AppRun, RunError> {
+        let opts = RunOpts { watchdog: Some(watchdog), stall_sites: true, ..RunOpts::default() };
+        let built = self.build(variant, config)?;
+        Ok(self.execute_built(built, opts, Some(checkpoint))?.0)
+    }
+
+    /// The superset run the suite supervisor drives: optional interval
+    /// sampling, optional [`Watchdog`] budgets, and a [`LockstepMode`] in
+    /// one call. Stall-site collection mirrors the single-switch
+    /// entry points (on exactly when a watchdog is installed and no
+    /// interval sampling is requested), so results are byte-identical to
+    /// the corresponding `run_*` method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run`], plus
+    /// [`RunError::Timeout`] / [`RunError::Divergence`] as applicable.
+    pub fn run_full(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        interval: Option<u64>,
+        watchdog: Option<Watchdog>,
+        lockstep: LockstepMode,
+    ) -> Result<AppRun, RunError> {
+        let stall_sites = watchdog.is_some() && interval.is_none();
+        let opts = RunOpts { interval, watchdog, lockstep, stall_sites, ..RunOpts::default() };
+        Ok(self.run_configured(variant, config, opts)?.0)
+    }
+
     /// Like [`Workload::run`], with a pipeline event [`Tracer`] installed
     /// for the whole run. The tracer is returned alongside the result so
     /// the caller can inspect a ring buffer or flush a sink (call
@@ -990,18 +1091,35 @@ impl Workload {
         opts: RunOpts,
     ) -> Result<(AppRun, Tracer), RunError> {
         let built = self.build(variant, config)?;
+        self.execute_built(built, opts, None)
+    }
+
+    fn execute_built(
+        &self,
+        built: Built,
+        opts: RunOpts,
+        resume_from: Option<&Checkpoint>,
+    ) -> Result<(AppRun, Tracer), RunError> {
         let Built { mut machine, plan, regions, converted_hammocks, rejected_hammocks, .. } = built;
         if let Some(n) = opts.interval {
             machine.set_interval_sampling(n);
         }
         machine.set_branch_site_profiling(opts.branch_sites);
         machine.set_stall_site_profiling(opts.stall_sites);
+        if let Some(ck) = resume_from {
+            // Restore before installing the fresh watchdog below: the
+            // checkpoint carries the budget that already expired.
+            machine
+                .restore(ck)
+                .map_err(|e| RunError::Image(format!("checkpoint restore failed: {e}")))?;
+        }
         if let Some(t) = opts.tracer {
             machine.set_tracer(t);
         }
         if let Some(w) = opts.watchdog {
             machine.set_watchdog(w);
         }
+        machine.set_lockstep(opts.lockstep);
         let function_of = |regions: &[ProfileRegion], pc: u32| {
             regions
                 .iter()
@@ -1050,11 +1168,18 @@ impl Workload {
         };
         let result = machine.run_timed(BUDGET)?;
         if let StopReason::Watchdog(kind) = result.stop {
-            // Graceful timeout: hand back the partial report instead of
-            // aborting with nothing.
+            // Graceful timeout: hand back the partial report plus a
+            // checkpoint so a supervisor can resume under a wider budget.
+            let checkpoint = Box::new(machine.checkpoint());
             let note = format!("watchdog expired at pc {:#010x}", machine.cpu().pc);
             let (partial, _) = collect(&mut machine, false, vec![note]);
-            return Err(RunError::Timeout { kind, partial: Box::new(partial) });
+            return Err(RunError::Timeout { kind, partial: Box::new(partial), checkpoint });
+        }
+        if matches!(result.stop, StopReason::Diverged) {
+            if let Some(d) = machine.take_divergence() {
+                return Err(RunError::Divergence { divergence: Box::new(d) });
+            }
+            return Err(RunError::Image("diverged stop without a divergence record".into()));
         }
         if !result.halted {
             return Err(RunError::Budget);

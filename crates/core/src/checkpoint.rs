@@ -17,6 +17,7 @@ use power5_sim::cache::{CacheState, CacheStats};
 use power5_sim::core::{BranchSite, CoreState};
 use power5_sim::counters::{BranchCounters, Counters, IntervalSample, StallBreakdown, StallClass};
 use power5_sim::machine::{Checkpoint, ProfileRegion, Watchdog};
+use power5_sim::oracle::{ArchField, Divergence};
 use power5_sim::predictor::{PredictorState, RasState};
 use ppc_isa::insn::ExecUnit;
 
@@ -688,6 +689,123 @@ pub fn parse(text: &str) -> Result<Checkpoint, String> {
     from_json(&Json::parse(text)?)
 }
 
+// ----------------------------------------------------------------------
+// Divergence repro document
+// ----------------------------------------------------------------------
+
+/// Schema identifier embedded in every divergence-repro document.
+pub const DIVERGENCE_SCHEMA: &str = "bioarch-divergence/v1";
+
+/// A minimal, self-contained lockstep-divergence reproduction: restore
+/// [`DivergenceRepro::start`], re-apply the defect under test, and replay
+/// [`DivergenceRepro::span`] instructions under `LockstepMode::Full` to
+/// hit [`DivergenceRepro::divergence`] again (see
+/// `power5_sim::shrink_divergence` and `examples/divergence_triage.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceRepro {
+    /// Workload seed the diverging run was built from.
+    pub seed: u64,
+    /// Core-config digest; a replaying machine must match it (the
+    /// embedded checkpoint carries the same digest and `restore`
+    /// enforces it).
+    pub config_digest: u64,
+    /// Machine state just before the minimal window.
+    pub start: Checkpoint,
+    /// Instructions to replay from `start` under full lockstep.
+    pub span: u64,
+    /// `insns_total` index of the divergent instruction.
+    pub first_divergent: u64,
+    /// The recorded mismatch.
+    pub divergence: Divergence,
+}
+
+fn divergence_record_to_json(d: &Divergence) -> Json {
+    Json::obj()
+        .set("pc", ju64(u64::from(d.pc)))
+        .set("instruction", ju64(d.instruction))
+        .set("field", Json::Str(d.field.code()))
+        .set("expected", ju64(d.expected))
+        .set("actual", ju64(d.actual))
+        .set("note", Json::Str(d.note.clone()))
+        .set("recent_pcs", Json::Arr(d.recent_pcs.iter().map(|&pc| ju64(u64::from(pc))).collect()))
+}
+
+fn divergence_record_from_json(doc: &Json) -> Result<Divergence, String> {
+    let code = field(doc, "field")?.as_str().ok_or("field: expected string")?;
+    let arch_field =
+        ArchField::parse(code).ok_or_else(|| format!("unknown architectural field {code:?}"))?;
+    let recent_pcs = get_arr(doc, "recent_pcs")?
+        .iter()
+        .map(|j| {
+            pu64(j).and_then(|v| u32::try_from(v).map_err(|_| "recent pc out of range".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Divergence {
+        pc: get_u32(doc, "pc")?,
+        instruction: get_u64(doc, "instruction")?,
+        field: arch_field,
+        expected: get_u64(doc, "expected")?,
+        actual: get_u64(doc, "actual")?,
+        note: field(doc, "note")?.as_str().ok_or("note: expected string")?.to_string(),
+        recent_pcs,
+    })
+}
+
+/// Serialize a divergence repro to the JSON document model.
+pub fn divergence_to_json(repro: &DivergenceRepro) -> Json {
+    Json::obj()
+        .set("schema", Json::Str(DIVERGENCE_SCHEMA.into()))
+        .set("seed", ju64(repro.seed))
+        .set("config_digest", Json::Str(format!("{:016x}", repro.config_digest)))
+        .set("span", ju64(repro.span))
+        .set("first_divergent", ju64(repro.first_divergent))
+        .set("divergence", divergence_record_to_json(&repro.divergence))
+        .set("start", to_json(&repro.start))
+}
+
+/// Serialize a divergence repro to pretty-printed JSON text.
+pub fn render_divergence(repro: &DivergenceRepro) -> String {
+    divergence_to_json(repro).render()
+}
+
+/// Reconstruct a divergence repro from its JSON document.
+///
+/// # Errors
+///
+/// Returns a message on a wrong schema marker, missing fields, or values
+/// out of range (including inside the embedded checkpoint).
+pub fn divergence_from_json(doc: &Json) -> Result<DivergenceRepro, String> {
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != DIVERGENCE_SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {DIVERGENCE_SCHEMA:?})"));
+    }
+    let digest_hex = field(doc, "config_digest")?.as_str().ok_or("config_digest: expected hex")?;
+    let config_digest =
+        u64::from_str_radix(digest_hex, 16).map_err(|_| "config_digest: bad hex".to_string())?;
+    let start = from_json(field(doc, "start")?)?;
+    if start.config_digest != config_digest {
+        return Err("embedded checkpoint's config digest disagrees with the repro's".into());
+    }
+    Ok(DivergenceRepro {
+        seed: get_u64(doc, "seed")?,
+        config_digest,
+        start,
+        span: get_u64(doc, "span")?,
+        first_divergent: get_u64(doc, "first_divergent")?,
+        divergence: divergence_record_from_json(field(doc, "divergence")?)?,
+    })
+}
+
+/// Parse a divergence repro from JSON text.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or any structural problem (see
+/// [`divergence_from_json`]).
+pub fn parse_divergence(text: &str) -> Result<DivergenceRepro, String> {
+    divergence_from_json(&Json::parse(text)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +881,39 @@ skip:
         assert!(parse(&text.replace("/v1", "/v9")).is_err());
         assert!(parse("{}").is_err());
         assert!(parse("not json").is_err());
+    }
+
+    #[test]
+    fn divergence_repro_roundtrips_and_rejects_wrong_schema() {
+        let m = machine_mid_run();
+        let start = m.checkpoint();
+        let repro = DivergenceRepro {
+            seed: 42,
+            config_digest: start.config_digest,
+            start,
+            span: 17,
+            first_divergent: 712,
+            divergence: Divergence {
+                pc: 0x101c,
+                instruction: 712,
+                field: ArchField::Gpr(4),
+                expected: 7,
+                actual: 9,
+                note: "isel picked the wrong arm".into(),
+                recent_pcs: vec![0x1014, 0x1018, 0x101c],
+            },
+        };
+        let text = render_divergence(&repro);
+        assert!(text.contains(DIVERGENCE_SCHEMA));
+        let back = parse_divergence(&text).expect("parses");
+        assert_eq!(back, repro);
+        assert_eq!(render_divergence(&back), text);
+
+        assert!(parse_divergence(&text.replace("divergence/v1", "divergence/v9")).is_err());
+        // A tampered digest must be caught against the embedded checkpoint.
+        let tampered =
+            text.replacen(&format!("{:016x}", repro.config_digest), "00000000deadbeef", 1);
+        assert!(parse_divergence(&tampered).is_err());
     }
 
     #[test]

@@ -21,7 +21,81 @@ use power5_sim::config::BtacConfig;
 use power5_sim::counters::IntervalSample;
 use power5_sim::CoreConfig;
 use power5_sim::Watchdog;
+use power5_sim::{Checkpoint, LockstepMode, XorShift64};
 use std::collections::HashMap;
+
+/// Attempts the suite supervisor makes per simulation before
+/// quarantining the experiment into a degraded report.
+const MAX_ATTEMPTS: u32 = 3;
+
+/// Deterministic per-job seed for the supervisor's backoff generator, so
+/// the serial and parallel paths retry with identical widened budgets.
+fn job_seed(study_seed: u64, app: App, variant: Variant, hw: Hw) -> u64 {
+    let mut h = study_seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in format!("{app:?}/{variant:?}/{hw:?}").bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Seeded deterministic backoff: the resource that ran out is the budget,
+/// not wall-clock time, so "backing off" means widening each budget by
+/// 50% plus a seeded jitter of up to 25% before the next attempt.
+fn widen_watchdog(w: Watchdog, rng: &mut XorShift64) -> Watchdog {
+    let mut widen = |b: Option<u64>| b.map(|v| v + v / 2 + rng.below(v / 4 + 1));
+    Watchdog { max_cycles: widen(w.max_cycles), max_instructions: widen(w.max_instructions) }
+}
+
+/// One supervised simulation: run, and on a retryable failure (trap,
+/// watchdog timeout, lockstep divergence) retry up to [`MAX_ATTEMPTS`]
+/// times. A timed-out plain run resumes from the checkpoint carried by
+/// [`RunError::Timeout`] under a widened budget instead of restarting;
+/// interval-sampling and lockstep runs restart from scratch (a resumed
+/// machine would lose its sample series / checking window). Everything
+/// here is deterministic, so the serial path and the parallel prefetch
+/// workers converge on identical results and identical final errors.
+fn supervised_run(
+    workload: &Workload,
+    variant: Variant,
+    config: &CoreConfig,
+    interval: Option<u64>,
+    watchdog: Option<Watchdog>,
+    lockstep: LockstepMode,
+    seed: u64,
+) -> Result<AppRun, RunError> {
+    let mut rng = XorShift64::new(seed);
+    let mut budget = watchdog;
+    let mut resume: Option<Box<Checkpoint>> = None;
+    let mut last_err: Option<RunError> = None;
+    for _attempt in 0..MAX_ATTEMPTS {
+        let can_resume = interval.is_none() && lockstep == LockstepMode::Off;
+        let result = match (&resume, budget) {
+            (Some(ck), Some(w)) if can_resume => {
+                workload.resume_with_watchdog(variant, config, ck, w)
+            }
+            _ => workload.run_full(variant, config, interval, budget, lockstep),
+        };
+        match result {
+            Ok(run) => return Ok(run),
+            Err(err) => {
+                match &err {
+                    RunError::Timeout { checkpoint, .. } => {
+                        resume = Some(checkpoint.clone());
+                        budget = budget.map(|w| widen_watchdog(w, &mut rng));
+                    }
+                    RunError::Trap(_) | RunError::Divergence { .. } => {
+                        resume = None;
+                    }
+                    // Build, layout, budget, and validation failures are
+                    // deterministic dead ends — no point retrying.
+                    _ => return Err(err),
+                }
+                last_err = Some(err);
+            }
+        }
+    }
+    Err(last_err.expect("supervisor made at least one attempt"))
+}
 
 /// Hardware configurations the experiments compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +139,7 @@ pub struct Study {
     cache: HashMap<(App, Variant, Hw), AppRun>,
     interval_cache: HashMap<(App, Variant, Hw, u64), AppRun>,
     watchdog: Option<Watchdog>,
+    lockstep: LockstepMode,
     threads_override: Option<usize>,
 }
 
@@ -79,6 +154,7 @@ impl Study {
             cache: HashMap::new(),
             interval_cache: HashMap::new(),
             watchdog: None,
+            lockstep: LockstepMode::Off,
             threads_override: None,
         }
     }
@@ -113,6 +189,15 @@ impl Study {
     /// `degraded` while the rest of the suite completes.
     pub fn set_watchdog(&mut self, watchdog: Watchdog) {
         self.watchdog = Some(watchdog);
+    }
+
+    /// Enable golden-model lockstep checking for every run in the study.
+    /// A divergence fails the experiment with
+    /// [`RunError::Divergence`]; under [`Study::run_suite`] the
+    /// supervisor retries and then quarantines it as a degraded report
+    /// with `failure_class: "divergence"`.
+    pub fn set_lockstep(&mut self, mode: LockstepMode) {
+        self.lockstep = mode;
     }
 
     /// The study's input scale.
@@ -150,10 +235,15 @@ impl Study {
         if let Some(r) = self.cache.get(&(app, variant, hw)) {
             return Ok(r.clone());
         }
-        let run = match self.watchdog {
-            Some(w) => self.workload(app).run_with_watchdog(variant, &hw.config(), w)?,
-            None => self.workload(app).run(variant, &hw.config())?,
-        };
+        let run = supervised_run(
+            self.workload(app),
+            variant,
+            &hw.config(),
+            None,
+            self.watchdog,
+            self.lockstep,
+            job_seed(self.seed, app, variant, hw),
+        )?;
         if !run.validated {
             return Err(RunError::Validation {
                 what: format!(
@@ -178,11 +268,14 @@ impl Study {
         if let Some(r) = self.interval_cache.get(&(app, variant, hw, interval)) {
             return Ok(r.clone());
         }
-        let run = self.workload(app).run_with_interval(
+        let run = supervised_run(
+            self.workload(app),
             variant,
             &hw.config(),
             Some(interval),
             self.watchdog,
+            self.lockstep,
+            job_seed(self.seed, app, variant, hw),
         )?;
         if !run.validated {
             return Err(RunError::Validation {
@@ -219,6 +312,8 @@ impl Study {
             return; // serial path: experiments run on demand, as always
         }
         let watchdog = self.watchdog;
+        let lockstep = self.lockstep;
+        let seed = self.seed;
         let workloads = &self.workloads;
         let worker_of =
             |app: App| workloads.iter().find(|w| w.app() == app).expect("all apps present");
@@ -230,17 +325,29 @@ impl Study {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&job) = todo.get(i) else { break };
-                    // Mirrors the serial paths of `run`/`run_interval`
-                    // exactly; errors are dropped here (see above).
-                    let run =
-                        match job {
-                            Job::Plain(app, v, hw) => match watchdog {
-                                Some(w) => worker_of(app).run_with_watchdog(v, &hw.config(), w),
-                                None => worker_of(app).run(v, &hw.config()),
-                            },
-                            Job::Interval(app, v, hw, interval) => worker_of(app)
-                                .run_with_interval(v, &hw.config(), Some(interval), watchdog),
-                        };
+                    // The same supervised path as the serial
+                    // `run`/`run_interval`; errors are dropped here (see
+                    // above).
+                    let run = match job {
+                        Job::Plain(app, v, hw) => supervised_run(
+                            worker_of(app),
+                            v,
+                            &hw.config(),
+                            None,
+                            watchdog,
+                            lockstep,
+                            job_seed(seed, app, v, hw),
+                        ),
+                        Job::Interval(app, v, hw, interval) => supervised_run(
+                            worker_of(app),
+                            v,
+                            &hw.config(),
+                            Some(interval),
+                            watchdog,
+                            lockstep,
+                            job_seed(seed, app, v, hw),
+                        ),
+                    };
                     if let Ok(run) = run {
                         if run.validated {
                             if let Ok(mut slots) = results.lock() {
@@ -594,49 +701,94 @@ impl Study {
     // Full suite
     // ------------------------------------------------------------------
 
+    /// The suite's experiment slugs, in paper order. Each is accepted by
+    /// [`Study::run_experiment`]; [`Study::run_suite`] runs them all.
+    pub fn experiment_slugs() -> [&'static str; 8] {
+        ["table1", "fig1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6"]
+    }
+
+    /// The unique simulations `slug` needs (empty for unknown slugs).
+    fn plan_for(&self, slug: &str) -> Vec<Job> {
+        match slug {
+            "table1" | "fig1" => Self::plan_baselines(),
+            "fig2" => Self::plan_fig2(self.scale),
+            "fig3" => Self::plan_fig3(),
+            "table2" => Self::plan_table2(),
+            "fig4" => Self::plan_fig4(),
+            "fig5" => Self::plan_fig5(),
+            "fig6" => Self::plan_fig6(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Run one experiment by slug and render its report, quarantining a
+    /// failure (after the supervisor's retries) as a degraded report
+    /// carrying a machine-readable `failure_class`. Unknown slugs yield a
+    /// degraded report rather than a panic, so a resume driver fed a
+    /// stale slug list cannot abort a suite.
+    pub fn run_experiment(&mut self, slug: &str) -> Report {
+        let result = match slug {
+            "table1" => self.table1().map(|x| x.report()),
+            "fig1" => self.fig1().map(|x| x.report()),
+            "fig2" => self.fig2().map(|x| x.report()),
+            "fig3" => self.fig3().map(|x| x.report()),
+            "table2" => self.table2().map(|x| x.report()),
+            "fig4" => self.fig4().map(|x| x.report()),
+            "fig5" => self.fig5().map(|x| x.report()),
+            "fig6" => self.fig6().map(|x| x.report()),
+            other => Err(RunError::Validation { what: format!("unknown experiment `{other}`") }),
+        };
+        let mut report = match result {
+            Ok(report) => report,
+            Err(e) => {
+                let mut report = Report::new(slug);
+                report.degrade_classified(e.class(), format!("{slug}: {e}"));
+                report
+            }
+        };
+        report.context.push(("scale".into(), format!("{:?}", self.scale)));
+        report.context.push(("seed".into(), self.seed.to_string()));
+        report
+    }
+
     /// Run every table and figure of the paper, catching per-experiment
     /// failures instead of aborting the suite.
     ///
-    /// A failing experiment (trap, watchdog timeout, validation mismatch,
-    /// …) contributes a schema-valid `bioarch-report/v1` document marked
-    /// `"degraded": true` with the failure description, so one broken
+    /// A failing experiment (trap, watchdog timeout, lockstep divergence,
+    /// validation mismatch, …) is retried by the supervisor (see
+    /// [`Study::set_watchdog`]) and, if still failing, contributes a
+    /// schema-valid `bioarch-report/v1` document marked
+    /// `"degraded": true` with a classified failure, so one broken
     /// workload still leaves the other experiments' reports usable.
     pub fn run_suite(&mut self) -> Suite {
-        // Fan the union of every experiment's simulations across the
-        // worker threads up front; the per-experiment runners below then
-        // hit the cache (their own prefetch calls become no-ops).
-        let mut jobs = Self::plan_baselines();
-        jobs.extend(Self::plan_fig2(self.scale));
-        jobs.extend(Self::plan_fig3());
-        jobs.extend(Self::plan_table2());
-        jobs.extend(Self::plan_fig4());
-        jobs.extend(Self::plan_fig5());
-        jobs.extend(Self::plan_fig6());
+        self.run_suite_from(Vec::new())
+    }
+
+    /// Resume a suite: take the reports an interrupted run already
+    /// produced and run only the remaining experiments. With `done`
+    /// empty this is exactly [`Study::run_suite`]; reports come back in
+    /// paper order regardless of the done/todo split, so a resumed
+    /// suite is byte-identical to an uninterrupted one.
+    pub fn run_suite_from(&mut self, done: Vec<Report>) -> Suite {
+        let todo: Vec<&'static str> = Self::experiment_slugs()
+            .into_iter()
+            .filter(|s| !done.iter().any(|r| r.experiment == *s))
+            .collect();
+        // Fan the union of the remaining experiments' simulations across
+        // the worker threads up front; the per-experiment runners below
+        // then hit the cache (their own prefetch calls become no-ops).
+        let mut jobs = Vec::new();
+        for slug in &todo {
+            jobs.extend(self.plan_for(slug));
+        }
         self.prefetch(&jobs);
-        fn outcome(slug: &str, result: Result<Report, RunError>) -> Report {
-            match result {
-                Ok(report) => report,
-                Err(e) => {
-                    let mut report = Report::new(slug);
-                    report.degrade(format!("{slug}: {e}"));
-                    report
-                }
-            }
+        let mut reports = done;
+        for slug in todo {
+            reports.push(self.run_experiment(slug));
         }
-        let mut reports = vec![
-            outcome("table1", self.table1().map(|x| x.report())),
-            outcome("fig1", self.fig1().map(|x| x.report())),
-            outcome("fig2", self.fig2().map(|x| x.report())),
-            outcome("fig3", self.fig3().map(|x| x.report())),
-            outcome("table2", self.table2().map(|x| x.report())),
-            outcome("fig4", self.fig4().map(|x| x.report())),
-            outcome("fig5", self.fig5().map(|x| x.report())),
-            outcome("fig6", self.fig6().map(|x| x.report())),
-        ];
-        for r in &mut reports {
-            r.context.push(("scale".into(), format!("{:?}", self.scale)));
-            r.context.push(("seed".into(), self.seed.to_string()));
-        }
+        let order = Self::experiment_slugs();
+        reports
+            .sort_by_key(|r| order.iter().position(|s| *s == r.experiment).unwrap_or(order.len()));
         Suite { reports }
     }
 }
@@ -657,7 +809,15 @@ impl Suite {
 
     /// Every failure description across the suite.
     pub fn failures(&self) -> Vec<&str> {
-        self.reports.iter().flat_map(|r| r.failures.iter().map(String::as_str)).collect()
+        self.reports.iter().flat_map(|r| r.failures.iter().map(|f| f.message.as_str())).collect()
+    }
+
+    /// Every `(failure_class, message)` pair across the suite.
+    pub fn classified_failures(&self) -> Vec<(&str, &str)> {
+        self.reports
+            .iter()
+            .flat_map(|r| r.failures.iter().map(|f| (f.class.as_str(), f.message.as_str())))
+            .collect()
     }
 }
 

@@ -134,6 +134,24 @@ impl Direction {
     }
 }
 
+/// One recorded failure in a degraded [`Report`]: a machine-readable
+/// class (for quarantine triage — `"trap"`, `"timeout"`,
+/// `"divergence"`, …; see `RunError::class` in [`crate::apps`]) plus
+/// the human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Machine-readable failure class.
+    pub class: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.class, self.message)
+    }
+}
+
 /// One named metric in a [`Report`].
 #[derive(Debug, Clone)]
 pub struct Metric {
@@ -159,10 +177,10 @@ pub struct Report {
     pub context: Vec<(String, String)>,
     /// The metrics, in emission order.
     pub metrics: Vec<Metric>,
-    /// Failure descriptions. Non-empty means the run was *degraded*:
-    /// some workload or experiment failed and its metrics are missing
-    /// or partial. Serialized as a `"degraded": true` section.
-    pub failures: Vec<String>,
+    /// Failure records. Non-empty means the run was *degraded*: some
+    /// workload or experiment failed and its metrics are missing or
+    /// partial. Serialized as a `"degraded": true` section.
+    pub failures: Vec<Failure>,
 }
 
 /// Schema identifier embedded in every report document.
@@ -179,9 +197,17 @@ impl Report {
         }
     }
 
-    /// Record a failure, marking the report degraded.
+    /// Record a failure with the generic `"error"` class, marking the
+    /// report degraded. Use [`Report::degrade_classified`] when the
+    /// failure class is known.
     pub fn degrade(&mut self, failure: impl Into<String>) {
-        self.failures.push(failure.into());
+        self.degrade_classified("error", failure);
+    }
+
+    /// Record a failure with a machine-readable class, marking the
+    /// report degraded.
+    pub fn degrade_classified(&mut self, class: impl Into<String>, failure: impl Into<String>) {
+        self.failures.push(Failure { class: class.into(), message: failure.into() });
     }
 
     /// Whether any failure was recorded.
@@ -229,7 +255,16 @@ impl Report {
         if self.is_degraded() {
             doc = doc.set("degraded", Json::Bool(true)).set(
                 "failures",
-                Json::Arr(self.failures.iter().map(|f| Json::Str(f.clone())).collect()),
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj()
+                                .set("class", Json::Str(f.class.clone()))
+                                .set("message", Json::Str(f.message.clone()))
+                        })
+                        .collect(),
+                ),
             );
         }
         doc
@@ -280,16 +315,38 @@ impl Report {
             metrics.push(Metric { name, value, direction });
         }
         let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
-        let mut failures: Vec<String> = match doc.get("failures") {
-            Some(Json::Arr(items)) => {
-                items.iter().map(|f| f.as_str().unwrap_or_default().to_string()).collect()
-            }
+        let mut failures: Vec<Failure> = match doc.get("failures") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|f| match f {
+                    // Pre-classification documents recorded failures as
+                    // plain strings; heal them with the generic class.
+                    Json::Str(message) => {
+                        Failure { class: "error".to_string(), message: message.clone() }
+                    }
+                    other => Failure {
+                        class: other
+                            .get("class")
+                            .and_then(Json::as_str)
+                            .unwrap_or("error")
+                            .to_string(),
+                        message: other
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    },
+                })
+                .collect(),
             _ => Vec::new(),
         };
         if degraded && failures.is_empty() {
             // A degraded marker without descriptions still round-trips as
             // degraded rather than silently healing.
-            failures.push("degraded (no failure details recorded)".to_string());
+            failures.push(Failure {
+                class: "unknown".to_string(),
+                message: "degraded (no failure details recorded)".to_string(),
+            });
         }
         Ok(Report { experiment, context, metrics, failures })
     }
@@ -488,15 +545,38 @@ mod tests {
         assert!(!Report::parse(&text).unwrap().is_degraded());
 
         let mut bad = sample_report();
-        bad.degrade("fasta: trap at pc 0x00001040, cycle 812: unmapped load");
+        bad.degrade_classified("trap", "fasta: trap at pc 0x00001040, cycle 812: unmapped load");
         bad.degrade("hmmer: watchdog instruction budget expired");
         let text = bad.render_json();
         assert!(text.contains("\"degraded\": true"));
         let back = Report::parse(&text).unwrap();
         assert!(back.is_degraded());
         assert_eq!(back.failures, bad.failures);
+        assert_eq!(back.failures[0].class, "trap");
+        assert_eq!(back.failures[1].class, "error");
+        assert!(format!("{}", back.failures[0]).starts_with("[trap] "));
         // Metrics survive alongside the failure records.
         assert_eq!(back.metrics.len(), 3);
+    }
+
+    #[test]
+    fn legacy_plain_string_failures_still_parse() {
+        // Reports written before failures were classified stored them as
+        // plain strings; they heal into the generic class.
+        let text = r#"{
+            "schema": "bioarch-report/v1",
+            "experiment": "table1",
+            "context": {},
+            "metrics": [],
+            "degraded": true,
+            "failures": ["fasta: something broke"]
+        }"#;
+        let back = Report::parse(text).unwrap();
+        assert!(back.is_degraded());
+        assert_eq!(
+            back.failures,
+            vec![Failure { class: "error".into(), message: "fasta: something broke".into() }]
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! runaway programs are cut off by [`machine::Watchdog`] budgets, the
 //! complete machine state round-trips through [`machine::Checkpoint`]
 //! for bit-exact resume, and [`fault`] provides a seeded fault-injection
-//! plan with containment checking.
+//! plan with containment checking. The [`oracle`] module adds a
+//! golden-model lockstep checker (a deliberately simple reference
+//! interpreter compared against the fast path per committed
+//! instruction, behind [`oracle::LockstepMode`]) and a divergence
+//! shrinker that delta-debugs a mismatch down to a minimal window.
 //!
 //! # Example
 //!
@@ -66,6 +70,7 @@ pub mod core;
 pub mod counters;
 pub mod fault;
 pub mod machine;
+pub mod oracle;
 pub mod predictor;
 pub mod trace;
 
@@ -75,4 +80,5 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectionWindow, XorShift64};
 pub use machine::{
     Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,
 };
+pub use oracle::{shrink_divergence, ArchField, Divergence, LockstepMode, Oracle, ShrunkRepro};
 pub use trace::{SymbolMap, Tracer};

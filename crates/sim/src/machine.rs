@@ -25,6 +25,7 @@
 use crate::config::CoreConfig;
 use crate::core::{CoreState, Retired, TimingCore};
 use crate::counters::{Counters, StallBreakdown};
+use crate::oracle::{Divergence, Lockstep, LockstepMode};
 use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
 use ppc_isa::exec::MemFault;
 use ppc_isa::reg::CondReg;
@@ -50,6 +51,11 @@ pub enum StopReason {
     /// A [`Watchdog`] budget expired — the graceful "Timeout" outcome for
     /// runaway kernels; counters and heatmaps remain readable.
     Watchdog(WatchdogKind),
+    /// The lockstep oracle caught the fast path disagreeing with the
+    /// reference semantics; the [`Divergence`] record is available from
+    /// [`Machine::take_divergence`]. Only possible when a
+    /// non-[`LockstepMode::Off`] mode is installed.
+    Diverged,
 }
 
 /// Result of a run.
@@ -302,6 +308,9 @@ pub struct Machine {
     /// Instructions executed across all run calls (watchdog bookkeeping).
     insns_total: u64,
     watchdog: Watchdog,
+    /// Lockstep oracle checker (`None` = [`LockstepMode::Off`]). Like
+    /// the tracer, harness state: excluded from checkpoints.
+    lockstep: Option<Lockstep>,
 }
 
 impl Machine {
@@ -364,7 +373,47 @@ impl Machine {
             symbols: None,
             insns_total: 0,
             watchdog: Watchdog::default(),
+            lockstep: None,
         })
+    }
+
+    /// Install a lockstep verification mode (see [`LockstepMode`]).
+    /// [`LockstepMode::Off`] removes the checker entirely, restoring the
+    /// untouched fast run loops; any previously recorded divergence is
+    /// discarded.
+    pub fn set_lockstep(&mut self, mode: LockstepMode) {
+        self.lockstep = Lockstep::new(mode);
+    }
+
+    /// The active lockstep mode.
+    pub fn lockstep_mode(&self) -> LockstepMode {
+        self.lockstep.as_ref().map_or(LockstepMode::Off, Lockstep::mode)
+    }
+
+    /// Remove and return the divergence recorded by the last run that
+    /// stopped with [`StopReason::Diverged`].
+    pub fn take_divergence(&mut self) -> Option<Divergence> {
+        self.lockstep.as_mut().and_then(Lockstep::take_divergence)
+    }
+
+    /// Install `insn` in the pre-decoded table at `pc` *without*
+    /// touching the backing memory — a model of a fast-path pre-decode
+    /// defect (the class of bug the lockstep oracle exists to catch:
+    /// the oracle fetches and decodes the raw memory word, so it sees
+    /// the correct instruction while the fast path executes the wrong
+    /// one). Returns `false` when `pc` is outside the code region.
+    ///
+    /// Note that [`Machine::restore`] rebuilds the decode table from
+    /// memory and therefore silently repairs an injected decode bug;
+    /// triage flows must re-apply it after every restore (see
+    /// [`crate::oracle::shrink_divergence`]).
+    pub fn inject_decode_bug(&mut self, pc: u32, insn: Instruction) -> bool {
+        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+        if !pc.is_multiple_of(4) || idx >= self.decoded.len() {
+            return false;
+        }
+        self.patch_code_slot(idx, Some(insn));
+        true
     }
 
     /// Install watchdog budgets (see [`Watchdog`]). A budget that is
@@ -587,9 +636,14 @@ impl Machine {
     ///
     /// Returns a [`Trap`] on memory faults or undecodable instructions.
     pub fn run_functional(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        if self.lockstep.is_some() {
+            // Lockstep checking runs in its own per-instruction loop so
+            // this hot path stays untouched when the mode is Off.
+            return self.run_functional_checked(max_insns);
+        }
         let mut executed = 0;
         let mut stop = StopReason::Budget;
-        while executed < max_insns && !self.halted {
+        'blocks: while executed < max_insns && !self.halted {
             if self.insn_budget_expired() {
                 stop = StopReason::Watchdog(WatchdogKind::Instructions);
                 break;
@@ -611,6 +665,14 @@ impl Machine {
                     self.halted = true;
                     break;
                 }
+                if let Some((addr, width, true)) = ev.mem {
+                    if self.repair_stored_code(addr, width) {
+                        // The decode tables just changed: drop the rest
+                        // of the block quota and re-fetch at the
+                        // already-advanced PC.
+                        continue 'blocks;
+                    }
+                }
             }
         }
         if self.halted {
@@ -625,6 +687,10 @@ impl Machine {
     ///
     /// Returns a [`Trap`] on memory faults or undecodable instructions.
     pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        if self.lockstep.is_some() {
+            // See `run_functional`: the checked loop is separate.
+            return self.run_timed_checked(max_insns);
+        }
         let mut executed = 0;
         let mut stop = StopReason::Budget;
         let max_cycles = self.watchdog.max_cycles;
@@ -656,6 +722,131 @@ impl Machine {
                     stop = StopReason::Watchdog(WatchdogKind::Cycles);
                     break 'blocks;
                 }
+                if let Some((addr, width, true)) = ev.mem {
+                    if self.repair_stored_code(addr, width) {
+                        // See `run_functional`: re-fetch after the
+                        // tables changed. The watchdog was already
+                        // checked above, so stop ordering is identical.
+                        continue 'blocks;
+                    }
+                }
+            }
+        }
+        if self.halted {
+            stop = StopReason::Halted;
+        }
+        Ok(RunResult { executed, halted: self.halted, stop })
+    }
+
+    /// Functional run with lockstep verification: per-instruction
+    /// dispatch (no block hoisting — correctness checking, not speed),
+    /// with every commit the sampler selects re-derived by the oracle
+    /// and compared. Architecturally identical to [`Machine::run_functional`]
+    /// up to the first divergence, which stops the run with
+    /// [`StopReason::Diverged`].
+    fn run_functional_checked(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        let mut executed = 0;
+        let mut stop = StopReason::Budget;
+        while executed < max_insns && !self.halted {
+            if self.insn_budget_expired() {
+                stop = StopReason::Watchdog(WatchdogKind::Instructions);
+                break;
+            }
+            let (idx, _run) = self.fetch_decode(self.cpu.pc)?;
+            let pc = self.cpu.pc;
+            let insn = self.decoded[idx];
+            let check = self.lockstep.as_mut().is_some_and(Lockstep::check_due);
+            let pre = if check { Some(self.cpu.clone()) } else { None };
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
+            executed += 1;
+            self.insns_total += 1;
+            if let Some(ls) = self.lockstep.as_mut() {
+                ls.note_commit(pc);
+                if let Some(pre) = &pre {
+                    if ls.verify_commit(
+                        pre,
+                        &self.cpu,
+                        &mut self.mem,
+                        &insn,
+                        ev,
+                        self.insns_total - 1,
+                    ) {
+                        stop = StopReason::Diverged;
+                        break;
+                    }
+                }
+            }
+            if ev.halted {
+                self.halted = true;
+                break;
+            }
+            if let Some((addr, width, true)) = ev.mem {
+                // Same self-modifying-code repair as the unchecked loop;
+                // the next iteration re-fetches anyway.
+                self.repair_stored_code(addr, width);
+            }
+        }
+        if self.halted {
+            stop = StopReason::Halted;
+        }
+        Ok(RunResult { executed, halted: self.halted, stop })
+    }
+
+    /// Timed run with lockstep verification; retires the same commit
+    /// stream as [`Machine::run_timed`], so counters are identical to an
+    /// unchecked run up to the first divergence.
+    fn run_timed_checked(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        let mut executed = 0;
+        let mut stop = StopReason::Budget;
+        let max_cycles = self.watchdog.max_cycles;
+        let profiling = self.profile.is_some();
+        while executed < max_insns && !self.halted {
+            if self.insn_budget_expired() {
+                stop = StopReason::Watchdog(WatchdogKind::Instructions);
+                break;
+            }
+            let (idx, _run) = self.fetch_decode(self.cpu.pc)?;
+            let pc = self.cpu.pc;
+            let insn = self.decoded[idx];
+            let check = self.lockstep.as_mut().is_some_and(Lockstep::check_due);
+            let pre = if check { Some(self.cpu.clone()) } else { None };
+            let ev = step(&mut self.cpu, &mut self.mem, &insn)
+                .map_err(|m| self.trap(TrapCause::Mem(m), pc))?;
+            let commit = self.core.retire(Retired { insn: &insn, pc, event: ev });
+            if profiling {
+                self.attribute_profile(idx, commit);
+            }
+            executed += 1;
+            self.insns_total += 1;
+            if let Some(ls) = self.lockstep.as_mut() {
+                ls.note_commit(pc);
+                if let Some(pre) = &pre {
+                    if ls.verify_commit(
+                        pre,
+                        &self.cpu,
+                        &mut self.mem,
+                        &insn,
+                        ev,
+                        self.insns_total - 1,
+                    ) {
+                        stop = StopReason::Diverged;
+                        break;
+                    }
+                }
+            }
+            if ev.halted {
+                self.halted = true;
+                break;
+            }
+            if max_cycles.is_some_and(|limit| commit >= limit) {
+                stop = StopReason::Watchdog(WatchdogKind::Cycles);
+                break;
+            }
+            if let Some((addr, width, true)) = ev.mem {
+                // Same self-modifying-code repair as the unchecked loop;
+                // the next iteration re-fetches anyway.
+                self.repair_stored_code(addr, width);
             }
         }
         if self.halted {
@@ -708,7 +899,7 @@ impl Machine {
             let ff = sampling.period - sampling.warmup - sampling.detail;
             let r = self.run_functional(ff.min(budget - total))?;
             total += r.executed;
-            if let StopReason::Watchdog(_) = r.stop {
+            if matches!(r.stop, StopReason::Watchdog(_) | StopReason::Diverged) {
                 stop = r.stop;
                 break;
             }
@@ -720,7 +911,7 @@ impl Machine {
             let r = self.run_timed(sampling.warmup.min(budget - total))?;
             total += r.executed;
             let _ = before_warm; // warm-up deltas are deliberately dropped
-            if let StopReason::Watchdog(_) = r.stop {
+            if matches!(r.stop, StopReason::Watchdog(_) | StopReason::Diverged) {
                 stop = r.stop;
                 break;
             }
@@ -733,7 +924,7 @@ impl Machine {
             total += r.executed;
             let after = self.core.counters();
             measured.merge(&delta(&after, &before));
-            if let StopReason::Watchdog(_) = r.stop {
+            if matches!(r.stop, StopReason::Watchdog(_) | StopReason::Diverged) {
                 stop = r.stop;
                 break 'outer;
             }
@@ -799,12 +990,38 @@ impl Machine {
         }
     }
 
+    /// Re-decode every code slot a just-executed store touched. The
+    /// decode and run-length tables are derived from memory, and every
+    /// writer must repair them — including the program's own stores
+    /// (self-modifying code; in practice a fault-corrupted wild store
+    /// landing in the code region). Returns whether any slot changed,
+    /// so block dispatch can re-fetch. No-op for the overwhelmingly
+    /// common store outside the code region.
+    fn repair_stored_code(&mut self, addr: u32, width: u32) -> bool {
+        let base = u64::from(self.code_base);
+        let end = base + (self.decoded.len() as u64) * 4;
+        let lo = u64::from(addr);
+        let hi = lo + u64::from(width.max(1)) - 1;
+        if lo >= end || hi < base {
+            return false;
+        }
+        let first = (lo.max(base) - base) / 4;
+        let last = (hi.min(end - 1) - base) / 4;
+        for slot in first..=last {
+            let word_addr = self.code_base.wrapping_add((slot as u32) * 4);
+            let insn = self.mem.load_u32(word_addr).ok().and_then(|w| decode(w).ok());
+            self.patch_code_slot(slot as usize, insn);
+        }
+        true
+    }
+
     /// Flip one bit of a data byte (out-of-range addresses are ignored).
-    /// Flipping bytes inside the code region only affects data reads —
-    /// fetch goes through the decode table; use
-    /// [`Machine::flip_code_bit`] for instruction faults.
+    /// Flipping bytes inside the code region repairs the decode table
+    /// the same way an executed store would; use
+    /// [`Machine::flip_code_bit`] for word-aligned instruction faults.
     pub fn flip_data_bit(&mut self, addr: u32, bit: u32) {
         self.mem.flip_bit(addr, bit);
+        self.repair_stored_code(addr, 1);
     }
 
     /// Flip one bit of an architectural register. `reg % 35` selects
@@ -1203,6 +1420,43 @@ loop:
     }
 
     #[test]
+    fn stores_into_the_code_region_repair_the_decode_tables() {
+        // The program copies the `donor` instruction word over `patchme`
+        // *within the same straight-line block*, so the repaired decode
+        // and run-length tables must take effect immediately: memory is
+        // the authority, and the stored instruction (r3 += 100) executes
+        // instead of the original (r3 += 1).
+        const SMC: &str = "
+entry:
+    li r3, 0
+    li r9, 4124
+    lwz r8, 0(r9)
+    li r10, 4116
+    stw r8, 0(r10)
+patchme:
+    addi r3, r3, 1
+    trap
+donor:
+    addi r3, r3, 100
+";
+        for timed in [false, true] {
+            let mut m = machine(SMC);
+            let r = if timed { m.run_timed(u64::MAX) } else { m.run_functional(u64::MAX) }
+                .expect("smc program runs");
+            assert!(r.halted);
+            assert_eq!(m.cpu().reg(Gpr(3)), 100, "the stored instruction must execute");
+        }
+        // The oracle agrees: full lockstep sees no divergence, because
+        // the decode table tracks the mutated memory.
+        let mut checked = machine(SMC);
+        checked.set_lockstep(LockstepMode::Full);
+        let r = checked.run_timed(u64::MAX).expect("checked smc program runs");
+        assert!(r.halted, "full-lockstep run must halt, not diverge: {:?}", r.stop);
+        assert_eq!(checked.cpu().reg(Gpr(3)), 100);
+        assert!(checked.take_divergence().is_none());
+    }
+
+    #[test]
     fn flip_code_bit_outside_code_region_is_refused() {
         let mut m = machine(COUNT_LOOP);
         assert!(!m.flip_code_bit(0x9_0000, 0));
@@ -1259,6 +1513,131 @@ loop:
         m.run_timed(u64::MAX).unwrap();
         let c = m.counters();
         assert!(c.intervals.len() >= 9, "intervals {}", c.intervals.len());
+    }
+
+    // A loop whose body exercises `isel`, the paper's predicated-select
+    // instruction — the fast-path defect class the lockstep tests below
+    // inject is a wrong `isel` condition in the decode table.
+    const ISEL_LOOP: &str = "
+entry:
+    li r3, 0
+    li r7, 400
+    mtctr r7
+    li r5, 1
+    li r6, 2
+loop:
+    cmpwi cr0, r3, 25
+    isel r4, r5, r6, 4*cr0+gt
+    add r3, r3, r4
+    bdnz loop
+    trap
+";
+
+    /// The PC of the first `isel` in the image and a copy of it with the
+    /// condition bit flipped (`gt` -> `lt`).
+    fn isel_site(m: &Machine) -> (u32, Instruction) {
+        let idx = m
+            .decoded
+            .iter()
+            .position(|i| matches!(i, Instruction::Isel { .. }))
+            .expect("program contains isel");
+        let Instruction::Isel { rt, ra, rb, bc } = m.decoded[idx] else {
+            unreachable!();
+        };
+        let wrong =
+            Instruction::Isel { rt, ra, rb, bc: ppc_isa::CrBit(if bc.0 == 0 { 1 } else { 0 }) };
+        (m.code_base + (idx as u32) * 4, wrong)
+    }
+
+    #[test]
+    fn oracle_matches_the_fast_interpreter_end_to_end() {
+        let mut m = machine(ISEL_LOOP);
+        let mut o = crate::oracle::Oracle::from_machine(&m);
+        m.run_functional(u64::MAX).unwrap();
+        o.run(u64::MAX).unwrap();
+        assert!(m.halted() && o.halted());
+        assert_eq!(m.cpu(), o.cpu());
+        assert_eq!(m.mem(), o.mem());
+    }
+
+    #[test]
+    fn full_lockstep_passes_clean_runs_and_matches_unchecked_counters() {
+        let mut plain = machine(ISEL_LOOP);
+        let mut checked = machine(ISEL_LOOP);
+        checked.set_lockstep(LockstepMode::Full);
+        assert_eq!(checked.lockstep_mode(), LockstepMode::Full);
+        let rp = plain.run_timed(u64::MAX).unwrap();
+        let rc = checked.run_timed(u64::MAX).unwrap();
+        assert_eq!(rp, rc);
+        assert_eq!(plain.counters(), checked.counters());
+        assert_eq!(plain.cpu(), checked.cpu());
+        assert!(checked.take_divergence().is_none());
+    }
+
+    #[test]
+    fn full_lockstep_catches_an_injected_decode_bug() {
+        let mut m = machine(ISEL_LOOP);
+        let (pc, wrong) = isel_site(&m);
+        assert!(m.inject_decode_bug(pc, wrong));
+        m.set_lockstep(LockstepMode::Full);
+        let r = m.run_timed(u64::MAX).unwrap();
+        assert_eq!(r.stop, StopReason::Diverged);
+        assert!(!r.halted);
+        let d = m.take_divergence().expect("divergence recorded");
+        assert_eq!(d.pc, pc);
+        assert_eq!(d.field, crate::oracle::ArchField::Decode);
+        assert_eq!(d.recent_pcs.last(), Some(&pc));
+        assert!(format!("{d}").contains("decode"));
+    }
+
+    #[test]
+    fn sampled_lockstep_detects_and_the_shrinker_minimizes_the_window() {
+        let mut m = machine(ISEL_LOOP);
+        let start = m.checkpoint();
+        let (pc, wrong) = isel_site(&m);
+        assert!(m.inject_decode_bug(pc, wrong));
+        m.set_lockstep(LockstepMode::Sampled { period: 10, seed: 11 });
+        let r = m.run_functional(u64::MAX).unwrap();
+        assert_eq!(r.stop, StopReason::Diverged, "sampled lockstep must land on the bad isel");
+        let d = m.take_divergence().expect("divergence recorded");
+        assert_eq!(d.pc, pc);
+
+        let mut reapply = |mm: &mut Machine| {
+            mm.inject_decode_bug(pc, wrong);
+        };
+        let repro =
+            crate::oracle::shrink_divergence(&mut m, &start, &mut reapply, d.instruction, 64)
+                .expect("shrinker converges");
+        assert!(repro.span <= 64, "span {}", repro.span);
+        assert_eq!(repro.divergence.pc, pc);
+        assert_eq!(repro.divergence.field, crate::oracle::ArchField::Decode);
+        assert_eq!(repro.first_divergent + 1, repro.start.insns_total + repro.span);
+
+        // The repro replays: restore the start checkpoint, re-apply the
+        // defect, run the span under full lockstep, observe the same
+        // divergence.
+        let mut replay = machine(ISEL_LOOP);
+        replay.restore(&repro.start).unwrap();
+        reapply(&mut replay);
+        replay.set_lockstep(LockstepMode::Full);
+        let rr = replay.run_functional(repro.span).unwrap();
+        assert_eq!(rr.stop, StopReason::Diverged);
+        let dd = replay.take_divergence().unwrap();
+        assert_eq!(dd.pc, repro.divergence.pc);
+        assert_eq!(dd.field, repro.divergence.field);
+        assert_eq!(dd.instruction, repro.first_divergent);
+    }
+
+    #[test]
+    fn lockstep_off_is_the_default_and_clears_state() {
+        let mut m = machine(COUNT_LOOP);
+        assert_eq!(m.lockstep_mode(), LockstepMode::Off);
+        m.set_lockstep(LockstepMode::Full);
+        m.set_lockstep(LockstepMode::Off);
+        assert_eq!(m.lockstep_mode(), LockstepMode::Off);
+        let r = m.run_timed(u64::MAX).unwrap();
+        assert!(r.halted);
+        assert!(m.take_divergence().is_none());
     }
 
     #[test]

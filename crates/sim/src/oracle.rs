@@ -1,0 +1,749 @@
+//! Golden-model lockstep oracle and divergence triage.
+//!
+//! The fast interpreter in [`crate::machine`] earns its speed from a
+//! pre-decoded dense code table and run-length basic-block dispatch —
+//! exactly the kind of machinery that can silently drift from the
+//! architecture it models. This module provides the counterweight: a
+//! deliberately simple, obviously-correct reference interpreter (the
+//! [`Oracle`]) that fetches the raw instruction word from memory,
+//! decodes it, and executes it with no pre-decode, no block cache, and
+//! no dispatch cleverness at all.
+//!
+//! Three pieces:
+//!
+//! * **Lockstep checking** ([`LockstepMode`]): the [`crate::Machine`]
+//!   re-derives every checked commit independently — raw fetch, fresh
+//!   decode, execution of a cloned pre-state — and compares next-PC,
+//!   GPR/CR/LR/CTR writes, and the memory/branch/halt effects against
+//!   the fast path. `Off` is literally zero-cost (the fast run loops are
+//!   untouched); `Sampled` checks a seeded pseudo-random subset;
+//!   `Full` checks every instruction. The machine model carries no XER,
+//!   so the comparison covers the architectural fields that exist
+//!   (PC, GPRs, CR, LR, CTR) — see DESIGN.md §12.
+//! * **Divergence records** ([`Divergence`]): the first mismatching
+//!   architectural field, both values, a human-readable note, and the
+//!   last [`RECENT_PCS`] committed PCs for context.
+//! * **Triage** ([`shrink_divergence`]): a checkpoint-bisecting
+//!   delta-debugger that narrows a detected divergence to a window of at
+//!   most `max_span` instructions and replays it under full lockstep to
+//!   pinpoint the first divergent commit, producing a [`ShrunkRepro`]
+//!   that serializes as a `bioarch-divergence/v1` document (see the
+//!   `bioarch` crate's `checkpoint` module).
+
+#![deny(clippy::unwrap_used)]
+
+use crate::fault::XorShift64;
+use crate::machine::{Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog};
+use ppc_isa::{decode, step, CpuState, Instruction, Memory, StepEvent};
+use std::fmt;
+
+/// How many committed PCs a [`Divergence`] record retains for context.
+pub const RECENT_PCS: usize = 32;
+
+/// Lockstep verification policy for a [`Machine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LockstepMode {
+    /// No checking. The fast run loops are used unchanged; this is the
+    /// default and has zero cost.
+    #[default]
+    Off,
+    /// Check a seeded pseudo-random subset of commits: successive checks
+    /// are `1 + below(period)` instructions apart, so `period` is the
+    /// mean sampling gap and the schedule is reproducible from `seed`.
+    Sampled {
+        /// Mean gap between checked instructions.
+        period: u64,
+        /// PRNG seed for the sampling schedule.
+        seed: u64,
+    },
+    /// Check every committed instruction.
+    Full,
+}
+
+/// The first architectural field found to disagree between the fast
+/// path and the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchField {
+    /// The decode table disagrees with decoding the raw memory word.
+    Decode,
+    /// The next program counter.
+    NextPc,
+    /// A general-purpose register (0–31).
+    Gpr(u8),
+    /// The condition register.
+    Cr,
+    /// The link register.
+    Lr,
+    /// The count register.
+    Ctr,
+    /// The halted flag of the step event.
+    Halted,
+    /// The branch outcome of the step event.
+    Branch,
+    /// The memory effect of the step event.
+    MemEffect,
+}
+
+impl ArchField {
+    /// Stable machine-readable code, used by the `bioarch-divergence/v1`
+    /// serialization.
+    pub fn code(self) -> String {
+        match self {
+            ArchField::Decode => "decode".to_string(),
+            ArchField::NextPc => "next-pc".to_string(),
+            ArchField::Gpr(i) => format!("gpr{i}"),
+            ArchField::Cr => "cr".to_string(),
+            ArchField::Lr => "lr".to_string(),
+            ArchField::Ctr => "ctr".to_string(),
+            ArchField::Halted => "halted".to_string(),
+            ArchField::Branch => "branch".to_string(),
+            ArchField::MemEffect => "mem-effect".to_string(),
+        }
+    }
+
+    /// Inverse of [`ArchField::code`].
+    pub fn parse(code: &str) -> Option<ArchField> {
+        match code {
+            "decode" => Some(ArchField::Decode),
+            "next-pc" => Some(ArchField::NextPc),
+            "cr" => Some(ArchField::Cr),
+            "lr" => Some(ArchField::Lr),
+            "ctr" => Some(ArchField::Ctr),
+            "halted" => Some(ArchField::Halted),
+            "branch" => Some(ArchField::Branch),
+            "mem-effect" => Some(ArchField::MemEffect),
+            _ => {
+                let n: u8 = code.strip_prefix("gpr")?.parse().ok()?;
+                (n < 32).then_some(ArchField::Gpr(n))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArchField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A detected disagreement between the fast path and the oracle at one
+/// committed instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// PC of the divergent instruction.
+    pub pc: u32,
+    /// Lifetime committed-instruction index of the divergent commit
+    /// (0-based; equals `insns_total - 1` at detection time).
+    pub instruction: u64,
+    /// First mismatching field.
+    pub field: ArchField,
+    /// The oracle's value for the field (encoded; see the field docs in
+    /// DESIGN.md §12 for event encodings).
+    pub expected: u64,
+    /// The fast path's value for the field.
+    pub actual: u64,
+    /// Human-readable one-line diagnosis.
+    pub note: String,
+    /// The last committed PCs (oldest first, ending with the divergent
+    /// instruction's PC).
+    pub recent_pcs: Vec<u32>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence at pc {:#010x} (instruction {}): field {} expected {:#x} actual {:#x}",
+            self.pc, self.instruction, self.field, self.expected, self.actual
+        )?;
+        writeln!(f, "  {}", self.note)?;
+        write!(f, "  last {} committed pcs:", self.recent_pcs.len())?;
+        for (i, pc) in self.recent_pcs.iter().enumerate() {
+            if i % 8 == 0 {
+                write!(f, "\n   ")?;
+            }
+            write!(f, " {pc:#010x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Encode a [`StepEvent`] branch outcome for a [`Divergence`] record:
+/// bit 40 set = no branch, else bit 32 = taken, low 32 bits = target.
+fn enc_branch(b: Option<(bool, u32)>) -> u64 {
+    match b {
+        None => 1 << 40,
+        Some((taken, target)) => (u64::from(taken) << 32) | u64::from(target),
+    }
+}
+
+/// Encode a [`StepEvent`] memory effect: bit 48 set = none, else bit 40
+/// = store, bits 32–39 = width, low 32 bits = address.
+fn enc_mem(m: Option<(u32, u32, bool)>) -> u64 {
+    match m {
+        None => 1 << 48,
+        Some((addr, width, store)) => {
+            (u64::from(store) << 40) | (u64::from(width & 0xff) << 32) | u64::from(addr)
+        }
+    }
+}
+
+/// In-machine lockstep checker state. Owned by [`Machine`] when a
+/// non-[`LockstepMode::Off`] mode is installed; deliberately excluded
+/// from checkpoints (like the tracer, it is harness state, not
+/// simulation state).
+#[derive(Debug, Clone)]
+pub struct Lockstep {
+    mode: LockstepMode,
+    rng: XorShift64,
+    /// Commits to skip before the next check (0 = check the next one).
+    gap: u64,
+    /// Ring of the last [`RECENT_PCS`] committed PCs.
+    recent: Vec<u32>,
+    head: usize,
+    divergence: Option<Divergence>,
+}
+
+impl Lockstep {
+    /// Build checker state for `mode`. Returns `None` for
+    /// [`LockstepMode::Off`].
+    pub fn new(mode: LockstepMode) -> Option<Lockstep> {
+        match mode {
+            LockstepMode::Off => None,
+            LockstepMode::Sampled { period, seed } => {
+                let mut rng = XorShift64::new(seed);
+                let gap = rng.below(period.max(1));
+                Some(Lockstep { mode, rng, gap, recent: Vec::new(), head: 0, divergence: None })
+            }
+            LockstepMode::Full => Some(Lockstep {
+                mode,
+                rng: XorShift64::new(1),
+                gap: 0,
+                recent: Vec::new(),
+                head: 0,
+                divergence: None,
+            }),
+        }
+    }
+
+    /// The installed mode.
+    pub fn mode(&self) -> LockstepMode {
+        self.mode
+    }
+
+    /// Whether the instruction about to commit should be checked;
+    /// advances the sampling schedule.
+    pub(crate) fn check_due(&mut self) -> bool {
+        match self.mode {
+            LockstepMode::Off => false,
+            LockstepMode::Full => true,
+            LockstepMode::Sampled { period, .. } => {
+                if self.gap == 0 {
+                    self.gap = 1 + self.rng.below(period.max(1));
+                    true
+                } else {
+                    self.gap -= 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a committed PC in the context ring.
+    pub(crate) fn note_commit(&mut self, pc: u32) {
+        if self.recent.len() < RECENT_PCS {
+            self.recent.push(pc);
+        } else {
+            self.recent[self.head] = pc;
+            self.head = (self.head + 1) % RECENT_PCS;
+        }
+    }
+
+    /// The ring contents, oldest first.
+    fn recent_pcs(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.recent.len());
+        for i in 0..self.recent.len() {
+            out.push(self.recent[(self.head + i) % self.recent.len().max(1)]);
+        }
+        out
+    }
+
+    /// Remove and return the recorded divergence.
+    pub(crate) fn take_divergence(&mut self) -> Option<Divergence> {
+        self.divergence.take()
+    }
+
+    /// Re-derive one commit independently and compare it against what
+    /// the fast path did. `pre` is the architectural state before the
+    /// instruction (the divergent PC is `pre.pc`), `post` the state the
+    /// fast path produced, `fast_insn`/`fast_ev` what the fast path
+    /// executed and observed. `mem` is the shared memory *after* the
+    /// fast path's step; re-executing against it is safe because a
+    /// correct store re-stores identical bytes and the comparison stops
+    /// the run at the first divergence.
+    ///
+    /// Returns `true` when a divergence was recorded.
+    pub(crate) fn verify_commit(
+        &mut self,
+        pre: &CpuState,
+        post: &CpuState,
+        mem: &mut Memory,
+        fast_insn: &Instruction,
+        fast_ev: StepEvent,
+        index: u64,
+    ) -> bool {
+        let pc = pre.pc;
+        let recent = self.recent_pcs();
+        let mut diverge = |field, expected, actual, note: String| {
+            self.divergence = Some(Divergence {
+                pc,
+                instruction: index,
+                field,
+                expected,
+                actual,
+                note,
+                recent_pcs: recent.clone(),
+            });
+            true
+        };
+        // 1. Independent fetch and decode straight from memory.
+        let word = match mem.load_u32(pc) {
+            Ok(w) => w,
+            Err(e) => {
+                return diverge(
+                    ArchField::Decode,
+                    0,
+                    0,
+                    format!("oracle cannot fetch the instruction word at {pc:#010x}: {e}"),
+                );
+            }
+        };
+        let oracle_insn = match decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                return diverge(
+                    ArchField::Decode,
+                    u64::from(word),
+                    0,
+                    format!(
+                        "memory word {word:#010x} does not decode, but the fast path \
+                         executed {fast_insn:?}"
+                    ),
+                );
+            }
+        };
+        if oracle_insn != *fast_insn {
+            return diverge(
+                ArchField::Decode,
+                u64::from(word),
+                0,
+                format!(
+                    "memory word {word:#010x} decodes to {oracle_insn:?}, but the decode \
+                     table holds {fast_insn:?}"
+                ),
+            );
+        }
+        // 2. Independent execution of a cloned pre-state.
+        let mut shadow = pre.clone();
+        let oracle_ev = match step(&mut shadow, mem, &oracle_insn) {
+            Ok(ev) => ev,
+            Err(e) => {
+                return diverge(
+                    ArchField::MemEffect,
+                    0,
+                    enc_mem(fast_ev.mem),
+                    format!("oracle faulted re-executing {oracle_insn:?}: {e}"),
+                );
+            }
+        };
+        // 3. Compare the observable step events.
+        if oracle_ev.halted != fast_ev.halted {
+            return diverge(
+                ArchField::Halted,
+                u64::from(oracle_ev.halted),
+                u64::from(fast_ev.halted),
+                format!("halt disagreement on {oracle_insn:?}"),
+            );
+        }
+        if oracle_ev.branch != fast_ev.branch {
+            return diverge(
+                ArchField::Branch,
+                enc_branch(oracle_ev.branch),
+                enc_branch(fast_ev.branch),
+                format!(
+                    "branch outcome disagreement on {oracle_insn:?}: oracle {:?}, fast {:?}",
+                    oracle_ev.branch, fast_ev.branch
+                ),
+            );
+        }
+        if oracle_ev.mem != fast_ev.mem {
+            return diverge(
+                ArchField::MemEffect,
+                enc_mem(oracle_ev.mem),
+                enc_mem(fast_ev.mem),
+                format!(
+                    "memory effect disagreement on {oracle_insn:?}: oracle {:?}, fast {:?}",
+                    oracle_ev.mem, fast_ev.mem
+                ),
+            );
+        }
+        // 4. Compare the post-instruction architectural state.
+        if shadow.pc != post.pc {
+            return diverge(
+                ArchField::NextPc,
+                u64::from(shadow.pc),
+                u64::from(post.pc),
+                format!("next-pc disagreement after {oracle_insn:?}"),
+            );
+        }
+        for i in 0..32 {
+            if shadow.gpr[i] != post.gpr[i] {
+                return diverge(
+                    ArchField::Gpr(i as u8),
+                    u64::from(shadow.gpr[i]),
+                    u64::from(post.gpr[i]),
+                    format!("r{i} disagreement after {oracle_insn:?}"),
+                );
+            }
+        }
+        if shadow.cr != post.cr {
+            return diverge(
+                ArchField::Cr,
+                u64::from(shadow.cr.0),
+                u64::from(post.cr.0),
+                format!("cr disagreement after {oracle_insn:?}"),
+            );
+        }
+        if shadow.lr != post.lr {
+            return diverge(
+                ArchField::Lr,
+                u64::from(shadow.lr),
+                u64::from(post.lr),
+                format!("lr disagreement after {oracle_insn:?}"),
+            );
+        }
+        if shadow.ctr != post.ctr {
+            return diverge(
+                ArchField::Ctr,
+                u64::from(shadow.ctr),
+                u64::from(post.ctr),
+                format!("ctr disagreement after {oracle_insn:?}"),
+            );
+        }
+        false
+    }
+}
+
+/// The reference interpreter: straight-line fetch → decode → execute
+/// over a private copy of the raw memory image. No pre-decode, no block
+/// cache, no timing — each step fetches the word at `pc` from memory
+/// and decodes it from scratch. Obviously correct by construction, and
+/// therefore the arbiter when the fast path disagrees.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    cpu: CpuState,
+    mem: Memory,
+    halted: bool,
+    executed: u64,
+}
+
+impl Oracle {
+    /// Load `image` at `base` and start at `entry`, mirroring
+    /// [`Machine::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the out-of-bounds fault when the image does not fit.
+    pub fn new(
+        image: &[u8],
+        base: u32,
+        entry: u32,
+        mem_size: usize,
+    ) -> Result<Oracle, ppc_isa::exec::MemFault> {
+        let mut mem = Memory::new(mem_size);
+        mem.write_bytes(base, image)?;
+        Ok(Oracle { cpu: CpuState::new(entry), mem, halted: false, executed: 0 })
+    }
+
+    /// Snapshot a machine's architectural state (CPU, memory, halted
+    /// flag) into an independent oracle. Decode tables are irrelevant:
+    /// the oracle always fetches from its memory copy.
+    pub fn from_machine(m: &Machine) -> Oracle {
+        Oracle { cpu: m.cpu().clone(), mem: m.mem().clone(), halted: m.halted(), executed: 0 }
+    }
+
+    /// Architectural CPU state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// The oracle's memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Whether the program has executed `trap`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed by this oracle instance.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Execute one instruction the slow, obvious way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] (cycle 0 — the oracle has no clock) on a
+    /// misaligned PC, an undecodable word, or a memory fault.
+    pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        let pc = self.cpu.pc;
+        let trap = |cause| Trap { cause, pc, cycle: 0 };
+        if !pc.is_multiple_of(4) {
+            return Err(trap(TrapCause::MisalignedFetch));
+        }
+        let word = self.mem.load_u32(pc).map_err(|_| trap(TrapCause::BadInstruction))?;
+        let insn = decode(word).map_err(|_| trap(TrapCause::BadInstruction))?;
+        let ev = step(&mut self.cpu, &mut self.mem, &insn).map_err(|m| trap(TrapCause::Mem(m)))?;
+        self.executed += 1;
+        if ev.halted {
+            self.halted = true;
+        }
+        Ok(ev)
+    }
+
+    /// Run for at most `max_insns` instructions (or until `trap`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] as in [`Oracle::step`].
+    pub fn run(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        let mut executed = 0;
+        while executed < max_insns && !self.halted {
+            self.step()?;
+            executed += 1;
+        }
+        let stop = if self.halted { StopReason::Halted } else { StopReason::Budget };
+        Ok(RunResult { executed, halted: self.halted, stop })
+    }
+}
+
+/// A minimized divergence reproduction: restore [`ShrunkRepro::start`],
+/// re-apply the fast-path defect, run at most [`ShrunkRepro::span`]
+/// instructions under [`LockstepMode::Full`], and the recorded
+/// [`ShrunkRepro::divergence`] fires again. Serialized as
+/// `bioarch-divergence/v1` by the `bioarch` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrunkRepro {
+    /// Lifetime instruction index of the first divergent commit.
+    pub first_divergent: u64,
+    /// Checkpoint at the start of the minimized window, on the true
+    /// (fast-path) trajectory.
+    pub start: Checkpoint,
+    /// Instructions from the start checkpoint to the divergent commit,
+    /// inclusive (at most the `max_span` passed to
+    /// [`shrink_divergence`]).
+    pub span: u64,
+    /// The pinpointed divergence.
+    pub divergence: Divergence,
+}
+
+/// Outcome of one bisection probe.
+enum Probe {
+    /// Both trajectories agree over the whole window.
+    Converged,
+    /// They disagree somewhere inside the window.
+    Diverged,
+    /// Both trajectories stop identically (halt or trap) before the
+    /// window ends — there is no divergence left to find.
+    Ended,
+}
+
+/// Run the machine (lockstep off, fast path) and an independent
+/// [`Oracle`] for `steps` instructions from the machine's current state
+/// and report whether they agree at the end. Comparing only the end
+/// state keeps probes cheap; the final full-lockstep replay pinpoints
+/// the exact instruction.
+fn probe_window(m: &mut Machine, steps: u64) -> Probe {
+    let mut oracle = Oracle::from_machine(m);
+    let fast = m.run_functional(steps);
+    let slow = oracle.run(steps);
+    match (fast, slow) {
+        (Ok(fr), Ok(or)) => {
+            let same_state =
+                m.cpu() == oracle.cpu() && m.mem() == oracle.mem() && m.halted() == oracle.halted();
+            if fr.executed == or.executed && fr.halted == or.halted && same_state {
+                if fr.executed < steps {
+                    Probe::Ended
+                } else {
+                    Probe::Converged
+                }
+            } else {
+                Probe::Diverged
+            }
+        }
+        (Err(ft), Err(ot)) => {
+            if ft == ot && m.cpu() == oracle.cpu() && m.mem() == oracle.mem() {
+                Probe::Ended
+            } else {
+                Probe::Diverged
+            }
+        }
+        _ => Probe::Diverged,
+    }
+}
+
+/// Delta-debug a detected divergence down to a window of at most
+/// `max_span` instructions and pinpoint its first divergent commit.
+///
+/// `m` must be configured identically to the machine that detected the
+/// divergence; `start` is a checkpoint on the true (fast-path)
+/// trajectory at or before the divergence — typically taken just before
+/// the run that diverged. `reapply` re-installs the fast-path defect
+/// after every restore: [`Machine::restore`] rebuilds the decode table
+/// from memory, which silently repairs table-only corruption such as
+/// [`Machine::inject_decode_bug`], so the shrinker calls it after each
+/// rewind (a no-op closure is fine for memory-backed faults).
+/// `detected_at` is the lifetime instruction index where lockstep
+/// caught the divergence (an upper bound for the bisection).
+///
+/// The shrinker bisects with cheap end-state probes (fast path vs an
+/// independent [`Oracle`], no lockstep) and finishes with one
+/// [`LockstepMode::Full`] replay over the final window. The machine is
+/// left at the divergent commit; its watchdog is cleared.
+///
+/// # Errors
+///
+/// Returns a message when the window cannot be narrowed (e.g. the
+/// divergence does not reproduce from `start`, or both trajectories end
+/// before it).
+pub fn shrink_divergence(
+    m: &mut Machine,
+    start: &Checkpoint,
+    reapply: &mut dyn FnMut(&mut Machine),
+    detected_at: u64,
+    max_span: u64,
+) -> Result<ShrunkRepro, String> {
+    let max_span = max_span.max(1);
+    // Probes compare end states against an independent oracle; any
+    // leftover lockstep mode from the detecting run would only slow them
+    // down (and could stop them early).
+    m.set_lockstep(LockstepMode::Off);
+    let rewind = |m: &mut Machine, ck: &Checkpoint, reapply: &mut dyn FnMut(&mut Machine)| {
+        m.restore(ck)?;
+        m.set_watchdog(Watchdog::default());
+        reapply(m);
+        Ok::<(), String>(())
+    };
+    let mut lo = start.insns_total;
+    let mut hi = detected_at.saturating_add(1).max(lo + 1);
+    let mut ck_lo = start.clone();
+    // Sanity probe: the divergence must reproduce inside (lo, hi].
+    rewind(m, &ck_lo, reapply)?;
+    match probe_window(m, hi - lo) {
+        Probe::Diverged => {}
+        Probe::Converged => {
+            return Err(format!(
+                "no divergence reproduces in instructions {lo}..{hi} from the start checkpoint"
+            ));
+        }
+        Probe::Ended => {
+            return Err(format!(
+                "both trajectories end before instruction {hi}; nothing to shrink"
+            ));
+        }
+    }
+    while hi - lo > max_span {
+        let mid = lo + (hi - lo) / 2;
+        rewind(m, &ck_lo, reapply)?;
+        match probe_window(m, mid - lo) {
+            Probe::Converged => {
+                // The fast path is still correct at `mid`; advance the
+                // window start along the true trajectory.
+                lo = mid;
+                ck_lo = m.checkpoint();
+            }
+            Probe::Diverged => hi = mid,
+            Probe::Ended => {
+                return Err(format!(
+                    "trajectories end inside the probe window at instruction {mid}"
+                ));
+            }
+        }
+    }
+    // Pinpoint pass: full lockstep over the final window.
+    rewind(m, &ck_lo, reapply)?;
+    m.set_lockstep(LockstepMode::Full);
+    let replay = m.run_functional(hi - lo);
+    let diverged = matches!(replay, Ok(RunResult { stop: StopReason::Diverged, .. }));
+    // Read the record out before switching the mode off — dropping the
+    // checker discards it.
+    let divergence = m.take_divergence().filter(|_| diverged);
+    m.set_lockstep(LockstepMode::Off);
+    let divergence = divergence
+        .ok_or_else(|| format!("divergence did not reproduce in final window {lo}..{hi}"))?;
+    let span = divergence.instruction + 1 - lo;
+    Ok(ShrunkRepro { first_divergent: divergence.instruction, start: ck_lo, span, divergence })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_field_codes_roundtrip() {
+        let fields = [
+            ArchField::Decode,
+            ArchField::NextPc,
+            ArchField::Gpr(0),
+            ArchField::Gpr(31),
+            ArchField::Cr,
+            ArchField::Lr,
+            ArchField::Ctr,
+            ArchField::Halted,
+            ArchField::Branch,
+            ArchField::MemEffect,
+        ];
+        for f in fields {
+            assert_eq!(ArchField::parse(&f.code()), Some(f), "{f}");
+        }
+        assert_eq!(ArchField::parse("gpr32"), None);
+        assert_eq!(ArchField::parse("xer"), None);
+    }
+
+    #[test]
+    fn sampled_schedule_is_deterministic_and_mode_off_never_checks() {
+        let mut a = Lockstep::new(LockstepMode::Sampled { period: 10, seed: 42 }).unwrap();
+        let mut b = Lockstep::new(LockstepMode::Sampled { period: 10, seed: 42 }).unwrap();
+        let sa: Vec<bool> = (0..200).map(|_| a.check_due()).collect();
+        let sb: Vec<bool> = (0..200).map(|_| b.check_due()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&c| c), "a 200-commit window must sample at least once");
+        assert!(Lockstep::new(LockstepMode::Off).is_none());
+        let mut full = Lockstep::new(LockstepMode::Full).unwrap();
+        assert!((0..10).all(|_| full.check_due()));
+    }
+
+    #[test]
+    fn recent_pc_ring_keeps_the_last_entries_in_order() {
+        let mut ls = Lockstep::new(LockstepMode::Full).unwrap();
+        for pc in 0..40u32 {
+            ls.note_commit(pc * 4);
+        }
+        let recent = ls.recent_pcs();
+        assert_eq!(recent.len(), RECENT_PCS);
+        let expect: Vec<u32> = (8..40).map(|pc| pc * 4).collect();
+        assert_eq!(recent, expect);
+    }
+
+    #[test]
+    fn event_encodings_distinguish_cases() {
+        assert_ne!(enc_branch(None), enc_branch(Some((false, 0))));
+        assert_ne!(enc_branch(Some((true, 8))), enc_branch(Some((false, 8))));
+        assert_ne!(enc_mem(None), enc_mem(Some((0, 4, false))));
+        assert_ne!(enc_mem(Some((8, 4, true))), enc_mem(Some((8, 4, false))));
+    }
+}

@@ -12,13 +12,23 @@
 //! cargo run --release --example compare_runs -- --demo
 //! ```
 //!
-//! The default tolerance is 0.02 (2 %). Exits with status 1 when any
-//! regression is found, so the comparison can gate CI. A report marked
-//! `"degraded": true` (some workload failed while the suite completed) is
-//! also a hard failure unless `--allow-degraded` is passed — degraded
-//! metrics are partial and must not silently pass a gate. `--demo`
-//! generates a Table-I-style report pair in memory, injects an IPC
-//! regression, and shows the resulting diff.
+//! The default tolerance is 0.02 (2 %). Every failing metric is printed
+//! with its baseline and current values. The exit code tells CI *why* a
+//! gate failed:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | no regression beyond tolerance |
+//! | 1    | usage or I/O error (bad flags, unreadable/unparsable report) |
+//! | 2    | a degraded input report, without `--allow-degraded` |
+//! | 3    | at least one metric regression beyond tolerance |
+//!
+//! A report marked `"degraded": true` (some workload failed while the
+//! suite completed) is refused unless `--allow-degraded` is passed —
+//! degraded metrics are partial and must not silently pass a gate.
+//! `--demo` generates a Table-I-style report pair in memory, injects an
+//! IPC regression, and shows the resulting diff (exiting 3 like the real
+//! flow).
 
 use bioarch::report::{compare_reports, Comparison, Direction, Report};
 use std::process::ExitCode;
@@ -29,9 +39,14 @@ fn load(path: &str) -> Report {
     Report::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
 }
 
+/// Exit code for a degraded input without `--allow-degraded`.
+const EXIT_DEGRADED: u8 = 2;
+/// Exit code for a metric regression beyond tolerance.
+const EXIT_REGRESSION: u8 = 3;
+
 fn die(msg: &str) -> ! {
     eprintln!("compare_runs: {msg}");
-    std::process::exit(2);
+    std::process::exit(1);
 }
 
 fn summarize(cmp: &Comparison, tolerance: f64) -> ExitCode {
@@ -49,7 +64,7 @@ fn summarize(cmp: &Comparison, tolerance: f64) -> ExitCode {
         for d in &regressions {
             println!("  {}: {:.4} -> {:.4}", d.name, d.before, d.after);
         }
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_REGRESSION)
     }
 }
 
@@ -100,7 +115,7 @@ fn main() -> ExitCode {
             }
             if !allow_degraded {
                 eprintln!("refusing to compare (pass --allow-degraded to override)");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_DEGRADED);
             }
         }
     }

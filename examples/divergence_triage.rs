@@ -1,0 +1,220 @@
+//! Divergence triage walkthrough: catch a semantic fast-path bug with
+//! the golden-model oracle, shrink it, and replay the minimal repro.
+//!
+//! The default mode tells the whole story end to end:
+//!
+//! 1. build the Clustalw workload's hand-`isel` variant;
+//! 2. inject a **wrong-`isel` decode bug** into the fast interpreter's
+//!    pre-decoded code table (the condition bit is flipped, so `isel`
+//!    selects the wrong operand — memory is untouched, exactly the kind
+//!    of fast-path defect the oracle exists to catch);
+//! 3. run under `LockstepMode::Sampled` until the oracle flags the first
+//!    mismatching architectural field;
+//! 4. shrink the divergence with checkpoint bisection to a window of
+//!    at most 64 instructions;
+//! 5. serialize the minimal repro as a `bioarch-divergence/v1` JSON
+//!    document, parse it back, and replay it on a **fresh** machine to
+//!    prove the repro is self-contained.
+//!
+//! ```text
+//! cargo run --release --example divergence_triage -- [--seed S] [--out FILE]
+//! cargo run --release --example divergence_triage -- --smoke [--seed S]
+//! ```
+//!
+//! `--out FILE` additionally writes the repro document to `FILE`.
+//! `--smoke` instead runs every app's baseline and combination binaries
+//! for a short sampled-lockstep window with *no* injected bug and fails
+//! on any divergence — the CI guard that the fast interpreter agrees
+//! with the golden model.
+//!
+//! Exit codes: 0 on success, 1 when triage or the smoke check fails,
+//! 2 on usage errors.
+
+use bioarch::apps::{App, Scale, Variant, Workload};
+use bioarch::checkpoint::{self, DivergenceRepro};
+use power5_sim::machine::Machine;
+use power5_sim::{shrink_divergence, CoreConfig, LockstepMode, StopReason};
+use ppc_isa::{CrBit, Instruction};
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ! {
+    eprintln!("divergence_triage: {msg}");
+    std::process::exit(2);
+}
+
+/// Every `isel` site in the loaded code region, paired with the
+/// wrong-condition variant used as the injected defect (the condition
+/// bit is flipped within its CR field: lt↔gt, eq↔so).
+fn isel_bugs(m: &Machine, code_base: u32, code_len: u32) -> Vec<(u32, Instruction)> {
+    let mut bugs = Vec::new();
+    for idx in 0..code_len / 4 {
+        let pc = code_base + idx * 4;
+        let Ok(word) = m.mem().load_u32(pc) else { continue };
+        if let Ok(Instruction::Isel { rt, ra, rb, bc }) = ppc_isa::decode(word) {
+            bugs.push((pc, Instruction::Isel { rt, ra, rb, bc: CrBit(bc.0 ^ 1) }));
+        }
+    }
+    bugs
+}
+
+fn triage(seed: u64, out: Option<&str>) -> Result<(), String> {
+    let config = CoreConfig::power5();
+    let app = App::Clustalw;
+    let wl = Workload::new(app, Scale::Test, seed);
+    let mut prepared =
+        wl.prepare(Variant::HandIsel, &config).map_err(|e| format!("{app}: build failed: {e}"))?;
+    let bugs = isel_bugs(&prepared.machine, prepared.code_base, prepared.code_len);
+    if bugs.is_empty() {
+        return Err(format!("{app} hand-isel image contains no isel instructions"));
+    }
+    let start = prepared.machine.checkpoint();
+
+    // The injection and its re-application after every checkpoint rewind
+    // (restoring rebuilds the decode table from memory, silently
+    // repairing the bug — the shrinker calls this closure to keep the
+    // defect alive across probes).
+    let mut reapply = |m: &mut Machine| {
+        for &(pc, insn) in &bugs {
+            m.inject_decode_bug(pc, insn);
+        }
+    };
+    reapply(&mut prepared.machine);
+    println!(
+        "injected wrong-isel decode bug at {} site(s) in the {app} hand-isel image",
+        bugs.len()
+    );
+
+    // Detection: sampled lockstep, the cheap always-on production mode.
+    prepared.machine.set_lockstep(LockstepMode::Sampled { period: 10, seed });
+    let r = prepared
+        .machine
+        .run_functional(u64::MAX)
+        .map_err(|t| format!("diverging run trapped instead: {t}"))?;
+    if !matches!(r.stop, StopReason::Diverged) {
+        return Err(format!("oracle failed to catch the injected bug (stop: {:?})", r.stop));
+    }
+    let detected =
+        prepared.machine.take_divergence().ok_or("diverged stop without a divergence record")?;
+    println!("\nsampled lockstep caught the bug:\n{detected}\n");
+
+    // Shrink: checkpoint bisection down to a <= 64 instruction window.
+    let shrunk =
+        shrink_divergence(&mut prepared.machine, &start, &mut reapply, detected.instruction, 64)?;
+    println!(
+        "shrunk to a {}-instruction window starting at instruction {} (first divergent: {})",
+        shrunk.span, shrunk.start.insns_total, shrunk.first_divergent
+    );
+    if shrunk.span > 64 {
+        return Err(format!("shrinker left a window of {} > 64 instructions", shrunk.span));
+    }
+
+    // Freeze the minimal repro to its JSON schema and thaw it again.
+    let repro = DivergenceRepro {
+        seed,
+        config_digest: shrunk.start.config_digest,
+        start: shrunk.start,
+        span: shrunk.span,
+        first_divergent: shrunk.first_divergent,
+        divergence: shrunk.divergence,
+    };
+    let text = checkpoint::render_divergence(&repro);
+    println!("repro document: {} bytes of bioarch-divergence/v1 JSON", text.len());
+    if let Some(path) = out {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("repro written to {path}");
+    }
+    let parsed = checkpoint::parse_divergence(&text)?;
+
+    // Replay on a fresh machine: restore, re-apply the defect, run the
+    // span under full lockstep, and demand the same divergence.
+    let mut fresh = wl
+        .prepare(Variant::HandIsel, &config)
+        .map_err(|e| format!("{app}: rebuild failed: {e}"))?;
+    fresh.machine.restore(&parsed.start).map_err(|e| format!("restore failed: {e}"))?;
+    reapply(&mut fresh.machine);
+    fresh.machine.set_lockstep(LockstepMode::Full);
+    let rr = fresh
+        .machine
+        .run_functional(parsed.span)
+        .map_err(|t| format!("replay trapped instead: {t}"))?;
+    if !matches!(rr.stop, StopReason::Diverged) {
+        return Err(format!("replay did not reproduce the divergence (stop: {:?})", rr.stop));
+    }
+    let replayed = fresh.machine.take_divergence().ok_or("replay recorded no divergence")?;
+    if replayed.pc != parsed.divergence.pc
+        || replayed.field != parsed.divergence.field
+        || replayed.instruction != parsed.first_divergent
+    {
+        return Err(format!(
+            "replay found a different divergence:\n{replayed}\nexpected:\n{}",
+            parsed.divergence
+        ));
+    }
+    println!("\nreplay on a fresh machine reproduced the divergence:\n{replayed}");
+    Ok(())
+}
+
+fn smoke(seed: u64) -> Result<(), String> {
+    let config = CoreConfig::power5();
+    const WINDOW: u64 = 200_000;
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::Test, seed);
+        for variant in [Variant::Baseline, Variant::Combination] {
+            let mut prepared = wl
+                .prepare(variant, &config)
+                .map_err(|e| format!("{app} {variant:?}: build failed: {e}"))?;
+            prepared.machine.set_lockstep(LockstepMode::Sampled { period: 25, seed });
+            let r = prepared
+                .machine
+                .run_functional(WINDOW)
+                .map_err(|t| format!("{app} {variant:?}: trapped: {t}"))?;
+            if matches!(r.stop, StopReason::Diverged) {
+                let detail = prepared
+                    .machine
+                    .take_divergence()
+                    .map_or_else(|| "no record".to_string(), |d| d.to_string());
+                return Err(format!("{app} {variant:?}: lockstep divergence:\n{detail}"));
+            }
+            println!("  {:9} {variant:?}: {} instructions, no divergence", app.name(), r.executed);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut run_smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => run_smoke = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| die("--seed needs a value"));
+                seed = v.parse().unwrap_or_else(|_| die(&format!("bad seed {v:?}")));
+            }
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            other => {
+                die(&format!("unknown argument {other:?} (try --smoke / --seed S / --out FILE)"))
+            }
+        }
+    }
+    let result = if run_smoke {
+        println!("lockstep smoke: sampled oracle over every app, no injected bugs");
+        smoke(seed)
+    } else {
+        triage(seed, out.as_deref())
+    };
+    match result {
+        Ok(()) => {
+            println!("\nOK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("divergence_triage: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,10 +17,15 @@
 //!   hang would abort the process and also fail the campaign).
 //!
 //! ```text
-//! cargo run --release --example fault_campaign -- [--faults N] [--seed S]
+//! cargo run --release --example fault_campaign -- [--faults N] [--seed S] [--lockstep MODE]
 //! ```
 //!
-//! Defaults: 1000 faults total (split across the four apps), seed 7.
+//! Defaults: 1000 faults total (split across the four apps), seed 7,
+//! lockstep off. `--lockstep MODE` runs every faulty simulation under the
+//! golden-model oracle — `full`, or a number N for sampled checking with
+//! period N. Faults corrupt memory and the repaired decode cache
+//! consistently, so the oracle must stay silent; any divergence is a
+//! harness bug and fails the campaign (exit 2).
 //! Exits with status 1 when any fault is uncontained, so CI can gate on
 //! the containment contract.
 
@@ -28,7 +33,7 @@ use bioarch::apps::{App, Scale, Variant, Workload};
 use bioarch::report::Table;
 use power5_sim::fault::{check_invariants, check_stall_partition, FaultKind, FaultPlan};
 use power5_sim::machine::{Checkpoint, Machine};
-use power5_sim::{CoreConfig, FaultSpec, InjectionWindow, StopReason, Watchdog};
+use power5_sim::{CoreConfig, FaultSpec, InjectionWindow, LockstepMode, StopReason, Watchdog};
 use std::process::ExitCode;
 
 /// What happened to one injected fault.
@@ -80,23 +85,31 @@ fn die(msg: &str) -> ! {
 
 /// Run one fault against a restored pristine machine; see the module docs
 /// for the classification contract.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     m: &mut Machine,
     pristine: &Checkpoint,
     fault: &FaultSpec,
     watchdog: Watchdog,
+    lockstep: LockstepMode,
     out_addr: u32,
     out_len: usize,
     golden: &[i32],
 ) -> Result<Outcome, String> {
     m.restore(pristine).map_err(|e| format!("restore failed: {e}"))?;
     m.set_watchdog(watchdog);
+    // Fresh checker per fault so the sampling schedule is per-run
+    // deterministic (the checker state is not part of the checkpoint).
+    m.set_lockstep(lockstep);
 
     // Phase 1: run cleanly to the injection point.
     let to_fault =
         m.run_timed(fault.at_instruction).map_err(|t| format!("clean prefix trapped: {t}"))?;
     if let StopReason::Watchdog(_) = to_fault.stop {
         return Err("clean prefix hit the watchdog".into());
+    }
+    if let StopReason::Diverged = to_fault.stop {
+        return Err(divergence_message(m, "clean prefix", fault));
     }
 
     fault.apply(m);
@@ -106,6 +119,12 @@ fn run_one(
         Err(_trap) => Outcome::Detected,
         Ok(r) => match r.stop {
             StopReason::Watchdog(_) => Outcome::Timeout,
+            // A fault corrupts memory and the decode cache consistently,
+            // so the oracle disagreeing with the fast path means the
+            // harness itself is broken — fail the whole campaign.
+            StopReason::Diverged => {
+                return Err(divergence_message(m, "faulty run", fault));
+            }
             StopReason::Budget | StopReason::Halted => {
                 // The run finished: it must still satisfy the counter and
                 // stall-partition invariants to count as contained.
@@ -131,7 +150,13 @@ fn run_one(
     Ok(outcome)
 }
 
-fn campaign(app: App, seed: u64, faults: usize) -> Result<Tally, String> {
+fn divergence_message(m: &mut Machine, phase: &str, fault: &FaultSpec) -> String {
+    let detail =
+        m.take_divergence().map_or_else(|| "no divergence record".to_string(), |d| d.to_string());
+    format!("lockstep divergence in {phase} under fault {fault:?}:\n{detail}")
+}
+
+fn campaign(app: App, seed: u64, faults: usize, lockstep: LockstepMode) -> Result<Tally, String> {
     let config = CoreConfig::power5();
     let wl = Workload::new(app, Scale::Test, seed);
     let mut prepared =
@@ -177,6 +202,7 @@ fn campaign(app: App, seed: u64, faults: usize) -> Result<Tally, String> {
             &pristine,
             fault,
             watchdog,
+            lockstep,
             prepared.out_addr,
             prepared.out_len,
             &prepared.golden,
@@ -190,6 +216,7 @@ fn campaign(app: App, seed: u64, faults: usize) -> Result<Tally, String> {
 fn main() -> ExitCode {
     let mut faults_total = 1000usize;
     let mut seed = 7u64;
+    let mut lockstep = LockstepMode::Off;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -201,13 +228,27 @@ fn main() -> ExitCode {
                 let v = args.next().unwrap_or_else(|| die("--seed needs a value"));
                 seed = v.parse().unwrap_or_else(|_| die(&format!("bad seed {v:?}")));
             }
-            other => die(&format!("unknown argument {other:?} (try --faults N / --seed S)")),
+            "--lockstep" => {
+                let v = args.next().unwrap_or_else(|| die("--lockstep needs a value"));
+                lockstep = match v.as_str() {
+                    "off" => LockstepMode::Off,
+                    "full" => LockstepMode::Full,
+                    n => {
+                        let period =
+                            n.parse().unwrap_or_else(|_| die(&format!("bad lockstep mode {v:?}")));
+                        LockstepMode::Sampled { period, seed }
+                    }
+                };
+            }
+            other => die(&format!(
+                "unknown argument {other:?} (try --faults N / --seed S / --lockstep off|full|N)"
+            )),
         }
     }
     let apps = App::all();
     let per_app = faults_total.div_ceil(apps.len());
     println!(
-        "fault campaign: {} faults per app x {} apps, seed {seed}, kinds: {}",
+        "fault campaign: {} faults per app x {} apps, seed {seed}, lockstep {lockstep:?}, kinds: {}",
         per_app,
         apps.len(),
         FaultKind::ALL.map(FaultKind::name).join(", ")
@@ -224,7 +265,7 @@ fn main() -> ExitCode {
     ]);
     let mut total = Tally::default();
     for app in apps {
-        let tally = match campaign(app, seed, per_app) {
+        let tally = match campaign(app, seed, per_app, lockstep) {
             Ok(t) => t,
             Err(e) => die(&e),
         };
