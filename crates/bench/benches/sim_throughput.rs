@@ -19,7 +19,21 @@
 use bioarch::experiments::Study;
 use bioarch::report::{Direction, Report};
 use power5_sim::{CoreConfig, Machine};
+use std::num::NonZeroUsize;
 use std::time::Instant;
+
+/// Worker count for the parallel suite leg: `BIOARCH_THREADS` when set,
+/// else the host's available parallelism. Resolved explicitly here (and
+/// pinned on the study) so the recorded `suite.threads`/`suite.speedup`
+/// always reflect a real parallel run on multi-core hosts, instead of
+/// silently comparing serial against serial.
+fn parallel_threads() -> usize {
+    std::env::var("BIOARCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
 
 const LOOP_PROGRAM: &str = "
 entry:
@@ -72,7 +86,8 @@ fn main() {
         let serial_suite = serial_study.run_suite();
         let serial_s = start.elapsed().as_secs_f64();
 
-        let threads = study.threads();
+        let threads = parallel_threads();
+        study.set_threads(threads);
         let start = Instant::now();
         let parallel_suite = study.run_suite();
         let parallel_s = start.elapsed().as_secs_f64();

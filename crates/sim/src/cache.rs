@@ -27,6 +27,12 @@ impl CacheStats {
 pub struct Cache {
     cfg: CacheConfig,
     sets: usize,
+    // Index arithmetic, precomputed so the per-access path needs no
+    // integer division: line size is always a power of two (shift), and
+    // the set count usually is too (mask; the POWER5 L2's 1536 sets fall
+    // back to modulo, but L2 is only reached on an L1 miss).
+    line_shift: u32,
+    set_mask: Option<usize>,
     // tags[set * ways + way]; stamp holds last-use time (LRU = min).
     tags: Vec<u64>,
     valid: Vec<bool>,
@@ -53,6 +59,8 @@ impl Cache {
         Cache {
             cfg,
             sets,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             tags: vec![0; sets * cfg.ways],
             valid: vec![false; sets * cfg.ways],
             stamp: vec![0; sets * cfg.ways],
@@ -72,8 +80,12 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u64) {
-        let line = addr as u64 / self.cfg.line as u64;
-        ((line as usize) % self.sets, line)
+        let line = (addr as u64) >> self.line_shift;
+        let set = match self.set_mask {
+            Some(mask) => line as usize & mask,
+            None => (line as usize) % self.sets,
+        };
+        (set, line)
     }
 
     /// Access the line containing `addr`; returns `true` on hit. A miss

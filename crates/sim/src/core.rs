@@ -26,56 +26,227 @@
 use crate::btac::{Btac, BtacState};
 use crate::cache::{CacheState, Hierarchy};
 use crate::config::CoreConfig;
-use crate::counters::{Counters, IntervalSample, StallBreakdown, StallClass};
-use crate::predictor::{build, DirectionPredictor, PredictorState, RasState, ReturnStack};
+use crate::counters::{ClassCounts, Counters, IntervalSample, StallBreakdown, StallClass};
+use crate::predictor::{AnyPredictor, DirectionPredictor, PredictorState, RasState, ReturnStack};
 use crate::trace::{InsnTrace, TraceRedirect, Tracer};
 use ppc_isa::insn::{ExecUnit, Instruction, LatencyClass};
-use ppc_isa::reg::Resource;
+use ppc_isa::reg::{ResList, Resource};
 use ppc_isa::StepEvent;
 use std::collections::VecDeque;
 
-/// Per-resource scoreboard entry: when the value is ready and which unit
-/// class produced it.
-#[derive(Debug, Clone, Copy)]
-struct Producer {
-    ready: u64,
-    unit: ExecUnit,
-}
-
 const GPRS: usize = 32;
 const CRS: usize = 8;
+/// Flat scoreboard slots: r0–r31, cr0–cr7, LR, CTR.
+const RES_SLOTS: usize = GPRS + CRS + 2;
 
+/// Flat scoreboard index of a resource (the packed-mask bit position used
+/// by [`StaticTiming`]): GPRs first, then CR fields, then LR and CTR —
+/// the same order [`CoreState::scoreboard`] serializes.
+#[inline]
+fn res_index(r: Resource) -> usize {
+    match r {
+        Resource::Gpr(g) => g.index(),
+        Resource::Cr(c) => GPRS + c.index(),
+        Resource::Lr => GPRS + CRS,
+        Resource::Ctr => GPRS + CRS + 1,
+    }
+}
+
+/// Register scoreboard: per-resource ready cycle and producing unit, flat
+/// over [`res_index`], plus a conservative `busy` mask of slots whose
+/// ready cycle may still lie in the future. The mask lets the issue stage
+/// skip the source scan entirely when no source has an outstanding
+/// producer — the common case in straight-line DP kernels. Bits are set
+/// on every write and cleared lazily when a scan observes the slot ready
+/// at or before the dispatch frontier; since dispatch never moves
+/// backwards, a cleared bit can never become busy again without a new
+/// write, so the mask stays a superset of the truly-busy slots and the
+/// skip is exact, not approximate.
 #[derive(Debug, Clone)]
 struct Scoreboard {
-    gpr: [Producer; GPRS],
-    cr: [Producer; CRS],
-    lr: Producer,
-    ctr: Producer,
+    ready: [u64; RES_SLOTS],
+    unit: [ExecUnit; RES_SLOTS],
+    busy: u64,
 }
 
 impl Scoreboard {
     fn new() -> Self {
-        let p = Producer { ready: 0, unit: ExecUnit::Fxu };
-        Scoreboard { gpr: [p; GPRS], cr: [p; CRS], lr: p, ctr: p }
+        Scoreboard { ready: [0; RES_SLOTS], unit: [ExecUnit::Fxu; RES_SLOTS], busy: 0 }
     }
 
-    fn get(&self, r: Resource) -> Producer {
-        match r {
-            Resource::Gpr(g) => self.gpr[g.index()],
-            Resource::Cr(c) => self.cr[c.index()],
-            Resource::Lr => self.lr,
-            Resource::Ctr => self.ctr,
+    /// Mark every written slot as potentially busy (used after a restore,
+    /// where no dispatch frontier is available to compare against).
+    fn assume_busy(&mut self) {
+        self.busy = 0;
+        for (i, &r) in self.ready.iter().enumerate() {
+            if r > 0 {
+                self.busy |= 1 << i;
+            }
+        }
+    }
+}
+
+const F_BRANCH: u16 = 1 << 0;
+const F_COND_BRANCH: u16 = 1 << 1;
+const F_LOAD: u16 = 1 << 2;
+const F_STORE: u16 = 1 << 3;
+const F_PREDICATED: u16 = 1 << 4;
+const F_COMPARE: u16 = 1 << 5;
+const F_CALL: u16 = 1 << 6;
+const F_RETURN: u16 = 1 << 7;
+const F_BCCTR: u16 = 1 << 8;
+
+/// Everything the pipeline scheduler needs to know about an instruction
+/// that does not depend on runtime values: unit class, latency class,
+/// source/destination resource lists, the packed source mask, and the
+/// branch/memory shape flags. Precomputed once per decoded word by the
+/// machine's static timing sidecar so [`TimingCore::retire`] stops
+/// re-deriving it from the [`Instruction`] on every retirement.
+///
+/// `reads` keeps the *original* [`Instruction::reads`] order: the issue
+/// stage takes the blocking unit from the first source reaching the
+/// maximum ready cycle, so scanning in any other order (e.g. mask bit
+/// order) could change stall attribution. The packed `src_mask` is used
+/// only for the exact skip test against the scoreboard's busy mask.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticTiming {
+    /// Source resources as a bit mask over [`res_index`].
+    src_mask: u64,
+    /// Source resources in `Instruction::reads` order.
+    reads: ResList,
+    /// Destination resources in `Instruction::writes` order.
+    writes: ResList,
+    unit: ExecUnit,
+    lat: LatencyClass,
+    flags: u16,
+}
+
+impl StaticTiming {
+    /// Derive the static timing record of one instruction.
+    pub fn of(insn: &Instruction) -> Self {
+        let reads = insn.reads();
+        let writes = insn.writes();
+        let mut src_mask = 0u64;
+        for r in reads.iter() {
+            src_mask |= 1 << res_index(r);
+        }
+        let mut flags = 0u16;
+        if insn.is_branch() {
+            flags |= F_BRANCH;
+        }
+        if insn.is_conditional_branch() {
+            flags |= F_COND_BRANCH;
+        }
+        if insn.is_load() {
+            flags |= F_LOAD;
+        }
+        if insn.is_store() {
+            flags |= F_STORE;
+        }
+        if insn.is_predicated() {
+            flags |= F_PREDICATED;
+        }
+        if matches!(
+            insn,
+            Instruction::Cmpw { .. }
+                | Instruction::Cmpwi { .. }
+                | Instruction::Cmplw { .. }
+                | Instruction::Cmplwi { .. }
+        ) {
+            flags |= F_COMPARE;
+        }
+        if matches!(insn, Instruction::B { link: true, .. } | Instruction::Bc { link: true, .. }) {
+            flags |= F_CALL;
+        }
+        if matches!(insn, Instruction::Bclr { .. }) {
+            flags |= F_RETURN;
+        }
+        if matches!(insn, Instruction::Bcctr { .. }) {
+            flags |= F_BCCTR;
+        }
+        StaticTiming {
+            src_mask,
+            reads,
+            writes,
+            unit: insn.unit(),
+            lat: insn.latency_class(),
+            flags,
         }
     }
 
-    fn set(&mut self, r: Resource, p: Producer) {
-        match r {
-            Resource::Gpr(g) => self.gpr[g.index()] = p,
-            Resource::Cr(c) => self.cr[c.index()] = p,
-            Resource::Lr => self.lr = p,
-            Resource::Ctr => self.ctr = p,
+    /// Whether this is any branch form.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.flags & F_BRANCH != 0
+    }
+
+    #[inline]
+    fn is_conditional_branch(&self) -> bool {
+        self.flags & F_COND_BRANCH != 0
+    }
+
+    /// Whether this is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.flags & F_LOAD != 0
+    }
+
+    /// Whether this is a store (the machine's batched loop uses this to
+    /// gate the self-modifying-code repair check).
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.flags & F_STORE != 0
+    }
+
+    #[inline]
+    fn is_predicated(&self) -> bool {
+        self.flags & F_PREDICATED != 0
+    }
+
+    #[inline]
+    fn is_compare(&self) -> bool {
+        self.flags & F_COMPARE != 0
+    }
+
+    #[inline]
+    fn is_call(&self) -> bool {
+        self.flags & F_CALL != 0
+    }
+
+    #[inline]
+    fn is_return(&self) -> bool {
+        self.flags & F_RETURN != 0
+    }
+
+    #[inline]
+    fn is_bcctr(&self) -> bool {
+        self.flags & F_BCCTR != 0
+    }
+
+    /// The per-class counter contribution of one execution of this
+    /// instruction (what [`TimingCore::retire`] folds into [`Counters`]).
+    pub fn class_counts(&self) -> ClassCounts {
+        ClassCounts {
+            executed: 1,
+            fxu: matches!(self.unit, ExecUnit::Fxu) as u64,
+            lsu: matches!(self.unit, ExecUnit::Lsu) as u64,
+            compares: self.is_compare() as u64,
+            predicated: self.is_predicated() as u64,
+            loads: self.is_load() as u64,
+            stores: self.is_store() as u64,
         }
     }
+}
+
+/// The pipeline stamps of one scheduled instruction.
+struct Sched {
+    fetch: u64,
+    dispatch: u64,
+    issue: u64,
+    complete: u64,
+    commit: u64,
+    reason: StallClass,
+    gap: u64,
 }
 
 /// Flat per-PC profile table over the registered code image. PCs inside
@@ -141,7 +312,7 @@ impl<T: Copy + Default> PcTable<T> {
 /// [`TimingCore::retire`].
 pub struct TimingCore {
     cfg: CoreConfig,
-    predictor: Box<dyn DirectionPredictor>,
+    predictor: AnyPredictor,
     ras: ReturnStack,
     btac: Option<Btac>,
     hier: Hierarchy,
@@ -158,6 +329,9 @@ pub struct TimingCore {
     pending_redirect: Option<(u64, StallClass)>,
     /// Last instruction cache line touched by fetch.
     last_fetch_line: u64,
+    /// `log2(l1i.line)`, precomputed so the per-instruction fetch stage
+    /// needs no integer division.
+    fetch_line_shift: u32,
     /// Dispatch-group state.
     group_dispatch: u64,
     group_len: usize,
@@ -167,6 +341,8 @@ pub struct TimingCore {
     commit_new_group: bool,
     /// Commit times of in-flight instructions (reorder window).
     rob: VecDeque<u64>,
+    /// `cfg.rob_insns()`, cached off the hot path.
+    rob_cap: usize,
     counters: Counters,
     /// Code region registered by the machine (base, words); sizes the
     /// dense site-profiling tables. Zero words = everything spills.
@@ -212,7 +388,7 @@ pub struct Retired<'a> {
 impl TimingCore {
     /// Build the core from a configuration.
     pub fn new(cfg: CoreConfig) -> Self {
-        let predictor = build(cfg.predictor);
+        let predictor = AnyPredictor::build(cfg.predictor);
         let btac = cfg.btac.map(Btac::new);
         let hier = Hierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.memory_latency);
         TimingCore {
@@ -228,12 +404,14 @@ impl TimingCore {
             fetched_this_cycle: 0,
             pending_redirect: None,
             last_fetch_line: u64::MAX,
+            fetch_line_shift: cfg.l1i.line.trailing_zeros(),
             group_dispatch: 0,
             group_len: 0,
             group_has_branch: false,
             last_commit: 0,
             commit_new_group: true,
             rob: VecDeque::with_capacity(cfg.rob_insns()),
+            rob_cap: cfg.rob_insns(),
             counters: Counters::default(),
             code_base: 0,
             code_words: 0,
@@ -360,12 +538,11 @@ impl TimingCore {
             v.sort_by_key(|&(pc, _)| pc);
             v
         };
-        let mut scoreboard = Vec::with_capacity(GPRS + CRS + 2);
-        for p in self.board.gpr.iter().chain(self.board.cr.iter()) {
-            scoreboard.push((p.ready, p.unit));
-        }
-        scoreboard.push((self.board.lr.ready, self.board.lr.unit));
-        scoreboard.push((self.board.ctr.ready, self.board.ctr.unit));
+        // Flat scoreboard order matches res_index: r0..r31, cr0..cr7, LR,
+        // CTR — the layout this snapshot format has always used. The busy
+        // mask is derived state and is not serialized.
+        let scoreboard: Vec<(u64, ExecUnit)> =
+            self.board.ready.iter().copied().zip(self.board.unit.iter().copied()).collect();
         CoreState {
             predictor: self.predictor.snapshot(),
             ras: self.ras.snapshot(),
@@ -415,25 +592,20 @@ impl TimingCore {
         self.hier.l1i.restore(&state.l1i).map_err(|e| format!("l1i: {e}"))?;
         self.hier.l1d.restore(&state.l1d).map_err(|e| format!("l1d: {e}"))?;
         self.hier.l2.restore(&state.l2).map_err(|e| format!("l2: {e}"))?;
-        if state.scoreboard.len() != GPRS + CRS + 2 {
+        if state.scoreboard.len() != RES_SLOTS {
             return Err(format!(
                 "scoreboard snapshot has {} entries, want {}",
                 state.scoreboard.len(),
-                GPRS + CRS + 2
+                RES_SLOTS
             ));
         }
         for (i, &(ready, unit)) in state.scoreboard.iter().enumerate() {
-            let p = Producer { ready, unit };
-            if i < GPRS {
-                self.board.gpr[i] = p;
-            } else if i < GPRS + CRS {
-                self.board.cr[i - GPRS] = p;
-            } else if i == GPRS + CRS {
-                self.board.lr = p;
-            } else {
-                self.board.ctr = p;
-            }
+            self.board.ready[i] = ready;
+            self.board.unit[i] = unit;
         }
+        // No dispatch frontier to compare against here: conservatively mark
+        // every written slot busy (a superset never changes results).
+        self.board.assume_busy();
         for (pool, src, name) in [
             (&mut self.fxu_free, &state.fxu_free, "fxu"),
             (&mut self.lsu_free, &state.lsu_free, "lsu"),
@@ -499,10 +671,10 @@ impl TimingCore {
         }
     }
 
-    fn latency(&self, insn: &Instruction, mem_latency: u64) -> u64 {
-        match insn.latency_class() {
+    fn latency(&self, st: &StaticTiming, mem_latency: u64) -> u64 {
+        match st.lat {
             LatencyClass::Simple => {
-                if insn.is_predicated() {
+                if st.is_predicated() {
                     self.cfg.lat_simple + self.cfg.lat_predicated_extra
                 } else {
                     self.cfg.lat_simple
@@ -516,8 +688,13 @@ impl TimingCore {
         }
     }
 
-    /// Account one committed instruction; returns the cycle it commits.
-    pub fn retire(&mut self, r: Retired<'_>) -> u64 {
+    /// Schedule one committed instruction through the pipeline model.
+    /// Updates all *dynamic* state (scoreboard, pools, caches, predictor,
+    /// stall partition, branch counters, stall/branch site heatmaps) but
+    /// none of the per-class retirement counters — those are folded in by
+    /// [`TimingCore::retire`] per instruction or by
+    /// [`TimingCore::flush_block`] per block.
+    fn schedule(&mut self, st: &StaticTiming, pc: u32, event: StepEvent) -> Sched {
         let cfg_group = self.cfg.group_size;
         let mut delay = StallClass::None;
 
@@ -531,7 +708,7 @@ impl TimingCore {
         }
         // Reorder-window limit: the oldest in-flight instruction must have
         // committed before a new one can enter.
-        if self.rob.len() >= self.cfg.rob_insns() {
+        if self.rob.len() >= self.rob_cap {
             let freed = self.rob.pop_front().expect("rob nonempty");
             if freed > self.fetch_cycle {
                 self.fetch_cycle = freed;
@@ -542,10 +719,10 @@ impl TimingCore {
             }
         }
         // Instruction-cache access per line transition.
-        let line = r.pc as u64 / self.cfg.l1i.line as u64;
+        let line = (pc as u64) >> self.fetch_line_shift;
         if line != self.last_fetch_line {
             self.last_fetch_line = line;
-            let lat = self.hier.fetch(r.pc);
+            let lat = self.hier.fetch(pc);
             let extra = lat.saturating_sub(self.cfg.l1i.hit_latency);
             if extra > 0 {
                 self.fetch_cycle += extra;
@@ -563,8 +740,7 @@ impl TimingCore {
         self.fetched_this_cycle += 1;
 
         // ---------------- DISPATCH (group formation) ----------------
-        let close_group =
-            self.group_len >= cfg_group || (r.insn.is_branch() && self.group_has_branch);
+        let close_group = self.group_len >= cfg_group || (st.is_branch() && self.group_has_branch);
         if close_group {
             self.group_dispatch += 1;
             self.group_len = 0;
@@ -573,16 +749,12 @@ impl TimingCore {
         }
         let earliest_dispatch = fetch_time + self.cfg.frontend_depth;
         if earliest_dispatch > self.group_dispatch {
-            // A fresh group cannot dispatch before its instructions arrive.
-            if self.group_len == 0 {
-                self.group_dispatch = earliest_dispatch;
-            } else {
-                // Later arrivals push the whole group (approximation).
-                self.group_dispatch = earliest_dispatch;
-            }
+            // A fresh group cannot dispatch before its instructions arrive;
+            // later arrivals push the whole group (approximation).
+            self.group_dispatch = earliest_dispatch;
         }
         self.group_len += 1;
-        if r.insn.is_branch() {
+        if st.is_branch() {
             self.group_has_branch = true;
         }
         let dispatch = self.group_dispatch;
@@ -591,15 +763,29 @@ impl TimingCore {
         let mut ready = dispatch;
         let mut blocking_unit = ExecUnit::Bru;
         let mut data_wait = false;
-        for res in r.insn.reads().iter() {
-            let p = self.board.get(res);
-            if p.ready > ready {
-                ready = p.ready;
-                blocking_unit = p.unit;
-                data_wait = true;
+        // Fast path: when no source has a potentially-outstanding producer
+        // the scan cannot raise `ready` (busy is a superset of slots with
+        // ready > dispatch, and dispatch never decreases), so skipping it
+        // is exact. Otherwise scan in `reads` order — the blocking unit is
+        // taken from the FIRST source reaching the max ready cycle, so the
+        // order is part of the observable stall attribution.
+        if st.src_mask & self.board.busy != 0 {
+            let mut settled = 0u64;
+            for res in st.reads.iter() {
+                let i = res_index(res);
+                let r = self.board.ready[i];
+                if r > ready {
+                    ready = r;
+                    blocking_unit = self.board.unit[i];
+                    data_wait = true;
+                }
+                if r <= dispatch {
+                    settled |= 1 << i;
+                }
             }
+            self.board.busy &= !settled;
         }
-        let unit = r.insn.unit();
+        let unit = st.unit;
         let div_latency = self.cfg.lat_div;
         let pool = self.unit_pool(unit);
         // Earliest-available instance.
@@ -608,12 +794,11 @@ impl TimingCore {
         let issue = ready.max(slot_free);
         let unit_wait = slot_free > ready;
         // Occupancy: divides hog the unit; everything else pipelines.
-        let occupy =
-            if matches!(r.insn.latency_class(), LatencyClass::Div) { div_latency } else { 1 };
+        let occupy = if matches!(st.lat, LatencyClass::Div) { div_latency } else { 1 };
         pool[slot] = issue + occupy;
 
         // ---------------- EXECUTE ----------------
-        let mem_latency = match r.event.mem {
+        let mem_latency = match event.mem {
             Some((addr, _, is_store)) => {
                 let lat = self.hier.data(addr);
                 if !is_store && lat > self.cfg.l1d.hit_latency {
@@ -627,18 +812,19 @@ impl TimingCore {
             }
             None => 0,
         };
-        let complete = issue + self.latency(r.insn, mem_latency);
+        let complete = issue + self.latency(st, mem_latency);
 
         // ---------------- WRITEBACK ----------------
-        for res in r.insn.writes().iter() {
-            self.board.set(res, Producer { ready: complete, unit });
+        for res in st.writes.iter() {
+            let i = res_index(res);
+            self.board.ready[i] = complete;
+            self.board.unit[i] = unit;
+            self.board.busy |= 1 << i;
         }
 
         // ---------------- BRANCH RESOLUTION ----------------
-        if let Some((taken, target)) = r.event.branch {
-            self.account_branch(r, fetch_time, complete, taken, target);
-        } else if r.event.halted {
-            // Halt flushes nothing; nothing to do.
+        if let Some((taken, target)) = event.branch {
+            self.account_branch(st, pc, fetch_time, complete, taken, target);
         }
 
         // ---------------- COMMIT ----------------
@@ -651,7 +837,7 @@ impl TimingCore {
             StallClass::None
         } else if delay != StallClass::None {
             delay
-        } else if r.event.mem.is_some_and(|(_, _, st)| !st)
+        } else if event.mem.is_some_and(|(_, _, is_st)| !is_st)
             && mem_latency > self.cfg.l1d.hit_latency
         {
             StallClass::LoadMiss
@@ -667,39 +853,39 @@ impl TimingCore {
         if gap > 0 {
             self.counters.stalls.add(reason, gap);
             if let Some(sites) = &mut self.stall_sites {
-                sites.slot(r.pc).add(reason, gap);
+                sites.slot(pc).add(reason, gap);
             }
         }
         self.commit_new_group = false;
         self.last_commit = commit;
         self.rob.push_back(commit);
-        if self.rob.len() > self.cfg.rob_insns() {
+        if self.rob.len() > self.rob_cap {
             self.rob.pop_front();
         }
+        Sched { fetch: fetch_time, dispatch, issue, complete, commit, reason, gap }
+    }
 
-        // ---------------- COUNTERS ----------------
+    /// Fold one instruction's per-class counts, advance the cycle counter,
+    /// and push an interval sample when one is due.
+    fn count_one(&mut self, st: &StaticTiming, commit: u64) {
         let c = &mut self.counters;
         c.instructions += 1;
         c.cycles = c.cycles.max(commit);
-        match unit {
+        match st.unit {
             ExecUnit::Fxu => c.fxu_ops += 1,
             ExecUnit::Lsu => c.lsu_ops += 1,
             ExecUnit::Bru => {}
         }
-        match r.insn {
-            Instruction::Cmpw { .. }
-            | Instruction::Cmpwi { .. }
-            | Instruction::Cmplw { .. }
-            | Instruction::Cmplwi { .. } => c.compares += 1,
-            _ => {}
+        if st.is_compare() {
+            c.compares += 1;
         }
-        if r.insn.is_predicated() {
+        if st.is_predicated() {
             c.predicated_ops += 1;
         }
-        if r.insn.is_load() {
+        if st.is_load() {
             c.loads += 1;
         }
-        if r.insn.is_store() {
+        if st.is_store() {
             c.stores += 1;
         }
         if self.interval_insns > 0 && c.instructions.is_multiple_of(self.interval_insns) {
@@ -717,14 +903,59 @@ impl TimingCore {
             });
             self.interval_start = (c.instructions, c.cycles, c.branches.direction_mispredictions);
         }
+    }
 
-        // ---------------- TRACE ----------------
+    /// Account one committed instruction; returns the cycle it commits.
+    ///
+    /// Derives the [`StaticTiming`] record on the fly and runs the same
+    /// scheduler as the batched path, so the per-instruction reference
+    /// loop and the batched loop are identical by construction.
+    pub fn retire(&mut self, r: Retired<'_>) -> u64 {
+        let st = StaticTiming::of(r.insn);
+        let s = self.schedule(&st, r.pc, r.event);
+        self.count_one(&st, s.commit);
         // One discriminant test when tracing is off; the record is built
         // only on the cold path.
         if !self.tracer.is_off() {
-            self.emit_trace(&r, fetch_time, dispatch, issue, complete, commit, reason, gap);
+            self.emit_trace(
+                &r, s.fetch, s.dispatch, s.issue, s.complete, s.commit, s.reason, s.gap,
+            );
         }
-        commit
+        s.commit
+    }
+
+    /// Account one committed instruction from its precomputed static
+    /// timing record, deferring the per-class counter increments to a
+    /// later [`TimingCore::flush_block`]. Only valid when no tracer or
+    /// interval sampling is active (see
+    /// [`TimingCore::needs_per_insn_retire`]); callers accumulate the
+    /// class counts per block from the sidecar's prefix sums.
+    #[inline]
+    pub fn retire_batched(&mut self, st: &StaticTiming, pc: u32, event: StepEvent) -> u64 {
+        self.schedule(st, pc, event).commit
+    }
+
+    /// Fold a block's accumulated per-class counts into [`Counters`] and
+    /// advance the cycle counter to the last commit. `last_commit` is
+    /// monotonically non-decreasing, so taking it once per block equals
+    /// the per-instruction `max` fold.
+    pub fn flush_block(&mut self, d: ClassCounts) {
+        let c = &mut self.counters;
+        c.instructions += d.executed;
+        c.fxu_ops += d.fxu;
+        c.lsu_ops += d.lsu;
+        c.compares += d.compares;
+        c.predicated_ops += d.predicated;
+        c.loads += d.loads;
+        c.stores += d.stores;
+        c.cycles = c.cycles.max(self.last_commit);
+    }
+
+    /// Whether retire-time bookkeeping (tracing, interval sampling)
+    /// requires visiting every instruction individually, ruling out the
+    /// block-batched commit path.
+    pub fn needs_per_insn_retire(&self) -> bool {
+        self.interval_insns > 0 || !self.tracer.is_off()
     }
 
     /// Build and deliver one pipeline event record (kept out of the retire
@@ -767,7 +998,8 @@ impl TimingCore {
 
     fn account_branch(
         &mut self,
-        r: Retired<'_>,
+        st: &StaticTiming,
+        pc: u32,
         fetch_time: u64,
         resolve: u64,
         taken: bool,
@@ -775,7 +1007,7 @@ impl TimingCore {
     ) {
         let c = &mut self.counters;
         c.branches.total += 1;
-        let conditional = r.insn.is_conditional_branch();
+        let conditional = st.is_conditional_branch();
         if conditional {
             c.branches.conditional += 1;
         }
@@ -789,10 +1021,10 @@ impl TimingCore {
         // matching POWER5, which predicts all bc forms).
         let mut direction_mispredict = false;
         if conditional {
-            let predicted = self.predictor.predict(r.pc);
-            self.predictor.update(r.pc, taken);
+            let predicted = self.predictor.predict(pc);
+            self.predictor.update(pc, taken);
             if let Some(sites) = &mut self.branch_sites {
-                let site = sites.slot(r.pc);
+                let site = sites.slot(pc);
                 site.executed += 1;
                 site.taken += taken as u64;
                 site.mispredicted += (predicted != taken) as u64;
@@ -813,14 +1045,10 @@ impl TimingCore {
         }
 
         // Call/return bookkeeping for target prediction.
-        let is_call = matches!(
-            r.insn,
-            Instruction::B { link: true, .. } | Instruction::Bc { link: true, .. }
-        );
-        if is_call {
-            self.ras.push(r.pc.wrapping_add(4));
+        if st.is_call() {
+            self.ras.push(pc.wrapping_add(4));
         }
-        let is_return = matches!(r.insn, Instruction::Bclr { .. });
+        let is_return = st.is_return();
 
         // Target prediction for taken branches.
         let mut target_mispredict = false;
@@ -831,14 +1059,14 @@ impl TimingCore {
                     Some(pred) if pred == target => {}
                     _ => target_mispredict = true,
                 }
-            } else if matches!(r.insn, Instruction::Bcctr { .. }) {
+            } else if st.is_bcctr() {
                 // CTR targets resolve late; treat like a normal taken
                 // branch (bubble), never a silent mispredict.
             }
             if !target_mispredict {
                 if let Some(btac) = &mut self.btac {
-                    let predicted = btac.lookup(r.pc);
-                    btac.update(r.pc, predicted, target);
+                    let predicted = btac.lookup(pc);
+                    btac.update(pc, predicted, target);
                     match predicted {
                         Some(nia) if nia == target => btac_covered = true,
                         Some(_) => target_mispredict = true,

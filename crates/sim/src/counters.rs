@@ -72,6 +72,57 @@ impl std::fmt::Display for StallClass {
     }
 }
 
+/// Per-class retirement counter increments of one or more instructions —
+/// the statically-determined slice of [`Counters`] (everything here
+/// depends only on the opcode, never on runtime values). The machine's
+/// static timing sidecar keeps prefix sums of these over the code image
+/// so the batched retire path can fold a whole block's worth with one
+/// subtraction instead of per-instruction increments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Instructions executed.
+    pub executed: u64,
+    /// Fixed-point-unit operations.
+    pub fxu: u64,
+    /// Load/store-unit operations.
+    pub lsu: u64,
+    /// Compare instructions.
+    pub compares: u64,
+    /// Predicated (select-style) operations.
+    pub predicated: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+}
+
+impl ClassCounts {
+    /// Accumulate another count set (prefix-sum construction).
+    pub fn add(&mut self, o: &ClassCounts) {
+        self.executed += o.executed;
+        self.fxu += o.fxu;
+        self.lsu += o.lsu;
+        self.compares += o.compares;
+        self.predicated += o.predicated;
+        self.loads += o.loads;
+        self.stores += o.stores;
+    }
+
+    /// The difference `self - o` (prefix-sum span read-out; `o` must be a
+    /// prefix of `self`).
+    pub fn minus(&self, o: &ClassCounts) -> ClassCounts {
+        ClassCounts {
+            executed: self.executed - o.executed,
+            fxu: self.fxu - o.fxu,
+            lsu: self.lsu - o.lsu,
+            compares: self.compares - o.compares,
+            predicated: self.predicated - o.predicated,
+            loads: self.loads - o.loads,
+            stores: self.stores - o.stores,
+        }
+    }
+}
+
 /// Completion-stall attribution — the CPI stack the paper's Table I
 /// "Stalls due FXU instructions" column comes from. Each stalled completion
 /// cycle is charged to the reason the oldest in-flight instruction was not

@@ -75,7 +75,8 @@ pub mod predictor;
 pub mod trace;
 
 pub use config::CoreConfig;
-pub use counters::{Counters, StallBreakdown, StallClass};
+pub use core::StaticTiming;
+pub use counters::{ClassCounts, Counters, StallBreakdown, StallClass};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectionWindow, XorShift64};
 pub use machine::{
     Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,

@@ -23,8 +23,8 @@
 #![deny(clippy::unwrap_used)]
 
 use crate::config::CoreConfig;
-use crate::core::{CoreState, Retired, TimingCore};
-use crate::counters::{Counters, StallBreakdown};
+use crate::core::{CoreState, Retired, StaticTiming, TimingCore};
+use crate::counters::{ClassCounts, Counters, StallBreakdown};
 use crate::oracle::{Divergence, Lockstep, LockstepMode};
 use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
 use ppc_isa::exec::MemFault;
@@ -283,6 +283,23 @@ fn code_tables(slots: &[Option<Instruction>]) -> (Vec<Instruction>, Vec<u32>) {
     (decoded, run_len)
 }
 
+/// Build the static timing sidecar and the per-class counter prefix sums
+/// over the decoded image. `prefix[i]` holds the summed class counts of
+/// slots `0..i`, so a block execution spanning slots `[i, i+n)` folds its
+/// per-class counter increments with a single subtraction at block exit
+/// instead of per-instruction increments.
+fn timing_tables(decoded: &[Instruction]) -> (Vec<StaticTiming>, Vec<ClassCounts>) {
+    let timing: Vec<StaticTiming> = decoded.iter().map(StaticTiming::of).collect();
+    let mut prefix = Vec::with_capacity(decoded.len() + 1);
+    let mut acc = ClassCounts::default();
+    prefix.push(acc);
+    for t in &timing {
+        acc.add(&t.class_counts());
+        prefix.push(acc);
+    }
+    (timing, prefix)
+}
+
 /// A loaded program plus simulation state.
 pub struct Machine {
     cpu: CpuState,
@@ -295,6 +312,12 @@ pub struct Machine {
     /// Straight-line run length per slot (see [`code_tables`]); `0`
     /// marks an undecodable word.
     run_len: Vec<u32>,
+    /// Static timing sidecar, parallel to `decoded` (see
+    /// [`StaticTiming`]); rebuilt together with the decode table.
+    timing: Vec<StaticTiming>,
+    /// Per-class counter prefix sums over the image (see
+    /// [`timing_tables`]); `decoded.len() + 1` entries.
+    class_prefix: Vec<ClassCounts>,
     code_base: u32,
     halted: bool,
     /// Optional per-function cycle/instruction attribution.
@@ -357,6 +380,7 @@ impl Machine {
             })
             .collect();
         let (decoded, run_len) = code_tables(&slots);
+        let (timing, class_prefix) = timing_tables(&decoded);
         let mut core = TimingCore::new(cfg);
         core.set_code_region(base, decoded.len());
         Ok(Machine {
@@ -365,6 +389,8 @@ impl Machine {
             core,
             decoded,
             run_len,
+            timing,
+            class_prefix,
             code_base: base,
             halted: false,
             profile: None,
@@ -683,12 +709,44 @@ impl Machine {
 
     /// Run with full timing for at most `max_insns` instructions.
     ///
+    /// Dispatches to the block-batched retire loop when nothing requires
+    /// per-instruction visits — no lockstep oracle, no per-function
+    /// profiling, no cycle watchdog, no tracer, no interval sampling —
+    /// and otherwise to the per-instruction reference loop
+    /// ([`Machine::run_timed_pinned`]). Both paths drive the same
+    /// pipeline scheduler and are cycle-exact to each other: identical
+    /// counters, stall partitions, site heatmaps, and checkpoints.
+    ///
     /// # Errors
     ///
     /// Returns a [`Trap`] on memory faults or undecodable instructions.
     pub fn run_timed(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
         if self.lockstep.is_some() {
             // See `run_functional`: the checked loop is separate.
+            return self.run_timed_checked(max_insns);
+        }
+        if self.profile.is_some()
+            || self.watchdog.max_cycles.is_some()
+            || self.core.needs_per_insn_retire()
+        {
+            return self.run_timed_pinned(max_insns);
+        }
+        self.run_timed_batched(max_insns)
+    }
+
+    /// The per-instruction timed loop: every retirement folds its own
+    /// counters and runs its own watchdog/profiling checks. This is the
+    /// reference the batched path must match bit-for-bit (the
+    /// cycle-exactness tests pin one side of the comparison to it), and
+    /// the fallback whenever a per-instruction observer is active. With a
+    /// lockstep oracle installed it defers to the checked loop, exactly
+    /// like [`Machine::run_timed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on memory faults or undecodable instructions.
+    pub fn run_timed_pinned(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        if self.lockstep.is_some() {
             return self.run_timed_checked(max_insns);
         }
         let mut executed = 0;
@@ -730,6 +788,108 @@ impl Machine {
                         continue 'blocks;
                     }
                 }
+            }
+        }
+        if self.halted {
+            stop = StopReason::Halted;
+        }
+        Ok(RunResult { executed, halted: self.halted, stop })
+    }
+
+    /// Fold the per-class counters of `n` just-executed instructions from
+    /// block slots `[idx, idx + n)` into the core via the sidecar's
+    /// prefix sums. Must run against the same decode tables those
+    /// instructions were executed from (i.e. *before* any repair).
+    #[inline]
+    fn flush_block_counts(&mut self, idx: usize, n: usize) {
+        if n > 0 {
+            let d = self.class_prefix[idx + n].minus(&self.class_prefix[idx]);
+            self.core.flush_block(d);
+        }
+    }
+
+    /// The block-batched timed loop. Each straight-line block retires
+    /// through the precomputed [`StaticTiming`] sidecar; the per-class
+    /// counter increments are folded once per block from the prefix sums
+    /// (flushed early when a trap, a halt, or a self-modifying store cuts
+    /// the block short), and budget/watchdog checks run once per block
+    /// via the same quota logic as the other loops. Only entered when no
+    /// per-instruction observer is active, so hoisting those checks
+    /// cannot change observable behaviour.
+    fn run_timed_batched(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
+        /// Why the block loop stopped before exhausting its quota.
+        enum Cut {
+            Quota,
+            Halt,
+            Fault(MemFault, u32),
+            StoredCode(u32, u32),
+        }
+        let mut executed = 0;
+        let mut stop = StopReason::Budget;
+        while executed < max_insns && !self.halted {
+            if self.insn_budget_expired() {
+                stop = StopReason::Watchdog(WatchdogKind::Instructions);
+                break;
+            }
+            let (idx, run) = self.fetch_decode(self.cpu.pc)?;
+            let quota = self.block_quota(run, max_insns - executed) as usize;
+            // Code-region bounds for the self-modifying-store check
+            // (`store_touches_code`, inlined), read before `self` is
+            // split into disjoint field borrows below.
+            let code_lo = u64::from(self.code_base);
+            let code_hi = code_lo + (self.decoded.len() as u64) * 4;
+            // Split borrows: `step` mutates cpu/mem while the decode and
+            // timing tables are read in lockstep. Iterating the two
+            // slices zipped (instead of indexing per instruction) drops
+            // the bounds checks and the sidecar copy from the hot loop.
+            let Machine { cpu, mem, core, decoded, timing, .. } = &mut *self;
+            let mut n = 0usize;
+            let mut cut = Cut::Quota;
+            for (insn, st) in decoded[idx..idx + quota].iter().zip(&timing[idx..idx + quota]) {
+                let pc = cpu.pc;
+                let ev = match step(cpu, mem, insn) {
+                    Ok(ev) => ev,
+                    Err(m) => {
+                        cut = Cut::Fault(m, pc);
+                        break;
+                    }
+                };
+                core.retire_batched(st, pc, ev);
+                n += 1;
+                if ev.halted {
+                    cut = Cut::Halt;
+                    break;
+                }
+                if st.is_store() {
+                    if let Some((addr, width, true)) = ev.mem {
+                        let lo = u64::from(addr);
+                        let hi = lo + u64::from(width.max(1)) - 1;
+                        if lo < code_hi && hi >= code_lo {
+                            cut = Cut::StoredCode(addr, width);
+                            break;
+                        }
+                    }
+                }
+            }
+            // Fold the block's counters against the *pre-repair* prefix
+            // sums (its instructions executed under the old tables — a
+            // store may patch an earlier, already-executed slot of this
+            // very block), and before any trap is constructed so the trap
+            // is stamped with an up-to-date cycle count, exactly as the
+            // per-instruction loop would produce.
+            self.flush_block_counts(idx, n);
+            self.insns_total += n as u64;
+            match cut {
+                Cut::Fault(m, pc) => return Err(self.trap(TrapCause::Mem(m), pc)),
+                Cut::Halt => {
+                    executed += n as u64;
+                    self.halted = true;
+                }
+                Cut::StoredCode(addr, width) => {
+                    executed += n as u64;
+                    self.repair_stored_code(addr, width);
+                }
+                Cut::Quota => executed += n as u64,
             }
         }
         if self.halted {
@@ -972,7 +1132,11 @@ impl Machine {
     /// Install a new decode result at `slot` and repair the run-length
     /// table: the slot's own entry, then every straight-line predecessor
     /// whose run flows into it (stopping at the previous terminator or
-    /// invalid word — runs upstream of those are unaffected).
+    /// invalid word — runs upstream of those are unaffected). The static
+    /// timing sidecar and its class-count prefix sums are repaired in the
+    /// same step (slot entry plus the prefix suffix from `slot` on —
+    /// patching is rare, so the linear suffix rebuild stays off every hot
+    /// path).
     fn patch_code_slot(&mut self, slot: usize, insn: Option<Instruction>) {
         self.run_len[slot] = match &insn {
             None => 0,
@@ -980,6 +1144,12 @@ impl Machine {
             Some(_) => 1 + self.run_len.get(slot + 1).copied().unwrap_or(0),
         };
         self.decoded[slot] = insn.unwrap_or(INVALID_SLOT);
+        self.timing[slot] = StaticTiming::of(&self.decoded[slot]);
+        for i in slot..self.decoded.len() {
+            let mut p = self.class_prefix[i];
+            p.add(&self.timing[i].class_counts());
+            self.class_prefix[i + 1] = p;
+        }
         let mut i = slot;
         while i > 0 {
             i -= 1;
@@ -990,6 +1160,18 @@ impl Machine {
         }
     }
 
+    /// Whether a store of `width` bytes at `addr` overlaps the pre-decoded
+    /// code region (the read-only test the batched loop uses before it
+    /// flushes its block accumulators and repairs the tables).
+    #[inline]
+    fn store_touches_code(&self, addr: u32, width: u32) -> bool {
+        let base = u64::from(self.code_base);
+        let end = base + (self.decoded.len() as u64) * 4;
+        let lo = u64::from(addr);
+        let hi = lo + u64::from(width.max(1)) - 1;
+        lo < end && hi >= base
+    }
+
     /// Re-decode every code slot a just-executed store touched. The
     /// decode and run-length tables are derived from memory, and every
     /// writer must repair them — including the program's own stores
@@ -998,13 +1180,13 @@ impl Machine {
     /// so block dispatch can re-fetch. No-op for the overwhelmingly
     /// common store outside the code region.
     fn repair_stored_code(&mut self, addr: u32, width: u32) -> bool {
+        if !self.store_touches_code(addr, width) {
+            return false;
+        }
         let base = u64::from(self.code_base);
         let end = base + (self.decoded.len() as u64) * 4;
         let lo = u64::from(addr);
         let hi = lo + u64::from(width.max(1)) - 1;
-        if lo >= end || hi < base {
-            return false;
-        }
         let first = (lo.max(base) - base) / 4;
         let last = (hi.min(end - 1) - base) / 4;
         for slot in first..=last {
@@ -1127,8 +1309,11 @@ impl Machine {
             })
             .collect();
         let (decoded, run_len) = code_tables(&slots);
+        let (timing, class_prefix) = timing_tables(&decoded);
         self.decoded = decoded;
         self.run_len = run_len;
+        self.timing = timing;
+        self.class_prefix = class_prefix;
         self.halted = ck.halted;
         self.insns_total = ck.insns_total;
         self.watchdog = ck.watchdog;

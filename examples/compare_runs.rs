@@ -8,13 +8,16 @@
 //! flagged) by more than the tolerance.
 //!
 //! ```text
-//! cargo run --release --example compare_runs -- before.json after.json [tolerance] [--allow-degraded]
+//! cargo run --release --example compare_runs -- before.json after.json [tolerance] [--allow-degraded] [--require <metric>]...
 //! cargo run --release --example compare_runs -- --demo
 //! ```
 //!
 //! The default tolerance is 0.02 (2 %). Every failing metric is printed
-//! with its baseline and current values. The exit code tells CI *why* a
-//! gate failed:
+//! with its baseline and current values. `--require <metric>` (repeatable)
+//! turns a metric missing from either report into a regression instead of
+//! a silent "missing" note — CI gates use it so a metric that stops being
+//! recorded cannot slip past the comparison. The exit code tells CI *why*
+//! a gate failed:
 //!
 //! | code | meaning |
 //! |------|---------|
@@ -96,10 +99,18 @@ fn main() -> ExitCode {
     }
     let allow_degraded = args.iter().any(|a| a == "--allow-degraded");
     args.retain(|a| a != "--allow-degraded");
+    let mut required: Vec<String> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--require") {
+        if i + 1 >= args.len() {
+            die("--require needs a metric name");
+        }
+        required.push(args.remove(i + 1));
+        args.remove(i);
+    }
     let (before_path, after_path) = match (args.first(), args.get(1)) {
         (Some(b), Some(a)) => (b.as_str(), a.as_str()),
         _ => die("usage: compare_runs <before.json> <after.json> [tolerance] [--allow-degraded] \
-             | --demo"),
+             [--require <metric>]... | --demo"),
     };
     let tolerance: f64 = match args.get(2) {
         Some(t) => t.parse().unwrap_or_else(|_| die(&format!("bad tolerance {t:?}"))),
@@ -133,5 +144,19 @@ fn main() -> ExitCode {
         after.experiment,
         100.0 * tolerance
     );
+    let missing_required: Vec<&str> = required
+        .iter()
+        .map(String::as_str)
+        .filter(|name| [&before, &after].iter().any(|r| !r.metrics.iter().any(|m| m.name == *name)))
+        .collect();
+    if !missing_required.is_empty() {
+        for name in &missing_required {
+            eprintln!("required metric {name} is missing from a report");
+        }
+        // Print the ordinary diff for context, then fail as a regression:
+        // a gated metric that vanished must not pass the gate.
+        let _ = summarize(&compare_reports(&before, &after, tolerance), tolerance);
+        return ExitCode::from(EXIT_REGRESSION);
+    }
     summarize(&compare_reports(&before, &after, tolerance), tolerance)
 }
