@@ -17,7 +17,7 @@
 //! performance trajectory over time.
 
 use bioarch::experiments::Study;
-use bioarch::report::{Direction, Report};
+use bioarch::report::{write_atomic, Direction, Report};
 use power5_sim::{CoreConfig, Machine};
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -88,9 +88,30 @@ fn main() {
 
         let threads = parallel_threads();
         study.set_threads(threads);
+        // Telemetry rides on the parallel leg only; the MIPS micro-loops
+        // above and the serial leg stay uninstrumented so the recorded
+        // trajectory numbers are never measured with the hub attached.
+        if let Some(hub) = bioarch_bench::telemetry_hub() {
+            study.set_telemetry(hub);
+        }
         let start = Instant::now();
         let parallel_suite = study.run_suite();
         let parallel_s = start.elapsed().as_secs_f64();
+        if let Some(hub) = study.take_telemetry() {
+            let mut snapshot = hub.finish();
+            snapshot.context.push(("scale".into(), format!("{:?}", study.scale())));
+            snapshot.context.push(("seed".into(), study.seed().to_string()));
+            snapshot.context.push(("threads".into(), threads.to_string()));
+            if let Some(dir) = bioarch_bench::report_dir() {
+                let path = dir.join("BENCH_sim_throughput.metrics.json");
+                let write = std::fs::create_dir_all(&dir)
+                    .and_then(|()| write_atomic(&path, &snapshot.render_json()));
+                match write {
+                    Ok(()) => println!("[metrics written to {}]", path.display()),
+                    Err(e) => eprintln!("[metrics NOT written to {}: {e}]", path.display()),
+                }
+            }
+        }
 
         let speedup = serial_s / parallel_s.max(1e-9);
 

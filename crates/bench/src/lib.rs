@@ -9,14 +9,20 @@
 //!   minutes; used by CI smoke runs);
 //! * `BIOARCH_SEED=<n>` — change the workload seed (default 42);
 //! * `BIOARCH_REPORT_DIR=<dir>` — where experiment JSON reports are
-//!   written (default `target/reports`); set empty to disable.
+//!   written (default `target/reports`); set empty to disable;
+//! * `BIOARCH_TELEMETRY=1` — attach the runtime telemetry hub (guest
+//!   sampling profiler, host phase spans, `bioarch-metrics/v1` output);
+//! * `BIOARCH_PROGRESS=<path>` — stream JSONL job-lifecycle events and
+//!   heartbeats to `<path>` while a suite runs (implies telemetry;
+//!   watch live with `cargo run --example suite_top -- <path>`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bioarch::apps::Scale;
 use bioarch::experiments::Study;
-use bioarch::report::Report;
+use bioarch::report::{write_atomic, Report};
+use bioarch::telemetry::{TelemetryConfig, TelemetryHub};
 use std::path::PathBuf;
 
 /// The scale selected by `BIOARCH_SCALE` (default: `ClassC`).
@@ -74,12 +80,36 @@ pub fn run_reported(name: &str, f: impl FnOnce(&mut Study) -> (String, Report)) 
         report.context("scale", format!("{:?}", study.scale())).context("seed", study.seed());
     if let Some(dir) = report_dir() {
         let path = dir.join(format!("{}.json", report.experiment));
-        let write = std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::write(&path, report.render_json()));
+        let write =
+            std::fs::create_dir_all(&dir).and_then(|()| write_atomic(&path, &report.render_json()));
         match write {
             Ok(()) => println!("[report written to {}]", path.display()),
             Err(e) => eprintln!("[report NOT written to {}: {e}]", path.display()),
         }
+    }
+}
+
+/// Build the telemetry hub selected by the environment, or `None`.
+///
+/// * `BIOARCH_TELEMETRY=1` — attach a hub (guest sampling profiler plus
+///   host phase spans); the caller writes the finished
+///   `bioarch-metrics/v1` snapshot next to its report.
+/// * `BIOARCH_PROGRESS=<path>` — additionally stream JSONL
+///   job-lifecycle events and heartbeats to `<path>` while the suite
+///   runs (implies telemetry).
+pub fn telemetry_hub() -> Option<TelemetryHub> {
+    let enabled = std::env::var("BIOARCH_TELEMETRY").is_ok_and(|v| !v.is_empty() && v != "0");
+    let progress = std::env::var("BIOARCH_PROGRESS").ok().filter(|p| !p.is_empty());
+    let config = TelemetryConfig::default();
+    match progress {
+        Some(path) => match std::fs::File::create(&path) {
+            Ok(f) => Some(TelemetryHub::with_progress(config, Box::new(f))),
+            Err(e) => {
+                eprintln!("[progress sink NOT opened at {path}: {e}]");
+                enabled.then(|| TelemetryHub::new(config))
+            }
+        },
+        None => enabled.then(|| TelemetryHub::new(config)),
     }
 }
 

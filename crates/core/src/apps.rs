@@ -2,6 +2,7 @@
 //! simulation, and validation against the golden models.
 
 use crate::kernels::{self, Consts, Flavor, NEG_NW};
+use crate::telemetry::PhaseNanos;
 use bioalign::blast::{blastp, BlastParams, WordIndex};
 use bioalign::hmmsearch::viterbi_score;
 use bioalign::pairwise::{needleman_wunsch_score, smith_waterman_score};
@@ -9,11 +10,13 @@ use bioseq::generate::SeqGen;
 use bioseq::hmm::ProfileHmm;
 use bioseq::{Alphabet, GapPenalties, Sequence, SubstitutionMatrix};
 use power5_sim::machine::{Machine, ProfileRegion, StopReason, Trap, Watchdog, WatchdogKind};
+use power5_sim::telemetry::ProfilerReport;
 use power5_sim::{
     Checkpoint, CoreConfig, Counters, Divergence, LockstepMode, StallBreakdown, SymbolMap, Tracer,
 };
 use ppc_isa::exec::MemFault;
 use std::fmt;
+use std::time::Instant;
 
 /// The four applications of the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -346,6 +349,14 @@ pub struct AppRun {
     /// Symbolized rendering of [`AppRun::stall_sites`] (empty unless
     /// requested).
     pub stall_heatmap: String,
+    /// Host-side phase wall times for this run (decode/execute/oracle/
+    /// checkpoint), in nanoseconds. Telemetry only: never serialized
+    /// into `bioarch-report/v1` documents.
+    pub phases: PhaseNanos,
+    /// Symbolized guest sampling profile (present only when a sampling
+    /// period was requested, e.g. via
+    /// [`Workload::run_full_instrumented`]).
+    pub guest_profile: Option<Box<ProfilerReport>>,
 }
 
 /// Optional collection switches for one simulated run.
@@ -357,6 +368,9 @@ struct RunOpts {
     tracer: Option<Tracer>,
     watchdog: Option<Watchdog>,
     lockstep: LockstepMode,
+    /// Guest sampling-profiler period in retired instructions
+    /// (`None` = profiler disabled, the zero-cost default).
+    profiler: Option<u64>,
 }
 
 /// A fully prepared workload: inputs generated, golden results computed.
@@ -947,9 +961,32 @@ impl Workload {
         checkpoint: &Checkpoint,
         watchdog: Watchdog,
     ) -> Result<AppRun, RunError> {
-        let opts = RunOpts { watchdog: Some(watchdog), stall_sites: true, ..RunOpts::default() };
+        self.resume_instrumented(variant, config, checkpoint, watchdog, None)
+    }
+
+    /// [`Workload::resume_with_watchdog`] with an optional guest
+    /// sampling-profiler period — the resume-side twin of
+    /// [`Workload::run_full_instrumented`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::resume_with_watchdog`].
+    pub fn resume_instrumented(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        checkpoint: &Checkpoint,
+        watchdog: Watchdog,
+        profiler: Option<u64>,
+    ) -> Result<AppRun, RunError> {
+        let opts =
+            RunOpts { watchdog: Some(watchdog), stall_sites: true, profiler, ..RunOpts::default() };
+        let decode_started = Instant::now();
         let built = self.build(variant, config)?;
-        Ok(self.execute_built(built, opts, Some(checkpoint))?.0)
+        let decode = decode_started.elapsed().as_nanos() as u64;
+        let mut run = self.execute_built(built, opts, Some(checkpoint))?.0;
+        run.phases.decode = decode;
+        Ok(run)
     }
 
     /// The superset run the suite supervisor drives: optional interval
@@ -971,8 +1008,31 @@ impl Workload {
         watchdog: Option<Watchdog>,
         lockstep: LockstepMode,
     ) -> Result<AppRun, RunError> {
+        self.run_full_instrumented(variant, config, interval, watchdog, lockstep, None)
+    }
+
+    /// [`Workload::run_full`] with an optional guest sampling-profiler
+    /// period (retired instructions per sample). When `profiler` is set
+    /// the returned [`AppRun::guest_profile`] carries the symbolized
+    /// hot-region report; simulated timing, counters, and validation are
+    /// byte-identical to the uninstrumented run — the profiler only
+    /// *observes* retirement, it never changes dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as for [`Workload::run_full`].
+    pub fn run_full_instrumented(
+        &self,
+        variant: Variant,
+        config: &CoreConfig,
+        interval: Option<u64>,
+        watchdog: Option<Watchdog>,
+        lockstep: LockstepMode,
+        profiler: Option<u64>,
+    ) -> Result<AppRun, RunError> {
         let stall_sites = watchdog.is_some() && interval.is_none();
-        let opts = RunOpts { interval, watchdog, lockstep, stall_sites, ..RunOpts::default() };
+        let opts =
+            RunOpts { interval, watchdog, lockstep, stall_sites, profiler, ..RunOpts::default() };
         Ok(self.run_configured(variant, config, opts)?.0)
     }
 
@@ -1090,8 +1150,12 @@ impl Workload {
         config: &CoreConfig,
         opts: RunOpts,
     ) -> Result<(AppRun, Tracer), RunError> {
+        let decode_started = Instant::now();
         let built = self.build(variant, config)?;
-        self.execute_built(built, opts, None)
+        let decode = decode_started.elapsed().as_nanos() as u64;
+        let mut out = self.execute_built(built, opts, None)?;
+        out.0.phases.decode = decode;
+        Ok(out)
     }
 
     fn execute_built(
@@ -1106,12 +1170,15 @@ impl Workload {
         }
         machine.set_branch_site_profiling(opts.branch_sites);
         machine.set_stall_site_profiling(opts.stall_sites);
+        let mut phases = PhaseNanos::default();
         if let Some(ck) = resume_from {
             // Restore before installing the fresh watchdog below: the
             // checkpoint carries the budget that already expired.
+            let restore_started = Instant::now();
             machine
                 .restore(ck)
                 .map_err(|e| RunError::Image(format!("checkpoint restore failed: {e}")))?;
+            phases.checkpoint += restore_started.elapsed().as_nanos() as u64;
         }
         if let Some(t) = opts.tracer {
             machine.set_tracer(t);
@@ -1120,6 +1187,9 @@ impl Workload {
             machine.set_watchdog(w);
         }
         machine.set_lockstep(opts.lockstep);
+        if let Some(period) = opts.profiler {
+            machine.set_sampling_profiler(period);
+        }
         let function_of = |regions: &[ProfileRegion], pc: u32| {
             regions
                 .iter()
@@ -1151,6 +1221,8 @@ impl Workload {
             let stall_heatmap =
                 if stall_reports.is_empty() { String::new() } else { machine.stall_heatmap(16) };
             let tracer = machine.take_tracer();
+            let guest_profile =
+                machine.take_profiler().map(|p| Box::new(p.report(machine.symbols())));
             (
                 AppRun {
                     counters: machine.counters(),
@@ -1162,17 +1234,24 @@ impl Workload {
                     branch_sites: site_reports,
                     stall_sites: stall_reports,
                     stall_heatmap,
+                    phases: PhaseNanos::default(),
+                    guest_profile,
                 },
                 tracer,
             )
         };
+        let execute_started = Instant::now();
         let result = machine.run_timed(BUDGET)?;
+        phases.execute = execute_started.elapsed().as_nanos() as u64;
         if let StopReason::Watchdog(kind) = result.stop {
             // Graceful timeout: hand back the partial report plus a
             // checkpoint so a supervisor can resume under a wider budget.
+            let checkpoint_started = Instant::now();
             let checkpoint = Box::new(machine.checkpoint());
+            phases.checkpoint += checkpoint_started.elapsed().as_nanos() as u64;
             let note = format!("watchdog expired at pc {:#010x}", machine.cpu().pc);
-            let (partial, _) = collect(&mut machine, false, vec![note]);
+            let (mut partial, _) = collect(&mut machine, false, vec![note]);
+            partial.phases = phases;
             return Err(RunError::Timeout { kind, partial: Box::new(partial), checkpoint });
         }
         if matches!(result.stop, StopReason::Diverged) {
@@ -1185,6 +1264,7 @@ impl Workload {
             return Err(RunError::Budget);
         }
         // Read back and validate.
+        let oracle_started = Instant::now();
         let out = machine.mem().read_i32s(plan.out_addr, plan.out_len).map_err(RunError::Layout)?;
         let aux = if plan.aux_len > 0 {
             machine.mem().read_i32s(plan.aux_addr, plan.aux_len).map_err(RunError::Layout)?
@@ -1194,7 +1274,10 @@ impl Workload {
         let mut mismatches = Vec::new();
         self.validate(&out, &aux, &mut mismatches);
         let validated = mismatches.is_empty();
-        Ok(collect(&mut machine, validated, mismatches))
+        phases.oracle = oracle_started.elapsed().as_nanos() as u64;
+        let (mut run, tracer) = collect(&mut machine, validated, mismatches);
+        run.phases = phases;
+        Ok((run, tracer))
     }
 
     fn validate(&self, out: &[i32], aux: &[i32], mismatches: &mut Vec<String>) {

@@ -17,12 +17,14 @@
 
 use crate::apps::{App, AppRun, RunError, Scale, Variant, Workload};
 use crate::report::{frac, pct, Direction, Report, Table};
+use crate::telemetry::{JobSpan, TelemetryHub};
 use power5_sim::config::BtacConfig;
 use power5_sim::counters::IntervalSample;
 use power5_sim::CoreConfig;
 use power5_sim::Watchdog;
 use power5_sim::{Checkpoint, LockstepMode, XorShift64};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Attempts the suite supervisor makes per simulation before
 /// quarantining the experiment into a degraded report.
@@ -36,6 +38,16 @@ fn job_seed(study_seed: u64, app: App, variant: Variant, hw: Hw) -> u64 {
         h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
     }
     h
+}
+
+/// Human-readable job label for telemetry events and per-job spans.
+/// Matches the `job_seed` identity (plus the sampling interval for
+/// Figure-2 style runs, which are cached — and supervised — separately).
+fn job_label(app: App, variant: Variant, hw: Hw, interval: Option<u64>) -> String {
+    match interval {
+        Some(i) => format!("{app:?}/{variant:?}/{hw:?}@{i}"),
+        None => format!("{app:?}/{variant:?}/{hw:?}"),
+    }
 }
 
 /// Seeded deterministic backoff: the resource that ran out is the budget,
@@ -54,6 +66,7 @@ fn widen_watchdog(w: Watchdog, rng: &mut XorShift64) -> Watchdog {
 /// machine would lose its sample series / checking window). Everything
 /// here is deterministic, so the serial path and the parallel prefetch
 /// workers converge on identical results and identical final errors.
+#[allow(clippy::too_many_arguments)]
 fn supervised_run(
     workload: &Workload,
     variant: Variant,
@@ -62,21 +75,48 @@ fn supervised_run(
     watchdog: Option<Watchdog>,
     lockstep: LockstepMode,
     seed: u64,
+    telemetry: Option<&TelemetryHub>,
+    job: &str,
 ) -> Result<AppRun, RunError> {
+    let wall_started = Instant::now();
+    if let Some(hub) = telemetry {
+        hub.job_started(job);
+    }
+    let profiler = telemetry.and_then(TelemetryHub::profiler_period);
     let mut rng = XorShift64::new(seed);
     let mut budget = watchdog;
     let mut resume: Option<Box<Checkpoint>> = None;
     let mut last_err: Option<RunError> = None;
+    let mut attempts = 0u32;
     for _attempt in 0..MAX_ATTEMPTS {
+        attempts += 1;
         let can_resume = interval.is_none() && lockstep == LockstepMode::Off;
         let result = match (&resume, budget) {
             (Some(ck), Some(w)) if can_resume => {
-                workload.resume_with_watchdog(variant, config, ck, w)
+                if let Some(hub) = telemetry {
+                    hub.job_resumed(job, attempts);
+                }
+                workload.resume_instrumented(variant, config, ck, w, profiler)
             }
-            _ => workload.run_full(variant, config, interval, budget, lockstep),
+            _ => workload
+                .run_full_instrumented(variant, config, interval, budget, lockstep, profiler),
         };
         match result {
-            Ok(run) => return Ok(run),
+            Ok(run) => {
+                if let Some(hub) = telemetry {
+                    hub.job_retired(
+                        JobSpan {
+                            job: job.to_string(),
+                            wall_ms: wall_started.elapsed().as_secs_f64() * 1e3,
+                            instructions: run.counters.instructions,
+                            attempts,
+                            phases: run.phases,
+                        },
+                        run.guest_profile.as_deref(),
+                    );
+                }
+                return Ok(run);
+            }
             Err(err) => {
                 match &err {
                     RunError::Timeout { checkpoint, .. } => {
@@ -88,13 +128,25 @@ fn supervised_run(
                     }
                     // Build, layout, budget, and validation failures are
                     // deterministic dead ends — no point retrying.
-                    _ => return Err(err),
+                    _ => {
+                        if let Some(hub) = telemetry {
+                            hub.job_quarantined(job, err.class());
+                        }
+                        return Err(err);
+                    }
+                }
+                if let Some(hub) = telemetry {
+                    hub.job_retried(job, attempts, err.class());
                 }
                 last_err = Some(err);
             }
         }
     }
-    Err(last_err.expect("supervisor made at least one attempt"))
+    let err = last_err.expect("supervisor made at least one attempt");
+    if let Some(hub) = telemetry {
+        hub.job_quarantined(job, err.class());
+    }
+    Err(err)
 }
 
 /// Hardware configurations the experiments compare.
@@ -141,6 +193,7 @@ pub struct Study {
     watchdog: Option<Watchdog>,
     lockstep: LockstepMode,
     threads_override: Option<usize>,
+    telemetry: Option<TelemetryHub>,
 }
 
 impl Study {
@@ -156,7 +209,24 @@ impl Study {
             watchdog: None,
             lockstep: LockstepMode::Off,
             threads_override: None,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry hub: every supervised simulation from now on
+    /// emits lifecycle events, host phase spans, and (when the hub's
+    /// profiler period is non-zero) a guest sampling profile. Detach
+    /// with [`Study::take_telemetry`] to harvest the snapshot.
+    /// Simulation *results* are unaffected — reports built with
+    /// telemetry attached are byte-identical to reports built without.
+    pub fn set_telemetry(&mut self, hub: TelemetryHub) {
+        self.telemetry = Some(hub);
+    }
+
+    /// Detach the telemetry hub (if any) so the caller can
+    /// [`TelemetryHub::finish`] it into a snapshot.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryHub> {
+        self.telemetry.take()
     }
 
     /// Pin the worker-thread count for this study, overriding the
@@ -235,6 +305,7 @@ impl Study {
         if let Some(r) = self.cache.get(&(app, variant, hw)) {
             return Ok(r.clone());
         }
+        let label = job_label(app, variant, hw, None);
         let run = supervised_run(
             self.workload(app),
             variant,
@@ -243,6 +314,8 @@ impl Study {
             self.watchdog,
             self.lockstep,
             job_seed(self.seed, app, variant, hw),
+            self.telemetry.as_ref(),
+            &label,
         )?;
         if !run.validated {
             return Err(RunError::Validation {
@@ -252,7 +325,11 @@ impl Study {
                 ),
             });
         }
+        let merge_started = Instant::now();
         self.cache.insert((app, variant, hw), run.clone());
+        if let Some(hub) = &self.telemetry {
+            hub.phase_merge(&label, merge_started.elapsed().as_nanos() as u64);
+        }
         Ok(run)
     }
 
@@ -268,6 +345,7 @@ impl Study {
         if let Some(r) = self.interval_cache.get(&(app, variant, hw, interval)) {
             return Ok(r.clone());
         }
+        let label = job_label(app, variant, hw, Some(interval));
         let run = supervised_run(
             self.workload(app),
             variant,
@@ -276,13 +354,19 @@ impl Study {
             self.watchdog,
             self.lockstep,
             job_seed(self.seed, app, variant, hw),
+            self.telemetry.as_ref(),
+            &label,
         )?;
         if !run.validated {
             return Err(RunError::Validation {
                 what: format!("Fig.2 Clustalw run mismatched: {:?}", run.mismatches),
             });
         }
+        let merge_started = Instant::now();
         self.interval_cache.insert((app, variant, hw, interval), run.clone());
+        if let Some(hub) = &self.telemetry {
+            hub.phase_merge(&label, merge_started.elapsed().as_nanos() as u64);
+        }
         Ok(run)
     }
 
@@ -314,6 +398,7 @@ impl Study {
         let watchdog = self.watchdog;
         let lockstep = self.lockstep;
         let seed = self.seed;
+        let telemetry = self.telemetry.as_ref();
         let workloads = &self.workloads;
         let worker_of =
             |app: App| workloads.iter().find(|w| w.app() == app).expect("all apps present");
@@ -337,6 +422,8 @@ impl Study {
                             watchdog,
                             lockstep,
                             job_seed(seed, app, v, hw),
+                            telemetry,
+                            &job_label(app, v, hw, None),
                         ),
                         Job::Interval(app, v, hw, interval) => supervised_run(
                             worker_of(app),
@@ -346,6 +433,8 @@ impl Study {
                             watchdog,
                             lockstep,
                             job_seed(seed, app, v, hw),
+                            telemetry,
+                            &job_label(app, v, hw, Some(interval)),
                         ),
                     };
                     if let Ok(run) = run {
@@ -364,13 +453,19 @@ impl Study {
         };
         for (job, slot) in todo.into_iter().zip(slots) {
             if let Some(run) = slot {
-                match job {
+                let merge_started = Instant::now();
+                let label = match job {
                     Job::Plain(a, v, h) => {
                         self.cache.insert((a, v, h), run);
+                        job_label(a, v, h, None)
                     }
                     Job::Interval(a, v, h, i) => {
                         self.interval_cache.insert((a, v, h, i), run);
+                        job_label(a, v, h, Some(i))
                     }
+                };
+                if let Some(hub) = &self.telemetry {
+                    hub.phase_merge(&label, merge_started.elapsed().as_nanos() as u64);
                 }
             }
         }

@@ -85,6 +85,46 @@ impl Json {
         out
     }
 
+    /// Render as compact single-line JSON (no whitespace, no trailing
+    /// newline) — the form streamed as JSONL progress events, where one
+    /// event must occupy exactly one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -394,5 +434,19 @@ mod tests {
     fn parses_escapes_and_unicode() {
         let doc = Json::parse(r#""aA\n\t\"\\b""#).unwrap();
         assert_eq!(doc.as_str(), Some("aA\n\t\"\\b"));
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_roundtrips() {
+        let doc = Json::obj()
+            .set("event", Json::Str("job_started".into()))
+            .set("seq", Json::Num(3.0))
+            .set("items", Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Bool(true)]))
+            .set("empty", Json::obj());
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(line, r#"{"event":"job_started","seq":3,"items":[1,null,true],"empty":{}}"#);
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 }

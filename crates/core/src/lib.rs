@@ -40,5 +40,6 @@ pub mod extra;
 pub mod json;
 pub mod kernels;
 pub mod report;
+pub mod telemetry;
 
 pub use apps::{App, Scale, Variant, Workload};

@@ -455,6 +455,26 @@ pub fn compare_reports(before: &Report, after: &Report, tolerance: f64) -> Compa
     Comparison { deltas, missing, added }
 }
 
+/// Write `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed over the target, so a reader (or
+/// a kill signal) can never observe a truncated document. Report and
+/// `bioarch-metrics/v1` writers all flush through here.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error from the write or the rename (the
+/// temporary file is removed on a failed rename).
+pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Format a ratio as a signed percentage (`+12.3%`).
 pub fn pct(ratio: f64) -> String {
     format!("{:+.1}%", 100.0 * ratio)

@@ -951,6 +951,14 @@ impl TimingCore {
         c.cycles = c.cycles.max(self.last_commit);
     }
 
+    /// Cycle of the most recent commit (0 before the first retirement).
+    /// Monotonically non-decreasing; the machine's telemetry hooks read
+    /// it once per retired block to feed the retire-latency histogram.
+    #[inline]
+    pub fn last_commit(&self) -> u64 {
+        self.last_commit
+    }
+
     /// Whether retire-time bookkeeping (tracing, interval sampling)
     /// requires visiting every instruction individually, ruling out the
     /// block-batched commit path.

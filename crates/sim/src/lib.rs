@@ -72,6 +72,7 @@ pub mod fault;
 pub mod machine;
 pub mod oracle;
 pub mod predictor;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::CoreConfig;
@@ -82,4 +83,5 @@ pub use machine::{
     Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,
 };
 pub use oracle::{shrink_divergence, ArchField, Divergence, LockstepMode, Oracle, ShrunkRepro};
+pub use telemetry::{GuestProfiler, Histogram, HotRegion, MetricsRegistry, ProfilerReport};
 pub use trace::{SymbolMap, Tracer};

@@ -26,6 +26,7 @@ use crate::config::CoreConfig;
 use crate::core::{CoreState, Retired, StaticTiming, TimingCore};
 use crate::counters::{ClassCounts, Counters, StallBreakdown};
 use crate::oracle::{Divergence, Lockstep, LockstepMode};
+use crate::telemetry::GuestProfiler;
 use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
 use ppc_isa::exec::MemFault;
 use ppc_isa::reg::CondReg;
@@ -334,6 +335,9 @@ pub struct Machine {
     /// Lockstep oracle checker (`None` = [`LockstepMode::Off`]). Like
     /// the tracer, harness state: excluded from checkpoints.
     lockstep: Option<Lockstep>,
+    /// Guest sampling profiler (`None` = disabled; one pointer test per
+    /// retired block). Harness state: excluded from checkpoints.
+    profiler: Option<Box<GuestProfiler>>,
 }
 
 impl Machine {
@@ -400,7 +404,28 @@ impl Machine {
             insns_total: 0,
             watchdog: Watchdog::default(),
             lockstep: None,
+            profiler: None,
         })
+    }
+
+    /// Install a guest sampling profiler attributing one sample per
+    /// `period` retired instructions to the retiring basic block's start
+    /// PC (see [`GuestProfiler`]). Replaces any previous profiler.
+    /// Profiler state is harness state — like the tracer and the
+    /// lockstep oracle it is excluded from [`Machine::checkpoint`].
+    pub fn set_sampling_profiler(&mut self, period: u64) {
+        self.profiler = Some(Box::new(GuestProfiler::new(period)));
+    }
+
+    /// Remove and return the sampling profiler, disabling sampling and
+    /// restoring the untouched fast paths.
+    pub fn take_profiler(&mut self) -> Option<Box<GuestProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The installed sampling profiler, if any.
+    pub fn profiler(&self) -> Option<&GuestProfiler> {
+        self.profiler.as_deref()
     }
 
     /// Install a lockstep verification mode (see [`LockstepMode`]).
@@ -680,6 +705,8 @@ impl Machine {
             // checks are hoisted to the block boundary.
             let (idx, run) = self.fetch_decode(self.cpu.pc)?;
             let quota = self.block_quota(run, max_insns - executed);
+            let block_pc = self.cpu.pc;
+            let block_start = executed;
             for k in 0..quota as usize {
                 let pc = self.cpu.pc;
                 let insn = self.decoded[idx + k];
@@ -696,9 +723,15 @@ impl Machine {
                         // The decode tables just changed: drop the rest
                         // of the block quota and re-fetch at the
                         // already-advanced PC.
+                        if let Some(p) = &mut self.profiler {
+                            p.on_block(block_pc, (executed - block_start) as u32);
+                        }
                         continue 'blocks;
                     }
                 }
+            }
+            if let Some(p) = &mut self.profiler {
+                p.on_block(block_pc, (executed - block_start) as u32);
             }
         }
         if self.halted {
@@ -761,6 +794,8 @@ impl Machine {
             // Block dispatch, as in `run_functional`; see there.
             let (idx, run) = self.fetch_decode(self.cpu.pc)?;
             let quota = self.block_quota(run, max_insns - executed);
+            let block_pc = self.cpu.pc;
+            let block_start = executed;
             for k in 0..quota as usize {
                 let pc = self.cpu.pc;
                 let insn = self.decoded[idx + k];
@@ -778,6 +813,7 @@ impl Machine {
                 }
                 if max_cycles.is_some_and(|limit| commit >= limit) {
                     stop = StopReason::Watchdog(WatchdogKind::Cycles);
+                    self.sample_block_timed(block_pc, executed - block_start);
                     break 'blocks;
                 }
                 if let Some((addr, width, true)) = ev.mem {
@@ -785,15 +821,28 @@ impl Machine {
                         // See `run_functional`: re-fetch after the
                         // tables changed. The watchdog was already
                         // checked above, so stop ordering is identical.
+                        self.sample_block_timed(block_pc, executed - block_start);
                         continue 'blocks;
                     }
                 }
             }
+            self.sample_block_timed(block_pc, executed - block_start);
         }
         if self.halted {
             stop = StopReason::Halted;
         }
         Ok(RunResult { executed, halted: self.halted, stop })
+    }
+
+    /// Feed one retired block to the sampling profiler (timed paths):
+    /// the block's start PC, retired length, and the core's last commit
+    /// cycle. A single `Option` test per block when disabled.
+    #[inline]
+    fn sample_block_timed(&mut self, block_pc: u32, len: u64) {
+        if let Some(p) = &mut self.profiler {
+            let commit = self.core.last_commit();
+            p.on_block_timed(block_pc, len as u32, commit);
+        }
     }
 
     /// Fold the per-class counters of `n` just-executed instructions from
@@ -833,6 +882,7 @@ impl Machine {
             }
             let (idx, run) = self.fetch_decode(self.cpu.pc)?;
             let quota = self.block_quota(run, max_insns - executed) as usize;
+            let block_pc = self.cpu.pc;
             // Code-region bounds for the self-modifying-store check
             // (`store_touches_code`, inlined), read before `self` is
             // split into disjoint field borrows below.
@@ -879,6 +929,7 @@ impl Machine {
             // per-instruction loop would produce.
             self.flush_block_counts(idx, n);
             self.insns_total += n as u64;
+            self.sample_block_timed(block_pc, n as u64);
             match cut {
                 Cut::Fault(m, pc) => return Err(self.trap(TrapCause::Mem(m), pc)),
                 Cut::Halt => {
@@ -1463,6 +1514,42 @@ loop:
         let mut b = machine(COUNT_LOOP);
         b.cpu_mut().pc = 0x9_0000;
         assert_eq!(b.run_timed(10).unwrap_err().cause, TrapCause::BadInstruction);
+    }
+
+    #[test]
+    fn sampling_profiler_observes_every_retired_instruction() {
+        // Functional, batched-timed, and pinned-timed paths all feed the
+        // profiler the same retirement stream: identical instruction
+        // totals and identical hottest region (the loop body).
+        let mut f = machine(COUNT_LOOP);
+        f.set_sampling_profiler(16);
+        let rf = f.run_functional(u64::MAX).unwrap();
+        let pf = f.take_profiler().unwrap();
+        assert_eq!(pf.insns(), rf.executed);
+        assert!(f.profiler().is_none());
+
+        let mut b = machine(COUNT_LOOP);
+        b.set_sampling_profiler(16);
+        let rb = b.run_timed(u64::MAX).unwrap();
+        let pb = b.take_profiler().unwrap();
+        assert_eq!(pb.insns(), rb.executed);
+        assert_eq!(pb.insns(), pf.insns());
+
+        let mut p = machine(COUNT_LOOP);
+        p.set_sampling_profiler(16);
+        let rp = p.run_timed_pinned(u64::MAX).unwrap();
+        let pp = p.take_profiler().unwrap();
+        assert_eq!(pp.insns(), rp.executed);
+
+        // The loop block at `loop:` (0x100c) dominates; both timed paths
+        // agree on the hottest PC-region and the sample total.
+        let rep_b = pb.report(None);
+        let rep_p = pp.report(None);
+        assert_eq!(rep_b.hot_regions[0].name, "0x0000100c");
+        assert_eq!(rep_b.hot_regions[0].name, rep_p.hot_regions[0].name);
+        assert_eq!(rep_b.total_samples, rep_p.total_samples);
+        assert!(rep_b.retire_latency.count() > 0);
+        assert!(rep_b.block_len.max() <= 5);
     }
 
     #[test]

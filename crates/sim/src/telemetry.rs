@@ -1,0 +1,614 @@
+//! Low-overhead runtime telemetry: fixed log2-bucket histograms, a
+//! metrics registry, and a guest sampling profiler.
+//!
+//! The pieces here follow the same zero-cost-off discipline as
+//! [`crate::trace::Tracer::Off`] and [`crate::oracle::LockstepMode::Off`]:
+//! the machine holds an `Option<Box<GuestProfiler>>` that costs one
+//! pointer test per *basic block* when `None`, and nothing at all per
+//! instruction. The perf-smoke gate in CI enforces that the disabled
+//! path stays free.
+//!
+//! [`Histogram`] is deliberately tiny and mergeable: 65 fixed buckets
+//! (bucket 0 for the value 0, bucket *b* ≥ 1 for `[2^(b-1), 2^b)`), so
+//! merging is element-wise addition — associative and commutative by
+//! construction, which is what lets the parallel suite runner merge
+//! per-worker registries and land on bit-identical totals regardless of
+//! completion order.
+
+use crate::trace::SymbolMap;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed log2-bucket histogram over `u64` values.
+///
+/// Bucket 0 counts the value 0; bucket `b >= 1` counts values in
+/// `[2^(b-1), 2^b)`. Alongside the buckets it tracks exact `count`,
+/// `sum`, `min`, and `max`, so means are exact and percentile estimates
+/// can be clamped to the observed range.
+///
+/// # Example
+///
+/// ```
+/// use power5_sim::telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 106);
+/// assert_eq!(h.max(), 100);
+/// assert!(h.percentile(0.5) >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise the bit width.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Element-wise addition, so
+    /// `merge` is associative and commutative (property-tested in the
+    /// repo-level telemetry suite).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Deterministic percentile estimate: walks the cumulative bucket
+    /// counts to the bucket holding the `p`-th observation (`p` in
+    /// `0.0..=1.0`) and returns that bucket's upper edge clamped to the
+    /// observed `[min, max]` range. Exact for the extremes, within one
+    /// power of two elsewhere.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                let upper = if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, for
+    /// sparse serialization.
+    pub fn sparse_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|(_, n)| **n > 0).map(|(b, n)| (b, *n)).collect()
+    }
+
+    /// Rebuild a histogram from sparse `(bucket, count)` pairs plus the
+    /// exact scalars — the inverse of [`Histogram::sparse_buckets`].
+    pub fn from_parts(
+        sparse: &[(usize, u64)],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        for &(b, n) in sparse {
+            if b < HISTOGRAM_BUCKETS {
+                h.buckets[b] += n;
+            }
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Backed by `BTreeMap`s so iteration (and therefore serialization) is
+/// deterministic. Counter and histogram merges are commutative, which is
+/// what makes parallel-suite totals independent of worker scheduling;
+/// gauge merges are last-writer-wins and should only carry values that
+/// are identical across workers (configuration echoes and the like).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the named counter (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Merge a whole histogram into the named histogram.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the other's value, histograms merge element-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The counters, in name order.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// The gauges, in name order.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// The histograms, in name order.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    /// Look up a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Look up a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A sampling profiler over guest basic blocks.
+///
+/// The machine calls [`GuestProfiler::on_block`] (functional runs) or
+/// [`GuestProfiler::on_block_timed`] (timed runs) once per *retired
+/// basic block* — never per instruction — with the block's start PC and
+/// retired length. The profiler advances an instruction-count phase
+/// accumulator and attributes one sample to the block's PC every
+/// `period` instructions, mirroring how a sampling profiler on real
+/// hardware attributes ticks to the interrupted PC. Timed runs also feed
+/// a per-block retire-latency histogram (commit-cycle delta between
+/// consecutive blocks).
+#[derive(Debug, Clone)]
+pub struct GuestProfiler {
+    period: u64,
+    acc: u64,
+    samples: HashMap<u32, u64>,
+    blocks: u64,
+    insns: u64,
+    block_len: Histogram,
+    retire_latency: Histogram,
+    last_commit: u64,
+}
+
+impl GuestProfiler {
+    /// A profiler sampling every `period` retired instructions
+    /// (minimum 1).
+    pub fn new(period: u64) -> Self {
+        GuestProfiler {
+            period: period.max(1),
+            acc: 0,
+            samples: HashMap::new(),
+            blocks: 0,
+            insns: 0,
+            block_len: Histogram::new(),
+            retire_latency: Histogram::new(),
+            last_commit: 0,
+        }
+    }
+
+    /// The sampling period in retired instructions.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Record one retired basic block (functional run): `pc` is the
+    /// block's start address, `len` the number of instructions retired
+    /// from it.
+    #[inline]
+    pub fn on_block(&mut self, pc: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        self.blocks += 1;
+        self.insns += u64::from(len);
+        self.block_len.record(u64::from(len));
+        self.acc += u64::from(len);
+        if self.acc >= self.period {
+            let k = self.acc / self.period;
+            *self.samples.entry(pc).or_insert(0) += k;
+            self.acc %= self.period;
+        }
+    }
+
+    /// Record one retired basic block from a timed run. `commit` is the
+    /// commit cycle of the block's last retired instruction; the delta
+    /// against the previous block's commit feeds the retire-latency
+    /// histogram.
+    #[inline]
+    pub fn on_block_timed(&mut self, pc: u32, len: u32, commit: u64) {
+        if len == 0 {
+            return;
+        }
+        let delta = commit.saturating_sub(self.last_commit);
+        self.last_commit = self.last_commit.max(commit);
+        self.retire_latency.record(delta);
+        self.on_block(pc, len);
+    }
+
+    /// Total retired blocks observed.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Total retired instructions observed.
+    pub fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    /// Symbolize and aggregate into a [`ProfilerReport`]. Samples are
+    /// attributed to the enclosing symbol when `symbols` resolves the
+    /// block PC, and to a `0x`-prefixed hex address otherwise.
+    pub fn report(&self, symbols: Option<&SymbolMap>) -> ProfilerReport {
+        let mut regions: BTreeMap<String, u64> = BTreeMap::new();
+        for (&pc, &n) in &self.samples {
+            let name = symbols
+                .and_then(|s| s.resolve(pc))
+                .map(|(sym, _)| sym.to_string())
+                .unwrap_or_else(|| format!("0x{pc:08x}"));
+            *regions.entry(name).or_insert(0) += n;
+        }
+        let mut hot_regions: Vec<HotRegion> =
+            regions.into_iter().map(|(name, samples)| HotRegion { name, samples }).collect();
+        hot_regions.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.name.cmp(&b.name)));
+        ProfilerReport {
+            period: self.period,
+            blocks: self.blocks,
+            insns: self.insns,
+            total_samples: hot_regions.iter().map(|r| r.samples).sum(),
+            hot_regions,
+            block_len: self.block_len.clone(),
+            retire_latency: self.retire_latency.clone(),
+        }
+    }
+}
+
+/// One symbolized hot region in a [`ProfilerReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// Symbol name (or hex address when unsymbolized).
+    pub name: String,
+    /// Samples attributed to the region.
+    pub samples: u64,
+}
+
+/// Aggregated, symbolized output of a [`GuestProfiler`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfilerReport {
+    /// Sampling period in retired instructions.
+    pub period: u64,
+    /// Retired basic blocks observed.
+    pub blocks: u64,
+    /// Retired instructions observed.
+    pub insns: u64,
+    /// Total samples across all regions.
+    pub total_samples: u64,
+    /// Hot regions, most-sampled first (ties broken by name).
+    pub hot_regions: Vec<HotRegion>,
+    /// Histogram of retired-block lengths (instructions).
+    pub block_len: Histogram,
+    /// Histogram of per-block commit-cycle deltas (timed runs only).
+    pub retire_latency: Histogram,
+}
+
+impl ProfilerReport {
+    /// Fold another report into this one (used when a job's profile is
+    /// accumulated across resume attempts or merged across workers).
+    pub fn merge(&mut self, other: &ProfilerReport) {
+        if self.period == 0 {
+            self.period = other.period;
+        }
+        self.blocks += other.blocks;
+        self.insns += other.insns;
+        self.total_samples += other.total_samples;
+        let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+        for r in self.hot_regions.iter().chain(other.hot_regions.iter()) {
+            *by_name.entry(r.name.clone()).or_insert(0) += r.samples;
+        }
+        self.hot_regions =
+            by_name.into_iter().map(|(name, samples)| HotRegion { name, samples }).collect();
+        self.hot_regions
+            .sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.name.cmp(&b.name)));
+        self.block_len.merge(&other.block_len);
+        self.retire_latency.merge(&other.retire_latency);
+    }
+
+    /// Render folded-stack lines (`guest;<region> <samples>`), the input
+    /// format flamegraph tooling consumes. Lines come out hottest-first.
+    pub fn folded_stacks(&self) -> Vec<String> {
+        self.hot_regions.iter().map(|r| format!("guest;{} {}", r.name, r.samples)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_scalars_exactly() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        for v in [0u64, 1, 7, 7, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1039);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 207.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+        assert!(h.percentile(0.0) >= h.min());
+        assert_eq!(h.percentile(1.0), h.max());
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_matches_interleaved_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 0, 99, 4096, 17] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 1, 2, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, all);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 5, 300] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(&h.sparse_buckets(), h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+        let empty = Histogram::from_parts(&[], 0, 0, 0, 0);
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn registry_merges_commutatively() {
+        let mut a = MetricsRegistry::new();
+        a.inc("jobs", 2);
+        a.observe("wall", 10);
+        a.set_gauge("threads", 4.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("jobs", 3);
+        b.observe("wall", 90);
+        b.set_gauge("threads", 4.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("jobs"), 5);
+        assert_eq!(ab.histogram("wall").unwrap().count(), 2);
+        assert!(!ab.is_empty());
+        assert!(MetricsRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn profiler_samples_every_period_instructions() {
+        let mut p = GuestProfiler::new(10);
+        // 25 instructions at pc 0x1000 -> 2 samples; 15 more at 0x2000
+        // (acc carries 5 over) -> 2 samples.
+        for _ in 0..5 {
+            p.on_block(0x1000, 5);
+        }
+        for _ in 0..3 {
+            p.on_block(0x2000, 5);
+        }
+        p.on_block(0x3000, 0); // zero-length blocks are ignored
+        assert_eq!(p.blocks(), 8);
+        assert_eq!(p.insns(), 40);
+        let r = p.report(None);
+        assert_eq!(r.total_samples, 4);
+        assert_eq!(r.insns, 40);
+        assert_eq!(r.block_len.count(), 8);
+        assert_eq!(r.block_len.max(), 5);
+        let names: Vec<&str> = r.hot_regions.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["0x00001000", "0x00002000"]);
+    }
+
+    #[test]
+    fn profiler_symbolizes_through_symbol_map() {
+        let map = SymbolMap::new(vec![("band_half", 0x1000), ("forward_pass", 0x2000)]);
+        let mut p = GuestProfiler::new(1);
+        p.on_block(0x1004, 3);
+        p.on_block(0x2010, 2);
+        p.on_block(0x1008, 4);
+        let r = p.report(Some(&map));
+        assert_eq!(r.hot_regions[0].name, "band_half");
+        assert_eq!(r.hot_regions[0].samples, 7);
+        assert_eq!(r.hot_regions[1].name, "forward_pass");
+        let folded = r.folded_stacks();
+        assert_eq!(folded[0], "guest;band_half 7");
+    }
+
+    #[test]
+    fn timed_blocks_feed_retire_latency() {
+        let mut p = GuestProfiler::new(4);
+        p.on_block_timed(0x1000, 4, 10);
+        p.on_block_timed(0x1000, 4, 25);
+        let r = p.report(None);
+        assert_eq!(r.retire_latency.count(), 2);
+        assert_eq!(r.retire_latency.min(), 10);
+        assert_eq!(r.retire_latency.max(), 15);
+        assert_eq!(r.total_samples, 2);
+    }
+
+    #[test]
+    fn reports_merge_by_region() {
+        let mut p1 = GuestProfiler::new(1);
+        p1.on_block(0x1000, 2);
+        let mut p2 = GuestProfiler::new(1);
+        p2.on_block(0x1000, 1);
+        p2.on_block(0x2000, 4);
+        let mut r = p1.report(None);
+        r.merge(&p2.report(None));
+        assert_eq!(r.total_samples, 7);
+        assert_eq!(r.hot_regions.len(), 2);
+        assert_eq!(r.hot_regions[0].name, "0x00002000");
+        assert_eq!(r.hot_regions[0].samples, 4);
+        assert_eq!(r.hot_regions[1].samples, 3);
+        assert_eq!(r.blocks, 3);
+    }
+}

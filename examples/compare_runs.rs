@@ -5,7 +5,10 @@
 //! see `BIOARCH_REPORT_DIR`). This tool compares two such files metric by
 //! metric: a metric regresses when it moves *against* its recorded
 //! direction (`higher`/`lower`; `neutral` metrics are reported but never
-//! flagged) by more than the tolerance.
+//! flagged) by more than the tolerance. `bioarch-metrics/v1` telemetry
+//! documents are accepted too: their histograms are flattened to
+//! `<name>.p50`-style neutral metrics before diffing, so CI can
+//! `--require`-gate telemetry output with the same tool.
 //!
 //! ```text
 //! cargo run --release --example compare_runs -- before.json after.json [tolerance] [--allow-degraded] [--require <metric>]...
@@ -34,11 +37,22 @@
 //! flow).
 
 use bioarch::report::{compare_reports, Comparison, Direction, Report};
+use bioarch::telemetry::{parse_metrics_report, METRICS_SCHEMA};
 use std::process::ExitCode;
 
+/// Load either report flavour: a `bioarch-report/v1` document verbatim,
+/// or a `bioarch-metrics/v1` telemetry document flattened into
+/// report-shaped metrics (histograms become `<name>.p50`/`.p99`/… —
+/// see `bioarch::telemetry::metrics_json_to_report`), so CI can
+/// `--require`-gate telemetry output with the same tool.
 fn load(path: &str) -> Report {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    if text.contains(METRICS_SCHEMA) {
+        if let Ok(report) = parse_metrics_report(&text) {
+            return report;
+        }
+    }
     Report::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
 }
 

@@ -1,0 +1,179 @@
+//! `top`-style live viewer (and CI checker) for a suite progress stream.
+//!
+//! A study run with a progress sink (`BIOARCH_PROGRESS=<path>` on the
+//! bench harness, or `TelemetryHub::with_progress` in code) streams
+//! JSONL job-lifecycle events and heartbeats while it runs. This tool
+//! consumes that stream two ways:
+//!
+//! ```text
+//! # Live: tail a stream another process is writing, render a status
+//! # line per event, exit when suite_finished arrives (or the writer
+//! # stalls past --idle-secs, default 30).
+//! cargo run --example suite_top -- /tmp/progress.jsonl
+//!
+//! # CI: validate a completed stream — every line parses, seq is
+//! # contiguous, elapsed_ms is monotone, every started job reached a
+//! # terminal event — and print a summary. Exits non-zero on a
+//! # malformed stream or fewer heartbeats than --min-heartbeats.
+//! cargo run --example suite_top -- --check /tmp/progress.jsonl [--min-heartbeats <n>]
+//! ```
+
+use bioarch::json::Json;
+use bioarch::telemetry::check_progress_stream;
+use std::io::{Read, Seek, SeekFrom};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn die(msg: &str) -> ! {
+    eprintln!("suite_top: {msg}");
+    std::process::exit(1);
+}
+
+/// One rendered status line per event.
+fn render_event(line: &str) -> Option<String> {
+    let doc = Json::parse(line).ok()?;
+    let event = doc.get("event").and_then(Json::as_str)?;
+    let elapsed = doc.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0) / 1e3;
+    let job = doc.get("job").and_then(Json::as_str).unwrap_or("-");
+    let detail = match event {
+        "suite_started" => format!(
+            "heartbeat {}ms, profiler period {}",
+            doc.get("heartbeat_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("profiler_period").and_then(Json::as_f64).unwrap_or(0.0),
+        ),
+        "heartbeat" => format!(
+            "{} started, {} done",
+            doc.get("started").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("done").and_then(Json::as_f64).unwrap_or(0.0),
+        ),
+        "job_started" => job.to_string(),
+        "job_retired" => format!(
+            "{job} ({} insns, {:.1} ms, attempt {})",
+            doc.get("instructions").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("attempts").and_then(Json::as_f64).unwrap_or(1.0),
+        ),
+        "job_retried" | "job_quarantined" => {
+            format!("{job} ({})", doc.get("class").and_then(Json::as_str).unwrap_or("?"),)
+        }
+        "job_resumed" => {
+            format!("{job} (attempt {})", doc.get("attempt").and_then(Json::as_f64).unwrap_or(0.0),)
+        }
+        "suite_finished" => format!(
+            "{} retired, {} quarantined, {} retries",
+            doc.get("retired").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("quarantined").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("retries").and_then(Json::as_f64).unwrap_or(0.0),
+        ),
+        _ => String::new(),
+    };
+    Some(format!("[{elapsed:8.3}s] {event:<16} {detail}"))
+}
+
+/// Tail `path` until `suite_finished` (or the stream goes idle).
+fn live(path: &str, idle_secs: u64) -> ExitCode {
+    let mut file =
+        std::fs::File::open(path).unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+    let mut pos = 0u64;
+    let mut pending = String::new();
+    let mut last_progress = Instant::now();
+    loop {
+        file.seek(SeekFrom::Start(pos)).unwrap_or_else(|e| die(&format!("seek: {e}")));
+        let mut chunk = String::new();
+        let n =
+            file.read_to_string(&mut chunk).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        pos += n as u64;
+        if n > 0 {
+            last_progress = Instant::now();
+            pending.push_str(&chunk);
+            // Render every complete line; keep a trailing partial line.
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                let line = line.trim_end();
+                if line.is_empty() {
+                    continue;
+                }
+                match render_event(line) {
+                    Some(text) => println!("{text}"),
+                    None => println!("[unparsed] {line}"),
+                }
+                if line.contains("\"event\":\"suite_finished\"") {
+                    return ExitCode::SUCCESS;
+                }
+            }
+        } else {
+            if last_progress.elapsed() > Duration::from_secs(idle_secs) {
+                eprintln!("suite_top: stream idle for {idle_secs}s without suite_finished");
+                return ExitCode::from(2);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// Validate a completed stream and print a one-screen summary.
+fn check(path: &str, min_heartbeats: u64) -> ExitCode {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let stats = match check_progress_stream(&text) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("suite_top: malformed progress stream: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "progress stream OK: {} events, {} heartbeats (interval {} ms, max gap {:.0} ms)",
+        stats.events, stats.heartbeats, stats.heartbeat_ms, stats.max_gap_ms
+    );
+    println!(
+        "jobs: {} started, {} retired, {} quarantined; {} retries, {} resumes; finished: {}",
+        stats.jobs_started,
+        stats.jobs_retired,
+        stats.jobs_quarantined,
+        stats.retries,
+        stats.resumes,
+        stats.finished
+    );
+    if !stats.finished {
+        eprintln!("suite_top: stream never reached suite_finished");
+        return ExitCode::from(2);
+    }
+    if stats.heartbeats < min_heartbeats {
+        eprintln!("suite_top: {} heartbeat(s), need at least {min_heartbeats}", stats.heartbeats);
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_heartbeats = 0u64;
+    if let Some(i) = args.iter().position(|a| a == "--min-heartbeats") {
+        if i + 1 >= args.len() {
+            die("--min-heartbeats needs a count");
+        }
+        let v = args.remove(i + 1);
+        min_heartbeats = v.parse().unwrap_or_else(|_| die(&format!("bad count {v:?}")));
+        args.remove(i);
+    }
+    let mut idle_secs = 30u64;
+    if let Some(i) = args.iter().position(|a| a == "--idle-secs") {
+        if i + 1 >= args.len() {
+            die("--idle-secs needs a count");
+        }
+        let v = args.remove(i + 1);
+        idle_secs = v.parse().unwrap_or_else(|_| die(&format!("bad count {v:?}")));
+        args.remove(i);
+    }
+    let checking = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
+    let Some(path) = args.first() else {
+        die("usage: suite_top [--check [--min-heartbeats <n>]] [--idle-secs <n>] <progress.jsonl>");
+    };
+    if checking {
+        check(path, min_heartbeats)
+    } else {
+        live(path, idle_secs)
+    }
+}

@@ -1,0 +1,150 @@
+//! Telemetry-layer integration tests: the zero-interference contract
+//! (reports are byte-identical with the hub attached), determinism of
+//! the guest-side metrics across serial and parallel suite execution,
+//! histogram merge algebra, and the streaming progress protocol.
+
+use bioarch::apps::Scale;
+use bioarch::experiments::Study;
+use bioarch::report::Report;
+use bioarch::telemetry::{
+    check_progress_stream, metrics_json_to_report, SharedBuffer, TelemetryConfig, TelemetryHub,
+};
+use power5_sim::telemetry::Histogram;
+use power5_sim::XorShift64;
+use proptest::prelude::*;
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Histogram merge is associative and commutative — the property the
+    /// parallel suite's metric folding relies on: workers retire jobs in
+    /// a nondeterministic order, yet the merged registries must land on
+    /// the exact state serial execution produces.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        seed in 0u64..10_000,
+        na in 0usize..40,
+        nb in 0usize..40,
+        nc in 0usize..40,
+    ) {
+        let mut rng = XorShift64::new(seed ^ 0xB10A_2C4D);
+        let mut draw = |n: usize| -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    // Spread values across ~50 bucket magnitudes while
+                    // keeping the summed totals clear of u64 overflow.
+                    let shift = 14 + rng.below(50) as u32;
+                    rng.next_u64() >> shift
+                })
+                .collect()
+        };
+        let (a, b, c) = (hist_of(&draw(na)), hist_of(&draw(nb)), hist_of(&draw(nc)));
+
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+
+        let all = merged(&merged(&a, &b), &c);
+        prop_assert_eq!(all.count(), a.count() + b.count() + c.count());
+        prop_assert_eq!(all.sum(), a.sum() + b.sum() + c.sum());
+    }
+}
+
+/// The deterministic guest-side registry (instruction counts, sampling
+/// profile, block-length and retire-latency histograms) is identical
+/// whether the suite ran serially or across four workers.
+#[test]
+fn parallel_and_serial_guest_metrics_are_identical() {
+    let snapshot = |threads: usize| {
+        let mut study = Study::new(Scale::Test, 42);
+        study.set_threads(threads);
+        study.set_telemetry(TelemetryHub::new(TelemetryConfig::default()));
+        study.table1().expect("table1 runs");
+        study.take_telemetry().expect("hub attached").finish()
+    };
+    let serial = snapshot(1);
+    let parallel = snapshot(4);
+
+    assert!(serial.guest.counter("guest.instructions") > 0);
+    assert_eq!(serial.guest, parallel.guest, "guest metrics diverged across thread counts");
+    assert_eq!(serial.profile, parallel.profile, "merged guest profile diverged");
+    assert!(!serial.profile.hot_regions.is_empty(), "profiler found no hot regions");
+
+    // Same jobs retired with the same instruction counts (walls differ).
+    let key = |s: &bioarch::telemetry::TelemetrySnapshot| {
+        s.spans.iter().map(|j| (j.job.clone(), j.instructions)).collect::<Vec<_>>()
+    };
+    assert_eq!(key(&serial), key(&parallel));
+}
+
+/// The zero-interference contract: a suite run with the telemetry hub
+/// attached renders byte-identical `bioarch-report/v1` documents to one
+/// run without, while also producing a `bioarch-metrics/v1` document
+/// with hot regions and job-wall percentiles.
+#[test]
+fn telemetry_leaves_suite_reports_byte_identical() {
+    let run = |telemetry: bool| {
+        let mut study = Study::new(Scale::Test, 7);
+        study.set_threads(1);
+        if telemetry {
+            study.set_telemetry(TelemetryHub::new(TelemetryConfig::default()));
+        }
+        let rendered: Vec<String> =
+            study.run_suite().reports.iter().map(Report::render_json).collect();
+        (rendered, study.take_telemetry().map(TelemetryHub::finish))
+    };
+    let (plain, none) = run(false);
+    let (instrumented, snapshot) = run(true);
+    assert!(none.is_none());
+    assert_eq!(plain, instrumented, "telemetry changed a suite report");
+
+    let snapshot = snapshot.expect("hub attached");
+    assert!(snapshot.jobs_retired > 0);
+    let doc = snapshot.to_json();
+    let flat = metrics_json_to_report(&doc).expect("metrics doc flattens");
+    for metric in ["job.wall_ms.p50", "job.wall_ms.p99", "guest.instructions"] {
+        assert!(flat.get(metric).is_some(), "metrics doc missing {metric}");
+    }
+    assert!(!snapshot.profile.hot_regions.is_empty());
+    assert!(snapshot.profile.folded_stacks().iter().all(|l| l.starts_with("guest;")));
+}
+
+/// A real (parallel) study streaming through an in-memory sink produces
+/// a well-formed event sequence: contiguous seq, monotone elapsed,
+/// every started job retired, heartbeats present, terminal
+/// `suite_finished`.
+#[test]
+fn suite_progress_stream_is_wellformed() {
+    let buf = SharedBuffer::new();
+    let mut study = Study::new(Scale::Test, 42);
+    study.set_threads(2);
+    study.set_telemetry(TelemetryHub::with_progress(
+        TelemetryConfig { profiler_period: 4096, heartbeat_ms: 5 },
+        Box::new(buf.clone()),
+    ));
+    study.table1().expect("table1 runs");
+    let snapshot = study.take_telemetry().expect("hub attached").finish();
+
+    let stats = check_progress_stream(&buf.contents()).expect("stream well-formed");
+    assert_eq!(stats.jobs_started, 4, "table1 supervises one job per app");
+    assert_eq!(stats.jobs_retired, 4);
+    assert_eq!(stats.jobs_quarantined, 0);
+    assert!(stats.finished);
+    assert!(stats.heartbeats >= 1, "no heartbeat in {} events", stats.events);
+    assert_eq!(snapshot.jobs_retired, 4);
+    assert_eq!(snapshot.spans.len(), 4);
+    assert!(snapshot.spans.iter().all(|s| s.phases.execute > 0));
+}
