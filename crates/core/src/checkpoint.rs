@@ -12,6 +12,7 @@
 //! Memory pages are hex strings, one per nonzero 4 KiB page.
 
 use crate::json::Json;
+use crate::schema::check_schema;
 use power5_sim::btac::{BtacState, BtacStats};
 use power5_sim::cache::{CacheState, CacheStats};
 use power5_sim::core::{BranchSite, CoreState};
@@ -605,10 +606,7 @@ pub fn render(cp: &Checkpoint) -> String {
 /// Returns a message on a wrong schema marker, missing fields, or values
 /// out of range for their targets.
 pub fn from_json(doc: &Json) -> Result<Checkpoint, String> {
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != CHECKPOINT_SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (want {CHECKPOINT_SCHEMA:?})"));
-    }
+    check_schema(doc, CHECKPOINT_SCHEMA).map_err(|e| e.to_string())?;
     let digest_hex = field(doc, "config_digest")?.as_str().ok_or("config_digest: expected hex")?;
     let config_digest =
         u64::from_str_radix(digest_hex, 16).map_err(|_| "config_digest: bad hex".to_string())?;
@@ -775,10 +773,7 @@ pub fn render_divergence(repro: &DivergenceRepro) -> String {
 /// Returns a message on a wrong schema marker, missing fields, or values
 /// out of range (including inside the embedded checkpoint).
 pub fn divergence_from_json(doc: &Json) -> Result<DivergenceRepro, String> {
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != DIVERGENCE_SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (want {DIVERGENCE_SCHEMA:?})"));
-    }
+    check_schema(doc, DIVERGENCE_SCHEMA).map_err(|e| e.to_string())?;
     let digest_hex = field(doc, "config_digest")?.as_str().ok_or("config_digest: expected hex")?;
     let config_digest =
         u64::from_str_radix(digest_hex, 16).map_err(|_| "config_digest: bad hex".to_string())?;

@@ -172,6 +172,34 @@ impl Hw {
             Hw::BtacFxus(n) => CoreConfig::power5().with_btac(BtacConfig::default()).with_fxus(n),
         }
     }
+
+    /// Machine-readable slug, used in campaign content addresses and
+    /// metric names. Round-trips through [`Hw::from_slug`].
+    pub fn slug(self) -> String {
+        match self {
+            Hw::Stock => "stock".to_string(),
+            Hw::Btac => "btac".to_string(),
+            Hw::Fxus(n) => format!("fxus{n}"),
+            Hw::BtacFxus(n) => format!("btac-fxus{n}"),
+        }
+    }
+
+    /// Parse a [`Hw::slug`] back; `None` for anything else.
+    pub fn from_slug(s: &str) -> Option<Hw> {
+        match s {
+            "stock" => Some(Hw::Stock),
+            "btac" => Some(Hw::Btac),
+            _ => {
+                if let Some(n) = s.strip_prefix("btac-fxus") {
+                    n.parse().ok().map(Hw::BtacFxus)
+                } else if let Some(n) = s.strip_prefix("fxus") {
+                    n.parse().ok().map(Hw::Fxus)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// One unit of simulation work the parallel runner can fan out: a plain
@@ -1472,6 +1500,16 @@ mod tests {
 
     fn study() -> Study {
         Study::new(Scale::Test, 42)
+    }
+
+    #[test]
+    fn hw_slugs_roundtrip() {
+        for hw in [Hw::Stock, Hw::Btac, Hw::Fxus(4), Hw::BtacFxus(8)] {
+            assert_eq!(Hw::from_slug(&hw.slug()), Some(hw));
+        }
+        assert_eq!(Hw::from_slug("fxus"), None);
+        assert_eq!(Hw::from_slug("btac-fxusx"), None);
+        assert_eq!(Hw::from_slug("power6"), None);
     }
 
     #[test]

@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod campaign;
 pub mod checkpoint;
 pub mod experiments;
 pub mod extra;
 pub mod json;
 pub mod kernels;
 pub mod report;
+pub mod schema;
 pub mod telemetry;
 
 pub use apps::{App, Scale, Variant, Workload};

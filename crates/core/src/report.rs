@@ -6,6 +6,7 @@
 //! `examples/compare_runs.rs`.
 
 use crate::json::Json;
+use crate::schema::check_schema;
 use std::fmt::Write as _;
 
 /// A simple aligned text table: numeric columns right-aligned, text
@@ -283,10 +284,7 @@ impl Report {
     /// marker, or structurally invalid metrics.
     pub fn parse(text: &str) -> Result<Report, String> {
         let doc = Json::parse(text)?;
-        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema != REPORT_SCHEMA {
-            return Err(format!("unsupported schema {schema:?} (want {REPORT_SCHEMA:?})"));
-        }
+        check_schema(&doc, REPORT_SCHEMA).map_err(|e| e.to_string())?;
         let experiment = doc
             .get("experiment")
             .and_then(Json::as_str)

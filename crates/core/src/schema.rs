@@ -1,0 +1,81 @@
+//! Uniform schema-version checking for every serialized document family.
+//!
+//! The workspace persists several JSON document kinds — checkpoints
+//! (`bioarch-checkpoint/v1`), divergence repros (`bioarch-divergence/v1`),
+//! experiment reports (`bioarch-report/v1`), telemetry snapshots
+//! (`bioarch-metrics/v1`), and campaign journals (`bioarch-journal/v1`).
+//! Each document embeds its identifier in a top-level `"schema"` field;
+//! every parser funnels through [`check_schema`] so an unsupported or
+//! missing marker surfaces as one typed [`UnsupportedVersion`] error with
+//! a uniform message, instead of each parser inventing its own wording.
+
+use crate::json::Json;
+
+/// A document declared a schema this build does not support (or declared
+/// none at all). Carries both sides so callers — and humans reading a
+/// degraded report — can tell a version skew from a corrupt file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedVersion {
+    /// The `"schema"` string found in the document (empty when the field
+    /// was missing or not a string).
+    pub found: String,
+    /// The identifier this build supports for the document family.
+    pub supported: &'static str,
+}
+
+impl std::fmt::Display for UnsupportedVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.found.is_empty() {
+            write!(f, "missing schema marker (want {:?})", self.supported)
+        } else {
+            write!(f, "unsupported schema {:?} (want {:?})", self.found, self.supported)
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedVersion {}
+
+/// Check a parsed document's top-level `"schema"` marker against the
+/// identifier this build supports for the family.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedVersion`] when the marker is missing, not a
+/// string, or any value other than `supported`.
+pub fn check_schema(doc: &Json, supported: &'static str) -> Result<(), UnsupportedVersion> {
+    let found = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if found == supported {
+        Ok(())
+    } else {
+        Err(UnsupportedVersion { found: found.to_string(), supported })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_matching_marker() {
+        let doc = Json::obj().set("schema", Json::Str("bioarch-report/v1".into()));
+        assert!(check_schema(&doc, "bioarch-report/v1").is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_missing_and_nonstring_markers() {
+        let wrong = Json::obj().set("schema", Json::Str("bioarch-report/v9".into()));
+        let err = check_schema(&wrong, "bioarch-report/v1").unwrap_err();
+        assert_eq!(err.found, "bioarch-report/v9");
+        assert_eq!(err.supported, "bioarch-report/v1");
+        assert!(err.to_string().contains("bioarch-report/v9"));
+        assert!(err.to_string().contains("bioarch-report/v1"));
+
+        let missing = Json::obj();
+        let err = check_schema(&missing, "bioarch-report/v1").unwrap_err();
+        assert_eq!(err.found, "");
+        assert!(err.to_string().contains("missing schema marker"));
+
+        let nonstring = Json::obj().set("schema", Json::Num(1.0));
+        assert!(check_schema(&nonstring, "bioarch-report/v1").is_err());
+    }
+}

@@ -29,6 +29,7 @@
 
 use crate::json::Json;
 use crate::report::{Direction, Report};
+use crate::schema::check_schema;
 use power5_sim::telemetry::{Histogram, MetricsRegistry, ProfilerReport};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -316,6 +317,21 @@ impl TelemetryHub {
         emit(&mut st, self.inner.started, "job_quarantined", fields);
     }
 
+    /// Bump an arbitrary host-side counter — the campaign service
+    /// records cache hits and journal/lease/cache activity this way.
+    pub fn count_host(&self, name: &str, by: u64) {
+        let mut st = lock(&self.inner.state);
+        st.host.inc(name, by);
+    }
+
+    /// Charge wall time to a named host phase counter
+    /// (`host.phase.<phase>_ns`), for phases outside the per-job
+    /// [`PhaseNanos`] set — journal appends, lease grants, cache
+    /// writes.
+    pub fn phase_host(&self, phase: &str, nanos: u64) {
+        self.count_host(&format!("host.phase.{phase}_ns"), nanos);
+    }
+
     /// Charge cache-merge wall time to the job's span (and the suite
     /// merge-phase counter).
     pub fn phase_merge(&self, job: &str, nanos: u64) {
@@ -540,10 +556,7 @@ impl TelemetrySnapshot {
 /// Returns a message when the schema marker is missing or wrong, or the
 /// document is structurally invalid.
 pub fn metrics_json_to_report(doc: &Json) -> Result<Report, String> {
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != METRICS_SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (want {METRICS_SCHEMA:?})"));
-    }
+    check_schema(doc, METRICS_SCHEMA).map_err(|e| e.to_string())?;
     let mut report = Report::new("telemetry");
     if let Some(Json::Obj(pairs)) = doc.get("context") {
         for (k, v) in pairs {
@@ -653,6 +666,10 @@ pub struct ProgressStats {
     /// (heartbeats, job events, and the terminal event all reset the
     /// gap — the liveness guarantee is "some event at least this often").
     pub max_gap_ms: f64,
+    /// Whether the final line was unparseable — a torn write from a
+    /// crashed writer. The torn line is dropped; the stats cover the
+    /// complete-line prefix.
+    pub truncated_tail: bool,
 }
 
 /// Validate a JSONL progress stream: every line parses, `seq` is
@@ -660,6 +677,12 @@ pub struct ProgressStats {
 /// `suite_started`, and every `job_started` has a matching terminal
 /// event (`job_retired` or `job_quarantined`). Used by
 /// `examples/suite_top.rs --check` and the CI telemetry-smoke gate.
+///
+/// An unparseable *final* line is not an error: it is the torn write of
+/// a writer killed mid-`write`, reported via
+/// [`ProgressStats::truncated_tail`] (the "never terminated" check is
+/// waived too — the terminal events may sit in the torn tail). An
+/// unparseable line anywhere else is still corruption.
 ///
 /// # Errors
 ///
@@ -670,8 +693,16 @@ pub fn check_progress_stream(text: &str) -> Result<ProgressStats, String> {
     let mut open_jobs: Vec<String> = Vec::new();
     let mut last_elapsed = 0.0f64;
     let mut last_live = 0.0f64;
-    for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
-        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(_) if i + 1 == lines.len() && i > 0 => {
+                stats.truncated_tail = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        };
         let event = doc
             .get("event")
             .and_then(Json::as_str)
@@ -755,7 +786,7 @@ pub fn check_progress_stream(text: &str) -> Result<ProgressStats, String> {
     if stats.events == 0 {
         return Err("empty progress stream".to_string());
     }
-    if !open_jobs.is_empty() {
+    if !open_jobs.is_empty() && !stats.truncated_tail {
         return Err(format!("jobs started but never terminated: {open_jobs:?}"));
     }
     Ok(stats)
@@ -910,6 +941,40 @@ mod tests {
             r#"{"event":"job_retired","seq":1,"elapsed_ms":1,"job":"x"}"#
         );
         assert!(check_progress_stream(orphan).unwrap_err().contains("unstarted"));
+    }
+
+    #[test]
+    fn checker_tolerates_truncated_tail() {
+        // A torn final line — the writer was killed mid-write — is
+        // reported, not rejected, and waives the open-job check (the
+        // terminal event may sit in the torn bytes).
+        let torn = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0}"#,
+            "\n",
+            r#"{"event":"job_started","seq":1,"elapsed_ms":1,"job":"x"}"#,
+            "\n",
+            r#"{"event":"job_retired","seq":2,"elapsed_"#
+        );
+        let stats = check_progress_stream(torn).unwrap();
+        assert!(stats.truncated_tail);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.jobs_started, 1);
+        // A complete stream with an open job must still be rejected.
+        let open = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0}"#,
+            "\n",
+            r#"{"event":"job_started","seq":1,"elapsed_ms":1,"job":"x"}"#
+        );
+        assert!(check_progress_stream(open).unwrap_err().contains("never terminated"));
+        // A torn line anywhere but the tail is still corruption.
+        let corrupt = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0}"#,
+            "\n",
+            r#"{"event":"hea"#,
+            "\n",
+            r#"{"event":"suite_finished","seq":2,"elapsed_ms":2}"#
+        );
+        assert!(check_progress_stream(corrupt).is_err());
     }
 
     #[test]

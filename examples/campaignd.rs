@@ -1,0 +1,279 @@
+//! `campaignd` — the crash-safe campaign service driver.
+//!
+//! Two modes:
+//!
+//! ```text
+//! # Serve: open (or resume) the campaign at <dir>, submit the default
+//! # job set (all four apps, baseline variant, stock hardware) or an
+//! # explicit job list, run worker shards to completion, and write the
+//! # merged report to <dir>/report.json.
+//! cargo run --release --example campaignd -- <dir> \
+//!     [--scale test|classc] [--seed <n>] [--workers <n>] [--chunk <insns>] \
+//!     [--jobs app/variant/hw/s<seed> ...]
+//!
+//! # Smoke: the CI crash-consistency gate. Runs a small campaign
+//! # uninterrupted, re-runs it with a seeded mid-flight kill plus a
+//! # torn journal tail, restarts, and requires the merged reports to be
+//! # byte-identical; then resubmits everything a third time and
+//! # requires pure cache hits (zero execute-phase nanoseconds).
+//! cargo run --release --example campaignd -- --smoke <dir> [--seed <n>]
+//! ```
+//!
+//! Exit codes follow the `compare_runs` taxonomy: 0 ok, 1 usage,
+//! 2 degraded results, 3 contract violation.
+
+use bioarch::campaign::{Campaign, CampaignConfig, JobSpec, SubmitOutcome};
+use bioarch::experiments::Hw;
+use bioarch::telemetry::{TelemetryConfig, TelemetryHub};
+use bioarch::{App, Scale, Variant};
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ! {
+    eprintln!("campaignd: {msg}");
+    std::process::exit(1);
+}
+
+/// Parse an `app/variant/hw/s<seed>` job label (the same shape
+/// [`JobSpec::label`] renders).
+fn parse_job(s: &str, scale: Scale) -> Result<JobSpec, String> {
+    let parts: Vec<&str> = s.split('/').collect();
+    let [app, variant, hw, seed] = parts[..] else {
+        return Err(format!("bad job {s:?} (want app/variant/hw/s<seed>)"));
+    };
+    let app = App::all()
+        .into_iter()
+        .find(|a| a.name().to_lowercase() == app)
+        .ok_or_else(|| format!("unknown app {app:?}"))?;
+    let variant = Variant::all()
+        .into_iter()
+        .find(|v| v.slug() == variant)
+        .ok_or_else(|| format!("unknown variant {variant:?}"))?;
+    let hw = Hw::from_slug(hw).ok_or_else(|| format!("unknown hw {hw:?}"))?;
+    let seed = seed
+        .strip_prefix('s')
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| format!("bad seed in {s:?}"))?;
+    Ok(JobSpec { app, variant, hw, scale, seed })
+}
+
+/// Open, submit, run, and write `<dir>/report.json`.
+fn serve(
+    dir: &str,
+    scale: Scale,
+    seed: u64,
+    workers: usize,
+    chunk: u64,
+    jobs: &[String],
+) -> ExitCode {
+    let mut config = CampaignConfig::new(dir);
+    config.workers = workers;
+    config.chunk = chunk;
+    let mut campaign = Campaign::open(config).unwrap_or_else(|e| die(&e));
+    campaign.set_telemetry(TelemetryHub::new(TelemetryConfig::default()));
+    let specs: Vec<JobSpec> = if jobs.is_empty() {
+        App::all()
+            .into_iter()
+            .map(|app| JobSpec { app, variant: Variant::Baseline, hw: Hw::Stock, scale, seed })
+            .collect()
+    } else {
+        jobs.iter().map(|j| parse_job(j, scale).unwrap_or_else(|e| die(&e))).collect()
+    };
+    for spec in &specs {
+        let outcome = campaign.submit(*spec).unwrap_or_else(|e| die(&e));
+        println!("submit {:>9}  {}", format!("{outcome:?}").to_lowercase(), spec.label());
+    }
+    let summary = campaign.run();
+    let report = campaign.merged_report().unwrap_or_else(|e| die(&e));
+    let path = std::path::Path::new(dir).join("report.json");
+    bioarch::report::write_atomic(&path, &report.render_json())
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "campaign: {} completed, {} quarantined -> {}",
+        summary.completed,
+        summary.quarantined,
+        path.display()
+    );
+    if report.is_degraded() {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The smoke job set: three jobs, two of which span several checkpoint
+/// chunks at Test scale, across two hardware configs.
+fn smoke_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            app: App::Fasta,
+            variant: Variant::Baseline,
+            hw: Hw::Stock,
+            scale: Scale::Test,
+            seed: 42,
+        },
+        JobSpec {
+            app: App::Clustalw,
+            variant: Variant::Baseline,
+            hw: Hw::Stock,
+            scale: Scale::Test,
+            seed: 42,
+        },
+        JobSpec {
+            app: App::Hmmer,
+            variant: Variant::HandMax,
+            hw: Hw::Btac,
+            scale: Scale::Test,
+            seed: 42,
+        },
+    ]
+}
+
+fn smoke_config(dir: std::path::PathBuf) -> CampaignConfig {
+    let mut config = CampaignConfig::new(dir);
+    config.workers = 2;
+    config.chunk = 20_000;
+    config
+}
+
+/// Run the kill-and-resume + cache-hit smoke. See the module docs.
+fn smoke(dir: &str, seed: u64) -> ExitCode {
+    let dir = std::path::Path::new(dir);
+    let _ = std::fs::remove_dir_all(dir);
+    let fail = |msg: &str| -> ExitCode {
+        eprintln!("campaignd: smoke FAILED: {msg}");
+        ExitCode::from(3)
+    };
+
+    // Phase 1: uninterrupted reference run.
+    let campaign =
+        Campaign::open(smoke_config(dir.join("uninterrupted"))).unwrap_or_else(|e| die(&e));
+    for spec in smoke_specs() {
+        campaign.submit(spec).unwrap_or_else(|e| die(&e));
+    }
+    campaign.run();
+    let reference = campaign.merged_report().unwrap_or_else(|e| die(&e)).render_json();
+    let appends = campaign.journal_appends();
+    drop(campaign);
+    bioarch::report::write_atomic(dir.join("report_uninterrupted.json"), &reference)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!("smoke: uninterrupted run made {appends} journal appends");
+
+    // Phase 2: same campaign, killed at a seeded append (plus a torn
+    // journal tail), then restarted.
+    let resumed_dir = dir.join("resumed");
+    let crash_at = 2 + seed % appends.saturating_sub(2).max(1);
+    println!("smoke: crashing the next incarnation after {crash_at} appends");
+    let campaign = Campaign::open(smoke_config(resumed_dir.clone())).unwrap_or_else(|e| die(&e));
+    campaign.crash_after_appends(crash_at);
+    for spec in smoke_specs() {
+        // Submissions may hit the simulated crash; that is the point.
+        let _ = campaign.submit(spec);
+    }
+    campaign.run();
+    if !campaign.crashed() {
+        return fail("crash point was never reached");
+    }
+    drop(campaign);
+    // Tear the journal tail: chop a seeded number of bytes off the last
+    // record, as a kill mid-`write` would.
+    let journal = resumed_dir.join("journal.jsonl");
+    let len = std::fs::metadata(&journal).unwrap_or_else(|e| die(&e.to_string())).len();
+    let tear = seed % 7;
+    if tear > 0 && len > tear {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&journal)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        file.set_len(len - tear).unwrap_or_else(|e| die(&e.to_string()));
+        println!("smoke: tore {tear} bytes off the journal tail");
+    }
+    // Restart: replay, heal, resubmit (idempotent), finish the work.
+    let campaign = Campaign::open(smoke_config(resumed_dir)).unwrap_or_else(|e| die(&e));
+    for spec in smoke_specs() {
+        campaign.submit(spec).unwrap_or_else(|e| die(&e));
+    }
+    campaign.run();
+    let resumed = campaign.merged_report().unwrap_or_else(|e| die(&e)).render_json();
+    drop(campaign);
+    bioarch::report::write_atomic(dir.join("report_resumed.json"), &resumed)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    if resumed != reference {
+        return fail("kill-and-resume report differs from the uninterrupted run");
+    }
+    println!("smoke: kill-and-resume report is byte-identical");
+
+    // Phase 3: resubmit everything; must be pure cache hits with zero
+    // simulation (execute-phase) work.
+    let mut campaign =
+        Campaign::open(smoke_config(dir.join("resumed"))).unwrap_or_else(|e| die(&e));
+    campaign.set_telemetry(TelemetryHub::new(TelemetryConfig::default()));
+    let specs = smoke_specs();
+    for spec in &specs {
+        match campaign.submit(*spec) {
+            Ok(SubmitOutcome::CacheHit) => {}
+            other => {
+                return fail(&format!("expected cache hit for {}, got {other:?}", spec.label()))
+            }
+        }
+    }
+    campaign.run();
+    let report = campaign.merged_report().unwrap_or_else(|e| die(&e));
+    let snapshot = campaign.take_telemetry().expect("hub attached").finish();
+    let execute_ns = snapshot.host.counter("host.phase.execute_ns");
+    let hits = snapshot.host.counter("campaign.cache_hits");
+    if execute_ns != 0 {
+        return fail(&format!("cache hits still spent {execute_ns} ns in execute phase"));
+    }
+    if hits != specs.len() as u64 {
+        return fail(&format!("expected {} cache hits, counted {hits}", specs.len()));
+    }
+    println!("smoke: {hits} resubmissions served from cache with zero execute time");
+    if report.is_degraded() {
+        eprintln!("campaignd: smoke results degraded");
+        return ExitCode::from(2);
+    }
+    println!("smoke: OK");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            die(&format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let seed = take_value("--seed")
+        .map_or(7, |v| v.parse().unwrap_or_else(|_| die(&format!("bad seed {v:?}"))));
+    let workers = take_value("--workers")
+        .map_or(2, |v| v.parse().unwrap_or_else(|_| die(&format!("bad worker count {v:?}"))));
+    let chunk = take_value("--chunk")
+        .map_or(20_000, |v| v.parse().unwrap_or_else(|_| die(&format!("bad chunk {v:?}"))));
+    let scale = match take_value("--scale").as_deref() {
+        None | Some("test") => Scale::Test,
+        Some("classc") => Scale::ClassC,
+        Some(other) => die(&format!("unknown scale {other:?}")),
+    };
+    let smoking = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let mut jobs: Vec<String> = Vec::new();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        jobs = args.split_off(i + 1);
+        args.remove(i);
+    }
+    let Some(dir) = args.first() else {
+        die(concat!(
+            "usage: campaignd <dir> [--scale test|classc] [--seed <n>] [--workers <n>] ",
+            "[--chunk <insns>] [--jobs app/variant/hw/s<seed> ...]\n",
+            "       campaignd --smoke <dir> [--seed <n>]"
+        ));
+    };
+    if smoking {
+        smoke(dir, seed)
+    } else {
+        serve(dir, scale, seed, workers, chunk, &jobs)
+    }
+}

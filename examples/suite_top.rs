@@ -112,7 +112,7 @@ fn live(path: &str, idle_secs: u64) -> ExitCode {
 }
 
 /// Validate a completed stream and print a one-screen summary.
-fn check(path: &str, min_heartbeats: u64) -> ExitCode {
+fn check(path: &str, min_heartbeats: u64, allow_truncated: bool) -> ExitCode {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let stats = match check_progress_stream(&text) {
@@ -135,7 +135,16 @@ fn check(path: &str, min_heartbeats: u64) -> ExitCode {
         stats.resumes,
         stats.finished
     );
+    if stats.truncated_tail {
+        // A torn final line is the signature of a writer killed
+        // mid-write — diagnose it explicitly instead of erroring.
+        println!("diagnostic: truncated_tail — final line torn (writer killed mid-write)");
+    }
     if !stats.finished {
+        if allow_truncated && stats.truncated_tail {
+            println!("suite_top: accepting unfinished stream (--allow-truncated)");
+            return ExitCode::SUCCESS;
+        }
         eprintln!("suite_top: stream never reached suite_finished");
         return ExitCode::from(2);
     }
@@ -168,11 +177,16 @@ fn main() -> ExitCode {
     }
     let checking = args.iter().any(|a| a == "--check");
     args.retain(|a| a != "--check");
+    let allow_truncated = args.iter().any(|a| a == "--allow-truncated");
+    args.retain(|a| a != "--allow-truncated");
     let Some(path) = args.first() else {
-        die("usage: suite_top [--check [--min-heartbeats <n>]] [--idle-secs <n>] <progress.jsonl>");
+        die(concat!(
+            "usage: suite_top [--check [--min-heartbeats <n>] [--allow-truncated]] ",
+            "[--idle-secs <n>] <progress.jsonl>"
+        ));
     };
     if checking {
-        check(path, min_heartbeats)
+        check(path, min_heartbeats, allow_truncated)
     } else {
         live(path, idle_secs)
     }

@@ -1,0 +1,193 @@
+//! Campaign crash-consistency contract: kill the service at an
+//! arbitrary seeded point (plus a torn journal tail), restart it, and
+//! the merged report is byte-identical to an uninterrupted run; a
+//! duplicate submission is served entirely from the run cache with zero
+//! simulation work.
+
+use bioarch::campaign::{Campaign, CampaignConfig, JobSpec, JobStatus, SubmitOutcome};
+use bioarch::experiments::Hw;
+use bioarch::telemetry::{TelemetryConfig, TelemetryHub};
+use bioarch::{App, Scale, Variant};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bioarch-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn chunked_config(dir: PathBuf) -> CampaignConfig {
+    let mut config = CampaignConfig::new(dir);
+    config.workers = 2;
+    config.chunk = 20_000;
+    config
+}
+
+/// Two jobs that span several 20k-instruction checkpoint chunks each.
+fn jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            app: App::Fasta,
+            variant: Variant::Baseline,
+            hw: Hw::Stock,
+            scale: Scale::Test,
+            seed: 42,
+        },
+        JobSpec {
+            app: App::Clustalw,
+            variant: Variant::Baseline,
+            hw: Hw::Stock,
+            scale: Scale::Test,
+            seed: 42,
+        },
+    ]
+}
+
+/// Run the job set in `dir` uninterrupted and return the merged report
+/// bytes (plus the append count, the crash-point coordinate space).
+fn uninterrupted(dir: PathBuf) -> (String, u64) {
+    let campaign = Campaign::open(chunked_config(dir)).expect("open");
+    for spec in jobs() {
+        assert_eq!(campaign.submit(spec).expect("submit"), SubmitOutcome::Accepted);
+    }
+    let summary = campaign.run();
+    assert_eq!(summary.completed, jobs().len() as u64);
+    assert_eq!(summary.quarantined, 0);
+    (campaign.merged_report().expect("merge").render_json(), campaign.journal_appends())
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical() {
+    let (reference, appends) = uninterrupted(tmp("campaign-ref"));
+    assert!(appends > 6, "need a few appends to pick crash points from ({appends})");
+
+    // Kill at three seeded points across the journal's lifetime; one
+    // iteration additionally tears bytes off the journal tail.
+    for (i, seed) in [3u64, 17, 40].into_iter().enumerate() {
+        let dir = tmp(&format!("campaign-kill{i}"));
+        let crash_at = 1 + seed % (appends - 1);
+        let campaign = Campaign::open(chunked_config(dir.clone())).expect("open");
+        campaign.crash_after_appends(crash_at);
+        for spec in jobs() {
+            let _ = campaign.submit(spec); // may hit the simulated crash
+        }
+        campaign.run();
+        assert!(campaign.crashed(), "crash point {crash_at} of {appends} never reached");
+        drop(campaign);
+
+        if i == 1 {
+            // Torn write: chop into the final record.
+            let journal = dir.join("journal.jsonl");
+            let len = std::fs::metadata(&journal).expect("journal exists").len();
+            let tear = 3.min(len.saturating_sub(1));
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&journal)
+                .expect("reopen journal")
+                .set_len(len - tear)
+                .expect("truncate");
+        }
+
+        // Restart: replay + heal, resubmit idempotently, finish.
+        let campaign = Campaign::open(chunked_config(dir.clone())).expect("reopen after crash");
+        for spec in jobs() {
+            campaign.submit(spec).expect("resubmit");
+        }
+        let summary = campaign.run();
+        assert!(!summary.crashed);
+        let resumed = campaign.merged_report().expect("merge").render_json();
+        assert_eq!(
+            resumed, reference,
+            "crash at append {crash_at} (iteration {i}) changed the merged report"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(tmp("campaign-ref"));
+}
+
+#[test]
+fn duplicate_submission_is_served_from_cache_with_zero_execute_time() {
+    let dir = tmp("campaign-cache");
+    let (reference, _) = uninterrupted(dir.clone());
+
+    let mut campaign = Campaign::open(chunked_config(dir.clone())).expect("reopen");
+    campaign.set_telemetry(TelemetryHub::new(TelemetryConfig::default()));
+    for spec in jobs() {
+        assert_eq!(campaign.submit(spec).expect("resubmit"), SubmitOutcome::CacheHit);
+    }
+    campaign.run();
+    let report = campaign.merged_report().expect("merge").render_json();
+    assert_eq!(report, reference, "cache-served report must match the original");
+    let snapshot = campaign.take_telemetry().expect("hub").finish();
+    assert_eq!(
+        snapshot.host.counter("host.phase.execute_ns"),
+        0,
+        "a cache hit must perform zero simulation work"
+    );
+    assert_eq!(snapshot.host.counter("campaign.cache_hits"), jobs().len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_quarantine_is_deterministic_and_cached() {
+    // A budget far below the kernel's length quarantines after the
+    // attempt limit — and the degraded report is byte-stable across a
+    // fresh re-run in a different directory.
+    let run = |dir: PathBuf| -> String {
+        let mut config = CampaignConfig::new(dir.clone());
+        config.chunk = 2_000;
+        config.budget = Some(5_000);
+        config.max_attempts = 2;
+        let campaign = Campaign::open(config).expect("open");
+        let spec = jobs()[0];
+        assert_eq!(campaign.submit(spec).expect("submit"), SubmitOutcome::Accepted);
+        let summary = campaign.run();
+        assert_eq!(summary.quarantined, 1);
+        match campaign.status(&spec.id()) {
+            Some(JobStatus::Quarantined { class, .. }) => assert_eq!(class, "timeout"),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Resubmission of a quarantined job is still a cache hit: the
+        // degraded report is served without re-simulating.
+        assert_eq!(campaign.submit(spec).expect("resubmit"), SubmitOutcome::CacheHit);
+        let text = campaign.merged_report().expect("merge").render_json();
+        let _ = std::fs::remove_dir_all(&dir);
+        text
+    };
+    let a = run(tmp("campaign-quarantine-a"));
+    let b = run(tmp("campaign-quarantine-b"));
+    assert_eq!(a, b, "quarantine reports must be deterministic");
+    assert!(a.contains("timeout"), "degraded report names the failure class");
+}
+
+#[test]
+fn drain_checkpoints_and_resumes_cleanly() {
+    let reference = {
+        let dir = tmp("campaign-drain-ref");
+        let campaign = Campaign::open(chunked_config(dir.clone())).expect("open");
+        campaign.submit(jobs()[1]).expect("submit");
+        campaign.run();
+        let text = campaign.merged_report().expect("merge").render_json();
+        let _ = std::fs::remove_dir_all(&dir);
+        text
+    };
+
+    let dir = tmp("campaign-drain");
+    let campaign = Campaign::open(chunked_config(dir.clone())).expect("open");
+    campaign.submit(jobs()[1]).expect("submit");
+    // Drain before running: workers claim nothing and return at once,
+    // leaving the job pending — "finish-or-checkpoint, never abandon"
+    // degenerates to "never start".
+    campaign.drain();
+    let summary = campaign.run();
+    assert_eq!(summary.completed, 0);
+    assert_eq!(campaign.status(&jobs()[1].id()), Some(JobStatus::Pending));
+    drop(campaign);
+
+    // A later incarnation picks the job back up and finishes it.
+    let campaign = Campaign::open(chunked_config(dir.clone())).expect("reopen");
+    let summary = campaign.run();
+    assert_eq!(summary.completed, 1);
+    assert_eq!(campaign.merged_report().expect("merge").render_json(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,231 @@
+//! Campaign store invariants: the content-address digest is stable
+//! across field ordering (and platform — it is pure integer
+//! arithmetic), journal replay after truncation at *every* byte offset
+//! yields a prefix-consistent state, and every document parser rejects
+//! unsupported schemas with the one uniform message.
+
+use bioarch::campaign::{digest_fields, replay_journal, JobSpec, JobStatus, JOURNAL_SCHEMA};
+use bioarch::checkpoint;
+use bioarch::experiments::Hw;
+use bioarch::json::Json;
+use bioarch::report::Report;
+use bioarch::schema::{check_schema, UnsupportedVersion};
+use bioarch::telemetry::parse_metrics_report;
+use bioarch::{App, Scale, Variant};
+use proptest::prelude::*;
+
+fn spec() -> JobSpec {
+    JobSpec {
+        app: App::Clustalw,
+        variant: Variant::HandMax,
+        hw: Hw::BtacFxus(4),
+        scale: Scale::Test,
+        seed: 42,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The digest is a pure function of the *set* of fields: hashing
+    /// them in any order gives the same value.
+    #[test]
+    fn digest_is_field_order_independent(perm in proptest::collection::vec(any::<u64>(), 6..7)) {
+        let fields = spec().canonical_fields();
+        // Order the fields by the random keys — a random permutation.
+        let mut shuffled: Vec<(u64, (String, String))> =
+            perm.iter().copied().zip(fields.iter().cloned()).collect();
+        shuffled.sort_by_key(|(k, _)| *k);
+        let shuffled: Vec<(String, String)> = shuffled.into_iter().map(|(_, f)| f).collect();
+        prop_assert_eq!(digest_fields(&shuffled), digest_fields(&fields));
+    }
+}
+
+/// The digest is platform-stable: pure u64 arithmetic pinned by a
+/// golden value. If this changes, every existing run cache is silently
+/// invalidated — bump deliberately.
+#[test]
+fn digest_of_plain_fields_is_pinned() {
+    let fields = vec![
+        ("app".to_string(), "clustalw".to_string()),
+        ("hw".to_string(), "stock".to_string()),
+        ("seed".to_string(), "42".to_string()),
+    ];
+    assert_eq!(digest_fields(&fields), 0x2283_5f8f_1e79_0296);
+}
+
+/// Distinct specs get distinct digests (over a small dense grid, where
+/// a collision would be a construction bug, not bad luck).
+#[test]
+fn digests_distinguish_the_job_grid() {
+    let mut seen = std::collections::HashSet::new();
+    for app in App::all() {
+        for variant in [Variant::Baseline, Variant::HandMax] {
+            for hw in [Hw::Stock, Hw::Btac, Hw::Fxus(4)] {
+                for seed in [1u64, 2] {
+                    let spec = JobSpec { app, variant, hw, scale: Scale::Test, seed };
+                    assert!(seen.insert(spec.digest()), "digest collision at {}", spec.label());
+                }
+            }
+        }
+    }
+}
+
+/// A small complete journal for the truncation sweep.
+fn small_journal() -> String {
+    let spec = spec();
+    let id = spec.id();
+    let records = [
+        Json::obj()
+            .set("rec", Json::Str("header".into()))
+            .set("schema", Json::Str(JOURNAL_SCHEMA.into()))
+            .set("segment", Json::Num(0.0)),
+        Json::obj()
+            .set("rec", Json::Str("submitted".into()))
+            .set("job", Json::Str(id.clone()))
+            .set("spec", spec.to_json()),
+        Json::obj()
+            .set("rec", Json::Str("lease".into()))
+            .set("job", Json::Str(id.clone()))
+            .set("worker", Json::Num(1.0))
+            .set("hb", Json::Num(100.0)),
+        Json::obj()
+            .set("rec", Json::Str("progress".into()))
+            .set("job", Json::Str(id.clone()))
+            .set("insns", Json::Num(20000.0))
+            .set("hb", Json::Num(200.0)),
+        Json::obj()
+            .set("rec", Json::Str("retry".into()))
+            .set("job", Json::Str(id.clone()))
+            .set("attempt", Json::Num(1.0))
+            .set("class", Json::Str("timeout".into())),
+        Json::obj().set("rec", Json::Str("completed".into())).set("job", Json::Str(id)),
+    ];
+    let mut text = String::new();
+    for r in &records {
+        text.push_str(&r.render_compact());
+        text.push('\n');
+    }
+    text
+}
+
+/// Replay after truncation at EVERY byte offset yields exactly the
+/// state of the complete-line prefix: the torn line contributes
+/// nothing, and nothing before it is lost.
+#[test]
+fn replay_is_prefix_consistent_at_every_truncation_offset() {
+    let text = small_journal();
+    for cut in 0..=text.len() {
+        let prefix = &text[..cut];
+        // The expected state: replay of the parseable record prefix. A
+        // cut exactly at end-of-line-minus-newline leaves a *complete*
+        // final record (only the newline was torn), which must count.
+        let lines: Vec<&str> = prefix.lines().filter(|l| !l.trim().is_empty()).collect();
+        let torn = lines.last().is_some_and(|l| Json::parse(l).is_err());
+        let complete = if torn { &lines[..lines.len() - 1] } else { &lines[..] };
+        let got = replay_journal(prefix);
+        if complete.is_empty() {
+            // No complete record survives: an empty journal (error) or
+            // a torn lone header (empty state, flagged).
+            match got {
+                Err(e) => assert!(e.contains("empty journal"), "cut {cut}: {e}"),
+                Ok(replay) => {
+                    assert!(replay.truncated_tail, "cut {cut}");
+                    assert!(replay.jobs.is_empty(), "cut {cut}");
+                }
+            }
+            continue;
+        }
+        let complete = complete.join("\n");
+        let want = replay_journal(&complete).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        let got = got.unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert_eq!(got.truncated_tail, torn, "cut {cut}");
+        assert_eq!(got.records, want.records, "cut {cut}");
+        assert_eq!(got.order, want.order, "cut {cut}");
+        for (id, job) in &want.jobs {
+            let g = &got.jobs[id];
+            assert_eq!(g.status, job.status, "cut {cut}");
+            assert_eq!(g.attempts, job.attempts, "cut {cut}");
+            assert_eq!(g.insns, job.insns, "cut {cut}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property form over random cut points *and* random journaled
+    /// seeds.
+    #[test]
+    fn replay_truncation_property(cut in any::<usize>(), seed in any::<u64>()) {
+        let mut text = small_journal();
+        // Vary the journal slightly: a second submitted job.
+        let extra = JobSpec { seed, ..spec() };
+        let sub = Json::obj()
+            .set("rec", Json::Str("submitted".into()))
+            .set("job", Json::Str(extra.id()))
+            .set("spec", extra.to_json());
+        text.push_str(&sub.render_compact());
+        text.push('\n');
+        let cut = cut % (text.len() + 1);
+        let prefix = &text[..cut];
+        let lines: Vec<&str> = prefix.lines().filter(|l| !l.trim().is_empty()).collect();
+        let torn = lines.last().is_some_and(|l| Json::parse(l).is_err());
+        let complete = if torn { &lines[..lines.len() - 1] } else { &lines[..] };
+        if !complete.is_empty() {
+            let want = replay_journal(&complete.join("\n")).unwrap();
+            let got = replay_journal(prefix).unwrap();
+            prop_assert_eq!(got.order, want.order);
+            prop_assert_eq!(got.records, want.records);
+        }
+    }
+}
+
+/// The journal survives a JSON round-trip of its spec payloads.
+#[test]
+fn replayed_spec_matches_submitted_spec() {
+    let replay = replay_journal(&small_journal()).unwrap();
+    let job = &replay.jobs[&spec().id()];
+    assert_eq!(job.spec, spec());
+    assert_eq!(job.status, JobStatus::Completed);
+    assert_eq!(job.attempts, 1);
+    assert_eq!(job.insns, 20000);
+}
+
+/// Every parser family rejects a wrong schema marker with the uniform
+/// [`UnsupportedVersion`] wording, and a missing marker with the
+/// uniform missing-marker wording.
+#[test]
+fn schema_rejection_is_uniform_across_parsers() {
+    let reject = |err: &str, want: &str| {
+        assert!(
+            err.contains("unsupported schema") && err.contains(want),
+            "non-uniform schema error: {err:?}"
+        );
+    };
+    reject(
+        &checkpoint::parse(r#"{"schema":"bioarch-checkpoint/v9"}"#).unwrap_err(),
+        "bioarch-checkpoint/v1",
+    );
+    reject(
+        &checkpoint::parse_divergence(r#"{"schema":"bioarch-divergence/v9"}"#).unwrap_err(),
+        "bioarch-divergence/v1",
+    );
+    reject(&Report::parse(r#"{"schema":"bioarch-report/v9"}"#).unwrap_err(), "bioarch-report/v1");
+    reject(
+        &parse_metrics_report(r#"{"schema":"bioarch-metrics/v9"}"#).unwrap_err(),
+        "bioarch-metrics/v1",
+    );
+    reject(
+        &replay_journal(r#"{"rec":"header","schema":"bioarch-journal/v9"}"#).unwrap_err(),
+        "bioarch-journal/v1",
+    );
+    // Missing marker: same typed error, dedicated wording.
+    let missing = Report::parse("{}").unwrap_err();
+    assert!(missing.contains("missing schema marker"), "{missing:?}");
+    // The typed error carries both sides.
+    let err: UnsupportedVersion =
+        check_schema(&Json::parse(r#"{"schema":"x/v2"}"#).unwrap(), "x/v1").unwrap_err();
+    assert_eq!(err.found, "x/v2");
+    assert_eq!(err.supported, "x/v1");
+}
