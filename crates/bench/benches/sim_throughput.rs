@@ -5,7 +5,12 @@
 //!
 //! * **interpreter MIPS** — millions of target instructions retired per
 //!   host second, for functional and cycle-timed execution of a tight
-//!   arithmetic/load loop (the same program `simulator_speed.rs` uses);
+//!   arithmetic/load loop (the same program `simulator_speed.rs` uses).
+//!   The functional leg is measured three ways: at the default
+//!   configuration, with the fused direct-threaded tier forced on
+//!   (`host.functional_fused_mips`), and with it forced off
+//!   (`host.functional_scalar_mips`), alongside `fusion.*` counters for
+//!   the fraction of retired instructions covered by superinstructions;
 //! * **suite wall-clock** — `Study::run_suite` end to end, once serial
 //!   (`threads = 1`) and once at the configured worker count, plus the
 //!   resulting speedup. The serial and parallel suites are also checked
@@ -57,17 +62,28 @@ fn machine() -> Machine {
     m
 }
 
-/// Best-of-N million-instructions-per-second for one run mode.
-fn mips(reps: usize, run: impl Fn(&mut Machine) -> u64) -> f64 {
+/// Best-of-N million-instructions-per-second for one run mode, with
+/// `prep` applied to each fresh machine before the clock starts.
+fn mips_prepped(
+    reps: usize,
+    prep: impl Fn(&mut Machine),
+    run: impl Fn(&mut Machine) -> u64,
+) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..reps {
         let mut m = machine();
+        prep(&mut m);
         let start = Instant::now();
         let executed = run(&mut m);
         let secs = start.elapsed().as_secs_f64().max(1e-9);
         best = best.max(executed as f64 / secs / 1e6);
     }
     best
+}
+
+/// Best-of-N million-instructions-per-second for one run mode.
+fn mips(reps: usize, run: impl Fn(&mut Machine) -> u64) -> f64 {
+    mips_prepped(reps, |_| {}, run)
 }
 
 fn suite_json(suite: &bioarch::experiments::Suite) -> String {
@@ -78,7 +94,27 @@ fn main() {
     bioarch_bench::run_reported("sim-throughput", |study| {
         let reps = 3;
         let functional = mips(reps, |m| m.run_functional(u64::MAX).expect("runs").executed);
+        // Explicit fused/scalar legs bracket the default above: the fused
+        // tier is on by default, so `functional` and `fused` should track
+        // each other, while `scalar` is the old per-instruction dispatch.
+        let fused = mips_prepped(
+            reps,
+            |m| m.set_fusion(true),
+            |m| m.run_functional(u64::MAX).expect("runs").executed,
+        );
+        let scalar = mips_prepped(
+            reps,
+            |m| m.set_fusion(false),
+            |m| m.run_functional(u64::MAX).expect("runs").executed,
+        );
         let timed = mips(reps, |m| m.run_timed(u64::MAX).expect("runs").executed);
+
+        // Fusion-rate counters from one complete fused run of the loop.
+        let fusion = {
+            let mut m = machine();
+            m.run_functional(u64::MAX).expect("runs");
+            m.fusion_stats()
+        };
 
         let mut serial_study = Study::new(study.scale(), study.seed());
         serial_study.set_threads(1);
@@ -98,6 +134,16 @@ fn main() {
         let parallel_suite = study.run_suite();
         let parallel_s = start.elapsed().as_secs_f64();
         if let Some(hub) = study.take_telemetry() {
+            // Mirror the fusion-rate counters into the bioarch-metrics/v1
+            // snapshot so the telemetry trajectory carries them too.
+            hub.count_host("fusion.fused_insns", fusion.fused_insns);
+            hub.count_host("fusion.fused_ops", fusion.fused_ops);
+            hub.count_host("fusion.pair_insns", fusion.pair_insns);
+            hub.count_host("fusion.cmp_branch", fusion.cmp_branch);
+            hub.count_host("fusion.load_alu", fusion.load_alu);
+            hub.count_host("fusion.alu_store", fusion.alu_store);
+            hub.count_host("fusion.cmp_select", fusion.cmp_select);
+            hub.count_host("fusion.hammock", fusion.hammock);
             let mut snapshot = hub.finish();
             snapshot.context.push(("scale".into(), format!("{:?}", study.scale())));
             snapshot.context.push(("seed".into(), study.seed().to_string()));
@@ -117,7 +163,16 @@ fn main() {
 
         let mut report = Report::new("BENCH_sim_throughput");
         report.push("host.functional_mips", functional, Direction::Higher);
+        report.push("host.functional_fused_mips", fused, Direction::Higher);
+        report.push("host.functional_scalar_mips", scalar, Direction::Higher);
         report.push("host.timed_mips", timed, Direction::Higher);
+        report.push("fusion.fused_insn_ratio", fusion.fused_insn_ratio(), Direction::Higher);
+        report.push("fusion.pair_insns", fusion.pair_insns as f64, Direction::Neutral);
+        report.push("fusion.cmp_branch", fusion.cmp_branch as f64, Direction::Neutral);
+        report.push("fusion.load_alu", fusion.load_alu as f64, Direction::Neutral);
+        report.push("fusion.alu_store", fusion.alu_store as f64, Direction::Neutral);
+        report.push("fusion.cmp_select", fusion.cmp_select as f64, Direction::Neutral);
+        report.push("fusion.hammock", fusion.hammock as f64, Direction::Neutral);
         report.push("suite.serial_seconds", serial_s, Direction::Lower);
         report.push("suite.parallel_seconds", parallel_s, Direction::Lower);
         report.push("suite.speedup", speedup, Direction::Higher);
@@ -132,9 +187,12 @@ fn main() {
         }
 
         let rendered = format!(
-            "interpreter: functional {functional:.2} MIPS, timed {timed:.2} MIPS\n\
+            "interpreter: functional {functional:.2} MIPS (fused {fused:.2}, scalar {scalar:.2}), \
+             timed {timed:.2} MIPS\n\
+             fusion: {:.1}% of retired insns inside superinstructions\n\
              suite: serial {serial_s:.2}s, parallel {parallel_s:.2}s \
              ({speedup:.2}x on {threads} thread(s))",
+            fusion.fused_insn_ratio() * 100.0,
         );
         (rendered, report)
     });

@@ -374,6 +374,18 @@ impl TelemetryHub {
         }
         let mut st = lock(&self.inner.state);
         if st.sink.is_some() {
+            // Stream the final host counters (fusion rates, cache hits,
+            // phase totals, …) ahead of the terminal event so `suite_top
+            // --check` can surface every recorded name — the stream used
+            // to carry only lifecycle events and any counter not in the
+            // snapshot file was invisible to the checker.
+            if !st.host.counters().is_empty() {
+                let mut counters = Json::obj();
+                for (k, v) in st.host.counters() {
+                    counters = counters.set(k, Json::Num(*v as f64));
+                }
+                emit(&mut st, self.inner.started, "metrics", Json::obj().set("counters", counters));
+            }
             let fields = Json::obj()
                 .set("started", Json::Num(st.jobs_started as f64))
                 .set("retired", Json::Num(st.jobs_retired as f64))
@@ -670,6 +682,11 @@ pub struct ProgressStats {
     /// crashed writer. The torn line is dropped; the stats cover the
     /// complete-line prefix.
     pub truncated_tail: bool,
+    /// Host counters carried by `metrics` events, name-sorted. Every
+    /// name in the stream is kept verbatim — the checker surfaces
+    /// counters it has never heard of (fusion rates, cache hits, …)
+    /// instead of dropping unknown names.
+    pub host_counters: Vec<(String, f64)>,
 }
 
 /// Validate a JSONL progress stream: every line parses, `seq` is
@@ -778,6 +795,18 @@ pub fn check_progress_stream(text: &str) -> Result<ProgressStats, String> {
                     return Err(format!("line {}: job_resumed for unstarted job {j}", i + 1));
                 }
                 stats.resumes += 1;
+            }
+            "metrics" => {
+                let Some(Json::Obj(pairs)) = doc.get("counters") else {
+                    return Err(format!("line {}: metrics missing counters", i + 1));
+                };
+                for (k, v) in pairs {
+                    let x = v
+                        .as_f64()
+                        .ok_or_else(|| format!("line {}: counter {k} not numeric", i + 1))?;
+                    stats.host_counters.push((k.clone(), x));
+                }
+                stats.host_counters.sort_by(|a, b| a.0.cmp(&b.0));
             }
             "suite_finished" => stats.finished = true,
             other => return Err(format!("line {}: unknown event {other}", i + 1)),

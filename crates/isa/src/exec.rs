@@ -100,24 +100,28 @@ impl Memory {
     }
 
     /// Load a byte.
+    #[inline]
     pub fn load_u8(&self, addr: u32) -> Result<u8, MemFault> {
         let a = self.check(addr, 1)?;
         Ok(self.data[a])
     }
 
     /// Load a little-endian halfword.
+    #[inline]
     pub fn load_u16(&self, addr: u32) -> Result<u16, MemFault> {
         let a = self.check_aligned(addr, 2)?;
         Ok(u16::from_le_bytes([self.data[a], self.data[a + 1]]))
     }
 
     /// Load a little-endian word.
+    #[inline]
     pub fn load_u32(&self, addr: u32) -> Result<u32, MemFault> {
         let a = self.check_aligned(addr, 4)?;
         Ok(u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]]))
     }
 
     /// Store a byte.
+    #[inline]
     pub fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), MemFault> {
         let a = self.check(addr, 1)?;
         self.data[a] = value;
@@ -125,6 +129,7 @@ impl Memory {
     }
 
     /// Store a little-endian halfword.
+    #[inline]
     pub fn store_u16(&mut self, addr: u32, value: u16) -> Result<(), MemFault> {
         let a = self.check_aligned(addr, 2)?;
         self.data[a..a + 2].copy_from_slice(&value.to_le_bytes());
@@ -132,6 +137,7 @@ impl Memory {
     }
 
     /// Store a little-endian word.
+    #[inline]
     pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
         let a = self.check_aligned(addr, 4)?;
         self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
@@ -232,7 +238,11 @@ pub struct StepEvent {
     pub halted: bool,
 }
 
-fn rlwinm_mask(mb: u8, me: u8) -> u32 {
+/// The `rlwinm` mask for begin/end bits `mb..=me` in big-endian bit
+/// numbering (bit 0 is the MSB). Public so pre-compiled execution tiers
+/// (the simulator's fused superinstructions) can bake the mask at
+/// decode time instead of recomputing it per retire.
+pub fn rlwinm_mask(mb: u8, me: u8) -> u32 {
     // Big-endian bit numbering: bit 0 is the MSB.
     let ones = u32::MAX;
     let a = ones >> mb;
@@ -244,7 +254,12 @@ fn rlwinm_mask(mb: u8, me: u8) -> u32 {
     }
 }
 
-fn eval_cond(state: &mut CpuState, cond: BranchCond) -> bool {
+/// Evaluate a branch condition, applying its side effect (`bdnz`
+/// decrements CTR). Public for the same reason as [`rlwinm_mask`]:
+/// fused branch superinstructions must reproduce `step`'s semantics
+/// exactly, side effects included.
+#[inline]
+pub fn eval_cond(state: &mut CpuState, cond: BranchCond) -> bool {
     match cond {
         BranchCond::IfFalse(bit) => !state.cr.bit(bit),
         BranchCond::IfTrue(bit) => state.cr.bit(bit),

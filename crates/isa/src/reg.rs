@@ -12,9 +12,12 @@ use std::fmt;
 pub struct Gpr(pub u8);
 
 impl Gpr {
-    /// Register index (0–31).
+    /// Register index (0–31). Decoded register fields are 5 bits, so
+    /// the mask is a no-op for any decoder-produced value; it exists to
+    /// let the compiler drop bounds checks on register-file accesses.
+    #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 }
 
@@ -36,21 +39,25 @@ impl CrField {
 
     /// CR bit number of this field's LT bit (bits are numbered 0..32,
     /// big-endian as in the PowerPC books: bit 0 is cr0's LT).
+    #[inline]
     pub fn lt_bit(self) -> CrBit {
         CrBit(self.0 * 4)
     }
 
     /// CR bit number of this field's GT bit.
+    #[inline]
     pub fn gt_bit(self) -> CrBit {
         CrBit(self.0 * 4 + 1)
     }
 
     /// CR bit number of this field's EQ bit.
+    #[inline]
     pub fn eq_bit(self) -> CrBit {
         CrBit(self.0 * 4 + 2)
     }
 
     /// CR bit number of this field's SO bit.
+    #[inline]
     pub fn so_bit(self) -> CrBit {
         CrBit(self.0 * 4 + 3)
     }
@@ -116,6 +123,7 @@ impl CondReg {
 
     /// Write a field from a signed comparison of `a` and `b` (SO cleared —
     /// the subset never sets the overflow summary).
+    #[inline]
     pub fn set_signed_cmp(&mut self, f: CrField, a: i32, b: i32) {
         self.set_bit(f.lt_bit(), a < b);
         self.set_bit(f.gt_bit(), a > b);
@@ -124,6 +132,7 @@ impl CondReg {
     }
 
     /// Write a field from an unsigned comparison.
+    #[inline]
     pub fn set_unsigned_cmp(&mut self, f: CrField, a: u32, b: u32) {
         self.set_bit(f.lt_bit(), a < b);
         self.set_bit(f.gt_bit(), a > b);

@@ -69,6 +69,7 @@ pub mod config;
 pub mod core;
 pub mod counters;
 pub mod fault;
+mod fuse;
 pub mod machine;
 pub mod oracle;
 pub mod predictor;
@@ -79,6 +80,7 @@ pub use config::CoreConfig;
 pub use core::StaticTiming;
 pub use counters::{ClassCounts, Counters, StallBreakdown, StallClass};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectionWindow, XorShift64};
+pub use fuse::FusionStats;
 pub use machine::{
     Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,
 };

@@ -25,6 +25,7 @@
 use crate::config::CoreConfig;
 use crate::core::{CoreState, Retired, StaticTiming, TimingCore};
 use crate::counters::{ClassCounts, Counters, StallBreakdown};
+use crate::fuse::{self, DriveStop as FuseDriveStop, FusedCache, FusionStats};
 use crate::oracle::{Divergence, Lockstep, LockstepMode};
 use crate::telemetry::GuestProfiler;
 use crate::trace::{self, JsonlSink, PipeViewSink, RingSink, SymbolMap, Tracer};
@@ -338,6 +339,16 @@ pub struct Machine {
     /// Guest sampling profiler (`None` = disabled; one pointer test per
     /// retired block). Harness state: excluded from checkpoints.
     profiler: Option<Box<GuestProfiler>>,
+    /// Lazily-compiled fused superinstruction blocks (DESIGN §16),
+    /// parallel to `decoded`. Derived state: cleared whenever the
+    /// decode table changes and excluded from checkpoints.
+    fused: FusedCache,
+    /// Whether `run_functional` dispatches through the fused
+    /// direct-threaded tier (on by default; [`Machine::set_fusion`]).
+    fusion_enabled: bool,
+    /// Fusion-bug injection hook: PC of a pair's second constituent to
+    /// compile deliberately wrong ([`Machine::inject_fusion_bug`]).
+    fusion_sabotage: Option<u32>,
 }
 
 impl Machine {
@@ -387,6 +398,7 @@ impl Machine {
         let (timing, class_prefix) = timing_tables(&decoded);
         let mut core = TimingCore::new(cfg);
         core.set_code_region(base, decoded.len());
+        let fused = FusedCache::new(decoded.len());
         Ok(Machine {
             cpu: CpuState::new(entry),
             mem,
@@ -405,6 +417,9 @@ impl Machine {
             watchdog: Watchdog::default(),
             lockstep: None,
             profiler: None,
+            fused,
+            fusion_enabled: true,
+            fusion_sabotage: None,
         })
     }
 
@@ -415,11 +430,16 @@ impl Machine {
     /// lockstep oracle it is excluded from [`Machine::checkpoint`].
     pub fn set_sampling_profiler(&mut self, period: u64) {
         self.profiler = Some(Box::new(GuestProfiler::new(period)));
+        // Hammock superinstructions change profiler block boundaries,
+        // so they are only legal while no profiler is attached; drop
+        // any blocks compiled under the other setting.
+        self.fused.clear();
     }
 
     /// Remove and return the sampling profiler, disabling sampling and
     /// restoring the untouched fast paths.
     pub fn take_profiler(&mut self) -> Option<Box<GuestProfiler>> {
+        self.fused.clear();
         self.profiler.take()
     }
 
@@ -464,6 +484,51 @@ impl Machine {
             return false;
         }
         self.patch_code_slot(idx, Some(insn));
+        true
+    }
+
+    /// Enable or disable the fused direct-threaded functional tier
+    /// (DESIGN §16). On by default; disabling falls back to the scalar
+    /// per-instruction block loop, which is architecturally identical —
+    /// the toggle exists for A/B throughput measurement and for the
+    /// fusion-legality tests. Compiled blocks are dropped on any
+    /// change of setting.
+    pub fn set_fusion(&mut self, enabled: bool) {
+        if self.fusion_enabled != enabled {
+            self.fused.clear();
+        }
+        self.fusion_enabled = enabled;
+    }
+
+    /// Whether the fused functional tier is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion_enabled
+    }
+
+    /// Fused-tier throughput counters accumulated across run calls
+    /// (unchecked functional runs; the lockstep-checked loop verifies
+    /// fused ops but does not count toward these).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fused.stats()
+    }
+
+    /// Compile the fusion pair whose *second* constituent sits at `pc`
+    /// deliberately wrong — a `cmp`+branch pair gets its branch sense
+    /// inverted, a `cmp`+`isel` pair gets its select arms swapped —
+    /// modelling a broken fusion rule for the lockstep oracle to catch
+    /// (the fused-tier analogue of [`Machine::inject_decode_bug`]).
+    /// Returns `false` when `pc` is outside the code region.
+    ///
+    /// Like a decode bug, [`Machine::restore`] silently repairs it
+    /// (the cache is rebuilt clean); triage flows must re-apply it
+    /// after every restore.
+    pub fn inject_fusion_bug(&mut self, pc: u32) -> bool {
+        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+        if !pc.is_multiple_of(4) || idx >= self.decoded.len() {
+            return false;
+        }
+        self.fusion_sabotage = Some(pc);
+        self.fused.clear();
         true
     }
 
@@ -698,6 +763,70 @@ impl Machine {
             if self.insn_budget_expired() {
                 stop = StopReason::Watchdog(WatchdogKind::Instructions);
                 break;
+            }
+            if self.fusion_enabled {
+                // Fused direct-threaded tier (DESIGN §16): hand the PC
+                // to the fused dispatch loop, which compiles blocks on
+                // first dispatch and executes their superinstruction
+                // arrays back to back without per-instruction fetch or
+                // match. It returns for anything needing the slow path:
+                // traps, halts, self-modifying stores, and blocks whose
+                // full retire bound no longer fits the remaining
+                // budget/watchdog allowance (those run scalar below, so
+                // mid-block budget cuts land exactly where the scalar
+                // loop puts them).
+                let mut allowance = max_insns - executed;
+                if let Some(limit) = self.watchdog.max_instructions {
+                    allowance = allowance.min(limit - self.insns_total);
+                }
+                let Machine {
+                    cpu,
+                    mem,
+                    fused,
+                    decoded,
+                    run_len,
+                    profiler,
+                    fusion_sabotage,
+                    code_base,
+                    ..
+                } = &mut *self;
+                let dr = fused.drive(
+                    cpu,
+                    mem,
+                    decoded,
+                    run_len,
+                    *code_base,
+                    profiler.is_none(),
+                    *fusion_sabotage,
+                    allowance,
+                    profiler.as_deref_mut(),
+                );
+                executed += dr.executed;
+                self.insns_total += dr.executed;
+                match dr.stop {
+                    FuseDriveStop::Fault(f) => {
+                        // Like the scalar loop: prior retires stay
+                        // counted in `insns_total`, no profiler flush,
+                        // and the trap carries the faulting PC (already
+                        // parked by the fused executor).
+                        let pc = self.cpu.pc;
+                        return Err(self.trap(TrapCause::Mem(f), pc));
+                    }
+                    FuseDriveStop::Halted => {
+                        self.halted = true;
+                        continue 'blocks;
+                    }
+                    FuseDriveStop::StoredCode { addr, width } => {
+                        self.repair_stored_code(addr, width);
+                        continue 'blocks;
+                    }
+                    FuseDriveStop::Refetch => {
+                        if executed >= max_insns || self.insn_budget_expired() {
+                            continue 'blocks;
+                        }
+                        self.fused.note_scalar_block();
+                    }
+                }
             }
             // Dispatch one straight-line block: within it the PC only
             // ever advances by 4 (the terminator, if any, is the last
@@ -958,12 +1087,89 @@ impl Machine {
     fn run_functional_checked(&mut self, max_insns: u64) -> Result<RunResult, Trap> {
         let mut executed = 0;
         let mut stop = StopReason::Budget;
-        while executed < max_insns && !self.halted {
+        let code_base = self.code_base;
+        'run: while executed < max_insns && !self.halted {
             if self.insn_budget_expired() {
                 stop = StopReason::Watchdog(WatchdogKind::Instructions);
                 break;
             }
             let (idx, _run) = self.fetch_decode(self.cpu.pc)?;
+            if self.fusion_enabled {
+                // Verify the *fused* tier at op granularity: execute
+                // each store-free superinstruction with the fused
+                // handler, then let the oracle replay its constituents
+                // against the reference semantics
+                // (`Lockstep::verify_fused`). Store-bearing ops and
+                // partial-budget tails break out to the scalar
+                // per-instruction body below, which always makes
+                // progress.
+                let handle = {
+                    let Machine { fused, decoded, run_len, profiler, fusion_sabotage, .. } =
+                        &mut *self;
+                    fused.handle_at(
+                        idx,
+                        decoded,
+                        run_len,
+                        code_base,
+                        profiler.is_none(),
+                        *fusion_sabotage,
+                    )
+                };
+                let n_ops = self.fused.block(handle).ops.len();
+                let mut ran = false;
+                for k in 0..n_ops {
+                    if executed >= max_insns || self.halted || self.insn_budget_expired() {
+                        break;
+                    }
+                    let entry = self.fused.block(handle).ops[k];
+                    let mut allowance = max_insns - executed;
+                    if let Some(limit) = self.watchdog.max_instructions {
+                        allowance = allowance.min(limit - self.insns_total);
+                    }
+                    if entry.op.has_store() || u64::from(entry.op.max_weight()) > allowance {
+                        break;
+                    }
+                    let pre = self.cpu.clone();
+                    let base_index = self.insns_total;
+                    let opr = fuse::run_op(&entry, &mut self.cpu, &mut self.mem)
+                        .map_err(|m| self.trap(TrapCause::Mem(m), entry.pc))?;
+                    executed += u64::from(opr.retired);
+                    self.insns_total += u64::from(opr.retired);
+                    ran = true;
+                    let mut due = false;
+                    if let Some(ls) = self.lockstep.as_mut() {
+                        // One ring entry and one sampling draw per
+                        // retired constituent, like the scalar loop.
+                        for j in 0..opr.retired {
+                            ls.note_commit(entry.pc.wrapping_add(4 * j));
+                            due |= ls.check_due();
+                        }
+                    }
+                    if due {
+                        if let Some(ls) = self.lockstep.as_mut() {
+                            if ls.verify_fused(
+                                &pre,
+                                &self.cpu,
+                                &mut self.mem,
+                                &self.decoded,
+                                code_base,
+                                opr.retired,
+                                base_index,
+                            ) {
+                                stop = StopReason::Diverged;
+                                break 'run;
+                            }
+                        }
+                    }
+                    if opr.halted {
+                        self.halted = true;
+                        break;
+                    }
+                }
+                if ran {
+                    continue 'run;
+                }
+            }
             let pc = self.cpu.pc;
             let insn = self.decoded[idx];
             let check = self.lockstep.as_mut().is_some_and(Lockstep::check_due);
@@ -1209,6 +1415,11 @@ impl Machine {
             }
             self.run_len[i] = 1 + self.run_len[i + 1];
         }
+        // Fused blocks are compiled from the decode table, so every
+        // writer that repairs the table invalidates them the same way.
+        // Patching is already an O(image) slow path; dropping the whole
+        // cache (blocks recompile lazily) keeps the invariant simple.
+        self.fused.clear();
     }
 
     /// Whether a store of `width` bytes at `addr` overlaps the pre-decoded
@@ -1365,6 +1576,11 @@ impl Machine {
         self.run_len = run_len;
         self.timing = timing;
         self.class_prefix = class_prefix;
+        // The fused cache is derived from the decode table (and an
+        // injected fusion bug is harness state, like a decode bug):
+        // rebuild clean for the restored image.
+        self.fused.reset(self.decoded.len());
+        self.fusion_sabotage = None;
         self.halted = ck.halted;
         self.insns_total = ck.insns_total;
         self.watchdog = ck.watchdog;

@@ -432,6 +432,194 @@ impl Lockstep {
         }
         false
     }
+
+    /// Record a divergence (shared by the scalar and fused verifiers).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        pc: u32,
+        index: u64,
+        field: ArchField,
+        expected: u64,
+        actual: u64,
+        note: String,
+        recent: &[u32],
+    ) -> bool {
+        self.divergence = Some(Divergence {
+            pc,
+            instruction: index,
+            field,
+            expected,
+            actual,
+            note,
+            recent_pcs: recent.to_vec(),
+        });
+        true
+    }
+
+    /// Verify one *fused* commit (DESIGN §16): re-derive the
+    /// superinstruction's `retired` constituent instructions one at a
+    /// time with the reference semantics, starting from `pre`, then
+    /// compare the final architectural state against what the fused
+    /// handler produced. Each constituent is independently fetched and
+    /// decoded from memory and cross-checked against the decode table,
+    /// so a stale table surfaces exactly like a scalar decode bug — at
+    /// the first wrong constituent — while a broken fusion *rule*
+    /// (wrong pre-extracted operands, inverted branch sense) surfaces
+    /// as a state mismatch attributed to the op's last constituent.
+    /// `base_index` is the commit index of the first constituent.
+    ///
+    /// Only store-free fused ops are verified this way (the checked
+    /// run loop routes store-bearing ops to the scalar path), so the
+    /// reference replay cannot perturb memory.
+    ///
+    /// Returns `true` when a divergence was recorded.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn verify_fused(
+        &mut self,
+        pre: &CpuState,
+        post: &CpuState,
+        mem: &mut Memory,
+        decoded: &[Instruction],
+        code_base: u32,
+        retired: u32,
+        base_index: u64,
+    ) -> bool {
+        let recent = self.recent_pcs();
+        let mut shadow = pre.clone();
+        let mut last_pc = pre.pc;
+        for k in 0..retired {
+            let pc = shadow.pc;
+            last_pc = pc;
+            let index = base_index + u64::from(k);
+            // Independent fetch and decode straight from memory.
+            let word = match mem.load_u32(pc) {
+                Ok(w) => w,
+                Err(e) => {
+                    return self.record(
+                        pc,
+                        index,
+                        ArchField::Decode,
+                        0,
+                        0,
+                        format!("oracle cannot fetch the instruction word at {pc:#010x}: {e}"),
+                        &recent,
+                    );
+                }
+            };
+            let oracle_insn = match decode(word) {
+                Ok(i) => i,
+                Err(_) => {
+                    return self.record(
+                        pc,
+                        index,
+                        ArchField::Decode,
+                        u64::from(word),
+                        0,
+                        format!(
+                            "memory word {word:#010x} does not decode, but a fused op retired it"
+                        ),
+                        &recent,
+                    );
+                }
+            };
+            // Cross-check the decode table the fused block was compiled
+            // from, mirroring the scalar verifier's decode stage.
+            let slot = pc.wrapping_sub(code_base) as usize / 4;
+            if pc.is_multiple_of(4) {
+                if let Some(table_insn) = decoded.get(slot) {
+                    if oracle_insn != *table_insn {
+                        return self.record(
+                            pc,
+                            index,
+                            ArchField::Decode,
+                            u64::from(word),
+                            0,
+                            format!(
+                                "memory word {word:#010x} decodes to {oracle_insn:?}, but the \
+                                 decode table holds {table_insn:?}"
+                            ),
+                            &recent,
+                        );
+                    }
+                }
+            }
+            // Reference execution of the constituent.
+            if let Err(e) = step(&mut shadow, mem, &oracle_insn) {
+                return self.record(
+                    pc,
+                    index,
+                    ArchField::MemEffect,
+                    0,
+                    0,
+                    format!("oracle faulted re-executing {oracle_insn:?}: {e}"),
+                    &recent,
+                );
+            }
+        }
+        // Compare the post-op architectural state, attributed to the
+        // last replayed constituent.
+        let pc = last_pc;
+        let index = base_index + u64::from(retired.max(1)) - 1;
+        if shadow.pc != post.pc {
+            return self.record(
+                pc,
+                index,
+                ArchField::NextPc,
+                u64::from(shadow.pc),
+                u64::from(post.pc),
+                "next-pc disagreement after a fused op".to_string(),
+                &recent,
+            );
+        }
+        for i in 0..32 {
+            if shadow.gpr[i] != post.gpr[i] {
+                return self.record(
+                    pc,
+                    index,
+                    ArchField::Gpr(i as u8),
+                    u64::from(shadow.gpr[i]),
+                    u64::from(post.gpr[i]),
+                    format!("r{i} disagreement after a fused op"),
+                    &recent,
+                );
+            }
+        }
+        if shadow.cr != post.cr {
+            return self.record(
+                pc,
+                index,
+                ArchField::Cr,
+                u64::from(shadow.cr.0),
+                u64::from(post.cr.0),
+                "cr disagreement after a fused op".to_string(),
+                &recent,
+            );
+        }
+        if shadow.lr != post.lr {
+            return self.record(
+                pc,
+                index,
+                ArchField::Lr,
+                u64::from(shadow.lr),
+                u64::from(post.lr),
+                "lr disagreement after a fused op".to_string(),
+                &recent,
+            );
+        }
+        if shadow.ctr != post.ctr {
+            return self.record(
+                pc,
+                index,
+                ArchField::Ctr,
+                u64::from(shadow.ctr),
+                u64::from(post.ctr),
+                "ctr disagreement after a fused op".to_string(),
+                &recent,
+            );
+        }
+        false
+    }
 }
 
 /// The reference interpreter: straight-line fetch → decode → execute

@@ -154,6 +154,117 @@ fn triage(seed: u64, out: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// Adjacent `cmp`+conditional-branch pairs in the loaded image — the
+/// sites where the fused tier forms a `CmpBc` superinstruction. Returns
+/// the pc of each pair's *branch*, which is what
+/// `Machine::inject_fusion_bug` names.
+fn cmp_branch_sites(m: &Machine, code_base: u32, code_len: u32) -> Vec<u32> {
+    let mut sites = Vec::new();
+    for idx in 0..code_len / 4 {
+        let pc = code_base + idx * 4;
+        let (Ok(w1), Ok(w2)) = (m.mem().load_u32(pc), m.mem().load_u32(pc + 4)) else { continue };
+        let (Ok(first), Ok(second)) = (ppc_isa::decode(w1), ppc_isa::decode(w2)) else { continue };
+        let is_cmp = matches!(
+            first,
+            Instruction::Cmpwi { .. }
+                | Instruction::Cmpw { .. }
+                | Instruction::Cmplwi { .. }
+                | Instruction::Cmplw { .. }
+        );
+        if is_cmp && matches!(second, Instruction::Bc { .. }) {
+            sites.push(pc + 4);
+        }
+    }
+    sites
+}
+
+/// Second `--smoke` leg: a deliberately broken fusion rule (a sabotaged
+/// `CmpBc` pair with its taken/fall-through targets swapped) must be
+/// caught by the sampled oracle, shrink to a ≤64-instruction window,
+/// and replay on a fresh machine — proving divergence triage covers the
+/// fused tier, not just the scalar decode table.
+fn fusion_bug_smoke(seed: u64) -> Result<(), String> {
+    let config = CoreConfig::power5();
+    let app = App::Clustalw;
+    let wl = Workload::new(app, Scale::Test, seed);
+    let mut prepared =
+        wl.prepare(Variant::Baseline, &config).map_err(|e| format!("{app}: build failed: {e}"))?;
+    let sites = cmp_branch_sites(&prepared.machine, prepared.code_base, prepared.code_len);
+    if sites.is_empty() {
+        return Err(format!("{app} image contains no cmp+branch pair to sabotage"));
+    }
+    let start = prepared.machine.checkpoint();
+
+    // Sabotage sites one at a time until the oracle trips: not every
+    // pair is on a hot path, and a swap only shows once the branch
+    // actually executes under a due check.
+    let mut caught = None;
+    for &site in &sites {
+        prepared.machine.restore(&start).map_err(|e| format!("restore failed: {e}"))?;
+        if !prepared.machine.inject_fusion_bug(site) {
+            continue;
+        }
+        prepared.machine.set_lockstep(LockstepMode::Sampled { period: 10, seed });
+        let r = prepared
+            .machine
+            .run_functional(5_000_000)
+            .map_err(|t| format!("sabotaged run trapped instead: {t}"))?;
+        if matches!(r.stop, StopReason::Diverged) {
+            let d = prepared
+                .machine
+                .take_divergence()
+                .ok_or("diverged stop without a divergence record")?;
+            caught = Some((site, d));
+            break;
+        }
+    }
+    let Some((site, detected)) = caught else {
+        return Err("no sabotaged cmp+branch pair produced a divergence".into());
+    };
+    println!("  fusion sabotage at pc {site:#010x} caught by the sampled oracle:");
+    println!("    {} at instruction {}", detected.field, detected.instruction);
+
+    // `restore` silently repairs the sabotage (the fused cache is reset
+    // against the pristine table), so the shrinker's reapply hook must
+    // re-inject after every rewind.
+    let mut reapply = |m: &mut Machine| {
+        m.inject_fusion_bug(site);
+    };
+    let shrunk =
+        shrink_divergence(&mut prepared.machine, &start, &mut reapply, detected.instruction, 64)?;
+    if shrunk.span > 64 {
+        return Err(format!("shrinker left a window of {} > 64 instructions", shrunk.span));
+    }
+    println!(
+        "    shrunk to a {}-instruction window starting at instruction {}",
+        shrunk.span, shrunk.start.insns_total
+    );
+
+    // Replay on a fresh machine from the shrunk checkpoint.
+    let mut fresh = wl
+        .prepare(Variant::Baseline, &config)
+        .map_err(|e| format!("{app}: rebuild failed: {e}"))?;
+    fresh.machine.restore(&shrunk.start).map_err(|e| format!("replay restore failed: {e}"))?;
+    fresh.machine.inject_fusion_bug(site);
+    fresh.machine.set_lockstep(LockstepMode::Full);
+    let rr = fresh
+        .machine
+        .run_functional(shrunk.span)
+        .map_err(|t| format!("replay trapped instead: {t}"))?;
+    if !matches!(rr.stop, StopReason::Diverged) {
+        return Err(format!("replay did not reproduce the fusion bug (stop: {:?})", rr.stop));
+    }
+    let replayed = fresh.machine.take_divergence().ok_or("replay recorded no divergence")?;
+    if replayed.pc != shrunk.divergence.pc || replayed.field != shrunk.divergence.field {
+        return Err(format!(
+            "replay found a different divergence:\n{replayed}\nexpected:\n{}",
+            shrunk.divergence
+        ));
+    }
+    println!("    replayed on a fresh machine: same pc, same field");
+    Ok(())
+}
+
 fn smoke(seed: u64) -> Result<(), String> {
     let config = CoreConfig::power5();
     const WINDOW: u64 = 200_000;
@@ -178,7 +289,8 @@ fn smoke(seed: u64) -> Result<(), String> {
             println!("  {:9} {variant:?}: {} instructions, no divergence", app.name(), r.executed);
         }
     }
-    Ok(())
+    println!("fusion-bug triage: sabotaged CmpBc pair must be caught, shrunk, and replayed");
+    fusion_bug_smoke(seed)
 }
 
 fn main() -> ExitCode {

@@ -59,6 +59,10 @@ fn render_event(line: &str) -> Option<String> {
         "job_resumed" => {
             format!("{job} (attempt {})", doc.get("attempt").and_then(Json::as_f64).unwrap_or(0.0),)
         }
+        "metrics" => match doc.get("counters") {
+            Some(Json::Obj(pairs)) => format!("{} host counter(s)", pairs.len()),
+            _ => "no counters".to_string(),
+        },
         "suite_finished" => format!(
             "{} retired, {} quarantined, {} retries",
             doc.get("retired").and_then(Json::as_f64).unwrap_or(0.0),
@@ -135,6 +139,15 @@ fn check(path: &str, min_heartbeats: u64, allow_truncated: bool) -> ExitCode {
         stats.resumes,
         stats.finished
     );
+    if !stats.host_counters.is_empty() {
+        // Surface every counter the stream carried, verbatim — names the
+        // checker has never heard of (new fusion rates, cache counters)
+        // are printed, not silently dropped.
+        println!("host counters:");
+        for (name, value) in &stats.host_counters {
+            println!("  {name} = {value}");
+        }
+    }
     if stats.truncated_tail {
         // A torn final line is the signature of a writer killed
         // mid-write — diagnose it explicitly instead of erroring.

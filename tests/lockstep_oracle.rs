@@ -31,6 +31,49 @@ fn full_lockstep_agrees_on_every_app() {
     }
 }
 
+/// Every app's baseline also completes a *functional* full run through
+/// the fused direct-threaded tier (DESIGN.md §16) with the oracle
+/// checking every retired instruction: zero divergences, the golden
+/// output, and a final machine state bit-identical to the scalar
+/// (fusion-off) path.
+#[test]
+fn full_lockstep_functional_agrees_on_every_app_under_fusion() {
+    let config = CoreConfig::power5();
+    for app in App::all() {
+        let wl = Workload::new(app, Scale::Test, 7);
+        let mut fused = wl
+            .prepare(Variant::Baseline, &config)
+            .unwrap_or_else(|e| panic!("{app}: build failed: {e}"));
+        fused.machine.set_fusion(true);
+        fused.machine.set_lockstep(LockstepMode::Full);
+        let rf = fused
+            .machine
+            .run_functional(u64::MAX)
+            .unwrap_or_else(|t| panic!("{app}: fused lockstep run trapped: {t}"));
+        assert!(rf.halted, "{app}: fused lockstep run stopped early ({:?})", rf.stop);
+        let mut scalar = wl
+            .prepare(Variant::Baseline, &config)
+            .unwrap_or_else(|e| panic!("{app}: rebuild failed: {e}"));
+        scalar.machine.set_fusion(false);
+        let rs = scalar
+            .machine
+            .run_functional(u64::MAX)
+            .unwrap_or_else(|t| panic!("{app}: scalar run trapped: {t}"));
+        assert_eq!((rf.executed, rf.halted), (rs.executed, rs.halted), "{app}: retire counts");
+        assert_eq!(
+            fused.machine.checkpoint(),
+            scalar.machine.checkpoint(),
+            "{app}: fused and scalar final states differ"
+        );
+        let out = fused
+            .machine
+            .mem()
+            .read_i32s(fused.out_addr, fused.out_len)
+            .unwrap_or_else(|e| panic!("{app}: output unreadable: {e}"));
+        assert_eq!(out, fused.golden, "{app}: output mismatch under fused lockstep");
+    }
+}
+
 const BASE: u32 = 0x1000;
 
 /// A small loop touching every structure the decode cache cares about:
