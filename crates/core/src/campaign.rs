@@ -55,6 +55,8 @@
 //! cache contents in submission order and contains no wall-clock or
 //! scheduling data, so its bytes depend only on the submitted set.
 
+pub mod remote;
+
 use crate::apps::{App, RunError, Scale, Variant, Workload};
 use crate::checkpoint;
 use crate::experiments::Hw;
@@ -66,7 +68,7 @@ use crate::telemetry::{JobSpan, TelemetryHub};
 use power5_sim::{Checkpoint, LockstepMode, Watchdog, XorShift64};
 use std::collections::HashMap;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
@@ -486,6 +488,46 @@ pub enum SubmitOutcome {
     CacheHit,
 }
 
+/// A job leased to a worker shard — everything the worker (in-process
+/// thread or remote process) needs to start executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeasedJob {
+    /// 16-hex-digit content-address id.
+    pub id: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Failed attempts so far (input to the seeded budget widening).
+    pub attempts: u32,
+}
+
+/// What a claim attempt produced (shared by the in-process worker loop
+/// and the remote lease protocol in [`remote`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Claim {
+    /// A job was leased to the asking worker.
+    Job(LeasedJob),
+    /// Nothing claimable right now, but live leases exist — the asking
+    /// worker should retry shortly (another shard may die or release).
+    Busy,
+    /// The campaign is draining: stop claiming.
+    Drained,
+    /// Every job is terminal, or the incarnation crashed: stop.
+    Finished,
+}
+
+/// What [`Campaign`] did with a remotely retired result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireOutcome {
+    /// First completion: cache written, `completed` record appended.
+    Recorded,
+    /// The job was already terminal — a re-delivery after a reconnect
+    /// or an expired-lease re-run. Served as a cache hit, never
+    /// double-counted.
+    Duplicate,
+    /// The incarnation crashed or the cache write failed.
+    Failed,
+}
+
 /// Terminal-state counts after [`Campaign::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignSummary {
@@ -730,7 +772,24 @@ impl Campaign {
     /// Rewrite the journal from in-memory state (atomic rename), bump
     /// the segment, and reopen the append handle. Compaction lines are
     /// not "appends" for [`Campaign::crash_after_appends`] purposes.
+    ///
+    /// The superseded journal file is archived (not deleted) into
+    /// `segments/<segment>.jsonl` under its own segment number first, so
+    /// a campaign that outlives one journal incarnation remains
+    /// replayable end-to-end: the archive plus the live journal form the
+    /// complete record history. The archive is a *copy* made before the
+    /// atomic rename — a crash between the two leaves the live journal
+    /// intact and at worst re-archives the same segment (idempotent, the
+    /// re-archived copy is a superset prefix of the same records).
     fn compact(&self, st: &mut Inner) {
+        let journal = self.config.dir.join("journal.jsonl");
+        let seg_dir = self.config.dir.join("segments");
+        let archived = seg_dir.join(format!("{:06}.jsonl", st.segment));
+        if std::fs::create_dir_all(&seg_dir).is_err() || std::fs::copy(&journal, &archived).is_err()
+        {
+            st.crashed = true;
+            return;
+        }
         st.segment += 1;
         let mut out = String::new();
         let header = Json::obj()
@@ -797,7 +856,6 @@ impl Campaign {
                 records += 1;
             }
         }
-        let journal = self.config.dir.join("journal.jsonl");
         if write_atomic(&journal, &out).is_err() {
             st.crashed = true;
             return;
@@ -873,61 +931,290 @@ impl Campaign {
     /// execute them until nothing is claimable.
     fn worker(&self, w: u64) {
         loop {
-            if self.draining.load(Ordering::SeqCst) {
-                return;
+            match self.claim_for(w) {
+                Claim::Job(job) => self.execute(w, &job.id, job.spec, job.attempts),
+                Claim::Busy => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Claim::Drained | Claim::Finished => return,
             }
-            let claimed = {
-                let mut st = lock(&self.inner);
-                if st.crashed {
-                    return;
+        }
+    }
+
+    /// Claim the first claimable job — pending, or leased with an
+    /// expired heartbeat — for worker `w`, appending the `lease`
+    /// record. This is the single lease path: the in-process worker
+    /// loop and the remote `serve` protocol both claim through it, so
+    /// expired remote leases are reclaimed exactly as in-process ones.
+    pub fn claim_for(&self, w: u64) -> Claim {
+        if self.draining.load(Ordering::SeqCst) {
+            return Claim::Drained;
+        }
+        let mut st = lock(&self.inner);
+        if st.crashed {
+            return Claim::Finished;
+        }
+        let now = now_ms();
+        let timeout = self.config.lease_timeout_ms;
+        let mut claim: Option<(String, bool)> = None;
+        let mut live = false;
+        for id in &st.order {
+            match st.jobs.get(id).map(|j| &j.status) {
+                Some(JobStatus::Pending) => {
+                    claim = Some((id.clone(), false));
+                    break;
                 }
-                let now = now_ms();
-                let timeout = self.config.lease_timeout_ms;
-                let mut claim: Option<String> = None;
-                let mut live = false;
-                for id in &st.order {
-                    match st.jobs.get(id).map(|j| &j.status) {
-                        Some(JobStatus::Pending) => {
-                            claim = Some(id.clone());
-                            break;
-                        }
-                        Some(JobStatus::Leased { hb, .. }) => {
-                            if now.saturating_sub(*hb) > timeout {
-                                claim = Some(id.clone());
-                                break;
-                            }
-                            live = true;
-                        }
-                        _ => {}
+                Some(JobStatus::Leased { hb, .. }) => {
+                    if now.saturating_sub(*hb) > timeout {
+                        claim = Some((id.clone(), true));
+                        break;
+                    }
+                    live = true;
+                }
+                _ => {}
+            }
+        }
+        match claim {
+            Some((id, reclaimed)) => {
+                let started = Instant::now();
+                let job = st.jobs.get_mut(&id).expect("claimed job exists");
+                job.status = JobStatus::Leased { worker: w, hb: now };
+                let (spec, attempts) = (job.spec, job.attempts);
+                let doc = Json::obj()
+                    .set("rec", Json::Str("lease".to_string()))
+                    .set("job", Json::Str(id.clone()))
+                    .set("worker", Json::Num(w as f64))
+                    .set("hb", Json::Num(now as f64));
+                if !self.append(&mut st, &doc) {
+                    return Claim::Finished;
+                }
+                if let Some(hub) = &self.telemetry {
+                    hub.phase_host("lease", started.elapsed().as_nanos() as u64);
+                    if reclaimed {
+                        hub.count_host("campaign.lease_reclaims", 1);
                     }
                 }
-                match claim {
-                    Some(id) => {
-                        let started = Instant::now();
-                        let job = st.jobs.get_mut(&id).expect("claimed job exists");
-                        job.status = JobStatus::Leased { worker: w, hb: now };
-                        let (spec, attempts) = (job.spec, job.attempts);
-                        let doc = Json::obj()
-                            .set("rec", Json::Str("lease".to_string()))
-                            .set("job", Json::Str(id.clone()))
-                            .set("worker", Json::Num(w as f64))
-                            .set("hb", Json::Num(now as f64));
-                        if !self.append(&mut st, &doc) {
-                            return;
-                        }
+                Claim::Job(LeasedJob { id, spec, attempts })
+            }
+            None if live => Claim::Busy,
+            None => Claim::Finished,
+        }
+    }
+
+    /// Refresh the heartbeat on a lease held by worker `w`. A heartbeat
+    /// for a job leased to a *different* worker (the lease expired and
+    /// was reclaimed while this worker was disconnected) is ignored —
+    /// the stale worker must not keep the new lease alive.
+    pub fn touch_lease(&self, id: &str, w: u64) {
+        let mut st = lock(&self.inner);
+        if let Some(job) = st.jobs.get_mut(id) {
+            if let JobStatus::Leased { worker, hb } = &mut job.status {
+                if *worker == w {
+                    *hb = now_ms();
+                }
+            }
+        }
+    }
+
+    /// The job currently leased to worker `w`, if any. The remote
+    /// protocol re-delivers this on `fetch` — idempotent re-delivery
+    /// keyed by the content-addressed id — so a worker that lost the
+    /// original `job` frame resumes the same work instead of waiting
+    /// out its own lease.
+    pub fn leased_to(&self, w: u64) -> Option<LeasedJob> {
+        let st = lock(&self.inner);
+        for id in &st.order {
+            if let Some(job) = st.jobs.get(id) {
+                if matches!(job.status, JobStatus::Leased { worker, .. } if worker == w) {
+                    return Some(LeasedJob {
+                        id: id.clone(),
+                        spec: job.spec,
+                        attempts: job.attempts,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Jobs not yet terminal (pending or leased).
+    pub fn outstanding(&self) -> u64 {
+        let st = lock(&self.inner);
+        st.jobs
+            .values()
+            .filter(|j| matches!(j.status, JobStatus::Pending | JobStatus::Leased { .. }))
+            .count() as u64
+    }
+
+    /// Leases whose heartbeat is still within the timeout.
+    pub fn live_leases(&self) -> u64 {
+        let st = lock(&self.inner);
+        let now = now_ms();
+        st.jobs
+            .values()
+            .filter(|j| match j.status {
+                JobStatus::Leased { hb, .. } => {
+                    now.saturating_sub(hb) <= self.config.lease_timeout_ms
+                }
+                _ => false,
+            })
+            .count() as u64
+    }
+
+    /// Whether graceful drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// A job's submitted spec.
+    pub fn spec(&self, id: &str) -> Option<JobSpec> {
+        lock(&self.inner).jobs.get(id).map(|j| j.spec)
+    }
+
+    /// The rendered resume checkpoint for a job, if one is on disk.
+    fn resume_text(&self, id: &str) -> Option<String> {
+        std::fs::read_to_string(self.ck_path(id)).ok()
+    }
+
+    /// Record a remote worker's chunk-boundary checkpoint: validate and
+    /// persist the rendered checkpoint, then append the `progress`
+    /// record (which doubles as the lease heartbeat).
+    fn remote_progress(&self, id: &str, insns: u64, ck_text: &str) -> bool {
+        if lock(&self.inner).crashed {
+            return false;
+        }
+        if checkpoint::parse(ck_text).is_err() {
+            return false;
+        }
+        self.store_checkpoint(id, ck_text) && self.append_progress(id, insns)
+    }
+
+    /// Record a remote worker's failed attempt: persist (budget retry)
+    /// or remove (scratch retry) the checkpoint, then journal the
+    /// authoritative attempt count. Mirrors [`Campaign::retry`].
+    fn remote_retry(
+        &self,
+        id: &str,
+        label: &str,
+        attempt: u32,
+        class: &str,
+        ck_text: Option<&str>,
+    ) -> bool {
+        if lock(&self.inner).crashed {
+            return false;
+        }
+        match ck_text {
+            Some(text) => {
+                if checkpoint::parse(text).is_err() || !self.store_checkpoint(id, text) {
+                    return false;
+                }
+            }
+            None => {
+                let _ = std::fs::remove_file(self.ck_path(id));
+            }
+        }
+        self.record_retry(id, label, attempt, class)
+    }
+
+    /// Retire a job remotely: write the worker-rendered report into the
+    /// run cache (before the `completed` record, preserving the crash
+    /// ordering invariant) and mark the job completed. A job that is
+    /// already terminal — the worker reconnected and re-delivered, or
+    /// an expired lease was re-run by another shard — is a
+    /// [`RetireOutcome::Duplicate`]: a cache hit, never a double-count.
+    fn remote_retire(&self, id: &str, insns: u64, report_text: &str) -> RetireOutcome {
+        {
+            let st = lock(&self.inner);
+            if st.crashed {
+                return RetireOutcome::Failed;
+            }
+            match st.jobs.get(id).map(|j| &j.status) {
+                Some(JobStatus::Completed | JobStatus::Quarantined { .. }) => {
+                    drop(st);
+                    if let Some(hub) = &self.telemetry {
+                        hub.count_host("campaign.remote.dup_retires", 1);
+                    }
+                    return RetireOutcome::Duplicate;
+                }
+                Some(_) => {}
+                None => return RetireOutcome::Failed,
+            }
+        }
+        let started = Instant::now();
+        if write_atomic(self.cache_path(id), report_text).is_err() {
+            return RetireOutcome::Failed;
+        }
+        if let Some(hub) = &self.telemetry {
+            hub.phase_host("cache", started.elapsed().as_nanos() as u64);
+        }
+        let mut st = lock(&self.inner);
+        // Recheck under the lock: another connection may have retired
+        // the same job between the peek above and the cache write (both
+        // writes carry identical bytes, so the race is benign).
+        if matches!(
+            st.jobs.get(id).map(|j| &j.status),
+            Some(JobStatus::Completed | JobStatus::Quarantined { .. })
+        ) {
+            drop(st);
+            if let Some(hub) = &self.telemetry {
+                hub.count_host("campaign.remote.dup_retires", 1);
+            }
+            return RetireOutcome::Duplicate;
+        }
+        if let Some(job) = st.jobs.get_mut(id) {
+            job.status = JobStatus::Completed;
+            job.insns = insns;
+        }
+        let doc = Json::obj()
+            .set("rec", Json::Str("completed".to_string()))
+            .set("job", Json::Str(id.to_string()));
+        if !self.append(&mut st, &doc) {
+            return RetireOutcome::Failed;
+        }
+        drop(st);
+        let _ = std::fs::remove_file(self.ck_path(id));
+        RetireOutcome::Recorded
+    }
+
+    /// Quarantine a job on a remote worker's behalf. Idempotent: a job
+    /// that is already terminal is left untouched, so a stale worker's
+    /// verdict can never overwrite a recorded completion.
+    fn remote_quarantine(&self, id: &str, class: &str, message: &str) -> bool {
+        let spec = {
+            let st = lock(&self.inner);
+            if st.crashed {
+                return false;
+            }
+            match st.jobs.get(id) {
+                Some(job) => {
+                    if matches!(job.status, JobStatus::Completed | JobStatus::Quarantined { .. }) {
+                        drop(st);
                         if let Some(hub) = &self.telemetry {
-                            hub.phase_host("lease", started.elapsed().as_nanos() as u64);
+                            hub.count_host("campaign.remote.dup_retires", 1);
                         }
-                        Some((id, spec, attempts))
+                        return true;
                     }
-                    None if live => None,
-                    None => return,
+                    job.spec
                 }
-            };
-            match claimed {
-                Some((id, spec, attempts)) => self.execute(w, &id, spec, attempts),
-                None => std::thread::sleep(std::time::Duration::from_millis(2)),
+                None => return false,
             }
+        };
+        self.quarantine(id, &spec.label(), spec, class, message);
+        true
+    }
+
+    /// Release a lease held by worker `w` (remote graceful drain). A
+    /// release for a lease the worker no longer holds is a no-op.
+    fn remote_release(&self, id: &str, w: u64) {
+        let holds = matches!(
+            lock(&self.inner).jobs.get(id).map(|j| &j.status),
+            Some(JobStatus::Leased { worker, .. }) if *worker == w
+        );
+        if holds {
+            self.release(id);
         }
     }
 
@@ -1046,17 +1333,29 @@ impl Campaign {
         if lock(&self.inner).crashed {
             return false;
         }
+        self.store_checkpoint(id, &checkpoint::render(ck))
+            && self.append_progress(id, ck.insns_total)
+    }
+
+    /// Atomically persist a rendered checkpoint for `id`.
+    fn store_checkpoint(&self, id: &str, text: &str) -> bool {
         let started = Instant::now();
-        if write_atomic(self.ck_path(id), &checkpoint::render(ck)).is_err() {
+        if write_atomic(self.ck_path(id), text).is_err() {
             return false;
         }
         if let Some(hub) = &self.telemetry {
             hub.phase_host("checkpoint", started.elapsed().as_nanos() as u64);
         }
+        true
+    }
+
+    /// Append the `progress` record for `id`, bumping the lease
+    /// heartbeat and the in-memory instruction high-water mark.
+    fn append_progress(&self, id: &str, insns: u64) -> bool {
         let mut st = lock(&self.inner);
         let now = now_ms();
         if let Some(job) = st.jobs.get_mut(id) {
-            job.insns = ck.insns_total;
+            job.insns = insns;
             if let JobStatus::Leased { hb, .. } = &mut job.status {
                 *hb = now;
             }
@@ -1064,7 +1363,7 @@ impl Campaign {
         let doc = Json::obj()
             .set("rec", Json::Str("progress".to_string()))
             .set("job", Json::Str(id.to_string()))
-            .set("insns", Json::Num(ck.insns_total as f64))
+            .set("insns", Json::Num(insns as f64))
             .set("hb", Json::Num(now as f64));
         self.append(&mut st, &doc)
     }
@@ -1085,7 +1384,7 @@ impl Campaign {
         }
         match ck {
             Some(ck) => {
-                if write_atomic(self.ck_path(id), &checkpoint::render(ck)).is_err() {
+                if !self.store_checkpoint(id, &checkpoint::render(ck)) {
                     return false;
                 }
             }
@@ -1093,6 +1392,12 @@ impl Campaign {
                 let _ = std::fs::remove_file(self.ck_path(id));
             }
         }
+        self.record_retry(id, label, attempt, class)
+    }
+
+    /// Append the `retry` record for `id` (the checkpoint, if any, must
+    /// already be persisted or removed by the caller).
+    fn record_retry(&self, id: &str, label: &str, attempt: u32, class: &str) -> bool {
         let mut st = lock(&self.inner);
         if let Some(job) = st.jobs.get_mut(id) {
             job.attempts = attempt;
@@ -1290,6 +1595,23 @@ fn job_report(label: &str, spec: JobSpec, run: &crate::apps::AppRun) -> Report {
     report
 }
 
+/// Archived journal segments under `dir/segments/`, sorted by segment
+/// number (the monotonically numbered file names compaction leaves
+/// behind). Concatenating every archived segment in order with the live
+/// `journal.jsonl` replays the campaign's full history end-to-end.
+pub fn archived_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.join("segments"))
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
 /// The context-only shell shared by completed and quarantined reports.
 fn job_report_shell(label: &str, spec: JobSpec) -> Report {
     Report::new(label)
@@ -1444,6 +1766,25 @@ mod tests {
         let replay = replay_journal(&text).unwrap();
         assert!(replay.segment >= 1, "compaction should bump the segment");
         assert_eq!(replay.order, order, "compaction must preserve submission order");
+
+        // Superseded journals are archived, not deleted: one
+        // monotonically numbered segment file per compaction, each a
+        // valid journal whose replay is a prefix of the final state.
+        let segments = archived_segments(&dir);
+        assert_eq!(segments.len() as u64, replay.segment, "one archive per compaction");
+        for (i, seg) in segments.iter().enumerate() {
+            assert_eq!(
+                seg.file_name().unwrap().to_str().unwrap(),
+                format!("{:06}.jsonl", i),
+                "segment names are monotonically numbered"
+            );
+            let seg_text = std::fs::read_to_string(seg).unwrap();
+            let seg_replay = replay_journal(&seg_text).unwrap();
+            assert_eq!(seg_replay.segment, i as u64);
+            for id in &seg_replay.order {
+                assert!(replay.jobs.contains_key(id), "archived job survives compaction");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

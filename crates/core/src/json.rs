@@ -297,13 +297,17 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8).
+                    // Bulk-copy the run of ordinary characters up to the
+                    // next quote or escape. Validating only the run keeps
+                    // string parsing linear — re-checking the whole
+                    // remaining input per character made megabyte string
+                    // fields (wire-framed checkpoints) quadratic.
                     let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = text.chars().next().ok_or("unterminated string")?;
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    let run =
+                        rest.iter().position(|&b| b == b'"' || b == b'\\').unwrap_or(rest.len());
+                    let text = std::str::from_utf8(&rest[..run]).map_err(|_| "invalid utf-8")?;
+                    s.push_str(text);
+                    self.pos += run;
                 }
             }
         }

@@ -3,7 +3,8 @@
 //! The workspace persists several JSON document kinds — checkpoints
 //! (`bioarch-checkpoint/v1`), divergence repros (`bioarch-divergence/v1`),
 //! experiment reports (`bioarch-report/v1`), telemetry snapshots
-//! (`bioarch-metrics/v1`), and campaign journals (`bioarch-journal/v1`).
+//! (`bioarch-metrics/v1`), campaign journals (`bioarch-journal/v1`),
+//! and distributed-campaign wire frames (`bioarch-wire/v1`).
 //! Each document embeds its identifier in a top-level `"schema"` field;
 //! every parser funnels through [`check_schema`] so an unsupported or
 //! missing marker surfaces as one typed [`UnsupportedVersion`] error with

@@ -682,6 +682,13 @@ pub struct ProgressStats {
     /// crashed writer. The torn line is dropped; the stats cover the
     /// complete-line prefix.
     pub truncated_tail: bool,
+    /// Whether some inter-event gap exceeded
+    /// [`DEFAULT_STALL_FACTOR`] × the declared heartbeat interval — the
+    /// writer went silent far longer than its own liveness promise.
+    /// Distinct from [`ProgressStats::truncated_tail`]: a torn tail is
+    /// a crashed writer, a stall is a wedged one. Recomputable at a
+    /// custom threshold via [`ProgressStats::stalled_with`].
+    pub stalled: bool,
     /// Host counters carried by `metrics` events, name-sorted. Every
     /// name in the stream is kept verbatim — the checker surfaces
     /// counters it has never heard of (fusion rates, cache hits, …)
@@ -818,7 +825,23 @@ pub fn check_progress_stream(text: &str) -> Result<ProgressStats, String> {
     if !open_jobs.is_empty() && !stats.truncated_tail {
         return Err(format!("jobs started but never terminated: {open_jobs:?}"));
     }
+    stats.stalled = stats.stalled_with(DEFAULT_STALL_FACTOR);
     Ok(stats)
+}
+
+/// Default heartbeat-gap multiple beyond which a stream counts as
+/// stalled. Generous on purpose: at the conventional 100 ms heartbeat
+/// this is a 5-second silence, far past scheduler jitter on a loaded CI
+/// box but still a fraction of any real hang.
+pub const DEFAULT_STALL_FACTOR: f64 = 50.0;
+
+impl ProgressStats {
+    /// Whether the stream's largest inter-event gap exceeds `factor` ×
+    /// the declared heartbeat interval. Zero/unknown heartbeat
+    /// intervals never stall (nothing was promised).
+    pub fn stalled_with(&self, factor: f64) -> bool {
+        self.heartbeat_ms > 0.0 && self.max_gap_ms > factor * self.heartbeat_ms
+    }
 }
 
 #[cfg(test)]
@@ -1004,6 +1027,42 @@ mod tests {
             r#"{"event":"suite_finished","seq":2,"elapsed_ms":2}"#
         );
         assert!(check_progress_stream(corrupt).is_err());
+    }
+
+    #[test]
+    fn checker_flags_stalled_streams() {
+        // A 10 ms heartbeat promise followed by a 600 ms silence is a
+        // stall at the default 50× factor — distinct from a torn tail.
+        let stalled = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0,"heartbeat_ms":10}"#,
+            "\n",
+            r#"{"event":"heartbeat","seq":1,"elapsed_ms":5}"#,
+            "\n",
+            r#"{"event":"heartbeat","seq":2,"elapsed_ms":605}"#,
+            "\n",
+            r#"{"event":"suite_finished","seq":3,"elapsed_ms":606}"#
+        );
+        let stats = check_progress_stream(stalled).unwrap();
+        assert!(stats.stalled);
+        assert!(!stats.truncated_tail);
+        assert!(stats.stalled_with(10.0));
+        assert!(!stats.stalled_with(100.0), "custom factor can waive the default verdict");
+        // Keeping the liveness promise never stalls.
+        let healthy = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0,"heartbeat_ms":10}"#,
+            "\n",
+            r#"{"event":"heartbeat","seq":1,"elapsed_ms":12}"#,
+            "\n",
+            r#"{"event":"suite_finished","seq":2,"elapsed_ms":20}"#
+        );
+        assert!(!check_progress_stream(healthy).unwrap().stalled);
+        // No declared interval = no promise = never stalled.
+        let silent = concat!(
+            r#"{"event":"suite_started","seq":0,"elapsed_ms":0}"#,
+            "\n",
+            r#"{"event":"suite_finished","seq":1,"elapsed_ms":900000}"#
+        );
+        assert!(!check_progress_stream(silent).unwrap().stalled);
     }
 
     #[test]

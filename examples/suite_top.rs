@@ -115,8 +115,38 @@ fn live(path: &str, idle_secs: u64) -> ExitCode {
     }
 }
 
+/// Subscribe to a distributed campaign server and print every retired
+/// result as it streams in, until `campaign_done`.
+fn subscribe(addr: &str) -> ExitCode {
+    use bioarch::campaign::remote::{Frame, FramedStream, Role};
+    let stream = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let mut fs = FramedStream::new(stream);
+    fs.set_deadlines(Some(30_000), Some(5_000)).unwrap_or_else(|e| die(&format!("deadlines: {e}")));
+    fs.send(&Frame::Hello { role: Role::Subscriber, worker: 0 })
+        .unwrap_or_else(|e| die(&format!("hello: {e}")));
+    match fs.recv() {
+        Ok(Frame::HelloAck { .. }) => {}
+        other => die(&format!("expected hello_ack, got {other:?}")),
+    }
+    loop {
+        match fs.recv() {
+            Ok(Frame::Result { label, report, .. }) => {
+                let degraded = report.contains("\"degraded\":true");
+                println!("result  {label}{}", if degraded { "  [degraded]" } else { "" });
+            }
+            Ok(Frame::CampaignDone { completed, quarantined }) => {
+                println!("campaign done: {completed} completed, {quarantined} quarantined");
+                return ExitCode::SUCCESS;
+            }
+            Ok(other) => die(&format!("unexpected frame {other:?}")),
+            Err(e) => die(&format!("stream: {e}")),
+        }
+    }
+}
+
 /// Validate a completed stream and print a one-screen summary.
-fn check(path: &str, min_heartbeats: u64, allow_truncated: bool) -> ExitCode {
+fn check(path: &str, min_heartbeats: u64, allow_truncated: bool, stall_factor: f64) -> ExitCode {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let stats = match check_progress_stream(&text) {
@@ -153,6 +183,15 @@ fn check(path: &str, min_heartbeats: u64, allow_truncated: bool) -> ExitCode {
         // mid-write — diagnose it explicitly instead of erroring.
         println!("diagnostic: truncated_tail — final line torn (writer killed mid-write)");
     }
+    if stats.stalled_with(stall_factor) {
+        // Distinct from truncated_tail: the writer kept the file intact
+        // but went silent far past its own heartbeat promise.
+        eprintln!(
+            "suite_top: stalled — max gap {:.0} ms exceeds {stall_factor}x heartbeat ({} ms)",
+            stats.max_gap_ms, stats.heartbeat_ms
+        );
+        return ExitCode::from(2);
+    }
     if !stats.finished {
         if allow_truncated && stats.truncated_tail {
             println!("suite_top: accepting unfinished stream (--allow-truncated)");
@@ -188,18 +227,33 @@ fn main() -> ExitCode {
         idle_secs = v.parse().unwrap_or_else(|_| die(&format!("bad count {v:?}")));
         args.remove(i);
     }
+    let mut stall_factor = bioarch::telemetry::DEFAULT_STALL_FACTOR;
+    if let Some(i) = args.iter().position(|a| a == "--stall-factor") {
+        if i + 1 >= args.len() {
+            die("--stall-factor needs a multiple");
+        }
+        let v = args.remove(i + 1);
+        stall_factor = v.parse().unwrap_or_else(|_| die(&format!("bad factor {v:?}")));
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--subscribe") {
+        if i + 1 >= args.len() {
+            die("--subscribe needs host:port");
+        }
+        return subscribe(&args[i + 1]);
+    }
     let checking = args.iter().any(|a| a == "--check");
     args.retain(|a| a != "--check");
     let allow_truncated = args.iter().any(|a| a == "--allow-truncated");
     args.retain(|a| a != "--allow-truncated");
     let Some(path) = args.first() else {
         die(concat!(
-            "usage: suite_top [--check [--min-heartbeats <n>] [--allow-truncated]] ",
-            "[--idle-secs <n>] <progress.jsonl>"
+            "usage: suite_top [--check [--min-heartbeats <n>] [--allow-truncated] ",
+            "[--stall-factor <x>]] [--idle-secs <n>] [--subscribe <host:port>] <progress.jsonl>"
         ));
     };
     if checking {
-        check(path, min_heartbeats, allow_truncated)
+        check(path, min_heartbeats, allow_truncated, stall_factor)
     } else {
         live(path, idle_secs)
     }

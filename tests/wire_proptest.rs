@@ -1,0 +1,188 @@
+//! Property-based coverage of the `bioarch-wire/v1` frame codec: every
+//! frame round-trips byte-exactly, and the strict parser answers
+//! truncation, oversizing, and byte corruption with typed errors —
+//! never a panic, never a silently wrong frame.
+
+use bioarch::campaign::remote::{
+    decode_frame, encode_frame, frame_span, Frame, Role, WireError, MAX_FRAME,
+};
+use bioarch::campaign::JobSpec;
+use bioarch::experiments::Hw;
+use bioarch::{App, Scale, Variant};
+use proptest::prelude::*;
+
+/// A string off a random byte vector: lossy-decoded so every input is
+/// valid UTF-8, salted with the characters the escaper must handle
+/// (quotes, backslashes, newlines, braces, control bytes).
+fn wire_string(bytes: &[u8]) -> String {
+    let mut s = String::from_utf8_lossy(bytes).into_owned();
+    for (i, b) in bytes.iter().enumerate() {
+        match b % 7 {
+            0 => s.push('"'),
+            1 => s.push('\\'),
+            2 => s.push('\n'),
+            3 => s.push('{'),
+            4 => s.push('\u{1}'),
+            5 => s.push('\t'),
+            _ => s.push(char::from(b'a' + (i % 26) as u8)),
+        }
+    }
+    s
+}
+
+fn arbitrary_spec(pick: u64) -> JobSpec {
+    let apps = App::all();
+    let variants = Variant::all();
+    let hws = [Hw::Stock, Hw::Btac, Hw::BtacFxus(3)];
+    JobSpec {
+        app: apps[(pick % apps.len() as u64) as usize],
+        variant: variants[(pick / 7 % variants.len() as u64) as usize],
+        hw: hws[(pick / 31 % hws.len() as u64) as usize],
+        scale: Scale::Test,
+        seed: pick,
+    }
+}
+
+/// One frame of every kind, fields driven by the RNG-provided scalars.
+fn arbitrary_frame(kind: u8, a: u64, b: u64, text: &[u8]) -> Frame {
+    let s = wire_string(text);
+    match kind % 15 {
+        0 => Frame::Hello {
+            role: if a & 1 == 0 { Role::Worker } else { Role::Subscriber },
+            worker: a,
+        },
+        1 => Frame::HelloAck { lease_timeout_ms: a },
+        2 => Frame::Fetch { worker: a },
+        3 => Frame::Job {
+            job: s.clone(),
+            spec: arbitrary_spec(a),
+            attempts: (b % 100) as u32,
+            chunk: a,
+            budget: if b & 1 == 0 { None } else { Some(b) },
+            max_attempts: (a % 10) as u32,
+            resume: if b & 2 == 0 { None } else { Some(s) },
+        },
+        4 => Frame::Idle,
+        5 => Frame::Done,
+        6 => Frame::Heartbeat { worker: a, job: s },
+        7 => Frame::Progress { job: s.clone(), insns: a, checkpoint: s },
+        8 => Frame::Retry {
+            job: s.clone(),
+            attempt: (a % 50) as u32,
+            class: "timeout".to_string(),
+            checkpoint: if b & 1 == 0 { None } else { Some(s) },
+        },
+        9 => Frame::Retire { job: s.clone(), insns: b, report: s },
+        10 => Frame::Quarantine { job: s.clone(), class: "trap".to_string(), message: s },
+        11 => Frame::Release { job: s, worker: a },
+        12 => Frame::Ack { job: s, drain: b & 1 == 0 },
+        13 => Frame::Result { job: s.clone(), label: s.clone(), report: s },
+        _ => Frame::CampaignDone { completed: a, quarantined: b },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity for every frame kind, whatever
+    /// bytes its string fields carry. Numeric fields are drawn from the
+    /// f64-exact integer domain (below 2^53): the JSON layer carries
+    /// numbers as doubles, which is the wire format's documented numeric
+    /// range and leaves nine orders of magnitude of headroom over any
+    /// real instruction count.
+    #[test]
+    fn every_frame_roundtrips_byte_exactly(
+        kind in any::<u8>(),
+        a in 0u64..(1 << 53),
+        b in 0u64..(1 << 53),
+        text in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let frame = arbitrary_frame(kind, a, b, &text);
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("round-trip");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Every proper prefix of a valid frame is a typed `Truncated` with
+    /// an honest byte count — the framing layer never guesses.
+    #[test]
+    fn every_prefix_is_typed_truncation(
+        kind in any::<u8>(),
+        a in any::<u64>(),
+        text in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let bytes = encode_frame(&arbitrary_frame(kind, a, a, &text));
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(WireError::Truncated { have, need }) => {
+                    prop_assert_eq!(have, cut);
+                    prop_assert!(need > cut);
+                }
+                other => return Err(TestCaseError::fail(format!("prefix {cut}: {other:?}"))),
+            }
+        }
+    }
+
+    /// Flipping any single byte of a framed message either still decodes
+    /// to *some* frame (the flip landed in a string payload) or yields a
+    /// typed error — never a panic, and framing errors are classified.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        kind in any::<u8>(),
+        a in any::<u64>(),
+        text in proptest::collection::vec(any::<u8>(), 0..60),
+        victim in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&arbitrary_frame(kind, a, a, &text));
+        let at = victim % bytes.len();
+        bytes[at] ^= flip;
+        match decode_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(
+                WireError::Truncated { .. }
+                | WireError::Oversized { .. }
+                | WireError::BadLength(_)
+                | WireError::Unterminated
+                | WireError::BadJson(_)
+                | WireError::MissingField(_)
+                | WireError::UnknownFrame(_)
+                | WireError::UnknownRole(_)
+                | WireError::Unsupported(_),
+            ) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
+        }
+    }
+
+    /// Random garbage — arbitrary bytes that never came from the encoder
+    /// — is always rejected with a typed error or honestly truncated.
+    #[test]
+    fn arbitrary_garbage_is_rejected_not_panicked(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        if let Ok((_, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+        // The framing-only scanner must agree with the strict decoder on
+        // whether a complete frame is even present.
+        if let Ok(span) = frame_span(&bytes) {
+            prop_assert!(span <= bytes.len());
+        }
+    }
+
+    /// Length prefixes above the frame cap are `Oversized`, not an
+    /// attempted multi-megabyte allocation.
+    #[test]
+    fn oversized_lengths_are_rejected(len in (MAX_FRAME as u64 + 1)..=0xffff_ffff) {
+        let mut bytes = format!("{len:08x}").into_bytes();
+        bytes.extend_from_slice(b"{}");
+        match frame_span(&bytes) {
+            Err(WireError::Oversized { len: l, max }) => {
+                prop_assert_eq!(l, len as usize);
+                prop_assert_eq!(max, MAX_FRAME);
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+}
