@@ -23,9 +23,13 @@
 
 use bioarch::experiments::Study;
 use bioarch::report::{write_atomic, Direction, Report};
-use power5_sim::{CoreConfig, Machine};
+use power5_sim::{run_batch_functional, CoreConfig, LaneStats, Machine};
 use std::num::NonZeroUsize;
 use std::time::Instant;
+
+/// Lane-gang width for the batch leg (`lanes.mips`): the number of
+/// independent copies of the loop stepped per shared dispatch.
+const LANES: usize = 8;
 
 /// Worker count for the parallel suite leg: `BIOARCH_THREADS` when set,
 /// else the host's available parallelism. Resolved explicitly here (and
@@ -109,6 +113,38 @@ fn main() {
         );
         let timed = mips(reps, |m| m.run_timed(u64::MAX).expect("runs").executed);
 
+        // Lane-gang leg: LANES identical copies of the loop stepped
+        // through shared decode/fused-block dispatch (DESIGN §18).
+        // Aggregate MIPS counts all lanes' retired instructions against
+        // one wall clock; the per-lane results must stay bit-identical
+        // to the scalar reference or the report degrades.
+        let scalar_reference = {
+            let mut m = machine();
+            let r = m.run_functional(u64::MAX).expect("runs");
+            (r.executed, r.halted)
+        };
+        let mut lane_stats = LaneStats::default();
+        let mut lanes_identical = true;
+        let mut lanes_mips = 0.0f64;
+        for _ in 0..reps {
+            let gang: Vec<Machine> = (0..LANES).map(|_| machine()).collect();
+            let start = Instant::now();
+            let (results, stats) = run_batch_functional(gang, u64::MAX);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let total: u64 = results.iter().map(|(_, r)| r.as_ref().expect("runs").executed).sum();
+            let this = total as f64 / secs / 1e6;
+            if this > lanes_mips {
+                lanes_mips = this;
+                lane_stats = stats;
+            }
+            for (_, r) in &results {
+                let r = r.as_ref().expect("runs");
+                if (r.executed, r.halted) != scalar_reference {
+                    lanes_identical = false;
+                }
+            }
+        }
+
         // Fusion-rate counters from one complete fused run of the loop.
         let fusion = {
             let mut m = machine();
@@ -144,6 +180,16 @@ fn main() {
             hub.count_host("fusion.alu_store", fusion.alu_store);
             hub.count_host("fusion.cmp_select", fusion.cmp_select);
             hub.count_host("fusion.hammock", fusion.hammock);
+            hub.count_host("lanes.gang_blocks", lane_stats.gang_blocks);
+            hub.count_host("lanes.lane_blocks", lane_stats.lane_blocks);
+            hub.count_host("lanes.lane_insns", lane_stats.insns);
+            hub.count_host("lanes.occupancy_permille", (lane_stats.occupancy() * 1000.0) as u64);
+            hub.count_host("lanes.exit_divergence", lane_stats.exit_divergence);
+            hub.count_host("lanes.exit_halt", lane_stats.exit_halt);
+            hub.count_host("lanes.exit_fault", lane_stats.exit_fault);
+            hub.count_host("lanes.exit_smc", lane_stats.exit_smc);
+            hub.count_host("lanes.exit_cut", lane_stats.exit_cut);
+            hub.count_host("lanes.exit_refetch", lane_stats.exit_refetch);
             let mut snapshot = hub.finish();
             snapshot.context.push(("scale".into(), format!("{:?}", study.scale())));
             snapshot.context.push(("seed".into(), study.seed().to_string()));
@@ -166,6 +212,20 @@ fn main() {
         report.push("host.functional_fused_mips", fused, Direction::Higher);
         report.push("host.functional_scalar_mips", scalar, Direction::Higher);
         report.push("host.timed_mips", timed, Direction::Higher);
+        report.push("lanes.mips", lanes_mips, Direction::Higher);
+        report.push("lanes.lanes", LANES as f64, Direction::Neutral);
+        report.push("lanes.occupancy", lane_stats.occupancy(), Direction::Higher);
+        report.push(
+            "lanes.speedup_vs_functional",
+            lanes_mips / functional.max(1e-9),
+            Direction::Higher,
+        );
+        report.push("lanes.exit_divergence", lane_stats.exit_divergence as f64, Direction::Neutral);
+        report.push("lanes.exit_halt", lane_stats.exit_halt as f64, Direction::Neutral);
+        report.push("lanes.exit_fault", lane_stats.exit_fault as f64, Direction::Neutral);
+        report.push("lanes.exit_smc", lane_stats.exit_smc as f64, Direction::Neutral);
+        report.push("lanes.exit_cut", lane_stats.exit_cut as f64, Direction::Neutral);
+        report.push("lanes.exit_refetch", lane_stats.exit_refetch as f64, Direction::Neutral);
         report.push("fusion.fused_insn_ratio", fusion.fused_insn_ratio(), Direction::Higher);
         report.push("fusion.pair_insns", fusion.pair_insns as f64, Direction::Neutral);
         report.push("fusion.cmp_branch", fusion.cmp_branch as f64, Direction::Neutral);
@@ -180,6 +240,12 @@ fn main() {
         if suite_json(&serial_suite) != suite_json(&parallel_suite) {
             report.degrade("parallel suite output diverged from serial");
         }
+        if !lanes_identical {
+            report.degrade("lane gang results diverged from the scalar reference");
+        }
+        if !lane_stats.ganged {
+            report.degrade("lane gang fell back to scalar execution");
+        }
         if serial_suite.is_degraded() {
             for failure in serial_suite.failures() {
                 report.degrade(failure);
@@ -189,9 +255,13 @@ fn main() {
         let rendered = format!(
             "interpreter: functional {functional:.2} MIPS (fused {fused:.2}, scalar {scalar:.2}), \
              timed {timed:.2} MIPS\n\
+             lanes: {lanes_mips:.2} aggregate MIPS at width {LANES} \
+             ({:.2}x functional, occupancy {:.1}%)\n\
              fusion: {:.1}% of retired insns inside superinstructions\n\
              suite: serial {serial_s:.2}s, parallel {parallel_s:.2}s \
              ({speedup:.2}x on {threads} thread(s))",
+            lanes_mips / functional.max(1e-9),
+            lane_stats.occupancy() * 100.0,
             fusion.fused_insn_ratio() * 100.0,
         );
         (rendered, report)

@@ -221,6 +221,7 @@ pub struct Study {
     watchdog: Option<Watchdog>,
     lockstep: LockstepMode,
     threads_override: Option<usize>,
+    lanes_override: Option<usize>,
     telemetry: Option<TelemetryHub>,
 }
 
@@ -237,6 +238,7 @@ impl Study {
             watchdog: None,
             lockstep: LockstepMode::Off,
             threads_override: None,
+            lanes_override: None,
             telemetry: None,
         }
     }
@@ -277,6 +279,30 @@ impl Study {
             return n.max(1);
         }
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// Pin the lane-batch width for the parallel prefetcher, overriding
+    /// the `BIOARCH_LANES` environment variable. Above 1, each worker
+    /// thread claims a contiguous chunk of up to this many *compatible*
+    /// jobs (grouped by application, so consecutive claims share one
+    /// code image and workload) per dispatch instead of one job at a
+    /// time. Results are merged in fixed job order either way, so
+    /// reports are byte-identical for every width.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes_override = Some(lanes.max(1));
+    }
+
+    /// Lane-batch width the parallel prefetcher claims per dispatch:
+    /// the [`Study::set_lanes`] override, else `BIOARCH_LANES`, else 1
+    /// (per-job claiming, the historical behavior).
+    pub fn lanes(&self) -> usize {
+        if let Some(n) = self.lanes_override {
+            return n;
+        }
+        std::env::var("BIOARCH_LANES")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .map_or(1, |n| n.max(1))
     }
 
     /// Install cycle/instruction budgets for every run in the study.
@@ -430,45 +456,64 @@ impl Study {
         let workloads = &self.workloads;
         let worker_of =
             |app: App| workloads.iter().find(|w| w.app() == app).expect("all apps present");
+        // Lane batching (DESIGN §18): with a lane width above 1, workers
+        // claim contiguous chunks of a claim order grouped by
+        // application, so each dispatch retires a batch of compatible
+        // jobs sharing one code image and workload. Results still land
+        // in per-job slots indexed by the original `todo` order, so the
+        // merge below is untouched and reports stay byte-identical.
+        let lanes = self.lanes().max(1);
+        let mut order: Vec<usize> = (0..todo.len()).collect();
+        if lanes > 1 {
+            order.sort_by_key(|&i| match todo[i] {
+                Job::Plain(a, ..) | Job::Interval(a, ..) => a as u8,
+            });
+        }
+        let order = &order;
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results: std::sync::Mutex<Vec<Option<AppRun>>> =
             std::sync::Mutex::new(vec![None; todo.len()]);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&job) = todo.get(i) else { break };
-                    // The same supervised path as the serial
-                    // `run`/`run_interval`; errors are dropped here (see
-                    // above).
-                    let run = match job {
-                        Job::Plain(app, v, hw) => supervised_run(
-                            worker_of(app),
-                            v,
-                            &hw.config(),
-                            None,
-                            watchdog,
-                            lockstep,
-                            job_seed(seed, app, v, hw),
-                            telemetry,
-                            &job_label(app, v, hw, None),
-                        ),
-                        Job::Interval(app, v, hw, interval) => supervised_run(
-                            worker_of(app),
-                            v,
-                            &hw.config(),
-                            Some(interval),
-                            watchdog,
-                            lockstep,
-                            job_seed(seed, app, v, hw),
-                            telemetry,
-                            &job_label(app, v, hw, Some(interval)),
-                        ),
-                    };
-                    if let Ok(run) = run {
-                        if run.validated {
-                            if let Ok(mut slots) = results.lock() {
-                                slots[i] = Some(run);
+                    let base = next.fetch_add(lanes, std::sync::atomic::Ordering::Relaxed);
+                    if base >= order.len() {
+                        break;
+                    }
+                    for &i in &order[base..(base + lanes).min(order.len())] {
+                        let job = todo[i];
+                        // The same supervised path as the serial
+                        // `run`/`run_interval`; errors are dropped here
+                        // (see above).
+                        let run = match job {
+                            Job::Plain(app, v, hw) => supervised_run(
+                                worker_of(app),
+                                v,
+                                &hw.config(),
+                                None,
+                                watchdog,
+                                lockstep,
+                                job_seed(seed, app, v, hw),
+                                telemetry,
+                                &job_label(app, v, hw, None),
+                            ),
+                            Job::Interval(app, v, hw, interval) => supervised_run(
+                                worker_of(app),
+                                v,
+                                &hw.config(),
+                                Some(interval),
+                                watchdog,
+                                lockstep,
+                                job_seed(seed, app, v, hw),
+                                telemetry,
+                                &job_label(app, v, hw, Some(interval)),
+                            ),
+                        };
+                        if let Ok(run) = run {
+                            if run.validated {
+                                if let Ok(mut slots) = results.lock() {
+                                    slots[i] = Some(run);
+                                }
                             }
                         }
                     }

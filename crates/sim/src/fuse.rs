@@ -169,7 +169,7 @@ impl AluOp {
     /// Execute against register state. Mirrors `ppc_isa::exec::step`
     /// for the corresponding instruction, minus the PC update.
     #[inline(always)]
-    fn exec(self, cpu: &mut CpuState) {
+    pub(crate) fn exec(self, cpu: &mut CpuState) {
         match self {
             AluOp::Li { rt, val } => cpu.set_reg(rt, val),
             AluOp::AddImm { rt, ra, imm } => {
@@ -254,7 +254,7 @@ pub(crate) enum CmpOp {
 
 impl CmpOp {
     #[inline(always)]
-    fn exec(self, cpu: &mut CpuState) {
+    pub(crate) fn exec(self, cpu: &mut CpuState) {
         match self {
             CmpOp::SignedImm { crf, ra, imm } => {
                 cpu.cr.set_signed_cmp(crf, cpu.reg(ra) as i32, imm);
@@ -286,7 +286,7 @@ pub(crate) enum LoadOp {
 
 impl LoadOp {
     #[inline(always)]
-    fn exec(self, cpu: &mut CpuState, mem: &Memory) -> Result<(), MemFault> {
+    pub(crate) fn exec(self, cpu: &mut CpuState, mem: &Memory) -> Result<(), MemFault> {
         match self {
             LoadOp::Lwz { rt, ra, disp } => {
                 let addr = cpu.reg_or_zero(ra).wrapping_add(disp);
@@ -329,7 +329,7 @@ pub(crate) enum StoreOp {
 
 impl StoreOp {
     #[inline(always)]
-    fn exec(self, cpu: &CpuState, mem: &mut Memory) -> Result<(u32, u32), MemFault> {
+    pub(crate) fn exec(self, cpu: &CpuState, mem: &mut Memory) -> Result<(u32, u32), MemFault> {
         match self {
             StoreOp::Stw { rs, ra, disp } => {
                 let addr = cpu.reg_or_zero(ra).wrapping_add(disp);
@@ -744,6 +744,11 @@ impl FusedCache {
     pub(crate) fn block(&self, handle: usize) -> &FusedBlock {
         &self.blocks[handle]
     }
+
+    #[inline]
+    pub(crate) fn block_mut(&mut self, handle: usize) -> &mut FusedBlock {
+        &mut self.blocks[handle]
+    }
 }
 
 /// Lower `insn` to a register-only op, if it is one.
@@ -963,7 +968,7 @@ pub(crate) struct BlockRun {
 }
 
 #[inline(always)]
-fn touches_code(addr: u32, width: u32, code_lo: u32, code_hi: u32) -> bool {
+pub(crate) fn touches_code(addr: u32, width: u32, code_lo: u32, code_hi: u32) -> bool {
     let lo = u64::from(addr);
     let hi = lo + u64::from(width);
     hi > u64::from(code_lo) && lo < u64::from(code_hi)

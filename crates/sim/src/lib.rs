@@ -70,6 +70,7 @@ pub mod core;
 pub mod counters;
 pub mod fault;
 mod fuse;
+pub mod lanes;
 pub mod machine;
 pub mod oracle;
 pub mod predictor;
@@ -81,6 +82,7 @@ pub use core::StaticTiming;
 pub use counters::{ClassCounts, Counters, StallBreakdown, StallClass};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectionWindow, XorShift64};
 pub use fuse::FusionStats;
+pub use lanes::{run_batch_functional, BatchRun, LaneExit, LaneGang, LaneRun, LaneStats, Trunk};
 pub use machine::{
     Checkpoint, Machine, RunResult, StopReason, Trap, TrapCause, Watchdog, WatchdogKind,
 };

@@ -549,6 +549,49 @@ impl Machine {
         self.insns_total
     }
 
+    /// Split borrow of the architectural state for the lane gang
+    /// (DESIGN §18): the gang steps `cpu`/`mem` op-major across lanes
+    /// while the decode tables and fused cache stay shared gang-side.
+    #[inline]
+    pub(crate) fn lane_state(&mut self) -> (&mut CpuState, &mut Memory) {
+        (&mut self.cpu, &mut self.mem)
+    }
+
+    /// The derived tables a gang shares across lanes: decode table,
+    /// run-length sidecar, and the code base address.
+    pub(crate) fn lane_tables(&self) -> (&[Instruction], &[u32], u32) {
+        (&self.decoded, &self.run_len, self.code_base)
+    }
+
+    /// Credit `n` gang-retired instructions to this lane's lifetime
+    /// count, exactly as the scalar run loops do per block.
+    #[inline]
+    pub(crate) fn lane_note_retired(&mut self, n: u64) {
+        self.insns_total += n;
+    }
+
+    /// Mark the lane halted (a `trap` retired inside the gang).
+    #[inline]
+    pub(crate) fn lane_set_halted(&mut self) {
+        self.halted = true;
+    }
+
+    /// Why this machine cannot join a lane gang, if anything: the gang
+    /// runs the unchecked fused path only, so per-instruction harness
+    /// state (oracle, guest profiler, armed sabotage) forces the scalar
+    /// path instead.
+    pub(crate) fn lane_gang_blocker(&self) -> Option<&'static str> {
+        if self.lockstep.is_some() {
+            Some("lockstep oracle attached")
+        } else if self.profiler.is_some() {
+            Some("guest profiler attached")
+        } else if self.fusion_sabotage.is_some() {
+            Some("fusion sabotage armed")
+        } else {
+            None
+        }
+    }
+
     /// Enable per-function profiling over the given regions. Committed
     /// instructions and commit-cycle deltas are attributed to the region
     /// containing their PC.
@@ -1441,7 +1484,7 @@ impl Machine {
     /// landing in the code region). Returns whether any slot changed,
     /// so block dispatch can re-fetch. No-op for the overwhelmingly
     /// common store outside the code region.
-    fn repair_stored_code(&mut self, addr: u32, width: u32) -> bool {
+    pub(crate) fn repair_stored_code(&mut self, addr: u32, width: u32) -> bool {
         if !self.store_touches_code(addr, width) {
             return false;
         }

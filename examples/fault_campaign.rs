@@ -17,7 +17,8 @@
 //!   hang would abort the process and also fail the campaign).
 //!
 //! ```text
-//! cargo run --release --example fault_campaign -- [--faults N] [--seed S] [--lockstep MODE]
+//! cargo run --release --example fault_campaign -- [--faults N] [--seed S] \
+//!     [--lockstep MODE] [--lanes N [--verify]]
 //! ```
 //!
 //! Defaults: 1000 faults total (split across the four apps), seed 7,
@@ -26,6 +27,20 @@
 //! period N. Faults corrupt memory and the repaired decode cache
 //! consistently, so the oracle must stay silent; any divergence is a
 //! harness bug and fails the campaign (exit 2).
+//!
+//! `--lanes N` switches to the lane backend (DESIGN §18): instead of
+//! re-running the shared clean prefix from the pristine checkpoint for
+//! every fault, a [`Trunk`] advances ONE machine monotonically along
+//! the clean trajectory (faults sorted by injection point, dispatched
+//! in batches of N) and forks a checkpoint per fault — each faulty leg
+//! is a lane diverging from the trunk, finished on the ordinary scalar
+//! path. Per-fault outcomes and the final table are byte-identical to
+//! the scalar campaign; `--verify` proves it by running both backends
+//! and comparing outcome-by-outcome and table-byte-for-byte, printing
+//! the wall-clock speedup. With `--lockstep`, the oracle attaches to
+//! every forked (diverged) leg at its fork point — the clean trunk
+//! stays unchecked, which is where the speedup comes from.
+//!
 //! Exits with status 1 when any fault is uncontained, so CI can gate on
 //! the containment contract.
 
@@ -33,8 +48,11 @@ use bioarch::apps::{App, Scale, Variant, Workload};
 use bioarch::report::Table;
 use power5_sim::fault::{check_invariants, check_stall_partition, FaultKind, FaultPlan};
 use power5_sim::machine::{Checkpoint, Machine};
-use power5_sim::{CoreConfig, FaultSpec, InjectionWindow, LockstepMode, StopReason, Watchdog};
+use power5_sim::{
+    CoreConfig, FaultSpec, InjectionWindow, LockstepMode, StopReason, Trunk, Watchdog,
+};
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// What happened to one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,9 +96,61 @@ impl Tally {
     }
 }
 
+/// One application's campaign result: the tally plus the per-fault
+/// outcome vector in plan order (what `--verify` compares across
+/// backends).
+struct AppCampaign {
+    tally: Tally,
+    outcomes: Vec<Outcome>,
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("fault_campaign: {msg}");
     std::process::exit(2);
+}
+
+/// Classify one corrupted machine by running it to completion (or
+/// cut-off) — the shared phase-2 of both the scalar and lane backends,
+/// so their outcomes cannot drift apart.
+fn classify(
+    m: &mut Machine,
+    fault: &FaultSpec,
+    out_addr: u32,
+    out_len: usize,
+    golden: &[i32],
+) -> Result<Outcome, String> {
+    Ok(match m.run_timed(u64::MAX) {
+        Err(_trap) => Outcome::Detected,
+        Ok(r) => match r.stop {
+            StopReason::Watchdog(_) => Outcome::Timeout,
+            // A fault corrupts memory and the decode cache consistently,
+            // so the oracle disagreeing with the fast path means the
+            // harness itself is broken — fail the whole campaign.
+            StopReason::Diverged => {
+                return Err(divergence_message(m, "faulty run", fault));
+            }
+            StopReason::Budget | StopReason::Halted => {
+                // The run finished: it must still satisfy the counter and
+                // stall-partition invariants to count as contained.
+                let counters = m.counters();
+                let sites = m.stall_sites();
+                if let Err(why) = check_invariants(&counters)
+                    .and_then(|()| check_stall_partition(&counters.stalls, &sites))
+                {
+                    eprintln!("  uncontained {fault:?}: {why}");
+                    Outcome::Uncontained
+                } else {
+                    match m.mem().read_i32s(out_addr, out_len) {
+                        Ok(out) if out == golden => Outcome::Masked,
+                        Ok(_) => Outcome::Contained,
+                        // Output vector unreadable counts as detected-at-
+                        // readout: the harness saw the corruption.
+                        Err(_) => Outcome::Detected,
+                    }
+                }
+            }
+        },
+    })
 }
 
 /// Run one fault against a restored pristine machine; see the module docs
@@ -115,39 +185,7 @@ fn run_one(
     fault.apply(m);
 
     // Phase 2: run the corrupted machine to completion (or cut-off).
-    let outcome = match m.run_timed(u64::MAX) {
-        Err(_trap) => Outcome::Detected,
-        Ok(r) => match r.stop {
-            StopReason::Watchdog(_) => Outcome::Timeout,
-            // A fault corrupts memory and the decode cache consistently,
-            // so the oracle disagreeing with the fast path means the
-            // harness itself is broken — fail the whole campaign.
-            StopReason::Diverged => {
-                return Err(divergence_message(m, "faulty run", fault));
-            }
-            StopReason::Budget | StopReason::Halted => {
-                // The run finished: it must still satisfy the counter and
-                // stall-partition invariants to count as contained.
-                let counters = m.counters();
-                let sites = m.stall_sites();
-                if let Err(why) = check_invariants(&counters)
-                    .and_then(|()| check_stall_partition(&counters.stalls, &sites))
-                {
-                    eprintln!("  uncontained {fault:?}: {why}");
-                    Outcome::Uncontained
-                } else {
-                    match m.mem().read_i32s(out_addr, out_len) {
-                        Ok(out) if out == golden => Outcome::Masked,
-                        Ok(_) => Outcome::Contained,
-                        // Output vector unreadable counts as detected-at-
-                        // readout: the harness saw the corruption.
-                        Err(_) => Outcome::Detected,
-                    }
-                }
-            }
-        },
-    };
-    Ok(outcome)
+    classify(m, fault, out_addr, out_len, golden)
 }
 
 fn divergence_message(m: &mut Machine, phase: &str, fault: &FaultSpec) -> String {
@@ -156,7 +194,20 @@ fn divergence_message(m: &mut Machine, phase: &str, fault: &FaultSpec) -> String
     format!("lockstep divergence in {phase} under fault {fault:?}:\n{detail}")
 }
 
-fn campaign(app: App, seed: u64, faults: usize, lockstep: LockstepMode) -> Result<Tally, String> {
+/// The per-app campaign preamble shared by both backends: build the
+/// workload, checkpoint pristine, establish the golden output, the
+/// watchdog budgets, and the injection plan.
+struct Prepared {
+    machine: Machine,
+    pristine: Checkpoint,
+    watchdog: Watchdog,
+    plan: FaultPlan,
+    out_addr: u32,
+    out_len: usize,
+    golden: Vec<i32>,
+}
+
+fn prepare_campaign(app: App, seed: u64, faults: usize) -> Result<Prepared, String> {
     let config = CoreConfig::power5();
     let wl = Workload::new(app, Scale::Test, seed);
     let mut prepared =
@@ -195,28 +246,138 @@ fn campaign(app: App, seed: u64, faults: usize, lockstep: LockstepMode) -> Resul
     };
 
     let plan = FaultPlan::generate(seed ^ (app as u64).wrapping_mul(0x9E37_79B9), faults, &window);
+    Ok(Prepared {
+        machine: prepared.machine,
+        pristine,
+        watchdog,
+        plan,
+        out_addr: prepared.out_addr,
+        out_len: prepared.out_len,
+        golden: prepared.golden,
+    })
+}
+
+/// Scalar backend: restore pristine and re-run the clean prefix for
+/// every fault.
+fn campaign(
+    app: App,
+    seed: u64,
+    faults: usize,
+    lockstep: LockstepMode,
+) -> Result<AppCampaign, String> {
+    let mut p = prepare_campaign(app, seed, faults)?;
     let mut tally = Tally::default();
-    for fault in &plan.faults {
+    let mut outcomes = Vec::with_capacity(p.plan.faults.len());
+    for fault in &p.plan.faults {
         let outcome = run_one(
-            &mut prepared.machine,
-            &pristine,
+            &mut p.machine,
+            &p.pristine,
             fault,
-            watchdog,
+            p.watchdog,
             lockstep,
-            prepared.out_addr,
-            prepared.out_len,
-            &prepared.golden,
+            p.out_addr,
+            p.out_len,
+            &p.golden,
         )
         .map_err(|e| format!("{app}: {e}"))?;
         tally.record(outcome);
+        outcomes.push(outcome);
     }
-    Ok(tally)
+    Ok(AppCampaign { tally, outcomes })
+}
+
+/// Lane backend: one trunk machine advances the shared clean prefix
+/// monotonically (faults sorted by injection point, dispatched in
+/// batches of `lanes`); each fault forks a checkpoint, runs its faulty
+/// leg as a diverged lane on the scalar path, and rejoins. Outcomes
+/// land back in plan order, so the tally and `--verify` comparison are
+/// order-independent of the trunk schedule.
+fn campaign_lanes(
+    app: App,
+    seed: u64,
+    faults: usize,
+    lockstep: LockstepMode,
+    lanes: usize,
+) -> Result<AppCampaign, String> {
+    let mut p = prepare_campaign(app, seed, faults)?;
+    let mut outcomes = vec![Outcome::Uncontained; p.plan.faults.len()];
+    let mut order: Vec<usize> = (0..p.plan.faults.len()).collect();
+    order.sort_by_key(|&i| p.plan.faults[i].at_instruction);
+
+    p.machine.restore(&p.pristine).map_err(|e| format!("{app}: restore failed: {e}"))?;
+    p.machine.set_watchdog(p.watchdog);
+    let mut trunk = Trunk::new(&mut p.machine);
+    for batch in order.chunks(lanes.max(1)) {
+        for &idx in batch {
+            let fault = &p.plan.faults[idx];
+            let to_fault = trunk
+                .advance_to(fault.at_instruction)
+                .map_err(|t| format!("{app}: clean prefix trapped: {t}"))?;
+            if let StopReason::Watchdog(_) = to_fault.stop {
+                return Err(format!("{app}: clean prefix hit the watchdog"));
+            }
+            let ck = trunk.fork();
+            let m = trunk.machine();
+            // Fresh checker per forked leg: with `--lockstep` the oracle
+            // covers every diverged lane from its fork point on, while
+            // the shared trunk stays unchecked.
+            m.set_lockstep(lockstep);
+            fault.apply(m);
+            let outcome = classify(m, fault, p.out_addr, p.out_len, &p.golden)
+                .map_err(|e| format!("{app}: {e}"))?;
+            outcomes[idx] = outcome;
+            trunk.rejoin(&ck).map_err(|e| format!("{app}: rejoin failed: {e}"))?;
+            trunk.machine().set_lockstep(LockstepMode::Off);
+        }
+    }
+    let mut tally = Tally::default();
+    for &outcome in &outcomes {
+        tally.record(outcome);
+    }
+    Ok(AppCampaign { tally, outcomes })
+}
+
+/// Render the per-app/TOTAL table both backends must agree on byte for
+/// byte.
+fn render_table(rows: &[(App, Tally)], total: &Tally) -> String {
+    let mut table = Table::new(vec![
+        "App".into(),
+        "Injected".into(),
+        "Detected".into(),
+        "Timeout".into(),
+        "Masked".into(),
+        "Contained".into(),
+        "Uncontained".into(),
+    ]);
+    for (app, tally) in rows {
+        table.row(vec![
+            app.name().into(),
+            tally.injected.to_string(),
+            tally.detected.to_string(),
+            tally.timeout.to_string(),
+            tally.masked.to_string(),
+            tally.contained.to_string(),
+            tally.uncontained.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL".into(),
+        total.injected.to_string(),
+        total.detected.to_string(),
+        total.timeout.to_string(),
+        total.masked.to_string(),
+        total.contained.to_string(),
+        total.uncontained.to_string(),
+    ]);
+    table.render()
 }
 
 fn main() -> ExitCode {
     let mut faults_total = 1000usize;
     let mut seed = 7u64;
     let mut lockstep = LockstepMode::Off;
+    let mut lanes = 0usize;
+    let mut verify = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -240,56 +401,101 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--lanes" => {
+                let v = args.next().unwrap_or_else(|| die("--lanes needs a value"));
+                lanes = v.parse().unwrap_or_else(|_| die(&format!("bad lane count {v:?}")));
+                if lanes == 0 {
+                    die("--lanes needs a count of at least 1");
+                }
+            }
+            "--verify" => verify = true,
             other => die(&format!(
-                "unknown argument {other:?} (try --faults N / --seed S / --lockstep off|full|N)"
+                "unknown argument {other:?} (try --faults N / --seed S / --lockstep off|full|N / \
+                 --lanes N / --verify)"
             )),
         }
     }
+    if verify && lanes == 0 {
+        die("--verify requires --lanes N (it cross-checks the lane backend against scalar)");
+    }
     let apps = App::all();
     let per_app = faults_total.div_ceil(apps.len());
+    let backend = if lanes > 0 { format!("lanes {lanes}") } else { "scalar".to_string() };
     println!(
-        "fault campaign: {} faults per app x {} apps, seed {seed}, lockstep {lockstep:?}, kinds: {}",
+        "fault campaign: {} faults per app x {} apps, seed {seed}, lockstep {lockstep:?}, \
+         backend {backend}, kinds: {}",
         per_app,
         apps.len(),
         FaultKind::ALL.map(FaultKind::name).join(", ")
     );
 
-    let mut table = Table::new(vec![
-        "App".into(),
-        "Injected".into(),
-        "Detected".into(),
-        "Timeout".into(),
-        "Masked".into(),
-        "Contained".into(),
-        "Uncontained".into(),
-    ]);
+    let mut rows: Vec<(App, Tally)> = Vec::new();
     let mut total = Tally::default();
+    let mut scalar_rows: Vec<(App, Tally)> = Vec::new();
+    let mut scalar_total = Tally::default();
+    let mut scalar_wall = 0.0f64;
+    let mut lane_wall = 0.0f64;
     for app in apps {
-        let tally = match campaign(app, seed, per_app, lockstep) {
-            Ok(t) => t,
-            Err(e) => die(&e),
-        };
-        table.row(vec![
-            app.name().into(),
-            tally.injected.to_string(),
-            tally.detected.to_string(),
-            tally.timeout.to_string(),
-            tally.masked.to_string(),
-            tally.contained.to_string(),
-            tally.uncontained.to_string(),
-        ]);
-        total.add(&tally);
+        if verify {
+            // Scalar reference leg first: the backend under test must
+            // reproduce it outcome by outcome.
+            let t0 = Instant::now();
+            let reference = match campaign(app, seed, per_app, lockstep) {
+                Ok(c) => c,
+                Err(e) => die(&e),
+            };
+            scalar_wall += t0.elapsed().as_secs_f64();
+            scalar_total.add(&reference.tally);
+            scalar_rows.push((app, reference.tally));
+
+            let t1 = Instant::now();
+            let laned = match campaign_lanes(app, seed, per_app, lockstep, lanes) {
+                Ok(c) => c,
+                Err(e) => die(&e),
+            };
+            lane_wall += t1.elapsed().as_secs_f64();
+            if laned.outcomes != reference.outcomes {
+                let first = laned
+                    .outcomes
+                    .iter()
+                    .zip(&reference.outcomes)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                die(&format!(
+                    "verify FAILED for {app}: lane backend diverges from scalar at fault {first} \
+                     ({:?} vs {:?})",
+                    laned.outcomes[first], reference.outcomes[first]
+                ));
+            }
+            total.add(&laned.tally);
+            rows.push((app, laned.tally));
+        } else {
+            let result = if lanes > 0 {
+                campaign_lanes(app, seed, per_app, lockstep, lanes)
+            } else {
+                campaign(app, seed, per_app, lockstep)
+            };
+            let c = match result {
+                Ok(c) => c,
+                Err(e) => die(&e),
+            };
+            total.add(&c.tally);
+            rows.push((app, c.tally));
+        }
     }
-    table.row(vec![
-        "TOTAL".into(),
-        total.injected.to_string(),
-        total.detected.to_string(),
-        total.timeout.to_string(),
-        total.masked.to_string(),
-        total.contained.to_string(),
-        total.uncontained.to_string(),
-    ]);
-    println!("\n{}", table.render());
+    let rendered = render_table(&rows, &total);
+    println!("\n{rendered}");
+    if verify {
+        let scalar_rendered = render_table(&scalar_rows, &scalar_total);
+        if rendered != scalar_rendered {
+            die("verify FAILED: lane-backend table is not byte-identical to scalar");
+        }
+        println!(
+            "verify OK: lane backend matches scalar outcome-for-outcome and byte-for-byte \
+             (scalar {scalar_wall:.2}s, lanes {lane_wall:.2}s, speedup {:.2}x)",
+            scalar_wall / lane_wall.max(1e-9)
+        );
+    }
 
     if total.uncontained > 0 {
         println!("{} uncontained fault(s): containment contract violated.", total.uncontained);

@@ -178,6 +178,31 @@ fn check(path: &str, min_heartbeats: u64, allow_truncated: bool, stall_factor: f
             println!("  {name} = {value}");
         }
     }
+    let counter = |n: &str| stats.host_counters.iter().find(|(name, _)| name == n).map(|(_, v)| *v);
+    if let Some(gangs) = counter("lanes.gang_blocks") {
+        // One-line lane-backend digest alongside the fusion.* counters
+        // above: how wide the gangs ran and why lanes dropped out.
+        println!(
+            "lanes: {gangs} gang block(s), occupancy {:.1}%, exits: divergence {} halt {} fault \
+             {} smc {} cut {} refetch {}",
+            counter("lanes.occupancy_permille").unwrap_or(0.0) / 10.0,
+            counter("lanes.exit_divergence").unwrap_or(0.0),
+            counter("lanes.exit_halt").unwrap_or(0.0),
+            counter("lanes.exit_fault").unwrap_or(0.0),
+            counter("lanes.exit_smc").unwrap_or(0.0),
+            counter("lanes.exit_cut").unwrap_or(0.0),
+            counter("lanes.exit_refetch").unwrap_or(0.0),
+        );
+    }
+    if stats.batch_retires > 0 {
+        // Batch-retire bursts are quiet-then-burst progress from a
+        // lane-batch worker; their forgiven gaps are reported here and
+        // excluded from the stall verdict.
+        println!(
+            "diagnostic: {} batch-retire burst(s), largest forgiven gap {:.0} ms",
+            stats.batch_retires, stats.batch_gap_ms
+        );
+    }
     if stats.truncated_tail {
         // A torn final line is the signature of a writer killed
         // mid-write — diagnose it explicitly instead of erroring.
